@@ -1,0 +1,135 @@
+//! Closed-form off-DIMM traffic model (§IV-B).
+//!
+//! Freecursive moves the whole path over the main channel — `2(Z+1)L`
+//! line transfers per `accessORAM`. The Independent protocol replaces
+//! that with one `ACCESS` block down, one `FETCH_RESULT` block up, and an
+//! `APPEND` block to every SDIMM (plus `PROBE` command slots); the Split
+//! protocol moves per-bucket metadata shares, the requested block's
+//! pieces, and the eviction lists. These formulas back the X1 experiment
+//! and cross-check what the cycle-level simulation measures.
+
+/// Parameters of the traffic model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrafficParams {
+    /// Blocks per bucket (Z = 4).
+    pub z: u64,
+    /// Tree levels resident in memory (tree levels + 1 − cached levels).
+    pub levels_in_memory: u64,
+    /// SDIMMs (Independent fan-out) or split ways.
+    pub sdimms: u64,
+    /// PROBE polls issued per access (command-bus only).
+    pub probes_per_access: u64,
+}
+
+impl TrafficParams {
+    /// The paper's headline configuration: Z=4, 28-level ORAM with
+    /// 7 levels cached, 4 SDIMMs.
+    pub fn paper_default() -> Self {
+        TrafficParams { z: 4, levels_in_memory: 21, sdimms: 4, probes_per_access: 2 }
+    }
+}
+
+/// Line transfers per access on the main channel under Freecursive:
+/// `2(Z+1)L`.
+pub fn baseline_lines(p: &TrafficParams) -> u64 {
+    2 * (p.z + 1) * p.levels_in_memory
+}
+
+/// Line transfers per access on the main channel under the Independent
+/// protocol: 1 ACCESS + 1 FETCH_RESULT + `sdimms` APPENDs.
+pub fn independent_lines(p: &TrafficParams) -> u64 {
+    1 + 1 + p.sdimms
+}
+
+/// Command-bus slots per Independent access (line transfers + probes).
+pub fn independent_commands(p: &TrafficParams) -> u64 {
+    independent_lines(p) + p.probes_per_access
+}
+
+/// Line-equivalents per access on the main channel under the Split
+/// protocol: metadata (one 64-byte-equivalent line per bucket,
+/// reassembled from `sdimms` shares), the requested block, and the
+/// eviction list/counters (modeled at `(2Z+8)` bytes per bucket).
+pub fn split_line_equivalents(p: &TrafficParams) -> f64 {
+    let meta = p.levels_in_memory as f64; // L buckets × 64 B (in shares)
+    let block = 1.0;
+    let list = (p.levels_in_memory * (2 * p.z + 8)) as f64 / 64.0;
+    meta + block + list
+}
+
+/// Fraction of baseline off-DIMM traffic the Independent protocol needs.
+pub fn independent_fraction(p: &TrafficParams) -> f64 {
+    independent_commands(p) as f64 / baseline_lines(p) as f64
+}
+
+/// Fraction of baseline off-DIMM traffic the Split protocol needs.
+pub fn split_fraction(p: &TrafficParams) -> f64 {
+    split_line_equivalents(p) / baseline_lines(p) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_matches_formula() {
+        let p = TrafficParams::paper_default();
+        assert_eq!(baseline_lines(&p), 2 * 5 * 21);
+    }
+
+    #[test]
+    fn independent_is_single_digit_lines() {
+        let p = TrafficParams::paper_default();
+        assert_eq!(independent_lines(&p), 6, "1 read + 5 writes with 4 SDIMMs");
+    }
+
+    #[test]
+    fn independent_fraction_in_paper_band() {
+        // §IV-B: INDEP-4 reduces off-DIMM accesses to ≈7.8% with caching
+        // and ≲3.2% without; our command-count model with 2 probes lands
+        // in that band.
+        let mut p = TrafficParams::paper_default();
+        let with_cache = independent_fraction(&p);
+        assert!(
+            (0.02..=0.10).contains(&with_cache),
+            "INDEP-4 fraction {with_cache}"
+        );
+        p.levels_in_memory = 28; // no ORAM cache
+        let without = independent_fraction(&p);
+        assert!(without < with_cache);
+        assert!(without <= 0.032 + 0.005, "no-cache fraction {without}");
+    }
+
+    #[test]
+    fn split_fraction_near_twelve_percent() {
+        // §IV-B: "For the Split architecture, the off-DIMM accesses are
+        // reduced to 12% of the baseline ORAM."
+        let p = TrafficParams::paper_default();
+        let f = split_fraction(&p);
+        assert!((0.08..=0.16).contains(&f), "Split fraction {f} vs paper ≈0.12");
+    }
+
+    #[test]
+    fn split_costs_more_than_independent() {
+        let p = TrafficParams::paper_default();
+        assert!(split_fraction(&p) > independent_fraction(&p));
+    }
+
+    #[test]
+    fn indep2_cheaper_than_indep4_on_channel() {
+        let p4 = TrafficParams::paper_default();
+        let p2 = TrafficParams { sdimms: 2, ..p4 };
+        assert!(independent_fraction(&p2) < independent_fraction(&p4));
+    }
+
+    #[test]
+    fn more_cached_levels_raises_fractions() {
+        // Caching shrinks the baseline denominator, so the *fraction*
+        // grows — matching the paper's "overheads drop to less than 3.2%
+        // when ORAM caching is not used".
+        let cached = TrafficParams::paper_default();
+        let uncached = TrafficParams { levels_in_memory: 28, ..cached };
+        assert!(independent_fraction(&cached) > independent_fraction(&uncached));
+        assert!(split_fraction(&cached) > split_fraction(&uncached));
+    }
+}

@@ -1,0 +1,29 @@
+//! `sdimm-analytic` — the closed-form models backing §IV-B/§IV-C of the
+//! Secure DIMM paper.
+//!
+//! * [`random_walk`] — the transfer-queue random walk of Fig 13a: any
+//!   finite queue saturates without forced drains.
+//! * [`mm1k`] — the M/M/1/K overflow model of Fig 13b: a small drain
+//!   probability makes overflow negligible.
+//! * [`bandwidth`] — off-DIMM traffic formulas (`2(Z+1)L` baseline vs
+//!   the Independent/Split message counts) behind experiment X1.
+//! * [`area`] — the <1 mm² secure-buffer area estimate.
+//!
+//! # Example
+//!
+//! ```
+//! // A 16-slot transfer queue overflows almost surely without draining…
+//! let p = sdimm_analytic::random_walk::overflow_probability(
+//!     16, 100_000, sdimm_analytic::random_walk::WalkParams::default());
+//! assert!(p > 0.9);
+//! // …but a 10% forced-drain probability makes a 32-slot queue safe.
+//! assert!(sdimm_analytic::mm1k::overflow_probability(0.1, 32) < 1e-4);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod area;
+pub mod bandwidth;
+pub mod mm1k;
+pub mod random_walk;

@@ -1,0 +1,119 @@
+//! The M/M/1/K transfer-queue model of §IV-C (Fig 13b).
+//!
+//! With a forced-drain probability `p`, a queued block is serviced either
+//! by a departing-block vacancy (rate 1/4) or by an extra `accessORAM`
+//! (rate `p`). Treating the queue as M/M/1/K with utilization
+//! ρ = 0.25 / (0.25 + p), the steady-state probability the K-slot queue
+//! is full is ρ^K·(1−ρ)/(1−ρ^{K+1}) — vanishing even for small queues
+//! once p > 0.
+
+/// Arrival rate of the dual-SDIMM model (a block arrives per access with
+/// probability 1/4).
+pub const ARRIVAL_RATE: f64 = 0.25;
+
+/// Queue utilization ρ for forced-drain probability `p`.
+///
+/// # Panics
+///
+/// Panics if `p` is negative.
+pub fn utilization(p: f64) -> f64 {
+    assert!(p >= 0.0, "drain probability must be non-negative");
+    ARRIVAL_RATE / (ARRIVAL_RATE + p)
+}
+
+/// Steady-state probability that a K-slot M/M/1/K queue with utilization
+/// `rho` is full (i.e. an arriving block overflows).
+///
+/// # Panics
+///
+/// Panics if `rho` is not positive or `k` is zero.
+pub fn full_probability(rho: f64, k: u32) -> f64 {
+    assert!(rho > 0.0, "utilization must be positive");
+    assert!(k > 0, "queue must have slots");
+    if (rho - 1.0).abs() < 1e-12 {
+        // Degenerate uniform case: P_n = 1/(K+1).
+        return 1.0 / (k as f64 + 1.0);
+    }
+    rho.powi(k as i32) * (1.0 - rho) / (1.0 - rho.powi(k as i32 + 1))
+}
+
+/// Overflow probability for drain probability `p` and queue size `k`
+/// (the quantity Fig 13b plots).
+pub fn overflow_probability(p: f64, k: u32) -> f64 {
+    full_probability(utilization(p), k)
+}
+
+/// Generates the Fig 13b sweep: for each drain probability, the overflow
+/// probability at each queue size. Returns `(p, Vec<(k, probability)>)`.
+pub fn fig13b_series(ps: &[f64], ks: &[u32]) -> Vec<(f64, Vec<(u32, f64)>)> {
+    ps.iter()
+        .map(|&p| (p, ks.iter().map(|&k| (k, overflow_probability(p, k))).collect()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_drain_saturates() {
+        // p = 0 ⇒ ρ = 1 ⇒ the queue is full with probability 1/(K+1) in
+        // the degenerate stationary regime — but more importantly, the
+        // utilization is exactly 1 (the paper's "it will overflow in the
+        // future with a probability of 1" regime).
+        assert!((utilization(0.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn drain_lowers_utilization() {
+        assert!(utilization(0.25) < utilization(0.05));
+        assert!((utilization(0.25) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overflow_decreases_with_queue_size() {
+        let p = 0.1;
+        let small = overflow_probability(p, 8);
+        let large = overflow_probability(p, 64);
+        assert!(small > large * 100.0, "{small} vs {large}");
+    }
+
+    #[test]
+    fn overflow_decreases_with_drain_probability() {
+        let lo = overflow_probability(0.02, 32);
+        let hi = overflow_probability(0.3, 32);
+        assert!(lo > hi);
+    }
+
+    #[test]
+    fn small_queue_with_modest_drain_is_safe() {
+        // The paper's Fig 13b takeaway: even a small queue has a very
+        // small overflow rate with occasional forced drains.
+        let p = overflow_probability(0.25, 32);
+        assert!(p < 1e-9, "expected negligible overflow, got {p}");
+    }
+
+    #[test]
+    fn probabilities_are_normalized() {
+        for &p in &[0.01, 0.1, 0.5, 1.0] {
+            for &k in &[1u32, 4, 16, 128] {
+                let f = overflow_probability(p, k);
+                assert!((0.0..=1.0).contains(&f), "p={p} k={k} gave {f}");
+            }
+        }
+    }
+
+    #[test]
+    fn series_shape() {
+        let s = fig13b_series(&[0.05, 0.25], &[8, 16]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].1.len(), 2);
+        // Larger p ⇒ smaller overflow at the same k.
+        assert!(s[0].1[0].1 > s[1].1[0].1);
+    }
+
+    #[test]
+    fn rho_one_degenerate_case() {
+        assert!((full_probability(1.0, 9) - 0.1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,156 @@
+//! The transfer-queue random-walk model of §IV-C (Fig 13a).
+//!
+//! Without forced draining, a dual-SDIMM transfer queue gains a block
+//! with probability 1/4 (an arrival), loses one with probability 1/4 (a
+//! vacancy), and stays put with probability 1/2, per access. The paper
+//! models occupancy as a one-dimensional random walk and evaluates
+//!
+//! ```text
+//! F(s,k) = 0.5·F(s−1,k) + 0.25·F(s−1,k−1) + 0.25·F(s−1,k+1)
+//! ```
+//!
+//! to show that *any* finite buffer overflows with high probability over
+//! enough steps: ≈97% within 100K steps for 16 blocks, and 91%/70%/10%
+//! for 64/256/1024 blocks within 800K steps.
+
+/// The walk's single-step probabilities (arrive, depart, stay).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WalkParams {
+    /// Probability a step adds a block (paper: 1/4).
+    pub p_up: f64,
+    /// Probability a step removes a block (paper: 1/4).
+    pub p_down: f64,
+}
+
+impl Default for WalkParams {
+    fn default() -> Self {
+        WalkParams { p_up: 0.25, p_down: 0.25 }
+    }
+}
+
+/// Evolves the occupancy distribution of a queue with capacity `cap`
+/// (reflecting at 0, absorbing once occupancy would exceed `cap`) for
+/// `steps` steps, returning the overflow probability — the absorbed mass.
+///
+/// # Panics
+///
+/// Panics if the probabilities are invalid or `cap` is zero.
+pub fn overflow_probability(cap: usize, steps: u64, params: WalkParams) -> f64 {
+    assert!(cap > 0, "capacity must be positive");
+    assert!(
+        params.p_up >= 0.0 && params.p_down >= 0.0 && params.p_up + params.p_down <= 1.0,
+        "invalid step probabilities"
+    );
+    let p_stay = 1.0 - params.p_up - params.p_down;
+    let mut dist = vec![0.0f64; cap + 1];
+    let mut next = vec![0.0f64; cap + 1];
+    dist[0] = 1.0;
+    let mut absorbed = 0.0f64;
+    for _ in 0..steps {
+        for v in next.iter_mut() {
+            *v = 0.0;
+        }
+        for (pos, &p) in dist.iter().enumerate() {
+            if p == 0.0 {
+                continue;
+            }
+            // Stay (and the reflected down-step at 0).
+            let stay = if pos == 0 { p_stay + params.p_down } else { p_stay };
+            next[pos] += p * stay;
+            if pos > 0 {
+                next[pos - 1] += p * params.p_down;
+            }
+            if pos < cap {
+                next[pos + 1] += p * params.p_up;
+            } else {
+                absorbed += p * params.p_up;
+            }
+        }
+        std::mem::swap(&mut dist, &mut next);
+    }
+    absorbed
+}
+
+/// Sweeps overflow probability over step counts for Fig 13a's four
+/// buffer sizes. Returns `(steps, [p16, p64, p256, p1024])` rows.
+pub fn fig13a_series(max_steps: u64, points: usize) -> Vec<(u64, [f64; 4])> {
+    let caps = [16usize, 64, 256, 1024];
+    let mut rows = Vec::with_capacity(points);
+    for i in 1..=points {
+        let steps = max_steps * i as u64 / points as u64;
+        let mut vals = [0.0f64; 4];
+        for (j, &cap) in caps.iter().enumerate() {
+            vals[j] = overflow_probability(cap, steps, WalkParams::default());
+        }
+        rows.push((steps, vals));
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_steps_zero_overflow() {
+        assert_eq!(overflow_probability(16, 0, WalkParams::default()), 0.0);
+    }
+
+    #[test]
+    fn overflow_grows_with_steps() {
+        let p1 = overflow_probability(16, 1_000, WalkParams::default());
+        let p2 = overflow_probability(16, 10_000, WalkParams::default());
+        assert!(p2 > p1);
+    }
+
+    #[test]
+    fn bigger_buffers_overflow_less() {
+        let small = overflow_probability(16, 50_000, WalkParams::default());
+        let big = overflow_probability(256, 50_000, WalkParams::default());
+        assert!(small > big * 2.0, "16-cap {small} vs 256-cap {big}");
+    }
+
+    #[test]
+    fn paper_datapoint_16_blocks_100k_steps() {
+        // Fig 13a: ≈97% chance of exceeding 16 blocks within 100K steps.
+        let p = overflow_probability(16, 100_000, WalkParams::default());
+        assert!(
+            (0.90..=1.0).contains(&p),
+            "expected ≈0.97 overflow probability, got {p}"
+        );
+    }
+
+    #[test]
+    fn probability_is_bounded() {
+        let p = overflow_probability(16, 500_000, WalkParams::default());
+        assert!((0.0..=1.0).contains(&p));
+        assert!(p > 0.99, "saturated walk must overflow a.s., got {p}");
+    }
+
+    #[test]
+    fn drained_walk_overflows_rarely() {
+        // p_down > p_up models the forced drain: positive recurrent.
+        let p = overflow_probability(
+            64,
+            100_000,
+            WalkParams { p_up: 0.25, p_down: 0.35 },
+        );
+        assert!(p < 1e-3, "drained queue should almost never overflow, got {p}");
+    }
+
+    #[test]
+    fn series_is_monotone_per_capacity() {
+        let rows = fig13a_series(20_000, 4);
+        for j in 0..4 {
+            for w in rows.windows(2) {
+                assert!(w[1].1[j] >= w[0].1[j]);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        overflow_probability(0, 10, WalkParams::default());
+    }
+}

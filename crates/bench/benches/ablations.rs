@@ -1,0 +1,157 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//! FR-FCFS vs FCFS scheduling, subtree-packed vs flat ORAM layout, PLB
+//! size, blocks-per-bucket Z, and the transfer-queue drain probability.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dram_sim::channel::DramChannel;
+use dram_sim::config::{ChannelConfig, SchedulerPolicy};
+use oram::layout::TreeLayout;
+use oram::plb::Plb;
+use oram::types::{BlockId, Op, OramConfig};
+use oram::{FreecursiveOram, PathOram};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sdimm::transfer_queue::TransferQueue;
+
+/// FR-FCFS vs FCFS on an ORAM-like line pattern (bursts of adjacent
+/// lines from different rows).
+fn ablation_sched(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_sched");
+    for policy in [SchedulerPolicy::FrFcfs, SchedulerPolicy::Fcfs] {
+        g.bench_with_input(
+            BenchmarkId::new("path_replay", format!("{policy:?}")),
+            &policy,
+            |b, &policy| {
+                b.iter(|| {
+                    let mut cfg = ChannelConfig::table2();
+                    cfg.refresh_enabled = false;
+                    cfg.scheduler = policy;
+                    let mut ch = DramChannel::new(cfg);
+                    // 16 buckets x 5 adjacent lines at scattered rows.
+                    let mut issued = 0;
+                    for bucket in 0..16u64 {
+                        let base = bucket * 7919 * 320;
+                        for line in 0..5u64 {
+                            if ch.enqueue_read(base + line * 64).is_some() {
+                                issued += 1;
+                            }
+                        }
+                    }
+                    let done = ch.run_until_idle(1_000_000);
+                    assert_eq!(done.len(), issued);
+                    ch.now()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+/// Subtree-packed layout (4 levels/row) vs degenerate 1-level packing:
+/// row-buffer hit rate shows up as total replay cycles.
+fn ablation_layout(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_layout");
+    for subtree_levels in [1u32, 4] {
+        g.bench_with_input(
+            BenchmarkId::new("path_cycles", subtree_levels),
+            &subtree_levels,
+            |b, &lv| {
+                let cfg = OramConfig { levels: 14, ..OramConfig::default() };
+                let mut oram = PathOram::new(cfg.clone(), 4096, 9);
+                oram.set_layout(TreeLayout::subtree_packed(&cfg, lv));
+                b.iter(|| {
+                    let (_, plan) = oram.access(BlockId(1), Op::Read, None);
+                    let mut ch_cfg = ChannelConfig::table2();
+                    ch_cfg.refresh_enabled = false;
+                    let mut ch = DramChannel::new(ch_cfg);
+                    for addr in &plan.read_lines {
+                        while ch.enqueue_read(*addr).is_none() {
+                            ch.tick(64);
+                            ch.drain_completions();
+                        }
+                    }
+                    ch.run_until_idle(1_000_000);
+                    ch.now()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+/// PLB size sweep: accesses per request drop as the PLB grows.
+fn ablation_plb(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_plb");
+    for blocks in [64usize, 256, 1024] {
+        g.bench_with_input(BenchmarkId::new("requests", blocks), &blocks, |b, &blocks| {
+            b.iter(|| {
+                let cfg = OramConfig { levels: 14, ..OramConfig::default() };
+                let mut f = FreecursiveOram::new(cfg, 8192, 31);
+                f.set_plb(Plb::new(blocks, 8));
+                let mut rng = StdRng::seed_from_u64(5);
+                for _ in 0..200 {
+                    let idx = rng.gen_range(0..8192u64);
+                    f.request(idx, Op::Read, None);
+                }
+                f.stats().accesses_per_request()
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Z sweep: total lines per access is 2(Z+1)L — and stash pressure falls
+/// as Z grows.
+fn ablation_z(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_z");
+    for z in [2usize, 4, 6] {
+        g.bench_with_input(BenchmarkId::new("accesses", z), &z, |b, &z| {
+            b.iter(|| {
+                let cfg = OramConfig { levels: 12, z, ..OramConfig::default() };
+                let blocks = cfg.block_capacity() / 4;
+                let mut oram = PathOram::new(cfg, blocks, 17);
+                let mut rng = StdRng::seed_from_u64(7);
+                for _ in 0..100 {
+                    let id = BlockId(rng.gen_range(0..blocks));
+                    oram.access(id, Op::Read, None);
+                    if oram.needs_background_evict() {
+                        oram.background_evict();
+                    }
+                }
+                oram.stash_peak()
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Drain-probability sweep (ties to Fig 13b): forced drains per 10k
+/// arrivals vs peak occupancy.
+fn ablation_drain(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_drain");
+    for p in [0.02f64, 0.1, 0.25] {
+        g.bench_with_input(BenchmarkId::new("walk", format!("{p}")), &p, |b, &p| {
+            b.iter(|| {
+                let mut q = TransferQueue::new(128, p);
+                let mut rng = StdRng::seed_from_u64(3);
+                for _ in 0..10_000 {
+                    match rng.gen_range(0..4) {
+                        0 => {
+                            q.arrive();
+                        }
+                        1 => {
+                            q.vacancy();
+                        }
+                        _ => {}
+                    }
+                    q.maybe_force_drain(&mut rng);
+                }
+                (q.peak(), q.forced_drains(), q.overflows())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, ablation_sched, ablation_layout, ablation_plb, ablation_z, ablation_drain);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Microbenchmarks for the cryptographic substrate: AES block rate, CTR
+//! cache-line encryption, CMAC tagging, and PMMAC bucket seal/open — the
+//! operations behind the 21-cycle crypto latency charged in simulation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use sdimm_crypto::aes::Aes128;
+use sdimm_crypto::ctr::CtrCipher;
+use sdimm_crypto::mac::Cmac;
+use sdimm_crypto::pmmac::BucketAuth;
+
+fn bench_aes(c: &mut Criterion) {
+    let cipher = Aes128::new(&[7u8; 16]);
+    let mut g = c.benchmark_group("aes128");
+    g.throughput(Throughput::Bytes(16));
+    g.bench_function("encrypt_block", |b| {
+        b.iter(|| cipher.encrypt_block(std::hint::black_box([42u8; 16])))
+    });
+    g.finish();
+}
+
+fn bench_ctr(c: &mut Criterion) {
+    let ctr = CtrCipher::new(Aes128::new(&[1u8; 16]), 99);
+    let mut g = c.benchmark_group("ctr");
+    g.throughput(Throughput::Bytes(64));
+    g.bench_function("cache_line_64B", |b| {
+        b.iter_batched(
+            || [0xA5u8; 64],
+            |mut line| ctr.apply(123, &mut line),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_cmac(c: &mut Criterion) {
+    let mac = Cmac::new(&[2u8; 16]);
+    let bucket_image = vec![0x5Au8; 328]; // serialized Z=4 bucket
+    let mut g = c.benchmark_group("cmac");
+    g.throughput(Throughput::Bytes(bucket_image.len() as u64));
+    g.bench_function("bucket_tag", |b| b.iter(|| mac.tag(std::hint::black_box(&bucket_image))));
+    g.finish();
+}
+
+fn bench_pmmac(c: &mut Criterion) {
+    let auth = BucketAuth::new(&[3u8; 16], &[4u8; 16]);
+    let plain = vec![0xC3u8; 328];
+    let sealed = auth.seal(77, 5, &plain);
+    let mut g = c.benchmark_group("pmmac");
+    g.bench_function("seal_bucket", |b| {
+        b.iter(|| auth.seal(std::hint::black_box(77), 5, &plain))
+    });
+    g.bench_function("open_bucket", |b| {
+        b.iter(|| auth.open(77, std::hint::black_box(&sealed)).expect("valid"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_aes, bench_ctr, bench_cmac, bench_pmmac);
+criterion_main!(benches);

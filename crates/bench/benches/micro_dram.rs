@@ -1,0 +1,53 @@
+//! Microbenchmarks for the DDR3 channel model: simulation rate for
+//! streaming and random request mixes (simulator performance, not DRAM
+//! performance).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dram_sim::channel::DramChannel;
+use dram_sim::config::ChannelConfig;
+
+fn quiet() -> ChannelConfig {
+    let mut cfg = ChannelConfig::table2();
+    cfg.refresh_enabled = false;
+    cfg
+}
+
+fn bench_stream(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dram_channel");
+    g.throughput(Throughput::Elements(256));
+    g.bench_function("stream_256_reads", |b| {
+        b.iter(|| {
+            let mut ch = DramChannel::new(quiet());
+            let mut issued = 0u64;
+            while issued < 256 {
+                if ch.enqueue_read(issued * 64).is_some() {
+                    issued += 1;
+                } else {
+                    ch.tick(64);
+                    ch.drain_completions();
+                }
+            }
+            ch.run_until_idle(1_000_000)
+        })
+    });
+    g.bench_function("random_256_reads", |b| {
+        b.iter(|| {
+            let mut ch = DramChannel::new(quiet());
+            let mut issued = 0u64;
+            while issued < 256 {
+                let addr = (issued * 1_000_003) % (1 << 30);
+                if ch.enqueue_read(addr / 64 * 64).is_some() {
+                    issued += 1;
+                } else {
+                    ch.tick(64);
+                    ch.drain_completions();
+                }
+            }
+            ch.run_until_idle(2_000_000)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_stream);
+criterion_main!(benches);

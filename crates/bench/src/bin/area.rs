@@ -1,0 +1,11 @@
+//! Experiment X3 (IV-B): secure-buffer area estimate (<1 mm^2 at 32 nm).
+
+use sdimm_analytic::area;
+
+fn main() {
+    println!("== X3: SDIMM secure-buffer area (32 nm) ==");
+    println!("{:<24} {:.2} mm^2", area::ORAM_CONTROLLER.name, area::ORAM_CONTROLLER.mm2);
+    let buf = area::sram_buffer(8.0);
+    println!("{:<24} {:.2} mm^2 (8 KB)", buf.name, buf.mm2);
+    println!("{:<24} {:.2} mm^2 (paper: < 1 mm^2)", "total", area::secure_buffer_mm2(8.0));
+}

@@ -1,0 +1,46 @@
+//! Fig 10: memory energy overhead normalized to a non-secure baseline,
+//! single channel (SPLIT-2) and double channel (INDEP-SPLIT), with the
+//! low-power rank-localization enabled for the SDIMM designs (paper:
+//! SPLIT-2 and INDEP-SPLIT improve energy ~2.4x / ~2.5x over
+//! Freecursive).
+
+use sdimm_bench::{harness, table, Scale};
+use sdimm_system::machine::{MachineKind, SystemConfig};
+use workloads::spec;
+
+fn main() {
+    let scale = Scale::from_env();
+
+    let single = [
+        MachineKind::NonSecure { channels: 1 },
+        MachineKind::Freecursive { channels: 1 },
+        MachineKind::Split { ways: 2, channels: 1 },
+    ];
+    let double = [
+        MachineKind::NonSecure { channels: 2 },
+        MachineKind::Freecursive { channels: 2 },
+        MachineKind::IndepSplit { groups: 2, ways: 2, channels: 2 },
+    ];
+
+    for (label, kinds, base) in [
+        ("single channel", &single[..], "NONSECURE-1ch"),
+        ("double channel", &double[..], "NONSECURE-2ch"),
+    ] {
+        let cells = harness::run_matrix(&spec::ALL, kinds, scale, |kind| SystemConfig {
+            low_power: !matches!(
+                kind,
+                MachineKind::NonSecure { .. } | MachineKind::Freecursive { .. }
+            ),
+            kind,
+            oram: scale.oram(7),
+            data_blocks: scale.data_blocks(),
+            seed: 1,
+        });
+        table::print_normalized(
+            &format!("Fig 10: memory energy overhead vs non-secure, {label}"),
+            &cells,
+            base,
+            |c| c.result.energy_per_record_nj(),
+        );
+    }
+}

@@ -1,0 +1,60 @@
+//! Fig 11: sensitivity of the best SDIMM designs to the number of ORAM
+//! layers (Lx sweep; paper: improvements grow with layer count, 33-35%
+//! single channel and 47-49% double channel).
+
+use oram::types::OramConfig;
+use sdimm_bench::{harness, table, Scale};
+use sdimm_system::machine::{MachineKind, SystemConfig};
+
+fn main() {
+    let scale = Scale::from_env();
+    // A subset of workloads keeps the sweep fast while preserving the mix.
+    let wl = ["mcf-like", "libquantum-like", "gromacs-like", "GemsFDTD-like"];
+    let levels_sweep: &[u32] = match scale {
+        Scale::Quick => &[14, 16, 18, 20],
+        Scale::Full => &[16, 20, 24, 28],
+    };
+
+    for levels in levels_sweep {
+        let oram = OramConfig { levels: *levels, cached_levels: 7, ..OramConfig::default() };
+        // Smaller trees hold fewer blocks: keep utilization safe across
+        // the sweep (distributed subtrees have half the capacity plus
+        // imbalance headroom).
+        let data_blocks = (1u64 << (levels - 4)).min(scale.data_blocks());
+        let single = [
+            MachineKind::Freecursive { channels: 1 },
+            MachineKind::Split { ways: 2, channels: 1 },
+        ];
+        let cells = harness::run_matrix(&wl, &single, scale, |kind| SystemConfig {
+            kind,
+            oram: oram.clone(),
+            data_blocks,
+            low_power: false,
+            seed: 1,
+        });
+        table::print_normalized(
+            &format!("Fig 11 (1ch): SPLIT-2 vs Freecursive, L{levels}"),
+            &cells,
+            "FREECURSIVE-1ch",
+            |c| c.result.cycles_per_record(),
+        );
+
+        let double = [
+            MachineKind::Freecursive { channels: 2 },
+            MachineKind::IndepSplit { groups: 2, ways: 2, channels: 2 },
+        ];
+        let cells = harness::run_matrix(&wl, &double, scale, |kind| SystemConfig {
+            kind,
+            oram: oram.clone(),
+            data_blocks,
+            low_power: false,
+            seed: 1,
+        });
+        table::print_normalized(
+            &format!("Fig 11 (2ch): INDEP-SPLIT vs Freecursive, L{levels}"),
+            &cells,
+            "FREECURSIVE-2ch",
+            |c| c.result.cycles_per_record(),
+        );
+    }
+}

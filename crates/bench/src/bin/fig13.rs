@@ -1,0 +1,41 @@
+//! Fig 13: transfer-queue overflow models.
+//!
+//! (a) Probability a saturated random-walk queue exceeds 16/64/256/1024
+//! blocks as steps grow; (b) steady-state M/M/1/K overflow probability
+//! vs forced-drain probability p for several queue sizes.
+
+use sdimm_analytic::{mm1k, random_walk};
+use sdimm_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    let (max_steps, points) = match scale {
+        Scale::Quick => (100_000u64, 10usize),
+        Scale::Full => (800_000, 16),
+    };
+
+    println!("== Fig 13a: random-walk overflow probability (no forced drain) ==");
+    println!("{:>10} {:>12} {:>12} {:>12} {:>12}", "steps", "cap=16", "cap=64", "cap=256", "cap=1024");
+    for (steps, probs) in random_walk::fig13a_series(max_steps, points) {
+        println!(
+            "{steps:>10} {:>12.4} {:>12.4} {:>12.4} {:>12.4}",
+            probs[0], probs[1], probs[2], probs[3]
+        );
+    }
+
+    println!("\n== Fig 13b: M/M/1/K overflow probability vs drain probability p ==");
+    let ps = [0.01, 0.05, 0.1, 0.25, 0.5];
+    let ks = [8u32, 16, 32, 64, 128];
+    print!("{:>8}", "p \\ K");
+    for k in ks {
+        print!("{k:>12}");
+    }
+    println!();
+    for (p, row) in mm1k::fig13b_series(&ps, &ks) {
+        print!("{p:>8.2}");
+        for (_, prob) in row {
+            print!("{prob:>12.2e}");
+        }
+        println!();
+    }
+}

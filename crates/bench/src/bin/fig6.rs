@@ -1,0 +1,39 @@
+//! Fig 6: slowdown of Freecursive ORAM vs a non-secure baseline, for
+//! single- and double-channel memory (paper: ≈8.8x and ≈5.2x with
+//! 7 levels of ORAM caching).
+
+use sdimm_bench::{harness, table, Scale};
+use sdimm_system::machine::{MachineKind, SystemConfig};
+use workloads::spec;
+
+fn main() {
+    let scale = Scale::from_env();
+    for channels in [1usize, 2] {
+        let kinds = [
+            MachineKind::NonSecure { channels },
+            MachineKind::Freecursive { channels },
+        ];
+        let cells = harness::run_matrix(&spec::ALL, &kinds, scale, |kind| SystemConfig {
+            kind,
+            oram: scale.oram(7),
+            data_blocks: scale.data_blocks(),
+            low_power: false,
+            seed: 1,
+        });
+        table::print_normalized(
+            &format!("Fig 6: Freecursive slowdown vs non-secure, {channels}-channel (7-level ORAM cache)"),
+            &cells,
+            &MachineKind::NonSecure { channels }.name(),
+            |c| c.result.cycles_per_record(),
+        );
+        let apr: Vec<f64> = cells
+            .iter()
+            .filter(|c| c.machine.starts_with("FREECURSIVE"))
+            .map(|c| c.result.accesses_per_request)
+            .collect();
+        println!(
+            "accessORAMs per LLC request (paper ~1.4): {:.2}",
+            harness::geomean(&apr)
+        );
+    }
+}

@@ -1,0 +1,31 @@
+//! Fig 8: normalized execution time of single-channel SDIMM designs
+//! (INDEP-2, SPLIT-2) vs Freecursive, with and without the 7-level
+//! on-chip ORAM cache (paper: ~32-35.7% reduction).
+
+use sdimm_bench::{harness, table, Scale};
+use sdimm_system::machine::{MachineKind, SystemConfig};
+use workloads::spec;
+
+fn main() {
+    let scale = Scale::from_env();
+    let kinds = [
+        MachineKind::Freecursive { channels: 1 },
+        MachineKind::Independent { sdimms: 2, channels: 1 },
+        MachineKind::Split { ways: 2, channels: 1 },
+    ];
+    for cached in [7u32, 0] {
+        let cells = harness::run_matrix(&spec::ALL, &kinds, scale, |kind| SystemConfig {
+            kind,
+            oram: scale.oram(cached),
+            data_blocks: scale.data_blocks(),
+            low_power: false,
+            seed: 1,
+        });
+        table::print_normalized(
+            &format!("Fig 8: single-channel SDIMM designs, {cached}-level ORAM cache"),
+            &cells,
+            "FREECURSIVE-1ch",
+            |c| c.result.cycles_per_record(),
+        );
+    }
+}

@@ -1,0 +1,32 @@
+//! Fig 9: normalized execution time of double-channel SDIMM designs
+//! (INDEP-4, SPLIT-4, INDEP-SPLIT) vs Freecursive (paper: 20.3%, 20.4%,
+//! and 47.4% improvement respectively).
+
+use sdimm_bench::{harness, table, Scale};
+use sdimm_system::machine::{MachineKind, SystemConfig};
+use workloads::spec;
+
+fn main() {
+    let scale = Scale::from_env();
+    let kinds = [
+        MachineKind::Freecursive { channels: 2 },
+        MachineKind::Independent { sdimms: 4, channels: 2 },
+        MachineKind::Split { ways: 4, channels: 2 },
+        MachineKind::IndepSplit { groups: 2, ways: 2, channels: 2 },
+    ];
+    for cached in [7u32, 0] {
+        let cells = harness::run_matrix(&spec::ALL, &kinds, scale, |kind| SystemConfig {
+            kind,
+            oram: scale.oram(cached),
+            data_blocks: scale.data_blocks(),
+            low_power: false,
+            seed: 1,
+        });
+        table::print_normalized(
+            &format!("Fig 9: double-channel SDIMM designs, {cached}-level ORAM cache"),
+            &cells,
+            "FREECURSIVE-2ch",
+            |c| c.result.cycles_per_record(),
+        );
+    }
+}

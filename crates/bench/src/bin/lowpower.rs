@@ -1,0 +1,33 @@
+//! Experiment X2 (IV-B): the low-power rank-localized layout costs <=4%
+//! performance while letting idle ranks power down.
+
+use sdimm_bench::{harness, table, Scale};
+use sdimm_system::machine::{MachineKind, SystemConfig};
+use workloads::spec;
+
+fn main() {
+    let scale = Scale::from_env();
+    let kind = MachineKind::Independent { sdimms: 2, channels: 1 };
+
+    for low_power in [false, true] {
+        let cells = harness::run_matrix(&spec::ALL[..5], &[kind], scale, |kind| SystemConfig {
+            kind,
+            oram: scale.oram(7),
+            data_blocks: scale.data_blocks(),
+            low_power,
+            seed: 1,
+        });
+        table::print_raw(
+            &format!("X2: INDEP-2, low_power={low_power}"),
+            &cells,
+            "bus cycles / record",
+            |c| c.result.cycles_per_record(),
+        );
+        table::print_raw(
+            &format!("X2: INDEP-2 energy, low_power={low_power}"),
+            &cells,
+            "nJ / record",
+            |c| c.result.energy_per_record_nj(),
+        );
+    }
+}

@@ -1,0 +1,24 @@
+//! Table I: the SDIMM command set and its DDR encodings.
+
+use sdimm::commands::{CommandClass, SdimmCommand};
+
+fn main() {
+    println!("== Table I: details of commands used by SDIMM ==");
+    println!("{:<16} {:<6} {:<9} cmd/addr bus", "Command", "Type", "RD vs WR");
+    for cmd in SdimmCommand::ALL {
+        let e = cmd.encode();
+        let class = match cmd.class() {
+            CommandClass::Short => "short",
+            CommandClass::Long => "long",
+        };
+        let rw = if e.is_write { "WR" } else { "RD" };
+        println!(
+            "{:<16} {:<6} {:<9} RAS({:#x}) CAS({:#x})",
+            cmd.to_string(),
+            class,
+            rw,
+            e.ras,
+            e.cas
+        );
+    }
+}

@@ -1,0 +1,96 @@
+//! Parallel experiment matrix runner.
+
+use crossbeam::thread;
+use parking_lot::Mutex;
+use sdimm_system::machine::{MachineKind, SystemConfig};
+use sdimm_system::runner::{run, RunResult};
+use workloads::spec;
+
+use crate::scale::Scale;
+
+/// One measured cell of an experiment matrix.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Workload name.
+    pub workload: String,
+    /// Machine/design-point name.
+    pub machine: String,
+    /// The full run result.
+    pub result: RunResult,
+}
+
+/// Runs every (workload × machine) combination in parallel and returns
+/// the cells in deterministic (workload-major) order.
+///
+/// `make_cfg` builds the system configuration for a machine kind —
+/// letting callers vary cached levels, low-power mode, etc.
+pub fn run_matrix(
+    workload_names: &[&str],
+    kinds: &[MachineKind],
+    scale: Scale,
+    make_cfg: impl Fn(MachineKind) -> SystemConfig + Sync,
+) -> Vec<Cell> {
+    let results: Mutex<Vec<(usize, Cell)>> = Mutex::new(Vec::new());
+    let warmup = scale.warmup();
+    let measure = scale.measure();
+    let trace_len = scale.trace_len();
+
+    thread::scope(|s| {
+        let mut job = 0usize;
+        for (wi, wname) in workload_names.iter().enumerate() {
+            for kind in kinds.iter().copied() {
+                let order = job;
+                job += 1;
+                let results = &results;
+                let make_cfg = &make_cfg;
+                s.spawn(move |_| {
+                    let trace = spec::generate(wname, trace_len, 42 + wi as u64);
+                    let cfg = make_cfg(kind);
+                    let result = run(&cfg, &trace, warmup, measure);
+                    results.lock().push((
+                        order,
+                        Cell {
+                            workload: wname.to_string(),
+                            machine: kind.name(),
+                            result,
+                        },
+                    ));
+                });
+            }
+        }
+    })
+    .expect("worker thread panicked");
+
+    let mut cells = results.into_inner();
+    cells.sort_by_key(|(order, _)| *order);
+    cells.into_iter().map(|(_, c)| c).collect()
+}
+
+/// Geometric mean of a slice (0.0 for empty input).
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.max(1e-300).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_of_constants() {
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_mixes() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_empty_is_zero() {
+        assert_eq!(geomean(&[]), 0.0);
+    }
+}

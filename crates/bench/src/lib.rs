@@ -1,0 +1,25 @@
+//! `sdimm-bench` — the harness regenerating every table and figure of the
+//! paper's evaluation (see DESIGN.md §3 for the experiment index).
+//!
+//! Each `fig*`/`table*` binary in `src/bin/` prints the rows/series of
+//! one paper artifact; Criterion micro-benchmarks live in `benches/`.
+//! Extension experiments (`stash`, `coresident`) and diagnostics
+//! (`probe`, `probe2`, `calibrate`) are binaries here too — see
+//! EXPERIMENTS.md for what each one demonstrates.
+//!
+//! Run scale is controlled by the `SDIMM_BENCH_SCALE` environment
+//! variable: `quick` (default — minutes, smaller trees/windows) or
+//! `full` (closer to the paper's 28-level trees and larger windows).
+//! Absolute numbers differ from the paper's Simics/USIMM testbed either
+//! way; the reproduction target is the *shape* (who wins, by roughly
+//! what factor), recorded in EXPERIMENTS.md.
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod harness;
+pub mod scale;
+pub mod table;
+
+pub use harness::{run_matrix, Cell};
+pub use scale::Scale;

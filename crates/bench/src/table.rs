@@ -1,0 +1,91 @@
+//! Plain-text table formatting for the figure binaries.
+
+use crate::harness::{geomean, Cell};
+
+/// Prints a figure as a table: rows = workloads, columns = machines,
+/// values = `metric(cell)` normalized to the `baseline` machine's value
+/// for the same workload (the papers' "normalized execution time" style),
+/// with a geometric-mean footer row.
+pub fn print_normalized(
+    title: &str,
+    cells: &[Cell],
+    baseline: &str,
+    metric: impl Fn(&Cell) -> f64,
+) {
+    let mut workloads: Vec<String> = Vec::new();
+    let mut machines: Vec<String> = Vec::new();
+    for c in cells {
+        if !workloads.contains(&c.workload) {
+            workloads.push(c.workload.clone());
+        }
+        if !machines.contains(&c.machine) {
+            machines.push(c.machine.clone());
+        }
+    }
+
+    println!("\n== {title} ==");
+    print!("{:<18}", "workload");
+    for m in &machines {
+        print!("{m:>16}");
+    }
+    println!();
+
+    let lookup = |w: &str, m: &str| -> Option<f64> {
+        cells
+            .iter()
+            .find(|c| c.workload == w && c.machine == m)
+            .map(&metric)
+    };
+
+    let mut per_machine: Vec<Vec<f64>> = vec![Vec::new(); machines.len()];
+    for w in &workloads {
+        let base = lookup(w, baseline).unwrap_or(1.0);
+        print!("{w:<18}");
+        for (mi, m) in machines.iter().enumerate() {
+            match lookup(w, m) {
+                Some(v) => {
+                    let norm = if base > 0.0 { v / base } else { 0.0 };
+                    per_machine[mi].push(norm);
+                    print!("{norm:>16.3}");
+                }
+                None => print!("{:>16}", "-"),
+            }
+        }
+        println!();
+    }
+    print!("{:<18}", "geomean");
+    for col in &per_machine {
+        print!("{:>16.3}", geomean(col));
+    }
+    println!();
+}
+
+/// Prints a raw (un-normalized) metric table.
+pub fn print_raw(title: &str, cells: &[Cell], unit: &str, metric: impl Fn(&Cell) -> f64) {
+    let mut workloads: Vec<String> = Vec::new();
+    let mut machines: Vec<String> = Vec::new();
+    for c in cells {
+        if !workloads.contains(&c.workload) {
+            workloads.push(c.workload.clone());
+        }
+        if !machines.contains(&c.machine) {
+            machines.push(c.machine.clone());
+        }
+    }
+    println!("\n== {title} ({unit}) ==");
+    print!("{:<18}", "workload");
+    for m in &machines {
+        print!("{m:>16}");
+    }
+    println!();
+    for w in &workloads {
+        print!("{w:<18}");
+        for m in &machines {
+            match cells.iter().find(|c| &c.workload == w && &c.machine == m) {
+                Some(c) => print!("{:>16.1}", metric(c)),
+                None => print!("{:>16}", "-"),
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,239 @@
+//! SDIMM command encoding (Table I): shoehorning buffer commands into the
+//! DDR interface.
+//!
+//! An LRDIMM has no spare pins, so the paper reserves the SDIMM's first
+//! memory blocks for commands: RAS/CAS to those reserved addresses are
+//! interpreted by the secure buffer as special commands rather than DRAM
+//! accesses. A CAS works at 8-byte-word granularity, so each reserved
+//! 64-byte block encodes eight distinct commands; **short** commands need
+//! only the command/address bus (reads of block 0), **long** commands use
+//! a write's data payload to carry an encrypted message.
+
+use std::fmt;
+
+/// The command set of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SdimmCommand {
+    /// Boot-time: ask the buffer for its public-key identity.
+    SendPkey,
+    /// Boot-time: deliver the encrypted session secret.
+    ReceiveSecret,
+    /// Launch an `accessORAM` (Independent protocol). Carries one block of
+    /// data — a dummy on reads, so reads and writes are indistinguishable.
+    Access,
+    /// Poll whether a response is ready (only the CPU can master the bus).
+    Probe,
+    /// Fetch the completed response block.
+    FetchResult,
+    /// Push one block into a buffer's local stash (real or dummy).
+    Append,
+    /// Split protocol: read path data into the local stash (no data to CPU).
+    FetchData,
+    /// Split protocol: fetch a stash slot by index.
+    FetchStash,
+    /// Split protocol: deliver the eviction list + reassembled counters.
+    ReceiveList,
+}
+
+/// Whether a command needs the data bus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommandClass {
+    /// Command/address bus only (encoded as a read of a reserved word).
+    Short,
+    /// Command plus a data-bus payload (encoded as a write).
+    Long,
+}
+
+/// A command as it appears on the DDR bus: read-vs-write plus the RAS/CAS
+/// pair addressing the reserved region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DdrEncoding {
+    /// True when encoded as a DDR write (all long commands).
+    pub is_write: bool,
+    /// Row address (always row 0: the reserved block region).
+    pub ras: u32,
+    /// Column address selecting the command word.
+    pub cas: u32,
+}
+
+impl SdimmCommand {
+    /// All commands, in Table I order.
+    pub const ALL: [SdimmCommand; 9] = [
+        SdimmCommand::SendPkey,
+        SdimmCommand::ReceiveSecret,
+        SdimmCommand::Access,
+        SdimmCommand::Probe,
+        SdimmCommand::FetchResult,
+        SdimmCommand::Append,
+        SdimmCommand::FetchData,
+        SdimmCommand::FetchStash,
+        SdimmCommand::ReceiveList,
+    ];
+
+    /// Short or long, per Table I.
+    pub fn class(self) -> CommandClass {
+        match self {
+            SdimmCommand::SendPkey
+            | SdimmCommand::Probe
+            | SdimmCommand::FetchResult
+            | SdimmCommand::FetchData => CommandClass::Short,
+            SdimmCommand::ReceiveSecret
+            | SdimmCommand::Access
+            | SdimmCommand::Append
+            | SdimmCommand::FetchStash
+            | SdimmCommand::ReceiveList => CommandClass::Long,
+        }
+    }
+
+    /// DDR-level encoding, per Table I. Long commands write to address 0
+    /// and are disambiguated by a tag in their (encrypted) payload; short
+    /// commands read distinct 8-byte words of reserved block 0.
+    pub fn encode(self) -> DdrEncoding {
+        match self {
+            SdimmCommand::SendPkey => DdrEncoding { is_write: false, ras: 0x0, cas: 0x0 },
+            SdimmCommand::ReceiveSecret => DdrEncoding { is_write: true, ras: 0x0, cas: 0x0 },
+            SdimmCommand::Access => DdrEncoding { is_write: true, ras: 0x0, cas: 0x0 },
+            SdimmCommand::Probe => DdrEncoding { is_write: false, ras: 0x0, cas: 0x8 },
+            SdimmCommand::FetchResult => DdrEncoding { is_write: false, ras: 0x0, cas: 0x10 },
+            SdimmCommand::Append => DdrEncoding { is_write: true, ras: 0x0, cas: 0x0 },
+            SdimmCommand::FetchData => DdrEncoding { is_write: false, ras: 0x0, cas: 0x18 },
+            SdimmCommand::FetchStash => DdrEncoding { is_write: true, ras: 0x0, cas: 0x18 },
+            SdimmCommand::ReceiveList => DdrEncoding { is_write: true, ras: 0x0, cas: 0x0 },
+        }
+    }
+
+    /// Payload tag identifying long commands that share the (WR, 0x0, 0x0)
+    /// encoding; carried as the first plaintext-framing byte of the
+    /// encrypted message.
+    pub fn payload_tag(self) -> u8 {
+        match self {
+            SdimmCommand::SendPkey => 0x01,
+            SdimmCommand::ReceiveSecret => 0x02,
+            SdimmCommand::Access => 0x03,
+            SdimmCommand::Probe => 0x04,
+            SdimmCommand::FetchResult => 0x05,
+            SdimmCommand::Append => 0x06,
+            SdimmCommand::FetchData => 0x07,
+            SdimmCommand::FetchStash => 0x08,
+            SdimmCommand::ReceiveList => 0x09,
+        }
+    }
+
+    /// Inverse of [`payload_tag`](Self::payload_tag).
+    pub fn from_payload_tag(tag: u8) -> Option<SdimmCommand> {
+        SdimmCommand::ALL.iter().copied().find(|c| c.payload_tag() == tag)
+    }
+
+    /// Decodes a short command from its DDR read address, if it targets
+    /// the reserved region.
+    pub fn decode_short(ras: u32, cas: u32) -> Option<SdimmCommand> {
+        SdimmCommand::ALL
+            .iter()
+            .copied()
+            .filter(|c| c.class() == CommandClass::Short)
+            .find(|c| {
+                let e = c.encode();
+                e.ras == ras && e.cas == cas
+            })
+    }
+}
+
+impl fmt::Display for SdimmCommand {
+    /// Formats as the SCREAMING_SNAKE_CASE mnemonics of Table I
+    /// (e.g. `FETCH_RESULT`).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let dbg = format!("{self:?}");
+        let mut out = String::new();
+        for (i, ch) in dbg.chars().enumerate() {
+            if ch.is_uppercase() && i > 0 {
+                out.push('_');
+            }
+            out.push(ch.to_ascii_uppercase());
+        }
+        f.write_str(&out)
+    }
+}
+
+/// Number of bytes of reserved address space needed for the command set
+/// (one 64-byte block holds all eight short-command words).
+pub const RESERVED_BYTES: u64 = 64;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_classes_match_paper() {
+        use CommandClass::*;
+        use SdimmCommand::*;
+        let expect = [
+            (SendPkey, Short),
+            (ReceiveSecret, Long),
+            (Access, Long),
+            (Probe, Short),
+            (FetchResult, Short),
+            (Append, Long),
+            (FetchData, Short),
+            (FetchStash, Long),
+            (ReceiveList, Long),
+        ];
+        for (cmd, class) in expect {
+            assert_eq!(cmd.class(), class, "{cmd:?}");
+        }
+    }
+
+    #[test]
+    fn short_commands_are_reads_long_are_writes() {
+        for c in SdimmCommand::ALL {
+            match c.class() {
+                CommandClass::Short => assert!(!c.encode().is_write, "{c:?}"),
+                CommandClass::Long => assert!(c.encode().is_write, "{c:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn all_commands_target_row_zero() {
+        for c in SdimmCommand::ALL {
+            assert_eq!(c.encode().ras, 0, "{c:?} must address the reserved block");
+        }
+    }
+
+    #[test]
+    fn short_command_cas_words_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for c in SdimmCommand::ALL {
+            if c.class() == CommandClass::Short {
+                assert!(seen.insert(c.encode().cas), "{c:?} CAS collides");
+            }
+        }
+    }
+
+    #[test]
+    fn short_decode_roundtrip() {
+        for c in SdimmCommand::ALL {
+            if c.class() == CommandClass::Short {
+                let e = c.encode();
+                assert_eq!(SdimmCommand::decode_short(e.ras, e.cas), Some(c));
+            }
+        }
+        assert_eq!(SdimmCommand::decode_short(0, 0x38), None);
+    }
+
+    #[test]
+    fn payload_tags_roundtrip_and_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for c in SdimmCommand::ALL {
+            assert!(seen.insert(c.payload_tag()));
+            assert_eq!(SdimmCommand::from_payload_tag(c.payload_tag()), Some(c));
+        }
+        assert_eq!(SdimmCommand::from_payload_tag(0xFF), None);
+    }
+
+    #[test]
+    fn display_matches_table1_mnemonics() {
+        assert_eq!(SdimmCommand::FetchResult.to_string(), "FETCH_RESULT");
+        assert_eq!(SdimmCommand::SendPkey.to_string(), "SEND_PKEY");
+        assert_eq!(SdimmCommand::Access.to_string(), "ACCESS");
+    }
+}

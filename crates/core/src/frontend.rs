@@ -1,0 +1,234 @@
+//! The CPU-side ORAM frontend shared by the SDIMM protocols.
+//!
+//! In the Independent and Split architectures the Freecursive *frontend*
+//! — request queue, PLB, and recursion walk — stays on the CPU, while the
+//! backend (`accessORAM` execution) moves to the SDIMMs (§III-C: "the CPU
+//! manages the frontend of ORAM while SDIMMs accelerate the backend").
+//!
+//! Given a data-block index, the frontend consults the PLB and returns
+//! the ordered list of `accessORAM` operations needed (position-map
+//! fetches deepest recursion level first, dirty-PLB write-backs, then the
+//! demand access), exactly mirroring `oram::freecursive` — but leaving
+//! the execution of each access to a pluggable distributed backend.
+
+use oram::freecursive::IdSpace;
+use oram::plb::{Plb, PlbKey, PlbStats};
+use oram::types::{BlockId, Op, OramConfig};
+
+/// One `accessORAM` the frontend wants executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlannedAccess {
+    /// Global block id within the unified tree's id space.
+    pub id: BlockId,
+    /// Operation to perform.
+    pub op: Op,
+    /// True for position-map traffic (fetch or write-back), false for the
+    /// demand access carrying CPU data.
+    pub is_posmap: bool,
+}
+
+/// Frontend statistics (mirrors `oram::freecursive::FreecursiveStats`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FrontendStats {
+    /// CPU requests planned.
+    pub requests: u64,
+    /// Total accesses planned.
+    pub accesses: u64,
+    /// Position-map fetch accesses.
+    pub posmap_accesses: u64,
+    /// Dirty-PLB write-back accesses.
+    pub plb_writebacks: u64,
+}
+
+impl FrontendStats {
+    /// Mean `accessORAM`s per CPU request (the paper's ≈1.4).
+    pub fn accesses_per_request(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.accesses as f64 / self.requests as f64
+        }
+    }
+}
+
+/// CPU-side frontend: PLB + recursion planner.
+#[derive(Debug)]
+pub struct Frontend {
+    plb: Plb,
+    ids: IdSpace,
+    entries_per_block: u64,
+    stats: FrontendStats,
+}
+
+impl Frontend {
+    /// Builds a frontend for `data_blocks` data blocks under `cfg`.
+    pub fn new(cfg: &OramConfig, data_blocks: u64) -> Self {
+        Frontend {
+            plb: Plb::table2(),
+            ids: IdSpace::new(data_blocks, cfg.posmap_entries_per_block as u64, cfg.max_recursion),
+            entries_per_block: cfg.posmap_entries_per_block as u64,
+            stats: FrontendStats::default(),
+        }
+    }
+
+    /// Replaces the PLB (for size-sweep ablations).
+    pub fn set_plb(&mut self, plb: Plb) {
+        self.plb = plb;
+    }
+
+    /// The unified-tree id space (total block count etc.).
+    pub fn id_space(&self) -> &IdSpace {
+        &self.ids
+    }
+
+    /// Frontend statistics so far.
+    pub fn stats(&self) -> FrontendStats {
+        self.stats
+    }
+
+    /// PLB statistics so far.
+    pub fn plb_stats(&self) -> PlbStats {
+        self.plb.stats()
+    }
+
+    fn nth_parent(&self, index: u64, n: usize) -> u64 {
+        let mut idx = index;
+        for _ in 0..n {
+            idx /= self.entries_per_block;
+        }
+        idx
+    }
+
+    /// Plans the `accessORAM` sequence for a CPU request on data block
+    /// `index`, in issue order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is not a valid data block.
+    pub fn plan_request(&mut self, index: u64, op: Op) -> Vec<PlannedAccess> {
+        assert!(index < self.ids.level_blocks(0), "data block {index} out of range");
+        self.stats.requests += 1;
+        let mut out = Vec::new();
+
+        let memory_levels = self.ids.memory_levels();
+        let mut walk_to = memory_levels;
+        let mut idx = index;
+        for level in 1..=memory_levels {
+            idx /= self.entries_per_block;
+            if self.plb.lookup(PlbKey { level: level as u8, index: idx }) {
+                walk_to = level - 1;
+                break;
+            }
+        }
+
+        let mut level = walk_to;
+        while level >= 1 {
+            let pm_index = self.nth_parent(index, level);
+            out.push(PlannedAccess {
+                id: self.ids.block_id(level, pm_index),
+                op: Op::Read,
+                is_posmap: true,
+            });
+            self.stats.posmap_accesses += 1;
+            // Fetching a posmap block remaps it, dirtying its parent
+            // (which is a PLB hit or on-chip by construction).
+            if level < memory_levels {
+                self.plb.mark_dirty(PlbKey {
+                    level: level as u8 + 1,
+                    index: pm_index / self.entries_per_block,
+                });
+            }
+            if let Some((victim, dirty)) =
+                self.plb.insert(PlbKey { level: level as u8, index: pm_index }, true)
+            {
+                if dirty {
+                    out.push(PlannedAccess {
+                        id: self.ids.block_id(victim.level as usize, victim.index),
+                        op: Op::Write,
+                        is_posmap: true,
+                    });
+                    self.stats.plb_writebacks += 1;
+                }
+            }
+            level -= 1;
+        }
+
+        if memory_levels >= 1 {
+            self.plb.mark_dirty(PlbKey { level: 1, index: self.nth_parent(index, 1) });
+        }
+
+        out.push(PlannedAccess { id: self.ids.block_id(0, index), op, is_posmap: false });
+        self.stats.accesses += out.len() as u64;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frontend() -> Frontend {
+        Frontend::new(&OramConfig { levels: 13, ..OramConfig::default() }, 8192)
+    }
+
+    #[test]
+    fn cold_request_walks_every_memory_level() {
+        let mut f = frontend();
+        let plan = f.plan_request(0, Op::Read);
+        // 8192 data blocks, fan-out 16 ⇒ levels of 512 and 32 posmap
+        // blocks (level of 2 is ≤... recursion stops when ≤1 block).
+        let memory_levels = f.id_space().memory_levels();
+        assert_eq!(plan.len(), memory_levels + 1);
+        assert!(plan.last().map(|p| !p.is_posmap).unwrap_or(false));
+        // Deepest level first.
+        assert!(plan[0].id > plan[1].id);
+    }
+
+    #[test]
+    fn warm_request_needs_single_access() {
+        let mut f = frontend();
+        f.plan_request(100, Op::Read);
+        let plan = f.plan_request(100, Op::Write);
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan[0].op, Op::Write);
+        assert!(!plan[0].is_posmap);
+    }
+
+    #[test]
+    fn neighbor_blocks_share_posmap_blocks() {
+        let mut f = frontend();
+        f.plan_request(0, Op::Read);
+        // Block 1 shares block 0's level-1 posmap block (fan-out 16).
+        let plan = f.plan_request(1, Op::Read);
+        assert_eq!(plan.len(), 1, "PLB hit expected for neighbor");
+    }
+
+    #[test]
+    fn accesses_per_request_in_expected_band() {
+        let mut f = frontend();
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let region = rng.gen_range(0..16u64) * 512;
+            f.plan_request(region + rng.gen_range(0..128), Op::Read);
+        }
+        let apr = f.stats().accesses_per_request();
+        assert!(apr > 1.0 && apr < 2.0, "≈1.4 expected, got {apr}");
+    }
+
+    #[test]
+    fn stats_add_up() {
+        let mut f = frontend();
+        let plan = f.plan_request(7, Op::Read);
+        let s = f.stats();
+        assert_eq!(s.requests, 1);
+        assert_eq!(s.accesses, plan.len() as u64);
+        assert_eq!(s.posmap_accesses + s.plb_writebacks + 1, s.accesses);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_index() {
+        frontend().plan_request(8192, Op::Read);
+    }
+}

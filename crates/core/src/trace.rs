@@ -1,0 +1,213 @@
+//! Request traces: the timing contract between the ORAM protocols and the
+//! cycle-level executor.
+//!
+//! Each `accessORAM` (or protocol step) produces a [`RequestTrace`]: an
+//! ordered list of [`Phase`]s, where every [`Activity`] inside one phase
+//! may proceed in parallel and the next phase starts only when the
+//! current one has fully completed. The system simulator executes traces
+//! against shared resources — the external DDR bus ([`dram_sim::bus::Bus`])
+//! and the per-SDIMM internal channels ([`dram_sim::channel::DramChannel`])
+//! — so contention between concurrent requests emerges naturally.
+
+use dram_sim::config::Cycle;
+
+/// Fixed AES pipeline latency charged per encryption/decryption step
+/// (Table II: 21 cycles).
+pub const CRYPTO_LATENCY: Cycle = 21;
+
+/// One unit of work inside a phase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Activity {
+    /// A short (command-only) transfer on the external bus to `sdimm`.
+    ExtShort {
+        /// Target SDIMM index.
+        sdimm: usize,
+    },
+    /// A command + data transfer on the external bus (direction does not
+    /// matter for occupancy).
+    ExtTransfer {
+        /// Target/source SDIMM index.
+        sdimm: usize,
+        /// Payload size in bytes.
+        bytes: u64,
+    },
+    /// DRAM work on an internal (or baseline main-memory) channel.
+    Dram {
+        /// Channel index (SDIMM index for internal channels).
+        channel: usize,
+        /// Line addresses to read.
+        reads: Vec<u64>,
+        /// Line addresses to write.
+        writes: Vec<u64>,
+    },
+    /// Fixed-latency cryptographic work (`units` pipelined AES ops charge
+    /// one pipeline fill plus a beat per unit).
+    Crypto {
+        /// Number of pipelined crypto operations.
+        units: u32,
+    },
+    /// Power hint: wake `rank` on `channel` now and allow the others to
+    /// drop into power-down (the low-power technique of §III-E).
+    WakeRank {
+        /// Channel whose rank set is managed.
+        channel: usize,
+        /// Rank the upcoming access will use.
+        rank: usize,
+    },
+}
+
+impl Activity {
+    /// Latency of a crypto activity: pipeline fill plus one cycle per
+    /// additional unit.
+    pub fn crypto_cycles(units: u32) -> Cycle {
+        CRYPTO_LATENCY + units.saturating_sub(1) as Cycle
+    }
+}
+
+/// A set of activities that proceed concurrently.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Phase {
+    /// The concurrent activities.
+    pub par: Vec<Activity>,
+}
+
+impl Phase {
+    /// A phase with a single activity.
+    pub fn one(a: Activity) -> Self {
+        Phase { par: vec![a] }
+    }
+}
+
+/// The full timing footprint of one protocol operation.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RequestTrace {
+    /// Ordered phases; phase *k+1* begins when phase *k* completes.
+    pub phases: Vec<Phase>,
+    /// Index of the phase whose completion delivers the requested data to
+    /// the CPU (later phases are cleanup the CPU need not wait on).
+    pub data_ready_phase: usize,
+    /// The ORAM backend this operation occupies, if any. A Path ORAM
+    /// backend serializes its `accessORAM`s (stash and path updates are
+    /// sequential), so the executor runs traces with the same backend id
+    /// one at a time — the mechanism behind "high parallelism" for the
+    /// Independent protocol (one backend per SDIMM) vs "low parallelism"
+    /// for Split (one logical backend). `None` (plain DRAM) never blocks.
+    pub backend: Option<usize>,
+    /// Index of the phase whose completion releases the backend: the
+    /// controller is free once the path write-back finishes, even though
+    /// CPU-side cleanup (APPEND fan-out, probes) may still be in flight.
+    pub backend_release_phase: usize,
+}
+
+impl RequestTrace {
+    /// A trace with every phase counting toward data readiness.
+    pub fn new(phases: Vec<Phase>) -> Self {
+        let data_ready_phase = phases.len().saturating_sub(1);
+        RequestTrace {
+            backend_release_phase: data_ready_phase,
+            phases,
+            data_ready_phase,
+            backend: None,
+        }
+    }
+
+    /// Total external-bus bytes across all phases.
+    pub fn external_bytes(&self) -> u64 {
+        self.iter_activities()
+            .map(|a| match a {
+                Activity::ExtTransfer { bytes, .. } => *bytes,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Total external-bus command slots (short + long).
+    pub fn external_commands(&self) -> u64 {
+        self.iter_activities()
+            .filter(|a| matches!(a, Activity::ExtShort { .. } | Activity::ExtTransfer { .. }))
+            .count() as u64
+    }
+
+    /// Total DRAM line operations (reads + writes) across all channels.
+    pub fn dram_lines(&self) -> u64 {
+        self.iter_activities()
+            .map(|a| match a {
+                Activity::Dram { reads, writes, .. } => (reads.len() + writes.len()) as u64,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Equivalent external traffic measured in 64-byte line transfers,
+    /// the unit of the paper's off-DIMM access-count comparison (§IV-B).
+    pub fn external_line_equivalents(&self) -> f64 {
+        self.external_bytes() as f64 / 64.0
+    }
+
+    /// Iterates over all activities of all phases.
+    pub fn iter_activities(&self) -> impl Iterator<Item = &Activity> {
+        self.phases.iter().flat_map(|p| p.par.iter())
+    }
+
+    /// Appends another trace's phases after this one's (sequential
+    /// composition); data readiness moves to the appended trace's marker,
+    /// and the appended trace's backend claim (if any) wins — for a
+    /// chained LLC request that is the demand access's backend.
+    pub fn chain(&mut self, other: RequestTrace) {
+        let offset = self.phases.len();
+        self.data_ready_phase = offset + other.data_ready_phase;
+        self.backend_release_phase = offset + other.backend_release_phase;
+        self.phases.extend(other.phases);
+        if other.backend.is_some() {
+            self.backend = other.backend;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RequestTrace {
+        RequestTrace::new(vec![
+            Phase::one(Activity::ExtTransfer { sdimm: 0, bytes: 64 }),
+            Phase {
+                par: vec![
+                    Activity::Dram { channel: 0, reads: vec![0, 64], writes: vec![0] },
+                    Activity::Crypto { units: 4 },
+                ],
+            },
+            Phase::one(Activity::ExtShort { sdimm: 0 }),
+        ])
+    }
+
+    #[test]
+    fn aggregates_count_correctly() {
+        let t = sample();
+        assert_eq!(t.external_bytes(), 64);
+        assert_eq!(t.external_commands(), 2);
+        assert_eq!(t.dram_lines(), 3);
+        assert!((t.external_line_equivalents() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn default_data_ready_is_last_phase() {
+        assert_eq!(sample().data_ready_phase, 2);
+    }
+
+    #[test]
+    fn chain_concatenates_and_moves_marker() {
+        let mut a = sample();
+        let b = RequestTrace::new(vec![Phase::one(Activity::Crypto { units: 1 })]);
+        a.chain(b);
+        assert_eq!(a.phases.len(), 4);
+        assert_eq!(a.data_ready_phase, 3);
+        assert_eq!(a.external_commands(), 2);
+    }
+
+    #[test]
+    fn crypto_latency_is_pipelined() {
+        assert_eq!(Activity::crypto_cycles(1), CRYPTO_LATENCY);
+        assert_eq!(Activity::crypto_cycles(10), CRYPTO_LATENCY + 9);
+    }
+}

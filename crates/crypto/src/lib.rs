@@ -1,0 +1,117 @@
+//! Cryptographic substrate for the SDIMM reproduction.
+//!
+//! The Secure DIMM paper (HPCA 2018) protects the CPU ↔ SDIMM link with
+//! counter-mode AES and protects memory integrity with PMMAC (per-block
+//! counters plus MACs, as in Freecursive ORAM). This crate implements all
+//! of those primitives from scratch:
+//!
+//! * [`aes`] — the AES-128 block cipher (FIPS-197), encryption direction
+//!   only, which is all CTR mode and CMAC require.
+//! * [`ctr`] — counter-mode keystream generation and in-place XOR
+//!   encryption, the paper's "frequently-changing pad that is a function of
+//!   the key and counter".
+//! * [`mac`] — AES-CMAC (RFC 4493) used as the MAC in PMMAC and on link
+//!   messages.
+//! * [`pmmac`] — PMMAC bucket authentication: per-bucket counters, split
+//!   counters for the Split protocol, MAC computation/verification.
+//! * [`session`] — the boot-time authentication handshake between the CPU
+//!   and a secure buffer (`SEND_PKEY` / `RECEIVE_SECRET`) and the resulting
+//!   bidirectional encrypted session with upstream/downstream counters.
+//!
+//! None of this is hardened production cryptography (no constant-time
+//! guarantees); it is a faithful functional model for architecture
+//! simulation, with real test vectors so the bit-level behavior is honest.
+//!
+//! # Example
+//!
+//! ```
+//! use sdimm_crypto::{aes::Aes128, ctr::CtrCipher};
+//!
+//! let key = [0u8; 16];
+//! let cipher = CtrCipher::new(Aes128::new(&key), 0xDEAD_BEEF);
+//! let plain = *b"secret cacheline";
+//! let mut buf = plain;
+//! cipher.apply(1, &mut buf); // encrypt with counter value 1
+//! assert_ne!(buf, plain);
+//! cipher.apply(1, &mut buf); // decrypt = re-apply same pad
+//! assert_eq!(buf, plain);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod aes;
+pub mod ctr;
+pub mod mac;
+pub mod pmmac;
+pub mod session;
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors produced by the cryptographic layer.
+///
+/// All verification failures are surfaced as explicit errors rather than
+/// panics so that a simulated active-attack experiment can observe them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CryptoError {
+    /// A MAC check failed: the data or counter was tampered with.
+    MacMismatch {
+        /// Human-readable description of what was being verified.
+        context: &'static str,
+    },
+    /// A session message arrived with an unexpected sequence counter.
+    CounterOutOfSync {
+        /// Counter value the receiver expected.
+        expected: u64,
+        /// Counter value carried by the message.
+        got: u64,
+    },
+    /// A handshake message was malformed or replayed.
+    Handshake(&'static str),
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::MacMismatch { context } => {
+                write!(f, "mac verification failed while checking {context}")
+            }
+            CryptoError::CounterOutOfSync { expected, got } => {
+                write!(f, "session counter out of sync: expected {expected}, got {got}")
+            }
+            CryptoError::Handshake(msg) => write!(f, "handshake failed: {msg}"),
+        }
+    }
+}
+
+impl StdError for CryptoError {}
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, CryptoError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_is_nonempty_and_lowercase() {
+        let errs = [
+            CryptoError::MacMismatch { context: "bucket 3" },
+            CryptoError::CounterOutOfSync { expected: 4, got: 9 },
+            CryptoError::Handshake("replayed nonce"),
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CryptoError>();
+    }
+}

@@ -1,0 +1,203 @@
+//! AES-CMAC (RFC 4493) message authentication.
+//!
+//! PMMAC in Freecursive ORAM attaches a MAC over (counter, data) to every
+//! bucket; the SDIMM link additionally MACs control messages. We implement
+//! CMAC because it reuses the AES forward direction we already have and has
+//! public test vectors (RFC 4493 §4) used in the unit tests below.
+
+use crate::aes::{Aes128, BLOCK_SIZE};
+
+/// Length in bytes of a full CMAC tag.
+pub const TAG_SIZE: usize = 16;
+
+/// A truncated 8-byte MAC tag as stored in bucket metadata.
+///
+/// Freecursive's PMMAC stores compact MACs with each bucket; 64 bits is the
+/// storage budget we model (the paper only says "its own MAC" per split).
+pub type ShortTag = [u8; 8];
+
+/// An AES-CMAC keyed instance.
+///
+/// # Example
+///
+/// ```
+/// use sdimm_crypto::mac::Cmac;
+///
+/// let mac = Cmac::new(&[0u8; 16]);
+/// let tag = mac.tag(b"bucket contents");
+/// assert!(mac.verify(b"bucket contents", &tag));
+/// assert!(!mac.verify(b"tampered bucket", &tag));
+/// ```
+#[derive(Clone)]
+pub struct Cmac {
+    cipher: Aes128,
+    k1: [u8; BLOCK_SIZE],
+    k2: [u8; BLOCK_SIZE],
+}
+
+impl std::fmt::Debug for Cmac {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cmac").field("key", &"<redacted>").finish()
+    }
+}
+
+/// Doubles a value in GF(2^128) as used by the CMAC subkey derivation.
+fn dbl(block: &[u8; BLOCK_SIZE]) -> [u8; BLOCK_SIZE] {
+    let mut out = [0u8; BLOCK_SIZE];
+    let mut carry = 0u8;
+    for i in (0..BLOCK_SIZE).rev() {
+        out[i] = (block[i] << 1) | carry;
+        carry = block[i] >> 7;
+    }
+    if carry != 0 {
+        out[BLOCK_SIZE - 1] ^= 0x87;
+    }
+    out
+}
+
+impl Cmac {
+    /// Creates a CMAC instance and derives the K1/K2 subkeys.
+    pub fn new(key: &[u8; 16]) -> Self {
+        let cipher = Aes128::new(key);
+        let l = cipher.encrypt_block([0u8; BLOCK_SIZE]);
+        let k1 = dbl(&l);
+        let k2 = dbl(&k1);
+        Cmac { cipher, k1, k2 }
+    }
+
+    /// Computes the full 16-byte CMAC tag of `msg`.
+    pub fn tag(&self, msg: &[u8]) -> [u8; TAG_SIZE] {
+        let n_blocks = msg.len().div_ceil(BLOCK_SIZE).max(1);
+        let complete_last = !msg.is_empty() && msg.len().is_multiple_of(BLOCK_SIZE);
+
+        let mut x = [0u8; BLOCK_SIZE];
+        for i in 0..n_blocks - 1 {
+            for (xb, mb) in x.iter_mut().zip(&msg[i * BLOCK_SIZE..(i + 1) * BLOCK_SIZE]) {
+                *xb ^= mb;
+            }
+            x = self.cipher.encrypt_block(x);
+        }
+
+        let mut last = [0u8; BLOCK_SIZE];
+        let tail = &msg[(n_blocks - 1) * BLOCK_SIZE..];
+        if complete_last {
+            last.copy_from_slice(tail);
+            for (lb, kb) in last.iter_mut().zip(self.k1.iter()) {
+                *lb ^= kb;
+            }
+        } else {
+            last[..tail.len()].copy_from_slice(tail);
+            last[tail.len()] = 0x80;
+            for (lb, kb) in last.iter_mut().zip(self.k2.iter()) {
+                *lb ^= kb;
+            }
+        }
+        for (xb, lb) in x.iter_mut().zip(last.iter()) {
+            *xb ^= lb;
+        }
+        self.cipher.encrypt_block(x)
+    }
+
+    /// Computes an 8-byte truncated tag for bucket metadata storage.
+    pub fn short_tag(&self, msg: &[u8]) -> ShortTag {
+        self.tag(msg)[..8].try_into().expect("tag is 16 bytes")
+    }
+
+    /// Verifies a full tag. Returns `true` when the tag matches.
+    pub fn verify(&self, msg: &[u8], tag: &[u8; TAG_SIZE]) -> bool {
+        &self.tag(msg) == tag
+    }
+
+    /// Verifies a truncated tag. Returns `true` when the tag matches.
+    pub fn verify_short(&self, msg: &[u8], tag: &ShortTag) -> bool {
+        &self.short_tag(msg) == tag
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    fn rfc4493_mac() -> Cmac {
+        let key: [u8; 16] = hex("2b7e151628aed2a6abf7158809cf4f3c").try_into().unwrap();
+        Cmac::new(&key)
+    }
+
+    #[test]
+    fn rfc4493_subkeys() {
+        let mac = rfc4493_mac();
+        assert_eq!(mac.k1.to_vec(), hex("fbeed618357133667c85e08f7236a8de"));
+        assert_eq!(mac.k2.to_vec(), hex("f7ddac306ae266ccf90bc11ee46d513b"));
+    }
+
+    #[test]
+    fn rfc4493_example_1_empty() {
+        let tag = rfc4493_mac().tag(b"");
+        assert_eq!(tag.to_vec(), hex("bb1d6929e95937287fa37d129b756746"));
+    }
+
+    #[test]
+    fn rfc4493_example_2_one_block() {
+        let msg = hex("6bc1bee22e409f96e93d7e117393172a");
+        let tag = rfc4493_mac().tag(&msg);
+        assert_eq!(tag.to_vec(), hex("070a16b46b4d4144f79bdd9dd04a287c"));
+    }
+
+    #[test]
+    fn rfc4493_example_3_40_bytes() {
+        let msg = hex(concat!(
+            "6bc1bee22e409f96e93d7e117393172a",
+            "ae2d8a571e03ac9c9eb76fac45af8e51",
+            "30c81c46a35ce411"
+        ));
+        let tag = rfc4493_mac().tag(&msg);
+        assert_eq!(tag.to_vec(), hex("dfa66747de9ae63030ca32611497c827"));
+    }
+
+    #[test]
+    fn rfc4493_example_4_64_bytes() {
+        let msg = hex(concat!(
+            "6bc1bee22e409f96e93d7e117393172a",
+            "ae2d8a571e03ac9c9eb76fac45af8e51",
+            "30c81c46a35ce411e5fbc1191a0a52ef",
+            "f69f2445df4f9b17ad2b417be66c3710"
+        ));
+        let tag = rfc4493_mac().tag(&msg);
+        assert_eq!(tag.to_vec(), hex("51f0bebf7e3b9d92fc49741779363cfe"));
+    }
+
+    #[test]
+    fn tamper_detection() {
+        let mac = Cmac::new(&[9u8; 16]);
+        let tag = mac.tag(b"authentic data");
+        assert!(mac.verify(b"authentic data", &tag));
+        assert!(!mac.verify(b"authentic dat5", &tag));
+        let mut bad = tag;
+        bad[0] ^= 1;
+        assert!(!mac.verify(b"authentic data", &bad));
+    }
+
+    #[test]
+    fn short_tag_is_prefix_and_verifies() {
+        let mac = Cmac::new(&[7u8; 16]);
+        let full = mac.tag(b"abc");
+        let short = mac.short_tag(b"abc");
+        assert_eq!(&full[..8], &short);
+        assert!(mac.verify_short(b"abc", &short));
+        assert!(!mac.verify_short(b"abd", &short));
+    }
+
+    #[test]
+    fn different_keys_different_tags() {
+        let t1 = Cmac::new(&[0u8; 16]).tag(b"x");
+        let t2 = Cmac::new(&[1u8; 16]).tag(b"x");
+        assert_ne!(t1, t2);
+    }
+}

@@ -1,0 +1,270 @@
+//! PMMAC — position-map MAC integrity for ORAM buckets.
+//!
+//! Freecursive ORAM's PMMAC scheme authenticates each bucket with a MAC
+//! over (bucket id, per-bucket write counter, bucket contents). Because the
+//! counter increments on every write-back, replaying stale ciphertext is
+//! detected. The Split protocol divides each bucket across `n` SDIMMs:
+//! every split piece carries `1/n` of the counter bits but its **own** MAC
+//! (the paper: "in n-way splitting, the MAC overhead is n times that in
+//! Freecursive ORAM").
+//!
+//! This module provides [`BucketAuth`], the seal/verify engine used by both
+//! the baseline Freecursive backend and the SDIMM secure buffers, plus the
+//! counter-splitting helpers used by the Split protocol.
+
+use crate::mac::{Cmac, ShortTag};
+use crate::{CryptoError, Result};
+
+/// Authenticated, encrypted bucket payload as stored in DRAM.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SealedBucket {
+    /// Counter-mode ciphertext of the serialized bucket.
+    pub ciphertext: Vec<u8>,
+    /// The per-bucket write counter at seal time (stored in plaintext, as
+    /// in PMMAC; its integrity is protected by the MAC).
+    pub counter: u64,
+    /// Truncated MAC over (bucket id, counter, ciphertext).
+    pub tag: ShortTag,
+}
+
+/// Seals and verifies buckets under one memory key.
+///
+/// # Example
+///
+/// ```
+/// use sdimm_crypto::pmmac::BucketAuth;
+///
+/// let auth = BucketAuth::new(&[0u8; 16], &[1u8; 16]);
+/// let sealed = auth.seal(42, 7, b"bucket bytes");
+/// let plain = auth.open(42, &sealed)?;
+/// assert_eq!(plain, b"bucket bytes");
+/// # Ok::<(), sdimm_crypto::CryptoError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct BucketAuth {
+    enc: crate::ctr::CtrCipher,
+    mac: Cmac,
+}
+
+impl BucketAuth {
+    /// Creates an authenticator from an encryption key and a MAC key.
+    pub fn new(enc_key: &[u8; 16], mac_key: &[u8; 16]) -> Self {
+        BucketAuth {
+            enc: crate::ctr::CtrCipher::new(crate::aes::Aes128::new(enc_key), 0x5344_494D_4D00_0001),
+            mac: Cmac::new(mac_key),
+        }
+    }
+
+    fn mac_input(bucket_id: u64, counter: u64, ciphertext: &[u8]) -> Vec<u8> {
+        let mut v = Vec::with_capacity(16 + ciphertext.len());
+        v.extend_from_slice(&bucket_id.to_le_bytes());
+        v.extend_from_slice(&counter.to_le_bytes());
+        v.extend_from_slice(ciphertext);
+        v
+    }
+
+    /// Derives the CTR counter for a bucket: PMMAC uses (bucket id, write
+    /// counter) as the encryption seed so pads are never reused.
+    fn ctr_seed(bucket_id: u64, counter: u64) -> u64 {
+        // bucket_id occupies the low 40 bits in any realistic tree
+        // (2^40 buckets = 64 TiB at Z=4); counter gets the rest. Mix both
+        // so even overflow cannot alias two (id, counter) pairs quickly.
+        bucket_id ^ counter.rotate_left(40)
+    }
+
+    /// Encrypts and MACs `plaintext` for `bucket_id` at write `counter`.
+    pub fn seal(&self, bucket_id: u64, counter: u64, plaintext: &[u8]) -> SealedBucket {
+        let ciphertext = self
+            .enc
+            .encrypt_to_vec(Self::ctr_seed(bucket_id, counter), plaintext);
+        let tag = self.mac.short_tag(&Self::mac_input(bucket_id, counter, &ciphertext));
+        SealedBucket { ciphertext, counter, tag }
+    }
+
+    /// Verifies and decrypts a sealed bucket.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::MacMismatch`] if the ciphertext, counter, or
+    /// bucket id was tampered with (including replay of an older sealed
+    /// version with its old counter *and* old tag — the counter is also
+    /// checked by the caller against the PMMAC counter tree; this layer
+    /// catches splices).
+    pub fn open(&self, bucket_id: u64, sealed: &SealedBucket) -> Result<Vec<u8>> {
+        let input = Self::mac_input(bucket_id, sealed.counter, &sealed.ciphertext);
+        if !self.mac.verify_short(&input, &sealed.tag) {
+            return Err(CryptoError::MacMismatch { context: "sealed bucket" });
+        }
+        let mut plain = sealed.ciphertext.clone();
+        self.enc.apply(Self::ctr_seed(bucket_id, sealed.counter), &mut plain);
+        Ok(plain)
+    }
+}
+
+/// Splits a 64-bit bucket counter into `n` equal bit-slices, one per SDIMM.
+///
+/// The Split protocol stores `1/n` of the counter bits in each SDIMM's
+/// piece of the bucket; the CPU reassembles them with
+/// [`reassemble_counter`]. Bits are sliced little-endian: piece 0 holds the
+/// least-significant `64/n` bits.
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two in `1..=8` (the divisors of 64 the
+/// protocol supports; the paper evaluates 2- and 4-way splits).
+pub fn split_counter(counter: u64, n: usize) -> Vec<u64> {
+    assert!(matches!(n, 1 | 2 | 4 | 8), "unsupported split arity {n}");
+    let bits = 64 / n;
+    let mask = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+    (0..n).map(|i| (counter >> (i * bits)) & mask).collect()
+}
+
+/// Reassembles a counter previously produced by [`split_counter`].
+///
+/// # Panics
+///
+/// Panics if `pieces.len()` is not a supported split arity.
+pub fn reassemble_counter(pieces: &[u64]) -> u64 {
+    let n = pieces.len();
+    assert!(matches!(n, 1 | 2 | 4 | 8), "unsupported split arity {n}");
+    let bits = 64 / n;
+    pieces
+        .iter()
+        .enumerate()
+        .fold(0u64, |acc, (i, &p)| acc | (p << (i * bits)))
+}
+
+/// Splits a byte buffer into `n` interleaved pieces (byte-striped).
+///
+/// Used by the Split layout: "each bucket has one half of each data block,
+/// one half of each tag, ...". Byte-striping (round-robin) means each piece
+/// sees a share of every block rather than whole blocks.
+pub fn split_bytes(data: &[u8], n: usize) -> Vec<Vec<u8>> {
+    assert!(n >= 1);
+    let mut pieces = vec![Vec::with_capacity(data.len() / n + 1); n];
+    for (i, &b) in data.iter().enumerate() {
+        pieces[i % n].push(b);
+    }
+    pieces
+}
+
+/// Inverse of [`split_bytes`].
+pub fn join_bytes(pieces: &[Vec<u8>]) -> Vec<u8> {
+    let total: usize = pieces.iter().map(Vec::len).sum();
+    let n = pieces.len();
+    let mut out = Vec::with_capacity(total);
+    for i in 0..total {
+        out.push(pieces[i % n][i / n]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn auth() -> BucketAuth {
+        BucketAuth::new(&[1u8; 16], &[2u8; 16])
+    }
+
+    #[test]
+    fn seal_open_roundtrip() {
+        let a = auth();
+        let sealed = a.seal(5, 10, b"hello bucket with a realistic 64B cache line payload....");
+        assert_eq!(a.open(5, &sealed).unwrap(), b"hello bucket with a realistic 64B cache line payload....");
+    }
+
+    #[test]
+    fn ciphertext_differs_from_plaintext() {
+        let sealed = auth().seal(1, 1, &[0u8; 64]);
+        assert_ne!(sealed.ciphertext, vec![0u8; 64]);
+    }
+
+    #[test]
+    fn counter_changes_ciphertext() {
+        let a = auth();
+        let s1 = a.seal(1, 1, &[7u8; 64]);
+        let s2 = a.seal(1, 2, &[7u8; 64]);
+        assert_ne!(s1.ciphertext, s2.ciphertext);
+        assert_ne!(s1.tag, s2.tag);
+    }
+
+    #[test]
+    fn bucket_id_changes_ciphertext() {
+        let a = auth();
+        assert_ne!(a.seal(1, 1, &[7u8; 64]).ciphertext, a.seal(2, 1, &[7u8; 64]).ciphertext);
+    }
+
+    #[test]
+    fn tamper_ciphertext_detected() {
+        let a = auth();
+        let mut sealed = a.seal(3, 4, &[9u8; 32]);
+        sealed.ciphertext[5] ^= 1;
+        assert!(matches!(a.open(3, &sealed), Err(CryptoError::MacMismatch { .. })));
+    }
+
+    #[test]
+    fn tamper_counter_detected() {
+        let a = auth();
+        let mut sealed = a.seal(3, 4, &[9u8; 32]);
+        sealed.counter += 1;
+        assert!(a.open(3, &sealed).is_err());
+    }
+
+    #[test]
+    fn splice_to_other_bucket_detected() {
+        // A sealed bucket moved to a different tree position must not verify.
+        let a = auth();
+        let sealed = a.seal(3, 4, &[9u8; 32]);
+        assert!(a.open(4, &sealed).is_err());
+    }
+
+    #[test]
+    fn split_counter_roundtrip_all_arities() {
+        for n in [1usize, 2, 4, 8] {
+            for c in [0u64, 1, u64::MAX, 0xDEAD_BEEF_CAFE_F00D] {
+                let pieces = split_counter(c, n);
+                assert_eq!(pieces.len(), n);
+                assert_eq!(reassemble_counter(&pieces), c, "arity {n} counter {c:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn split_counter_pieces_fit_bit_budget() {
+        let pieces = split_counter(u64::MAX, 4);
+        for p in pieces {
+            assert!(p <= 0xFFFF, "4-way piece exceeds 16 bits: {p:#x}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported split arity")]
+    fn split_counter_rejects_arity_3() {
+        split_counter(1, 3);
+    }
+
+    #[test]
+    fn split_bytes_roundtrip() {
+        let data: Vec<u8> = (0..=255).collect();
+        for n in [1usize, 2, 3, 4, 7] {
+            let pieces = split_bytes(&data, n);
+            assert_eq!(join_bytes(&pieces), data, "arity {n}");
+        }
+    }
+
+    #[test]
+    fn split_bytes_balanced() {
+        let pieces = split_bytes(&[0u8; 64], 2);
+        assert_eq!(pieces[0].len(), 32);
+        assert_eq!(pieces[1].len(), 32);
+    }
+
+    #[test]
+    fn split_bytes_uneven_length() {
+        let pieces = split_bytes(&[1, 2, 3, 4, 5], 2);
+        assert_eq!(pieces[0], vec![1, 3, 5]);
+        assert_eq!(pieces[1], vec![2, 4]);
+        assert_eq!(join_bytes(&pieces), vec![1, 2, 3, 4, 5]);
+    }
+}

@@ -1,0 +1,197 @@
+//! Per-bank state machine and timing bookkeeping.
+
+use crate::config::{Cycle, Timing};
+
+/// Row-buffer state of one bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowState {
+    /// All rows closed (bank precharged).
+    Idle,
+    /// A row is open in the row buffer.
+    Open(usize),
+}
+
+/// Outcome classification of an access for row-buffer statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowOutcome {
+    /// The needed row was already open: a single CAS suffices.
+    Hit,
+    /// The bank was idle: ACT then CAS.
+    Miss,
+    /// A different row was open: PRE, ACT, then CAS.
+    Conflict,
+}
+
+/// One DRAM bank: row buffer plus the earliest cycle each command type may
+/// issue, updated as commands are accepted.
+#[derive(Debug, Clone)]
+pub struct Bank {
+    state: RowState,
+    /// Earliest cycle an ACT may issue (tRC from previous ACT, tRP from PRE).
+    next_act: Cycle,
+    /// Earliest cycle a PRE may issue (tRAS from ACT, tRTP/tWR from CAS).
+    next_pre: Cycle,
+    /// Earliest cycle a RD/WR may issue (tRCD from ACT).
+    next_cas: Cycle,
+}
+
+impl Default for Bank {
+    fn default() -> Self {
+        Bank::new()
+    }
+}
+
+impl Bank {
+    /// A precharged, idle bank with no pending constraints.
+    pub fn new() -> Self {
+        Bank { state: RowState::Idle, next_act: 0, next_pre: 0, next_cas: 0 }
+    }
+
+    /// Current row-buffer state.
+    pub fn state(&self) -> RowState {
+        self.state
+    }
+
+    /// Classifies what an access to `row` would experience right now.
+    pub fn classify(&self, row: usize) -> RowOutcome {
+        match self.state {
+            RowState::Idle => RowOutcome::Miss,
+            RowState::Open(r) if r == row => RowOutcome::Hit,
+            RowState::Open(_) => RowOutcome::Conflict,
+        }
+    }
+
+    /// Earliest cycle an ACT to this bank may issue.
+    pub fn next_act(&self) -> Cycle {
+        self.next_act
+    }
+
+    /// Earliest cycle a PRE to this bank may issue.
+    pub fn next_pre(&self) -> Cycle {
+        self.next_pre
+    }
+
+    /// Earliest cycle a RD/WR to the open row may issue.
+    pub fn next_cas(&self) -> Cycle {
+        self.next_cas
+    }
+
+    /// Records an ACT issued at `now` opening `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the bank is not idle or the ACT violates timing.
+    pub fn activate(&mut self, now: Cycle, row: usize, t: &Timing) {
+        debug_assert_eq!(self.state, RowState::Idle, "ACT to non-idle bank");
+        debug_assert!(now >= self.next_act, "ACT at {now} before allowed {}", self.next_act);
+        self.state = RowState::Open(row);
+        self.next_cas = now + t.t_rcd;
+        self.next_pre = now + t.t_ras;
+        self.next_act = now + t.t_rc;
+    }
+
+    /// Records a PRE issued at `now`.
+    pub fn precharge(&mut self, now: Cycle, t: &Timing) {
+        debug_assert!(matches!(self.state, RowState::Open(_)), "PRE to idle bank");
+        debug_assert!(now >= self.next_pre, "PRE at {now} before allowed {}", self.next_pre);
+        self.state = RowState::Idle;
+        self.next_act = self.next_act.max(now + t.t_rp);
+    }
+
+    /// Records a column read issued at `now`.
+    pub fn read(&mut self, now: Cycle, t: &Timing) {
+        debug_assert!(matches!(self.state, RowState::Open(_)));
+        debug_assert!(now >= self.next_cas);
+        self.next_pre = self.next_pre.max(now + t.t_rtp);
+    }
+
+    /// Records a column write issued at `now`.
+    pub fn write(&mut self, now: Cycle, t: &Timing) {
+        debug_assert!(matches!(self.state, RowState::Open(_)));
+        debug_assert!(now >= self.next_cas);
+        self.next_pre = self.next_pre.max(now + t.cwl + t.t_burst + t.t_wr);
+    }
+
+    /// Forces the bank closed with precharge timing, used when a refresh
+    /// implicitly precharges all banks.
+    pub fn force_precharge_for_refresh(&mut self, ready_again: Cycle) {
+        self.state = RowState::Idle;
+        self.next_act = self.next_act.max(ready_again);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> Timing {
+        Timing::ddr3_1600()
+    }
+
+    #[test]
+    fn fresh_bank_is_idle_and_unconstrained() {
+        let b = Bank::new();
+        assert_eq!(b.state(), RowState::Idle);
+        assert_eq!(b.next_act(), 0);
+    }
+
+    #[test]
+    fn classify_hit_miss_conflict() {
+        let mut b = Bank::new();
+        assert_eq!(b.classify(5), RowOutcome::Miss);
+        b.activate(0, 5, &t());
+        assert_eq!(b.classify(5), RowOutcome::Hit);
+        assert_eq!(b.classify(6), RowOutcome::Conflict);
+    }
+
+    #[test]
+    fn activate_sets_rcd_ras_rc_windows() {
+        let mut b = Bank::new();
+        let tm = t();
+        b.activate(100, 1, &tm);
+        assert_eq!(b.next_cas(), 100 + tm.t_rcd);
+        assert_eq!(b.next_pre(), 100 + tm.t_ras);
+        assert_eq!(b.next_act(), 100 + tm.t_rc);
+    }
+
+    #[test]
+    fn read_extends_precharge_by_rtp() {
+        let mut b = Bank::new();
+        let tm = t();
+        b.activate(0, 1, &tm);
+        // A late read pushes tRTP beyond tRAS.
+        b.read(40, &tm);
+        assert_eq!(b.next_pre(), 40 + tm.t_rtp);
+        assert!(b.next_pre() > tm.t_ras);
+    }
+
+    #[test]
+    fn write_recovery_delays_precharge() {
+        let mut b = Bank::new();
+        let tm = t();
+        b.activate(0, 1, &tm);
+        b.write(tm.t_rcd, &tm);
+        assert_eq!(b.next_pre(), tm.t_rcd + tm.cwl + tm.t_burst + tm.t_wr);
+    }
+
+    #[test]
+    fn precharge_closes_and_gates_next_act() {
+        let mut b = Bank::new();
+        let tm = t();
+        b.activate(0, 1, &tm);
+        b.precharge(tm.t_ras, &tm);
+        assert_eq!(b.state(), RowState::Idle);
+        // tRC (39) binds over tRAS+tRP (28+11=39): equal here.
+        assert_eq!(b.next_act(), (tm.t_ras + tm.t_rp).max(tm.t_rc));
+    }
+
+    #[test]
+    fn refresh_force_precharge_overrides_state() {
+        let mut b = Bank::new();
+        let tm = t();
+        b.activate(0, 3, &tm);
+        b.force_precharge_for_refresh(500);
+        assert_eq!(b.state(), RowState::Idle);
+        assert!(b.next_act() >= 500);
+    }
+}

@@ -1,0 +1,153 @@
+//! Occupancy model for the shared off-DIMM DDR bus when it carries SDIMM
+//! buffer commands instead of raw DRAM commands.
+//!
+//! When a channel is populated with SDIMMs, the CPU-side controller talks
+//! to the secure buffers: short commands (PROBE, FETCH_RESULT, ...) occupy
+//! only the command/address bus, long commands additionally move a cache
+//! line on the data bus. The DRAM timing behind the buffer is simulated by
+//! each SDIMM's internal [`crate::channel::DramChannel`]; this bus only
+//! arbitrates the shared external link.
+
+use crate::config::Cycle;
+
+/// Bytes the 64-bit DDR data bus moves per memory-clock cycle (two beats
+/// of 8 bytes at double data rate).
+pub const DATA_BYTES_PER_CYCLE: u64 = 16;
+
+/// A shared command + data bus with FIFO arbitration.
+#[derive(Debug, Clone)]
+pub struct Bus {
+    cmd_free_at: Cycle,
+    data_free_at: Cycle,
+    /// Total cycles of data-bus occupancy (utilization statistics).
+    data_busy_cycles: Cycle,
+    /// Total command slots consumed.
+    commands: u64,
+    /// Total data bytes moved (I/O energy accounting).
+    data_bytes: u64,
+}
+
+/// Time window reserved on the bus for one transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BusSlot {
+    /// Cycle the command issues.
+    pub cmd_at: Cycle,
+    /// Cycle the data transfer (if any) completes; equals `cmd_at` for
+    /// command-only transfers.
+    pub done_at: Cycle,
+}
+
+impl Default for Bus {
+    fn default() -> Self {
+        Bus::new()
+    }
+}
+
+impl Bus {
+    /// An idle bus at cycle 0.
+    pub fn new() -> Self {
+        Bus { cmd_free_at: 0, data_free_at: 0, data_busy_cycles: 0, commands: 0, data_bytes: 0 }
+    }
+
+    /// Reserves a command slot and `data_bytes` of data-bus time, no
+    /// earlier than `now`. Returns the reserved window.
+    pub fn reserve(&mut self, now: Cycle, data_bytes: u64) -> BusSlot {
+        let cmd_at = now.max(self.cmd_free_at);
+        self.cmd_free_at = cmd_at + 1;
+        self.commands += 1;
+        if data_bytes == 0 {
+            return BusSlot { cmd_at, done_at: cmd_at + 1 };
+        }
+        let dur = data_bytes.div_ceil(DATA_BYTES_PER_CYCLE).max(1);
+        let start = (cmd_at + 1).max(self.data_free_at);
+        let done_at = start + dur;
+        self.data_free_at = done_at;
+        self.data_busy_cycles += dur;
+        self.data_bytes += data_bytes;
+        BusSlot { cmd_at, done_at }
+    }
+
+    /// Earliest cycle the data bus is free.
+    pub fn data_free_at(&self) -> Cycle {
+        self.data_free_at
+    }
+
+    /// Cycles of data-bus occupancy so far.
+    pub fn data_busy_cycles(&self) -> Cycle {
+        self.data_busy_cycles
+    }
+
+    /// Command slots consumed so far.
+    pub fn commands(&self) -> u64 {
+        self.commands
+    }
+
+    /// Total data bytes moved.
+    pub fn data_bytes(&self) -> u64 {
+        self.data_bytes
+    }
+
+    /// Data-bus utilization over `elapsed` cycles.
+    pub fn utilization(&self, elapsed: Cycle) -> f64 {
+        if elapsed == 0 {
+            0.0
+        } else {
+            self.data_busy_cycles as f64 / elapsed as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn command_only_transfer_takes_one_cycle() {
+        let mut bus = Bus::new();
+        let s = bus.reserve(10, 0);
+        assert_eq!(s.cmd_at, 10);
+        assert_eq!(s.done_at, 11);
+        assert_eq!(bus.data_busy_cycles(), 0);
+    }
+
+    #[test]
+    fn cache_line_takes_four_data_cycles() {
+        let mut bus = Bus::new();
+        let s = bus.reserve(0, 64);
+        assert_eq!(s.done_at - (s.cmd_at + 1), 4);
+        assert_eq!(bus.data_bytes(), 64);
+    }
+
+    #[test]
+    fn back_to_back_transfers_serialize_on_data_bus() {
+        let mut bus = Bus::new();
+        let a = bus.reserve(0, 64);
+        let b = bus.reserve(0, 64);
+        assert!(b.done_at >= a.done_at + 4);
+    }
+
+    #[test]
+    fn short_commands_overlap_data() {
+        let mut bus = Bus::new();
+        let long = bus.reserve(0, 64);
+        let probe = bus.reserve(2, 0);
+        assert!(probe.done_at < long.done_at, "PROBE may slip under a data burst");
+    }
+
+    #[test]
+    fn command_bus_is_one_per_cycle() {
+        let mut bus = Bus::new();
+        let a = bus.reserve(5, 0);
+        let b = bus.reserve(5, 0);
+        assert_eq!(a.cmd_at, 5);
+        assert_eq!(b.cmd_at, 6);
+    }
+
+    #[test]
+    fn utilization_reflects_busy_fraction() {
+        let mut bus = Bus::new();
+        bus.reserve(0, 64);
+        bus.reserve(0, 64);
+        assert!((bus.utilization(16) - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,950 @@
+//! One DDR3 channel: request queues, FR-FCFS scheduler, banks/ranks with
+//! full timing constraints, refresh, power-down, and energy accounting.
+//!
+//! The model issues at most one DRAM command per memory-clock cycle (the
+//! command-bus constraint) and tracks the shared data bus including
+//! rank-to-rank switch (tRTRS) and read/write turnaround penalties. It is
+//! a faithful small-scale reimplementation of the USIMM scheduling model
+//! the paper uses, tuned so cycle loops can skip ahead when no command
+//! could possibly issue.
+
+use std::collections::{BinaryHeap, VecDeque};
+
+use crate::address::{AddressMapper, Coords, Interleave};
+use crate::bank::{RowOutcome, RowState};
+use crate::config::{ChannelConfig, Cycle, PowerPolicy, SchedulerPolicy};
+use crate::power::{compute_energy, EnergyBreakdown, EnergyCounters};
+use crate::rank::{PowerState, Rank};
+use crate::request::{Completion, Request, RequestId, RequestKind};
+use crate::stats::ChannelStats;
+
+/// Bus turnaround penalty (cycles) when the data bus switches direction.
+const BUS_TURNAROUND: Cycle = 2;
+
+/// Age (cycles) past which the oldest request is scheduled before row hits,
+/// preventing FR-FCFS starvation.
+const STARVATION_LIMIT: Cycle = 2000;
+
+#[derive(Debug, Clone, Copy)]
+struct QEntry {
+    req: Request,
+    coords: Coords,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Pending {
+    finish: Cycle,
+    id: RequestId,
+    kind: RequestKind,
+    arrival: Cycle,
+}
+
+impl Ord for Pending {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Min-heap on finish time.
+        other.finish.cmp(&self.finish).then(other.id.cmp(&self.id))
+    }
+}
+impl PartialOrd for Pending {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Decision {
+    Cas { write: bool, idx: usize },
+    Act { write: bool, idx: usize },
+    Pre { write: bool, idx: usize },
+    /// Precharge issued for maintenance: ahead of a refresh, or to close
+    /// an idle rank's banks so it can enter power-down.
+    MaintenancePre { rank: usize, bank: usize },
+    Refresh { rank: usize },
+    Idle { retry_at: Cycle },
+}
+
+/// A cycle-level DDR3 channel with its memory controller.
+///
+/// # Example
+///
+/// ```
+/// use dram_sim::channel::DramChannel;
+/// use dram_sim::config::ChannelConfig;
+///
+/// let mut ch = DramChannel::new(ChannelConfig::table2());
+/// let id = ch.enqueue_read(0x1000).expect("queue has space");
+/// let done = ch.run_until_idle(100_000);
+/// assert!(done.iter().any(|c| c.id == id));
+/// ```
+#[derive(Debug)]
+pub struct DramChannel {
+    cfg: ChannelConfig,
+    mapper: AddressMapper,
+    now: Cycle,
+    next_id: u64,
+    read_q: VecDeque<QEntry>,
+    write_q: VecDeque<QEntry>,
+    draining: bool,
+    ranks: Vec<Rank>,
+    /// Per-rank earliest read CAS (tWTR after a write burst).
+    rank_next_read: Vec<Cycle>,
+    /// Per-rank "refresh urgently pending" flag.
+    refresh_pending: Vec<bool>,
+    /// Ranks pinned down by the low-power protocol (no auto-wake by policy).
+    forced_down: Vec<bool>,
+    bus_free_at: Cycle,
+    bus_last_rank: Option<usize>,
+    bus_last_write: Option<bool>,
+    /// Earliest cycle at which scheduling could possibly make progress.
+    next_wake: Cycle,
+    /// Per-rank background-energy accounting mark.
+    bg_mark: Vec<Cycle>,
+    pending: BinaryHeap<Pending>,
+    completions: VecDeque<Completion>,
+    stats: ChannelStats,
+    energy: EnergyCounters,
+}
+
+impl DramChannel {
+    /// Creates an idle channel from `cfg` with the default interleaving.
+    pub fn new(cfg: ChannelConfig) -> Self {
+        Self::with_interleave(cfg, Interleave::RowRankBankCol)
+    }
+
+    /// Creates a channel with an explicit address-interleaving scheme.
+    pub fn with_interleave(cfg: ChannelConfig, scheme: Interleave) -> Self {
+        let ranks = (0..cfg.topology.ranks)
+            .map(|_| Rank::new(cfg.topology.banks, &cfg.timing))
+            .collect::<Vec<_>>();
+        let n = ranks.len();
+        DramChannel {
+            mapper: AddressMapper::new(cfg.topology.clone(), scheme),
+            ranks,
+            rank_next_read: vec![0; n],
+            refresh_pending: vec![false; n],
+            forced_down: vec![false; n],
+            bg_mark: vec![0; n],
+            cfg,
+            now: 0,
+            next_id: 0,
+            read_q: VecDeque::new(),
+            write_q: VecDeque::new(),
+            draining: false,
+            bus_free_at: 0,
+            bus_last_rank: None,
+            bus_last_write: None,
+            next_wake: 0,
+            pending: BinaryHeap::new(),
+            completions: VecDeque::new(),
+            stats: ChannelStats::default(),
+            energy: EnergyCounters::default(),
+        }
+    }
+
+    /// Current simulated cycle.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// The channel configuration.
+    pub fn config(&self) -> &ChannelConfig {
+        &self.cfg
+    }
+
+    /// Read-queue occupancy.
+    pub fn read_queue_len(&self) -> usize {
+        self.read_q.len()
+    }
+
+    /// Write-queue occupancy.
+    pub fn write_queue_len(&self) -> usize {
+        self.write_q.len()
+    }
+
+    /// True when no requests are queued or in flight.
+    pub fn is_idle(&self) -> bool {
+        self.read_q.is_empty() && self.write_q.is_empty() && self.pending.is_empty()
+    }
+
+    /// Performance statistics so far.
+    pub fn stats(&self) -> &ChannelStats {
+        &self.stats
+    }
+
+    /// Raw energy counters so far (background residency up to `now`).
+    pub fn energy_counters(&mut self) -> EnergyCounters {
+        for r in 0..self.ranks.len() {
+            self.account_bg(r);
+        }
+        self.energy.clone()
+    }
+
+    /// Computes the energy breakdown for the run so far.
+    pub fn energy(&mut self) -> EnergyBreakdown {
+        let counters = self.energy_counters();
+        compute_energy(&counters, &self.cfg.power, &self.cfg.timing, self.cfg.location)
+    }
+
+    /// Enqueues a cache-line read. Returns `None` when the read queue is
+    /// full (the caller must retry after ticking).
+    pub fn enqueue_read(&mut self, addr: u64) -> Option<RequestId> {
+        if self.read_q.len() >= self.cfg.read_queue_capacity {
+            return None;
+        }
+        let id = RequestId(self.next_id);
+        // Write-to-read forwarding: a queued write to the same line
+        // services the read without touching DRAM.
+        if self.write_q.iter().any(|e| e.req.addr == addr) {
+            self.next_id += 1;
+            self.pending.push(Pending {
+                finish: self.now + 1,
+                id,
+                kind: RequestKind::Read,
+                arrival: self.now,
+            });
+            return Some(id);
+        }
+        self.next_id += 1;
+        let req = Request { id, addr, kind: RequestKind::Read, arrival: self.now };
+        let coords = self.mapper.decode(addr);
+        self.read_q.push_back(QEntry { req, coords });
+        self.next_wake = self.now;
+        Some(id)
+    }
+
+    /// Enqueues a cache-line write. Returns `None` when the write queue is
+    /// full.
+    pub fn enqueue_write(&mut self, addr: u64) -> Option<RequestId> {
+        if self.write_q.len() >= self.cfg.write_drain.capacity {
+            return None;
+        }
+        let id = RequestId(self.next_id);
+        self.next_id += 1;
+        let req = Request { id, addr, kind: RequestKind::Write, arrival: self.now };
+        let coords = self.mapper.decode(addr);
+        self.write_q.push_back(QEntry { req, coords });
+        self.next_wake = self.now;
+        Some(id)
+    }
+
+    /// Pins `rank` in precharge power-down (the SDIMM low-power scheme).
+    /// The rank is woken automatically if a request targets it.
+    pub fn force_rank_down(&mut self, rank: usize) {
+        self.forced_down[rank] = true;
+        self.next_wake = self.now;
+    }
+
+    /// Releases a pinned rank and begins its wakeup immediately so tXP is
+    /// hidden behind the current access (the paper wakes the next rank
+    /// "early enough to hide the wakeup latency").
+    pub fn wake_rank(&mut self, rank: usize) {
+        self.forced_down[rank] = false;
+        self.account_bg(rank);
+        let t = self.cfg.timing.clone();
+        self.ranks[rank].exit_power_down(self.now, &t);
+        self.next_wake = self.now;
+    }
+
+    /// Power state of `rank` (for tests and the low-power experiments).
+    pub fn rank_power_state(&self, rank: usize) -> PowerState {
+        self.ranks[rank].power_state()
+    }
+
+    /// Total cycles `rank` has spent powered down.
+    pub fn rank_powerdown_cycles(&self, rank: usize) -> Cycle {
+        self.ranks[rank].powerdown_cycles(self.now)
+    }
+
+    /// Takes all completions that have finished by `now`.
+    pub fn drain_completions(&mut self) -> Vec<Completion> {
+        while let Some(p) = self.pending.peek() {
+            if p.finish <= self.now {
+                let p = self.pending.pop().expect("peeked");
+                let latency = p.finish - p.arrival;
+                match p.kind {
+                    RequestKind::Read => {
+                        self.stats.reads_completed += 1;
+                        self.stats.read_latency_sum += latency;
+                        self.stats.read_latency_max = self.stats.read_latency_max.max(latency);
+                    }
+                    RequestKind::Write => self.stats.writes_completed += 1,
+                }
+                self.completions.push_back(Completion {
+                    id: p.id,
+                    kind: p.kind,
+                    finish: p.finish,
+                    latency,
+                });
+            } else {
+                break;
+            }
+        }
+        self.completions.drain(..).collect()
+    }
+
+    /// Advances simulated time by `cycles`, issuing commands as they
+    /// become legal.
+    pub fn tick(&mut self, cycles: Cycle) {
+        let end = self.now + cycles;
+        while self.now < end {
+            if self.now >= self.next_wake {
+                match self.schedule_once() {
+                    true => {
+                        // A command issued this cycle; the next may issue
+                        // on the following cycle.
+                        self.next_wake = self.now + 1;
+                    }
+                    false => {
+                        if !self.read_q.is_empty() || !self.write_q.is_empty() {
+                            let wait = self.next_wake.saturating_sub(self.now).min(end - self.now);
+                            self.stats.stalled_cycles += wait;
+                        }
+                    }
+                }
+            }
+            let target = self.next_wake.min(end);
+            self.now = target.max(self.now + 1).min(end);
+        }
+    }
+
+    /// Runs until the channel is idle or `limit` cycles have elapsed,
+    /// returning all completions. Useful for batch-style callers.
+    pub fn run_until_idle(&mut self, limit: Cycle) -> Vec<Completion> {
+        let deadline = self.now + limit;
+        let mut out = Vec::new();
+        while !self.is_idle() && self.now < deadline {
+            self.tick((deadline - self.now).min(10_000));
+            out.extend(self.drain_completions());
+        }
+        out.extend(self.drain_completions());
+        out
+    }
+
+    // ----- internals -------------------------------------------------
+
+    /// Accounts background-energy residency for `rank` up to `now`.
+    fn account_bg(&mut self, rank: usize) {
+        let dt = self.now.saturating_sub(self.bg_mark[rank]);
+        if dt == 0 {
+            self.bg_mark[rank] = self.now;
+            return;
+        }
+        let r = &self.ranks[rank];
+        match r.power_state() {
+            PowerState::PowerDown { .. } => self.energy.powerdown_cycles += dt,
+            PowerState::Active => {
+                if r.all_banks_idle() {
+                    self.energy.precharge_standby_cycles += dt;
+                } else {
+                    self.energy.active_standby_cycles += dt;
+                }
+            }
+        }
+        self.bg_mark[rank] = self.now;
+    }
+
+    fn rank_has_queued_work(&self, rank: usize) -> bool {
+        self.read_q.iter().chain(self.write_q.iter()).any(|e| e.coords.rank == rank)
+    }
+
+    /// Whether `rank` should be heading toward power-down right now.
+    fn wants_sleep(&self, rank: usize) -> bool {
+        if self.rank_has_queued_work(rank) || self.refresh_pending[rank] {
+            return false;
+        }
+        if !matches!(self.ranks[rank].power_state(), PowerState::Active) {
+            return false;
+        }
+        if self.forced_down[rank] {
+            return true;
+        }
+        match self.cfg.power_policy {
+            PowerPolicy::AlwaysOn => false,
+            PowerPolicy::PowerDown { idle_cycles } => {
+                self.now.saturating_sub(self.ranks[rank].last_activity()) >= idle_cycles
+            }
+        }
+    }
+
+    /// Applies the idle-rank power policy and wakes ranks with work.
+    fn manage_power(&mut self) {
+        let t = self.cfg.timing.clone();
+        for i in 0..self.ranks.len() {
+            let has_work = self.rank_has_queued_work(i);
+            match self.ranks[i].power_state() {
+                PowerState::PowerDown { .. } => {
+                    if has_work {
+                        self.account_bg(i);
+                        self.ranks[i].exit_power_down(self.now, &t);
+                    }
+                }
+                PowerState::Active => {
+                    let should_sleep = if self.forced_down[i] {
+                        !has_work
+                    } else {
+                        match self.cfg.power_policy {
+                            PowerPolicy::AlwaysOn => false,
+                            PowerPolicy::PowerDown { idle_cycles } => {
+                                !has_work
+                                    && self.now.saturating_sub(self.ranks[i].last_activity())
+                                        >= idle_cycles
+                            }
+                        }
+                    };
+                    if should_sleep
+                        && self.ranks[i].all_banks_idle()
+                        && !self.refresh_pending[i]
+                        && self.now >= self.ranks[i].ready_at()
+                    {
+                        self.account_bg(i);
+                        self.ranks[i].enter_power_down(self.now);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Effective data-bus availability for a CAS targeting `rank`.
+    fn bus_ready_for(&self, rank: usize, write: bool) -> Cycle {
+        let mut free = self.bus_free_at;
+        if let Some(last) = self.bus_last_rank {
+            if last != rank {
+                free += self.cfg.timing.t_rtrs;
+            }
+        }
+        if let Some(last_write) = self.bus_last_write {
+            if last_write != write {
+                free += BUS_TURNAROUND;
+            }
+        }
+        free
+    }
+
+    /// Earliest cycle a CAS for `e` could issue, or `None` if the row is
+    /// not open for the right row.
+    fn cas_ready_time(&self, e: &QEntry, write: bool) -> Option<Cycle> {
+        let rank = &self.ranks[e.coords.rank];
+        let bank = rank.bank(e.coords.bank);
+        match bank.state() {
+            RowState::Open(r) if r == e.coords.row => {}
+            _ => return None,
+        }
+        let t = &self.cfg.timing;
+        let data_latency = if write { t.cwl } else { t.cl };
+        let mut ready = bank.next_cas().max(rank.ready_at());
+        if !write {
+            ready = ready.max(self.rank_next_read[e.coords.rank]);
+        }
+        // The CAS must be timed so its burst clears the shared bus.
+        let bus_free = self.bus_ready_for(e.coords.rank, write);
+        ready = ready.max(bus_free.saturating_sub(data_latency));
+        Some(ready)
+    }
+
+    fn act_ready_time(&self, e: &QEntry) -> Option<Cycle> {
+        let rank = &self.ranks[e.coords.rank];
+        if self.refresh_pending[e.coords.rank] {
+            return None; // no new rows while a refresh is owed
+        }
+        let bank = rank.bank(e.coords.bank);
+        match bank.state() {
+            RowState::Idle => Some(bank.next_act().max(rank.next_act_allowed())),
+            RowState::Open(_) => None,
+        }
+    }
+
+    fn pre_ready_time(&self, e: &QEntry) -> Option<Cycle> {
+        let rank = &self.ranks[e.coords.rank];
+        let bank = rank.bank(e.coords.bank);
+        match bank.state() {
+            RowState::Open(r) if r != e.coords.row => {
+                Some(bank.next_pre().max(rank.ready_at()))
+            }
+            _ => None,
+        }
+    }
+
+    /// Picks the best action over one queue under FR-FCFS (or FCFS).
+    fn scan_queue(&self, write: bool, best_retry: &mut Cycle) -> Option<Decision> {
+        let q = if write { &self.write_q } else { &self.read_q };
+        if q.is_empty() {
+            return None;
+        }
+        let limit = match self.cfg.scheduler {
+            SchedulerPolicy::FrFcfs => q.len(),
+            SchedulerPolicy::Fcfs => 1,
+        };
+
+        // Anti-starvation: serve an over-age head-of-queue first.
+        let head_age = self.now.saturating_sub(q[0].req.arrival);
+        let starving = head_age > STARVATION_LIMIT;
+
+        let consider: &mut dyn Iterator<Item = (usize, &QEntry)> = if starving {
+            &mut q.iter().enumerate().take(1)
+        } else {
+            &mut q.iter().enumerate().take(limit)
+        };
+
+        let mut act_choice: Option<(usize, Cycle)> = None;
+        let mut pre_choice: Option<(usize, Cycle)> = None;
+        for (idx, e) in consider {
+            if let Some(ready) = self.cas_ready_time(e, write) {
+                if ready <= self.now {
+                    return Some(Decision::Cas { write, idx });
+                }
+                *best_retry = (*best_retry).min(ready);
+                // An entry whose row is open but not yet CAS-ready should
+                // not trigger a PRE from a younger conflicting entry —
+                // keep scanning for other banks only.
+                continue;
+            }
+            if let Some(ready) = self.act_ready_time(e) {
+                if ready <= self.now && act_choice.is_none() {
+                    act_choice = Some((idx, ready));
+                } else {
+                    *best_retry = (*best_retry).min(ready.max(self.now + 1));
+                }
+                continue;
+            }
+            if let Some(ready) = self.pre_ready_time(e) {
+                // Only precharge for this entry if no older queued entry
+                // wants the currently open row in that bank.
+                let coords = e.coords;
+                let open_row_wanted = q.iter().take(idx).any(|o| {
+                    o.coords.rank == coords.rank && o.coords.bank == coords.bank
+                });
+                if open_row_wanted {
+                    continue;
+                }
+                if ready <= self.now && pre_choice.is_none() {
+                    pre_choice = Some((idx, ready));
+                } else {
+                    *best_retry = (*best_retry).min(ready.max(self.now + 1));
+                }
+            }
+        }
+        if let Some((idx, _)) = act_choice {
+            return Some(Decision::Act { write, idx });
+        }
+        if let Some((idx, _)) = pre_choice {
+            return Some(Decision::Pre { write, idx });
+        }
+        None
+    }
+
+    /// Finds the next command to issue, if any.
+    fn decide(&mut self) -> Decision {
+        let mut best_retry = Cycle::MAX;
+
+        // Refresh has priority once due: mark pending, close banks, issue.
+        if self.cfg.refresh_enabled {
+            for i in 0..self.ranks.len() {
+                if self.ranks[i].refresh_due(self.now) {
+                    self.refresh_pending[i] = true;
+                }
+                if self.refresh_pending[i] {
+                    if let PowerState::PowerDown { .. } = self.ranks[i].power_state() {
+                        self.account_bg(i);
+                        let t = self.cfg.timing.clone();
+                        self.ranks[i].exit_power_down(self.now, &t);
+                    }
+                    if self.ranks[i].all_banks_idle() {
+                        if self.now >= self.ranks[i].ready_at() {
+                            return Decision::Refresh { rank: i };
+                        }
+                        best_retry = best_retry.min(self.ranks[i].ready_at());
+                    } else {
+                        // Precharge open banks of the refreshing rank.
+                        for b in 0..self.ranks[i].bank_count() {
+                            if let RowState::Open(_) = self.ranks[i].bank(b).state() {
+                                let ready = self.ranks[i].bank(b).next_pre().max(self.ranks[i].ready_at());
+                                if ready <= self.now {
+                                    return Decision::MaintenancePre { rank: i, bank: b };
+                                }
+                                best_retry = best_retry.min(ready);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Close open banks of ranks that want to power down (forced by
+        // the low-power protocol or eligible under the idle policy) so
+        // they can actually drop CKE.
+        for i in 0..self.ranks.len() {
+            if !self.wants_sleep(i) || self.ranks[i].all_banks_idle() {
+                continue;
+            }
+            for b in 0..self.ranks[i].bank_count() {
+                if let RowState::Open(_) = self.ranks[i].bank(b).state() {
+                    let ready = self.ranks[i].bank(b).next_pre().max(self.ranks[i].ready_at());
+                    if ready <= self.now {
+                        return Decision::MaintenancePre { rank: i, bank: b };
+                    }
+                    best_retry = best_retry.min(ready);
+                }
+            }
+        }
+
+        // Write-drain hysteresis.
+        if self.write_q.len() >= self.cfg.write_drain.hi {
+            self.draining = true;
+        } else if self.write_q.len() <= self.cfg.write_drain.lo {
+            self.draining = false;
+        }
+        let write_first = self.draining || self.read_q.is_empty();
+
+        let order = if write_first { [true, false] } else { [false, true] };
+        for write in order {
+            if write && !write_first && !self.draining {
+                continue; // writes wait for drain mode unless reads empty
+            }
+            if let Some(d) = self.scan_queue(write, &mut best_retry) {
+                return d;
+            }
+        }
+
+        // Nothing issuable: wake for the next refresh deadline and for the
+        // moment an idle rank becomes eligible to power down.
+        if self.cfg.refresh_enabled {
+            for r in &self.ranks {
+                best_retry = best_retry.min(r.next_refresh());
+            }
+        }
+        for (i, r) in self.ranks.iter().enumerate() {
+            if matches!(r.power_state(), PowerState::Active) {
+                let eligible_at = match (self.forced_down[i], self.cfg.power_policy) {
+                    (true, _) => Some(self.now + 1),
+                    (false, PowerPolicy::PowerDown { idle_cycles }) => {
+                        Some(r.last_activity() + idle_cycles)
+                    }
+                    (false, PowerPolicy::AlwaysOn) => None,
+                };
+                if let Some(at) = eligible_at {
+                    best_retry = best_retry.min(at.max(self.now + 1));
+                }
+            }
+        }
+        if best_retry == Cycle::MAX {
+            // Queues empty with nothing scheduled: sleep a long horizon.
+            best_retry = self.now + 4096;
+        }
+        Decision::Idle { retry_at: best_retry }
+    }
+
+    /// Attempts to issue one command at the current cycle. Returns whether
+    /// a command was issued; updates `next_wake` otherwise.
+    fn schedule_once(&mut self) -> bool {
+        self.manage_power();
+        let decision = self.decide();
+        let t = self.cfg.timing.clone();
+        match decision {
+            Decision::Refresh { rank } => {
+                self.account_bg(rank);
+                self.ranks[rank].begin_refresh(self.now, &t);
+                self.refresh_pending[rank] = false;
+                self.energy.refreshes += 1;
+                self.stats.refreshes += 1;
+                true
+            }
+            Decision::MaintenancePre { rank, bank } => {
+                self.account_bg(rank);
+                self.ranks[rank].bank_mut(bank).precharge(self.now, &t);
+                self.ranks[rank].record_activity(self.now);
+                true
+            }
+            Decision::Cas { write, idx } => {
+                self.issue_cas(write, idx);
+                true
+            }
+            Decision::Act { write, idx } => {
+                let e = if write { self.write_q[idx] } else { self.read_q[idx] };
+                self.account_bg(e.coords.rank);
+                self.ranks[e.coords.rank]
+                    .bank_mut(e.coords.bank)
+                    .activate(self.now, e.coords.row, &t);
+                self.ranks[e.coords.rank].record_activate(self.now, &t);
+                self.energy.activates += 1;
+                // Classify for stats at first ACT for this request.
+                self.stats.row_misses += 1;
+                true
+            }
+            Decision::Pre { write, idx } => {
+                let e = if write { self.write_q[idx] } else { self.read_q[idx] };
+                self.account_bg(e.coords.rank);
+                self.ranks[e.coords.rank].bank_mut(e.coords.bank).precharge(self.now, &t);
+                self.ranks[e.coords.rank].record_activity(self.now);
+                self.stats.row_conflicts += 1;
+                true
+            }
+            Decision::Idle { retry_at } => {
+                self.next_wake = retry_at.max(self.now + 1);
+                false
+            }
+        }
+    }
+
+    fn issue_cas(&mut self, write: bool, idx: usize) {
+        let t = self.cfg.timing.clone();
+        let e = if write {
+            self.write_q.remove(idx).expect("scanned index")
+        } else {
+            self.read_q.remove(idx).expect("scanned index")
+        };
+        let rank_idx = e.coords.rank;
+        let bank_idx = e.coords.bank;
+
+        // Row-hit statistic: CAS on an open row that required no ACT this
+        // scheduling round counts as a hit if the open row matched from
+        // the start; we approximate by classifying now.
+        if let RowOutcome::Hit = self.ranks[rank_idx].bank(bank_idx).classify(e.coords.row) {
+            self.stats.row_hits += 1;
+        }
+
+        let data_latency = if write { t.cwl } else { t.cl };
+        let data_start = self.now + data_latency;
+        let data_end = data_start + t.t_burst;
+
+        if write {
+            self.ranks[rank_idx].bank_mut(bank_idx).write(self.now, &t);
+            self.rank_next_read[rank_idx] = self.rank_next_read[rank_idx].max(data_end + t.t_wtr);
+            self.energy.writes += 1;
+        } else {
+            self.ranks[rank_idx].bank_mut(bank_idx).read(self.now, &t);
+            self.energy.reads += 1;
+        }
+        self.ranks[rank_idx].record_activity(self.now);
+
+        self.bus_free_at = data_end;
+        self.bus_last_rank = Some(rank_idx);
+        self.bus_last_write = Some(write);
+        self.stats.data_bus_busy_cycles += t.t_burst;
+        self.energy.io_bits += (self.cfg.topology.line_bytes * 8) as u64;
+
+        self.pending.push(Pending {
+            finish: data_end,
+            id: e.req.id,
+            kind: e.req.kind,
+            arrival: e.req.arrival,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ChannelConfig, PowerPolicy, Timing};
+
+    fn quiet_cfg() -> ChannelConfig {
+        let mut cfg = ChannelConfig::table2();
+        cfg.refresh_enabled = false;
+        cfg
+    }
+
+    #[test]
+    fn single_read_completes_with_expected_latency() {
+        let mut ch = DramChannel::new(quiet_cfg());
+        let t = Timing::ddr3_1600();
+        let id = ch.enqueue_read(0).unwrap();
+        let done = ch.run_until_idle(10_000);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].id, id);
+        // Cold access: ACT at ~0, CAS at tRCD, data at +CL+tBURST, plus a
+        // cycle of command-bus pipelining.
+        let expected = t.t_rcd + t.cl + t.t_burst;
+        assert!(
+            done[0].latency >= expected && done[0].latency <= expected + 4,
+            "latency {} vs expected ~{}",
+            done[0].latency,
+            expected
+        );
+    }
+
+    #[test]
+    fn row_hits_are_faster_than_cold_access() {
+        let mut ch = DramChannel::new(quiet_cfg());
+        ch.enqueue_read(0).unwrap();
+        ch.enqueue_read(64).unwrap();
+        ch.enqueue_read(128).unwrap();
+        let done = ch.run_until_idle(10_000);
+        assert_eq!(done.len(), 3);
+        assert!(ch.stats().row_hits >= 2, "sequential lines should hit the open row");
+    }
+
+    #[test]
+    fn row_conflict_forces_precharge() {
+        let mut ch = DramChannel::new(quiet_cfg());
+        let topo = ch.config().topology.clone();
+        // Two addresses in the same bank, different rows.
+        let stride = (topo.row_bytes * topo.banks * topo.ranks) as u64;
+        ch.enqueue_read(0).unwrap();
+        ch.enqueue_read(stride).unwrap();
+        let done = ch.run_until_idle(10_000);
+        assert_eq!(done.len(), 2);
+        assert!(ch.stats().row_conflicts >= 1, "expected a row conflict");
+    }
+
+    #[test]
+    fn reads_prioritized_over_writes_until_drain() {
+        let mut ch = DramChannel::new(quiet_cfg());
+        for i in 0..10 {
+            ch.enqueue_write((i * 1_000_000) as u64).unwrap();
+        }
+        let rid = ch.enqueue_read(64).unwrap();
+        ch.tick(200);
+        let done = ch.drain_completions();
+        assert!(
+            done.iter().any(|c| c.id == rid),
+            "read must complete while small write queue waits"
+        );
+    }
+
+    #[test]
+    fn write_drain_triggers_above_hi_watermark() {
+        let mut ch = DramChannel::new(quiet_cfg());
+        for i in 0..41 {
+            ch.enqueue_write((i as u64) * 4096).unwrap();
+        }
+        ch.tick(5_000);
+        let _ = ch.drain_completions();
+        assert!(ch.stats().writes_completed > 0, "drain mode should retire writes");
+    }
+
+    #[test]
+    fn forwarding_from_write_queue() {
+        let mut ch = DramChannel::new(quiet_cfg());
+        ch.enqueue_write(0x2000).unwrap();
+        let rid = ch.enqueue_read(0x2000).unwrap();
+        ch.tick(5);
+        let done = ch.drain_completions();
+        let fwd = done.iter().find(|c| c.id == rid).expect("forwarded read completes fast");
+        assert!(fwd.latency <= 2);
+    }
+
+    #[test]
+    fn queue_capacity_enforced() {
+        let mut ch = DramChannel::new(quiet_cfg());
+        let cap = ch.config().read_queue_capacity;
+        for i in 0..cap {
+            assert!(ch.enqueue_read((i * 64) as u64).is_some());
+        }
+        assert!(ch.enqueue_read(0xFFFF00).is_none(), "read queue must reject overflow");
+    }
+
+    #[test]
+    fn bandwidth_approaches_bus_limit_for_streams() {
+        let mut ch = DramChannel::new(quiet_cfg());
+        let mut issued = 0u64;
+        let mut completed = 0u64;
+        let mut addr = 0u64;
+        // Stream sequential reads for 20k cycles.
+        while ch.now() < 20_000 {
+            while issued - completed < 32 {
+                if ch.enqueue_read(addr).is_some() {
+                    addr += 64;
+                    issued += 1;
+                } else {
+                    break;
+                }
+            }
+            ch.tick(16);
+            completed += ch.drain_completions().len() as u64;
+        }
+        let util = ch.stats().bus_utilization(ch.now());
+        assert!(util > 0.7, "streaming reads should near-saturate the bus, got {util}");
+    }
+
+    #[test]
+    fn refresh_happens_when_enabled() {
+        let mut cfg = ChannelConfig::table2();
+        cfg.refresh_enabled = true;
+        let mut ch = DramChannel::new(cfg);
+        ch.tick(7_000); // past tREFI=6240
+        assert!(ch.stats().refreshes >= 1, "refresh must fire after tREFI");
+    }
+
+    #[test]
+    fn idle_rank_powers_down_and_wakes_for_work() {
+        let mut cfg = quiet_cfg();
+        cfg.power_policy = PowerPolicy::PowerDown { idle_cycles: 100 };
+        let mut ch = DramChannel::new(cfg);
+        ch.tick(500);
+        assert!(
+            matches!(ch.rank_power_state(0), PowerState::PowerDown { .. }),
+            "idle rank should power down"
+        );
+        let id = ch.enqueue_read(0).unwrap();
+        let done = ch.run_until_idle(10_000);
+        assert!(done.iter().any(|c| c.id == id), "request must wake the rank");
+        assert!(ch.rank_powerdown_cycles(0) >= 300);
+    }
+
+    #[test]
+    fn forced_down_rank_stays_down_until_woken() {
+        let mut ch = DramChannel::new(quiet_cfg());
+        ch.force_rank_down(2);
+        ch.tick(50);
+        assert!(matches!(ch.rank_power_state(2), PowerState::PowerDown { .. }));
+        ch.wake_rank(2);
+        ch.tick(50);
+        assert!(matches!(ch.rank_power_state(2), PowerState::Active));
+    }
+
+    #[test]
+    fn energy_accumulates_background_and_dynamic() {
+        let mut ch = DramChannel::new(quiet_cfg());
+        for i in 0..16 {
+            ch.enqueue_read((i * 64) as u64).unwrap();
+        }
+        ch.run_until_idle(50_000);
+        ch.tick(1_000);
+        let e = ch.energy();
+        assert!(e.background_nj > 0.0);
+        assert!(e.activate_nj > 0.0);
+        assert!(e.burst_nj > 0.0);
+        assert!(e.io_nj > 0.0);
+    }
+
+    #[test]
+    fn completions_report_monotone_finish_times() {
+        let mut ch = DramChannel::new(quiet_cfg());
+        for i in 0..32 {
+            ch.enqueue_read((i * 64 + i * 128 * 1024) as u64).unwrap();
+        }
+        let done = ch.run_until_idle(100_000);
+        assert_eq!(done.len(), 32);
+        for w in done.windows(2) {
+            assert!(w[0].finish <= w[1].finish, "drain order must be finish order");
+        }
+    }
+
+    #[test]
+    fn fcfs_policy_still_makes_progress() {
+        let mut cfg = quiet_cfg();
+        cfg.scheduler = SchedulerPolicy::Fcfs;
+        let mut ch = DramChannel::new(cfg);
+        for i in 0..8 {
+            ch.enqueue_read((i * 911 * 64) as u64).unwrap();
+        }
+        let done = ch.run_until_idle(100_000);
+        assert_eq!(done.len(), 8);
+    }
+
+    #[test]
+    fn mixed_read_write_all_complete() {
+        let mut ch = DramChannel::new(quiet_cfg());
+        let mut expected = 0;
+        for i in 0..20u64 {
+            if i % 3 == 0 {
+                ch.enqueue_write(i * 64 * 7919).unwrap();
+            } else {
+                ch.enqueue_read(i * 64 * 104729).unwrap();
+            }
+            expected += 1;
+        }
+        let done = ch.run_until_idle(200_000);
+        assert_eq!(done.len(), expected);
+        assert!(ch.is_idle());
+    }
+}

@@ -1,0 +1,207 @@
+//! DRAM energy accounting, following the Micron power-calculator
+//! methodology: background energy by power state, activate/precharge
+//! energy per row cycle, burst energy per column access, refresh energy,
+//! and I/O energy per bit transferred (with distinct on-DIMM and off-DIMM
+//! constants, which is where the SDIMM locality savings show up).
+
+use crate::config::{ChannelLocation, Cycle, PowerParams, Timing};
+
+/// Nanoseconds per memory-clock cycle at DDR3-1600 (800 MHz clock).
+pub const NS_PER_CYCLE: f64 = 1.25;
+
+/// Event and residency counters from which energy is computed.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EnergyCounters {
+    /// Row activations issued (each implies one later precharge).
+    pub activates: u64,
+    /// Column reads issued.
+    pub reads: u64,
+    /// Column writes issued.
+    pub writes: u64,
+    /// Refresh operations issued (per rank).
+    pub refreshes: u64,
+    /// Rank-cycles spent in active standby (some bank open, CKE high).
+    pub active_standby_cycles: Cycle,
+    /// Rank-cycles spent in precharge standby (all banks closed, CKE high).
+    pub precharge_standby_cycles: Cycle,
+    /// Rank-cycles spent in precharge power-down (CKE low).
+    pub powerdown_cycles: Cycle,
+    /// Bits moved across the channel's data bus.
+    pub io_bits: u64,
+}
+
+impl EnergyCounters {
+    /// Adds another counter set into this one (for multi-channel totals).
+    pub fn merge(&mut self, other: &EnergyCounters) {
+        self.activates += other.activates;
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.refreshes += other.refreshes;
+        self.active_standby_cycles += other.active_standby_cycles;
+        self.precharge_standby_cycles += other.precharge_standby_cycles;
+        self.powerdown_cycles += other.powerdown_cycles;
+        self.io_bits += other.io_bits;
+    }
+}
+
+/// Energy breakdown in nanojoules.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EnergyBreakdown {
+    /// Row activate + precharge energy.
+    pub activate_nj: f64,
+    /// Column read/write burst energy.
+    pub burst_nj: f64,
+    /// Refresh energy.
+    pub refresh_nj: f64,
+    /// Background (standby + power-down) energy.
+    pub background_nj: f64,
+    /// I/O and termination energy.
+    pub io_nj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in nanojoules.
+    pub fn total_nj(&self) -> f64 {
+        self.activate_nj + self.burst_nj + self.refresh_nj + self.background_nj + self.io_nj
+    }
+
+    /// Adds another breakdown into this one.
+    pub fn merge(&mut self, other: &EnergyBreakdown) {
+        self.activate_nj += other.activate_nj;
+        self.burst_nj += other.burst_nj;
+        self.refresh_nj += other.refresh_nj;
+        self.background_nj += other.background_nj;
+        self.io_nj += other.io_nj;
+    }
+}
+
+/// Computes the energy for `counters` accumulated on a channel with the
+/// given device parameters, timing, and physical location.
+pub fn compute_energy(
+    counters: &EnergyCounters,
+    p: &PowerParams,
+    t: &Timing,
+    location: ChannelLocation,
+) -> EnergyBreakdown {
+    let devs = p.devices_per_rank as f64;
+    // mA × V = mW; mW × ns = pJ; /1000 ⇒ nJ.
+    let mw_to_nj = |mw: f64, ns: f64| mw * ns / 1000.0;
+
+    // Activate/precharge: Micron's formula charges (IDD0 − weighted
+    // standby) over one tRC per ACT.
+    let trc_ns = t.t_rc as f64 * NS_PER_CYCLE;
+    let tras_ns = t.t_ras as f64 * NS_PER_CYCLE;
+    let act_standby = (p.idd3n * tras_ns + p.idd2n * (trc_ns - tras_ns)) / trc_ns;
+    let act_mw = (p.idd0 - act_standby) * p.vdd * devs;
+    let activate_nj = counters.activates as f64 * mw_to_nj(act_mw, trc_ns);
+
+    // Read/write bursts: (IDD4x − IDD3N) over the burst duration.
+    let burst_ns = t.t_burst as f64 * NS_PER_CYCLE;
+    let rd_mw = (p.idd4r - p.idd3n) * p.vdd * devs;
+    let wr_mw = (p.idd4w - p.idd3n) * p.vdd * devs;
+    let burst_nj = counters.reads as f64 * mw_to_nj(rd_mw, burst_ns)
+        + counters.writes as f64 * mw_to_nj(wr_mw, burst_ns);
+
+    // Refresh: (IDD5 − IDD3N) over tRFC per refresh.
+    let trfc_ns = t.t_rfc as f64 * NS_PER_CYCLE;
+    let ref_mw = (p.idd5 - p.idd3n) * p.vdd * devs;
+    let refresh_nj = counters.refreshes as f64 * mw_to_nj(ref_mw, trfc_ns);
+
+    // Background by residency.
+    let bg = |idd: f64, cycles: Cycle| {
+        mw_to_nj(idd * p.vdd * devs, cycles as f64 * NS_PER_CYCLE)
+    };
+    let background_nj = bg(p.idd3n, counters.active_standby_cycles)
+        + bg(p.idd2n, counters.precharge_standby_cycles)
+        + bg(p.idd2p, counters.powerdown_cycles);
+
+    // I/O energy per bit by location.
+    let pj_per_bit = match location {
+        ChannelLocation::OffDimm => p.io_pj_per_bit_offdimm,
+        ChannelLocation::OnDimm => p.io_pj_per_bit_ondimm,
+    };
+    let io_nj = counters.io_bits as f64 * pj_per_bit / 1000.0;
+
+    EnergyBreakdown { activate_nj, burst_nj, refresh_nj, background_nj, io_nj }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{PowerParams, Timing};
+
+    fn params() -> (PowerParams, Timing) {
+        (PowerParams::ddr3_1600_x8(), Timing::ddr3_1600())
+    }
+
+    #[test]
+    fn zero_counters_zero_energy() {
+        let (p, t) = params();
+        let e = compute_energy(&EnergyCounters::default(), &p, &t, ChannelLocation::OffDimm);
+        assert_eq!(e.total_nj(), 0.0);
+    }
+
+    #[test]
+    fn activates_cost_energy() {
+        let (p, t) = params();
+        let c = EnergyCounters { activates: 1000, ..Default::default() };
+        let e = compute_energy(&c, &p, &t, ChannelLocation::OffDimm);
+        assert!(e.activate_nj > 0.0);
+        assert_eq!(e.burst_nj, 0.0);
+    }
+
+    #[test]
+    fn writes_cost_more_than_reads() {
+        let (p, t) = params();
+        let r = EnergyCounters { reads: 100, ..Default::default() };
+        let w = EnergyCounters { writes: 100, ..Default::default() };
+        let er = compute_energy(&r, &p, &t, ChannelLocation::OffDimm);
+        let ew = compute_energy(&w, &p, &t, ChannelLocation::OffDimm);
+        assert!(ew.burst_nj > er.burst_nj, "IDD4W > IDD4R must show in energy");
+    }
+
+    #[test]
+    fn powerdown_is_cheaper_than_standby() {
+        let (p, t) = params();
+        let down = EnergyCounters { powerdown_cycles: 1_000_000, ..Default::default() };
+        let up = EnergyCounters { precharge_standby_cycles: 1_000_000, ..Default::default() };
+        let ed = compute_energy(&down, &p, &t, ChannelLocation::OffDimm);
+        let eu = compute_energy(&up, &p, &t, ChannelLocation::OffDimm);
+        assert!(
+            ed.background_nj < eu.background_nj / 3.0,
+            "power-down should save ≥3×: {} vs {}",
+            ed.background_nj,
+            eu.background_nj
+        );
+    }
+
+    #[test]
+    fn on_dimm_io_cheaper_than_off_dimm() {
+        let (p, t) = params();
+        let c = EnergyCounters { io_bits: 64 * 8 * 1000, ..Default::default() };
+        let on = compute_energy(&c, &p, &t, ChannelLocation::OnDimm);
+        let off = compute_energy(&c, &p, &t, ChannelLocation::OffDimm);
+        assert!(on.io_nj < off.io_nj / 2.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = EnergyCounters { reads: 5, ..Default::default() };
+        let b = EnergyCounters { reads: 7, io_bits: 3, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.reads, 12);
+        assert_eq!(a.io_bits, 3);
+    }
+
+    #[test]
+    fn breakdown_total_is_sum() {
+        let e = EnergyBreakdown {
+            activate_nj: 1.0,
+            burst_nj: 2.0,
+            refresh_nj: 3.0,
+            background_nj: 4.0,
+            io_nj: 5.0,
+        };
+        assert!((e.total_nj() - 15.0).abs() < 1e-12);
+    }
+}

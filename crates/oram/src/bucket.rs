@@ -1,0 +1,210 @@
+//! Buckets: Z block slots plus per-bucket metadata.
+//!
+//! Each tree node holds Z encrypted blocks (possibly dummies). Besides the
+//! Z payloads, a bucket stores, per slot, the block's logical address and
+//! leaf ID, plus one shared write counter used for encryption and MAC
+//! generation (the `(Z + 1)`-th line in the traffic formula).
+
+use crate::types::{BlockId, Leaf};
+
+/// One real block resident in a bucket slot or the stash.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockEntry {
+    /// Logical block address.
+    pub id: BlockId,
+    /// The leaf this block is currently mapped to.
+    pub leaf: Leaf,
+    /// Payload bytes. May be empty in plan-only simulations.
+    pub data: Vec<u8>,
+}
+
+/// A tree node with Z slots and a shared write counter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bucket {
+    slots: Vec<Option<BlockEntry>>,
+    /// Monotone write counter (PMMAC encryption/MAC input).
+    pub counter: u64,
+}
+
+impl Bucket {
+    /// An empty bucket with `z` dummy slots.
+    pub fn new(z: usize) -> Self {
+        Bucket { slots: vec![None; z], counter: 0 }
+    }
+
+    /// Number of slots (Z).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of occupied (non-dummy) slots.
+    pub fn occupancy(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// True when no slot is free.
+    pub fn is_full(&self) -> bool {
+        self.occupancy() == self.capacity()
+    }
+
+    /// Iterates over resident blocks.
+    pub fn iter(&self) -> impl Iterator<Item = &BlockEntry> {
+        self.slots.iter().flatten()
+    }
+
+    /// Inserts a block into a free slot.
+    ///
+    /// Returns `Err(entry)` (handing the block back) when the bucket is
+    /// full.
+    pub fn insert(&mut self, entry: BlockEntry) -> Result<(), BlockEntry> {
+        match self.slots.iter_mut().find(|s| s.is_none()) {
+            Some(slot) => {
+                *slot = Some(entry);
+                Ok(())
+            }
+            None => Err(entry),
+        }
+    }
+
+    /// Removes and returns the block with `id`, if present.
+    pub fn take(&mut self, id: BlockId) -> Option<BlockEntry> {
+        for slot in &mut self.slots {
+            if slot.as_ref().is_some_and(|e| e.id == id) {
+                return slot.take();
+            }
+        }
+        None
+    }
+
+    /// Removes every resident block, leaving all slots dummy, and bumps
+    /// the write counter (the bucket is about to be rewritten).
+    pub fn drain(&mut self) -> Vec<BlockEntry> {
+        self.counter += 1;
+        self.slots.iter_mut().filter_map(Option::take).collect()
+    }
+
+    /// Serializes bucket contents (headers + payloads) for MAC/encryption
+    /// in the functional integrity path. Dummies serialize as zero
+    /// headers, matching "some of these blocks may be dummy blocks".
+    pub fn serialize(&self, block_bytes: usize) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.slots.len() * (16 + block_bytes) + 8);
+        out.extend_from_slice(&self.counter.to_le_bytes());
+        for slot in &self.slots {
+            match slot {
+                Some(e) => {
+                    out.extend_from_slice(&(e.id.0 + 1).to_le_bytes()); // +1: 0 marks dummy
+                    out.extend_from_slice(&e.leaf.0.to_le_bytes());
+                    let mut data = e.data.clone();
+                    data.resize(block_bytes, 0);
+                    out.extend_from_slice(&data);
+                }
+                None => {
+                    out.extend_from_slice(&0u64.to_le_bytes());
+                    out.extend_from_slice(&0u64.to_le_bytes());
+                    out.extend_from_slice(&vec![0u8; block_bytes]);
+                }
+            }
+        }
+        out
+    }
+
+    /// Inverse of [`serialize`](Self::serialize).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` has the wrong length for `(z, block_bytes)`.
+    pub fn deserialize(bytes: &[u8], z: usize, block_bytes: usize) -> Self {
+        let rec = 16 + block_bytes;
+        assert_eq!(bytes.len(), 8 + z * rec, "malformed bucket image");
+        let counter = u64::from_le_bytes(bytes[..8].try_into().expect("8 bytes"));
+        let mut slots = Vec::with_capacity(z);
+        for i in 0..z {
+            let base = 8 + i * rec;
+            let id_raw = u64::from_le_bytes(bytes[base..base + 8].try_into().expect("8"));
+            if id_raw == 0 {
+                slots.push(None);
+            } else {
+                let leaf = u64::from_le_bytes(bytes[base + 8..base + 16].try_into().expect("8"));
+                slots.push(Some(BlockEntry {
+                    id: BlockId(id_raw - 1),
+                    leaf: Leaf(leaf),
+                    data: bytes[base + 16..base + rec].to_vec(),
+                }));
+            }
+        }
+        Bucket { slots, counter }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(id: u64, leaf: u64) -> BlockEntry {
+        BlockEntry { id: BlockId(id), leaf: Leaf(leaf), data: vec![id as u8; 4] }
+    }
+
+    #[test]
+    fn insert_until_full() {
+        let mut b = Bucket::new(4);
+        for i in 0..4 {
+            assert!(b.insert(entry(i, i)).is_ok());
+        }
+        assert!(b.is_full());
+        let rejected = b.insert(entry(99, 0));
+        assert_eq!(rejected.unwrap_err().id, BlockId(99));
+    }
+
+    #[test]
+    fn take_removes_matching_block() {
+        let mut b = Bucket::new(4);
+        b.insert(entry(1, 0)).unwrap();
+        b.insert(entry(2, 0)).unwrap();
+        let got = b.take(BlockId(1)).expect("present");
+        assert_eq!(got.id, BlockId(1));
+        assert!(b.take(BlockId(1)).is_none());
+        assert_eq!(b.occupancy(), 1);
+    }
+
+    #[test]
+    fn drain_empties_and_bumps_counter() {
+        let mut b = Bucket::new(4);
+        b.insert(entry(1, 0)).unwrap();
+        b.insert(entry(2, 0)).unwrap();
+        let c0 = b.counter;
+        let drained = b.drain();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(b.occupancy(), 0);
+        assert_eq!(b.counter, c0 + 1);
+    }
+
+    #[test]
+    fn serialize_roundtrip_with_dummies() {
+        let mut b = Bucket::new(4);
+        b.insert(entry(10, 3)).unwrap();
+        b.insert(entry(0, 7)).unwrap(); // id 0 must survive the +1 encoding
+        b.counter = 42;
+        let img = b.serialize(64);
+        let back = Bucket::deserialize(&img, 4, 64);
+        assert_eq!(back.counter, 42);
+        assert_eq!(back.occupancy(), 2);
+        let got = back.iter().find(|e| e.id == BlockId(0)).expect("id 0 kept");
+        assert_eq!(got.leaf, Leaf(7));
+    }
+
+    #[test]
+    fn serialized_size_is_fixed() {
+        let empty = Bucket::new(4).serialize(64);
+        let mut full = Bucket::new(4);
+        for i in 0..4 {
+            full.insert(entry(i, i)).unwrap();
+        }
+        assert_eq!(empty.len(), full.serialize(64).len(), "dummies must be indistinguishable by size");
+    }
+
+    #[test]
+    #[should_panic(expected = "malformed bucket image")]
+    fn deserialize_rejects_bad_length() {
+        Bucket::deserialize(&[0u8; 10], 4, 64);
+    }
+}

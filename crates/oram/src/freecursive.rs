@@ -1,0 +1,381 @@
+//! Freecursive ORAM (§II-D): recursive position maps with a PLB.
+//!
+//! The data ORAM (ORAM₀) stores program blocks. Its position map is too
+//! large for the chip, so it is stored as blocks of ORAM₁; ORAM₁'s map in
+//! ORAM₂; and so on, until the map fits on chip (Table II: five recursive
+//! PosMaps). All levels share **one physical tree** (the unified design
+//! Fletcher et al. advocate to avoid leakage between trees).
+//!
+//! Per CPU request, the frontend probes the PLB from level 1 upward; the
+//! first hit (or the on-chip map) terminates the search, and one
+//! `accessORAM` is issued per level walked, deepest (highest level)
+//! first. Fetched posmap blocks enter the PLB; dirty PLB victims cost an
+//! extra write-back access. The paper measures ≈1.4 `accessORAM`s per
+//! last-level-cache miss with this arrangement.
+
+use crate::path_oram::PathOram;
+use crate::plan::AccessPlan;
+use crate::plb::{Plb, PlbKey};
+use crate::types::{BlockId, Op, OramConfig};
+
+/// Block-id space partitioning inside the unified tree: each recursion
+/// level owns a contiguous id region.
+#[derive(Debug, Clone)]
+pub struct IdSpace {
+    /// `region[i]` = first block id of recursion level `i` (level 0 =
+    /// data). One extra terminal entry marks the end.
+    bounds: Vec<u64>,
+}
+
+impl IdSpace {
+    /// Computes level regions for `data_blocks` data blocks with the
+    /// given posmap fan-out and recursion cap.
+    pub fn new(data_blocks: u64, entries_per_block: u64, max_recursion: usize) -> Self {
+        let mut bounds = vec![0u64];
+        let mut level_blocks = data_blocks;
+        let mut base = 0u64;
+        for _ in 0..=max_recursion {
+            base += level_blocks;
+            bounds.push(base);
+            level_blocks = level_blocks.div_ceil(entries_per_block);
+            if level_blocks <= 1 {
+                break;
+            }
+        }
+        IdSpace { bounds }
+    }
+
+    /// Number of recursion levels that live in memory (levels ≥ 1 whose
+    /// blocks are ORAM-resident). Level counts: data level plus this.
+    pub fn memory_levels(&self) -> usize {
+        self.bounds.len() - 2
+    }
+
+    /// Total blocks across all in-memory levels.
+    pub fn total_blocks(&self) -> u64 {
+        *self.bounds.last().expect("non-empty")
+    }
+
+    /// Blocks at recursion `level`.
+    pub fn level_blocks(&self, level: usize) -> u64 {
+        self.bounds[level + 1] - self.bounds[level]
+    }
+
+    /// Global block id of `index`-th block at `level`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the level or index is out of range.
+    pub fn block_id(&self, level: usize, index: u64) -> BlockId {
+        assert!(level + 1 < self.bounds.len(), "recursion level {level} out of range");
+        assert!(index < self.level_blocks(level), "index {index} out of range at level {level}");
+        BlockId(self.bounds[level] + index)
+    }
+}
+
+/// Counters describing frontend behavior.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FreecursiveStats {
+    /// CPU (LLC-miss) requests served.
+    pub requests: u64,
+    /// Total `accessORAM` operations issued (demand + posmap + PLB
+    /// write-backs).
+    pub accesses: u64,
+    /// Accesses issued only to fetch position-map blocks.
+    pub posmap_accesses: u64,
+    /// Write-back accesses for dirty PLB evictions.
+    pub plb_writebacks: u64,
+    /// Background evictions triggered.
+    pub background_evictions: u64,
+}
+
+impl FreecursiveStats {
+    /// Mean `accessORAM`s per request (the paper's ≈1.4).
+    pub fn accesses_per_request(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.accesses as f64 / self.requests as f64
+        }
+    }
+}
+
+/// A Freecursive ORAM: unified tree backend + PLB frontend.
+#[derive(Debug)]
+pub struct FreecursiveOram {
+    backend: PathOram,
+    plb: Plb,
+    ids: IdSpace,
+    entries_per_block: u64,
+    stats: FreecursiveStats,
+}
+
+impl FreecursiveOram {
+    /// Builds a Freecursive ORAM for `data_blocks` logical data blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the unified tree cannot hold all levels at ≤50%
+    /// utilization under `cfg`.
+    pub fn new(cfg: OramConfig, data_blocks: u64, seed: u64) -> Self {
+        let ids = IdSpace::new(
+            data_blocks,
+            cfg.posmap_entries_per_block as u64,
+            cfg.max_recursion,
+        );
+        let backend = PathOram::new(cfg.clone(), ids.total_blocks(), seed);
+        FreecursiveOram {
+            backend,
+            plb: Plb::table2(),
+            entries_per_block: cfg.posmap_entries_per_block as u64,
+            ids,
+            stats: FreecursiveStats::default(),
+        }
+    }
+
+    /// Replaces the default PLB (ablation studies sweep its size).
+    pub fn set_plb(&mut self, plb: Plb) {
+        self.plb = plb;
+    }
+
+    /// Data blocks addressable by the CPU.
+    pub fn data_blocks(&self) -> u64 {
+        self.ids.level_blocks(0)
+    }
+
+    /// Frontend statistics.
+    pub fn stats(&self) -> FreecursiveStats {
+        self.stats
+    }
+
+    /// PLB statistics.
+    pub fn plb_stats(&self) -> crate::plb::PlbStats {
+        self.plb.stats()
+    }
+
+    /// Immutable access to the backend (stash occupancy, tree checks).
+    pub fn backend(&self) -> &PathOram {
+        &self.backend
+    }
+
+    /// The posmap block index covering data/posmap block `index` one
+    /// recursion level up.
+    fn parent_index(&self, index: u64) -> u64 {
+        index / self.entries_per_block
+    }
+
+    /// Serves one CPU request for data block `index` (an id within the
+    /// data level), returning the block contents and the list of access
+    /// plans executed, in issue order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is not a valid data block.
+    pub fn request(
+        &mut self,
+        index: u64,
+        op: Op,
+        new_data: Option<&[u8]>,
+    ) -> (Vec<u8>, Vec<AccessPlan>) {
+        assert!(index < self.ids.level_blocks(0), "data block {index} out of range");
+        self.stats.requests += 1;
+        let mut plans = Vec::new();
+
+        // Walk the PLB from level 1 upward until a hit or the on-chip map.
+        let memory_levels = self.ids.memory_levels();
+        let mut walk_to = memory_levels; // exclusive: levels 1..=walk_to missed
+        let mut idx = index;
+        for level in 1..=memory_levels {
+            idx = self.parent_index(idx);
+            if self.plb.lookup(PlbKey { level: level as u8, index: idx }) {
+                walk_to = level - 1;
+                break;
+            }
+        }
+
+        // Fetch missed posmap blocks deepest-level first, inserting each
+        // into the PLB; dirty victims trigger write-back accesses.
+        let mut level = walk_to;
+        while level >= 1 {
+            let pm_index = nth_parent(index, self.entries_per_block, level);
+            let id = self.ids.block_id(level, pm_index);
+            let (_, plan) = self.backend.access(id, Op::Read, None);
+            self.stats.accesses += 1;
+            self.stats.posmap_accesses += 1;
+            plans.push(plan);
+            self.handle_plb_insert(level as u8, pm_index, &mut plans);
+            level -= 1;
+        }
+
+        // The remap of the data block dirties its level-1 posmap block.
+        if memory_levels >= 1 {
+            self.plb.mark_dirty(PlbKey {
+                level: 1,
+                index: nth_parent(index, self.entries_per_block, 1),
+            });
+        }
+
+        // Finally, the demand access itself.
+        let id = self.ids.block_id(0, index);
+        let (data, plan) = self.backend.access(id, op, new_data);
+        self.stats.accesses += 1;
+        plans.push(plan);
+
+        // Stash-pressure relief.
+        while self.backend.needs_background_evict() {
+            plans.push(self.backend.background_evict());
+            self.stats.background_evictions += 1;
+            self.stats.accesses += 1;
+        }
+
+        (data, plans)
+    }
+
+    /// Inserts a fetched posmap block into the PLB and services any dirty
+    /// eviction with a write-back access. (Fetching a posmap block also
+    /// remaps it, dirtying *its* parent, which by construction was a PLB
+    /// hit or on-chip.)
+    fn handle_plb_insert(&mut self, level: u8, index: u64, plans: &mut Vec<AccessPlan>) {
+        if (level as usize) < self.ids.memory_levels() {
+            self.plb.mark_dirty(PlbKey {
+                level: level + 1,
+                index: index / self.entries_per_block,
+            });
+        }
+        if let Some((victim, dirty)) = self.plb.insert(PlbKey { level, index }, true) {
+            if dirty {
+                let victim_id = self.ids.block_id(victim.level as usize, victim.index);
+                let (_, mut plan) = self.backend.access(victim_id, Op::Write, Some(&[]));
+                plan.kind = crate::plan::PlanKind::PlbWriteback;
+                self.stats.accesses += 1;
+                self.stats.plb_writebacks += 1;
+                plans.push(plan);
+            }
+        }
+    }
+}
+
+/// Applies `parent_index` `n` times.
+fn nth_parent(index: u64, fanout: u64, n: usize) -> u64 {
+    let mut idx = index;
+    for _ in 0..n {
+        idx /= fanout;
+    }
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn cfg() -> OramConfig {
+        OramConfig { levels: 10, stash_limit: 100, ..OramConfig::default() }
+    }
+
+    fn big_cfg() -> OramConfig {
+        OramConfig { levels: 13, stash_limit: 100, ..OramConfig::default() }
+    }
+
+    #[test]
+    fn id_space_levels_shrink_by_fanout() {
+        let ids = IdSpace::new(4096, 16, 5);
+        assert_eq!(ids.level_blocks(0), 4096);
+        assert_eq!(ids.level_blocks(1), 256);
+        assert_eq!(ids.level_blocks(2), 16);
+        assert_eq!(ids.memory_levels(), 2, "level 3 would be a single block: on-chip");
+        assert_eq!(ids.total_blocks(), 4096 + 256 + 16);
+    }
+
+    #[test]
+    fn id_space_regions_do_not_overlap() {
+        let ids = IdSpace::new(1000, 16, 5);
+        let a = ids.block_id(0, 999);
+        let b = ids.block_id(1, 0);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn read_your_writes_through_recursion() {
+        let mut f = FreecursiveOram::new(cfg(), 2048, 11);
+        f.request(100, Op::Write, Some(&[0xCD; 32]));
+        let (got, _) = f.request(100, Op::Read, None);
+        assert_eq!(got, vec![0xCD; 32]);
+    }
+
+    #[test]
+    fn many_blocks_roundtrip() {
+        let mut f = FreecursiveOram::new(cfg(), 2048, 12);
+        for i in (0..2048u64).step_by(97) {
+            f.request(i, Op::Write, Some(&[(i % 251) as u8; 8]));
+        }
+        for i in (0..2048u64).step_by(97) {
+            let (got, _) = f.request(i, Op::Read, None);
+            assert_eq!(got, vec![(i % 251) as u8; 8], "block {i}");
+        }
+        f.backend().check_invariant();
+    }
+
+    #[test]
+    fn cold_miss_walks_all_levels_warm_hit_walks_one() {
+        let mut f = FreecursiveOram::new(big_cfg(), 4096, 13);
+        let (_, cold_plans) = f.request(7, Op::Read, None);
+        // Cold: one access per memory level + the demand access.
+        assert!(cold_plans.len() > f.ids.memory_levels());
+        let (_, warm_plans) = f.request(7, Op::Read, None);
+        assert_eq!(
+            warm_plans.iter().filter(|p| p.kind == crate::plan::PlanKind::Demand).count(),
+            1,
+            "warm request should only need the demand access"
+        );
+    }
+
+    #[test]
+    fn accesses_per_request_approaches_one_point_something() {
+        let mut f = FreecursiveOram::new(big_cfg(), 8192, 14);
+        let mut rng = StdRng::seed_from_u64(5);
+        // A workload with locality: addresses drawn from a few regions.
+        for _ in 0..600 {
+            let region = rng.gen_range(0..8u64) * 1024;
+            let idx = region + rng.gen_range(0..256);
+            f.request(idx, Op::Read, None);
+        }
+        let apr = f.stats().accesses_per_request();
+        assert!(
+            apr > 1.0 && apr < 2.5,
+            "expected ≈1.x accessORAMs per request, got {apr}"
+        );
+    }
+
+    #[test]
+    fn plb_hit_rate_positive_with_locality() {
+        let mut f = FreecursiveOram::new(big_cfg(), 4096, 15);
+        for i in 0..200u64 {
+            f.request(i % 64, Op::Read, None);
+        }
+        assert!(f.plb_stats().hit_rate() > 0.5, "locality should hit the PLB");
+    }
+
+    #[test]
+    fn invariant_holds_after_mixed_workload() {
+        let mut f = FreecursiveOram::new(cfg(), 2048, 16);
+        let mut rng = StdRng::seed_from_u64(6);
+        for step in 0..300 {
+            let idx = rng.gen_range(0..2048);
+            if rng.gen_bool(0.3) {
+                f.request(idx, Op::Write, Some(&[step as u8]));
+            } else {
+                f.request(idx, Op::Read, None);
+            }
+        }
+        f.backend().check_invariant();
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_request_rejected() {
+        let mut f = FreecursiveOram::new(cfg(), 1024, 17);
+        f.request(1024, Op::Read, None);
+    }
+}

@@ -1,0 +1,201 @@
+//! Binary-tree index arithmetic for Path ORAM.
+//!
+//! Buckets are numbered heap-style: the root is bucket 0 at level 0; the
+//! bucket at level `d`, position `i` (0-based within the level) has index
+//! `2^d - 1 + i`. Leaf `l`'s path visits one bucket per level, chosen by
+//! the bits of `l` from most significant to least.
+
+use crate::types::{Leaf, OramConfig};
+
+/// Index of a bucket in the heap-ordered tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BucketIdx(pub u64);
+
+/// Tree arithmetic helper bound to one tree depth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Geometry {
+    levels: u32,
+}
+
+impl Geometry {
+    /// Geometry for a tree with leaves at `levels` (root at 0).
+    pub fn new(levels: u32) -> Self {
+        Geometry { levels }
+    }
+
+    /// Geometry matching a configuration.
+    pub fn from_config(cfg: &OramConfig) -> Self {
+        Geometry::new(cfg.levels)
+    }
+
+    /// Leaf level index (== depth of the tree).
+    pub fn levels(&self) -> u32 {
+        self.levels
+    }
+
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> u64 {
+        1u64 << self.levels
+    }
+
+    /// Total buckets in the tree.
+    pub fn bucket_count(&self) -> u64 {
+        (1u64 << (self.levels + 1)) - 1
+    }
+
+    /// The bucket on `leaf`'s path at `level`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level > levels` or the leaf is out of range.
+    pub fn bucket_at(&self, leaf: Leaf, level: u32) -> BucketIdx {
+        assert!(level <= self.levels, "level {level} beyond tree depth {}", self.levels);
+        assert!(leaf.0 < self.leaf_count(), "{leaf} out of range");
+        // The ancestor of the leaf node at `level` is found by dropping
+        // the low (levels - level) bits of the leaf index.
+        let pos = leaf.0 >> (self.levels - level);
+        BucketIdx(((1u64 << level) - 1) + pos)
+    }
+
+    /// Buckets on the path from root to `leaf`, root first.
+    pub fn path(&self, leaf: Leaf) -> Vec<BucketIdx> {
+        (0..=self.levels).map(|d| self.bucket_at(leaf, d)).collect()
+    }
+
+    /// Level of a bucket index.
+    pub fn level_of(&self, b: BucketIdx) -> u32 {
+        debug_assert!(b.0 < self.bucket_count());
+        64 - (b.0 + 1).leading_zeros() - 1
+    }
+
+    /// Whether `bucket` lies on the path from root to `leaf`.
+    pub fn on_path(&self, bucket: BucketIdx, leaf: Leaf) -> bool {
+        let level = self.level_of(bucket);
+        self.bucket_at(leaf, level) == bucket
+    }
+
+    /// Deepest level at which the paths of `a` and `b` still share a
+    /// bucket (the level of their lowest common ancestor).
+    pub fn common_level(&self, a: Leaf, b: Leaf) -> u32 {
+        let diff = a.0 ^ b.0;
+        if diff == 0 {
+            self.levels
+        } else {
+            // The first differing bit (from the top of the leaf index)
+            // splits the paths one level below that depth.
+            let highest_diff_bit = 63 - diff.leading_zeros();
+            self.levels - (highest_diff_bit + 1)
+        }
+    }
+
+    /// Index of the leaf-level subtree root containing `leaf`, when the
+    /// tree is partitioned into `parts` equal subtrees by the most
+    /// significant leaf bits (how the Independent protocol shards the
+    /// tree across SDIMMs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is not a power of two or exceeds the leaf count.
+    pub fn shard_of(&self, leaf: Leaf, parts: usize) -> usize {
+        assert!(parts.is_power_of_two(), "shard count must be a power of two");
+        assert!((parts as u64) <= self.leaf_count(), "more shards than leaves");
+        let shift = self.levels - parts.trailing_zeros();
+        (leaf.0 >> shift) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_is_bucket_zero() {
+        let g = Geometry::new(3);
+        assert_eq!(g.bucket_at(Leaf(5), 0), BucketIdx(0));
+    }
+
+    #[test]
+    fn leaf_bucket_indices() {
+        let g = Geometry::new(3);
+        // Leaf level starts at bucket 2^3 - 1 = 7.
+        assert_eq!(g.bucket_at(Leaf(0), 3), BucketIdx(7));
+        assert_eq!(g.bucket_at(Leaf(7), 3), BucketIdx(14));
+    }
+
+    #[test]
+    fn path_has_levels_plus_one_buckets_and_descends() {
+        let g = Geometry::new(4);
+        let p = g.path(Leaf(9));
+        assert_eq!(p.len(), 5);
+        for (d, b) in p.iter().enumerate() {
+            assert_eq!(g.level_of(*b), d as u32);
+            assert!(g.on_path(*b, Leaf(9)));
+        }
+    }
+
+    #[test]
+    fn child_parent_relationship_holds_on_paths() {
+        let g = Geometry::new(5);
+        let p = g.path(Leaf(19));
+        for w in p.windows(2) {
+            let parent = w[0].0;
+            let child = w[1].0;
+            assert_eq!((child - 1) / 2, parent, "each path step must be a tree child");
+        }
+    }
+
+    #[test]
+    fn level_of_matches_construction() {
+        let g = Geometry::new(6);
+        for level in 0..=6u32 {
+            let first = BucketIdx((1u64 << level) - 1);
+            let last = BucketIdx((1u64 << (level + 1)) - 2);
+            assert_eq!(g.level_of(first), level);
+            assert_eq!(g.level_of(last), level);
+        }
+    }
+
+    #[test]
+    fn common_level_of_identical_leaves_is_depth() {
+        let g = Geometry::new(8);
+        assert_eq!(g.common_level(Leaf(100), Leaf(100)), 8);
+    }
+
+    #[test]
+    fn common_level_of_opposite_halves_is_zero() {
+        let g = Geometry::new(8);
+        assert_eq!(g.common_level(Leaf(0), Leaf(255)), 0);
+    }
+
+    #[test]
+    fn common_level_agrees_with_path_intersection() {
+        let g = Geometry::new(6);
+        for (a, b) in [(0u64, 1), (5, 7), (32, 33), (12, 44), (63, 62)] {
+            let pa = g.path(Leaf(a));
+            let pb = g.path(Leaf(b));
+            let shared = pa.iter().zip(pb.iter()).take_while(|(x, y)| x == y).count() as u32;
+            assert_eq!(g.common_level(Leaf(a), Leaf(b)), shared - 1, "leaves {a},{b}");
+        }
+    }
+
+    #[test]
+    fn shard_of_uses_top_bits() {
+        let g = Geometry::new(4); // 16 leaves
+        assert_eq!(g.shard_of(Leaf(0), 2), 0);
+        assert_eq!(g.shard_of(Leaf(7), 2), 0);
+        assert_eq!(g.shard_of(Leaf(8), 2), 1);
+        assert_eq!(g.shard_of(Leaf(15), 4), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn shard_rejects_non_power_of_two() {
+        Geometry::new(4).shard_of(Leaf(0), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bucket_at_rejects_bad_leaf() {
+        Geometry::new(3).bucket_at(Leaf(8), 1);
+    }
+}

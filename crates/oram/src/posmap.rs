@@ -1,0 +1,104 @@
+//! Position maps: the table associating each block with its current leaf.
+
+use rand::Rng;
+
+use crate::types::{BlockId, Leaf};
+
+/// A flat, fully in-memory position map.
+///
+/// Used as the on-chip terminal position map of the recursion (Table II:
+/// five recursive PosMaps, the last small enough for the chip) and by the
+/// non-recursive Path ORAM used in unit tests.
+#[derive(Debug, Clone)]
+pub struct FlatPosMap {
+    leaves: Vec<Leaf>,
+    leaf_count: u64,
+}
+
+impl FlatPosMap {
+    /// Creates a map for `blocks` blocks over `leaf_count` leaves, with
+    /// every block assigned a random initial leaf.
+    pub fn new<R: Rng>(blocks: u64, leaf_count: u64, rng: &mut R) -> Self {
+        let leaves = (0..blocks).map(|_| Leaf(rng.gen_range(0..leaf_count))).collect();
+        FlatPosMap { leaves, leaf_count }
+    }
+
+    /// Number of blocks tracked.
+    pub fn len(&self) -> u64 {
+        self.leaves.len() as u64
+    }
+
+    /// True when tracking no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.leaves.is_empty()
+    }
+
+    /// Current leaf of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn get(&self, id: BlockId) -> Leaf {
+        self.leaves[id.0 as usize]
+    }
+
+    /// Reads the current leaf and atomically remaps the block to a fresh
+    /// random leaf — step 1 of `accessORAM`.
+    pub fn get_and_remap<R: Rng>(&mut self, id: BlockId, rng: &mut R) -> (Leaf, Leaf) {
+        let old = self.leaves[id.0 as usize];
+        let new = Leaf(rng.gen_range(0..self.leaf_count));
+        self.leaves[id.0 as usize] = new;
+        (old, new)
+    }
+
+    /// Overwrites the leaf for `id` (used when an external party, e.g. an
+    /// SDIMM in the Independent protocol, chose the new leaf).
+    pub fn set(&mut self, id: BlockId, leaf: Leaf) {
+        self.leaves[id.0 as usize] = leaf;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn initial_leaves_in_range_and_spread() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let pm = FlatPosMap::new(1000, 64, &mut rng);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..1000 {
+            let l = pm.get(BlockId(i));
+            assert!(l.0 < 64);
+            seen.insert(l.0);
+        }
+        assert!(seen.len() > 32, "random init should cover many leaves, got {}", seen.len());
+    }
+
+    #[test]
+    fn remap_changes_mapping_usually() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut pm = FlatPosMap::new(10, 1 << 20, &mut rng);
+        let (old, new) = pm.get_and_remap(BlockId(3), &mut rng);
+        assert_ne!(old, new, "with 2^20 leaves a collision is ~impossible");
+        assert_eq!(pm.get(BlockId(3)), new);
+    }
+
+    #[test]
+    fn set_overrides() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut pm = FlatPosMap::new(4, 16, &mut rng);
+        pm.set(BlockId(0), Leaf(9));
+        assert_eq!(pm.get(BlockId(0)), Leaf(9));
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_block_panics() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let pm = FlatPosMap::new(4, 16, &mut rng);
+        let _ = pm.get(BlockId(99));
+    }
+}

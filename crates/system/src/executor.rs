@@ -1,0 +1,591 @@
+//! The cycle-level trace executor: runs protocol [`RequestTrace`]s
+//! against shared DRAM channels and external buses.
+//!
+//! Each in-flight request walks its phases in order. Starting a phase
+//! reserves external-bus slots, schedules crypto completion times, and
+//! enqueues DRAM line requests (incrementally when controller queues are
+//! full). A phase finishes when all of its bus/crypto deadlines have
+//! passed and all of its DRAM requests have completed; the next phase
+//! then starts. Contention between concurrent requests arises naturally
+//! from the shared channels and buses.
+
+use std::collections::HashMap;
+
+use dram_sim::bus::Bus;
+use dram_sim::channel::DramChannel;
+use dram_sim::config::{ChannelConfig, Cycle};
+use dram_sim::power::EnergyBreakdown;
+use dram_sim::request::RequestId;
+use sdimm::trace::{Activity, RequestTrace};
+
+/// Handle identifying a submitted request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ExecId(pub u64);
+
+/// Progress notifications from the executor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecEvent {
+    /// The phase marked `data_ready_phase` completed: the CPU has its
+    /// data.
+    DataReady {
+        /// Which request.
+        id: ExecId,
+        /// Completion cycle.
+        at: Cycle,
+    },
+    /// All phases completed; protocol cleanup (appends, write-backs) is
+    /// finished.
+    Done {
+        /// Which request.
+        id: ExecId,
+        /// Completion cycle.
+        at: Cycle,
+    },
+}
+
+#[derive(Debug)]
+struct PendingLine {
+    channel: usize,
+    addr: u64,
+    is_write: bool,
+}
+
+#[derive(Debug)]
+struct Inflight {
+    id: ExecId,
+    trace: RequestTrace,
+    phase: usize,
+    /// Lines of the current phase not yet accepted by their controller.
+    pending: Vec<PendingLine>,
+    /// DRAM requests of the current phase still in flight.
+    outstanding: usize,
+    /// Latest bus/crypto completion time of the current phase.
+    busy_until: Cycle,
+    data_ready_sent: bool,
+    backend_released: bool,
+    started: bool,
+}
+
+/// Executes request traces against channels and buses.
+#[derive(Debug)]
+pub struct Executor {
+    channels: Vec<DramChannel>,
+    buses: Vec<Bus>,
+    /// Which bus serves each SDIMM (empty for baseline machines).
+    bus_of: Vec<usize>,
+    now: Cycle,
+    next_id: u64,
+    inflight: Vec<Inflight>,
+    /// Traces waiting for their serialized ORAM backend to free up.
+    backend_waiting: HashMap<usize, std::collections::VecDeque<Inflight>>,
+    /// Backends currently executing a trace.
+    backend_busy: std::collections::HashSet<usize>,
+    /// Maps (channel, dram request id) → index key of the owning request.
+    routing: HashMap<(usize, RequestId), ExecId>,
+    events: Vec<ExecEvent>,
+    /// Off-DIMM I/O energy per bit for bus transfers (pJ).
+    bus_pj_per_bit: f64,
+    /// When true, a `WakeRank` hint force-downs all other ranks
+    /// (the §III-E low-power policy).
+    lowpower_ranks: bool,
+}
+
+impl Executor {
+    /// Creates an executor over `n_channels` identical channels.
+    ///
+    /// `bus_map` assigns each channel/SDIMM to an external bus index
+    /// (pass an empty slice for baseline machines where the channels
+    /// *are* the main memory and no SDIMM bus exists).
+    pub fn new(n_channels: usize, cfg: ChannelConfig, bus_map: &[usize]) -> Self {
+        assert!(n_channels > 0);
+        let bus_count = bus_map.iter().copied().max().map(|m| m + 1).unwrap_or(0);
+        assert!(bus_map.is_empty() || bus_map.len() == n_channels);
+        let bus_pj_per_bit = cfg.power.io_pj_per_bit_offdimm;
+        Executor {
+            channels: (0..n_channels).map(|_| DramChannel::new(cfg.clone())).collect(),
+            buses: (0..bus_count).map(|_| Bus::new()).collect(),
+            bus_of: bus_map.to_vec(),
+            now: 0,
+            next_id: 0,
+            inflight: Vec::new(),
+            backend_waiting: HashMap::new(),
+            backend_busy: std::collections::HashSet::new(),
+            routing: HashMap::new(),
+            events: Vec::new(),
+            bus_pj_per_bit,
+            lowpower_ranks: false,
+        }
+    }
+
+    /// Enables the low-power rank policy: `WakeRank` hints wake the
+    /// target rank and push every other rank of that channel down.
+    pub fn set_lowpower_ranks(&mut self, on: bool) {
+        self.lowpower_ranks = on;
+    }
+
+    /// Current cycle.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Number of requests still in flight (including traces queued on a
+    /// busy backend).
+    pub fn active(&self) -> usize {
+        self.inflight.len() + self.backend_waiting.values().map(|q| q.len()).sum::<usize>()
+    }
+
+    /// Borrow a channel (stats).
+    pub fn channel(&self, i: usize) -> &DramChannel {
+        &self.channels[i]
+    }
+
+    /// Number of channels.
+    pub fn channel_count(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Total bytes moved over the external buses.
+    pub fn bus_bytes(&self) -> u64 {
+        self.buses.iter().map(Bus::data_bytes).sum()
+    }
+
+    /// Total command slots used on the external buses.
+    pub fn bus_commands(&self) -> u64 {
+        self.buses.iter().map(Bus::commands).sum()
+    }
+
+    /// Aggregate energy: channel energy plus external-bus I/O energy.
+    pub fn energy(&mut self) -> EnergyBreakdown {
+        let mut e = EnergyBreakdown::default();
+        for ch in &mut self.channels {
+            e.merge(&ch.energy());
+        }
+        let bus_bits = self.bus_bytes() * 8;
+        e.io_nj += bus_bits as f64 * self.bus_pj_per_bit / 1000.0;
+        e
+    }
+
+    /// Submits a request trace for execution. Traces claiming a busy
+    /// ORAM backend queue behind it (FIFO) and start when it frees.
+    pub fn submit(&mut self, trace: RequestTrace) -> ExecId {
+        let id = ExecId(self.next_id);
+        self.next_id += 1;
+        let mut req = Inflight {
+            id,
+            trace,
+            phase: 0,
+            pending: Vec::new(),
+            outstanding: 0,
+            busy_until: self.now,
+            data_ready_sent: false,
+            backend_released: false,
+            started: false,
+        };
+        if req.trace.phases.is_empty() {
+            self.events.push(ExecEvent::DataReady { id, at: self.now });
+            self.events.push(ExecEvent::Done { id, at: self.now });
+            return id;
+        }
+        if let Some(backend) = req.trace.backend {
+            if self.backend_busy.contains(&backend) {
+                self.backend_waiting.entry(backend).or_default().push_back(req);
+                return id;
+            }
+            self.backend_busy.insert(backend);
+        }
+        self.start_phase(&mut req);
+        self.inflight.push(req);
+        id
+    }
+
+    /// Takes accumulated events.
+    pub fn poll(&mut self) -> Vec<ExecEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    fn start_phase(&mut self, req: &mut Inflight) {
+        req.started = true;
+        req.busy_until = self.now;
+        let phase = &req.trace.phases[req.phase];
+        for act in &phase.par {
+            match act {
+                Activity::ExtShort { sdimm } => {
+                    let bus = self.bus_of.get(*sdimm).copied().unwrap_or(0);
+                    if let Some(b) = self.buses.get_mut(bus) {
+                        let slot = b.reserve(self.now, 0);
+                        req.busy_until = req.busy_until.max(slot.done_at);
+                    }
+                }
+                Activity::ExtTransfer { sdimm, bytes } => {
+                    let bus = self.bus_of.get(*sdimm).copied().unwrap_or(0);
+                    if let Some(b) = self.buses.get_mut(bus) {
+                        let slot = b.reserve(self.now, *bytes);
+                        req.busy_until = req.busy_until.max(slot.done_at);
+                    }
+                }
+                Activity::Crypto { units } => {
+                    req.busy_until = req.busy_until.max(self.now + Activity::crypto_cycles(*units));
+                }
+                Activity::Dram { channel, reads, writes } => {
+                    for &addr in reads {
+                        req.pending.push(PendingLine { channel: *channel, addr, is_write: false });
+                    }
+                    for &addr in writes {
+                        req.pending.push(PendingLine { channel: *channel, addr, is_write: true });
+                    }
+                }
+                Activity::WakeRank { channel, rank } => {
+                    let ch = &mut self.channels[*channel];
+                    ch.wake_rank(*rank);
+                    if self.lowpower_ranks {
+                        let ranks = ch.config().topology.ranks;
+                        for r in 0..ranks {
+                            if r != *rank {
+                                ch.force_rank_down(r);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.pump_pending(req);
+    }
+
+    /// Tries to enqueue a request's pending DRAM lines.
+    fn pump_pending(&mut self, req: &mut Inflight) {
+        let mut i = 0;
+        while i < req.pending.len() {
+            let line = &req.pending[i];
+            let accepted = if line.is_write {
+                self.channels[line.channel].enqueue_write(line.addr)
+            } else {
+                self.channels[line.channel].enqueue_read(line.addr)
+            };
+            match accepted {
+                Some(rid) => {
+                    self.routing.insert((line.channel, rid), req.id);
+                    req.outstanding += 1;
+                    req.pending.swap_remove(i);
+                }
+                None => {
+                    i += 1; // queue full; retry on a later pump
+                }
+            }
+        }
+    }
+
+    /// Advances simulated time, pumping all in-flight requests.
+    pub fn tick(&mut self, cycles: Cycle) {
+        let step = 8;
+        let end = self.now + cycles;
+        while self.now < end {
+            let dt = step.min(end - self.now);
+            for ch in &mut self.channels {
+                ch.tick(dt);
+            }
+            self.now += dt;
+            self.process();
+        }
+    }
+
+    /// Runs until every submitted request is done or `limit` elapses.
+    pub fn run_until_quiescent(&mut self, limit: Cycle) {
+        let deadline = self.now + limit;
+        while self.active() > 0 && self.now < deadline {
+            self.tick(64.min(deadline - self.now).max(1));
+        }
+    }
+
+    fn process(&mut self) {
+        // Route channel completions to their owners.
+        let mut finished: HashMap<ExecId, usize> = HashMap::new();
+        for (ci, ch) in self.channels.iter_mut().enumerate() {
+            for comp in ch.drain_completions() {
+                if let Some(owner) = self.routing.remove(&(ci, comp.id)) {
+                    *finished.entry(owner).or_insert(0) += 1;
+                }
+            }
+        }
+
+        // Advance requests.
+        let mut requests = std::mem::take(&mut self.inflight);
+        for req in &mut requests {
+            if let Some(n) = finished.get(&req.id) {
+                req.outstanding -= n;
+            }
+        }
+        let now = self.now;
+        let mut still_running = Vec::with_capacity(requests.len());
+        for mut req in requests {
+            if !req.pending.is_empty() {
+                self.pump_pending(&mut req);
+            }
+            // Phase complete?
+            while req.pending.is_empty() && req.outstanding == 0 && now >= req.busy_until {
+                if req.phase == req.trace.data_ready_phase && !req.data_ready_sent {
+                    req.data_ready_sent = true;
+                    self.events.push(ExecEvent::DataReady { id: req.id, at: now });
+                }
+                if req.phase >= req.trace.backend_release_phase && !req.backend_released {
+                    req.backend_released = true;
+                    if let Some(backend) = req.trace.backend {
+                        // Hand the backend to the next waiting trace; the
+                        // remaining (CPU-side) phases run concurrently.
+                        let next = self
+                            .backend_waiting
+                            .get_mut(&backend)
+                            .and_then(std::collections::VecDeque::pop_front);
+                        match next {
+                            Some(mut waiting) => {
+                                self.start_phase(&mut waiting);
+                                still_running.push(waiting);
+                            }
+                            None => {
+                                self.backend_busy.remove(&backend);
+                            }
+                        }
+                    }
+                }
+                if req.phase + 1 >= req.trace.phases.len() {
+                    if !req.data_ready_sent {
+                        req.data_ready_sent = true;
+                        self.events.push(ExecEvent::DataReady { id: req.id, at: now });
+                    }
+                    self.events.push(ExecEvent::Done { id: req.id, at: now });
+                    req.phase = usize::MAX; // sentinel: fully done
+                    break;
+                }
+                req.phase += 1;
+                self.start_phase(&mut req);
+            }
+            if req.phase != usize::MAX {
+                still_running.push(req);
+            }
+        }
+        self.inflight = still_running;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdimm::trace::Phase;
+
+    fn quiet_cfg() -> ChannelConfig {
+        let mut cfg = ChannelConfig::sdimm_internal();
+        cfg.refresh_enabled = false;
+        cfg
+    }
+
+    fn dram_trace(channel: usize, n: u64) -> RequestTrace {
+        RequestTrace::new(vec![Phase::one(Activity::Dram {
+            channel,
+            reads: (0..n).map(|i| i * 64).collect(),
+            writes: Vec::new(),
+        })])
+    }
+
+    #[test]
+    fn single_dram_phase_completes() {
+        let mut ex = Executor::new(1, quiet_cfg(), &[0]);
+        let id = ex.submit(dram_trace(0, 4));
+        ex.run_until_quiescent(100_000);
+        let events = ex.poll();
+        assert!(events.contains(&ExecEvent::Done { id, at: ex.now() })
+            || events.iter().any(|e| matches!(e, ExecEvent::Done { id: i, .. } if *i == id)));
+    }
+
+    #[test]
+    fn phases_serialize() {
+        // Phase 2's DRAM work must not start before phase 1's crypto ends.
+        let mut ex = Executor::new(1, quiet_cfg(), &[0]);
+        let trace = RequestTrace::new(vec![
+            Phase::one(Activity::Crypto { units: 100 }), // ≈120 cycles
+            Phase::one(Activity::Dram { channel: 0, reads: vec![0], writes: vec![] }),
+        ]);
+        let id = ex.submit(trace);
+        ex.run_until_quiescent(100_000);
+        let done_at = ex
+            .poll()
+            .iter()
+            .find_map(|e| match e {
+                ExecEvent::Done { id: i, at } if *i == id => Some(*at),
+                _ => None,
+            })
+            .expect("request finishes");
+        assert!(done_at > 120, "crypto phase must delay the DRAM phase, done at {done_at}");
+    }
+
+    #[test]
+    fn data_ready_precedes_done_when_marked() {
+        let mut ex = Executor::new(2, quiet_cfg(), &[0, 0]);
+        let mut trace = RequestTrace::new(vec![
+            Phase::one(Activity::Dram { channel: 0, reads: vec![0], writes: vec![] }),
+            Phase::one(Activity::Dram { channel: 1, reads: vec![64], writes: vec![] }),
+        ]);
+        trace.data_ready_phase = 0;
+        let id = ex.submit(trace);
+        ex.run_until_quiescent(100_000);
+        let ev = ex.poll();
+        let ready = ev.iter().position(|e| matches!(e, ExecEvent::DataReady { id: i, .. } if *i == id));
+        let done = ev.iter().position(|e| matches!(e, ExecEvent::Done { id: i, .. } if *i == id));
+        assert!(ready.unwrap() < done.unwrap());
+    }
+
+    #[test]
+    fn parallel_channels_overlap() {
+        // The same DRAM work split across 2 channels should finish much
+        // faster than serialized on one.
+        let run = |channels: usize| {
+            let mut ex = Executor::new(channels, quiet_cfg(), &vec![0; channels]);
+            let per = 64 / channels as u64;
+            let phases = vec![Phase {
+                par: (0..channels)
+                    .map(|c| Activity::Dram {
+                        channel: c,
+                        reads: (0..per).map(|i| i * 64).collect(),
+                        writes: Vec::new(),
+                    })
+                    .collect(),
+            }];
+            ex.submit(RequestTrace::new(phases));
+            ex.run_until_quiescent(1_000_000);
+            ex.now()
+        };
+        let one = run(1);
+        let two = run(2);
+        assert!((two as f64) < one as f64 * 0.7, "1ch={one} 2ch={two}");
+    }
+
+    #[test]
+    fn bus_contention_serializes_transfers() {
+        let mut ex = Executor::new(2, quiet_cfg(), &[0, 0]);
+        // Two simultaneous 4 KB transfers on the same bus.
+        for s in 0..2usize {
+            ex.submit(RequestTrace::new(vec![Phase::one(Activity::ExtTransfer {
+                sdimm: s,
+                bytes: 4096,
+            })]));
+        }
+        ex.run_until_quiescent(1_000_000);
+        // 8 KB at 16 B/cycle = 512 cycles minimum.
+        assert!(ex.now() >= 512, "bus must serialize: now = {}", ex.now());
+        assert_eq!(ex.bus_bytes(), 8192);
+    }
+
+    #[test]
+    fn many_requests_all_complete() {
+        let mut ex = Executor::new(2, quiet_cfg(), &[0, 1]);
+        let mut ids = Vec::new();
+        for i in 0..20 {
+            ids.push(ex.submit(dram_trace(i % 2, 8)));
+        }
+        ex.run_until_quiescent(1_000_000);
+        let done: Vec<ExecId> = ex
+            .poll()
+            .iter()
+            .filter_map(|e| match e {
+                ExecEvent::Done { id, .. } => Some(*id),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(done.len(), 20);
+    }
+
+    #[test]
+    fn empty_trace_completes_immediately() {
+        let mut ex = Executor::new(1, quiet_cfg(), &[0]);
+        let id = ex.submit(RequestTrace::default());
+        let ev = ex.poll();
+        assert!(ev.iter().any(|e| matches!(e, ExecEvent::Done { id: i, .. } if *i == id)));
+    }
+
+    #[test]
+    fn backend_serialization_orders_traces() {
+        let mut ex = Executor::new(1, quiet_cfg(), &[0]);
+        let mut t1 = dram_trace(0, 8);
+        t1.backend = Some(0);
+        let mut t2 = dram_trace(0, 8);
+        t2.backend = Some(0);
+        let a = ex.submit(t1);
+        let b = ex.submit(t2);
+        assert_eq!(ex.active(), 2, "second trace queues behind the busy backend");
+        ex.run_until_quiescent(1_000_000);
+        let done: Vec<(ExecId, Cycle)> = ex
+            .poll()
+            .iter()
+            .filter_map(|e| match e {
+                ExecEvent::Done { id, at } => Some((*id, *at)),
+                _ => None,
+            })
+            .collect();
+        let ta = done.iter().find(|(i, _)| *i == a).unwrap().1;
+        let tb = done.iter().find(|(i, _)| *i == b).unwrap().1;
+        assert!(tb > ta, "backend must serialize: {ta} vs {tb}");
+    }
+
+    #[test]
+    fn backend_release_phase_frees_backend_early() {
+        let mut ex = Executor::new(1, quiet_cfg(), &[0]);
+        // Trace A: a short DRAM phase then a long crypto tail; backend
+        // released after the DRAM phase.
+        let mut a = RequestTrace::new(vec![
+            Phase::one(Activity::Dram { channel: 0, reads: vec![0], writes: vec![] }),
+            Phase::one(Activity::Crypto { units: 2000 }), // ≈2 kcycle tail
+        ]);
+        a.backend = Some(0);
+        a.backend_release_phase = 0;
+        let mut b = RequestTrace::new(vec![Phase::one(Activity::Dram {
+            channel: 0,
+            reads: vec![64],
+            writes: vec![],
+        })]);
+        b.backend = Some(0);
+        ex.submit(a);
+        let bid = ex.submit(b);
+        ex.run_until_quiescent(1_000_000);
+        let done_b = ex
+            .poll()
+            .iter()
+            .find_map(|e| match e {
+                ExecEvent::Done { id, at } if *id == bid => Some(*at),
+                _ => None,
+            })
+            .expect("b finishes");
+        assert!(
+            done_b < 1000,
+            "b should start as soon as a's DRAM phase ends, not after its crypto tail: {done_b}"
+        );
+    }
+
+    #[test]
+    fn lowpower_wakerank_forces_other_ranks_down() {
+        let mut ex = Executor::new(1, quiet_cfg(), &[0]);
+        ex.set_lowpower_ranks(true);
+        ex.submit(RequestTrace::new(vec![Phase {
+            par: vec![
+                Activity::WakeRank { channel: 0, rank: 1 },
+                Activity::Dram { channel: 0, reads: vec![0], writes: vec![] },
+            ],
+        }]));
+        ex.run_until_quiescent(100_000);
+        ex.tick(200); // give the scheduler time to close banks and sleep
+        use dram_sim::rank::PowerState;
+        let asleep = (0..ex.channel(0).config().topology.ranks)
+            .filter(|r| matches!(ex.channel(0).rank_power_state(*r), PowerState::PowerDown { .. }))
+            .count();
+        assert!(asleep >= 2, "most idle ranks should be powered down, got {asleep}");
+    }
+
+    #[test]
+    fn energy_includes_bus_io() {
+        let mut ex = Executor::new(1, quiet_cfg(), &[0]);
+        ex.submit(RequestTrace::new(vec![Phase::one(Activity::ExtTransfer {
+            sdimm: 0,
+            bytes: 64 * 1024,
+        })]));
+        ex.run_until_quiescent(1_000_000);
+        let e = ex.energy();
+        assert!(e.io_nj > 0.0, "bus transfers must show up as I/O energy");
+    }
+}

@@ -1,0 +1,43 @@
+//! `sdimm-system` — full-system trace-driven simulation tying everything
+//! together.
+//!
+//! A [`machine::Machine`] couples:
+//!
+//! * the CPU-side frontend (`sdimm::frontend`, the PLB + recursion walk),
+//! * a functional ORAM backend (baseline `oram::PathOram` or one of the
+//!   SDIMM protocols from the `sdimm` crate),
+//! * and the cycle-level [`executor::Executor`] over `dram-sim` channels
+//!   and buses.
+//!
+//! [`runner::run`] replays a `workloads` trace through the Table II LLC
+//! with a warm-up window, then measures cycles, latency, and energy —
+//! the harness behind every performance figure in the paper.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use sdimm_system::machine::{MachineKind, SystemConfig};
+//! use sdimm_system::runner;
+//! use workloads::spec;
+//!
+//! let trace = spec::generate("gromacs-like", 3_000, 1);
+//! let base = runner::run(
+//!     &SystemConfig::small(MachineKind::Freecursive { channels: 1 }),
+//!     &trace, 1_000, 1_000);
+//! let indep = runner::run(
+//!     &SystemConfig::small(MachineKind::Independent { sdimms: 2, channels: 1 }),
+//!     &trace, 1_000, 1_000);
+//! println!("speedup: {:.2}x",
+//!     base.cycles_per_record() / indep.cycles_per_record());
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod executor;
+pub mod llc;
+pub mod machine;
+pub mod runner;
+
+pub use machine::{Machine, MachineKind, SystemConfig};
+pub use runner::{run, RunResult};

@@ -1,0 +1,452 @@
+//! Machine configurations: one builder per evaluated design point.
+//!
+//! A [`Machine`] couples a functional ORAM backend (or none), the
+//! CPU-side frontend, and the executor resources (channels, buses) for
+//! one of the paper's design points: the non-secure baseline, Freecursive
+//! on 1/2 channels, and the SDIMM organizations of Fig 7
+//! (INDEP-2/SPLIT-2 on one channel, INDEP-4/SPLIT-4/INDEP-SPLIT on two).
+
+use dram_sim::config::ChannelConfig;
+use oram::path_oram::PathOram;
+use oram::types::{BlockId, Op, OramConfig};
+use sdimm::frontend::Frontend;
+use sdimm::indep_split::{IndepSplitConfig, IndepSplitOram};
+use sdimm::independent::{IndependentConfig, IndependentOram};
+use sdimm::split::{SplitConfig, SplitOram};
+use sdimm::trace::{Activity, Phase, RequestTrace};
+
+use crate::executor::Executor;
+
+/// Which design point to build (Fig 7 naming).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MachineKind {
+    /// No ORAM: LLC misses go straight to DRAM.
+    NonSecure {
+        /// Main-memory channels.
+        channels: usize,
+    },
+    /// The Freecursive ORAM baseline.
+    Freecursive {
+        /// Main-memory channels.
+        channels: usize,
+    },
+    /// Independent protocol over `sdimms` SDIMMs (`channels` external
+    /// buses; `sdimms / channels` SDIMMs share each bus).
+    Independent {
+        /// SDIMM count (INDEP-2, INDEP-4).
+        sdimms: usize,
+        /// External buses.
+        channels: usize,
+    },
+    /// Split protocol across `ways` SDIMMs.
+    Split {
+        /// Split arity (SPLIT-2, SPLIT-4).
+        ways: usize,
+        /// External buses.
+        channels: usize,
+    },
+    /// The combined INDEP-SPLIT design (2 groups × 2-way split).
+    IndepSplit {
+        /// Independent groups.
+        groups: usize,
+        /// Split arity within a group.
+        ways: usize,
+        /// External buses.
+        channels: usize,
+    },
+}
+
+impl MachineKind {
+    /// Short display name matching the paper's figures.
+    pub fn name(&self) -> String {
+        match self {
+            MachineKind::NonSecure { channels } => format!("NONSECURE-{channels}ch"),
+            MachineKind::Freecursive { channels } => format!("FREECURSIVE-{channels}ch"),
+            MachineKind::Independent { sdimms, .. } => format!("INDEP-{sdimms}"),
+            MachineKind::Split { ways, .. } => format!("SPLIT-{ways}"),
+            MachineKind::IndepSplit { .. } => "INDEP-SPLIT".to_string(),
+        }
+    }
+
+    /// Number of DRAM channels the executor needs (main channels for
+    /// baselines, one internal channel per SDIMM otherwise).
+    pub fn executor_channels(&self) -> usize {
+        match *self {
+            MachineKind::NonSecure { channels } | MachineKind::Freecursive { channels } => channels,
+            MachineKind::Independent { sdimms, .. } => sdimms,
+            MachineKind::Split { ways, .. } => ways,
+            MachineKind::IndepSplit { groups, ways, .. } => groups * ways,
+        }
+    }
+}
+
+/// Full system parameters.
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// Design point.
+    pub kind: MachineKind,
+    /// Global ORAM tree parameters (levels, Z, cached levels).
+    pub oram: OramConfig,
+    /// Logical data blocks the CPU addresses.
+    pub data_blocks: u64,
+    /// Enable the low-power rank-localized scheme.
+    pub low_power: bool,
+    /// Deterministic seed.
+    pub seed: u64,
+}
+
+impl SystemConfig {
+    /// A small-but-representative configuration for tests and quick runs:
+    /// a 16-level tree with the Table II Z and block size.
+    pub fn small(kind: MachineKind) -> Self {
+        SystemConfig {
+            kind,
+            oram: OramConfig { levels: 16, cached_levels: 4, ..OramConfig::default() },
+            data_blocks: 1 << 14,
+            low_power: false,
+            seed: 1,
+        }
+    }
+}
+
+/// The functional backend behind a machine.
+#[derive(Debug)]
+enum Backend {
+    NonSecure,
+    Freecursive { oram: PathOram, channels: usize },
+    Independent(IndependentOram),
+    Split(SplitOram),
+    IndepSplit(IndepSplitOram),
+}
+
+/// A complete simulated machine: frontend + backend + executor.
+#[derive(Debug)]
+pub struct Machine {
+    cfg: SystemConfig,
+    frontend: Option<Frontend>,
+    backend: Backend,
+    /// Cycle-level resources.
+    pub executor: Executor,
+}
+
+impl Machine {
+    /// Builds the machine for `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is internally inconsistent (e.g. more
+    /// blocks than the tree holds).
+    pub fn new(cfg: SystemConfig) -> Self {
+        let kind = cfg.kind;
+        let n_exec = kind.executor_channels();
+
+        let (backend, frontend, executor) = match kind {
+            MachineKind::NonSecure { channels } => {
+                let mut ch_cfg = ChannelConfig::table2();
+                ch_cfg.refresh_enabled = true;
+                (Backend::NonSecure, None, Executor::new(channels, ch_cfg, &[]))
+            }
+            MachineKind::Freecursive { channels } => {
+                let frontend = Frontend::new(&cfg.oram, cfg.data_blocks);
+                let total = frontend.id_space().total_blocks();
+                let oram = PathOram::new(cfg.oram.clone(), total, cfg.seed);
+                let mut ch_cfg = ChannelConfig::table2();
+                ch_cfg.refresh_enabled = true;
+                (
+                    Backend::Freecursive { oram, channels },
+                    Some(frontend),
+                    Executor::new(channels, ch_cfg, &[]),
+                )
+            }
+            MachineKind::Independent { sdimms, channels } => {
+                let frontend = Frontend::new(&cfg.oram, cfg.data_blocks);
+                let total = frontend.id_space().total_blocks();
+                let mut icfg = IndependentConfig::new(sdimms, &cfg.oram);
+                icfg.low_power = cfg.low_power;
+                let oram = IndependentOram::new(icfg, total, cfg.seed);
+                let bus_map = bus_assignment(sdimms, channels);
+                let mut ch_cfg = ChannelConfig::sdimm_internal();
+                ch_cfg.refresh_enabled = true;
+                let mut ex = Executor::new(n_exec, ch_cfg, &bus_map);
+                ex.set_lowpower_ranks(cfg.low_power);
+                (Backend::Independent(oram), Some(frontend), ex)
+            }
+            MachineKind::Split { ways, channels } => {
+                let frontend = Frontend::new(&cfg.oram, cfg.data_blocks);
+                let total = frontend.id_space().total_blocks();
+                let mut scfg = SplitConfig::new(ways, &cfg.oram);
+                scfg.low_power = cfg.low_power;
+                let oram = SplitOram::new(scfg, total, cfg.seed);
+                let bus_map = bus_assignment(ways, channels);
+                let mut ch_cfg = ChannelConfig::sdimm_internal();
+                ch_cfg.refresh_enabled = true;
+                let mut ex = Executor::new(n_exec, ch_cfg, &bus_map);
+                ex.set_lowpower_ranks(cfg.low_power);
+                (Backend::Split(oram), Some(frontend), ex)
+            }
+            MachineKind::IndepSplit { groups, ways, channels } => {
+                let frontend = Frontend::new(&cfg.oram, cfg.data_blocks);
+                let total = frontend.id_space().total_blocks();
+                let mut ccfg = IndepSplitConfig::new(groups, ways, &cfg.oram);
+                ccfg.low_power = cfg.low_power;
+                let oram = IndepSplitOram::new(ccfg, total, cfg.seed);
+                let bus_map = bus_assignment(groups * ways, channels);
+                let mut ch_cfg = ChannelConfig::sdimm_internal();
+                ch_cfg.refresh_enabled = true;
+                let mut ex = Executor::new(n_exec, ch_cfg, &bus_map);
+                ex.set_lowpower_ranks(cfg.low_power);
+                (Backend::IndepSplit(oram), Some(frontend), ex)
+            }
+        };
+
+        Machine { cfg, frontend, backend, executor }
+    }
+
+    /// The system configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Mean `accessORAM`s per request so far (≈1.4 in the paper), or 0
+    /// for the non-secure machine.
+    pub fn accesses_per_request(&self) -> f64 {
+        self.frontend.as_ref().map(|f| f.stats().accesses_per_request()).unwrap_or(0.0)
+    }
+
+    /// Maps a physical line address onto (channel, channel-local address)
+    /// for baseline machines (line interleaving, as in `MemorySystem`).
+    fn split_lines(lines: &[u64], channels: usize) -> Vec<(usize, Vec<u64>)> {
+        let mut per: Vec<Vec<u64>> = vec![Vec::new(); channels];
+        for &addr in lines {
+            let line = addr / 64;
+            let ch = (line % channels as u64) as usize;
+            per[ch].push((line / channels as u64) * 64);
+        }
+        per.into_iter().enumerate().filter(|(_, v)| !v.is_empty()).collect()
+    }
+
+    /// Builds the request-trace chain for one LLC miss (or LLC
+    /// write-back) at byte address `addr`: one trace per `accessORAM`
+    /// the frontend plans (posmap walks, PLB write-backs, then the demand
+    /// access). The parts must execute in order — each depends on the
+    /// previous one's result — but each claims only its *own* backend,
+    /// so accesses from different CPU requests overlap whenever their
+    /// backends differ.
+    pub fn request_traces(&mut self, addr: u64, is_write: bool) -> Vec<RequestTrace> {
+        let op = if is_write { Op::Write } else { Op::Read };
+        match &mut self.backend {
+            Backend::NonSecure => {
+                let channels = self.executor.channel_count();
+                let line = addr / 64;
+                let ch = (line % channels as u64) as usize;
+                let local = (line / channels as u64) * 64;
+                vec![RequestTrace::new(vec![Phase::one(Activity::Dram {
+                    channel: ch,
+                    reads: if is_write { vec![] } else { vec![local] },
+                    writes: if is_write { vec![local] } else { vec![] },
+                })])]
+            }
+            Backend::Freecursive { oram, channels } => {
+                let frontend = self.frontend.as_mut().expect("ORAM machines have a frontend");
+                let index = (addr / 64) % self.cfg.data_blocks;
+                let mut parts = Vec::new();
+                for planned in frontend.plan_request(index, op) {
+                    let (_, plan) = oram.access(planned.id, planned.op, Some(&[]));
+                    let mut phases = Vec::new();
+                    let mut read_phase = Phase::default();
+                    for (ch, lines) in Self::split_lines(&plan.read_lines, *channels) {
+                        read_phase.par.push(Activity::Dram { channel: ch, reads: lines, writes: vec![] });
+                    }
+                    read_phase.par.push(Activity::Crypto { units: plan.read_lines.len() as u32 });
+                    phases.push(read_phase);
+                    let mut write_phase = Phase::default();
+                    for (ch, lines) in Self::split_lines(&plan.write_lines, *channels) {
+                        write_phase.par.push(Activity::Dram { channel: ch, reads: vec![], writes: lines });
+                    }
+                    phases.push(write_phase);
+                    let mut t = RequestTrace::new(phases);
+                    // Data is ready after the path read; write-back drains
+                    // behind it inside the serialized backend.
+                    t.data_ready_phase = t.phases.len().saturating_sub(2);
+                    t.backend = Some(0);
+                    parts.push(t);
+                }
+                parts
+            }
+            Backend::Independent(oram) => {
+                Self::plan_protocol(self.frontend.as_mut(), addr, op, self.cfg.data_blocks, |id, op| {
+                    oram.access(id, op, Some(&[])).1
+                })
+            }
+            Backend::Split(oram) => {
+                Self::plan_protocol(self.frontend.as_mut(), addr, op, self.cfg.data_blocks, |id, op| {
+                    oram.access(id, op, Some(&[])).1
+                })
+            }
+            Backend::IndepSplit(oram) => {
+                Self::plan_protocol(self.frontend.as_mut(), addr, op, self.cfg.data_blocks, |id, op| {
+                    oram.access(id, op, Some(&[])).1
+                })
+            }
+        }
+    }
+
+    fn plan_protocol(
+        frontend: Option<&mut Frontend>,
+        addr: u64,
+        op: Op,
+        data_blocks: u64,
+        mut access: impl FnMut(BlockId, Op) -> RequestTrace,
+    ) -> Vec<RequestTrace> {
+        let frontend = frontend.expect("ORAM machines have a frontend");
+        let index = (addr / 64) % data_blocks;
+        frontend
+            .plan_request(index, op)
+            .into_iter()
+            .map(|planned| access(planned.id, planned.op))
+            .collect()
+    }
+}
+
+/// Assigns `sdimms` SDIMMs to `buses` external buses round-robin by
+/// contiguous groups (2 DIMMs per channel, as in the evaluation).
+fn bus_assignment(sdimms: usize, buses: usize) -> Vec<usize> {
+    assert!(buses >= 1 && sdimms >= buses, "need at least one SDIMM per bus");
+    let per = sdimms / buses;
+    (0..sdimms).map(|i| (i / per).min(buses - 1)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bus_assignment_groups_contiguously() {
+        assert_eq!(bus_assignment(4, 2), vec![0, 0, 1, 1]);
+        assert_eq!(bus_assignment(2, 1), vec![0, 0]);
+        assert_eq!(bus_assignment(2, 2), vec![0, 1]);
+    }
+
+    #[test]
+    fn names_match_figures() {
+        assert_eq!(MachineKind::Independent { sdimms: 4, channels: 2 }.name(), "INDEP-4");
+        assert_eq!(MachineKind::Split { ways: 2, channels: 1 }.name(), "SPLIT-2");
+        assert_eq!(
+            MachineKind::IndepSplit { groups: 2, ways: 2, channels: 2 }.name(),
+            "INDEP-SPLIT"
+        );
+    }
+
+    #[test]
+    fn nonsecure_trace_is_single_line() {
+        let mut m = Machine::new(SystemConfig::small(MachineKind::NonSecure { channels: 2 }));
+        let parts = m.request_traces(0x4000, false);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].dram_lines(), 1);
+        assert_eq!(parts[0].external_bytes(), 0);
+    }
+
+    #[test]
+    fn freecursive_traces_move_whole_paths() {
+        let mut m = Machine::new(SystemConfig::small(MachineKind::Freecursive { channels: 1 }));
+        let parts = m.request_traces(0x4000, false);
+        let per_access = m.config().oram.lines_per_access() as u64;
+        for t in &parts {
+            assert_eq!(t.dram_lines(), per_access, "each part is one whole access");
+            assert_eq!(t.backend, Some(0));
+        }
+        assert!(!parts.is_empty());
+    }
+
+    #[test]
+    fn independent_traces_are_light_on_external_bus() {
+        let mut m = Machine::new(SystemConfig::small(MachineKind::Independent {
+            sdimms: 2,
+            channels: 1,
+        }));
+        // Warm the PLB so we compare single accesses.
+        m.request_traces(0x1000, false);
+        let parts = m.request_traces(0x1000, false);
+        assert_eq!(parts.len(), 1, "warm request needs only the demand access");
+        let baseline_lines = m.config().oram.lines_per_access() as f64;
+        assert!(parts[0].external_line_equivalents() < baseline_lines * 0.15);
+        assert!(parts[0].dram_lines() > 0);
+    }
+
+    #[test]
+    fn split_engages_all_ways() {
+        let mut m = Machine::new(SystemConfig::small(MachineKind::Split { ways: 2, channels: 1 }));
+        let parts = m.request_traces(0x2000, false);
+        let mut channels = std::collections::HashSet::new();
+        for t in &parts {
+            for a in t.iter_activities() {
+                if let Activity::Dram { channel, .. } = a {
+                    channels.insert(*channel);
+                }
+            }
+        }
+        assert_eq!(channels.len(), 2);
+    }
+
+    #[test]
+    fn indep_split_builds_with_four_sdimms() {
+        let m = Machine::new(SystemConfig::small(MachineKind::IndepSplit {
+            groups: 2,
+            ways: 2,
+            channels: 2,
+        }));
+        assert_eq!(m.executor.channel_count(), 4);
+    }
+
+    #[test]
+    fn split_low_power_traces_carry_wake_hints() {
+        let mut cfg = SystemConfig::small(MachineKind::Split { ways: 2, channels: 1 });
+        cfg.low_power = true;
+        let mut m = Machine::new(cfg);
+        let parts = m.request_traces(0x3000, false);
+        assert!(
+            parts.iter().flat_map(|t| t.iter_activities()).any(|a| matches!(
+                a,
+                Activity::WakeRank { .. }
+            )),
+            "low-power Split must emit rank hints"
+        );
+    }
+
+    #[test]
+    fn protocol_backends_differ_across_requests() {
+        // Independent: different leaves route to different backends, so a
+        // sample of requests must claim more than one backend id.
+        let mut m = Machine::new(SystemConfig::small(MachineKind::Independent {
+            sdimms: 4,
+            channels: 2,
+        }));
+        let mut backends = std::collections::HashSet::new();
+        for i in 0..32u64 {
+            for t in m.request_traces(i * 64 * 131, false) {
+                backends.extend(t.backend);
+            }
+        }
+        assert!(backends.len() >= 3, "expected several backends, got {backends:?}");
+    }
+
+    #[test]
+    fn writeback_traces_look_like_demand_traces() {
+        let mut m = Machine::new(SystemConfig::small(MachineKind::Freecursive { channels: 1 }));
+        let rd: u64 = m.request_traces(0x5000, false).iter().map(|t| t.dram_lines()).sum();
+        let wr: u64 = m.request_traces(0x5000, true).iter().map(|t| t.dram_lines()).sum();
+        // Same PLB-warm address: both are single accesses of a full path.
+        assert_eq!(rd % m.config().oram.lines_per_access() as u64, 0);
+        assert_eq!(wr % m.config().oram.lines_per_access() as u64, 0);
+    }
+
+    #[test]
+    fn accesses_per_request_reported() {
+        let mut m = Machine::new(SystemConfig::small(MachineKind::Freecursive { channels: 1 }));
+        for i in 0..50 {
+            m.request_traces(i * 64, false);
+        }
+        let apr = m.accesses_per_request();
+        assert!((1.0..3.0).contains(&apr), "apr {apr}");
+    }
+}

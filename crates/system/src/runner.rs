@@ -1,0 +1,341 @@
+//! The trace-replay runner: warm-up then cycle-measured execution.
+//!
+//! Mirrors the paper's methodology (§IV-A): L1-miss records are replayed
+//! through the LLC; after a warm-up window that only touches the LLC,
+//! the measured window runs cycle-accurately. The CPU model is an
+//! in-order core with a 128-entry ROB: a miss can issue once its
+//! inter-arrival gap has elapsed and the number of outstanding misses is
+//! below the window the ROB supports; dirty LLC evictions generate
+//! write requests that do not block retirement.
+
+use std::collections::HashMap;
+
+use dram_sim::config::Cycle;
+use dram_sim::power::EnergyBreakdown;
+use workloads::Trace;
+
+use crate::executor::ExecEvent;
+use crate::llc::Llc;
+use crate::machine::{Machine, SystemConfig};
+
+/// CPU cycles per memory-bus cycle (1.6 GHz core vs 800 MHz bus).
+pub const CPU_PER_MEM_CYCLE: u64 = 2;
+
+/// ROB capacity in instructions (Table II: 128-entry re-order buffer).
+/// The core can only run this far ahead of its oldest incomplete miss,
+/// so achievable memory-level parallelism is the number of misses that
+/// fit in this window — the property separating the Independent and
+/// Split protocols.
+pub const ROB_INSTRS: u64 = 128;
+
+/// Miss-status registers: a hard cap on outstanding LLC misses.
+pub const MSHR_LIMIT: usize = 16;
+
+/// Result of one measured run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Machine name (e.g. `INDEP-4`).
+    pub machine: String,
+    /// Workload name.
+    pub workload: String,
+    /// Memory-bus cycles the measured window took.
+    pub cycles: Cycle,
+    /// Trace records retired in the measured window.
+    pub records: u64,
+    /// LLC misses in the measured window.
+    pub llc_misses: u64,
+    /// Mean memory latency per LLC miss (bus cycles, issue → data ready).
+    pub mean_miss_latency: f64,
+    /// accessORAMs per LLC request (paper: ≈1.4).
+    pub accesses_per_request: f64,
+    /// Energy over the measured window.
+    pub energy: EnergyBreakdown,
+    /// External-bus bytes (0 for baselines).
+    pub external_bus_bytes: u64,
+    /// Total DRAM line transfers issued.
+    pub dram_lines: u64,
+}
+
+impl RunResult {
+    /// Cycles per record: the normalized execution-time metric of
+    /// Figs 6/8/9/11.
+    pub fn cycles_per_record(&self) -> f64 {
+        if self.records == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.records as f64
+        }
+    }
+
+    /// Energy per record in nJ (Fig 10's metric, normalized elsewhere).
+    pub fn energy_per_record_nj(&self) -> f64 {
+        if self.records == 0 {
+            0.0
+        } else {
+            self.energy.total_nj() / self.records as f64
+        }
+    }
+}
+
+/// Runs `trace` on a machine built from `cfg`: `warmup` records touch
+/// only the LLC, then `measure` records run cycle-accurately.
+///
+/// # Panics
+///
+/// Panics if the trace is shorter than `warmup + measure`.
+pub fn run(cfg: &SystemConfig, trace: &Trace, warmup: usize, measure: usize) -> RunResult {
+    assert!(
+        trace.records.len() >= warmup + measure,
+        "trace too short: {} < {}",
+        trace.records.len(),
+        warmup + measure
+    );
+    let mut machine = Machine::new(cfg.clone());
+    let mut llc = Llc::table2();
+
+    // Warm-up: LLC state only (the paper fast-forwards 1M accesses).
+    for r in &trace.records[..warmup] {
+        llc.warm(r.addr, r.is_write);
+    }
+
+    // Measured window.
+    //
+    // The core model: instruction position advances by each record's gap;
+    // a miss occupies a ROB slot until its (final chained part's) data
+    // returns, and the core can run at most `ROB_INSTRS` instructions past
+    // its oldest incomplete miss. Dependent (pointer-chase) records
+    // additionally wait for the previous miss's data. Dirty-LLC
+    // write-backs go out through the store buffer: they consume memory
+    // bandwidth but no ROB slot. Each LLC request expands into a chain of
+    // `accessORAM` traces executed in order; part k+1 is submitted when
+    // part k's data is ready, and each part serializes only on its own
+    // ORAM backend.
+    struct Chain {
+        parts: std::collections::VecDeque<sdimm::trace::RequestTrace>,
+        instr_pos: u64,
+        issued_at: Cycle,
+        is_writeback: bool,
+    }
+    let mut chains: HashMap<crate::executor::ExecId, Chain> = HashMap::new();
+    let mut latency_sum: u64 = 0;
+    let mut latency_count: u64 = 0;
+    let mut dram_lines: u64 = 0;
+    let mut retired: u64 = 0;
+    let mut instr_pos: u64 = 0;
+    let mut next_issue_at: Cycle = 0;
+    let mut last_miss: Option<crate::executor::ExecId> = None;
+
+    let records = &trace.records[warmup..warmup + measure];
+    let mut idx = 0usize;
+
+    let rob_len = |chains: &HashMap<crate::executor::ExecId, Chain>| {
+        chains.values().filter(|c| !c.is_writeback).count()
+    };
+
+    while retired < measure as u64 {
+        let now = machine.executor.now();
+
+        // Issue as many records as the ROB window, MSHRs, gaps, and
+        // dependences allow.
+        while idx < records.len() && rob_len(&chains) < MSHR_LIMIT && now >= next_issue_at {
+            let r = records[idx];
+            let window_open = chains
+                .values()
+                .filter(|c| !c.is_writeback)
+                .map(|c| c.instr_pos)
+                .min()
+                .is_none_or(|oldest| instr_pos.saturating_sub(oldest) < ROB_INSTRS);
+            if !window_open {
+                break;
+            }
+            if r.depends_on_prev {
+                if let Some(prev) = last_miss {
+                    if chains.contains_key(&prev) {
+                        break; // the chased pointer has not returned yet
+                    }
+                }
+            }
+            idx += 1;
+            instr_pos += r.gap as u64 + 1;
+            next_issue_at = now + (r.gap as u64) / CPU_PER_MEM_CYCLE;
+            let res = llc.access(r.addr, r.is_write);
+            if res.hit {
+                // Served on-chip; its 10-cycle latency overlaps the gap.
+                retired += 1;
+                continue;
+            }
+            let mut parts: std::collections::VecDeque<_> =
+                machine.request_traces(r.addr, r.is_write).into();
+            dram_lines += parts.iter().map(|t| t.dram_lines()).sum::<u64>();
+            let first = parts.pop_front().expect("at least the demand access");
+            let id = machine.executor.submit(first);
+            chains.insert(
+                id,
+                Chain { parts, instr_pos, issued_at: now, is_writeback: false },
+            );
+            last_miss = Some(id);
+            // A dirty victim drains through the store buffer.
+            if let Some(victim) = res.writeback {
+                let mut wparts: std::collections::VecDeque<_> =
+                    machine.request_traces(victim, true).into();
+                dram_lines += wparts.iter().map(|t| t.dram_lines()).sum::<u64>();
+                let wfirst = wparts.pop_front().expect("non-empty");
+                let wid = machine.executor.submit(wfirst);
+                chains.insert(
+                    wid,
+                    Chain { parts: wparts, instr_pos, issued_at: now, is_writeback: true },
+                );
+            }
+        }
+
+        // Advance time.
+        machine.executor.tick(16);
+        for ev in machine.executor.poll() {
+            if let ExecEvent::DataReady { id, at } = ev {
+                if let Some(mut chain) = chains.remove(&id) {
+                    match chain.parts.pop_front() {
+                        Some(next) => {
+                            // Continue the chain under a fresh exec id.
+                            let nid = machine.executor.submit(next);
+                            if last_miss == Some(id) {
+                                last_miss = Some(nid);
+                            }
+                            chains.insert(nid, chain);
+                        }
+                        None => {
+                            if !chain.is_writeback {
+                                latency_sum += at.saturating_sub(chain.issued_at);
+                                latency_count += 1;
+                                retired += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // All records consumed and every chain finished: stop the clock
+        // (trailing protocol cleanup does not delay the program).
+        if idx >= records.len() && chains.is_empty() {
+            break;
+        }
+    }
+
+    let cycles = machine.executor.now();
+    let energy = machine.executor.energy();
+    RunResult {
+        machine: cfg.kind.name(),
+        workload: trace.name.clone(),
+        cycles,
+        records: measure as u64,
+        llc_misses: llc.stats().misses,
+        mean_miss_latency: if latency_count == 0 {
+            0.0
+        } else {
+            latency_sum as f64 / latency_count as f64
+        },
+        accesses_per_request: machine.accesses_per_request(),
+        energy,
+        external_bus_bytes: machine.executor.bus_bytes(),
+        dram_lines,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::MachineKind;
+    use workloads::spec;
+
+    fn quick(kind: MachineKind) -> RunResult {
+        let cfg = SystemConfig::small(kind);
+        let trace = spec::generate("milc-like", 1200, 3);
+        run(&cfg, &trace, 200, 400)
+    }
+
+    #[test]
+    fn nonsecure_run_completes() {
+        let r = quick(MachineKind::NonSecure { channels: 1 });
+        assert!(r.cycles > 0);
+        assert!(r.llc_misses > 0);
+        assert_eq!(r.records, 400);
+    }
+
+    #[test]
+    fn freecursive_much_slower_than_nonsecure() {
+        let ns = quick(MachineKind::NonSecure { channels: 1 });
+        let fc = quick(MachineKind::Freecursive { channels: 1 });
+        let slowdown = fc.cycles_per_record() / ns.cycles_per_record();
+        assert!(
+            slowdown > 3.0,
+            "ORAM should cost several ×: got {slowdown} ({} vs {})",
+            fc.cycles,
+            ns.cycles
+        );
+    }
+
+    #[test]
+    fn sdimm_designs_beat_freecursive() {
+        let fc = quick(MachineKind::Freecursive { channels: 1 });
+        let indep = quick(MachineKind::Independent { sdimms: 2, channels: 1 });
+        let split = quick(MachineKind::Split { ways: 2, channels: 1 });
+        assert!(
+            indep.cycles < fc.cycles,
+            "INDEP-2 {} should beat Freecursive {}",
+            indep.cycles,
+            fc.cycles
+        );
+        assert!(
+            split.cycles < fc.cycles,
+            "SPLIT-2 {} should beat Freecursive {}",
+            split.cycles,
+            fc.cycles
+        );
+    }
+
+    #[test]
+    fn external_bus_traffic_tiny_for_independent() {
+        let indep = quick(MachineKind::Independent { sdimms: 2, channels: 1 });
+        let ext_lines = indep.external_bus_bytes / 64;
+        assert!(
+            ext_lines < indep.dram_lines / 5,
+            "ext {ext_lines} vs dram {}",
+            indep.dram_lines
+        );
+    }
+
+    #[test]
+    fn energy_populated() {
+        let r = quick(MachineKind::Freecursive { channels: 1 });
+        assert!(r.energy.total_nj() > 0.0);
+        assert!(r.energy_per_record_nj() > 0.0);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let cfg = SystemConfig::small(MachineKind::Independent { sdimms: 2, channels: 1 });
+        let trace = spec::generate("soplex-like", 1200, 3);
+        let a = run(&cfg, &trace, 200, 400);
+        let b = run(&cfg, &trace, 200, 400);
+        assert_eq!(a.cycles, b.cycles, "same seed and trace must reproduce exactly");
+        assert_eq!(a.llc_misses, b.llc_misses);
+        assert_eq!(a.dram_lines, b.dram_lines);
+    }
+
+    #[test]
+    fn low_mlp_trace_runs_on_split() {
+        let cfg = SystemConfig::small(MachineKind::Split { ways: 2, channels: 1 });
+        let trace = spec::generate("GemsFDTD-like", 1200, 3);
+        let r = run(&cfg, &trace, 200, 400);
+        assert_eq!(r.records, 400);
+        assert!(r.mean_miss_latency > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "trace too short")]
+    fn short_trace_rejected() {
+        let cfg = SystemConfig::small(MachineKind::NonSecure { channels: 1 });
+        let trace = spec::generate("milc-like", 100, 3);
+        run(&cfg, &trace, 90, 20);
+    }
+}

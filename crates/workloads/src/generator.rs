@@ -1,0 +1,268 @@
+//! The address-stream synthesis engine.
+//!
+//! A workload profile mixes four access components, each with a weight:
+//!
+//! * **streaming** — unit-stride runs over the footprint (high row-buffer
+//!   locality, prefetch-friendly);
+//! * **strided** — fixed large strides (bank-conflict prone);
+//! * **random** — uniform accesses over the footprint with a *hot-set*
+//!   bias (temporal reuse);
+//! * **pointer-chase** — a random permutation walked serially, modeled
+//!   with large gaps so only one access is outstanding (MLP ≈ 1).
+//!
+//! Memory-level parallelism is shaped by burst structure: a profile with
+//! `burst_length = 8` emits eight back-to-back misses (gap ≈ 0) then a
+//! long think-time gap, so an out-of-order window can overlap eight
+//! memory accesses — exactly the property that separates the Independent
+//! and Split protocols in the paper's evaluation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::trace::{Trace, TraceRecord};
+
+/// Weights of the four access components (normalized internally).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mix {
+    /// Unit-stride streaming.
+    pub streaming: f64,
+    /// Large fixed strides.
+    pub strided: f64,
+    /// Uniform random with hot-set reuse.
+    pub random: f64,
+    /// Serialized pointer chasing.
+    pub pointer_chase: f64,
+}
+
+impl Mix {
+    fn total(&self) -> f64 {
+        self.streaming + self.strided + self.random + self.pointer_chase
+    }
+}
+
+/// A synthetic workload profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Profile {
+    /// Display name.
+    pub name: &'static str,
+    /// Working-set size in bytes.
+    pub footprint_bytes: u64,
+    /// Component weights.
+    pub mix: Mix,
+    /// Store-miss fraction.
+    pub write_fraction: f64,
+    /// Misses emitted back-to-back before a think gap (MLP knob).
+    pub burst_length: u32,
+    /// Mean CPU cycles of think time between bursts.
+    pub think_gap: u32,
+    /// Fraction of random accesses that hit the hot set (reuse knob).
+    pub hot_fraction: f64,
+    /// Hot-set size as a fraction of the footprint.
+    pub hot_set: f64,
+    /// Fraction of all accesses that target a small (512 KB) LLC-resident
+    /// region — the stack/locals/hot-array share of a real program's L1
+    /// misses that the 2 MB LLC absorbs. The main lever for LLC miss
+    /// rate, which in turn sets how exposed a workload is to ORAM cost.
+    pub resident_fraction: f64,
+}
+
+impl Profile {
+    /// Generates `n` records with deterministic randomness from `seed`.
+    pub fn generate(&self, n: usize, seed: u64) -> Trace {
+        assert!(self.footprint_bytes >= 4096, "footprint too small");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED_0000);
+        let lines = self.footprint_bytes / 64;
+        let total = self.mix.total();
+        assert!(total > 0.0, "mix weights must not all be zero");
+
+        // Pointer-chase permutation (lazily sized to a slice of the
+        // footprint so setup stays cheap for big footprints).
+        let chase_len = (lines / 4).clamp(64, 1 << 20) as usize;
+        let mut chase: Vec<u32> = (0..chase_len as u32).collect();
+        for i in (1..chase_len).rev() {
+            chase.swap(i, rng.gen_range(0..=i));
+        }
+        let mut chase_pos = 0usize;
+
+        let mut stream_pos: u64 = rng.gen_range(0..lines);
+        let mut stride_pos: u64 = rng.gen_range(0..lines);
+        let stride = 1 + (self.footprint_bytes / 64 / 97).clamp(16, 4096);
+
+        let hot_lines = ((lines as f64 * self.hot_set) as u64).max(16);
+        let hot_base = rng.gen_range(0..lines.saturating_sub(hot_lines).max(1));
+
+        // The LLC-resident region: 512 KB of lines reused throughout —
+        // small enough to survive in a 2 MB LLC alongside streaming
+        // traffic.
+        let resident_lines = (1u64 << 19) / 64;
+        let resident_base = rng.gen_range(0..lines.saturating_sub(resident_lines).max(1));
+
+        let mut records = Vec::with_capacity(n);
+        let mut burst_remaining = self.burst_length.max(1);
+        while records.len() < n {
+            if rng.gen_bool(self.resident_fraction) {
+                // An LLC-resident access: cheap after warm-up, but it
+                // still consumes a burst slot and its gap.
+                let gap = if burst_remaining > 1 {
+                    burst_remaining -= 1;
+                    rng.gen_range(0..4)
+                } else {
+                    burst_remaining = self.burst_length.max(1);
+                    rng.gen_range(self.think_gap / 2..=self.think_gap.max(1))
+                };
+                records.push(TraceRecord {
+                    addr: (resident_base + rng.gen_range(0..resident_lines)) * 64,
+                    is_write: rng.gen_bool(self.write_fraction),
+                    gap,
+                    depends_on_prev: false,
+                });
+                continue;
+            }
+            let pick = rng.gen_range(0.0..total);
+            let (line, serialized) = if pick < self.mix.streaming {
+                stream_pos = (stream_pos + 1) % lines;
+                (stream_pos, false)
+            } else if pick < self.mix.streaming + self.mix.strided {
+                stride_pos = (stride_pos + stride) % lines;
+                (stride_pos, false)
+            } else if pick < self.mix.streaming + self.mix.strided + self.mix.random {
+                let line = if rng.gen_bool(self.hot_fraction) {
+                    hot_base + rng.gen_range(0..hot_lines)
+                } else {
+                    rng.gen_range(0..lines)
+                };
+                (line, false)
+            } else {
+                chase_pos = chase[chase_pos] as usize;
+                ((chase_pos as u64) % lines, true)
+            };
+
+            // Gap structure: inside a burst, misses are back-to-back;
+            // bursts are separated by think time. Pointer-chase accesses
+            // always carry a dependence gap (the load feeds the next
+            // address).
+            let gap = if serialized {
+                self.think_gap / 2 + rng.gen_range(0..=self.think_gap.max(1))
+            } else if burst_remaining > 1 {
+                burst_remaining -= 1;
+                rng.gen_range(0..4)
+            } else {
+                burst_remaining = self.burst_length.max(1);
+                rng.gen_range(self.think_gap / 2..=self.think_gap.max(1))
+            };
+
+            records.push(TraceRecord {
+                addr: line * 64,
+                is_write: rng.gen_bool(self.write_fraction),
+                gap,
+                depends_on_prev: serialized,
+            });
+        }
+
+        Trace { name: self.name.to_string(), records, footprint_bytes: self.footprint_bytes }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> Profile {
+        Profile {
+            name: "test",
+            footprint_bytes: 1 << 22,
+            mix: Mix { streaming: 1.0, strided: 1.0, random: 1.0, pointer_chase: 1.0 },
+            write_fraction: 0.3,
+            burst_length: 8,
+            think_gap: 100,
+            hot_fraction: 0.5,
+            hot_set: 0.05,
+            resident_fraction: 0.0,
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = profile();
+        assert_eq!(p.generate(500, 1).records, p.generate(500, 1).records);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let p = profile();
+        assert_ne!(p.generate(500, 1).records, p.generate(500, 2).records);
+    }
+
+    #[test]
+    fn addresses_stay_in_footprint_and_line_aligned() {
+        let p = profile();
+        let t = p.generate(2000, 3);
+        for r in &t.records {
+            assert!(r.addr < p.footprint_bytes);
+            assert_eq!(r.addr % 64, 0);
+        }
+    }
+
+    #[test]
+    fn write_fraction_tracks_parameter() {
+        let t = profile().generate(5000, 4);
+        assert!((t.write_fraction() - 0.3).abs() < 0.05);
+    }
+
+    #[test]
+    fn pure_streaming_is_sequential() {
+        let p = Profile {
+            mix: Mix { streaming: 1.0, strided: 0.0, random: 0.0, pointer_chase: 0.0 },
+            ..profile()
+        };
+        let t = p.generate(100, 5);
+        let mut sequential = 0;
+        for w in t.records.windows(2) {
+            if w[1].addr == w[0].addr + 64 || w[1].addr == 0 {
+                sequential += 1;
+            }
+        }
+        assert!(sequential > 95, "streaming should be ≈all sequential, got {sequential}");
+    }
+
+    #[test]
+    fn pointer_chase_has_large_gaps() {
+        let chase = Profile {
+            mix: Mix { streaming: 0.0, strided: 0.0, random: 0.0, pointer_chase: 1.0 },
+            ..profile()
+        };
+        let stream = Profile {
+            mix: Mix { streaming: 1.0, strided: 0.0, random: 0.0, pointer_chase: 0.0 },
+            burst_length: 16,
+            ..profile()
+        };
+        let tc = chase.generate(2000, 6);
+        let ts = stream.generate(2000, 6);
+        assert!(
+            tc.mean_gap() > ts.mean_gap() * 2.0,
+            "chase gap {} vs stream gap {}",
+            tc.mean_gap(),
+            ts.mean_gap()
+        );
+    }
+
+    #[test]
+    fn hot_set_concentrates_reuse() {
+        let p = Profile {
+            mix: Mix { streaming: 0.0, strided: 0.0, random: 1.0, pointer_chase: 0.0 },
+            hot_fraction: 0.9,
+            hot_set: 0.01,
+            ..profile()
+        };
+        let t = p.generate(10_000, 7);
+        // With 90% of accesses in 1% of the footprint, unique lines must
+        // be far below the record count.
+        assert!(t.unique_lines() < t.len() / 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "footprint too small")]
+    fn tiny_footprint_rejected() {
+        Profile { footprint_bytes: 64, ..profile() }.generate(10, 1);
+    }
+}

@@ -1,0 +1,122 @@
+//! Trace characterization: the metrics that predict which protocol wins.
+
+use std::collections::HashMap;
+
+use crate::trace::Trace;
+
+/// Summary metrics of a trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceProfile {
+    /// Mean inter-arrival gap (CPU cycles).
+    pub mean_gap: f64,
+    /// Estimated achievable memory-level parallelism: the mean number of
+    /// misses that fit inside a 128-entry ROB window assuming ~1 in-flight
+    /// instruction per gap cycle.
+    pub mlp_estimate: f64,
+    /// Fraction of consecutive access pairs falling in the same 8 KB DRAM
+    /// row (row-buffer friendliness).
+    pub row_locality: f64,
+    /// Fraction of accesses that re-touch a previously seen line
+    /// (temporal reuse; high values mean the LLC will filter them).
+    pub reuse_fraction: f64,
+    /// Write fraction.
+    pub write_fraction: f64,
+}
+
+/// Computes summary metrics for `trace`.
+pub fn characterize(trace: &Trace) -> TraceProfile {
+    let n = trace.records.len();
+    if n == 0 {
+        return TraceProfile {
+            mean_gap: 0.0,
+            mlp_estimate: 0.0,
+            row_locality: 0.0,
+            reuse_fraction: 0.0,
+            write_fraction: 0.0,
+        };
+    }
+
+    // MLP: walk the trace, counting how many misses land inside each
+    // 128-instruction window (gap ≈ instructions between misses).
+    const ROB: u64 = 128;
+    let mut windows = 0u64;
+    let mut in_window = 0u64;
+    let mut filled = 0u64;
+    let mut mlp_sum = 0u64;
+    for r in &trace.records {
+        in_window += 1;
+        filled += r.gap as u64 + 1;
+        if filled >= ROB {
+            windows += 1;
+            mlp_sum += in_window;
+            in_window = 0;
+            filled = 0;
+        }
+    }
+    let mlp_estimate = if windows == 0 { in_window as f64 } else { mlp_sum as f64 / windows as f64 };
+
+    let mut same_row = 0usize;
+    for w in trace.records.windows(2) {
+        if w[0].addr / 8192 == w[1].addr / 8192 {
+            same_row += 1;
+        }
+    }
+    let row_locality = same_row as f64 / (n - 1).max(1) as f64;
+
+    let mut seen: HashMap<u64, ()> = HashMap::with_capacity(n);
+    let mut reuse = 0usize;
+    for r in &trace.records {
+        if seen.insert(r.addr / 64, ()).is_some() {
+            reuse += 1;
+        }
+    }
+    let reuse_fraction = reuse as f64 / n as f64;
+
+    TraceProfile {
+        mean_gap: trace.mean_gap(),
+        mlp_estimate,
+        row_locality,
+        reuse_fraction,
+        write_fraction: trace.write_fraction(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec;
+
+    #[test]
+    fn high_mlp_workloads_score_higher_than_latency_bound() {
+        let grom = characterize(&spec::generate("gromacs-like", 5000, 1));
+        let gems = characterize(&spec::generate("GemsFDTD-like", 5000, 1));
+        assert!(
+            grom.mlp_estimate > gems.mlp_estimate * 1.5,
+            "gromacs MLP {} vs GemsFDTD {}",
+            grom.mlp_estimate,
+            gems.mlp_estimate
+        );
+    }
+
+    #[test]
+    fn streaming_has_high_row_locality() {
+        let lq = characterize(&spec::generate("libquantum-like", 5000, 1));
+        let mcf = characterize(&spec::generate("mcf-like", 5000, 1));
+        assert!(lq.row_locality > mcf.row_locality);
+    }
+
+    #[test]
+    fn empty_trace_characterizes_to_zeroes() {
+        let t = Trace { name: "e".into(), records: Vec::new(), footprint_bytes: 0 };
+        let p = characterize(&t);
+        assert_eq!(p.mlp_estimate, 0.0);
+        assert_eq!(p.row_locality, 0.0);
+    }
+
+    #[test]
+    fn hot_set_shows_as_reuse() {
+        let om = characterize(&spec::generate("omnetpp-like", 20_000, 1));
+        let lq = characterize(&spec::generate("libquantum-like", 20_000, 1));
+        assert!(om.reuse_fraction > lq.reuse_fraction);
+    }
+}

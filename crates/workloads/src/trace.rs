@@ -1,0 +1,97 @@
+//! Trace records: the L1-miss streams fed to the simulated memory system.
+//!
+//! The paper captures L1 miss traces for ten SPEC CPU2006 benchmarks with
+//! Simics and replays them through a cycle-accurate model with a shared
+//! L2. We cannot redistribute SPEC, so `crates/workloads` synthesizes
+//! traces with the same *discriminating characteristics* (memory-level
+//! parallelism, locality, footprint); this module defines the format.
+
+/// One L1 miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Byte address (line-aligned by generators).
+    pub addr: u64,
+    /// Store miss (true) vs load miss (false).
+    pub is_write: bool,
+    /// CPU cycles of non-memory work preceding this access — the
+    /// inter-arrival gap that, together with the ROB window, determines
+    /// achievable memory-level parallelism.
+    pub gap: u32,
+    /// True when this access consumes the previous access's value (a
+    /// pointer-chase step): it cannot issue until the previous miss
+    /// returns, capping memory-level parallelism at one.
+    pub depends_on_prev: bool,
+}
+
+/// A complete workload trace.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    /// Workload name (e.g. `"mcf-like"`).
+    pub name: String,
+    /// The records, in program order.
+    pub records: Vec<TraceRecord>,
+    /// Footprint the generator aimed for, in bytes.
+    pub footprint_bytes: u64,
+}
+
+impl Trace {
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Fraction of write records.
+    pub fn write_fraction(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().filter(|r| r.is_write).count() as f64 / self.records.len() as f64
+    }
+
+    /// Mean inter-arrival gap in CPU cycles.
+    pub fn mean_gap(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().map(|r| r.gap as u64).sum::<u64>() as f64 / self.records.len() as f64
+    }
+
+    /// Distinct cache lines touched.
+    pub fn unique_lines(&self) -> usize {
+        let mut set: Vec<u64> = self.records.iter().map(|r| r.addr / 64).collect();
+        set.sort_unstable();
+        set.dedup();
+        set.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace() -> Trace {
+        Trace {
+            name: "t".into(),
+            records: vec![
+                TraceRecord { addr: 0, is_write: false, gap: 10, depends_on_prev: false },
+                TraceRecord { addr: 64, is_write: true, gap: 20, depends_on_prev: false },
+                TraceRecord { addr: 0, is_write: false, gap: 30, depends_on_prev: true },
+            ],
+            footprint_bytes: 128,
+        }
+    }
+
+    #[test]
+    fn aggregates() {
+        let t = trace();
+        assert_eq!(t.len(), 3);
+        assert!((t.write_fraction() - 1.0 / 3.0).abs() < 1e-9);
+        assert!((t.mean_gap() - 20.0).abs() < 1e-9);
+        assert_eq!(t.unique_lines(), 2);
+    }
+}

@@ -1,0 +1,72 @@
+//! Active-attack demonstration: an adversary with physical access flips
+//! bits on the untrusted on-DIMM bus and replays stale ciphertext. The
+//! PMMAC machinery (counter-mode encryption + per-bucket MACs + counter
+//! tracking) detects every attempt, and the CPU ↔ SDIMM session rejects
+//! replayed or reordered link messages.
+//!
+//! Run with: `cargo run -p sdimm-examples --bin attack_demo`
+
+use oram::bucket::{BlockEntry, Bucket};
+use oram::geometry::BucketIdx;
+use oram::integrity::SealedTree;
+use oram::types::{BlockId, Leaf};
+use sdimm_crypto::session::{handshake, DeviceId};
+use sdimm_crypto::CryptoError;
+
+fn main() {
+    println!("=== attack 1: tampering with stored bucket ciphertext ===");
+    let mut tree = SealedTree::new(4, 64, [13u8; 16]);
+    let mut bucket = Bucket::new(4);
+    bucket
+        .insert(BlockEntry { id: BlockId(7), leaf: Leaf(3), data: b"confidential".to_vec() })
+        .expect("empty bucket accepts a block");
+    tree.store(BucketIdx(42), &bucket);
+    tree.tamper_ciphertext(BucketIdx(42));
+    match tree.load(BucketIdx(42)) {
+        Err(CryptoError::MacMismatch { context }) => {
+            println!("detected: mac mismatch while checking {context}")
+        }
+        other => println!("MISSED TAMPER: {other:?}"),
+    }
+
+    println!("\n=== attack 2: replaying a stale bucket version ===");
+    let mut tree = SealedTree::new(4, 64, [14u8; 16]);
+    tree.store(BucketIdx(9), &bucket);
+    let stale = tree.raw(BucketIdx(9)).expect("present");
+    // The victim overwrites the bucket (e.g. the balance was spent)...
+    let mut newer = Bucket::new(4);
+    newer
+        .insert(BlockEntry { id: BlockId(7), leaf: Leaf(5), data: b"balance=0".to_vec() })
+        .expect("insert");
+    tree.store(BucketIdx(9), &newer);
+    // ...and the attacker splices the old ciphertext back in.
+    tree.replay(BucketIdx(9), stale);
+    match tree.load(BucketIdx(9)) {
+        Err(CryptoError::CounterOutOfSync { expected, got }) => {
+            println!("detected: replay (counter {got}, expected {expected})")
+        }
+        other => println!("MISSED REPLAY: {other:?}"),
+    }
+
+    println!("\n=== attack 3: replaying a CPU->SDIMM link message ===");
+    let (mut cpu, mut dimm) = handshake(DeviceId([1; 16]), [2; 16], [3; 16]);
+    let msg = cpu.seal(b"ACCESS blk=7 op=write");
+    dimm.open(&msg).expect("first delivery is fine");
+    match dimm.open(&msg) {
+        Err(CryptoError::CounterOutOfSync { .. }) => {
+            println!("detected: link replay rejected by session counter")
+        }
+        other => println!("MISSED LINK REPLAY: {other:?}"),
+    }
+
+    println!("\n=== attack 4: reading the bus ===");
+    let wire = cpu.seal(b"ACCESS blk=9 op=read leaf=511");
+    let visible = &wire.ciphertext;
+    let leaked = visible.windows(6).any(|w| w == b"ACCESS");
+    println!(
+        "ciphertext on the bus ({} bytes) contains plaintext commands: {}",
+        visible.len(),
+        if leaked { "YES (BROKEN)" } else { "no" }
+    );
+    println!("\nall four attacks handled as the design requires.");
+}

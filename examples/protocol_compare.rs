@@ -1,0 +1,69 @@
+//! Protocol comparison on a workload of your choice: runs the same trace
+//! through the non-secure baseline, Freecursive, and the SDIMM designs,
+//! printing cycles, latency, energy, and off-DIMM traffic — a miniature,
+//! scriptable version of the paper's Figs 6/8/9/10.
+//!
+//! Run with:
+//! `cargo run --release -p sdimm-examples --bin protocol_compare [workload]`
+//! where `workload` is one of the ten `*-like` names (default
+//! `gromacs-like`).
+
+use sdimm_system::machine::{MachineKind, SystemConfig};
+use sdimm_system::runner::run;
+use workloads::spec;
+
+fn main() {
+    let workload = std::env::args().nth(1).unwrap_or_else(|| "gromacs-like".to_string());
+    assert!(
+        spec::ALL.contains(&workload.as_str()),
+        "unknown workload {workload}; pick one of {:?}",
+        spec::ALL
+    );
+    let trace = spec::generate(&workload, 4_000, 42);
+    let profile = workloads::stats::characterize(&trace);
+    println!(
+        "workload {workload}: MLP≈{:.1}, row locality {:.2}, reuse {:.2}\n",
+        profile.mlp_estimate, profile.row_locality, profile.reuse_fraction
+    );
+
+    let kinds = [
+        MachineKind::NonSecure { channels: 2 },
+        MachineKind::Freecursive { channels: 2 },
+        MachineKind::Independent { sdimms: 4, channels: 2 },
+        MachineKind::Split { ways: 4, channels: 2 },
+        MachineKind::IndepSplit { groups: 2, ways: 2, channels: 2 },
+    ];
+    println!(
+        "{:<16} {:>12} {:>12} {:>12} {:>14}",
+        "machine", "cyc/record", "miss lat", "nJ/record", "offDIMM lines"
+    );
+    let mut baseline = None;
+    for kind in kinds {
+        let cfg = SystemConfig {
+            kind,
+            oram: oram::types::OramConfig {
+                levels: 16,
+                cached_levels: 7,
+                ..oram::types::OramConfig::default()
+            },
+            data_blocks: 1 << 14,
+            low_power: false,
+            seed: 1,
+        };
+        let r = run(&cfg, &trace, 1_000, 2_000);
+        println!(
+            "{:<16} {:>12.1} {:>12.1} {:>12.1} {:>14}",
+            r.machine,
+            r.cycles_per_record(),
+            r.mean_miss_latency,
+            r.energy_per_record_nj(),
+            r.external_bus_bytes / 64,
+        );
+        if matches!(kind, MachineKind::Freecursive { .. }) {
+            baseline = Some(r.cycles_per_record());
+        } else if let (Some(base), false) = (baseline, matches!(kind, MachineKind::NonSecure { .. })) {
+            let gain = 100.0 * (1.0 - r.cycles_per_record() / base);
+            println!("{:<16} {:>11.1}% faster than Freecursive", "", gain);
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! End-to-end system tests: synthetic workloads through the LLC, the
+//! frontend, a protocol backend, and the cycle-level executor — the full
+//! stack the figure binaries exercise, at test-sized windows.
+
+use sdimm_system::machine::{MachineKind, SystemConfig};
+use sdimm_system::runner::run;
+use workloads::spec;
+
+fn small(kind: MachineKind) -> SystemConfig {
+    SystemConfig::small(kind)
+}
+
+fn quick(kind: MachineKind, workload: &str) -> sdimm_system::RunResult {
+    let trace = spec::generate(workload, 1_500, 11);
+    run(&small(kind), &trace, 300, 600)
+}
+
+#[test]
+fn fig6_shape_oram_costs_multiple_x() {
+    let ns = quick(MachineKind::NonSecure { channels: 1 }, "milc-like");
+    let fc = quick(MachineKind::Freecursive { channels: 1 }, "milc-like");
+    let slowdown = fc.cycles_per_record() / ns.cycles_per_record();
+    assert!(slowdown > 2.0, "ORAM slowdown {slowdown} implausibly small");
+    assert!(slowdown < 100.0, "ORAM slowdown {slowdown} implausibly large");
+}
+
+#[test]
+fn fig6_shape_second_channel_helps_freecursive() {
+    let one = quick(MachineKind::Freecursive { channels: 1 }, "lbm-like");
+    let two = quick(MachineKind::Freecursive { channels: 2 }, "lbm-like");
+    assert!(
+        two.cycles < one.cycles,
+        "2-channel Freecursive must beat 1-channel: {} vs {}",
+        two.cycles,
+        one.cycles
+    );
+}
+
+#[test]
+fn fig8_shape_sdimm_beats_freecursive_single_channel() {
+    for workload in ["milc-like", "gromacs-like"] {
+        let fc = quick(MachineKind::Freecursive { channels: 1 }, workload);
+        let indep = quick(MachineKind::Independent { sdimms: 2, channels: 1 }, workload);
+        let split = quick(MachineKind::Split { ways: 2, channels: 1 }, workload);
+        assert!(indep.cycles < fc.cycles, "{workload}: INDEP-2 lost to Freecursive");
+        assert!(split.cycles < fc.cycles, "{workload}: SPLIT-2 lost to Freecursive");
+    }
+}
+
+#[test]
+fn fig9_shape_high_mlp_favors_independent() {
+    // The paper: gromacs (high MLP) does comparatively better on INDEP-4
+    // than GemsFDTD (latency-bound) does.
+    let rel = |workload: &str| {
+        let fc = quick(MachineKind::Freecursive { channels: 2 }, workload);
+        let indep = quick(MachineKind::Independent { sdimms: 4, channels: 2 }, workload);
+        indep.cycles_per_record() / fc.cycles_per_record()
+    };
+    let gromacs = rel("gromacs-like");
+    let gems = rel("GemsFDTD-like");
+    assert!(
+        gromacs < gems,
+        "gromacs should gain more from INDEP-4 than GemsFDTD: {gromacs} vs {gems}"
+    );
+}
+
+#[test]
+fn x1_shape_independent_external_traffic_is_small() {
+    let r = quick(MachineKind::Independent { sdimms: 2, channels: 1 }, "soplex-like");
+    let ext_lines = r.external_bus_bytes / 64;
+    assert!(
+        ext_lines * 4 < r.dram_lines,
+        "Independent moved too much off-DIMM: {ext_lines} of {} lines",
+        r.dram_lines
+    );
+}
+
+#[test]
+fn x2_shape_low_power_costs_little_performance_and_saves_energy() {
+    let trace = spec::generate("milc-like", 1_500, 11);
+    let mut cfg = small(MachineKind::Independent { sdimms: 2, channels: 1 });
+    let base = run(&cfg, &trace, 300, 600);
+    cfg.low_power = true;
+    let lp = run(&cfg, &trace, 300, 600);
+    let perf_drop = lp.cycles as f64 / base.cycles as f64 - 1.0;
+    assert!(perf_drop < 0.10, "low power cost {perf_drop:.2} > 10%");
+    assert!(
+        lp.energy.background_nj < base.energy.background_nj,
+        "rank power-down must cut background energy: {} vs {}",
+        lp.energy.background_nj,
+        base.energy.background_nj
+    );
+}
+
+#[test]
+fn accesses_per_request_in_paper_band() {
+    let r = quick(MachineKind::Freecursive { channels: 1 }, "omnetpp-like");
+    assert!(
+        r.accesses_per_request > 1.0 && r.accesses_per_request < 2.5,
+        "accessORAMs per request {} far from the paper's ≈1.4",
+        r.accesses_per_request
+    );
+}
+
+#[test]
+fn energy_scales_with_security() {
+    let ns = quick(MachineKind::NonSecure { channels: 1 }, "bwaves-like");
+    let fc = quick(MachineKind::Freecursive { channels: 1 }, "bwaves-like");
+    assert!(fc.energy_per_record_nj() > 2.0 * ns.energy_per_record_nj());
+}
+
+#[test]
+fn all_ten_workloads_run_on_the_combined_design() {
+    for workload in spec::ALL {
+        let trace = spec::generate(workload, 700, 3);
+        let r = run(
+            &small(MachineKind::IndepSplit { groups: 2, ways: 2, channels: 2 }),
+            &trace,
+            200,
+            300,
+        );
+        assert_eq!(r.records, 300, "{workload} did not retire all records");
+        assert!(r.cycles > 0);
+    }
+}

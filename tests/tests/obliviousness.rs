@@ -1,0 +1,146 @@
+//! Indistinguishability tests (§III-G): the attacker-visible event
+//! stream must depend only on the *number* of accesses, never on which
+//! blocks were touched, the operation mix, or the access pattern.
+
+use oram::types::{BlockId, Op, OramConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sdimm::indep_split::{IndepSplitConfig, IndepSplitOram};
+use sdimm::independent::{IndependentConfig, IndependentOram};
+use sdimm::obliviousness::{compare_shapes, target_skew, Recorder, ShapeVerdict};
+use sdimm::split::{SplitConfig, SplitOram};
+
+const BLOCKS: u64 = 512;
+const N: usize = 64;
+
+fn tree() -> OramConfig {
+    OramConfig { levels: 10, ..OramConfig::default() }
+}
+
+/// Workload A: hammer one block with reads. Workload B: scan distinct
+/// blocks with writes. Maximal contrast in logical behavior.
+type Pattern = Vec<(u64, Op)>;
+
+fn contrast_patterns() -> (Pattern, Pattern) {
+    let a = (0..N).map(|_| (7u64, Op::Read)).collect();
+    let b = (0..N).map(|i| (i as u64 * 3 % BLOCKS, Op::Write)).collect();
+    (a, b)
+}
+
+#[test]
+fn independent_shapes_are_indistinguishable() {
+    let run = |pattern: &[(u64, Op)], seed: u64| {
+        let mut oram = IndependentOram::new(IndependentConfig::new(2, &tree()), BLOCKS, seed);
+        // Drain randomness must be shape-neutral too: it is part of the
+        // observable stream, so both runs use the same protocol RNG seed.
+        oram.set_recorder(Recorder::new());
+        for (id, op) in pattern {
+            oram.access(BlockId(*id), *op, Some(&[1u8; 8]));
+        }
+        oram.take_recorder().expect("attached")
+    };
+    let (a, b) = contrast_patterns();
+    let ra = run(&a, 55);
+    let rb = run(&b, 55);
+    assert_eq!(
+        compare_shapes(&ra, &rb),
+        ShapeVerdict::Indistinguishable,
+        "hot-block reads vs scan writes must look identical"
+    );
+}
+
+#[test]
+fn split_shapes_are_indistinguishable() {
+    let run = |pattern: &[(u64, Op)]| {
+        let mut oram = SplitOram::new(SplitConfig::new(2, &tree()), BLOCKS, 70);
+        oram.set_recorder(Recorder::new());
+        for (id, op) in pattern {
+            oram.access(BlockId(*id), *op, Some(&[2u8; 8]));
+        }
+        oram.take_recorder().expect("attached")
+    };
+    let (a, b) = contrast_patterns();
+    assert_eq!(compare_shapes(&run(&a), &run(&b)), ShapeVerdict::Indistinguishable);
+}
+
+#[test]
+fn indep_split_shapes_are_indistinguishable() {
+    let run = |pattern: &[(u64, Op)]| {
+        let mut oram = IndepSplitOram::new(IndepSplitConfig::new(2, 2, &tree()), BLOCKS, 80);
+        oram.set_recorder(Recorder::new());
+        for (id, op) in pattern {
+            oram.access(BlockId(*id), *op, Some(&[3u8; 8]));
+        }
+        oram.take_recorder().expect("attached")
+    };
+    let (a, b) = contrast_patterns();
+    assert_eq!(compare_shapes(&run(&a), &run(&b)), ShapeVerdict::Indistinguishable);
+}
+
+#[test]
+fn reads_and_writes_are_indistinguishable() {
+    // ACCESS always carries one block (dummy on reads), so op type must
+    // not alter the shape.
+    let run = |op: Op| {
+        let mut oram = IndependentOram::new(IndependentConfig::new(2, &tree()), BLOCKS, 91);
+        oram.set_recorder(Recorder::new());
+        for i in 0..N as u64 {
+            oram.access(BlockId(i % BLOCKS), op, Some(&[4u8; 8]));
+        }
+        oram.take_recorder().expect("attached")
+    };
+    assert_eq!(compare_shapes(&run(Op::Read), &run(Op::Write)), ShapeVerdict::Indistinguishable);
+}
+
+#[test]
+fn sdimm_targeting_is_uniform_even_for_hot_block() {
+    // A single hot block keeps remapping to random SDIMMs; long-command
+    // counts must stay balanced (the APPEND fan-out guarantees it).
+    let mut oram = IndependentOram::new(IndependentConfig::new(4, &tree()), BLOCKS, 13);
+    oram.set_recorder(Recorder::new());
+    for _ in 0..400 {
+        oram.access(BlockId(3), Op::Read, None);
+    }
+    let rec = oram.take_recorder().expect("attached");
+    let skew = target_skew(&rec.long_counts(4));
+    assert!(skew < 0.25, "hot-block workload skewed SDIMM targeting: {skew}");
+}
+
+#[test]
+fn leaf_choice_is_uniform() {
+    // The remapped leaves drive which internal paths the attacker sees;
+    // they must cover the leaf space uniformly.
+    let mut oram = SplitOram::new(SplitConfig::new(2, &tree()), BLOCKS, 19);
+    let mut counts = vec![0u64; 4];
+    let leaves = tree().leaf_count();
+    for _ in 0..2_000 {
+        oram.access(BlockId(5), Op::Read, None);
+        let leaf = oram.leaf_of(BlockId(5));
+        counts[(leaf.0 * 4 / leaves) as usize] += 1;
+    }
+    let skew = target_skew(&counts);
+    assert!(skew < 0.2, "leaf quarters skewed: {counts:?}");
+}
+
+#[test]
+fn different_length_workloads_are_distinguishable_only_by_length() {
+    // Sanity for the checker itself: N accesses vs N+1 accesses differ,
+    // and the first difference is at the end (a pure length leak).
+    let run = |n: usize| {
+        let mut oram = IndependentOram::new(IndependentConfig::new(2, &tree()), BLOCKS, 23);
+        oram.set_recorder(Recorder::new());
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..n {
+            oram.access(BlockId(rng.gen_range(0..BLOCKS)), Op::Read, None);
+        }
+        oram.take_recorder().expect("attached")
+    };
+    let ra = run(16);
+    let rb = run(17);
+    match compare_shapes(&ra, &rb) {
+        ShapeVerdict::Distinguishable { position, .. } => {
+            assert!(position >= ra.events().len().min(rb.events().len()) - 1);
+        }
+        ShapeVerdict::Indistinguishable => panic!("length difference must be visible"),
+    }
+}

@@ -90,10 +90,7 @@ mod tests {
         // in that band.
         let mut p = TrafficParams::paper_default();
         let with_cache = independent_fraction(&p);
-        assert!(
-            (0.02..=0.10).contains(&with_cache),
-            "INDEP-4 fraction {with_cache}"
-        );
+        assert!((0.02..=0.10).contains(&with_cache), "INDEP-4 fraction {with_cache}");
         p.levels_in_memory = 28; // no ORAM cache
         let without = independent_fraction(&p);
         assert!(without < with_cache);

@@ -46,9 +46,7 @@ pub fn overflow_probability(p: f64, k: u32) -> f64 {
 /// Generates the Fig 13b sweep: for each drain probability, the overflow
 /// probability at each queue size. Returns `(p, Vec<(k, probability)>)`.
 pub fn fig13b_series(ps: &[f64], ks: &[u32]) -> Vec<(f64, Vec<(u32, f64)>)> {
-    ps.iter()
-        .map(|&p| (p, ks.iter().map(|&k| (k, overflow_probability(p, k))).collect()))
-        .collect()
+    ps.iter().map(|&p| (p, ks.iter().map(|&k| (k, overflow_probability(p, k))).collect())).collect()
 }
 
 #[cfg(test)]

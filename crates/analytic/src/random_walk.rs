@@ -114,10 +114,7 @@ mod tests {
     fn paper_datapoint_16_blocks_100k_steps() {
         // Fig 13a: ≈97% chance of exceeding 16 blocks within 100K steps.
         let p = overflow_probability(16, 100_000, WalkParams::default());
-        assert!(
-            (0.90..=1.0).contains(&p),
-            "expected ≈0.97 overflow probability, got {p}"
-        );
+        assert!((0.90..=1.0).contains(&p), "expected ≈0.97 overflow probability, got {p}");
     }
 
     #[test]
@@ -130,11 +127,7 @@ mod tests {
     #[test]
     fn drained_walk_overflows_rarely() {
         // p_down > p_up models the forced drain: positive recurrent.
-        let p = overflow_probability(
-            64,
-            100_000,
-            WalkParams { p_up: 0.25, p_down: 0.35 },
-        );
+        let p = overflow_probability(64, 100_000, WalkParams { p_up: 0.25, p_down: 0.35 });
         assert!(p < 1e-3, "drained queue should almost never overflow, got {p}");
     }
 

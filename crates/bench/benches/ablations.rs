@@ -153,5 +153,12 @@ fn ablation_drain(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, ablation_sched, ablation_layout, ablation_plb, ablation_z, ablation_drain);
+criterion_group!(
+    benches,
+    ablation_sched,
+    ablation_layout,
+    ablation_plb,
+    ablation_z,
+    ablation_drain
+);
 criterion_main!(benches);

@@ -1,0 +1,334 @@
+//! `bench_compare` — the perf-regression gate for the crypto fast path.
+//!
+//! Runs a fixed set of wall-clock microbenchmarks (AES block/batch, CTR
+//! keystream, CMAC, bucket seal→open) plus two quick-scale fig6-style
+//! system microloops, writes the measurements to `BENCH_crypto.json`
+//! (ops/sec and wall time per benchmark), diffs ops/sec against the
+//! committed baseline at `crates/bench/baselines/crypto.json`, and exits
+//! nonzero when any benchmark regressed by more than 15%.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p sdimm-bench --bin bench_compare
+//! cargo run --release -p sdimm-bench --bin bench_compare -- --update-baseline
+//! ```
+//!
+//! `--update-baseline` rewrites the baseline file after an intentional
+//! performance change. `SDIMM_BENCH_BUDGET_MS` scales the per-benchmark
+//! measurement budget (default 200 ms).
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+use sdimm_crypto::aes::{spec, Aes128};
+use sdimm_crypto::ctr::CtrCipher;
+use sdimm_crypto::mac::Cmac;
+use sdimm_crypto::pmmac::BucketAuth;
+use sdimm_system::machine::{MachineKind, SystemConfig};
+use sdimm_system::runner::run;
+use workloads::spec as wl;
+
+/// Regression threshold: fail when current ops/sec drops below
+/// `baseline * (1 - 0.15)`.
+const MAX_REGRESSION: f64 = 0.15;
+
+/// Measurement attempts before an apparent regression is trusted. Extra
+/// attempts run only when the first pass already looks regressed.
+const RETRY_ATTEMPTS: usize = 3;
+
+/// Committed baseline, resolved relative to the crate so `cargo run`
+/// works from any directory.
+const BASELINE_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/baselines/crypto.json");
+
+/// Output report written into the invoking directory.
+const REPORT_PATH: &str = "BENCH_crypto.json";
+
+#[derive(Debug, Clone)]
+struct Measurement {
+    name: &'static str,
+    ops_per_sec: f64,
+    wall_time_s: f64,
+}
+
+/// Runs `iter` repeatedly for roughly `budget`, returning ops/sec and the
+/// wall time actually spent. The budget is split into eight slices and the
+/// fastest slice wins: preemption on a busy host only ever slows a slice
+/// down, so best-of-slices is a much more stable estimator than one long
+/// average — which matters when a 15% regression gate rides on the number.
+/// Batch size doubles until a slice fills so the `Instant` overhead never
+/// dominates sub-microsecond operations.
+fn measure(name: &'static str, budget: Duration, mut iter: impl FnMut()) -> Measurement {
+    for _ in 0..3 {
+        iter(); // warmup: touch tables, fault in pages
+    }
+    let slice_budget = budget / 8;
+    let total = Instant::now();
+    let mut best = 0.0f64;
+    let mut batch = 1u64;
+    for _ in 0..8 {
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            for _ in 0..batch {
+                iter();
+            }
+            iters += batch;
+            let elapsed = start.elapsed();
+            if elapsed >= slice_budget {
+                best = best.max(iters as f64 / elapsed.as_secs_f64());
+                break;
+            }
+            batch = (batch * 2).min(1 << 16);
+        }
+    }
+    Measurement { name, ops_per_sec: best, wall_time_s: total.elapsed().as_secs_f64() }
+}
+
+/// One-shot measurement for the expensive system microloops: a single run,
+/// ops/sec = trace records retired per wall second.
+fn measure_once(name: &'static str, records: u64, f: impl FnOnce()) -> Measurement {
+    let start = Instant::now();
+    f();
+    let wall = start.elapsed().as_secs_f64();
+    Measurement { name, ops_per_sec: records as f64 / wall.max(1e-12), wall_time_s: wall }
+}
+
+fn crypto_benchmarks(budget: Duration) -> Vec<Measurement> {
+    let key = [0x42u8; 16];
+    let fast = Aes128::new(&key);
+    let slow = spec::Aes128::new(&key);
+    let ctr = CtrCipher::new(Aes128::new(&key), 0xB34C_0000_0000_0001);
+    let mac = Cmac::new(&key);
+    let auth = BucketAuth::new(&key, &[0x24u8; 16]);
+
+    let block = [7u8; 16];
+    let mut batch = [[0u8; 16]; 32];
+    let msg = vec![5u8; 1024];
+    // Z=4 bucket of 64-byte blocks: 8-byte counter + 4 × (16 B header + 64 B).
+    let bucket_image = vec![9u8; 8 + 4 * (16 + 64)];
+    let mut line = vec![3u8; 4096];
+
+    vec![
+        measure("aes128_encrypt_block", budget, || {
+            black_box(fast.encrypt_block(black_box(block)));
+        }),
+        measure("aes128_encrypt_block_spec", budget, || {
+            black_box(slow.encrypt_block(black_box(block)));
+        }),
+        measure("aes128_encrypt_blocks_x32", budget, || {
+            fast.encrypt_blocks(black_box(&mut batch));
+        }),
+        measure("ctr_keystream_line", budget, || {
+            black_box(ctr.keystream_line(black_box(77)));
+        }),
+        measure("ctr_apply_4096B", budget, || {
+            ctr.apply(black_box(77), black_box(&mut line));
+        }),
+        measure("cmac_tag_1024B", budget, || {
+            black_box(mac.tag(black_box(&msg)));
+        }),
+        measure("bucket_seal_open_z4", budget, || {
+            let sealed = auth.seal(black_box(5), black_box(9), black_box(&bucket_image));
+            black_box(auth.open(5, &sealed).expect("fresh seal opens"));
+        }),
+    ]
+}
+
+fn fig6_microloops() -> Vec<Measurement> {
+    // Quick-scale fig6 shape: one representative workload through the
+    // non-secure and Freecursive machines on a small tree. Wall time here
+    // is dominated by path crypto + simulation, so it tracks exactly what
+    // the fast path is meant to speed up.
+    let warmup = 300usize;
+    let window = 500usize;
+    let trace = wl::generate("mcf-like", warmup + window + 16, 42);
+    let mut out = Vec::new();
+    for (name, kind) in [
+        ("fig6_quick_nonsecure", MachineKind::NonSecure { channels: 1 }),
+        ("fig6_quick_freecursive", MachineKind::Freecursive { channels: 1 }),
+    ] {
+        let cfg = SystemConfig::small(kind);
+        out.push(measure_once(name, window as u64, || {
+            black_box(run(&cfg, &trace, warmup, window));
+        }));
+    }
+    out
+}
+
+/// Serializes measurements in the (hand-rolled, dependency-free) report
+/// format shared with the committed baseline.
+fn to_json(results: &[Measurement]) -> String {
+    let mut s = String::from("{\n  \"benchmarks\": [\n");
+    for (i, m) in results.iter().enumerate() {
+        let sep = if i + 1 == results.len() { "" } else { "," };
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"ops_per_sec\": {:.3}, \"wall_time_s\": {:.6}}}{sep}\n",
+            m.name, m.ops_per_sec, m.wall_time_s
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Extracts `(name, ops_per_sec)` pairs from a report produced by
+/// [`to_json`]. A minimal scanner, not a general JSON parser: it walks the
+/// whole text pairing each `"name"` with the next `"ops_per_sec"`, so it
+/// tolerates reformatting (e.g. a pretty-printer splitting objects across
+/// lines) as long as the key order inside each object is preserved.
+fn parse_baseline(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let mut rest = text;
+    while let Some(name_at) = rest.find("\"name\":") {
+        rest = &rest[name_at + 7..];
+        let Some(open) = rest.find('"') else { break };
+        let Some(close) = rest[open + 1..].find('"') else { break };
+        let name = rest[open + 1..open + 1 + close].to_string();
+        rest = &rest[open + 2 + close..];
+        let Some(ops_at) = rest.find("\"ops_per_sec\":") else { break };
+        let num: String = rest[ops_at + 14..]
+            .chars()
+            .skip_while(|c| c.is_whitespace())
+            .take_while(|c| {
+                c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e' || *c == 'E' || *c == '+'
+            })
+            .collect();
+        if let Ok(v) = num.parse::<f64>() {
+            out.push((name, v));
+        }
+    }
+    out
+}
+
+fn human_rate(ops: f64) -> String {
+    if ops >= 1e6 {
+        format!("{:8.2} Mops/s", ops / 1e6)
+    } else if ops >= 1e3 {
+        format!("{:8.2} Kops/s", ops / 1e3)
+    } else {
+        format!("{ops:8.2}  ops/s")
+    }
+}
+
+fn main() {
+    let mut update_baseline = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--update-baseline" => update_baseline = true,
+            other => {
+                eprintln!(
+                    "bench_compare: unknown argument `{other}` \
+                     (supported: --update-baseline; env SDIMM_BENCH_BUDGET_MS)"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let budget_ms: u64 =
+        std::env::var("SDIMM_BENCH_BUDGET_MS").ok().and_then(|v| v.parse().ok()).unwrap_or(200);
+    let budget = Duration::from_millis(budget_ms);
+
+    println!("bench_compare: {budget_ms} ms/crypto benchmark + fig6 quick microloops\n");
+    let mut results = crypto_benchmarks(budget);
+    results.extend(fig6_microloops());
+
+    let fast = results.iter().find(|m| m.name == "aes128_encrypt_block").expect("present");
+    let slow = results.iter().find(|m| m.name == "aes128_encrypt_block_spec").expect("present");
+    let speedup = fast.ops_per_sec / slow.ops_per_sec;
+
+    for m in &results {
+        println!("  {:28} {}   ({:.3} s)", m.name, human_rate(m.ops_per_sec), m.wall_time_s);
+    }
+    println!("\n  T-table vs spec AES speedup: {speedup:.2}x (acceptance floor: 4x)");
+
+    let report = to_json(&results);
+    std::fs::write(REPORT_PATH, &report).expect("write BENCH_crypto.json");
+    println!("  report written to {REPORT_PATH}");
+
+    if update_baseline {
+        if let Some(dir) = std::path::Path::new(BASELINE_PATH).parent() {
+            std::fs::create_dir_all(dir).expect("create baselines dir");
+        }
+        std::fs::write(BASELINE_PATH, &report).expect("write baseline");
+        println!("  baseline updated at {BASELINE_PATH}");
+        return;
+    }
+
+    let Ok(baseline_text) = std::fs::read_to_string(BASELINE_PATH) else {
+        println!("\n  no committed baseline at {BASELINE_PATH}; run with --update-baseline to create one");
+        std::process::exit(2);
+    };
+    let baseline = parse_baseline(&baseline_text);
+    if baseline.is_empty() {
+        eprintln!(
+            "bench_compare: baseline at {BASELINE_PATH} has no parseable entries; \
+             regenerate it with --update-baseline"
+        );
+        std::process::exit(2);
+    }
+
+    // A shared 1-vCPU host can steal the whole measurement window, making
+    // every benchmark look ~20% slower at once. A real code regression
+    // survives re-measurement; noise does not — so on apparent regression,
+    // re-measure and keep each benchmark's best observation before failing.
+    let mut merged = results;
+    for attempt in 1..=RETRY_ATTEMPTS {
+        if count_regressions(&merged, &baseline) == 0 || attempt == RETRY_ATTEMPTS {
+            break;
+        }
+        println!(
+            "\n  apparent regression — re-measuring to rule out host noise \
+             (attempt {}/{RETRY_ATTEMPTS})",
+            attempt + 1
+        );
+        let mut retry = crypto_benchmarks(budget);
+        retry.extend(fig6_microloops());
+        for m in &mut merged {
+            if let Some(r) = retry.iter().find(|r| r.name == m.name) {
+                if r.ops_per_sec > m.ops_per_sec {
+                    m.ops_per_sec = r.ops_per_sec;
+                    m.wall_time_s = r.wall_time_s;
+                }
+            }
+        }
+    }
+
+    println!("\n  diff vs baseline ({BASELINE_PATH}):");
+    let mut regressions = 0usize;
+    for m in &merged {
+        let Some((_, base)) = baseline.iter().find(|(n, _)| n == m.name) else {
+            println!("    {:28} (new — no baseline entry)", m.name);
+            continue;
+        };
+        let delta = m.ops_per_sec / base - 1.0;
+        let flag = if delta < -MAX_REGRESSION {
+            regressions += 1;
+            "  << REGRESSION"
+        } else {
+            ""
+        };
+        println!("    {:28} {:+7.1}%{flag}", m.name, delta * 100.0);
+    }
+
+    if regressions > 0 {
+        eprintln!(
+            "\nbench_compare: {regressions} benchmark(s) regressed more than {:.0}% \
+             (persisted across {RETRY_ATTEMPTS} measurement attempts)",
+            MAX_REGRESSION * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!("\n  no regression beyond {:.0}% — OK", MAX_REGRESSION * 100.0);
+}
+
+fn count_regressions(results: &[Measurement], baseline: &[(String, f64)]) -> usize {
+    results
+        .iter()
+        .filter(|m| {
+            baseline
+                .iter()
+                .find(|(n, _)| n == m.name)
+                .is_some_and(|(_, base)| m.ops_per_sec / base - 1.0 < -MAX_REGRESSION)
+        })
+        .count()
+}

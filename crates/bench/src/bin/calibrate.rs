@@ -5,8 +5,12 @@ fn main() {
     for name in spec::ALL {
         let t = spec::generate(name, 20_000, 42);
         let mut llc = Llc::table2();
-        for r in &t.records[..10_000] { llc.warm(r.addr, r.is_write); }
-        for r in &t.records[10_000..] { llc.access(r.addr, r.is_write); }
+        for r in &t.records[..10_000] {
+            llc.warm(r.addr, r.is_write);
+        }
+        for r in &t.records[10_000..] {
+            llc.access(r.addr, r.is_write);
+        }
         let s = llc.stats();
         println!("{name:<18} miss_rate={:.2} mean_gap={:.1}", s.miss_rate(), t.mean_gap());
     }

@@ -9,11 +9,10 @@
 //! same physical channel) only competes for the external bus slots the
 //! protocol actually uses.
 
-use oram::types::{BlockId, Op};
+use sdimm::trace::{Activity, Phase, RequestTrace};
 use sdimm_bench::Scale;
 use sdimm_system::executor::{ExecEvent, Executor};
 use sdimm_system::machine::{Machine, MachineKind, SystemConfig};
-use sdimm::trace::{Activity, Phase, RequestTrace};
 
 /// Issues `n` secure ORAM requests while sampling non-secure read latency
 /// every `gap` cycles; returns mean non-secure latency in bus cycles.
@@ -26,10 +25,7 @@ fn run(kind: MachineKind, scale: Scale) -> f64 {
         seed: 1,
     };
     let mut m = Machine::new(cfg.clone());
-    let is_sdimm = !matches!(
-        kind,
-        MachineKind::NonSecure { .. } | MachineKind::Freecursive { .. }
-    );
+    let is_sdimm = !matches!(kind, MachineKind::NonSecure { .. } | MachineKind::Freecursive { .. });
 
     let mut secure_inflight = 0usize;
     let mut secure_issued = 0u64;
@@ -119,7 +115,10 @@ fn main() {
     for (label, kind) in [
         ("FREECURSIVE-2ch (shared channels)", MachineKind::Freecursive { channels: 2 }),
         ("INDEP-4 (SDIMM, cleared channel)", MachineKind::Independent { sdimms: 4, channels: 2 }),
-        ("INDEP-SPLIT (SDIMM, cleared channel)", MachineKind::IndepSplit { groups: 2, ways: 2, channels: 2 }),
+        (
+            "INDEP-SPLIT (SDIMM, cleared channel)",
+            MachineKind::IndepSplit { groups: 2, ways: 2, channels: 2 },
+        ),
     ] {
         let lat = run(kind, scale);
         println!("{label:<40} {lat:>8.1}");

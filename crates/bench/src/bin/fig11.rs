@@ -21,10 +21,8 @@ fn main() {
         // the sweep (distributed subtrees have half the capacity plus
         // imbalance headroom).
         let data_blocks = (1u64 << (levels - 4)).min(scale.data_blocks());
-        let single = [
-            MachineKind::Freecursive { channels: 1 },
-            MachineKind::Split { ways: 2, channels: 1 },
-        ];
+        let single =
+            [MachineKind::Freecursive { channels: 1 }, MachineKind::Split { ways: 2, channels: 1 }];
         let cells = harness::run_matrix(&wl, &single, scale, |kind| SystemConfig {
             kind,
             oram: oram.clone(),

@@ -15,7 +15,10 @@ fn main() {
     };
 
     println!("== Fig 13a: random-walk overflow probability (no forced drain) ==");
-    println!("{:>10} {:>12} {:>12} {:>12} {:>12}", "steps", "cap=16", "cap=64", "cap=256", "cap=1024");
+    println!(
+        "{:>10} {:>12} {:>12} {:>12} {:>12}",
+        "steps", "cap=16", "cap=64", "cap=256", "cap=1024"
+    );
     for (steps, probs) in random_walk::fig13a_series(max_steps, points) {
         println!(
             "{steps:>10} {:>12.4} {:>12.4} {:>12.4} {:>12.4}",

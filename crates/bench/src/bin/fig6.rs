@@ -9,10 +9,7 @@ use workloads::spec;
 fn main() {
     let scale = Scale::from_env();
     for channels in [1usize, 2] {
-        let kinds = [
-            MachineKind::NonSecure { channels },
-            MachineKind::Freecursive { channels },
-        ];
+        let kinds = [MachineKind::NonSecure { channels }, MachineKind::Freecursive { channels }];
         let cells = harness::run_matrix(&spec::ALL, &kinds, scale, |kind| SystemConfig {
             kind,
             oram: scale.oram(7),
@@ -31,9 +28,6 @@ fn main() {
             .filter(|c| c.machine.starts_with("FREECURSIVE"))
             .map(|c| c.result.accesses_per_request)
             .collect();
-        println!(
-            "accessORAMs per LLC request (paper ~1.4): {:.2}",
-            harness::geomean(&apr)
-        );
+        println!("accessORAMs per LLC request (paper ~1.4): {:.2}", harness::geomean(&apr));
     }
 }

@@ -13,12 +13,7 @@ fn main() {
     println!("== X1 (analytic): off-DIMM traffic as fraction of baseline ==");
     for (label, levels_in_memory) in [("with 7-level ORAM cache", 21u64), ("no ORAM cache", 28)] {
         for sdimms in [2u64, 4] {
-            let p = TrafficParams {
-                z: 4,
-                levels_in_memory,
-                sdimms,
-                probes_per_access: 2,
-            };
+            let p = TrafficParams { z: 4, levels_in_memory, sdimms, probes_per_access: 2 };
             println!(
                 "INDEP-{sdimms} ({label}): {:.1}%  |  SPLIT ({label}): {:.1}%",
                 100.0 * bandwidth::independent_fraction(&p),
@@ -49,7 +44,11 @@ fn main() {
             .unwrap_or(1.0);
         for c in cells.iter().filter(|c| c.workload == w && !c.machine.starts_with("FREECURSIVE")) {
             let ext = c.result.external_bus_bytes as f64 / 64.0;
-            println!("{w:<16} {:<10}: {:.1}% of baseline off-chip lines", c.machine, 100.0 * ext / base);
+            println!(
+                "{w:<16} {:<10}: {:.1}% of baseline off-chip lines",
+                c.machine,
+                100.0 * ext / base
+            );
         }
     }
 }

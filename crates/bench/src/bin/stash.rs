@@ -36,12 +36,7 @@ fn study(z: usize, background_evict: bool, accesses: usize) -> (usize, usize, us
         occupancy.push(oram.stash_len());
     }
     occupancy.sort_unstable();
-    (
-        percentile(&occupancy, 0.5),
-        percentile(&occupancy, 0.99),
-        oram.stash_peak(),
-        evictions,
-    )
+    (percentile(&occupancy, 0.5), percentile(&occupancy, 0.99), oram.stash_peak(), evictions)
 }
 
 fn main() {
@@ -50,7 +45,10 @@ fn main() {
         sdimm_bench::Scale::Full => 200_000,
     };
     println!("== Stash occupancy, L14 tree at 25% utilization, {accesses} accesses ==");
-    println!("{:>3} {:>10} {:>8} {:>8} {:>8} {:>12}", "Z", "bg-evict", "p50", "p99", "peak", "evictions");
+    println!(
+        "{:>3} {:>10} {:>8} {:>8} {:>8} {:>12}",
+        "Z", "bg-evict", "p50", "p99", "peak", "evictions"
+    );
     for z in [2usize, 3, 4, 5, 6] {
         for bg in [false, true] {
             let (p50, p99, peak, ev) = study(z, bg, accesses);

@@ -25,7 +25,10 @@ fn main() {
     println!("CL/tRCD/tRP:               {}/{}/{} cycles", t.cl, t.t_rcd, t.t_rp);
     println!("tRAS/tRC/tFAW:             {}/{}/{} cycles", t.t_ras, t.t_rc, t.t_faw);
     println!("tWR/tWTR/tRTRS:            {}/{}/{} cycles", t.t_wr, t.t_wtr, t.t_rtrs);
-    println!("write queue:               {} entries, drain at {}", cfg.write_drain.capacity, cfg.write_drain.hi);
+    println!(
+        "write queue:               {} entries, drain at {}",
+        cfg.write_drain.capacity, cfg.write_drain.hi
+    );
     println!("-- Freecursive parameters --");
     println!("PLB size:                  64KB (1024 blocks, 8-way)");
     println!("blocks per bucket (Z):     {}", paper.z);

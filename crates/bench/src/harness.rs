@@ -1,7 +1,7 @@
 //! Parallel experiment matrix runner.
 
-use crossbeam::thread;
-use parking_lot::Mutex;
+use std::sync::Mutex;
+
 use sdimm_system::machine::{MachineKind, SystemConfig};
 use sdimm_system::runner::{run, RunResult};
 use workloads::spec;
@@ -22,6 +22,10 @@ pub struct Cell {
 /// Runs every (workload × machine) combination in parallel and returns
 /// the cells in deterministic (workload-major) order.
 ///
+/// Concurrency is bounded by [`std::thread::available_parallelism`]:
+/// jobs are pulled from a shared queue by a fixed pool of workers, so a
+/// large matrix never spawns more threads than the machine has cores.
+///
 /// `make_cfg` builds the system configuration for a machine kind —
 /// letting callers vary cached levels, low-power mode, etc.
 pub fn run_matrix(
@@ -30,38 +34,48 @@ pub fn run_matrix(
     scale: Scale,
     make_cfg: impl Fn(MachineKind) -> SystemConfig + Sync,
 ) -> Vec<Cell> {
-    let results: Mutex<Vec<(usize, Cell)>> = Mutex::new(Vec::new());
     let warmup = scale.warmup();
     let measure = scale.measure();
     let trace_len = scale.trace_len();
 
-    thread::scope(|s| {
-        let mut job = 0usize;
-        for (wi, wname) in workload_names.iter().enumerate() {
-            for kind in kinds.iter().copied() {
-                let order = job;
-                job += 1;
-                let results = &results;
-                let make_cfg = &make_cfg;
-                s.spawn(move |_| {
-                    let trace = spec::generate(wname, trace_len, 42 + wi as u64);
-                    let cfg = make_cfg(kind);
-                    let result = run(&cfg, &trace, warmup, measure);
-                    results.lock().push((
-                        order,
-                        Cell {
-                            workload: wname.to_string(),
-                            machine: kind.name(),
-                            result,
-                        },
-                    ));
-                });
-            }
-        }
-    })
-    .expect("worker thread panicked");
+    // (order, workload index, workload name, machine kind)
+    let jobs: Vec<(usize, usize, &str, MachineKind)> = workload_names
+        .iter()
+        .enumerate()
+        .flat_map(|(wi, wname)| kinds.iter().copied().map(move |kind| (wi, *wname, kind)))
+        .enumerate()
+        .map(|(order, (wi, wname, kind))| (order, wi, wname, kind))
+        .collect();
 
-    let mut cells = results.into_inner();
+    let workers =
+        std::thread::available_parallelism().map_or(4, |n| n.get()).min(jobs.len().max(1));
+    let next_job = Mutex::new(0usize);
+    let results: Mutex<Vec<(usize, Cell)>> = Mutex::new(Vec::with_capacity(jobs.len()));
+
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let idx = {
+                    let mut cursor = next_job.lock().expect("job cursor poisoned");
+                    let idx = *cursor;
+                    *cursor += 1;
+                    idx
+                };
+                let Some(&(order, wi, wname, kind)) = jobs.get(idx) else {
+                    break;
+                };
+                let trace = spec::generate(wname, trace_len, 42 + wi as u64);
+                let cfg = make_cfg(kind);
+                let result = run(&cfg, &trace, warmup, measure);
+                results.lock().expect("results poisoned").push((
+                    order,
+                    Cell { workload: wname.to_string(), machine: kind.name(), result },
+                ));
+            });
+        }
+    });
+
+    let mut cells = results.into_inner().expect("results poisoned");
     cells.sort_by_key(|(order, _)| *order);
     cells.into_iter().map(|(_, c)| c).collect()
 }

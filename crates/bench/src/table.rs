@@ -31,10 +31,7 @@ pub fn print_normalized(
     println!();
 
     let lookup = |w: &str, m: &str| -> Option<f64> {
-        cells
-            .iter()
-            .find(|c| c.workload == w && c.machine == m)
-            .map(&metric)
+        cells.iter().find(|c| c.workload == w && c.machine == m).map(&metric)
     };
 
     let mut per_machine: Vec<Vec<f64>> = vec![Vec::new(); machines.len()];

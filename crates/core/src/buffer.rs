@@ -185,8 +185,7 @@ impl SecureBuffer {
 
         let write_data = (req.op == Op::Write).then_some(&req.data[..]);
         let (data, moved, _plan) =
-            self.oram
-                .access_with_remap(req.id, req.op, write_data, local_new, keep_local);
+            self.oram.access_with_remap(req.id, req.op, write_data, local_new, keep_local);
         if moved.is_some() {
             self.queue.vacancy();
         }
@@ -300,16 +299,23 @@ impl WireSystem {
             let secret: [u8; 16] = rng.gen();
             let (cpu_end, buf_end) = handshake(device, nonce, secret);
             sessions.push(cpu_end);
+            let mut oram = PathOram::with_id_space(
+                subtree.clone(),
+                blocks,
+                (blocks / sdimms as u64 + 1) * 2,
+                seed ^ (0xB0F + i as u64),
+            );
+            // Buckets at rest in DRAM are sealed under a tree key the
+            // buffer derives from its boot secret, so every wire access
+            // also exercises the batched bucket seal/open path.
+            let mut tree_key = secret;
+            tree_key[15] ^= 0xA5;
+            oram.enable_sealing(tree_key);
             buffers.push(SecureBuffer {
                 index: i,
                 sdimms,
                 session: buf_end,
-                oram: PathOram::with_id_space(
-                    subtree.clone(),
-                    blocks,
-                    (blocks / sdimms as u64 + 1) * 2,
-                    seed ^ (0xB0F + i as u64),
-                ),
+                oram,
                 queue: TransferQueue::paper_default(),
                 rng: StdRng::seed_from_u64(seed ^ (0xFEED + i as u64)),
                 pending: None,
@@ -468,7 +474,8 @@ mod tests {
     #[test]
     fn tampered_access_is_rejected() {
         let mut sys = system();
-        let req = AccessRequest { id: BlockId(0), local_leaf: Leaf(0), op: Op::Read, data: block(0) };
+        let req =
+            AccessRequest { id: BlockId(0), local_leaf: Leaf(0), op: Op::Read, data: block(0) };
         let mut wire = sys.cpu.sessions[0].seal(&req.encode());
         wire.ciphertext[3] ^= 1;
         assert!(sys.buffers[0].handle_access(&wire).is_err());
@@ -482,7 +489,8 @@ mod tests {
 
     #[test]
     fn codec_roundtrips() {
-        let req = AccessRequest { id: BlockId(7), local_leaf: Leaf(9), op: Op::Write, data: block(1) };
+        let req =
+            AccessRequest { id: BlockId(7), local_leaf: Leaf(9), op: Op::Write, data: block(1) };
         assert_eq!(AccessRequest::decode(req.encode()).unwrap(), req);
         let res = AccessResult { new_global_leaf: Leaf(44), data: block(2) };
         assert_eq!(AccessResult::decode(res.encode()).unwrap(), res);
@@ -492,7 +500,8 @@ mod tests {
 
     #[test]
     fn codec_rejects_wrong_tag() {
-        let req = AccessRequest { id: BlockId(7), local_leaf: Leaf(9), op: Op::Read, data: block(1) };
+        let req =
+            AccessRequest { id: BlockId(7), local_leaf: Leaf(9), op: Op::Read, data: block(1) };
         let mut bytes = req.encode().to_vec();
         bytes[0] = 0x7F;
         assert!(AccessRequest::decode(Bytes::from(bytes)).is_err());
@@ -503,10 +512,12 @@ mod tests {
         // Reads and writes, real appends and dummies: all the same wire
         // footprint (size indistinguishability).
         let a = AccessRequest { id: BlockId(0), local_leaf: Leaf(0), op: Op::Read, data: block(0) };
-        let b = AccessRequest { id: BlockId(9), local_leaf: Leaf(1), op: Op::Write, data: block(1) };
+        let b =
+            AccessRequest { id: BlockId(9), local_leaf: Leaf(1), op: Op::Write, data: block(1) };
         assert_eq!(a.encode().len(), b.encode().len());
         let mut rng = StdRng::seed_from_u64(1);
-        let real = AppendMessage { real: true, id: BlockId(1), local_leaf: Leaf(1), data: block(3) };
+        let real =
+            AppendMessage { real: true, id: BlockId(1), local_leaf: Leaf(1), data: block(3) };
         assert_eq!(real.encode().len(), AppendMessage::dummy(&mut rng).encode().len());
     }
 }

@@ -127,14 +127,10 @@ impl SdimmCommand {
     /// Decodes a short command from its DDR read address, if it targets
     /// the reserved region.
     pub fn decode_short(ras: u32, cas: u32) -> Option<SdimmCommand> {
-        SdimmCommand::ALL
-            .iter()
-            .copied()
-            .filter(|c| c.class() == CommandClass::Short)
-            .find(|c| {
-                let e = c.encode();
-                e.ras == ras && e.cas == cas
-            })
+        SdimmCommand::ALL.iter().copied().filter(|c| c.class() == CommandClass::Short).find(|c| {
+            let e = c.encode();
+            e.ras == ras && e.cas == cas
+        })
     }
 }
 

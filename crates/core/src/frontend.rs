@@ -210,7 +210,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         for _ in 0..1000 {
             let region = rng.gen_range(0..16u64) * 512;
-            f.plan_request(region + rng.gen_range(0..128), Op::Read);
+            f.plan_request(region + rng.gen_range(0..128u64), Op::Read);
         }
         let apr = f.stats().accesses_per_request();
         assert!(apr > 1.0 && apr < 2.0, "≈1.4 expected, got {apr}");

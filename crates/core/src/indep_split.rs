@@ -132,7 +132,14 @@ impl IndepSplitOram {
             .collect();
         let global_leaves = cfg.global_leaves();
         let posmap = (0..blocks).map(|_| Leaf(rng.gen_range(0..global_leaves))).collect();
-        IndepSplitOram { cfg, groups, posmap, rng, stats: IndepSplitStats::default(), recorder: None }
+        IndepSplitOram {
+            cfg,
+            groups,
+            posmap,
+            rng,
+            stats: IndepSplitStats::default(),
+            recorder: None,
+        }
     }
 
     /// Attaches an obliviousness recorder.
@@ -185,7 +192,12 @@ impl IndepSplitOram {
     }
 
     /// Executes one `accessORAM` through the combined protocol.
-    pub fn access(&mut self, id: BlockId, op: Op, new_data: Option<&[u8]>) -> (Vec<u8>, RequestTrace) {
+    pub fn access(
+        &mut self,
+        id: BlockId,
+        op: Op,
+        new_data: Option<&[u8]>,
+    ) -> (Vec<u8>, RequestTrace) {
         let k = self.cfg.ways;
         let lm = self.cfg.levels_in_memory();
         let z = self.cfg.subtree.z as u64;
@@ -198,9 +210,7 @@ impl IndepSplitOram {
         let keep_local = dest == home;
 
         let (data, moved, plan) =
-            self.groups[home]
-                .oram
-                .access_with_remap(id, op, new_data, local_new, keep_local);
+            self.groups[home].oram.access_with_remap(id, op, new_data, local_new, keep_local);
         self.posmap[id.0 as usize] = global_new;
         self.stats.accesses += 1;
 
@@ -303,8 +313,16 @@ impl IndepSplitOram {
                 let m = dest_members[j];
                 self.stats.internal_lines += 2 * share.len() as u64;
                 self.record(Observable::InternalPath { sdimm: m, lines: 2 * share.len() as u64 });
-                pd.par.push(Activity::Dram { channel: m, reads: share.clone(), writes: Vec::new() });
-                pd_writes.par.push(Activity::Dram { channel: m, reads: Vec::new(), writes: share.clone() });
+                pd.par.push(Activity::Dram {
+                    channel: m,
+                    reads: share.clone(),
+                    writes: Vec::new(),
+                });
+                pd_writes.par.push(Activity::Dram {
+                    channel: m,
+                    reads: Vec::new(),
+                    writes: share.clone(),
+                });
             }
             phases.push(pd);
             phases.push(pd_writes);
@@ -368,8 +386,7 @@ mod tests {
         // Internal path work stays within one group of 2 (a forced drain
         // may add the other group).
         assert!(channels.len() <= 4);
-        let groups: std::collections::HashSet<usize> =
-            channels.iter().map(|c| c / 2).collect();
+        let groups: std::collections::HashSet<usize> = channels.iter().map(|c| c / 2).collect();
         assert!(groups.len() <= 2);
     }
 

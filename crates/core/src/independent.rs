@@ -139,7 +139,14 @@ impl IndependentOram {
         }
         let global_leaves = cfg.global_leaves();
         let posmap = (0..blocks).map(|_| Leaf(rng.gen_range(0..global_leaves))).collect();
-        IndependentOram { cfg, nodes, posmap, rng, stats: IndependentStats::default(), recorder: None }
+        IndependentOram {
+            cfg,
+            nodes,
+            posmap,
+            rng,
+            stats: IndependentStats::default(),
+            recorder: None,
+        }
     }
 
     /// Attaches an obliviousness recorder capturing observable events.
@@ -195,7 +202,12 @@ impl IndependentOram {
     /// # Panics
     ///
     /// Panics if `id` is outside the id space given at construction.
-    pub fn access(&mut self, id: BlockId, op: Op, new_data: Option<&[u8]>) -> (Vec<u8>, RequestTrace) {
+    pub fn access(
+        &mut self,
+        id: BlockId,
+        op: Op,
+        new_data: Option<&[u8]>,
+    ) -> (Vec<u8>, RequestTrace) {
         let global_old = self.posmap[id.0 as usize];
         let (home, local_old) = self.route(global_old);
 
@@ -212,8 +224,7 @@ impl IndependentOram {
         // The SDIMM sets the block's (local) leaf; posmap updated CPU-side.
         let node = &mut self.nodes[home];
         let (data, moved, plan) =
-            node.oram
-                .access_with_remap(id, op, new_data, local_new, keep_local);
+            node.oram.access_with_remap(id, op, new_data, local_new, keep_local);
         self.posmap[id.0 as usize] = global_new;
         self.stats.accesses += 1;
 
@@ -232,9 +243,7 @@ impl IndependentOram {
             reads: plan.read_lines.clone(),
             writes: Vec::new(),
         });
-        read_phase.par.push(Activity::Crypto {
-            units: plan.read_lines.len() as u32,
-        });
+        read_phase.par.push(Activity::Crypto { units: plan.read_lines.len() as u32 });
         phases.push(read_phase);
         phases.push(Phase::one(Activity::Dram {
             channel: home,
@@ -295,10 +304,7 @@ impl IndependentOram {
             let plan = self.nodes[dest].oram.background_evict();
             self.stats.drain_accesses += 1;
             self.stats.internal_lines += plan.total_lines() as u64;
-            self.record(Observable::InternalPath {
-                sdimm: dest,
-                lines: plan.total_lines() as u64,
-            });
+            self.record(Observable::InternalPath { sdimm: dest, lines: plan.total_lines() as u64 });
             phases.push(Phase::one(Activity::Dram {
                 channel: dest,
                 reads: plan.read_lines,
@@ -371,10 +377,8 @@ mod tests {
     fn every_access_appends_to_all_sdimms() {
         let mut o = small();
         let (_, trace) = o.access(BlockId(3), Op::Read, None);
-        let appends = trace
-            .iter_activities()
-            .filter(|a| matches!(a, Activity::ExtTransfer { .. }))
-            .count();
+        let appends =
+            trace.iter_activities().filter(|a| matches!(a, Activity::ExtTransfer { .. })).count();
         // ACCESS + FETCH_RESULT + one APPEND per SDIMM.
         assert!(appends >= 2 + o.config().sdimms);
     }
@@ -428,9 +432,7 @@ mod tests {
         let mut o = IndependentOram::new(cfg, 128, 10);
         let (_, trace) = o.access(BlockId(5), Op::Read, None);
         assert!(
-            trace
-                .iter_activities()
-                .any(|a| matches!(a, Activity::WakeRank { .. })),
+            trace.iter_activities().any(|a| matches!(a, Activity::WakeRank { .. })),
             "low-power mode must emit rank wake hints"
         );
     }

@@ -154,10 +154,7 @@ pub fn target_skew(counts: &[u64]) -> f64 {
     if mean == 0.0 {
         return 0.0;
     }
-    counts
-        .iter()
-        .map(|&c| ((c as f64 - mean) / mean).abs())
-        .fold(0.0, f64::max)
+    counts.iter().map(|&c| ((c as f64 - mean) / mean).abs()).fold(0.0, f64::max)
 }
 
 #[cfg(test)]

@@ -156,7 +156,12 @@ impl SplitOram {
     /// # Panics
     ///
     /// Panics if `id` is out of range.
-    pub fn access(&mut self, id: BlockId, op: Op, new_data: Option<&[u8]>) -> (Vec<u8>, RequestTrace) {
+    pub fn access(
+        &mut self,
+        id: BlockId,
+        op: Op,
+        new_data: Option<&[u8]>,
+    ) -> (Vec<u8>, RequestTrace) {
         let k = self.cfg.ways;
         let z = self.cfg.tree.z as u64;
         let lm = self.cfg.levels_in_memory();
@@ -315,7 +320,9 @@ mod tests {
         let (_, trace) = s.access(BlockId(0), Op::Read, None);
         for i in 0..4 {
             assert!(
-                trace.iter_activities().any(|a| matches!(a, Activity::Dram { channel, .. } if *channel == i)),
+                trace
+                    .iter_activities()
+                    .any(|a| matches!(a, Activity::Dram { channel, .. } if *channel == i)),
                 "SDIMM {i} idle during a Split access"
             );
         }

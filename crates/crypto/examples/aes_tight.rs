@@ -1,0 +1,52 @@
+//! Quick timing harness for the AES fast path (not a unit test).
+//!
+//! Interleaves fast/spec measurement slices so CPU frequency drift hits
+//! both sides equally, giving a stable speedup ratio on noisy hosts.
+use sdimm_crypto::aes::{spec, Aes128};
+use std::hint::black_box;
+use std::time::Instant;
+
+fn slice_fast(c: &Aes128, iters: u64) -> f64 {
+    let t = Instant::now();
+    for _ in 0..iters {
+        black_box(c.encrypt_block(black_box([7u8; 16])));
+    }
+    t.elapsed().as_secs_f64()
+}
+
+fn slice_spec(c: &spec::Aes128, iters: u64) -> f64 {
+    let t = Instant::now();
+    for _ in 0..iters {
+        black_box(c.encrypt_block(black_box([7u8; 16])));
+    }
+    t.elapsed().as_secs_f64()
+}
+
+fn slice_batch(c: &Aes128, iters: u64) -> f64 {
+    let mut batch = [[9u8; 16]; 64];
+    let t = Instant::now();
+    for _ in 0..iters / 64 {
+        c.encrypt_blocks(black_box(&mut batch));
+    }
+    t.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let key = [0x42u8; 16];
+    let fast = Aes128::new(&key);
+    let slow = spec::Aes128::new(&key);
+    let per_slice = 200_000u64;
+    let (mut tf, mut ts, mut tb) = (0.0, 0.0, 0.0);
+    let mut n = 0u64;
+    for _ in 0..12 {
+        tf += slice_fast(&fast, per_slice);
+        ts += slice_spec(&slow, per_slice);
+        tb += slice_batch(&fast, per_slice);
+        n += per_slice;
+    }
+    let (f_ns, s_ns, b_ns) = (tf * 1e9 / n as f64, ts * 1e9 / n as f64, tb * 1e9 / n as f64);
+    println!(
+        "fast single: {f_ns:.1} ns/block   spec: {s_ns:.1} ns/block   batched: {b_ns:.1} ns/block"
+    );
+    println!("single ratio: {:.2}x   batched ratio: {:.2}x", s_ns / f_ns, s_ns / b_ns);
+}

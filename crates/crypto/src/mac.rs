@@ -65,37 +65,19 @@ impl Cmac {
         Cmac { cipher, k1, k2 }
     }
 
+    /// Starts an incremental CMAC over a message supplied in parts.
+    ///
+    /// Lets callers MAC a logical concatenation (e.g. bucket id ‖ counter
+    /// ‖ ciphertext) without first copying it into one buffer.
+    pub fn stream(&self) -> CmacStream<'_> {
+        CmacStream { mac: self, x: [0u8; BLOCK_SIZE], buf: [0u8; BLOCK_SIZE], buf_len: 0 }
+    }
+
     /// Computes the full 16-byte CMAC tag of `msg`.
     pub fn tag(&self, msg: &[u8]) -> [u8; TAG_SIZE] {
-        let n_blocks = msg.len().div_ceil(BLOCK_SIZE).max(1);
-        let complete_last = !msg.is_empty() && msg.len().is_multiple_of(BLOCK_SIZE);
-
-        let mut x = [0u8; BLOCK_SIZE];
-        for i in 0..n_blocks - 1 {
-            for (xb, mb) in x.iter_mut().zip(&msg[i * BLOCK_SIZE..(i + 1) * BLOCK_SIZE]) {
-                *xb ^= mb;
-            }
-            x = self.cipher.encrypt_block(x);
-        }
-
-        let mut last = [0u8; BLOCK_SIZE];
-        let tail = &msg[(n_blocks - 1) * BLOCK_SIZE..];
-        if complete_last {
-            last.copy_from_slice(tail);
-            for (lb, kb) in last.iter_mut().zip(self.k1.iter()) {
-                *lb ^= kb;
-            }
-        } else {
-            last[..tail.len()].copy_from_slice(tail);
-            last[tail.len()] = 0x80;
-            for (lb, kb) in last.iter_mut().zip(self.k2.iter()) {
-                *lb ^= kb;
-            }
-        }
-        for (xb, lb) in x.iter_mut().zip(last.iter()) {
-            *xb ^= lb;
-        }
-        self.cipher.encrypt_block(x)
+        let mut s = self.stream();
+        s.update(msg);
+        s.finalize()
     }
 
     /// Computes an 8-byte truncated tag for bucket metadata storage.
@@ -114,15 +96,78 @@ impl Cmac {
     }
 }
 
+/// Incremental CMAC state from [`Cmac::stream`].
+///
+/// CBC-MAC chaining is inherently sequential, so the block cipher calls
+/// cannot fan out; the win over the one-shot path is that multi-part
+/// messages need no concatenation copy. The last (possibly partial) block
+/// is held back until [`CmacStream::finalize`], where RFC 4493's K1/K2
+/// subkey treatment is applied.
+pub struct CmacStream<'a> {
+    mac: &'a Cmac,
+    /// CBC chaining value.
+    x: [u8; BLOCK_SIZE],
+    /// Pending bytes not yet folded into `x` (the candidate last block).
+    buf: [u8; BLOCK_SIZE],
+    buf_len: usize,
+}
+
+impl std::fmt::Debug for CmacStream<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // The chaining value is keyed state: keep it out of logs.
+        f.debug_struct("CmacStream").field("state", &"<redacted>").finish()
+    }
+}
+
+impl CmacStream<'_> {
+    /// Absorbs the next part of the message.
+    pub fn update(&mut self, mut data: &[u8]) {
+        while !data.is_empty() {
+            if self.buf_len == BLOCK_SIZE {
+                // More data follows, so the buffered block is not the
+                // last one — safe to chain it through the cipher.
+                self.chain_buffered();
+            }
+            let take = (BLOCK_SIZE - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+        }
+    }
+
+    fn chain_buffered(&mut self) {
+        for (xb, bb) in self.x.iter_mut().zip(self.buf.iter()) {
+            *xb ^= bb;
+        }
+        self.x = self.mac.cipher.encrypt_block(self.x);
+        self.buf_len = 0;
+    }
+
+    /// Applies the RFC 4493 last-block treatment and returns the tag.
+    pub fn finalize(mut self) -> [u8; TAG_SIZE] {
+        let subkey = if self.buf_len == BLOCK_SIZE {
+            self.mac.k1
+        } else {
+            self.buf[self.buf_len] = 0x80;
+            self.buf[self.buf_len + 1..].fill(0);
+            self.mac.k2
+        };
+        for (bb, kb) in self.buf.iter_mut().zip(subkey.iter()) {
+            *bb ^= kb;
+        }
+        for (xb, bb) in self.x.iter_mut().zip(self.buf.iter()) {
+            *xb ^= bb;
+        }
+        self.mac.cipher.encrypt_block(self.x)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn hex(s: &str) -> Vec<u8> {
-        (0..s.len())
-            .step_by(2)
-            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
-            .collect()
+        (0..s.len()).step_by(2).map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap()).collect()
     }
 
     fn rfc4493_mac() -> Cmac {
@@ -192,6 +237,32 @@ mod tests {
         assert_eq!(&full[..8], &short);
         assert!(mac.verify_short(b"abc", &short));
         assert!(!mac.verify_short(b"abd", &short));
+    }
+
+    #[test]
+    fn streamed_parts_match_one_shot() {
+        // Any partition of the message must yield the same tag as tag().
+        let mac = Cmac::new(&[5u8; 16]);
+        let msg: Vec<u8> = (0..100u8).collect();
+        let whole = mac.tag(&msg);
+        for split_points in [vec![0], vec![8, 16], vec![1, 17, 33, 90], vec![16, 32, 48]] {
+            let mut s = mac.stream();
+            let mut prev = 0;
+            for &p in &split_points {
+                s.update(&msg[prev..p]);
+                prev = p;
+            }
+            s.update(&msg[prev..]);
+            assert_eq!(s.finalize(), whole, "splits {split_points:?}");
+        }
+    }
+
+    #[test]
+    fn stream_debug_redacts_state() {
+        let mac = Cmac::new(&[5u8; 16]);
+        let mut s = mac.stream();
+        s.update(b"secret-dependent");
+        assert!(format!("{s:?}").contains("redacted"));
     }
 
     #[test]

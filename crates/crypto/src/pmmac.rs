@@ -50,17 +50,23 @@ impl BucketAuth {
     /// Creates an authenticator from an encryption key and a MAC key.
     pub fn new(enc_key: &[u8; 16], mac_key: &[u8; 16]) -> Self {
         BucketAuth {
-            enc: crate::ctr::CtrCipher::new(crate::aes::Aes128::new(enc_key), 0x5344_494D_4D00_0001),
+            enc: crate::ctr::CtrCipher::new(
+                crate::aes::Aes128::new(enc_key),
+                0x5344_494D_4D00_0001,
+            ),
             mac: Cmac::new(mac_key),
         }
     }
 
-    fn mac_input(bucket_id: u64, counter: u64, ciphertext: &[u8]) -> Vec<u8> {
-        let mut v = Vec::with_capacity(16 + ciphertext.len());
-        v.extend_from_slice(&bucket_id.to_le_bytes());
-        v.extend_from_slice(&counter.to_le_bytes());
-        v.extend_from_slice(ciphertext);
-        v
+    /// Truncated MAC over bucket id ‖ counter ‖ ciphertext, streamed so
+    /// the header and ciphertext are never concatenated into a scratch
+    /// buffer on the seal/open hot path.
+    fn bucket_tag(&self, bucket_id: u64, counter: u64, ciphertext: &[u8]) -> ShortTag {
+        let mut s = self.mac.stream();
+        s.update(&bucket_id.to_le_bytes());
+        s.update(&counter.to_le_bytes());
+        s.update(ciphertext);
+        s.finalize()[..8].try_into().expect("tag is 16 bytes")
     }
 
     /// Derives the CTR counter for a bucket: PMMAC uses (bucket id, write
@@ -73,11 +79,12 @@ impl BucketAuth {
     }
 
     /// Encrypts and MACs `plaintext` for `bucket_id` at write `counter`.
+    ///
+    /// Encryption runs as one batched keystream sweep over the whole
+    /// bucket image; the MAC is streamed over header ‖ ciphertext.
     pub fn seal(&self, bucket_id: u64, counter: u64, plaintext: &[u8]) -> SealedBucket {
-        let ciphertext = self
-            .enc
-            .encrypt_to_vec(Self::ctr_seed(bucket_id, counter), plaintext);
-        let tag = self.mac.short_tag(&Self::mac_input(bucket_id, counter, &ciphertext));
+        let ciphertext = self.enc.encrypt_to_vec(Self::ctr_seed(bucket_id, counter), plaintext);
+        let tag = self.bucket_tag(bucket_id, counter, &ciphertext);
         SealedBucket { ciphertext, counter, tag }
     }
 
@@ -91,8 +98,7 @@ impl BucketAuth {
     /// checked by the caller against the PMMAC counter tree; this layer
     /// catches splices).
     pub fn open(&self, bucket_id: u64, sealed: &SealedBucket) -> Result<Vec<u8>> {
-        let input = Self::mac_input(bucket_id, sealed.counter, &sealed.ciphertext);
-        if !self.mac.verify_short(&input, &sealed.tag) {
+        if self.bucket_tag(bucket_id, sealed.counter, &sealed.ciphertext) != sealed.tag {
             return Err(CryptoError::MacMismatch { context: "sealed bucket" });
         }
         let mut plain = sealed.ciphertext.clone();
@@ -128,10 +134,7 @@ pub fn reassemble_counter(pieces: &[u64]) -> u64 {
     let n = pieces.len();
     assert!(matches!(n, 1 | 2 | 4 | 8), "unsupported split arity {n}");
     let bits = 64 / n;
-    pieces
-        .iter()
-        .enumerate()
-        .fold(0u64, |acc, (i, &p)| acc | (p << (i * bits)))
+    pieces.iter().enumerate().fold(0u64, |acc, (i, &p)| acc | (p << (i * bits)))
 }
 
 /// Splits a byte buffer into `n` interleaved pieces (byte-striped).
@@ -171,7 +174,10 @@ mod tests {
     fn seal_open_roundtrip() {
         let a = auth();
         let sealed = a.seal(5, 10, b"hello bucket with a realistic 64B cache line payload....");
-        assert_eq!(a.open(5, &sealed).unwrap(), b"hello bucket with a realistic 64B cache line payload....");
+        assert_eq!(
+            a.open(5, &sealed).unwrap(),
+            b"hello bucket with a realistic 64B cache line payload...."
+        );
     }
 
     #[test]

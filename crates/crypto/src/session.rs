@@ -100,12 +100,14 @@ impl SessionEndpoint {
         }
     }
 
-    fn mac_input(dir: Direction, seq: u64, ciphertext: &[u8]) -> Vec<u8> {
-        let mut v = Vec::with_capacity(9 + ciphertext.len());
-        v.push(dir.byte());
-        v.extend_from_slice(&seq.to_le_bytes());
-        v.extend_from_slice(ciphertext);
-        v
+    /// CMAC over direction ‖ seq ‖ ciphertext, streamed so the header is
+    /// never concatenated with the (path-sized) ciphertext.
+    fn link_tag(&self, dir: Direction, seq: u64, ciphertext: &[u8]) -> [u8; TAG_SIZE] {
+        let mut s = self.mac.stream();
+        s.update(&[dir.byte()]);
+        s.update(&seq.to_le_bytes());
+        s.update(ciphertext);
+        s.finalize()
     }
 
     /// Number of messages sent so far on this endpoint.
@@ -123,7 +125,7 @@ impl SessionEndpoint {
         let seq = self.send_seq;
         self.send_seq += 1;
         let ciphertext = self.cipher(self.send_dir).encrypt_to_vec(seq, payload);
-        let tag = self.mac.tag(&Self::mac_input(self.send_dir, seq, &ciphertext));
+        let tag = self.link_tag(self.send_dir, seq, &ciphertext);
         SealedMessage { seq, ciphertext, tag }
     }
 
@@ -142,8 +144,7 @@ impl SessionEndpoint {
             Direction::Downstream => Direction::Upstream,
             Direction::Upstream => Direction::Downstream,
         };
-        let input = Self::mac_input(recv_dir, msg.seq, &msg.ciphertext);
-        if !self.mac.verify(&input, &msg.tag) {
+        if self.link_tag(recv_dir, msg.seq, &msg.ciphertext) != msg.tag {
             return Err(CryptoError::MacMismatch { context: "link message" });
         }
         self.recv_seq += 1;

@@ -120,12 +120,15 @@ impl AddressMapper {
         let ranks = self.topo.ranks;
         let rows = self.topo.rows;
         let line = match self.scheme {
-            Interleave::RowRankBankCol => ((c.row * ranks + c.rank) * banks + c.bank) * cols + c.col,
+            Interleave::RowRankBankCol => {
+                ((c.row * ranks + c.rank) * banks + c.bank) * cols + c.col
+            }
             Interleave::BankInterleaved => {
                 let lo_bits = 4usize;
                 let col_lo = c.col % lo_bits;
                 let col_hi = c.col / lo_bits;
-                ((((c.row * (cols / lo_bits) + col_hi) * ranks + c.rank) * banks + c.bank) * lo_bits)
+                ((((c.row * (cols / lo_bits) + col_hi) * ranks + c.rank) * banks + c.bank)
+                    * lo_bits)
                     + col_lo
             }
             Interleave::RankContiguous => ((c.rank * rows + c.row) * banks + c.bank) * cols + c.col,
@@ -144,7 +147,9 @@ mod tests {
 
     #[test]
     fn decode_encode_roundtrip_all_schemes() {
-        for scheme in [Interleave::RowRankBankCol, Interleave::BankInterleaved, Interleave::RankContiguous] {
+        for scheme in
+            [Interleave::RowRankBankCol, Interleave::BankInterleaved, Interleave::RankContiguous]
+        {
             let m = AddressMapper::new(topo(), scheme);
             for line in [0u64, 1, 63, 64, 12345, 999_999, 4_000_000] {
                 let addr = line * 64;
@@ -196,12 +201,19 @@ mod tests {
     #[test]
     fn coords_stay_in_bounds_exhaustive_sample() {
         let t = topo();
-        for scheme in [Interleave::RowRankBankCol, Interleave::BankInterleaved, Interleave::RankContiguous] {
+        for scheme in
+            [Interleave::RowRankBankCol, Interleave::BankInterleaved, Interleave::RankContiguous]
+        {
             let m = AddressMapper::new(t.clone(), scheme);
             let step = (t.capacity_lines() / 1000).max(1) as u64;
             for line in (0..t.capacity_lines() as u64).step_by(step as usize) {
                 let c = m.decode(line * 64);
-                assert!(c.rank < t.ranks && c.bank < t.banks && c.row < t.rows && c.col < t.lines_per_row());
+                assert!(
+                    c.rank < t.ranks
+                        && c.bank < t.banks
+                        && c.row < t.rows
+                        && c.col < t.lines_per_row()
+                );
             }
         }
     }

@@ -53,14 +53,30 @@ impl PartialOrd for Pending {
 
 #[derive(Debug, Clone, Copy)]
 enum Decision {
-    Cas { write: bool, idx: usize },
-    Act { write: bool, idx: usize },
-    Pre { write: bool, idx: usize },
+    Cas {
+        write: bool,
+        idx: usize,
+    },
+    Act {
+        write: bool,
+        idx: usize,
+    },
+    Pre {
+        write: bool,
+        idx: usize,
+    },
     /// Precharge issued for maintenance: ahead of a refresh, or to close
     /// an idle rank's banks so it can enter power-down.
-    MaintenancePre { rank: usize, bank: usize },
-    Refresh { rank: usize },
-    Idle { retry_at: Cycle },
+    MaintenancePre {
+        rank: usize,
+        bank: usize,
+    },
+    Refresh {
+        rank: usize,
+    },
+    Idle {
+        retry_at: Cycle,
+    },
 }
 
 /// A cycle-level DDR3 channel with its memory controller.
@@ -288,6 +304,7 @@ impl DramChannel {
         let end = self.now + cycles;
         while self.now < end {
             if self.now >= self.next_wake {
+                self.stats.scheduler_invocations += 1;
                 match self.schedule_once() {
                     true => {
                         // A command issued this cycle; the next may issue
@@ -457,9 +474,7 @@ impl DramChannel {
         let rank = &self.ranks[e.coords.rank];
         let bank = rank.bank(e.coords.bank);
         match bank.state() {
-            RowState::Open(r) if r != e.coords.row => {
-                Some(bank.next_pre().max(rank.ready_at()))
-            }
+            RowState::Open(r) if r != e.coords.row => Some(bank.next_pre().max(rank.ready_at())),
             _ => None,
         }
     }
@@ -510,9 +525,10 @@ impl DramChannel {
                 // Only precharge for this entry if no older queued entry
                 // wants the currently open row in that bank.
                 let coords = e.coords;
-                let open_row_wanted = q.iter().take(idx).any(|o| {
-                    o.coords.rank == coords.rank && o.coords.bank == coords.bank
-                });
+                let open_row_wanted = q
+                    .iter()
+                    .take(idx)
+                    .any(|o| o.coords.rank == coords.rank && o.coords.bank == coords.bank);
                 if open_row_wanted {
                     continue;
                 }
@@ -557,7 +573,8 @@ impl DramChannel {
                         // Precharge open banks of the refreshing rank.
                         for b in 0..self.ranks[i].bank_count() {
                             if let RowState::Open(_) = self.ranks[i].bank(b).state() {
-                                let ready = self.ranks[i].bank(b).next_pre().max(self.ranks[i].ready_at());
+                                let ready =
+                                    self.ranks[i].bank(b).next_pre().max(self.ranks[i].ready_at());
                                 if ready <= self.now {
                                     return Decision::MaintenancePre { rank: i, bank: b };
                                 }
@@ -661,9 +678,11 @@ impl DramChannel {
             Decision::Act { write, idx } => {
                 let e = if write { self.write_q[idx] } else { self.read_q[idx] };
                 self.account_bg(e.coords.rank);
-                self.ranks[e.coords.rank]
-                    .bank_mut(e.coords.bank)
-                    .activate(self.now, e.coords.row, &t);
+                self.ranks[e.coords.rank].bank_mut(e.coords.bank).activate(
+                    self.now,
+                    e.coords.row,
+                    &t,
+                );
                 self.ranks[e.coords.rank].record_activate(self.now, &t);
                 self.energy.activates += 1;
                 // Classify for stats at first ACT for this request.
@@ -929,6 +948,33 @@ mod tests {
         }
         let done = ch.run_until_idle(100_000);
         assert_eq!(done.len(), 8);
+    }
+
+    #[test]
+    fn idle_tick_skips_ahead_without_per_cycle_polling() {
+        // Regression guard for the event-driven tick fast path: an empty
+        // channel advanced one million cycles must jump between wakeup
+        // events, not evaluate the scheduler every cycle.
+        let mut ch = DramChannel::new(quiet_cfg());
+        ch.tick(1_000_000);
+        assert_eq!(ch.now(), 1_000_000);
+        let calls = ch.stats().scheduler_invocations;
+        assert!(calls < 1_000, "idle tick ran the scheduler {calls} times over 1M cycles");
+    }
+
+    #[test]
+    fn idle_tick_with_refresh_still_skips_ahead() {
+        // With refresh enabled the channel wakes once per tREFI (plus a
+        // few cycles around each refresh) — still thousands of times
+        // fewer scheduler runs than cycles.
+        let mut cfg = ChannelConfig::table2();
+        cfg.refresh_enabled = true;
+        let mut ch = DramChannel::new(cfg);
+        ch.tick(1_000_000);
+        assert_eq!(ch.now(), 1_000_000);
+        assert!(ch.stats().refreshes >= 100, "refresh must keep firing while idle");
+        let calls = ch.stats().scheduler_invocations;
+        assert!(calls < 10_000, "refresh-only tick ran the scheduler {calls} times over 1M cycles");
     }
 
     #[test]

@@ -186,8 +186,7 @@ impl Default for WriteDrain {
 }
 
 /// Power-state policy for idle ranks.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum PowerPolicy {
     /// Ranks never power down (performance baseline).
     #[default]
@@ -200,7 +199,6 @@ pub enum PowerPolicy {
         idle_cycles: Cycle,
     },
 }
-
 
 /// DRAM device current/voltage parameters used by the energy model
 /// (Micron power-calculator methodology, per-device values).

@@ -108,9 +108,7 @@ pub fn compute_energy(
     let refresh_nj = counters.refreshes as f64 * mw_to_nj(ref_mw, trfc_ns);
 
     // Background by residency.
-    let bg = |idd: f64, cycles: Cycle| {
-        mw_to_nj(idd * p.vdd * devs, cycles as f64 * NS_PER_CYCLE)
-    };
+    let bg = |idd: f64, cycles: Cycle| mw_to_nj(idd * p.vdd * devs, cycles as f64 * NS_PER_CYCLE);
     let background_nj = bg(p.idd3n, counters.active_standby_cycles)
         + bg(p.idd2n, counters.precharge_standby_cycles)
         + bg(p.idd2p, counters.powerdown_cycles);

@@ -116,9 +116,7 @@ impl Rank {
 
     /// True when every bank is precharged.
     pub fn all_banks_idle(&self) -> bool {
-        self.banks
-            .iter()
-            .all(|b| matches!(b.state(), crate::bank::RowState::Idle))
+        self.banks.iter().all(|b| matches!(b.state(), crate::bank::RowState::Idle))
     }
 
     /// Records an ACT at `now` (caller has already validated bank timing).

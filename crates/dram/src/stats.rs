@@ -25,6 +25,11 @@ pub struct ChannelStats {
     pub refreshes: u64,
     /// Cycles where the scheduler wanted to issue but timing blocked it.
     pub stalled_cycles: Cycle,
+    /// Times the command scheduler actually ran. The tick loop skips
+    /// ahead to `next_wake` between decisions, so this stays far below
+    /// the elapsed cycle count on idle channels — a regression guard for
+    /// the event-driven fast path.
+    pub scheduler_invocations: u64,
 }
 
 impl ChannelStats {
@@ -68,6 +73,7 @@ impl ChannelStats {
         self.data_bus_busy_cycles += o.data_bus_busy_cycles;
         self.refreshes += o.refreshes;
         self.stalled_cycles += o.stalled_cycles;
+        self.scheduler_invocations += o.scheduler_invocations;
     }
 }
 

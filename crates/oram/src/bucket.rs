@@ -88,24 +88,32 @@ impl Bucket {
     /// headers, matching "some of these blocks may be dummy blocks".
     pub fn serialize(&self, block_bytes: usize) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.slots.len() * (16 + block_bytes) + 8);
+        self.serialize_into(block_bytes, &mut out);
+        out
+    }
+
+    /// Appends the serialized bucket image to `out` without intermediate
+    /// allocations — the path seal loop reuses one scratch buffer across
+    /// all buckets of a path.
+    pub fn serialize_into(&self, block_bytes: usize, out: &mut Vec<u8>) {
+        out.reserve(8 + self.slots.len() * (16 + block_bytes));
         out.extend_from_slice(&self.counter.to_le_bytes());
         for slot in &self.slots {
             match slot {
                 Some(e) => {
                     out.extend_from_slice(&(e.id.0 + 1).to_le_bytes()); // +1: 0 marks dummy
                     out.extend_from_slice(&e.leaf.0.to_le_bytes());
-                    let mut data = e.data.clone();
-                    data.resize(block_bytes, 0);
-                    out.extend_from_slice(&data);
+                    let payload = &e.data[..e.data.len().min(block_bytes)];
+                    out.extend_from_slice(payload);
+                    // Zero-pad short payloads to the fixed block size.
+                    out.resize(out.len() + (block_bytes - payload.len()), 0);
                 }
                 None => {
-                    out.extend_from_slice(&0u64.to_le_bytes());
-                    out.extend_from_slice(&0u64.to_le_bytes());
-                    out.extend_from_slice(&vec![0u8; block_bytes]);
+                    out.extend_from_slice(&[0u8; 16]);
+                    out.resize(out.len() + block_bytes, 0);
                 }
             }
         }
-        out
     }
 
     /// Inverse of [`serialize`](Self::serialize).
@@ -199,12 +207,37 @@ mod tests {
         for i in 0..4 {
             full.insert(entry(i, i)).unwrap();
         }
-        assert_eq!(empty.len(), full.serialize(64).len(), "dummies must be indistinguishable by size");
+        assert_eq!(
+            empty.len(),
+            full.serialize(64).len(),
+            "dummies must be indistinguishable by size"
+        );
     }
 
     #[test]
     #[should_panic(expected = "malformed bucket image")]
     fn deserialize_rejects_bad_length() {
         Bucket::deserialize(&[0u8; 10], 4, 64);
+    }
+
+    #[test]
+    fn serialize_into_appends_same_image() {
+        let mut b = Bucket::new(4);
+        b.insert(entry(10, 3)).unwrap();
+        b.counter = 9;
+        let single = b.serialize(64);
+        // Appending after existing content must not disturb either part.
+        let mut buf = vec![0xEE; 3];
+        b.serialize_into(64, &mut buf);
+        assert_eq!(&buf[..3], &[0xEE; 3]);
+        assert_eq!(&buf[3..], &single[..]);
+    }
+
+    #[test]
+    fn serialize_truncates_oversized_payloads() {
+        let mut b = Bucket::new(1);
+        b.insert(BlockEntry { id: BlockId(1), leaf: Leaf(0), data: vec![7u8; 100] }).unwrap();
+        let img = b.serialize(64);
+        assert_eq!(img.len(), 8 + 16 + 64);
     }
 }

@@ -118,11 +118,7 @@ impl FreecursiveOram {
     /// Panics if the unified tree cannot hold all levels at ≤50%
     /// utilization under `cfg`.
     pub fn new(cfg: OramConfig, data_blocks: u64, seed: u64) -> Self {
-        let ids = IdSpace::new(
-            data_blocks,
-            cfg.posmap_entries_per_block as u64,
-            cfg.max_recursion,
-        );
+        let ids = IdSpace::new(data_blocks, cfg.posmap_entries_per_block as u64, cfg.max_recursion);
         let backend = PathOram::new(cfg.clone(), ids.total_blocks(), seed);
         FreecursiveOram {
             backend,
@@ -237,10 +233,7 @@ impl FreecursiveOram {
     /// hit or on-chip.)
     fn handle_plb_insert(&mut self, level: u8, index: u64, plans: &mut Vec<AccessPlan>) {
         if (level as usize) < self.ids.memory_levels() {
-            self.plb.mark_dirty(PlbKey {
-                level: level + 1,
-                index: index / self.entries_per_block,
-            });
+            self.plb.mark_dirty(PlbKey { level: level + 1, index: index / self.entries_per_block });
         }
         if let Some((victim, dirty)) = self.plb.insert(PlbKey { level, index }, true) {
             if dirty {
@@ -338,14 +331,11 @@ mod tests {
         // A workload with locality: addresses drawn from a few regions.
         for _ in 0..600 {
             let region = rng.gen_range(0..8u64) * 1024;
-            let idx = region + rng.gen_range(0..256);
+            let idx = region + rng.gen_range(0..256u64);
             f.request(idx, Op::Read, None);
         }
         let apr = f.stats().accesses_per_request();
-        assert!(
-            apr > 1.0 && apr < 2.5,
-            "expected ≈1.x accessORAMs per request, got {apr}"
-        );
+        assert!(apr > 1.0 && apr < 2.5, "expected ≈1.x accessORAMs per request, got {apr}");
     }
 
     #[test]

@@ -68,10 +68,7 @@ impl TreeLayout {
         assert!(split_levels >= 1 && split_levels < cfg.levels);
         let subtree_buckets = (1u64 << (cfg.levels - split_levels + 1)) - 1;
         let need = subtree_buckets * cfg.lines_per_bucket() as u64 * cfg.block_bytes as u64;
-        assert!(
-            need <= rank_bytes,
-            "subtree needs {need} bytes but a rank provides {rank_bytes}"
-        );
+        assert!(need <= rank_bytes, "subtree needs {need} bytes but a rank provides {rank_bytes}");
         TreeLayout {
             geo: Geometry::from_config(cfg),
             lines_per_bucket: cfg.lines_per_bucket(),
@@ -135,7 +132,9 @@ impl TreeLayout {
         }
         let slot = self.bucket_slot(b);
         let base = match self.scheme {
-            Scheme::SubtreePacked { .. } => slot * self.lines_per_bucket as u64 * self.line_bytes as u64,
+            Scheme::SubtreePacked { .. } => {
+                slot * self.lines_per_bucket as u64 * self.line_bytes as u64
+            }
             Scheme::RankLocalized { split_levels, rank_bytes } => {
                 // Rank index is the subtree index: top bits of the slot.
                 let sub_levels = self.geo.levels() + 1 - split_levels;
@@ -145,11 +144,7 @@ impl TreeLayout {
                 rank * rank_bytes + within * self.lines_per_bucket as u64 * self.line_bytes as u64
             }
         };
-        Some(
-            (0..self.lines_per_bucket as u64)
-                .map(|i| base + i * self.line_bytes as u64)
-                .collect(),
-        )
+        Some((0..self.lines_per_bucket as u64).map(|i| base + i * self.line_bytes as u64).collect())
     }
 
     /// Line addresses for an entire path (root→leaf), skipping cached

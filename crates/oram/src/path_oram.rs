@@ -13,6 +13,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::bucket::{BlockEntry, Bucket};
 use crate::geometry::{BucketIdx, Geometry};
+use crate::integrity::SealedTree;
 use crate::layout::TreeLayout;
 use crate::plan::{AccessPlan, PlanKind};
 use crate::posmap::FlatPosMap;
@@ -44,6 +45,10 @@ pub struct PathOram {
     geo: Geometry,
     layout: TreeLayout,
     tree: HashMap<BucketIdx, Bucket>,
+    /// When present, buckets live encrypted+MACed in this store instead of
+    /// the plaintext `tree`; path fetch/write-back goes through the
+    /// batched [`SealedTree::load_path`]/[`SealedTree::store_path`] APIs.
+    sealed: Option<SealedTree>,
     stash: Stash,
     posmap: FlatPosMap,
     rng: StdRng,
@@ -73,6 +78,7 @@ impl PathOram {
             geo: Geometry::from_config(&cfg),
             layout,
             tree: HashMap::new(),
+            sealed: None,
             stash: Stash::new(),
             posmap,
             rng,
@@ -90,7 +96,12 @@ impl PathOram {
     /// # Panics
     ///
     /// Panics if `expected_resident` exceeds half the tree capacity.
-    pub fn with_id_space(cfg: OramConfig, id_space: u64, expected_resident: u64, seed: u64) -> Self {
+    pub fn with_id_space(
+        cfg: OramConfig,
+        id_space: u64,
+        expected_resident: u64,
+        seed: u64,
+    ) -> Self {
         cfg.validate();
         assert!(
             expected_resident <= cfg.block_capacity() / 2,
@@ -104,6 +115,7 @@ impl PathOram {
             geo: Geometry::from_config(&cfg),
             layout,
             tree: HashMap::new(),
+            sealed: None,
             stash: Stash::new(),
             posmap,
             rng,
@@ -111,6 +123,30 @@ impl PathOram {
             cfg,
             stats: OramStats::default(),
         }
+    }
+
+    /// Switches the tree to sealed (encrypted + MACed) storage keyed from
+    /// `master`. From here on, every path fetch verifies and decrypts each
+    /// bucket with one batched keystream sweep, and every write-back seals
+    /// the whole path through [`SealedTree::store_path`].
+    ///
+    /// Sealed images are fixed-size (dummies indistinguishable from real
+    /// blocks), so payloads shorter than `block_bytes` come back
+    /// zero-padded to full length after their first write-back — callers
+    /// on this mode should write full blocks, as the wire layer does.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any bucket has already been written in plaintext — enable
+    /// sealing right after construction.
+    pub fn enable_sealing(&mut self, master: [u8; 16]) {
+        assert!(self.tree.is_empty(), "enable sealing before the first access");
+        self.sealed = Some(SealedTree::new(self.cfg.z, self.cfg.block_bytes, master));
+    }
+
+    /// True when buckets are stored sealed rather than in plaintext.
+    pub fn is_sealed(&self) -> bool {
+        self.sealed.is_some()
     }
 
     /// Replaces the layout (e.g. with [`TreeLayout::rank_localized`]).
@@ -165,7 +201,12 @@ impl PathOram {
     /// # Panics
     ///
     /// Panics if `id` is out of range.
-    pub fn access(&mut self, id: BlockId, op: Op, new_data: Option<&[u8]>) -> (Vec<u8>, AccessPlan) {
+    pub fn access(
+        &mut self,
+        id: BlockId,
+        op: Op,
+        new_data: Option<&[u8]>,
+    ) -> (Vec<u8>, AccessPlan) {
         assert!(id.0 < self.blocks, "block {id} out of range");
         let (old_leaf, _new_leaf) = self.posmap.get_and_remap(id, &mut self.rng);
         let (data, plan) = self.access_on_path(id, op, new_data, old_leaf, PlanKind::Demand);
@@ -251,13 +292,47 @@ impl PathOram {
     /// each resident copy's leaf from the posmap (the requested block's
     /// remap may already be recorded there).
     fn fetch_path(&mut self, leaf: Leaf) {
-        for level in 0..=self.geo.levels() {
-            let b = self.geo.bucket_at(leaf, level);
-            if let Some(bucket) = self.tree.get_mut(&b) {
+        self.drain_path_into_stash(leaf, true, true);
+    }
+
+    /// Moves every block on the path into the stash. In sealed mode the
+    /// whole path is verified and decrypted up front via
+    /// [`SealedTree::load_path`] — one batched keystream sweep per
+    /// resident bucket instead of a block-cipher call per 16-byte lane.
+    ///
+    /// `refresh_leaves`/`count_fetches` preserve the differing semantics
+    /// of demand fetches (both true) and background evictions (both
+    /// false): dummy accesses touch neither the posmap nor the
+    /// demand-traffic statistics.
+    fn drain_path_into_stash(&mut self, leaf: Leaf, refresh_leaves: bool, count_fetches: bool) {
+        if let Some(sealed) = &self.sealed {
+            let idxs: Vec<BucketIdx> =
+                (0..=self.geo.levels()).map(|l| self.geo.bucket_at(leaf, l)).collect();
+            let loaded = sealed.load_path(&idxs).expect("sealed bucket failed verification");
+            for mut bucket in loaded.into_iter().flatten() {
                 for mut e in bucket.drain() {
-                    self.stats.blocks_fetched += 1;
-                    e.leaf = self.posmap.get(e.id);
+                    if count_fetches {
+                        self.stats.blocks_fetched += 1;
+                    }
+                    if refresh_leaves {
+                        e.leaf = self.posmap.get(e.id);
+                    }
                     self.stash.insert(e);
+                }
+            }
+        } else {
+            for level in 0..=self.geo.levels() {
+                let b = self.geo.bucket_at(leaf, level);
+                if let Some(bucket) = self.tree.get_mut(&b) {
+                    for mut e in bucket.drain() {
+                        if count_fetches {
+                            self.stats.blocks_fetched += 1;
+                        }
+                        if refresh_leaves {
+                            e.leaf = self.posmap.get(e.id);
+                        }
+                        self.stash.insert(e);
+                    }
                 }
             }
         }
@@ -285,19 +360,49 @@ impl PathOram {
 
     /// Step 4: greedy write-back onto the path.
     fn evict_path(&mut self, leaf: Leaf) {
+        self.writeback_path(leaf, true);
+    }
+
+    /// Greedily writes stash blocks back onto the path. Background
+    /// evictions pass `count_writebacks = false`: dummy-access traffic is
+    /// accounted separately from demand write-backs.
+    ///
+    /// In sealed mode every level is re-sealed — even levels that ended up
+    /// empty — because the fetched images were consumed; leaving a stale
+    /// sealed copy behind would resurrect its blocks on the next fetch
+    /// (and trip the replay check). The whole path goes through one
+    /// [`SealedTree::store_path`] call so the serialization scratch buffer
+    /// is reused and each bucket is one batched keystream sweep.
+    fn writeback_path(&mut self, leaf: Leaf, count_writebacks: bool) {
         let per_level = self.stash.evict_for_path(&self.geo, leaf, self.cfg.z, 0);
-        for (level, blocks) in per_level.into_iter().enumerate() {
-            if blocks.is_empty() {
-                continue;
+        if let Some(sealed) = &mut self.sealed {
+            let mut path: Vec<(BucketIdx, Bucket)> = Vec::with_capacity(per_level.len());
+            for (level, blocks) in per_level.into_iter().enumerate() {
+                let bidx = self.geo.bucket_at(leaf, level as u32);
+                let mut bucket = Bucket::new(self.cfg.z);
+                for e in blocks {
+                    if count_writebacks {
+                        self.stats.blocks_written_back += 1;
+                    }
+                    bucket.insert(e).expect("evict_for_path respects Z");
+                }
+                path.push((bidx, bucket));
             }
-            let bidx = self.geo.bucket_at(leaf, level as u32);
-            let bucket = self
-                .tree
-                .entry(bidx)
-                .or_insert_with(|| Bucket::new(self.cfg.z));
-            for e in blocks {
-                self.stats.blocks_written_back += 1;
-                bucket.insert(e).expect("evict_for_path respects Z");
+            let refs: Vec<(BucketIdx, &Bucket)> = path.iter().map(|(i, b)| (*i, b)).collect();
+            sealed.store_path(&refs);
+        } else {
+            for (level, blocks) in per_level.into_iter().enumerate() {
+                if blocks.is_empty() {
+                    continue;
+                }
+                let bidx = self.geo.bucket_at(leaf, level as u32);
+                let bucket = self.tree.entry(bidx).or_insert_with(|| Bucket::new(self.cfg.z));
+                for e in blocks {
+                    if count_writebacks {
+                        self.stats.blocks_written_back += 1;
+                    }
+                    bucket.insert(e).expect("evict_for_path respects Z");
+                }
             }
         }
     }
@@ -307,25 +412,8 @@ impl PathOram {
     pub fn background_evict(&mut self) -> AccessPlan {
         let leaf = Leaf(self.rng.gen_range(0..self.cfg.leaf_count()));
         let read_lines = self.layout.path_lines(leaf);
-        for level in 0..=self.geo.levels() {
-            let b = self.geo.bucket_at(leaf, level);
-            if let Some(bucket) = self.tree.get_mut(&b) {
-                for e in bucket.drain() {
-                    self.stash.insert(e);
-                }
-            }
-        }
-        let per_level = self.stash.evict_for_path(&self.geo, leaf, self.cfg.z, 0);
-        for (level, blocks) in per_level.into_iter().enumerate() {
-            if blocks.is_empty() {
-                continue;
-            }
-            let bidx = self.geo.bucket_at(leaf, level as u32);
-            let bucket = self.tree.entry(bidx).or_insert_with(|| Bucket::new(self.cfg.z));
-            for e in blocks {
-                bucket.insert(e).expect("evict respects Z");
-            }
-        }
+        self.drain_path_into_stash(leaf, false, false);
+        self.writeback_path(leaf, false);
         self.stats.background_evictions += 1;
         AccessPlan {
             leaf,
@@ -368,6 +456,26 @@ impl PathOram {
                     e.id
                 );
                 assert_eq!(e.leaf, mapped, "{} carries stale leaf", e.id);
+            }
+        }
+        if let Some(sealed) = &self.sealed {
+            for bidx in sealed.indices() {
+                let bucket = sealed
+                    .load(bidx)
+                    .expect("invariant: sealed bucket verifies")
+                    .expect("indices() only yields residents");
+                for e in bucket.iter() {
+                    if let Some(prev) = seen.insert(e.id, "sealed tree") {
+                        panic!("{} present in sealed tree and {prev}", e.id);
+                    }
+                    let mapped = self.posmap.get(e.id);
+                    assert!(
+                        self.geo.on_path(bidx, mapped),
+                        "{} sits in sealed bucket {bidx:?} off its path to {mapped}",
+                        e.id
+                    );
+                    assert_eq!(e.leaf, mapped, "{} carries stale leaf", e.id);
+                }
             }
         }
     }
@@ -413,10 +521,12 @@ mod tests {
     fn access_remaps_leaf() {
         let mut o = oram();
         o.access(BlockId(1), Op::Write, Some(&[1]));
-        let leaves: Vec<Leaf> = (0..20).map(|_| {
-            o.access(BlockId(1), Op::Read, None);
-            o.leaf_of(BlockId(1))
-        }).collect();
+        let leaves: Vec<Leaf> = (0..20)
+            .map(|_| {
+                o.access(BlockId(1), Op::Read, None);
+                o.leaf_of(BlockId(1))
+            })
+            .collect();
         let distinct: std::collections::HashSet<_> = leaves.iter().collect();
         assert!(distinct.len() > 5, "leaf must be re-randomized per access");
     }
@@ -460,7 +570,8 @@ mod tests {
             }
         }
         assert!(
-            o.stash_peak() <= o.config().stash_limit + o.config().z * (o.config().levels as usize + 1),
+            o.stash_peak()
+                <= o.config().stash_limit + o.config().z * (o.config().levels as usize + 1),
             "stash peak {} looks unbounded",
             o.stash_peak()
         );
@@ -504,6 +615,82 @@ mod tests {
         let _ = PathOram::new(cfg, cap, 1);
     }
 
+    fn sealed_oram() -> PathOram {
+        let mut o = oram();
+        o.enable_sealing([0x42; 16]);
+        o
+    }
+
+    #[test]
+    fn sealed_mode_read_your_writes() {
+        let mut o = sealed_oram();
+        assert!(o.is_sealed());
+        // Full-size payloads: sealed images are fixed-size, so short
+        // writes would come back zero-padded (see enable_sealing docs).
+        let bytes = o.config().block_bytes;
+        for i in 0..30u64 {
+            o.access(BlockId(i), Op::Write, Some(&vec![i as u8; bytes]));
+        }
+        for i in 0..30u64 {
+            let (got, _) = o.access(BlockId(i), Op::Read, None);
+            assert_eq!(got, vec![i as u8; bytes], "sealed block {i} corrupted");
+        }
+        o.check_invariant();
+    }
+
+    #[test]
+    fn sealed_mode_matches_plaintext_results_and_stats() {
+        // Sealing is pure at-rest transformation: served data, plans, and
+        // stats must be identical to the plaintext tree under the same
+        // seed and workload.
+        let mut plain = oram();
+        let mut sealed = sealed_oram();
+        let mut rng = StdRng::seed_from_u64(99);
+        for step in 0..300 {
+            let id = BlockId(rng.gen_range(0..100));
+            let payload = vec![step as u8; plain.config().block_bytes];
+            let (a, pa) = if step % 3 == 0 {
+                plain.access(id, Op::Write, Some(&payload))
+            } else {
+                plain.access(id, Op::Read, None)
+            };
+            let (b, pb) = if step % 3 == 0 {
+                sealed.access(id, Op::Write, Some(&payload))
+            } else {
+                sealed.access(id, Op::Read, None)
+            };
+            assert_eq!(a, b, "data diverged at step {step}");
+            assert_eq!(pa.leaf, pb.leaf, "leaf choice diverged at step {step}");
+            if plain.needs_background_evict() {
+                plain.background_evict();
+                sealed.background_evict();
+            }
+        }
+        assert_eq!(plain.stats(), sealed.stats());
+        assert_eq!(plain.stash_len(), sealed.stash_len());
+        sealed.check_invariant();
+    }
+
+    #[test]
+    fn sealed_mode_background_evict_keeps_invariant() {
+        let mut o = sealed_oram();
+        for i in 0..80u64 {
+            o.access(BlockId(i), Op::Write, Some(&[1u8; 8]));
+        }
+        let before = o.stash_len();
+        o.background_evict();
+        assert!(o.stash_len() <= before);
+        o.check_invariant();
+    }
+
+    #[test]
+    #[should_panic(expected = "before the first access")]
+    fn enable_sealing_after_plaintext_writes_panics() {
+        let mut o = oram();
+        o.access(BlockId(0), Op::Write, Some(&[1]));
+        o.enable_sealing([0; 16]);
+    }
+
     #[test]
     fn append_after_foreign_remap_roundtrips() {
         // Simulates the Independent protocol's block migration: remove
@@ -511,8 +698,7 @@ mod tests {
         let mut a = PathOram::new(OramConfig::tiny(), 64, 1);
         let mut b = PathOram::new(OramConfig::tiny(), 64, 2);
         a.access(BlockId(3), Op::Write, Some(&[0xAB; 16]));
-        let (data, moved, _) =
-            a.access_with_remap(BlockId(3), Op::Read, None, Leaf(5), false);
+        let (data, moved, _) = a.access_with_remap(BlockId(3), Op::Read, None, Leaf(5), false);
         assert_eq!(data, vec![0xAB; 16], "served data must match regardless of migration");
         let mut moved = moved.expect("block leaves ORAM A");
         moved.leaf = Leaf(5);

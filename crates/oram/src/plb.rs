@@ -90,7 +90,8 @@ impl Plb {
     fn set_of(&self, key: PlbKey) -> usize {
         // Spread levels so different recursion levels do not collide on
         // the same sets systematically.
-        let h = key.index ^ ((key.level as u64) << 40) ^ (key.index >> 13).wrapping_mul(0x9E37_79B9);
+        let h =
+            key.index ^ ((key.level as u64) << 40) ^ (key.index >> 13).wrapping_mul(0x9E37_79B9);
         (h as usize) & (self.sets.len() - 1)
     }
 

@@ -98,8 +98,7 @@ impl Stash {
                 if chosen.len() >= z {
                     break;
                 }
-                if geo.bucket_at(e.leaf, level.min(depth)) == target
-                    && geo.on_path(target, e.leaf)
+                if geo.bucket_at(e.leaf, level.min(depth)) == target && geo.on_path(target, e.leaf)
                 {
                     chosen.push(e.id);
                 }

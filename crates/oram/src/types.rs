@@ -114,10 +114,7 @@ impl OramConfig {
     pub fn validate(&self) {
         assert!(self.z >= 1, "Z must be at least 1");
         assert!(self.levels >= 1 && self.levels <= 40, "levels out of range");
-        assert!(
-            self.cached_levels <= self.levels,
-            "cannot cache more levels than the tree has"
-        );
+        assert!(self.cached_levels <= self.levels, "cannot cache more levels than the tree has");
         assert!(self.posmap_entries_per_block >= 2, "recursion needs fan-out ≥ 2");
         assert!(self.stash_limit >= self.z, "stash must hold at least one bucket");
     }

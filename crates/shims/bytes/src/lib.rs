@@ -1,0 +1,180 @@
+//! Minimal offline shim for the subset of the `bytes` 1.x API used by
+//! this workspace: `Bytes`/`BytesMut` with little-endian integer codecs.
+//!
+//! Both types are plain `Vec<u8>` wrappers — no reference-counted slab
+//! sharing. `Bytes::advance` is O(n) (it drains the front), which is
+//! irrelevant at the wire-message sizes used here (< 100 bytes).
+
+use std::ops::Deref;
+
+/// Read-side cursor operations (subset of `bytes::Buf`).
+pub trait Buf {
+    /// Discards the first `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+    /// Pops one byte off the front.
+    fn get_u8(&mut self) -> u8;
+    /// Pops a little-endian `u64` off the front.
+    fn get_u64_le(&mut self) -> u64;
+}
+
+/// Write-side append operations (subset of `bytes::BufMut`).
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64);
+    /// Appends a slice.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+/// An owned, immutable-by-convention byte buffer with cursor reads.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// Number of unread bytes remaining.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// True when no unread bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copies the remaining bytes into a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data[self.pos..].to_vec()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes { data, pos: 0 }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(data: &[u8]) -> Self {
+        Bytes { data: data.to_vec(), pos: 0 }
+    }
+}
+
+impl Buf for Bytes {
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end of Bytes");
+        self.pos += cnt;
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let v = self[0];
+        self.pos += 1;
+        v
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(&self[..8]);
+        self.pos += 8;
+        u64::from_le_bytes(raw)
+    }
+}
+
+/// A growable byte buffer for building wire messages.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer with at least `cap` bytes reserved.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut { data: Vec::with_capacity(cap) }
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes { data: self.data, pos: 0 }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.data.push(v);
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_wire_message() {
+        let mut b = BytesMut::with_capacity(32);
+        b.put_u8(0xAB);
+        b.put_u64_le(0x1122_3344_5566_7788);
+        b.put_slice(&[1, 2, 3]);
+        let mut frozen = b.freeze();
+        assert_eq!(frozen.len(), 12);
+        assert_eq!(frozen[0], 0xAB);
+        frozen.advance(1);
+        assert_eq!(frozen.get_u64_le(), 0x1122_3344_5566_7788);
+        assert_eq!(&frozen[..], &[1, 2, 3]);
+        assert_eq!(frozen.to_vec(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn from_vec_and_indexing() {
+        let b = Bytes::from(vec![9, 8, 7]);
+        assert_eq!(b.len(), 3);
+        assert_eq!(&b[1..], &[8, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "advance past end")]
+    fn advance_past_end_panics() {
+        let mut b = Bytes::from(vec![1]);
+        b.advance(2);
+    }
+}

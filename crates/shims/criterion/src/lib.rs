@@ -1,0 +1,271 @@
+//! Minimal offline shim for the subset of the `criterion` 0.5 API used
+//! by this workspace's `benches/` targets.
+//!
+//! Benchmarks run a short calibrated measurement (warm-up, then batches
+//! until a time budget is spent) and print mean time per iteration plus
+//! derived throughput. There is no statistical analysis, HTML report, or
+//! saved baseline — the workspace's `bench_compare` binary provides the
+//! regression gate instead.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// How measured iteration counts translate into work units for the
+/// throughput line.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Each iteration processes this many bytes.
+    Bytes(u64),
+    /// Each iteration processes this many logical elements.
+    Elements(u64),
+}
+
+/// Hint for how much setup output `iter_batched` keeps in flight.
+/// The shim runs setup once per iteration regardless.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// A benchmark identifier composed of a function name and a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, as rendered by real criterion.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId { full: format!("{name}/{parameter}") }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.full)
+    }
+}
+
+/// Passed to benchmark closures; drives the measurement loop.
+#[derive(Debug)]
+pub struct Bencher {
+    /// Total measured time, accumulated across calls.
+    elapsed: Duration,
+    /// Total measured iterations, accumulated across calls.
+    iters: u64,
+    /// Measurement budget.
+    budget: Duration,
+}
+
+impl Bencher {
+    fn new(budget: Duration) -> Self {
+        Bencher { elapsed: Duration::ZERO, iters: 0, budget }
+    }
+
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and batch-size calibration: grow until one batch takes
+        // at least ~1ms, so timer overhead stays negligible.
+        let mut batch: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            let took = start.elapsed();
+            if took >= Duration::from_millis(1) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 2;
+        }
+        let deadline = Instant::now() + self.budget;
+        while Instant::now() < deadline {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            self.elapsed += start.elapsed();
+            self.iters += batch;
+        }
+    }
+
+    /// Times `routine` over fresh inputs produced by `setup`; setup time
+    /// is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let deadline = Instant::now() + self.budget;
+        while Instant::now() < deadline {
+            // Amortize the Instant calls over a small fixed batch.
+            for _ in 0..64 {
+                let input = setup();
+                let start = Instant::now();
+                std::hint::black_box(routine(input));
+                self.elapsed += start.elapsed();
+                self.iters += 1;
+            }
+        }
+    }
+
+    /// Mean nanoseconds per iteration over everything measured so far.
+    fn ns_per_iter(&self) -> f64 {
+        if self.iters == 0 {
+            return f64::NAN;
+        }
+        self.elapsed.as_nanos() as f64 / self.iters as f64
+    }
+}
+
+fn report(name: &str, bencher: &Bencher, throughput: Option<Throughput>) {
+    let ns = bencher.ns_per_iter();
+    let mut line = format!("{name:<40} {ns:>12.1} ns/iter");
+    match throughput {
+        Some(Throughput::Bytes(n)) => {
+            let mbps = n as f64 / ns * 1e9 / (1024.0 * 1024.0);
+            line.push_str(&format!("  {mbps:>10.1} MiB/s"));
+        }
+        Some(Throughput::Elements(n)) => {
+            let eps = n as f64 / ns * 1e9;
+            line.push_str(&format!("  {eps:>10.0} elem/s"));
+        }
+        None => {}
+    }
+    println!("{line}");
+}
+
+/// A named group of benchmarks sharing a throughput setting.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    criterion: &'a Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration work used for the throughput line.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(self.criterion.budget);
+        f(&mut bencher);
+        report(&format!("{}/{}", self.name, id), &bencher, self.throughput);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::new(self.criterion.budget);
+        f(&mut bencher, input);
+        report(&format!("{}/{}", self.name, id), &bencher, self.throughput);
+        self
+    }
+
+    /// No-op in the shim (reports print eagerly).
+    pub fn finish(self) {}
+}
+
+/// Benchmark driver (shim: holds only the per-benchmark time budget).
+#[derive(Debug)]
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Keep whole-suite runs quick; SDIMM_BENCH_BUDGET_MS overrides.
+        let ms = std::env::var("SDIMM_BENCH_BUDGET_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(300);
+        Criterion { budget: Duration::from_millis(ms) }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), throughput: None, criterion: self }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(self.budget);
+        f(&mut bencher);
+        report(&id.to_string(), &bencher, None);
+        self
+    }
+}
+
+/// Prevents the optimizer from deleting a value or the work behind it.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher::new(Duration::from_millis(5));
+        let mut acc = 0u64;
+        b.iter(|| {
+            acc = acc.wrapping_add(1);
+            acc
+        });
+        assert!(b.iters > 0);
+        assert!(b.ns_per_iter().is_finite());
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut b = Bencher::new(Duration::from_millis(5));
+        b.iter_batched(|| vec![0u8; 64], |v| v.len(), BatchSize::SmallInput);
+        assert!(b.iters > 0);
+    }
+
+    #[test]
+    fn benchmark_id_formats_like_criterion() {
+        assert_eq!(BenchmarkId::new("walk", 7).to_string(), "walk/7");
+    }
+}

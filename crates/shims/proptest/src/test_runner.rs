@@ -1,0 +1,63 @@
+//! Test-execution support used by the [`crate::proptest!`] macro.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Per-test configuration (only `cases` is honored by the shim).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` did not hold: regenerate, do not count.
+    Reject,
+    /// A `prop_assert*` failed with this message.
+    Fail(String),
+}
+
+/// Derives the deterministic RNG for one property-test function from its
+/// fully qualified name (FNV-1a over the path).
+pub fn rng_for(test_path: &str) -> StdRng {
+    let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_path.bytes() {
+        seed = (seed ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    StdRng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn rng_for_is_deterministic_and_name_sensitive() {
+        let a: u64 = rng_for("mod::test_a").gen();
+        let a2: u64 = rng_for("mod::test_a").gen();
+        let b: u64 = rng_for("mod::test_b").gen();
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn default_config_runs_256_cases() {
+        assert_eq!(ProptestConfig::default().cases, 256);
+    }
+}

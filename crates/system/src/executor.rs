@@ -391,8 +391,10 @@ mod tests {
         let id = ex.submit(dram_trace(0, 4));
         ex.run_until_quiescent(100_000);
         let events = ex.poll();
-        assert!(events.contains(&ExecEvent::Done { id, at: ex.now() })
-            || events.iter().any(|e| matches!(e, ExecEvent::Done { id: i, .. } if *i == id)));
+        assert!(
+            events.contains(&ExecEvent::Done { id, at: ex.now() })
+                || events.iter().any(|e| matches!(e, ExecEvent::Done { id: i, .. } if *i == id))
+        );
     }
 
     #[test]
@@ -427,7 +429,8 @@ mod tests {
         let id = ex.submit(trace);
         ex.run_until_quiescent(100_000);
         let ev = ex.poll();
-        let ready = ev.iter().position(|e| matches!(e, ExecEvent::DataReady { id: i, .. } if *i == id));
+        let ready =
+            ev.iter().position(|e| matches!(e, ExecEvent::DataReady { id: i, .. } if *i == id));
         let done = ev.iter().position(|e| matches!(e, ExecEvent::Done { id: i, .. } if *i == id));
         assert!(ready.unwrap() < done.unwrap());
     }

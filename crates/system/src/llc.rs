@@ -123,8 +123,7 @@ impl Llc {
             let victim = set.swap_remove(victim_idx);
             if victim.dirty {
                 self.stats.writebacks += 1;
-                writeback =
-                    Some((victim.tag * sets_len + set_idx as u64) * line_bytes);
+                writeback = Some((victim.tag * sets_len + set_idx as u64) * line_bytes);
             }
         }
         set.push(Line { tag, dirty: is_write, lru: tick });
@@ -175,7 +174,7 @@ mod tests {
     #[test]
     fn lru_keeps_recently_used() {
         let mut c = Llc::new(2 * 64, 2); // one... two lines per set
-        // Set count = 1: all map to set 0.
+                                         // Set count = 1: all map to set 0.
         c.access(0, false);
         c.access(64, false);
         c.access(0, false); // refresh 0

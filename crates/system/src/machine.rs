@@ -255,13 +255,21 @@ impl Machine {
                     let mut phases = Vec::new();
                     let mut read_phase = Phase::default();
                     for (ch, lines) in Self::split_lines(&plan.read_lines, *channels) {
-                        read_phase.par.push(Activity::Dram { channel: ch, reads: lines, writes: vec![] });
+                        read_phase.par.push(Activity::Dram {
+                            channel: ch,
+                            reads: lines,
+                            writes: vec![],
+                        });
                     }
                     read_phase.par.push(Activity::Crypto { units: plan.read_lines.len() as u32 });
                     phases.push(read_phase);
                     let mut write_phase = Phase::default();
                     for (ch, lines) in Self::split_lines(&plan.write_lines, *channels) {
-                        write_phase.par.push(Activity::Dram { channel: ch, reads: vec![], writes: lines });
+                        write_phase.par.push(Activity::Dram {
+                            channel: ch,
+                            reads: vec![],
+                            writes: lines,
+                        });
                     }
                     phases.push(write_phase);
                     let mut t = RequestTrace::new(phases);
@@ -273,21 +281,27 @@ impl Machine {
                 }
                 parts
             }
-            Backend::Independent(oram) => {
-                Self::plan_protocol(self.frontend.as_mut(), addr, op, self.cfg.data_blocks, |id, op| {
-                    oram.access(id, op, Some(&[])).1
-                })
-            }
-            Backend::Split(oram) => {
-                Self::plan_protocol(self.frontend.as_mut(), addr, op, self.cfg.data_blocks, |id, op| {
-                    oram.access(id, op, Some(&[])).1
-                })
-            }
-            Backend::IndepSplit(oram) => {
-                Self::plan_protocol(self.frontend.as_mut(), addr, op, self.cfg.data_blocks, |id, op| {
-                    oram.access(id, op, Some(&[])).1
-                })
-            }
+            Backend::Independent(oram) => Self::plan_protocol(
+                self.frontend.as_mut(),
+                addr,
+                op,
+                self.cfg.data_blocks,
+                |id, op| oram.access(id, op, Some(&[])).1,
+            ),
+            Backend::Split(oram) => Self::plan_protocol(
+                self.frontend.as_mut(),
+                addr,
+                op,
+                self.cfg.data_blocks,
+                |id, op| oram.access(id, op, Some(&[])).1,
+            ),
+            Backend::IndepSplit(oram) => Self::plan_protocol(
+                self.frontend.as_mut(),
+                addr,
+                op,
+                self.cfg.data_blocks,
+                |id, op| oram.access(id, op, Some(&[])).1,
+            ),
         }
     }
 
@@ -360,10 +374,8 @@ mod tests {
 
     #[test]
     fn independent_traces_are_light_on_external_bus() {
-        let mut m = Machine::new(SystemConfig::small(MachineKind::Independent {
-            sdimms: 2,
-            channels: 1,
-        }));
+        let mut m =
+            Machine::new(SystemConfig::small(MachineKind::Independent { sdimms: 2, channels: 1 }));
         // Warm the PLB so we compare single accesses.
         m.request_traces(0x1000, false);
         let parts = m.request_traces(0x1000, false);
@@ -405,10 +417,10 @@ mod tests {
         let mut m = Machine::new(cfg);
         let parts = m.request_traces(0x3000, false);
         assert!(
-            parts.iter().flat_map(|t| t.iter_activities()).any(|a| matches!(
-                a,
-                Activity::WakeRank { .. }
-            )),
+            parts
+                .iter()
+                .flat_map(|t| t.iter_activities())
+                .any(|a| matches!(a, Activity::WakeRank { .. })),
             "low-power Split must emit rank hints"
         );
     }
@@ -417,10 +429,8 @@ mod tests {
     fn protocol_backends_differ_across_requests() {
         // Independent: different leaves route to different backends, so a
         // sample of requests must claim more than one backend id.
-        let mut m = Machine::new(SystemConfig::small(MachineKind::Independent {
-            sdimms: 4,
-            channels: 2,
-        }));
+        let mut m =
+            Machine::new(SystemConfig::small(MachineKind::Independent { sdimms: 4, channels: 2 }));
         let mut backends = std::collections::HashSet::new();
         for i in 0..32u64 {
             for t in m.request_traces(i * 64 * 131, false) {

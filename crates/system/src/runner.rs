@@ -169,10 +169,7 @@ pub fn run(cfg: &SystemConfig, trace: &Trace, warmup: usize, measure: usize) -> 
             dram_lines += parts.iter().map(|t| t.dram_lines()).sum::<u64>();
             let first = parts.pop_front().expect("at least the demand access");
             let id = machine.executor.submit(first);
-            chains.insert(
-                id,
-                Chain { parts, instr_pos, issued_at: now, is_writeback: false },
-            );
+            chains.insert(id, Chain { parts, instr_pos, issued_at: now, is_writeback: false });
             last_miss = Some(id);
             // A dirty victim drains through the store buffer.
             if let Some(victim) = res.writeback {
@@ -297,11 +294,7 @@ mod tests {
     fn external_bus_traffic_tiny_for_independent() {
         let indep = quick(MachineKind::Independent { sdimms: 2, channels: 1 });
         let ext_lines = indep.external_bus_bytes / 64;
-        assert!(
-            ext_lines < indep.dram_lines / 5,
-            "ext {ext_lines} vs dram {}",
-            indep.dram_lines
-        );
+        assert!(ext_lines < indep.dram_lines / 5, "ext {ext_lines} vs dram {}", indep.dram_lines);
     }
 
     #[test]

@@ -184,9 +184,7 @@ pub const LATENCY_BOUND: [&str; 1] = ["GemsFDTD-like"];
 ///
 /// Panics if `name` is not one of [`ALL`].
 pub fn generate(name: &str, n: usize, seed: u64) -> Trace {
-    profile(name)
-        .unwrap_or_else(|| panic!("unknown workload {name}"))
-        .generate(n, seed)
+    profile(name).unwrap_or_else(|| panic!("unknown workload {name}")).generate(n, seed)
 }
 
 #[cfg(test)]
@@ -235,10 +233,7 @@ mod tests {
     fn footprints_exceed_llc() {
         for name in ALL {
             let p = profile(name).unwrap();
-            assert!(
-                p.footprint_bytes > 2 * (1 << 21),
-                "{name} must not fit the 2 MB LLC"
-            );
+            assert!(p.footprint_bytes > 2 * (1 << 21), "{name} must not fit the 2 MB LLC");
         }
     }
 }

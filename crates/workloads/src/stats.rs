@@ -53,7 +53,8 @@ pub fn characterize(trace: &Trace) -> TraceProfile {
             filled = 0;
         }
     }
-    let mlp_estimate = if windows == 0 { in_window as f64 } else { mlp_sum as f64 / windows as f64 };
+    let mlp_estimate =
+        if windows == 0 { in_window as f64 } else { mlp_sum as f64 / windows as f64 };
 
     let mut same_row = 0usize;
     for w in trace.records.windows(2) {

@@ -61,7 +61,9 @@ fn main() {
         );
         if matches!(kind, MachineKind::Freecursive { .. }) {
             baseline = Some(r.cycles_per_record());
-        } else if let (Some(base), false) = (baseline, matches!(kind, MachineKind::NonSecure { .. })) {
+        } else if let (Some(base), false) =
+            (baseline, matches!(kind, MachineKind::NonSecure { .. }))
+        {
             let gain = 100.0 * (1.0 - r.cycles_per_record() / base);
             println!("{:<16} {:>11.1}% faster than Freecursive", "", gain);
         }

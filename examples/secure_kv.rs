@@ -83,8 +83,8 @@ fn main() {
     };
     let hot = shape_of(&["alice/balance"; 16]);
     let scan = shape_of(&[
-        "k00", "k01", "k02", "k03", "k04", "k05", "k06", "k07", "k08", "k09", "k10", "k11",
-        "k12", "k13", "k14", "k15",
+        "k00", "k01", "k02", "k03", "k04", "k05", "k06", "k07", "k08", "k09", "k10", "k11", "k12",
+        "k13", "k14", "k15",
     ]);
     match compare_shapes(&hot, &scan) {
         ShapeVerdict::Indistinguishable => {

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Repository CI gate: formatting, lints, and the full test suite.
+#
+# Usage: scripts/check.sh
+#
+# Runs the same three checks a future CI job should run. Fails fast on the
+# first broken step so local iterations stay quick.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> all checks passed"

@@ -3,9 +3,13 @@
 //! Runs a fixed set of wall-clock microbenchmarks (AES block/batch, CTR
 //! keystream, CMAC, bucket seal→open) plus two quick-scale fig6-style
 //! system microloops, writes the measurements to `BENCH_crypto.json`
-//! (ops/sec and wall time per benchmark), diffs ops/sec against the
-//! committed baseline at `crates/bench/baselines/crypto.json`, and exits
-//! nonzero when any benchmark regressed by more than 15%.
+//! (ops/sec, wall time, and p50/p99 per-op latency per benchmark), diffs
+//! ops/sec against the committed baseline at
+//! `crates/bench/baselines/crypto.json`, and exits nonzero when any
+//! benchmark regressed by more than 15%. The p50/p99 columns ride along
+//! in the report for tail-latency tracking; the hard gate stays on
+//! throughput because ns-scale tail measurements are too noisy on
+//! shared CI hosts to fail a build on.
 //!
 //! Usage:
 //!
@@ -27,6 +31,7 @@ use sdimm_crypto::mac::Cmac;
 use sdimm_crypto::pmmac::BucketAuth;
 use sdimm_system::machine::{MachineKind, SystemConfig};
 use sdimm_system::runner::run;
+use sdimm_telemetry::LatencyHistogram;
 use workloads::spec as wl;
 
 /// Regression threshold: fail when current ops/sec drops below
@@ -49,6 +54,10 @@ struct Measurement {
     name: &'static str,
     ops_per_sec: f64,
     wall_time_s: f64,
+    /// Median per-op latency in ns (from per-batch wall-time deltas).
+    p50_ns: u64,
+    /// 99th-percentile per-op latency in ns.
+    p99_ns: u64,
 }
 
 /// Runs `iter` repeatedly for roughly `budget`, returning ops/sec and the
@@ -66,15 +75,22 @@ fn measure(name: &'static str, budget: Duration, mut iter: impl FnMut()) -> Meas
     let total = Instant::now();
     let mut best = 0.0f64;
     let mut batch = 1u64;
+    let mut latency = LatencyHistogram::new();
     for _ in 0..8 {
         let start = Instant::now();
         let mut iters = 0u64;
+        let mut prev = Duration::ZERO;
         loop {
             for _ in 0..batch {
                 iter();
             }
             iters += batch;
             let elapsed = start.elapsed();
+            // Per-op latency for this batch: the tail distribution the
+            // p50/p99 report columns summarize.
+            let delta = elapsed.saturating_sub(prev);
+            latency.record((delta.as_nanos() as u64 / batch).max(1));
+            prev = elapsed;
             if elapsed >= slice_budget {
                 best = best.max(iters as f64 / elapsed.as_secs_f64());
                 break;
@@ -82,16 +98,30 @@ fn measure(name: &'static str, budget: Duration, mut iter: impl FnMut()) -> Meas
             batch = (batch * 2).min(1 << 16);
         }
     }
-    Measurement { name, ops_per_sec: best, wall_time_s: total.elapsed().as_secs_f64() }
+    Measurement {
+        name,
+        ops_per_sec: best,
+        wall_time_s: total.elapsed().as_secs_f64(),
+        p50_ns: latency.percentile(0.50),
+        p99_ns: latency.percentile(0.99),
+    }
 }
 
 /// One-shot measurement for the expensive system microloops: a single run,
-/// ops/sec = trace records retired per wall second.
+/// ops/sec = trace records retired per wall second. p50 = p99 = the mean
+/// per-record time (one observation — no distribution to draw from).
 fn measure_once(name: &'static str, records: u64, f: impl FnOnce()) -> Measurement {
     let start = Instant::now();
     f();
     let wall = start.elapsed().as_secs_f64();
-    Measurement { name, ops_per_sec: records as f64 / wall.max(1e-12), wall_time_s: wall }
+    let per_op_ns = (wall * 1e9 / records.max(1) as f64) as u64;
+    Measurement {
+        name,
+        ops_per_sec: records as f64 / wall.max(1e-12),
+        wall_time_s: wall,
+        p50_ns: per_op_ns,
+        p99_ns: per_op_ns,
+    }
 }
 
 fn crypto_benchmarks(budget: Duration) -> Vec<Measurement> {
@@ -163,8 +193,9 @@ fn to_json(results: &[Measurement]) -> String {
     for (i, m) in results.iter().enumerate() {
         let sep = if i + 1 == results.len() { "" } else { "," };
         s.push_str(&format!(
-            "    {{\"name\": \"{}\", \"ops_per_sec\": {:.3}, \"wall_time_s\": {:.6}}}{sep}\n",
-            m.name, m.ops_per_sec, m.wall_time_s
+            "    {{\"name\": \"{}\", \"ops_per_sec\": {:.3}, \"wall_time_s\": {:.6}, \
+             \"p50_ns\": {}, \"p99_ns\": {}}}{sep}\n",
+            m.name, m.ops_per_sec, m.wall_time_s, m.p50_ns, m.p99_ns
         ));
     }
     s.push_str("  ]\n}\n");
@@ -237,7 +268,14 @@ fn main() {
     let speedup = fast.ops_per_sec / slow.ops_per_sec;
 
     for m in &results {
-        println!("  {:28} {}   ({:.3} s)", m.name, human_rate(m.ops_per_sec), m.wall_time_s);
+        println!(
+            "  {:28} {}   p50 {:>9} ns  p99 {:>9} ns   ({:.3} s)",
+            m.name,
+            human_rate(m.ops_per_sec),
+            m.p50_ns,
+            m.p99_ns,
+            m.wall_time_s
+        );
     }
     println!("\n  T-table vs spec AES speedup: {speedup:.2}x (acceptance floor: 4x)");
 
@@ -286,8 +324,7 @@ fn main() {
         for m in &mut merged {
             if let Some(r) = retry.iter().find(|r| r.name == m.name) {
                 if r.ops_per_sec > m.ops_per_sec {
-                    m.ops_per_sec = r.ops_per_sec;
-                    m.wall_time_s = r.wall_time_s;
+                    *m = r.clone();
                 }
             }
         }

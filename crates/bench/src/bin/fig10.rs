@@ -4,12 +4,15 @@
 //! SPLIT-2 and INDEP-SPLIT improve energy ~2.4x / ~2.5x over
 //! Freecursive).
 
-use sdimm_bench::{harness, table, Scale};
+use sdimm_bench::{harness, table, Scale, TelemetryArgs};
 use sdimm_system::machine::{MachineKind, SystemConfig};
 use workloads::spec;
 
 fn main() {
+    let telemetry = TelemetryArgs::from_env("fig10");
+    let sink = telemetry.sink();
     let scale = Scale::from_env();
+    let mut all_cells = Vec::new();
 
     let single = [
         MachineKind::NonSecure { channels: 1 },
@@ -26,21 +29,30 @@ fn main() {
         ("single channel", &single[..], "NONSECURE-1ch"),
         ("double channel", &double[..], "NONSECURE-2ch"),
     ] {
-        let cells = harness::run_matrix(&spec::ALL, kinds, scale, |kind| SystemConfig {
-            low_power: !matches!(
+        let cells = harness::run_matrix_traced(
+            &spec::ALL,
+            kinds,
+            scale,
+            |kind| SystemConfig {
+                low_power: !matches!(
+                    kind,
+                    MachineKind::NonSecure { .. } | MachineKind::Freecursive { .. }
+                ),
                 kind,
-                MachineKind::NonSecure { .. } | MachineKind::Freecursive { .. }
-            ),
-            kind,
-            oram: scale.oram(7),
-            data_blocks: scale.data_blocks(),
-            seed: 1,
-        });
+                oram: scale.oram(7),
+                data_blocks: scale.data_blocks(),
+                seed: 1,
+            },
+            sink.clone(),
+            all_cells.len() as u32,
+        );
         table::print_normalized(
             &format!("Fig 10: memory energy overhead vs non-secure, {label}"),
             &cells,
             base,
             |c| c.result.energy_per_record_nj(),
         );
+        all_cells.extend(cells);
     }
+    telemetry.write_outputs(&all_cells, &sink);
 }

@@ -3,10 +3,13 @@
 //! single channel and 47-49% double channel).
 
 use oram::types::OramConfig;
-use sdimm_bench::{harness, table, Scale};
+use sdimm_bench::{harness, table, Scale, TelemetryArgs};
 use sdimm_system::machine::{MachineKind, SystemConfig};
 
 fn main() {
+    let telemetry = TelemetryArgs::from_env("fig11");
+    let sink = telemetry.sink();
+    let mut all_cells = Vec::new();
     let scale = Scale::from_env();
     // A subset of workloads keeps the sweep fast while preserving the mix.
     let wl = ["mcf-like", "libquantum-like", "gromacs-like", "GemsFDTD-like"];
@@ -23,36 +26,53 @@ fn main() {
         let data_blocks = (1u64 << (levels - 4)).min(scale.data_blocks());
         let single =
             [MachineKind::Freecursive { channels: 1 }, MachineKind::Split { ways: 2, channels: 1 }];
-        let cells = harness::run_matrix(&wl, &single, scale, |kind| SystemConfig {
-            kind,
-            oram: oram.clone(),
-            data_blocks,
-            low_power: false,
-            seed: 1,
-        });
+        let cells = harness::run_matrix_traced(
+            &wl,
+            &single,
+            scale,
+            |kind| SystemConfig {
+                kind,
+                oram: oram.clone(),
+                data_blocks,
+                low_power: false,
+                seed: 1,
+            },
+            sink.clone(),
+            all_cells.len() as u32,
+        );
         table::print_normalized(
             &format!("Fig 11 (1ch): SPLIT-2 vs Freecursive, L{levels}"),
             &cells,
             "FREECURSIVE-1ch",
             |c| c.result.cycles_per_record(),
         );
+        all_cells.extend(cells);
 
         let double = [
             MachineKind::Freecursive { channels: 2 },
             MachineKind::IndepSplit { groups: 2, ways: 2, channels: 2 },
         ];
-        let cells = harness::run_matrix(&wl, &double, scale, |kind| SystemConfig {
-            kind,
-            oram: oram.clone(),
-            data_blocks,
-            low_power: false,
-            seed: 1,
-        });
+        let cells = harness::run_matrix_traced(
+            &wl,
+            &double,
+            scale,
+            |kind| SystemConfig {
+                kind,
+                oram: oram.clone(),
+                data_blocks,
+                low_power: false,
+                seed: 1,
+            },
+            sink.clone(),
+            all_cells.len() as u32,
+        );
         table::print_normalized(
             &format!("Fig 11 (2ch): INDEP-SPLIT vs Freecursive, L{levels}"),
             &cells,
             "FREECURSIVE-2ch",
             |c| c.result.cycles_per_record(),
         );
+        all_cells.extend(cells);
     }
+    telemetry.write_outputs(&all_cells, &sink);
 }

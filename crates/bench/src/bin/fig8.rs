@@ -2,30 +2,43 @@
 //! (INDEP-2, SPLIT-2) vs Freecursive, with and without the 7-level
 //! on-chip ORAM cache (paper: ~32-35.7% reduction).
 
-use sdimm_bench::{harness, table, Scale};
+use sdimm_bench::{harness, table, Scale, TelemetryArgs};
 use sdimm_system::machine::{MachineKind, SystemConfig};
 use workloads::spec;
 
 fn main() {
+    let telemetry = TelemetryArgs::from_env("fig8");
+    let sink = telemetry.sink();
     let scale = Scale::from_env();
     let kinds = [
         MachineKind::Freecursive { channels: 1 },
         MachineKind::Independent { sdimms: 2, channels: 1 },
         MachineKind::Split { ways: 2, channels: 1 },
     ];
+    let mut all_cells = Vec::new();
     for cached in [7u32, 0] {
-        let cells = harness::run_matrix(&spec::ALL, &kinds, scale, |kind| SystemConfig {
-            kind,
-            oram: scale.oram(cached),
-            data_blocks: scale.data_blocks(),
-            low_power: false,
-            seed: 1,
-        });
+        let cells = harness::run_matrix_traced(
+            &spec::ALL,
+            &kinds,
+            scale,
+            |kind| SystemConfig {
+                kind,
+                oram: scale.oram(cached),
+                data_blocks: scale.data_blocks(),
+                low_power: false,
+                seed: 1,
+            },
+            sink.clone(),
+            all_cells.len() as u32,
+        );
         table::print_normalized(
             &format!("Fig 8: single-channel SDIMM designs, {cached}-level ORAM cache"),
             &cells,
             "FREECURSIVE-1ch",
             |c| c.result.cycles_per_record(),
         );
+        table::print_latency_percentiles(&format!("Fig 8, {cached}-level ORAM cache"), &cells);
+        all_cells.extend(cells);
     }
+    telemetry.write_outputs(&all_cells, &sink);
 }

@@ -2,11 +2,13 @@
 //! (INDEP-4, SPLIT-4, INDEP-SPLIT) vs Freecursive (paper: 20.3%, 20.4%,
 //! and 47.4% improvement respectively).
 
-use sdimm_bench::{harness, table, Scale};
+use sdimm_bench::{harness, table, Scale, TelemetryArgs};
 use sdimm_system::machine::{MachineKind, SystemConfig};
 use workloads::spec;
 
 fn main() {
+    let telemetry = TelemetryArgs::from_env("fig9");
+    let sink = telemetry.sink();
     let scale = Scale::from_env();
     let kinds = [
         MachineKind::Freecursive { channels: 2 },
@@ -14,19 +16,30 @@ fn main() {
         MachineKind::Split { ways: 4, channels: 2 },
         MachineKind::IndepSplit { groups: 2, ways: 2, channels: 2 },
     ];
+    let mut all_cells = Vec::new();
     for cached in [7u32, 0] {
-        let cells = harness::run_matrix(&spec::ALL, &kinds, scale, |kind| SystemConfig {
-            kind,
-            oram: scale.oram(cached),
-            data_blocks: scale.data_blocks(),
-            low_power: false,
-            seed: 1,
-        });
+        let cells = harness::run_matrix_traced(
+            &spec::ALL,
+            &kinds,
+            scale,
+            |kind| SystemConfig {
+                kind,
+                oram: scale.oram(cached),
+                data_blocks: scale.data_blocks(),
+                low_power: false,
+                seed: 1,
+            },
+            sink.clone(),
+            all_cells.len() as u32,
+        );
         table::print_normalized(
             &format!("Fig 9: double-channel SDIMM designs, {cached}-level ORAM cache"),
             &cells,
             "FREECURSIVE-2ch",
             |c| c.result.cycles_per_record(),
         );
+        table::print_latency_percentiles(&format!("Fig 9, {cached}-level ORAM cache"), &cells);
+        all_cells.extend(cells);
     }
+    telemetry.write_outputs(&all_cells, &sink);
 }

@@ -1,22 +1,32 @@
 //! Experiment X2 (IV-B): the low-power rank-localized layout costs <=4%
 //! performance while letting idle ranks power down.
 
-use sdimm_bench::{harness, table, Scale};
+use sdimm_bench::{harness, table, Scale, TelemetryArgs};
 use sdimm_system::machine::{MachineKind, SystemConfig};
 use workloads::spec;
 
 fn main() {
+    let telemetry = TelemetryArgs::from_env("lowpower");
+    let sink = telemetry.sink();
+    let mut all_cells = Vec::new();
     let scale = Scale::from_env();
     let kind = MachineKind::Independent { sdimms: 2, channels: 1 };
 
     for low_power in [false, true] {
-        let cells = harness::run_matrix(&spec::ALL[..5], &[kind], scale, |kind| SystemConfig {
-            kind,
-            oram: scale.oram(7),
-            data_blocks: scale.data_blocks(),
-            low_power,
-            seed: 1,
-        });
+        let cells = harness::run_matrix_traced(
+            &spec::ALL[..5],
+            &[kind],
+            scale,
+            |kind| SystemConfig {
+                kind,
+                oram: scale.oram(7),
+                data_blocks: scale.data_blocks(),
+                low_power,
+                seed: 1,
+            },
+            sink.clone(),
+            all_cells.len() as u32,
+        );
         table::print_raw(
             &format!("X2: INDEP-2, low_power={low_power}"),
             &cells,
@@ -29,5 +39,7 @@ fn main() {
             "nJ / record",
             |c| c.result.energy_per_record_nj(),
         );
+        all_cells.extend(cells);
     }
+    telemetry.write_outputs(&all_cells, &sink);
 }

@@ -4,10 +4,12 @@
 //! message-count model and the cycle-level simulation's bus counters.
 
 use sdimm_analytic::bandwidth::{self, TrafficParams};
-use sdimm_bench::{harness, Scale};
+use sdimm_bench::{harness, Scale, TelemetryArgs};
 use sdimm_system::machine::{MachineKind, SystemConfig};
 
 fn main() {
+    let telemetry = TelemetryArgs::from_env("offdimm");
+    let sink = telemetry.sink();
     let scale = Scale::from_env();
 
     println!("== X1 (analytic): off-DIMM traffic as fraction of baseline ==");
@@ -29,13 +31,20 @@ fn main() {
         MachineKind::Independent { sdimms: 2, channels: 1 },
         MachineKind::Split { ways: 2, channels: 1 },
     ];
-    let cells = harness::run_matrix(&wl, &kinds, scale, |kind| SystemConfig {
-        kind,
-        oram: scale.oram(7),
-        data_blocks: scale.data_blocks(),
-        low_power: false,
-        seed: 1,
-    });
+    let cells = harness::run_matrix_traced(
+        &wl,
+        &kinds,
+        scale,
+        |kind| SystemConfig {
+            kind,
+            oram: scale.oram(7),
+            data_blocks: scale.data_blocks(),
+            low_power: false,
+            seed: 1,
+        },
+        sink.clone(),
+        0,
+    );
     for w in wl {
         let base = cells
             .iter()
@@ -51,4 +60,5 @@ fn main() {
             );
         }
     }
+    telemetry.write_outputs(&cells, &sink);
 }

@@ -1,26 +1,18 @@
 //! Stash-occupancy study: Path ORAM's stash stays small for Z >= 4 (the
 //! premise the paper inherits from prior work), and background eviction
-//! caps the tail. Prints occupancy percentiles per Z.
+//! caps the tail. Prints occupancy percentiles per Z, straight from the
+//! occupancy histogram the ORAM's telemetry already maintains.
 
 use oram::types::{BlockId, Op, OramConfig};
 use oram::PathOram;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-fn percentile(sorted: &[usize], p: f64) -> usize {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
-    sorted[idx]
-}
-
-fn study(z: usize, background_evict: bool, accesses: usize) -> (usize, usize, usize, u64) {
+fn study(z: usize, background_evict: bool, accesses: usize) -> (u64, u64, usize, u64) {
     let cfg = OramConfig { levels: 14, z, stash_limit: 200, ..OramConfig::default() };
     let blocks = cfg.block_capacity() / 4;
     let mut oram = PathOram::new(cfg, blocks, 99);
     let mut rng = StdRng::seed_from_u64(11);
-    let mut occupancy = Vec::with_capacity(accesses);
     let mut evictions = 0u64;
     for _ in 0..accesses {
         let id = BlockId(rng.gen_range(0..blocks));
@@ -33,10 +25,9 @@ fn study(z: usize, background_evict: bool, accesses: usize) -> (usize, usize, us
             oram.background_evict();
             evictions += 1;
         }
-        occupancy.push(oram.stash_len());
     }
-    occupancy.sort_unstable();
-    (percentile(&occupancy, 0.5), percentile(&occupancy, 0.99), oram.stash_peak(), evictions)
+    let hist = oram.stash_occupancy_hist();
+    (hist.percentile(0.5), hist.percentile(0.99), oram.stash_peak(), evictions)
 }
 
 fn main() {

@@ -1,0 +1,84 @@
+//! `telemetry_overhead` — the no-op telemetry overhead gate.
+//!
+//! The telemetry layer promises that a disabled [`TraceSink`] costs one
+//! branch per touchpoint, keeping instrumented simulation within 2% of
+//! un-instrumented speed. This binary checks that promise empirically:
+//!
+//! 1. measures the per-call wall cost of a disabled sink (span + instant
+//!    + counter, the three call shapes the hot paths use),
+//! 2. runs a quick-scale fig6-style Freecursive window with an *enabled*
+//!    sink to count how many touchpoints one run actually hits,
+//! 3. times the same window with telemetry disabled (best of three),
+//!
+//! then projects `touchpoints x per-call-cost` against the run's wall
+//! time and exits nonzero above [`MAX_OVERHEAD_PCT`]. The projection is
+//! conservative: enabled-sink event counts include call sites that the
+//! disabled path short-circuits before any argument formatting.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use sdimm_system::machine::{MachineKind, SystemConfig};
+use sdimm_system::runner::{run, run_traced};
+use sdimm_telemetry::TraceSink;
+use workloads::spec as wl;
+
+/// Gate: projected disabled-sink cost must stay under this share of the
+/// quick-scale fig6 wall time.
+const MAX_OVERHEAD_PCT: f64 = 2.0;
+
+/// Calls per shape when timing the disabled sink. Large enough that the
+/// loop dwarfs `Instant` overhead; small enough to finish in well under
+/// a second.
+const CALLS: u64 = 10_000_000;
+
+fn disabled_ns_per_call() -> f64 {
+    let sink = TraceSink::disabled();
+    let start = Instant::now();
+    for i in 0..CALLS {
+        sink.span("bench", "noop", 0, 0, black_box(i), black_box(i + 1));
+        sink.instant("bench", "noop", 0, 0, black_box(i));
+        sink.counter("bench", "noop", 0, black_box(i), black_box(i));
+    }
+    start.elapsed().as_nanos() as f64 / (CALLS * 3) as f64
+}
+
+fn main() {
+    let warmup = 300usize;
+    let window = 500usize;
+    let trace = wl::generate("mcf-like", warmup + window + 16, 42);
+    let cfg = SystemConfig::small(MachineKind::Freecursive { channels: 1 });
+
+    let per_call_ns = disabled_ns_per_call();
+
+    // Touchpoint census: every event an enabled sink captures is one
+    // call the disabled path would have branched through.
+    let census = TraceSink::with_capacity(1 << 22);
+    run_traced(&cfg, &trace, warmup, window, census.clone(), 0);
+    let touchpoints = census.len() as u64 + census.dropped();
+
+    let mut best_wall_ns = f64::INFINITY;
+    for _ in 0..3 {
+        let start = Instant::now();
+        black_box(run(&cfg, &trace, warmup, window));
+        best_wall_ns = best_wall_ns.min(start.elapsed().as_nanos() as f64);
+    }
+
+    let projected_ns = touchpoints as f64 * per_call_ns;
+    let pct = projected_ns / best_wall_ns * 100.0;
+
+    println!("telemetry_overhead: disabled-sink cost projection, quick-scale fig6 window");
+    println!("  disabled sink       {per_call_ns:.3} ns/call");
+    println!("  touchpoints per run {touchpoints}");
+    println!("  run wall time       {:.3} ms (best of 3)", best_wall_ns / 1e6);
+    println!("  projected overhead  {:.4}% (budget {MAX_OVERHEAD_PCT}%)", pct);
+
+    if pct > MAX_OVERHEAD_PCT {
+        eprintln!(
+            "telemetry_overhead: disabled telemetry projects to {pct:.2}% of run time, \
+             above the {MAX_OVERHEAD_PCT}% budget"
+        );
+        std::process::exit(1);
+    }
+    println!("  OK");
+}

@@ -1,0 +1,116 @@
+//! Shared telemetry CLI flags for the figure binaries.
+//!
+//! Every `run_matrix`-style binary accepts the same two optional flags:
+//!
+//! ```text
+//! --metrics-json <path>   write the merged metrics snapshot (JSON)
+//! --trace-json <path>     capture a Chrome trace (open in Perfetto)
+//! ```
+//!
+//! Parsing is intentionally minimal (no external argument-parser
+//! dependency): unknown arguments abort with a usage message so typos
+//! never silently run a multi-minute experiment with telemetry dropped.
+
+use sdimm_telemetry::{MetricsRegistry, TraceSink};
+
+use crate::harness::Cell;
+
+/// Parsed telemetry flags shared by every figure binary.
+#[derive(Debug, Clone, Default)]
+pub struct TelemetryArgs {
+    /// Destination for the merged metrics snapshot, if requested.
+    pub metrics_json: Option<String>,
+    /// Destination for the Chrome trace, if requested.
+    pub trace_json: Option<String>,
+}
+
+impl TelemetryArgs {
+    /// Parses `--metrics-json <path>` / `--trace-json <path>` from the
+    /// process arguments. Exits with status 2 (and a usage line naming
+    /// `bin`) on anything unrecognized.
+    pub fn from_env(bin: &str) -> TelemetryArgs {
+        let mut out = TelemetryArgs::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            let take = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+                args.next().unwrap_or_else(|| {
+                    eprintln!("{bin}: {flag} requires a path argument");
+                    std::process::exit(2);
+                })
+            };
+            match arg.as_str() {
+                "--metrics-json" => out.metrics_json = Some(take(&mut args, "--metrics-json")),
+                "--trace-json" => out.trace_json = Some(take(&mut args, "--trace-json")),
+                other => {
+                    eprintln!(
+                        "{bin}: unknown argument `{other}`\n\
+                         usage: {bin} [--metrics-json <path>] [--trace-json <path>]"
+                    );
+                    std::process::exit(2);
+                }
+            }
+        }
+        out
+    }
+
+    /// The sink the experiment should record into: enabled only when
+    /// `--trace-json` was given, so the default run pays one branch per
+    /// telemetry touchpoint and nothing else.
+    pub fn sink(&self) -> TraceSink {
+        if self.trace_json.is_some() {
+            TraceSink::enabled()
+        } else {
+            TraceSink::disabled()
+        }
+    }
+
+    /// Writes whichever outputs were requested: the merged metrics
+    /// snapshot of `cells` and/or the Chrome trace captured by `sink`.
+    /// Prints where each file went; panics on I/O failure (a bench run
+    /// that silently loses its telemetry is worse than one that dies).
+    pub fn write_outputs(&self, cells: &[Cell], sink: &TraceSink) {
+        if let Some(path) = &self.metrics_json {
+            let merged = merge_metrics(cells);
+            std::fs::write(path, merged.to_json()).expect("write metrics snapshot");
+            println!("\nmetrics snapshot written to {path}");
+        }
+        if let Some(path) = &self.trace_json {
+            let json = sink.export_chrome_json().expect("trace-json flag implies enabled sink");
+            std::fs::write(path, &json).expect("write chrome trace");
+            println!(
+                "chrome trace written to {path} ({} events, {} dropped) — open in Perfetto",
+                sink.len(),
+                sink.dropped()
+            );
+        }
+    }
+}
+
+/// Merges every cell's metrics snapshot into one registry, namespaced
+/// `"<workload>.<machine>."` so a matrix of runs stays one flat JSON
+/// document with byte-stable key order.
+pub fn merge_metrics(cells: &[Cell]) -> MetricsRegistry {
+    let mut merged = MetricsRegistry::new();
+    for c in cells {
+        merged.absorb(&format!("{}.{}", c.workload, c.machine), &c.result.metrics);
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_args_have_disabled_sink() {
+        let args = TelemetryArgs::default();
+        assert!(!args.sink().is_enabled());
+    }
+
+    #[test]
+    fn trace_flag_enables_sink() {
+        let args =
+            TelemetryArgs { metrics_json: None, trace_json: Some("/tmp/t.json".to_string()) };
+        assert!(args.sink().is_enabled());
+    }
+}

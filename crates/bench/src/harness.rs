@@ -3,7 +3,8 @@
 use std::sync::Mutex;
 
 use sdimm_system::machine::{MachineKind, SystemConfig};
-use sdimm_system::runner::{run, RunResult};
+use sdimm_system::runner::{run_traced, RunResult};
+use sdimm_telemetry::TraceSink;
 use workloads::spec;
 
 use crate::scale::Scale;
@@ -33,6 +34,24 @@ pub fn run_matrix(
     kinds: &[MachineKind],
     scale: Scale,
     make_cfg: impl Fn(MachineKind) -> SystemConfig + Sync,
+) -> Vec<Cell> {
+    run_matrix_traced(workload_names, kinds, scale, make_cfg, TraceSink::disabled(), 0)
+}
+
+/// [`run_matrix`], but recording every run into `sink`: each cell gets
+/// its own trace process id (`pid_base` + its matrix order), named
+/// `"<machine> / <workload>"`, so one Chrome trace holds the whole
+/// matrix side by side. Callers invoking this repeatedly on one sink
+/// should advance `pid_base` past the previous matrix's cell count to
+/// keep process ids distinct. Pass [`TraceSink::disabled`] for the
+/// plain path.
+pub fn run_matrix_traced(
+    workload_names: &[&str],
+    kinds: &[MachineKind],
+    scale: Scale,
+    make_cfg: impl Fn(MachineKind) -> SystemConfig + Sync,
+    sink: TraceSink,
+    pid_base: u32,
 ) -> Vec<Cell> {
     let warmup = scale.warmup();
     let measure = scale.measure();
@@ -66,7 +85,14 @@ pub fn run_matrix(
                 };
                 let trace = spec::generate(wname, trace_len, 42 + wi as u64);
                 let cfg = make_cfg(kind);
-                let result = run(&cfg, &trace, warmup, measure);
+                let result = run_traced(
+                    &cfg,
+                    &trace,
+                    warmup,
+                    measure,
+                    sink.clone(),
+                    pid_base + order as u32,
+                );
                 results.lock().expect("results poisoned").push((
                     order,
                     Cell { workload: wname.to_string(), machine: kind.name(), result },

@@ -17,9 +17,11 @@
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
+pub mod cli;
 pub mod harness;
 pub mod scale;
 pub mod table;
 
-pub use harness::{run_matrix, Cell};
+pub use cli::TelemetryArgs;
+pub use harness::{run_matrix, run_matrix_traced, Cell};
 pub use scale::Scale;

@@ -57,6 +57,46 @@ pub fn print_normalized(
     println!();
 }
 
+/// Prints the miss-latency distribution table: rows = workloads,
+/// columns = machines, each value `p50/p90/p99` in bus cycles (from the
+/// per-run miss-latency histogram). Column layout matches
+/// [`print_normalized`] so figure output lines up vertically.
+pub fn print_latency_percentiles(title: &str, cells: &[Cell]) {
+    let mut workloads: Vec<String> = Vec::new();
+    let mut machines: Vec<String> = Vec::new();
+    for c in cells {
+        if !workloads.contains(&c.workload) {
+            workloads.push(c.workload.clone());
+        }
+        if !machines.contains(&c.machine) {
+            machines.push(c.machine.clone());
+        }
+    }
+    println!("\n== {title} (miss latency p50/p90/p99, bus cycles) ==");
+    print!("{:<18}", "workload");
+    for m in &machines {
+        print!("{m:>16}");
+    }
+    println!();
+    for w in &workloads {
+        print!("{w:<18}");
+        for m in &machines {
+            match cells.iter().find(|c| &c.workload == w && &c.machine == m) {
+                Some(c) => {
+                    let r = &c.result;
+                    let v = format!(
+                        "{}/{}/{}",
+                        r.miss_latency_p50, r.miss_latency_p90, r.miss_latency_p99
+                    );
+                    print!("{v:>16}");
+                }
+                None => print!("{:>16}", "-"),
+            }
+        }
+        println!();
+    }
+}
+
 /// Prints a raw (un-normalized) metric table.
 pub fn print_raw(title: &str, cells: &[Cell], unit: &str, metric: impl Fn(&Cell) -> f64) {
     let mut workloads: Vec<String> = Vec::new();

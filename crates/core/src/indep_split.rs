@@ -162,6 +162,26 @@ impl IndepSplitOram {
         self.stats
     }
 
+    /// Peak stash occupancy over every group.
+    pub fn stash_peak(&self) -> usize {
+        self.groups.iter().map(|g| g.oram.stash_peak()).max().unwrap_or(0)
+    }
+
+    /// Exports per-group ORAM metrics (`group<i>.*`) plus transfer-queue
+    /// peaks as a metrics registry.
+    pub fn metrics(&self) -> sdimm_telemetry::MetricsRegistry {
+        let mut m = sdimm_telemetry::MetricsRegistry::new();
+        for (i, g) in self.groups.iter().enumerate() {
+            m.absorb(&format!("group{i}"), &g.oram.metrics());
+        }
+        m.gauge_max("stash_peak", self.stash_peak() as f64);
+        m.gauge_max(
+            "transfer_peak",
+            self.groups.iter().map(|g| g.queue.peak()).max().unwrap_or(0) as f64,
+        );
+        m
+    }
+
     fn route(&self, global: Leaf) -> (usize, Leaf) {
         let local = self.cfg.local_leaves();
         ((global.0 / local) as usize, Leaf(global.0 % local))

@@ -184,6 +184,24 @@ impl IndependentOram {
         self.nodes[sdimm].oram.stash_len()
     }
 
+    /// Peak stash occupancy over every SDIMM.
+    pub fn stash_peak(&self) -> usize {
+        self.nodes.iter().map(|n| n.oram.stash_len().max(n.oram.stash_peak())).max().unwrap_or(0)
+    }
+
+    /// Exports per-SDIMM ORAM metrics (`sdimm<i>.*`) plus transfer-queue
+    /// peaks as a metrics registry.
+    pub fn metrics(&self) -> sdimm_telemetry::MetricsRegistry {
+        let mut m = sdimm_telemetry::MetricsRegistry::new();
+        for (i, n) in self.nodes.iter().enumerate() {
+            m.absorb(&format!("sdimm{i}"), &n.oram.metrics());
+        }
+        m.gauge_max("stash_peak", self.stash_peak() as f64);
+        m.gauge_max("transfer_peak", self.transfer_peak() as f64);
+        m.counter_add("transfer_overflows", self.transfer_overflows());
+        m
+    }
+
     /// Splits a global leaf into (owning SDIMM, local leaf).
     fn route(&self, global: Leaf) -> (usize, Leaf) {
         let local_leaves = self.cfg.local_leaves();

@@ -123,6 +123,18 @@ impl SplitOram {
         self.logical.stash_len()
     }
 
+    /// Peak logical stash occupancy.
+    pub fn stash_peak(&self) -> usize {
+        self.logical.stash_peak()
+    }
+
+    /// Exports the logical ORAM's metrics as a registry.
+    pub fn metrics(&self) -> sdimm_telemetry::MetricsRegistry {
+        let mut m = self.logical.metrics();
+        m.gauge_max("stash_peak", self.stash_peak() as f64);
+        m
+    }
+
     fn record(&mut self, ev: Observable) {
         if let Some(rec) = &mut self.recorder {
             rec.push(ev);

@@ -10,6 +10,8 @@
 
 use std::collections::{BinaryHeap, VecDeque};
 
+use sdimm_telemetry::TraceSink;
+
 use crate::address::{AddressMapper, Coords, Interleave};
 use crate::bank::{RowOutcome, RowState};
 use crate::config::{ChannelConfig, Cycle, PowerPolicy, SchedulerPolicy};
@@ -119,6 +121,12 @@ pub struct DramChannel {
     completions: VecDeque<Completion>,
     stats: ChannelStats,
     energy: EnergyCounters,
+    /// Trace recording handle; disabled by default (one branch per event).
+    sink: TraceSink,
+    /// Chrome-trace process id this channel reports under.
+    trace_pid: u32,
+    /// Chrome-trace thread id (one track per channel).
+    trace_tid: u32,
 }
 
 impl DramChannel {
@@ -154,7 +162,27 @@ impl DramChannel {
             completions: VecDeque::new(),
             stats: ChannelStats::default(),
             energy: EnergyCounters::default(),
+            sink: TraceSink::disabled(),
+            trace_pid: 0,
+            trace_tid: 0,
         }
+    }
+
+    /// Attaches a trace sink; the channel's events land on thread track
+    /// `tid` of process track `pid` in the exported Chrome trace.
+    pub fn set_trace(&mut self, sink: TraceSink, pid: u32, tid: u32) {
+        if sink.is_enabled() {
+            sink.thread_name(pid, tid, &format!("dram.chan{}", tid));
+        }
+        self.sink = sink;
+        self.trace_pid = pid;
+        self.trace_tid = tid;
+    }
+
+    /// Clears performance statistics (not energy or timing state) so a
+    /// measured window starts clean after warm-up traffic.
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
     }
 
     /// Current simulated cycle.
@@ -259,6 +287,15 @@ impl DramChannel {
         let t = self.cfg.timing.clone();
         self.ranks[rank].exit_power_down(self.now, &t);
         self.next_wake = self.now;
+        if self.sink.is_enabled() {
+            self.sink.instant(
+                "dram.power",
+                &format!("wake.rank{rank}"),
+                self.trace_pid,
+                self.trace_tid,
+                self.now,
+            );
+        }
     }
 
     /// Power state of `rank` (for tests and the low-power experiments).
@@ -282,8 +319,27 @@ impl DramChannel {
                         self.stats.reads_completed += 1;
                         self.stats.read_latency_sum += latency;
                         self.stats.read_latency_max = self.stats.read_latency_max.max(latency);
+                        self.stats.read_latency_hist.record(latency);
+                        self.sink.span(
+                            "dram",
+                            "read",
+                            self.trace_pid,
+                            self.trace_tid,
+                            p.arrival,
+                            p.finish,
+                        );
                     }
-                    RequestKind::Write => self.stats.writes_completed += 1,
+                    RequestKind::Write => {
+                        self.stats.writes_completed += 1;
+                        self.sink.span(
+                            "dram",
+                            "write",
+                            self.trace_pid,
+                            self.trace_tid,
+                            p.arrival,
+                            p.finish,
+                        );
+                    }
                 }
                 self.completions.push_back(Completion {
                     id: p.id,
@@ -393,6 +449,15 @@ impl DramChannel {
                     if has_work {
                         self.account_bg(i);
                         self.ranks[i].exit_power_down(self.now, &t);
+                        if self.sink.is_enabled() {
+                            self.sink.instant(
+                                "dram.power",
+                                &format!("wake.rank{i}"),
+                                self.trace_pid,
+                                self.trace_tid,
+                                self.now,
+                            );
+                        }
                     }
                 }
                 PowerState::Active => {
@@ -415,6 +480,15 @@ impl DramChannel {
                     {
                         self.account_bg(i);
                         self.ranks[i].enter_power_down(self.now);
+                        if self.sink.is_enabled() {
+                            self.sink.instant(
+                                "dram.power",
+                                &format!("powerdown.rank{i}"),
+                                self.trace_pid,
+                                self.trace_tid,
+                                self.now,
+                            );
+                        }
                     }
                 }
             }
@@ -663,6 +737,15 @@ impl DramChannel {
                 self.refresh_pending[rank] = false;
                 self.energy.refreshes += 1;
                 self.stats.refreshes += 1;
+                if self.sink.is_enabled() {
+                    self.sink.instant(
+                        "dram.cmd",
+                        &format!("refresh.rank{rank}"),
+                        self.trace_pid,
+                        self.trace_tid,
+                        self.now,
+                    );
+                }
                 true
             }
             Decision::MaintenancePre { rank, bank } => {
@@ -687,6 +770,7 @@ impl DramChannel {
                 self.energy.activates += 1;
                 // Classify for stats at first ACT for this request.
                 self.stats.row_misses += 1;
+                self.sink.instant("dram.cmd", "act", self.trace_pid, self.trace_tid, self.now);
                 true
             }
             Decision::Pre { write, idx } => {
@@ -695,6 +779,13 @@ impl DramChannel {
                 self.ranks[e.coords.rank].bank_mut(e.coords.bank).precharge(self.now, &t);
                 self.ranks[e.coords.rank].record_activity(self.now);
                 self.stats.row_conflicts += 1;
+                self.sink.instant(
+                    "dram.cmd",
+                    "pre.conflict",
+                    self.trace_pid,
+                    self.trace_tid,
+                    self.now,
+                );
                 true
             }
             Decision::Idle { retry_at } => {
@@ -734,6 +825,14 @@ impl DramChannel {
             self.energy.reads += 1;
         }
         self.ranks[rank_idx].record_activity(self.now);
+
+        self.sink.instant(
+            "dram.cmd",
+            if write { "cas.write" } else { "cas.read" },
+            self.trace_pid,
+            self.trace_tid,
+            self.now,
+        );
 
         self.bus_free_at = data_end;
         self.bus_last_rank = Some(rank_idx);

@@ -1,5 +1,7 @@
 //! Per-channel performance statistics.
 
+use sdimm_telemetry::{LatencyHistogram, MetricsRegistry};
+
 use crate::config::Cycle;
 
 /// Counters collected by a [`crate::channel::DramChannel`] during a run.
@@ -19,6 +21,9 @@ pub struct ChannelStats {
     pub read_latency_sum: Cycle,
     /// Maximum single read latency observed.
     pub read_latency_max: Cycle,
+    /// Full read-latency distribution (arrival → data). Supersedes the
+    /// sum/max pair for percentile reporting; both are kept in sync.
+    pub read_latency_hist: LatencyHistogram,
     /// Cycles with at least one data beat on the bus (utilization).
     pub data_bus_busy_cycles: Cycle,
     /// Refreshes performed.
@@ -70,10 +75,38 @@ impl ChannelStats {
         self.row_conflicts += o.row_conflicts;
         self.read_latency_sum += o.read_latency_sum;
         self.read_latency_max = self.read_latency_max.max(o.read_latency_max);
+        self.read_latency_hist.merge(&o.read_latency_hist);
         self.data_bus_busy_cycles += o.data_bus_busy_cycles;
         self.refreshes += o.refreshes;
         self.stalled_cycles += o.stalled_cycles;
         self.scheduler_invocations += o.scheduler_invocations;
+    }
+
+    /// Clears every counter and the latency histogram — the inverse of
+    /// [`merge`](Self::merge). Callers use this between a warm-up window
+    /// and the measured window so warm-up traffic cannot leak into
+    /// reported statistics.
+    pub fn reset(&mut self) {
+        *self = ChannelStats::default();
+    }
+
+    /// Exports the stats block as a flat metrics registry (keys like
+    /// `reads_completed`, `read_latency` for the histogram); callers
+    /// absorb it under a per-channel prefix.
+    pub fn to_metrics(&self) -> MetricsRegistry {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("reads_completed", self.reads_completed);
+        m.counter_add("writes_completed", self.writes_completed);
+        m.counter_add("row_hits", self.row_hits);
+        m.counter_add("row_misses", self.row_misses);
+        m.counter_add("row_conflicts", self.row_conflicts);
+        m.counter_add("refreshes", self.refreshes);
+        m.counter_add("stalled_cycles", self.stalled_cycles);
+        m.counter_add("data_bus_busy_cycles", self.data_bus_busy_cycles);
+        m.counter_add("scheduler_invocations", self.scheduler_invocations);
+        m.gauge_set("row_hit_rate", self.row_hit_rate());
+        m.histogram_set("read_latency", self.read_latency_hist.clone());
+        m
     }
 }
 
@@ -111,5 +144,31 @@ mod tests {
         let b = ChannelStats { read_latency_max: 99, ..Default::default() };
         a.merge(&b);
         assert_eq!(a.read_latency_max, 99);
+    }
+
+    #[test]
+    fn merge_combines_latency_histograms() {
+        let mut a = ChannelStats::default();
+        let mut b = ChannelStats::default();
+        a.read_latency_hist.record(10);
+        b.read_latency_hist.record(1000);
+        a.merge(&b);
+        assert_eq!(a.read_latency_hist.count(), 2);
+        assert_eq!(a.read_latency_hist.max(), 1000);
+    }
+
+    #[test]
+    fn reset_is_the_inverse_of_merge() {
+        let mut a = ChannelStats {
+            reads_completed: 5,
+            row_hits: 3,
+            read_latency_sum: 500,
+            read_latency_max: 200,
+            ..Default::default()
+        };
+        a.read_latency_hist.record(200);
+        a.reset();
+        assert_eq!(a, ChannelStats::default());
+        assert!(a.read_latency_hist.is_empty());
     }
 }

@@ -184,9 +184,29 @@ impl PathOram {
         self.stash.peak()
     }
 
+    /// The stash's post-insert occupancy distribution.
+    pub fn stash_occupancy_hist(&self) -> &sdimm_telemetry::LatencyHistogram {
+        self.stash.occupancy_hist()
+    }
+
     /// Access statistics.
     pub fn stats(&self) -> OramStats {
         self.stats
+    }
+
+    /// Exports access counters and stash occupancy as a metrics registry
+    /// (`accesses`, `stash_peak`, the `stash_occupancy` histogram, ...);
+    /// callers absorb it under a per-instance prefix.
+    pub fn metrics(&self) -> sdimm_telemetry::MetricsRegistry {
+        let mut m = sdimm_telemetry::MetricsRegistry::new();
+        m.counter_add("accesses", self.stats.accesses);
+        m.counter_add("background_evictions", self.stats.background_evictions);
+        m.counter_add("blocks_fetched", self.stats.blocks_fetched);
+        m.counter_add("blocks_written_back", self.stats.blocks_written_back);
+        m.gauge_set("stash_len", self.stash.len() as f64);
+        m.gauge_max("stash_peak", self.stash.peak() as f64);
+        m.histogram_set("stash_occupancy", self.stash.occupancy_hist().clone());
+        m
     }
 
     /// Current leaf of a block (test/verification hook; a real controller

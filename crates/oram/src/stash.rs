@@ -6,6 +6,8 @@
 
 use std::collections::HashMap;
 
+use sdimm_telemetry::LatencyHistogram;
+
 use crate::bucket::BlockEntry;
 use crate::geometry::Geometry;
 use crate::types::{BlockId, Leaf};
@@ -16,6 +18,9 @@ pub struct Stash {
     entries: HashMap<BlockId, BlockEntry>,
     /// High-water mark of occupancy, for overflow studies.
     peak: usize,
+    /// Post-insert occupancy distribution, for overflow-probability
+    /// studies (one sample per insert).
+    occupancy: LatencyHistogram,
 }
 
 impl Stash {
@@ -39,10 +44,16 @@ impl Stash {
         self.peak
     }
 
+    /// The post-insert occupancy distribution (one sample per insert).
+    pub fn occupancy_hist(&self) -> &LatencyHistogram {
+        &self.occupancy
+    }
+
     /// Inserts (or replaces) a block.
     pub fn insert(&mut self, entry: BlockEntry) {
         self.entries.insert(entry.id, entry);
         self.peak = self.peak.max(self.entries.len());
+        self.occupancy.record(self.entries.len() as u64);
     }
 
     /// Looks up a block without removing it.
@@ -150,6 +161,8 @@ mod tests {
         }
         assert_eq!(s.len(), 0);
         assert_eq!(s.peak(), 10);
+        assert_eq!(s.occupancy_hist().count(), 10);
+        assert_eq!(s.occupancy_hist().max(), 10);
     }
 
     #[test]

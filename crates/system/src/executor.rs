@@ -17,6 +17,7 @@ use dram_sim::config::{ChannelConfig, Cycle};
 use dram_sim::power::EnergyBreakdown;
 use dram_sim::request::RequestId;
 use sdimm::trace::{Activity, RequestTrace};
+use sdimm_telemetry::{MetricsRegistry, TraceSink};
 
 /// Handle identifying a submitted request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -61,9 +62,33 @@ struct Inflight {
     outstanding: usize,
     /// Latest bus/crypto completion time of the current phase.
     busy_until: Cycle,
+    /// Cycle the current phase began (trace-span start).
+    phase_started: Cycle,
     data_ready_sent: bool,
     backend_released: bool,
     started: bool,
+}
+
+/// Aggregate work attribution collected by the executor: how many cycles
+/// of crypto and external-bus occupancy each run consumed, and the
+/// high-water marks of its queues. Resettable at the warm-up boundary.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Total crypto-unit busy cycles scheduled (summed across requests;
+    /// concurrent crypto on different requests counts multiply).
+    pub crypto_cycles: u64,
+    /// Data cycles reserved on the external buses.
+    pub ext_data_cycles: u64,
+    /// Command slots reserved on the external buses.
+    pub ext_commands: u64,
+    /// DRAM line requests issued to the internal channels.
+    pub dram_lines: u64,
+    /// Peak number of concurrently in-flight traces.
+    pub max_inflight: u64,
+    /// Peak depth of any serialized-backend wait queue.
+    pub max_backend_queue: u64,
+    /// Times a trace had to queue behind a busy ORAM backend.
+    pub backend_conflicts: u64,
 }
 
 /// Executes request traces against channels and buses.
@@ -88,7 +113,20 @@ pub struct Executor {
     /// When true, a `WakeRank` hint force-downs all other ranks
     /// (the §III-E low-power policy).
     lowpower_ranks: bool,
+    /// Work-attribution counters (crypto/bus/DRAM split, queue peaks).
+    exec_stats: ExecStats,
+    /// Trace recording handle; disabled by default.
+    sink: TraceSink,
+    /// Chrome-trace process id for this executor's tracks.
+    trace_pid: u32,
 }
+
+/// Number of Chrome-trace lanes executor phase spans are spread over, so
+/// concurrent requests render side by side instead of nesting.
+const TRACE_LANES: u64 = 8;
+
+/// Thread-id base for executor lanes (DRAM channels own the low tids).
+const LANE_TID_BASE: u32 = 64;
 
 impl Executor {
     /// Creates an executor over `n_channels` identical channels.
@@ -114,7 +152,73 @@ impl Executor {
             events: Vec::new(),
             bus_pj_per_bit,
             lowpower_ranks: false,
+            exec_stats: ExecStats::default(),
+            sink: TraceSink::disabled(),
+            trace_pid: 0,
         }
+    }
+
+    /// Attaches a trace sink under process track `pid`: DRAM channels get
+    /// thread tracks `0..n_channels`, executor phase spans are spread
+    /// over [`TRACE_LANES`] lanes above them.
+    pub fn set_trace(&mut self, sink: TraceSink, pid: u32) {
+        if sink.is_enabled() {
+            for lane in 0..TRACE_LANES as u32 {
+                sink.thread_name(pid, LANE_TID_BASE + lane, &format!("exec.lane{lane}"));
+            }
+        }
+        for (i, ch) in self.channels.iter_mut().enumerate() {
+            ch.set_trace(sink.clone(), pid, i as u32);
+        }
+        self.sink = sink;
+        self.trace_pid = pid;
+    }
+
+    /// The Chrome-trace lane a request's phase spans render on.
+    fn lane_of(id: ExecId) -> u32 {
+        LANE_TID_BASE + (id.0 % TRACE_LANES) as u32
+    }
+
+    /// Work-attribution counters collected so far.
+    pub fn exec_stats(&self) -> &ExecStats {
+        &self.exec_stats
+    }
+
+    /// Clears performance statistics on the executor and every channel —
+    /// the warm-up/measured-window boundary. Timing and energy state are
+    /// untouched; in-flight work continues unaffected.
+    pub fn reset_stats(&mut self) {
+        self.exec_stats = ExecStats::default();
+        for ch in &mut self.channels {
+            ch.reset_stats();
+        }
+    }
+
+    /// Exports executor attribution plus per-channel stats as a metrics
+    /// registry (`exec.*`, `dram.chan<i>.*`).
+    pub fn metrics(&self) -> MetricsRegistry {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("exec.crypto_cycles", self.exec_stats.crypto_cycles);
+        m.counter_add("exec.ext_data_cycles", self.exec_stats.ext_data_cycles);
+        m.counter_add("exec.ext_commands", self.exec_stats.ext_commands);
+        m.counter_add("exec.dram_lines", self.exec_stats.dram_lines);
+        m.counter_add("exec.backend_conflicts", self.exec_stats.backend_conflicts);
+        m.gauge_set("exec.max_inflight", self.exec_stats.max_inflight as f64);
+        m.gauge_set("exec.max_backend_queue", self.exec_stats.max_backend_queue as f64);
+        m.counter_add("bus.data_bytes", self.bus_bytes());
+        m.counter_add("bus.commands", self.bus_commands());
+        let busy: u64 = self.buses.iter().map(Bus::data_busy_cycles).sum();
+        m.counter_add("bus.data_busy_cycles", busy);
+        if self.now > 0 && !self.buses.is_empty() {
+            m.gauge_set(
+                "bus.utilization",
+                busy as f64 / (self.now as f64 * self.buses.len() as f64),
+            );
+        }
+        for (i, ch) in self.channels.iter().enumerate() {
+            m.absorb(&format!("dram.chan{i}"), &ch.stats().to_metrics());
+        }
+        m
     }
 
     /// Enables the low-power rank policy: `WakeRank` hints wake the
@@ -177,6 +281,7 @@ impl Executor {
             pending: Vec::new(),
             outstanding: 0,
             busy_until: self.now,
+            phase_started: self.now,
             data_ready_sent: false,
             backend_released: false,
             started: false,
@@ -188,13 +293,32 @@ impl Executor {
         }
         if let Some(backend) = req.trace.backend {
             if self.backend_busy.contains(&backend) {
-                self.backend_waiting.entry(backend).or_default().push_back(req);
+                self.exec_stats.backend_conflicts += 1;
+                self.sink.instant(
+                    "exec",
+                    "backend.wait",
+                    self.trace_pid,
+                    Self::lane_of(id),
+                    self.now,
+                );
+                let q = self.backend_waiting.entry(backend).or_default();
+                q.push_back(req);
+                self.exec_stats.max_backend_queue =
+                    self.exec_stats.max_backend_queue.max(q.len() as u64);
                 return id;
             }
             self.backend_busy.insert(backend);
+            self.sink.instant(
+                "exec",
+                "backend.acquire",
+                self.trace_pid,
+                Self::lane_of(id),
+                self.now,
+            );
         }
         self.start_phase(&mut req);
         self.inflight.push(req);
+        self.exec_stats.max_inflight = self.exec_stats.max_inflight.max(self.inflight.len() as u64);
         id
     }
 
@@ -206,6 +330,7 @@ impl Executor {
     fn start_phase(&mut self, req: &mut Inflight) {
         req.started = true;
         req.busy_until = self.now;
+        req.phase_started = self.now;
         let phase = &req.trace.phases[req.phase];
         for act in &phase.par {
             match act {
@@ -214,19 +339,26 @@ impl Executor {
                     if let Some(b) = self.buses.get_mut(bus) {
                         let slot = b.reserve(self.now, 0);
                         req.busy_until = req.busy_until.max(slot.done_at);
+                        self.exec_stats.ext_commands += 1;
                     }
                 }
                 Activity::ExtTransfer { sdimm, bytes } => {
                     let bus = self.bus_of.get(*sdimm).copied().unwrap_or(0);
                     if let Some(b) = self.buses.get_mut(bus) {
+                        let busy_before = b.data_busy_cycles();
                         let slot = b.reserve(self.now, *bytes);
                         req.busy_until = req.busy_until.max(slot.done_at);
+                        self.exec_stats.ext_commands += 1;
+                        self.exec_stats.ext_data_cycles += b.data_busy_cycles() - busy_before;
                     }
                 }
                 Activity::Crypto { units } => {
-                    req.busy_until = req.busy_until.max(self.now + Activity::crypto_cycles(*units));
+                    let cycles = Activity::crypto_cycles(*units);
+                    req.busy_until = req.busy_until.max(self.now + cycles);
+                    self.exec_stats.crypto_cycles += cycles;
                 }
                 Activity::Dram { channel, reads, writes } => {
+                    self.exec_stats.dram_lines += (reads.len() + writes.len()) as u64;
                     for &addr in reads {
                         req.pending.push(PendingLine { channel: *channel, addr, is_write: false });
                     }
@@ -322,6 +454,16 @@ impl Executor {
             }
             // Phase complete?
             while req.pending.is_empty() && req.outstanding == 0 && now >= req.busy_until {
+                if self.sink.is_enabled() {
+                    self.sink.span(
+                        "exec",
+                        &format!("req{}.phase{}", req.id.0, req.phase),
+                        self.trace_pid,
+                        Self::lane_of(req.id),
+                        req.phase_started,
+                        now.max(req.phase_started + 1),
+                    );
+                }
                 if req.phase == req.trace.data_ready_phase && !req.data_ready_sent {
                     req.data_ready_sent = true;
                     self.events.push(ExecEvent::DataReady { id: req.id, at: now });
@@ -329,6 +471,13 @@ impl Executor {
                 if req.phase >= req.trace.backend_release_phase && !req.backend_released {
                     req.backend_released = true;
                     if let Some(backend) = req.trace.backend {
+                        self.sink.instant(
+                            "exec",
+                            "backend.release",
+                            self.trace_pid,
+                            Self::lane_of(req.id),
+                            now,
+                        );
                         // Hand the backend to the next waiting trace; the
                         // remaining (CPU-side) phases run concurrently.
                         let next = self
@@ -337,6 +486,13 @@ impl Executor {
                             .and_then(std::collections::VecDeque::pop_front);
                         match next {
                             Some(mut waiting) => {
+                                self.sink.instant(
+                                    "exec",
+                                    "backend.acquire",
+                                    self.trace_pid,
+                                    Self::lane_of(waiting.id),
+                                    now,
+                                );
                                 self.start_phase(&mut waiting);
                                 still_running.push(waiting);
                             }
@@ -363,6 +519,10 @@ impl Executor {
             }
         }
         self.inflight = still_running;
+        self.exec_stats.max_inflight = self.exec_stats.max_inflight.max(self.inflight.len() as u64);
+        if self.sink.is_enabled() {
+            self.sink.counter("exec", "inflight", self.trace_pid, now, self.inflight.len() as u64);
+        }
     }
 }
 

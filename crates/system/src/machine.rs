@@ -213,6 +213,48 @@ impl Machine {
         self.frontend.as_ref().map(|f| f.stats().accesses_per_request()).unwrap_or(0.0)
     }
 
+    /// Peak stash occupancy across the backend's ORAM instance(s), or 0
+    /// for the non-secure machine.
+    pub fn stash_peak(&self) -> usize {
+        match &self.backend {
+            Backend::NonSecure => 0,
+            Backend::Freecursive { oram, .. } => oram.stash_peak(),
+            Backend::Independent(o) => o.stash_peak(),
+            Backend::Split(o) => o.stash_peak(),
+            Backend::IndepSplit(o) => o.stash_peak(),
+        }
+    }
+
+    /// PLB (PosMap Lookaside Buffer) hit rate, or 0 for the non-secure
+    /// machine.
+    pub fn plb_hit_rate(&self) -> f64 {
+        self.frontend.as_ref().map(|f| f.plb_stats().hit_rate()).unwrap_or(0.0)
+    }
+
+    /// Exports the whole machine's metrics: frontend PLB counters
+    /// (`plb.*`), backend ORAM stats (`oram.*`), and executor/channel
+    /// stats (`exec.*`, `dram.chan<i>.*`).
+    pub fn metrics(&self) -> sdimm_telemetry::MetricsRegistry {
+        let mut m = self.executor.metrics();
+        if let Some(f) = &self.frontend {
+            let plb = f.plb_stats();
+            m.counter_add("plb.hits", plb.hits);
+            m.counter_add("plb.misses", plb.misses);
+            m.counter_add("plb.dirty_evictions", plb.dirty_evictions);
+            m.gauge_set("plb.hit_rate", plb.hit_rate());
+            m.gauge_set("frontend.accesses_per_request", f.stats().accesses_per_request());
+        }
+        match &self.backend {
+            Backend::NonSecure => {}
+            Backend::Freecursive { oram, .. } => m.absorb("oram", &oram.metrics()),
+            Backend::Independent(o) => m.absorb("oram", &o.metrics()),
+            Backend::Split(o) => m.absorb("oram", &o.metrics()),
+            Backend::IndepSplit(o) => m.absorb("oram", &o.metrics()),
+        }
+        m.gauge_max("oram.stash_peak", self.stash_peak() as f64);
+        m
+    }
+
     /// Maps a physical line address onto (channel, channel-local address)
     /// for baseline machines (line interleaving, as in `MemorySystem`).
     fn split_lines(lines: &[u64], channels: usize) -> Vec<(usize, Vec<u64>)> {

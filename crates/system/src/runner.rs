@@ -12,6 +12,7 @@ use std::collections::HashMap;
 
 use dram_sim::config::Cycle;
 use dram_sim::power::EnergyBreakdown;
+use sdimm_telemetry::{LatencyHistogram, MetricsRegistry, TraceSink};
 use workloads::Trace;
 
 use crate::executor::ExecEvent;
@@ -46,14 +47,27 @@ pub struct RunResult {
     pub llc_misses: u64,
     /// Mean memory latency per LLC miss (bus cycles, issue → data ready).
     pub mean_miss_latency: f64,
+    /// Median miss latency (bus cycles).
+    pub miss_latency_p50: u64,
+    /// 90th-percentile miss latency (bus cycles).
+    pub miss_latency_p90: u64,
+    /// 99th-percentile miss latency (bus cycles).
+    pub miss_latency_p99: u64,
     /// accessORAMs per LLC request (paper: ≈1.4).
     pub accesses_per_request: f64,
+    /// Peak stash occupancy over the run (0 for baselines).
+    pub stash_peak: u64,
+    /// PLB hit rate over the run (0 for baselines).
+    pub plb_hit_rate: f64,
     /// Energy over the measured window.
     pub energy: EnergyBreakdown,
     /// External-bus bytes (0 for baselines).
     pub external_bus_bytes: u64,
     /// Total DRAM line transfers issued.
     pub dram_lines: u64,
+    /// Full metrics snapshot of the run (channel latency histograms,
+    /// PLB/stash stats, executor attribution, run-level distributions).
+    pub metrics: MetricsRegistry,
 }
 
 impl RunResult {
@@ -84,6 +98,25 @@ impl RunResult {
 ///
 /// Panics if the trace is shorter than `warmup + measure`.
 pub fn run(cfg: &SystemConfig, trace: &Trace, warmup: usize, measure: usize) -> RunResult {
+    run_traced(cfg, trace, warmup, measure, TraceSink::disabled(), 0)
+}
+
+/// [`run`], but with a [`TraceSink`] attached to the machine's executor:
+/// phase spans, DRAM command events, and backend acquire/release land in
+/// `sink` under process id `pid`, so concurrent runs (one pid each) can
+/// share a sink and export a single Chrome trace.
+///
+/// # Panics
+///
+/// Panics if the trace is shorter than `warmup + measure`.
+pub fn run_traced(
+    cfg: &SystemConfig,
+    trace: &Trace,
+    warmup: usize,
+    measure: usize,
+    sink: TraceSink,
+    pid: u32,
+) -> RunResult {
     assert!(
         trace.records.len() >= warmup + measure,
         "trace too short: {} < {}",
@@ -91,12 +124,20 @@ pub fn run(cfg: &SystemConfig, trace: &Trace, warmup: usize, measure: usize) -> 
         warmup + measure
     );
     let mut machine = Machine::new(cfg.clone());
+    if sink.is_enabled() {
+        sink.process_name(pid, &format!("{} / {}", cfg.kind.name(), trace.name));
+    }
+    machine.executor.set_trace(sink, pid);
     let mut llc = Llc::table2();
 
     // Warm-up: LLC state only (the paper fast-forwards 1M accesses).
     for r in &trace.records[..warmup] {
         llc.warm(r.addr, r.is_write);
     }
+    // Warm-up must not leak into measured stats: clear everything the
+    // executor and its channels accumulated (today the warm-up touches
+    // only the LLC, but this keeps the boundary explicit and guarded).
+    machine.executor.reset_stats();
 
     // Measured window.
     //
@@ -117,6 +158,7 @@ pub fn run(cfg: &SystemConfig, trace: &Trace, warmup: usize, measure: usize) -> 
         is_writeback: bool,
     }
     let mut chains: HashMap<crate::executor::ExecId, Chain> = HashMap::new();
+    let mut miss_latency = LatencyHistogram::new();
     let mut latency_sum: u64 = 0;
     let mut latency_count: u64 = 0;
     let mut dram_lines: u64 = 0;
@@ -201,7 +243,9 @@ pub fn run(cfg: &SystemConfig, trace: &Trace, warmup: usize, measure: usize) -> 
                         }
                         None => {
                             if !chain.is_writeback {
-                                latency_sum += at.saturating_sub(chain.issued_at);
+                                let lat = at.saturating_sub(chain.issued_at);
+                                miss_latency.record(lat);
+                                latency_sum += lat;
                                 latency_count += 1;
                                 retired += 1;
                             }
@@ -220,6 +264,15 @@ pub fn run(cfg: &SystemConfig, trace: &Trace, warmup: usize, measure: usize) -> 
 
     let cycles = machine.executor.now();
     let energy = machine.executor.energy();
+    let stash_peak = machine.stash_peak() as u64;
+    let plb_hit_rate = machine.plb_hit_rate();
+    let mut metrics = machine.metrics();
+    metrics.counter_add("run.cycles", cycles);
+    metrics.counter_add("run.records", measure as u64);
+    metrics.counter_add("run.llc_misses", llc.stats().misses);
+    metrics.counter_add("run.dram_lines", dram_lines);
+    metrics.histogram_set("run.miss_latency", miss_latency.clone());
+    metrics.gauge_set("run.energy_nj", energy.total_nj());
     RunResult {
         machine: cfg.kind.name(),
         workload: trace.name.clone(),
@@ -231,10 +284,16 @@ pub fn run(cfg: &SystemConfig, trace: &Trace, warmup: usize, measure: usize) -> 
         } else {
             latency_sum as f64 / latency_count as f64
         },
+        miss_latency_p50: miss_latency.percentile(0.50),
+        miss_latency_p90: miss_latency.percentile(0.90),
+        miss_latency_p99: miss_latency.percentile(0.99),
         accesses_per_request: machine.accesses_per_request(),
+        stash_peak,
+        plb_hit_rate,
         energy,
         external_bus_bytes: machine.executor.bus_bytes(),
         dram_lines,
+        metrics,
     }
 }
 
@@ -322,6 +381,47 @@ mod tests {
         let r = run(&cfg, &trace, 200, 400);
         assert_eq!(r.records, 400);
         assert!(r.mean_miss_latency > 0.0);
+    }
+
+    #[test]
+    fn miss_latency_percentiles_are_ordered() {
+        let r = quick(MachineKind::Freecursive { channels: 1 });
+        assert!(r.miss_latency_p50 > 0);
+        assert!(r.miss_latency_p50 <= r.miss_latency_p90);
+        assert!(r.miss_latency_p90 <= r.miss_latency_p99);
+        assert!(r.miss_latency_p99 as f64 >= r.mean_miss_latency * 0.5);
+    }
+
+    #[test]
+    fn oram_run_reports_stash_and_plb() {
+        let r = quick(MachineKind::Independent { sdimms: 2, channels: 1 });
+        assert!(r.stash_peak > 0, "stash peak should be populated");
+        assert!(r.plb_hit_rate > 0.0 && r.plb_hit_rate <= 1.0, "plb {}", r.plb_hit_rate);
+        assert!(r.metrics.histogram("run.miss_latency").is_some());
+        assert!(r.metrics.gauge("oram.stash_peak") > 0.0);
+        let json = r.metrics.to_json();
+        sdimm_telemetry::json::validate(&json).expect("metrics snapshot is valid JSON");
+    }
+
+    #[test]
+    fn baseline_run_has_empty_oram_metrics() {
+        let r = quick(MachineKind::NonSecure { channels: 1 });
+        assert_eq!(r.stash_peak, 0);
+        assert_eq!(r.plb_hit_rate, 0.0);
+        assert!(r.metrics.histogram("dram.chan0.read_latency").is_some());
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_exports_spans() {
+        let cfg = SystemConfig::small(MachineKind::Split { ways: 2, channels: 1 });
+        let trace = spec::generate("milc-like", 1200, 3);
+        let plain = run(&cfg, &trace, 200, 400);
+        let sink = TraceSink::with_capacity(1 << 16);
+        let traced = run_traced(&cfg, &trace, 200, 400, sink.clone(), 7);
+        assert_eq!(plain.cycles, traced.cycles, "tracing must not perturb timing");
+        assert!(!sink.is_empty(), "sink should have captured events");
+        let json = sink.export_chrome_json().expect("enabled sink exports");
+        sdimm_telemetry::json::validate(&json).expect("chrome trace is valid JSON");
     }
 
     #[test]

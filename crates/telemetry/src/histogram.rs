@@ -1,0 +1,353 @@
+//! A log-bucketed latency histogram (HDR-lite).
+//!
+//! Values `0..LINEAR_BUCKETS` are recorded exactly; above that, each
+//! power-of-two range is split into [`SUB_BUCKETS`] sub-buckets, bounding
+//! the relative quantization error at `1 / SUB_BUCKETS` (6.25%). Memory
+//! is fixed (≈8 KB of `u64` counters), recording is O(1), and merging two
+//! histograms is element-wise addition — exact and associative — so
+//! per-channel histograms can be combined into machine-level ones without
+//! losing tail information the way sum/max-only stats do.
+
+/// Values below this are counted in exact unit-wide buckets.
+const LINEAR_BUCKETS: usize = 64;
+
+/// Sub-buckets per power-of-two range above the linear region.
+const SUB_BUCKETS: usize = 16;
+
+/// log2 of [`SUB_BUCKETS`].
+const SUB_SHIFT: u32 = 4;
+
+/// log2 of [`LINEAR_BUCKETS`]: the first exponent handled logarithmically.
+const FIRST_EXP: u32 = 6;
+
+/// Total bucket count: 64 linear + 58 exponent ranges × 16 sub-buckets.
+const BUCKETS: usize = LINEAR_BUCKETS + (64 - FIRST_EXP as usize) * SUB_BUCKETS;
+
+/// Fixed-memory log-bucketed histogram over `u64` samples.
+///
+/// # Example
+///
+/// ```
+/// use sdimm_telemetry::LatencyHistogram;
+///
+/// let mut h = LatencyHistogram::new();
+/// for v in [10, 20, 30, 40, 1000] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert_eq!(h.max(), 1000);
+/// assert_eq!(h.percentile(0.5), 30);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+impl std::fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LatencyHistogram")
+            .field("count", &self.count)
+            .field("mean", &self.mean())
+            .field("p50", &self.percentile(0.50))
+            .field("p99", &self.percentile(0.99))
+            .field("max", &self.max)
+            .finish()
+    }
+}
+
+/// Bucket index for a sample value.
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    if v < LINEAR_BUCKETS as u64 {
+        return v as usize;
+    }
+    let exp = 63 - v.leading_zeros(); // >= FIRST_EXP
+    let sub = ((v >> (exp - SUB_SHIFT)) as usize) & (SUB_BUCKETS - 1);
+    LINEAR_BUCKETS + (exp - FIRST_EXP) as usize * SUB_BUCKETS + sub
+}
+
+/// Lower bound (inclusive) of a bucket — the reported representative
+/// value, so percentiles are conservative (never above the true sample).
+fn bucket_lower_bound(idx: usize) -> u64 {
+    if idx < LINEAR_BUCKETS {
+        return idx as u64;
+    }
+    let rel = idx - LINEAR_BUCKETS;
+    let exp = FIRST_EXP + (rel / SUB_BUCKETS) as u32;
+    let sub = (rel % SUB_BUCKETS) as u64;
+    (1u64 << exp) + (sub << (exp - SUB_SHIFT))
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram { counts: vec![0; BUCKETS], count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+
+    /// Records one sample. O(1), no allocation.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum += v;
+        if v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Exact maximum sample, or 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Exact minimum sample, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Mean of recorded samples, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Nearest-rank percentile (`q` in `[0, 1]`), reported as the lower
+    /// bound of the bucket holding that rank (≤ the true sample; exact
+    /// below 64, within 6.25% above). Returns 0 for an empty histogram;
+    /// `q >= 1.0` returns the exact maximum.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
+        let rank = ((q.max(0.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_lower_bound(i).min(self.max).max(self.min());
+            }
+        }
+        self.max
+    }
+
+    /// Adds another histogram into this one (element-wise; exact).
+    pub fn merge(&mut self, o: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(o.counts.iter()) {
+            *a += b;
+        }
+        self.count += o.count;
+        self.sum += o.sum;
+        self.max = self.max.max(o.max);
+        if o.count > 0 && o.min < self.min {
+            self.min = o.min;
+        }
+    }
+
+    /// Clears all samples.
+    pub fn reset(&mut self) {
+        self.counts.iter_mut().for_each(|c| *c = 0);
+        self.count = 0;
+        self.sum = 0;
+        self.min = u64::MAX;
+        self.max = 0;
+    }
+
+    /// Serializes the summary (count/mean/p50/p90/p99/max) as a JSON
+    /// object fragment — the registry's snapshot format.
+    pub fn summary_json(&self) -> String {
+        format!(
+            "{{\"type\": \"histogram\", \"count\": {}, \"mean\": {:.3}, \"p50\": {}, \
+             \"p90\": {}, \"p99\": {}, \"min\": {}, \"max\": {}}}",
+            self.count,
+            self.mean(),
+            self.percentile(0.50),
+            self.percentile(0.90),
+            self.percentile(0.99),
+            self.min(),
+            self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_percentiles_are_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(0.5), 0);
+        assert_eq!(h.percentile(0.99), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn linear_region_is_exact() {
+        let mut h = LatencyHistogram::new();
+        for v in 0..64u64 {
+            h.record(v);
+        }
+        // 64 samples 0..=63: nearest-rank p50 is the 32nd sample = 31.
+        assert_eq!(h.percentile(0.5), 31);
+        assert_eq!(h.percentile(1.0), 63);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 63);
+        assert_eq!(h.sum(), (0..64).sum::<u64>());
+    }
+
+    #[test]
+    fn bucket_boundaries_map_consistently() {
+        // Every bucket's lower bound must map back to that bucket, and
+        // bucket indices must be monotone in the sample value.
+        for idx in 0..BUCKETS {
+            let lb = bucket_lower_bound(idx);
+            assert_eq!(bucket_of(lb), idx, "lower bound {lb} of bucket {idx} maps elsewhere");
+        }
+        let mut last = 0;
+        for v in [0u64, 1, 63, 64, 65, 127, 128, 1000, 4096, 1 << 20, u64::MAX / 2, u64::MAX] {
+            let b = bucket_of(v);
+            assert!(b >= last, "bucket index must be monotone at {v}");
+            assert!(bucket_lower_bound(b) <= v, "lower bound above sample at {v}");
+            last = b;
+        }
+        assert!(bucket_of(u64::MAX) < BUCKETS);
+    }
+
+    #[test]
+    fn log_region_error_is_bounded() {
+        let mut h = LatencyHistogram::new();
+        for v in [100u64, 1_000, 10_000, 100_000, 1_000_000] {
+            h.record(v);
+            let p = h.percentile(1.0); // max is exact
+            assert_eq!(p, v);
+        }
+        // A single sample's p50 must be within 6.25% below the sample.
+        for v in [100u64, 999, 12345, 1 << 30] {
+            let mut h = LatencyHistogram::new();
+            h.record(v);
+            let p = h.percentile(0.5);
+            assert!(p <= v, "percentile above sample");
+            assert!(p as f64 >= v as f64 * (1.0 - 1.0 / SUB_BUCKETS as f64), "{p} far below {v}");
+        }
+    }
+
+    #[test]
+    fn merge_is_associative_and_exact() {
+        let mk = |vals: &[u64]| {
+            let mut h = LatencyHistogram::new();
+            vals.iter().for_each(|&v| h.record(v));
+            h
+        };
+        let a = mk(&[1, 2, 3, 1000]);
+        let b = mk(&[50, 60, 70]);
+        let c = mk(&[100_000, 7]);
+
+        // (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ab_c = ab.clone();
+        ab_c.merge(&c);
+
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+
+        assert_eq!(ab_c, a_bc);
+
+        // And equal to recording everything into one histogram.
+        let all = mk(&[1, 2, 3, 1000, 50, 60, 70, 100_000, 7]);
+        assert_eq!(ab_c, all);
+        assert_eq!(all.count(), 9);
+        assert_eq!(all.max(), 100_000);
+        assert_eq!(all.min(), 1);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut h = LatencyHistogram::new();
+        h.record(42);
+        let before = h.clone();
+        h.merge(&LatencyHistogram::new());
+        assert_eq!(h, before);
+        let mut e = LatencyHistogram::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn reset_restores_empty_state() {
+        let mut h = LatencyHistogram::new();
+        h.record(9);
+        h.record(1 << 20);
+        h.reset();
+        assert_eq!(h, LatencyHistogram::new());
+    }
+
+    #[test]
+    fn percentiles_are_monotone_in_q() {
+        let mut h = LatencyHistogram::new();
+        let mut x = 1u64;
+        for _ in 0..1000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            h.record(x % 100_000);
+        }
+        let mut last = 0;
+        for q in [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0] {
+            let p = h.percentile(q);
+            assert!(p >= last, "p({q}) = {p} < {last}");
+            last = p;
+        }
+    }
+
+    #[test]
+    fn summary_json_shape() {
+        let mut h = LatencyHistogram::new();
+        h.record(10);
+        let s = h.summary_json();
+        assert!(s.contains("\"p50\": 10"));
+        assert!(s.contains("\"count\": 1"));
+        crate::json::validate(&s).expect("summary must be valid JSON");
+    }
+}

@@ -1,0 +1,201 @@
+//! Minimal JSON utilities: string escaping for the hand-rolled
+//! serializers and a dependency-free validator used by tests to assert
+//! that exported snapshots and traces are well-formed.
+
+/// Escapes a string for embedding in a JSON document.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Validates that `text` is one well-formed JSON value (object, array,
+/// string, number, or literal). Returns the byte offset of the first
+/// error. A strict recursive-descent checker — no values are built.
+pub fn validate(text: &str) -> Result<(), String> {
+    let b = text.as_bytes();
+    let mut pos = skip_ws(b, 0);
+    pos = value(b, pos)?;
+    pos = skip_ws(b, pos);
+    if pos != b.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], mut pos: usize) -> usize {
+    while pos < b.len() && matches!(b[pos], b' ' | b'\t' | b'\n' | b'\r') {
+        pos += 1;
+    }
+    pos
+}
+
+fn value(b: &[u8], pos: usize) -> Result<usize, String> {
+    match b.get(pos) {
+        Some(b'{') => object(b, pos),
+        Some(b'[') => array(b, pos),
+        Some(b'"') => string(b, pos),
+        Some(b't') => literal(b, pos, b"true"),
+        Some(b'f') => literal(b, pos, b"false"),
+        Some(b'n') => literal(b, pos, b"null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, pos),
+        _ => Err(format!("expected value at byte {pos}")),
+    }
+}
+
+fn literal(b: &[u8], pos: usize, lit: &[u8]) -> Result<usize, String> {
+    if b.len() >= pos + lit.len() && &b[pos..pos + lit.len()] == lit {
+        Ok(pos + lit.len())
+    } else {
+        Err(format!("bad literal at byte {pos}"))
+    }
+}
+
+fn number(b: &[u8], mut pos: usize) -> Result<usize, String> {
+    let start = pos;
+    if b.get(pos) == Some(&b'-') {
+        pos += 1;
+    }
+    let digits = |b: &[u8], mut p: usize| {
+        let s = p;
+        while p < b.len() && b[p].is_ascii_digit() {
+            p += 1;
+        }
+        (p, p > s)
+    };
+    let (p, ok) = digits(b, pos);
+    if !ok {
+        return Err(format!("bad number at byte {start}"));
+    }
+    pos = p;
+    if b.get(pos) == Some(&b'.') {
+        let (p, ok) = digits(b, pos + 1);
+        if !ok {
+            return Err(format!("bad fraction at byte {pos}"));
+        }
+        pos = p;
+    }
+    if matches!(b.get(pos), Some(b'e') | Some(b'E')) {
+        pos += 1;
+        if matches!(b.get(pos), Some(b'+') | Some(b'-')) {
+            pos += 1;
+        }
+        let (p, ok) = digits(b, pos);
+        if !ok {
+            return Err(format!("bad exponent at byte {pos}"));
+        }
+        pos = p;
+    }
+    Ok(pos)
+}
+
+fn string(b: &[u8], mut pos: usize) -> Result<usize, String> {
+    debug_assert_eq!(b[pos], b'"');
+    pos += 1;
+    while pos < b.len() {
+        match b[pos] {
+            b'"' => return Ok(pos + 1),
+            b'\\' => {
+                match b.get(pos + 1) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => pos += 2,
+                    Some(b'u') => {
+                        if pos + 6 > b.len()
+                            || !b[pos + 2..pos + 6].iter().all(u8::is_ascii_hexdigit)
+                        {
+                            return Err(format!("bad \\u escape at byte {pos}"));
+                        }
+                        pos += 6;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}")),
+                };
+            }
+            c if c < 0x20 => return Err(format!("raw control char at byte {pos}")),
+            _ => pos += 1,
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn object(b: &[u8], mut pos: usize) -> Result<usize, String> {
+    pos = skip_ws(b, pos + 1);
+    if b.get(pos) == Some(&b'}') {
+        return Ok(pos + 1);
+    }
+    loop {
+        if b.get(pos) != Some(&b'"') {
+            return Err(format!("expected object key at byte {pos}"));
+        }
+        pos = string(b, pos)?;
+        pos = skip_ws(b, pos);
+        if b.get(pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {pos}"));
+        }
+        pos = skip_ws(b, pos + 1);
+        pos = value(b, pos)?;
+        pos = skip_ws(b, pos);
+        match b.get(pos) {
+            Some(b',') => pos = skip_ws(b, pos + 1),
+            Some(b'}') => return Ok(pos + 1),
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+        }
+    }
+}
+
+fn array(b: &[u8], mut pos: usize) -> Result<usize, String> {
+    pos = skip_ws(b, pos + 1);
+    if b.get(pos) == Some(&b']') {
+        return Ok(pos + 1);
+    }
+    loop {
+        pos = value(b, pos)?;
+        pos = skip_ws(b, pos);
+        match b.get(pos) {
+            Some(b',') => pos = skip_ws(b, pos + 1),
+            Some(b']') => return Ok(pos + 1),
+            _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_valid_documents() {
+        for doc in [
+            "{}",
+            "[]",
+            "null",
+            "-1.5e-3",
+            r#"{"a": [1, 2.5, "x\n", {"b": true}], "c": null}"#,
+            "  [ 1 , 2 ]  ",
+        ] {
+            validate(doc).unwrap_or_else(|e| panic!("{doc}: {e}"));
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for doc in ["{", "[1,]", "{\"a\":}", "01a", "\"unterminated", "{} extra", "{'a':1}"] {
+            assert!(validate(doc).is_err(), "{doc} wrongly accepted");
+        }
+    }
+
+    #[test]
+    fn escape_round_trips_through_validator() {
+        let nasty = "quote\" backslash\\ newline\n tab\t ctrl\u{1}";
+        let doc = format!("{{\"k\": \"{}\"}}", escape(nasty));
+        validate(&doc).expect("escaped string must validate");
+    }
+}

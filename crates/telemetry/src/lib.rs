@@ -1,0 +1,32 @@
+//! `sdimm-telemetry` — the unified observability layer of the SDIMM stack.
+//!
+//! Three pieces, composable and dependency-free:
+//!
+//! * [`histogram::LatencyHistogram`] — a log-bucketed (HDR-lite) latency
+//!   histogram: fixed memory, O(1) record, exact merge, and percentile
+//!   queries (p50/p90/p99/max). Embedded directly in hot-path stats
+//!   blocks such as `dram_sim`'s `ChannelStats`.
+//! * [`registry::MetricsRegistry`] — a named collection of counters,
+//!   gauges, and histograms with a stable (sorted-key) JSON snapshot
+//!   serializer, so every bench binary can dump machine-readable metrics.
+//! * [`trace::TraceSink`] — a cheaply clonable handle to a bounded ring
+//!   buffer of timestamped spans and instant events, exported as Chrome
+//!   trace-event JSON loadable in Perfetto / `chrome://tracing`. The
+//!   disabled sink is a `None` handle: every record call is a single
+//!   branch, so instrumentation can stay compiled-in unconditionally.
+//!
+//! The simulator's cycle counters stand in for the trace timebase (one
+//! cycle = one microsecond in the exported trace), which keeps exported
+//! timelines deterministic across runs.
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod histogram;
+pub mod json;
+pub mod registry;
+pub mod trace;
+
+pub use histogram::LatencyHistogram;
+pub use registry::{MetricValue, MetricsRegistry};
+pub use trace::TraceSink;

@@ -1,0 +1,231 @@
+//! A named collection of counters, gauges, and histograms with a
+//! stable (sorted-key) JSON snapshot serializer.
+
+use std::collections::BTreeMap;
+
+use crate::histogram::LatencyHistogram;
+use crate::json::escape;
+
+/// One metric held by a [`MetricsRegistry`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// A monotonically increasing event count.
+    Counter(u64),
+    /// A point-in-time measurement (queue depth, occupancy, hit rate).
+    Gauge(f64),
+    /// A full latency distribution.
+    Histogram(LatencyHistogram),
+}
+
+/// Named metrics with deterministic (sorted-key) JSON snapshots.
+///
+/// Keys use dotted paths (`dram.chan0.read_latency`); a `BTreeMap`
+/// keeps snapshot output byte-stable across runs so snapshots can be
+/// diffed and asserted on in tests.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    metrics: BTreeMap<String, MetricValue>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to the counter named `key`, creating it at zero.
+    pub fn counter_add(&mut self, key: &str, delta: u64) {
+        match self.metrics.entry(key.to_string()).or_insert(MetricValue::Counter(0)) {
+            MetricValue::Counter(c) => *c += delta,
+            other => *other = MetricValue::Counter(delta),
+        }
+    }
+
+    /// Sets the gauge named `key`.
+    pub fn gauge_set(&mut self, key: &str, value: f64) {
+        self.metrics.insert(key.to_string(), MetricValue::Gauge(value));
+    }
+
+    /// Raises the gauge named `key` to `value` if it is higher than the
+    /// current reading (peak tracking).
+    pub fn gauge_max(&mut self, key: &str, value: f64) {
+        match self.metrics.entry(key.to_string()).or_insert(MetricValue::Gauge(value)) {
+            MetricValue::Gauge(g) => *g = g.max(value),
+            other => *other = MetricValue::Gauge(value),
+        }
+    }
+
+    /// Records one sample into the histogram named `key`, creating it.
+    pub fn histogram_record(&mut self, key: &str, v: u64) {
+        match self
+            .metrics
+            .entry(key.to_string())
+            .or_insert_with(|| MetricValue::Histogram(LatencyHistogram::new()))
+        {
+            MetricValue::Histogram(h) => h.record(v),
+            other => {
+                let mut h = LatencyHistogram::new();
+                h.record(v);
+                *other = MetricValue::Histogram(h);
+            }
+        }
+    }
+
+    /// Stores a pre-built histogram under `key` (replacing any value).
+    pub fn histogram_set(&mut self, key: &str, h: LatencyHistogram) {
+        self.metrics.insert(key.to_string(), MetricValue::Histogram(h));
+    }
+
+    /// Looks up a metric by exact key.
+    pub fn get(&self, key: &str) -> Option<&MetricValue> {
+        self.metrics.get(key)
+    }
+
+    /// Convenience: the counter value at `key`, or 0.
+    pub fn counter(&self, key: &str) -> u64 {
+        match self.metrics.get(key) {
+            Some(MetricValue::Counter(c)) => *c,
+            _ => 0,
+        }
+    }
+
+    /// Convenience: the gauge value at `key`, or 0.0.
+    pub fn gauge(&self, key: &str) -> f64 {
+        match self.metrics.get(key) {
+            Some(MetricValue::Gauge(g)) => *g,
+            _ => 0.0,
+        }
+    }
+
+    /// Convenience: the histogram at `key`, if present.
+    pub fn histogram(&self, key: &str) -> Option<&LatencyHistogram> {
+        match self.metrics.get(key) {
+            Some(MetricValue::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Number of metrics held.
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// True when no metrics have been registered.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// Iterates metrics in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &MetricValue)> {
+        self.metrics.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Absorbs every metric from `other` under `prefix` (joined with a
+    /// dot when non-empty). Counters and histograms merge; gauges take
+    /// the incoming reading.
+    pub fn absorb(&mut self, prefix: &str, other: &MetricsRegistry) {
+        for (k, v) in other.metrics.iter() {
+            let key = if prefix.is_empty() { k.clone() } else { format!("{prefix}.{k}") };
+            match v {
+                MetricValue::Counter(c) => self.counter_add(&key, *c),
+                MetricValue::Gauge(g) => self.gauge_set(&key, *g),
+                MetricValue::Histogram(h) => match self.metrics.get_mut(&key) {
+                    Some(MetricValue::Histogram(mine)) => mine.merge(h),
+                    _ => {
+                        self.metrics.insert(key, MetricValue::Histogram(h.clone()));
+                    }
+                },
+            }
+        }
+    }
+
+    /// Serializes the whole registry as one JSON object, keys sorted.
+    /// Counters become integers, gauges floats, histograms the summary
+    /// object from [`LatencyHistogram::summary_json`].
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let mut first = true;
+        for (k, v) in self.metrics.iter() {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            out.push_str(&format!("  \"{}\": ", escape(k)));
+            match v {
+                MetricValue::Counter(c) => out.push_str(&c.to_string()),
+                MetricValue::Gauge(g) => {
+                    if g.is_finite() {
+                        out.push_str(&format!("{g:.6}"));
+                    } else {
+                        out.push_str("null");
+                    }
+                }
+                MetricValue::Histogram(h) => out.push_str(&h.summary_json()),
+            }
+        }
+        out.push_str("\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_gauges_overwrite() {
+        let mut r = MetricsRegistry::new();
+        r.counter_add("a.hits", 3);
+        r.counter_add("a.hits", 4);
+        r.gauge_set("a.depth", 2.0);
+        r.gauge_set("a.depth", 5.0);
+        r.gauge_max("a.peak", 3.0);
+        r.gauge_max("a.peak", 1.0);
+        assert_eq!(r.counter("a.hits"), 7);
+        assert_eq!(r.gauge("a.depth"), 5.0);
+        assert_eq!(r.gauge("a.peak"), 3.0);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_valid_json() {
+        let mut r = MetricsRegistry::new();
+        r.counter_add("z.last", 1);
+        r.gauge_set("a.first", 0.5);
+        r.histogram_record("m.lat", 100);
+        r.histogram_record("m.lat", 200);
+        let json = r.to_json();
+        crate::json::validate(&json).expect("snapshot must be valid JSON");
+        let a = json.find("a.first").unwrap();
+        let m = json.find("m.lat").unwrap();
+        let z = json.find("z.last").unwrap();
+        assert!(a < m && m < z, "keys must serialize sorted");
+        assert!(json.contains("\"count\": 2"));
+    }
+
+    #[test]
+    fn absorb_prefixes_and_merges() {
+        let mut child = MetricsRegistry::new();
+        child.counter_add("hits", 2);
+        child.histogram_record("lat", 10);
+
+        let mut root = MetricsRegistry::new();
+        root.counter_add("chan0.hits", 1);
+        root.absorb("chan0", &child);
+        root.absorb("chan1", &child);
+
+        assert_eq!(root.counter("chan0.hits"), 3);
+        assert_eq!(root.counter("chan1.hits"), 2);
+        assert_eq!(root.histogram("chan0.lat").unwrap().count(), 1);
+
+        // Absorbing again merges histograms instead of replacing them.
+        root.absorb("chan0", &child);
+        assert_eq!(root.histogram("chan0.lat").unwrap().count(), 2);
+    }
+
+    #[test]
+    fn empty_registry_snapshot_is_valid() {
+        let r = MetricsRegistry::new();
+        assert!(r.is_empty());
+        crate::json::validate(&r.to_json()).unwrap();
+    }
+}

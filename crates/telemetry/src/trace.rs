@@ -1,0 +1,308 @@
+//! Chrome trace-event recording.
+//!
+//! A [`TraceSink`] is a cheaply clonable handle to a bounded ring buffer
+//! of trace events. The disabled sink holds no buffer, so every record
+//! call is a single `Option` branch — instrumentation stays compiled in
+//! unconditionally with no measurable cost when tracing is off. Call
+//! sites that need to format strings should guard on
+//! [`TraceSink::is_enabled`] so the formatting itself is also skipped.
+//!
+//! Export follows the Chrome trace-event JSON array format understood by
+//! Perfetto and `chrome://tracing`: complete spans (`ph: "X"` with a
+//! duration), instant events (`ph: "i"`), counter tracks (`ph: "C"`),
+//! and process/thread-name metadata (`ph: "M"`). Simulator cycles map
+//! 1:1 onto trace microseconds.
+
+use std::sync::{Arc, Mutex};
+
+use crate::json::escape;
+
+/// One recorded trace event (internal representation).
+#[derive(Debug, Clone)]
+struct Event {
+    /// Chrome phase character: `X`, `i`, or `C`.
+    ph: char,
+    /// Event name.
+    name: String,
+    /// Category string (used for filtering in the viewer).
+    cat: &'static str,
+    /// Timestamp in simulator cycles (exported as µs).
+    ts: u64,
+    /// Duration in cycles for `X` events; unused otherwise.
+    dur: u64,
+    /// Process id: groups tracks per machine/run.
+    pid: u32,
+    /// Thread id: groups tracks per channel/executor lane.
+    tid: u32,
+    /// Preformatted JSON `args` object ("" = none). For `C` events this
+    /// carries the counter series.
+    args: String,
+}
+
+/// Bounded event storage: keeps the most recent `capacity` events and
+/// counts how many were dropped.
+#[derive(Debug)]
+struct Ring {
+    events: Vec<Event>,
+    head: usize,
+    capacity: usize,
+    dropped: u64,
+    names: Vec<(u32, u32, String, bool)>, // (pid, tid, name, is_process)
+}
+
+impl Ring {
+    fn push(&mut self, e: Event) {
+        if self.events.len() < self.capacity {
+            self.events.push(e);
+        } else {
+            self.events[self.head] = e;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+}
+
+/// Default ring capacity: enough for a quick-scale figure run without
+/// unbounded growth on full-scale ones.
+pub const DEFAULT_CAPACITY: usize = 1 << 20;
+
+/// Handle to a shared trace ring buffer; `Clone` hands out another
+/// reference to the same buffer. `TraceSink::disabled()` records
+/// nothing and costs one branch per call.
+#[derive(Debug, Clone, Default)]
+pub struct TraceSink(Option<Arc<Mutex<Ring>>>);
+
+impl TraceSink {
+    /// A sink that records into a ring of [`DEFAULT_CAPACITY`] events.
+    pub fn enabled() -> Self {
+        Self::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// A sink recording into a ring bounded at `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        TraceSink(Some(Arc::new(Mutex::new(Ring {
+            events: Vec::new(),
+            head: 0,
+            capacity: capacity.max(1),
+            dropped: 0,
+            names: Vec::new(),
+        }))))
+    }
+
+    /// The no-op sink: records nothing, single branch per call.
+    pub fn disabled() -> Self {
+        TraceSink(None)
+    }
+
+    /// True when events are actually being recorded. Guard expensive
+    /// argument formatting on this.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Records a complete span (`ph: "X"`): work named `name` on track
+    /// `(pid, tid)` spanning cycles `[start, end)`.
+    #[inline]
+    pub fn span(&self, cat: &'static str, name: &str, pid: u32, tid: u32, start: u64, end: u64) {
+        if let Some(ring) = &self.0 {
+            ring.lock().unwrap().push(Event {
+                ph: 'X',
+                name: name.to_string(),
+                cat,
+                ts: start,
+                dur: end.saturating_sub(start),
+                pid,
+                tid,
+                args: String::new(),
+            });
+        }
+    }
+
+    /// Records an instant event (`ph: "i"`) at cycle `ts`.
+    #[inline]
+    pub fn instant(&self, cat: &'static str, name: &str, pid: u32, tid: u32, ts: u64) {
+        if let Some(ring) = &self.0 {
+            ring.lock().unwrap().push(Event {
+                ph: 'i',
+                name: name.to_string(),
+                cat,
+                ts,
+                dur: 0,
+                pid,
+                tid,
+                args: String::new(),
+            });
+        }
+    }
+
+    /// Records a counter sample (`ph: "C"`): series `name` takes
+    /// `value` at cycle `ts`, rendered as a stacked track in Perfetto.
+    #[inline]
+    pub fn counter(&self, cat: &'static str, name: &str, pid: u32, ts: u64, value: u64) {
+        if let Some(ring) = &self.0 {
+            ring.lock().unwrap().push(Event {
+                ph: 'C',
+                name: name.to_string(),
+                cat,
+                ts,
+                dur: 0,
+                pid,
+                tid: 0,
+                args: format!("{{\"value\": {value}}}"),
+            });
+        }
+    }
+
+    /// Names the process track `pid` (`ph: "M"`, `process_name`).
+    pub fn process_name(&self, pid: u32, name: &str) {
+        if let Some(ring) = &self.0 {
+            ring.lock().unwrap().names.push((pid, 0, name.to_string(), true));
+        }
+    }
+
+    /// Names the thread track `(pid, tid)` (`ph: "M"`, `thread_name`).
+    pub fn thread_name(&self, pid: u32, tid: u32, name: &str) {
+        if let Some(ring) = &self.0 {
+            ring.lock().unwrap().names.push((pid, tid, name.to_string(), false));
+        }
+    }
+
+    /// Number of events currently buffered (0 for a disabled sink).
+    pub fn len(&self) -> usize {
+        self.0.as_ref().map_or(0, |r| r.lock().unwrap().events.len())
+    }
+
+    /// True when no events are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events evicted from the ring because it was full.
+    pub fn dropped(&self) -> u64 {
+        self.0.as_ref().map_or(0, |r| r.lock().unwrap().dropped)
+    }
+
+    /// Exports everything recorded so far as a Chrome trace-event JSON
+    /// document (`{"traceEvents": [...]}`), events sorted by timestamp
+    /// so the exported timeline is monotone. Returns `None` for a
+    /// disabled sink.
+    pub fn export_chrome_json(&self) -> Option<String> {
+        let ring = self.0.as_ref()?;
+        let ring = ring.lock().unwrap();
+        let mut events: Vec<&Event> = ring.events.iter().collect();
+        events.sort_by_key(|e| (e.ts, e.pid, e.tid));
+
+        let mut out = String::from("{\"traceEvents\": [\n");
+        let mut first = true;
+        for (pid, tid, name, is_process) in &ring.names {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            let (meta, tid_field) = if *is_process {
+                ("process_name", String::new())
+            } else {
+                ("thread_name", format!("\"tid\": {tid}, "))
+            };
+            out.push_str(&format!(
+                "{{\"ph\": \"M\", \"name\": \"{meta}\", \"pid\": {pid}, {tid_field}\
+                 \"args\": {{\"name\": \"{}\"}}}}",
+                escape(name)
+            ));
+        }
+        for e in events {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            out.push_str(&format!(
+                "{{\"ph\": \"{}\", \"name\": \"{}\", \"cat\": \"{}\", \"ts\": {}, \
+                 \"pid\": {}, \"tid\": {}",
+                e.ph,
+                escape(&e.name),
+                e.cat,
+                e.ts,
+                e.pid,
+                e.tid
+            ));
+            if e.ph == 'X' {
+                out.push_str(&format!(", \"dur\": {}", e.dur));
+            }
+            if e.ph == 'i' {
+                out.push_str(", \"s\": \"t\"");
+            }
+            if !e.args.is_empty() {
+                out.push_str(&format!(", \"args\": {}", e.args));
+            }
+            out.push('}');
+        }
+        out.push_str(&format!(
+            "\n], \"displayTimeUnit\": \"ns\", \"droppedEventCount\": {}}}\n",
+            ring.dropped
+        ));
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_sink_records_nothing() {
+        let s = TraceSink::disabled();
+        assert!(!s.is_enabled());
+        s.span("x", "work", 0, 0, 10, 20);
+        s.instant("x", "tick", 0, 0, 5);
+        s.counter("x", "depth", 0, 5, 3);
+        assert!(s.is_empty());
+        assert_eq!(s.export_chrome_json(), None);
+    }
+
+    #[test]
+    fn export_is_valid_json_with_sorted_timestamps() {
+        let s = TraceSink::enabled();
+        s.process_name(1, "machine \"A\"");
+        s.thread_name(1, 2, "chan2");
+        s.span("exec", "phase", 1, 0, 100, 250);
+        s.instant("dram", "refresh", 1, 2, 50);
+        s.counter("exec", "inflight", 1, 120, 4);
+        let json = s.export_chrome_json().unwrap();
+        crate::json::validate(&json).expect("chrome trace must be valid JSON");
+
+        // Events appear sorted by ts regardless of record order.
+        let refresh = json.find("refresh").unwrap();
+        let phase = json.find("\"phase\"").unwrap();
+        let inflight = json.find("inflight").unwrap();
+        assert!(refresh < phase && phase < inflight);
+        assert!(json.contains("\"dur\": 150"));
+        assert!(json.contains("process_name"));
+        assert!(json.contains("thread_name"));
+    }
+
+    #[test]
+    fn ring_bounds_memory_and_counts_drops() {
+        let s = TraceSink::with_capacity(4);
+        for ts in 0..10u64 {
+            s.instant("x", "e", 0, 0, ts);
+        }
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.dropped(), 6);
+        let json = s.export_chrome_json().unwrap();
+        crate::json::validate(&json).unwrap();
+        assert!(json.contains("\"droppedEventCount\": 6"));
+        // Oldest events were evicted; the newest survive.
+        assert!(json.contains("\"ts\": 9"));
+        assert!(!json.contains("\"ts\": 0,"));
+    }
+
+    #[test]
+    fn clones_share_one_buffer() {
+        let s = TraceSink::enabled();
+        let t = s.clone();
+        t.instant("x", "from-clone", 7, 0, 1);
+        assert_eq!(s.len(), 1);
+        assert!(s.export_chrome_json().unwrap().contains("from-clone"));
+    }
+}

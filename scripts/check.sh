@@ -17,4 +17,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> telemetry overhead gate (disabled sink must stay under 2%)"
+cargo run --release -q -p sdimm-bench --bin telemetry_overhead
+
 echo "==> all checks passed"

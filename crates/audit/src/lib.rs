@@ -1,0 +1,35 @@
+//! Differential correctness harness for the Secure DIMM reproduction.
+//!
+//! The simulator's answers are only as trustworthy as its two hardest
+//! layers: the cycle-level DDR3 channel (a dense web of inter-command
+//! timing constraints) and the ORAM protocol stack (where a silent
+//! data-corruption bug changes nothing about performance curves). This
+//! crate checks both *differentially* — with independent
+//! implementations that share no code with the models they audit:
+//!
+//! * [`ddr`] replays the per-channel command stream recorded by
+//!   `dram_sim::cmdlog` through a from-scratch constraint table and
+//!   reports the first DDR3 protocol violation with full context.
+//! * [`oracle`] drives every `accessORAM` protocol in lockstep with a
+//!   plain shadow map and re-checks structural invariants (stash bound,
+//!   path membership, PosMap coherence, PMMAC counter monotonicity)
+//!   from outside.
+//! * [`strict`] (feature `audit-strict`) turns any violation into an
+//!   immediate abort after dumping the telemetry trace for Perfetto
+//!   triage.
+//!
+//! Both auditors are cheap enough to leave on for quick-scale figure
+//! runs (`--audit` on the figure binaries) and run in CI.
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod ddr;
+pub mod oracle;
+#[cfg(feature = "audit-strict")]
+pub mod strict;
+
+pub use ddr::{AuditSummary, Constraints, DdrAuditor, Violation};
+pub use oracle::{
+    check_all_protocols, check_protocol, OracleMismatch, OracleReport, ProtocolKind, ShadowMem,
+};

@@ -1,0 +1,35 @@
+//! Strict mode: abort on the first confirmed violation.
+//!
+//! Compiled only under the `audit-strict` feature. A violation in a
+//! long figure run is normally reported and the process exits with a
+//! failure code at the end; under strict mode the run stops *at the
+//! violation*, after dumping the telemetry trace so the offending
+//! cycles can be inspected in Perfetto (`chrome://tracing` works too).
+
+use std::io::Write as _;
+use std::process;
+
+use sdimm_telemetry::TraceSink;
+
+/// File the Chrome-format trace is dumped to before aborting.
+pub const TRACE_DUMP_PATH: &str = "audit-violation-trace.json";
+
+/// Dumps the trace (when the sink is enabled) and aborts the process
+/// with the conventional SIGABRT-style exit code.
+pub fn abort_with_trace(sink: &TraceSink, violation: &str) -> ! {
+    eprintln!("audit-strict: {violation}");
+    match sink.export_chrome_json() {
+        Some(json) => match std::fs::File::create(TRACE_DUMP_PATH)
+            .and_then(|mut f| f.write_all(json.as_bytes()))
+        {
+            Ok(()) => eprintln!(
+                "audit-strict: trace dumped to {TRACE_DUMP_PATH} — open in Perfetto to inspect the cycles around the violation"
+            ),
+            Err(e) => eprintln!("audit-strict: failed to write {TRACE_DUMP_PATH}: {e}"),
+        },
+        None => eprintln!(
+            "audit-strict: tracing disabled; re-run with --trace-json to capture the cycles around the violation"
+        ),
+    }
+    process::exit(134);
+}

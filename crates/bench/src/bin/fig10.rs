@@ -4,7 +4,7 @@
 //! SPLIT-2 and INDEP-SPLIT improve energy ~2.4x / ~2.5x over
 //! Freecursive).
 
-use sdimm_bench::{harness, table, Scale, TelemetryArgs};
+use sdimm_bench::{table, Scale, TelemetryArgs};
 use sdimm_system::machine::{MachineKind, SystemConfig};
 use workloads::spec;
 
@@ -29,7 +29,8 @@ fn main() {
         ("single channel", &single[..], "NONSECURE-1ch"),
         ("double channel", &double[..], "NONSECURE-2ch"),
     ] {
-        let cells = harness::run_matrix_traced(
+        let cells = sdimm_bench::run_matrix_maybe_audited(
+            &telemetry,
             &spec::ALL,
             kinds,
             scale,

@@ -3,7 +3,7 @@
 //! single channel and 47-49% double channel).
 
 use oram::types::OramConfig;
-use sdimm_bench::{harness, table, Scale, TelemetryArgs};
+use sdimm_bench::{table, Scale, TelemetryArgs};
 use sdimm_system::machine::{MachineKind, SystemConfig};
 
 fn main() {
@@ -26,7 +26,8 @@ fn main() {
         let data_blocks = (1u64 << (levels - 4)).min(scale.data_blocks());
         let single =
             [MachineKind::Freecursive { channels: 1 }, MachineKind::Split { ways: 2, channels: 1 }];
-        let cells = harness::run_matrix_traced(
+        let cells = sdimm_bench::run_matrix_maybe_audited(
+            &telemetry,
             &wl,
             &single,
             scale,
@@ -52,7 +53,8 @@ fn main() {
             MachineKind::Freecursive { channels: 2 },
             MachineKind::IndepSplit { groups: 2, ways: 2, channels: 2 },
         ];
-        let cells = harness::run_matrix_traced(
+        let cells = sdimm_bench::run_matrix_maybe_audited(
+            &telemetry,
             &wl,
             &double,
             scale,

@@ -13,7 +13,8 @@ fn main() {
     let mut all_cells = Vec::new();
     for channels in [1usize, 2] {
         let kinds = [MachineKind::NonSecure { channels }, MachineKind::Freecursive { channels }];
-        let cells = harness::run_matrix_traced(
+        let cells = sdimm_bench::run_matrix_maybe_audited(
+            &telemetry,
             &spec::ALL,
             &kinds,
             scale,

@@ -2,7 +2,7 @@
 //! (INDEP-2, SPLIT-2) vs Freecursive, with and without the 7-level
 //! on-chip ORAM cache (paper: ~32-35.7% reduction).
 
-use sdimm_bench::{harness, table, Scale, TelemetryArgs};
+use sdimm_bench::{table, Scale, TelemetryArgs};
 use sdimm_system::machine::{MachineKind, SystemConfig};
 use workloads::spec;
 
@@ -17,7 +17,8 @@ fn main() {
     ];
     let mut all_cells = Vec::new();
     for cached in [7u32, 0] {
-        let cells = harness::run_matrix_traced(
+        let cells = sdimm_bench::run_matrix_maybe_audited(
+            &telemetry,
             &spec::ALL,
             &kinds,
             scale,

@@ -2,7 +2,7 @@
 //! (INDEP-4, SPLIT-4, INDEP-SPLIT) vs Freecursive (paper: 20.3%, 20.4%,
 //! and 47.4% improvement respectively).
 
-use sdimm_bench::{harness, table, Scale, TelemetryArgs};
+use sdimm_bench::{table, Scale, TelemetryArgs};
 use sdimm_system::machine::{MachineKind, SystemConfig};
 use workloads::spec;
 
@@ -18,7 +18,8 @@ fn main() {
     ];
     let mut all_cells = Vec::new();
     for cached in [7u32, 0] {
-        let cells = harness::run_matrix_traced(
+        let cells = sdimm_bench::run_matrix_maybe_audited(
+            &telemetry,
             &spec::ALL,
             &kinds,
             scale,

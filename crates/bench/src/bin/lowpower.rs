@@ -1,7 +1,7 @@
 //! Experiment X2 (IV-B): the low-power rank-localized layout costs <=4%
 //! performance while letting idle ranks power down.
 
-use sdimm_bench::{harness, table, Scale, TelemetryArgs};
+use sdimm_bench::{table, Scale, TelemetryArgs};
 use sdimm_system::machine::{MachineKind, SystemConfig};
 use workloads::spec;
 
@@ -13,7 +13,8 @@ fn main() {
     let kind = MachineKind::Independent { sdimms: 2, channels: 1 };
 
     for low_power in [false, true] {
-        let cells = harness::run_matrix_traced(
+        let cells = sdimm_bench::run_matrix_maybe_audited(
+            &telemetry,
             &spec::ALL[..5],
             &[kind],
             scale,

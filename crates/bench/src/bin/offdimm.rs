@@ -4,7 +4,7 @@
 //! message-count model and the cycle-level simulation's bus counters.
 
 use sdimm_analytic::bandwidth::{self, TrafficParams};
-use sdimm_bench::{harness, Scale, TelemetryArgs};
+use sdimm_bench::{Scale, TelemetryArgs};
 use sdimm_system::machine::{MachineKind, SystemConfig};
 
 fn main() {
@@ -31,7 +31,8 @@ fn main() {
         MachineKind::Independent { sdimms: 2, channels: 1 },
         MachineKind::Split { ways: 2, channels: 1 },
     ];
-    let cells = harness::run_matrix_traced(
+    let cells = sdimm_bench::run_matrix_maybe_audited(
+        &telemetry,
         &wl,
         &kinds,
         scale,

@@ -5,6 +5,9 @@
 //! ```text
 //! --metrics-json <path>   write the merged metrics snapshot (JSON)
 //! --trace-json <path>     capture a Chrome trace (open in Perfetto)
+//! --audit                 replay every DRAM command stream through the
+//!                         differential DDR3 auditor and lockstep-check
+//!                         the ORAM protocols against a shadow memory
 //! ```
 //!
 //! Parsing is intentionally minimal (no external argument-parser
@@ -22,6 +25,10 @@ pub struct TelemetryArgs {
     pub metrics_json: Option<String>,
     /// Destination for the Chrome trace, if requested.
     pub trace_json: Option<String>,
+    /// Run the differential correctness harness alongside the
+    /// experiment: DDR3 command-stream replay audit plus the ORAM
+    /// shadow-memory oracle. Any violation fails the run.
+    pub audit: bool,
 }
 
 impl TelemetryArgs {
@@ -41,10 +48,11 @@ impl TelemetryArgs {
             match arg.as_str() {
                 "--metrics-json" => out.metrics_json = Some(take(&mut args, "--metrics-json")),
                 "--trace-json" => out.trace_json = Some(take(&mut args, "--trace-json")),
+                "--audit" => out.audit = true,
                 other => {
                     eprintln!(
                         "{bin}: unknown argument `{other}`\n\
-                         usage: {bin} [--metrics-json <path>] [--trace-json <path>]"
+                         usage: {bin} [--metrics-json <path>] [--trace-json <path>] [--audit]"
                     );
                     std::process::exit(2);
                 }
@@ -109,8 +117,10 @@ mod tests {
 
     #[test]
     fn trace_flag_enables_sink() {
-        let args =
-            TelemetryArgs { metrics_json: None, trace_json: Some("/tmp/t.json".to_string()) };
+        let args = TelemetryArgs {
+            trace_json: Some("/tmp/t.json".to_string()),
+            ..TelemetryArgs::default()
+        };
         assert!(args.sink().is_enabled());
     }
 }

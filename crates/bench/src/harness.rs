@@ -2,8 +2,9 @@
 
 use std::sync::Mutex;
 
+use sdimm_audit::DdrAuditor;
 use sdimm_system::machine::{MachineKind, SystemConfig};
-use sdimm_system::runner::{run_traced, RunResult};
+use sdimm_system::runner::{run_audited, run_traced, RunResult};
 use sdimm_telemetry::TraceSink;
 use workloads::spec;
 
@@ -104,6 +105,103 @@ pub fn run_matrix_traced(
     let mut cells = results.into_inner().expect("results poisoned");
     cells.sort_by_key(|(order, _)| *order);
     cells.into_iter().map(|(_, c)| c).collect()
+}
+
+/// Aggregate result of replaying a matrix's DRAM command streams
+/// through the differential DDR3 auditor.
+#[derive(Debug, Clone, Default)]
+pub struct DdrAuditLog {
+    /// Matrix cells audited.
+    pub cells: u64,
+    /// DDR commands replayed across every channel of every cell.
+    pub commands: u64,
+    /// Refresh commands observed (a zero here on a long run means the
+    /// capture itself is broken — refresh is always on in the machines).
+    pub refreshes: u64,
+    /// One formatted line per violating cell (empty on a clean matrix).
+    pub violations: Vec<String>,
+}
+
+/// [`run_matrix_traced`], with every cell's DRAM command streams
+/// replayed through [`DdrAuditor`] as the cell finishes. Streams are
+/// audited inside the worker and dropped immediately, so memory stays
+/// bounded by one cell's traffic per worker rather than the whole
+/// matrix's.
+pub fn run_matrix_audited(
+    workload_names: &[&str],
+    kinds: &[MachineKind],
+    scale: Scale,
+    make_cfg: impl Fn(MachineKind) -> SystemConfig + Sync,
+    sink: TraceSink,
+    pid_base: u32,
+) -> (Vec<Cell>, DdrAuditLog) {
+    let warmup = scale.warmup();
+    let measure = scale.measure();
+    let trace_len = scale.trace_len();
+
+    let jobs: Vec<(usize, usize, &str, MachineKind)> = workload_names
+        .iter()
+        .enumerate()
+        .flat_map(|(wi, wname)| kinds.iter().copied().map(move |kind| (wi, *wname, kind)))
+        .enumerate()
+        .map(|(order, (wi, wname, kind))| (order, wi, wname, kind))
+        .collect();
+
+    let workers =
+        std::thread::available_parallelism().map_or(4, |n| n.get()).min(jobs.len().max(1));
+    let next_job = Mutex::new(0usize);
+    let results: Mutex<Vec<(usize, Cell)>> = Mutex::new(Vec::with_capacity(jobs.len()));
+    let audit: Mutex<DdrAuditLog> = Mutex::new(DdrAuditLog::default());
+
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let idx = {
+                    let mut cursor = next_job.lock().expect("job cursor poisoned");
+                    let idx = *cursor;
+                    *cursor += 1;
+                    idx
+                };
+                let Some(&(order, wi, wname, kind)) = jobs.get(idx) else {
+                    break;
+                };
+                let trace = spec::generate(wname, trace_len, 42 + wi as u64);
+                let cfg = make_cfg(kind);
+                let (result, capture) = run_audited(
+                    &cfg,
+                    &trace,
+                    warmup,
+                    measure,
+                    sink.clone(),
+                    pid_base + order as u32,
+                );
+                let mut log = audit.lock().expect("audit log poisoned");
+                log.cells += 1;
+                for (ch, stream) in capture.streams.iter().enumerate() {
+                    match DdrAuditor::check_stream(&capture.channel_cfg, stream) {
+                        Ok(summary) => {
+                            log.commands += summary.commands;
+                            log.refreshes += summary.refreshes;
+                        }
+                        Err(v) => log.violations.push(format!(
+                            "{} / {} channel {ch}: {v}",
+                            kind.name(),
+                            wname
+                        )),
+                    }
+                }
+                drop(log);
+                results.lock().expect("results poisoned").push((
+                    order,
+                    Cell { workload: wname.to_string(), machine: kind.name(), result },
+                ));
+            });
+        }
+    });
+
+    let mut cells = results.into_inner().expect("results poisoned");
+    cells.sort_by_key(|(order, _)| *order);
+    (cells.into_iter().map(|(_, c)| c).collect(), audit.into_inner().expect("audit log poisoned"))
 }
 
 /// Geometric mean of a slice (0.0 for empty input).

@@ -17,11 +17,13 @@
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
+pub mod audit;
 pub mod cli;
 pub mod harness;
 pub mod scale;
 pub mod table;
 
+pub use audit::run_matrix_maybe_audited;
 pub use cli::TelemetryArgs;
-pub use harness::{run_matrix, run_matrix_traced, Cell};
+pub use harness::{run_matrix, run_matrix_audited, run_matrix_traced, Cell, DdrAuditLog};
 pub use scale::Scale;

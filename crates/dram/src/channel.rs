@@ -14,6 +14,7 @@ use sdimm_telemetry::TraceSink;
 
 use crate::address::{AddressMapper, Coords, Interleave};
 use crate::bank::{RowOutcome, RowState};
+use crate::cmdlog::{CmdLog, DdrCmd};
 use crate::config::{ChannelConfig, Cycle, PowerPolicy, SchedulerPolicy};
 use crate::power::{compute_energy, EnergyBreakdown, EnergyCounters};
 use crate::rank::{PowerState, Rank};
@@ -123,6 +124,8 @@ pub struct DramChannel {
     energy: EnergyCounters,
     /// Trace recording handle; disabled by default (one branch per event).
     sink: TraceSink,
+    /// Command capture for replay auditing; disabled by default.
+    cmd_log: CmdLog,
     /// Chrome-trace process id this channel reports under.
     trace_pid: u32,
     /// Chrome-trace thread id (one track per channel).
@@ -163,6 +166,7 @@ impl DramChannel {
             stats: ChannelStats::default(),
             energy: EnergyCounters::default(),
             sink: TraceSink::disabled(),
+            cmd_log: CmdLog::disabled(),
             trace_pid: 0,
             trace_tid: 0,
         }
@@ -177,6 +181,15 @@ impl DramChannel {
         self.sink = sink;
         self.trace_pid = pid;
         self.trace_tid = tid;
+    }
+
+    /// Attaches a command-capture log: every DDR command (ACT/PRE/CAS/
+    /// REF and CKE transitions) is recorded with full coordinates so the
+    /// `sdimm-audit` replay checker can re-validate the stream against
+    /// its own DDR3 constraint table. Disabled by default; one branch
+    /// per command when detached.
+    pub fn set_cmd_log(&mut self, log: CmdLog) {
+        self.cmd_log = log;
     }
 
     /// Clears performance statistics (not energy or timing state) so a
@@ -284,8 +297,12 @@ impl DramChannel {
     pub fn wake_rank(&mut self, rank: usize) {
         self.forced_down[rank] = false;
         self.account_bg(rank);
+        let was_down = matches!(self.ranks[rank].power_state(), PowerState::PowerDown { .. });
         let t = self.cfg.timing.clone();
         self.ranks[rank].exit_power_down(self.now, &t);
+        if was_down {
+            self.cmd_log.record(self.now, rank, DdrCmd::PowerUp);
+        }
         self.next_wake = self.now;
         if self.sink.is_enabled() {
             self.sink.instant(
@@ -449,6 +466,7 @@ impl DramChannel {
                     if has_work {
                         self.account_bg(i);
                         self.ranks[i].exit_power_down(self.now, &t);
+                        self.cmd_log.record(self.now, i, DdrCmd::PowerUp);
                         if self.sink.is_enabled() {
                             self.sink.instant(
                                 "dram.power",
@@ -480,6 +498,7 @@ impl DramChannel {
                     {
                         self.account_bg(i);
                         self.ranks[i].enter_power_down(self.now);
+                        self.cmd_log.record(self.now, i, DdrCmd::PowerDown);
                         if self.sink.is_enabled() {
                             self.sink.instant(
                                 "dram.power",
@@ -526,9 +545,19 @@ impl DramChannel {
         if !write {
             ready = ready.max(self.rank_next_read[e.coords.rank]);
         }
-        // The CAS must be timed so its burst clears the shared bus.
+        // The CAS must be timed so its burst clears the shared bus: a
+        // CAS at cycle `c` occupies the bus over [c + data_latency,
+        // c + data_latency + tBURST). In the first cycles of a run
+        // `bus_free` can be below the data latency; the bus then imposes
+        // no constraint (the burst start is already past `bus_free`) —
+        // an explicit branch rather than an unsigned clamp to cycle 0,
+        // so the boundary semantics are stated instead of incidental.
+        // The resulting no-overlap invariant is re-validated in release
+        // builds by the `sdimm-audit` replay checker.
         let bus_free = self.bus_ready_for(e.coords.rank, write);
-        ready = ready.max(bus_free.saturating_sub(data_latency));
+        if bus_free > data_latency {
+            ready = ready.max(bus_free - data_latency);
+        }
         Some(ready)
     }
 
@@ -564,19 +593,36 @@ impl DramChannel {
             SchedulerPolicy::Fcfs => 1,
         };
 
-        // Anti-starvation: serve an over-age head-of-queue first.
+        // Anti-starvation: an over-age head-of-queue is served ahead of
+        // younger row hits — but only when one of its commands can
+        // actually issue. A head that is stuck for reasons no scheduling
+        // order can fix (owed refresh, a long tRAS before its precharge,
+        // the tFAW window) must not idle the whole channel, so when the
+        // head-only scan yields nothing the scan falls back to plain
+        // FR-FCFS over the rest of the queue.
         let head_age = self.now.saturating_sub(q[0].req.arrival);
-        let starving = head_age > STARVATION_LIMIT;
+        if head_age > STARVATION_LIMIT {
+            if let Some(d) = self.scan_entries(q, write, 1, best_retry) {
+                return Some(d);
+            }
+        }
+        self.scan_entries(q, write, limit, best_retry)
+    }
 
-        let consider: &mut dyn Iterator<Item = (usize, &QEntry)> = if starving {
-            &mut q.iter().enumerate().take(1)
-        } else {
-            &mut q.iter().enumerate().take(limit)
-        };
-
+    /// FR-FCFS scan over the first `limit` entries of `q`: an issuable
+    /// CAS wins immediately; otherwise the oldest issuable ACT, then the
+    /// oldest issuable PRE (suppressed while an older entry still wants
+    /// the open row). Blocked entries lower `best_retry`.
+    fn scan_entries(
+        &self,
+        q: &VecDeque<QEntry>,
+        write: bool,
+        limit: usize,
+        best_retry: &mut Cycle,
+    ) -> Option<Decision> {
         let mut act_choice: Option<(usize, Cycle)> = None;
         let mut pre_choice: Option<(usize, Cycle)> = None;
-        for (idx, e) in consider {
+        for (idx, e) in q.iter().enumerate().take(limit) {
             if let Some(ready) = self.cas_ready_time(e, write) {
                 if ready <= self.now {
                     return Some(Decision::Cas { write, idx });
@@ -637,6 +683,7 @@ impl DramChannel {
                         self.account_bg(i);
                         let t = self.cfg.timing.clone();
                         self.ranks[i].exit_power_down(self.now, &t);
+                        self.cmd_log.record(self.now, i, DdrCmd::PowerUp);
                     }
                     if self.ranks[i].all_banks_idle() {
                         if self.now >= self.ranks[i].ready_at() {
@@ -678,21 +725,30 @@ impl DramChannel {
             }
         }
 
-        // Write-drain hysteresis.
+        // Write-drain hysteresis: derive one read/write priority decision
+        // per scheduler invocation. While draining, writes are serviced
+        // exclusively until the queue falls to the low watermark — reads
+        // are starved only in drain mode, and the priority cannot flip
+        // back mid-drain just because no write command is issuable this
+        // cycle. Outside drain mode, reads always go first and writes
+        // issue only when no read is queued.
         if self.write_q.len() >= self.cfg.write_drain.hi {
             self.draining = true;
         } else if self.write_q.len() <= self.cfg.write_drain.lo {
             self.draining = false;
         }
-        let write_first = self.draining || self.read_q.is_empty();
-
-        let order = if write_first { [true, false] } else { [false, true] };
-        for write in order {
-            if write && !write_first && !self.draining {
-                continue; // writes wait for drain mode unless reads empty
-            }
-            if let Some(d) = self.scan_queue(write, &mut best_retry) {
+        if self.draining {
+            if let Some(d) = self.scan_queue(true, &mut best_retry) {
                 return d;
+            }
+        } else {
+            if let Some(d) = self.scan_queue(false, &mut best_retry) {
+                return d;
+            }
+            if self.read_q.is_empty() {
+                if let Some(d) = self.scan_queue(true, &mut best_retry) {
+                    return d;
+                }
             }
         }
 
@@ -733,6 +789,7 @@ impl DramChannel {
         match decision {
             Decision::Refresh { rank } => {
                 self.account_bg(rank);
+                self.cmd_log.record(self.now, rank, DdrCmd::Refresh);
                 self.ranks[rank].begin_refresh(self.now, &t);
                 self.refresh_pending[rank] = false;
                 self.energy.refreshes += 1;
@@ -750,6 +807,7 @@ impl DramChannel {
             }
             Decision::MaintenancePre { rank, bank } => {
                 self.account_bg(rank);
+                self.cmd_log.record(self.now, rank, DdrCmd::Pre { bank });
                 self.ranks[rank].bank_mut(bank).precharge(self.now, &t);
                 self.ranks[rank].record_activity(self.now);
                 true
@@ -761,6 +819,11 @@ impl DramChannel {
             Decision::Act { write, idx } => {
                 let e = if write { self.write_q[idx] } else { self.read_q[idx] };
                 self.account_bg(e.coords.rank);
+                self.cmd_log.record(
+                    self.now,
+                    e.coords.rank,
+                    DdrCmd::Act { bank: e.coords.bank, row: e.coords.row },
+                );
                 self.ranks[e.coords.rank].bank_mut(e.coords.bank).activate(
                     self.now,
                     e.coords.row,
@@ -776,6 +839,7 @@ impl DramChannel {
             Decision::Pre { write, idx } => {
                 let e = if write { self.write_q[idx] } else { self.read_q[idx] };
                 self.account_bg(e.coords.rank);
+                self.cmd_log.record(self.now, e.coords.rank, DdrCmd::Pre { bank: e.coords.bank });
                 self.ranks[e.coords.rank].bank_mut(e.coords.bank).precharge(self.now, &t);
                 self.ranks[e.coords.rank].record_activity(self.now);
                 self.stats.row_conflicts += 1;
@@ -815,6 +879,13 @@ impl DramChannel {
         let data_latency = if write { t.cwl } else { t.cl };
         let data_start = self.now + data_latency;
         let data_end = data_start + t.t_burst;
+
+        let cmd = if write {
+            DdrCmd::Wr { bank: bank_idx, row: e.coords.row }
+        } else {
+            DdrCmd::Rd { bank: bank_idx, row: e.coords.row }
+        };
+        self.cmd_log.record(self.now, rank_idx, cmd);
 
         if write {
             self.ranks[rank_idx].bank_mut(bank_idx).write(self.now, &t);
@@ -916,6 +987,118 @@ mod tests {
             done.iter().any(|c| c.id == rid),
             "read must complete while small write queue waits"
         );
+    }
+
+    #[test]
+    fn drain_hysteresis_starves_reads_until_low_watermark() {
+        // Regression test for the mid-drain priority flip: once the write
+        // queue crosses the high watermark, reads must wait until the
+        // queue drains to the low watermark — a read must not slip in on
+        // cycles where no write command happens to be issuable.
+        let mut ch = DramChannel::new(quiet_cfg());
+        let hi = ch.config().write_drain.hi;
+        let lo = ch.config().write_drain.lo;
+        let topo = ch.config().topology.clone();
+        let row_stride = (topo.row_bytes * topo.banks * topo.ranks) as u64;
+        // Every write targets its own row of one bank, so each is a row
+        // miss even after FR-FCFS reordering (alternating between two
+        // rows would be rescheduled into two row-hit streaks). Each
+        // write then spends most of its time waiting on tRAS/tRP with
+        // no write command issuable — exactly the idle slots a
+        // mid-drain priority flip would hand to the read.
+        for i in 0..(hi + 1) as u64 {
+            ch.enqueue_write(i * row_stride).unwrap();
+        }
+        // A read in a different rank (unaffected by tWTR from the write
+        // bursts), ready to issue the moment it is scanned.
+        let rank_stride = (topo.row_bytes * topo.banks) as u64;
+        let rid = ch.enqueue_read(rank_stride).unwrap();
+
+        let mut read_done_at = None;
+        while read_done_at.is_none() && ch.now() < 50_000 {
+            ch.tick(8);
+            if ch.drain_completions().iter().any(|c| c.id == rid) {
+                read_done_at = Some(ch.now());
+            }
+        }
+        read_done_at.expect("read must eventually complete");
+        assert!(
+            ch.stats().writes_completed as usize >= hi - lo - 4,
+            "read completed after only {} writes; drain mode must hold reads until \
+             the queue reaches the low watermark ({} of {} writes)",
+            ch.stats().writes_completed,
+            hi - lo,
+            hi + 1
+        );
+        // Hysteresis: draining stopped at the low watermark, not at zero.
+        assert!(
+            ch.write_queue_len() >= lo / 2 && ch.write_queue_len() <= lo,
+            "write queue should sit near the low watermark when the read is served, got {}",
+            ch.write_queue_len()
+        );
+    }
+
+    #[test]
+    fn blocked_starving_head_does_not_idle_queue() {
+        // Regression test for anti-starvation head-of-queue handling: an
+        // over-age head that cannot issue any command (here: pinned
+        // behind an enormous tRAS before its row conflict can precharge)
+        // must not stall every other ready request in the queue.
+        let mut cfg = quiet_cfg();
+        cfg.timing.t_ras = 50_000;
+        cfg.timing.t_rc = 50_100;
+        let mut ch = DramChannel::new(cfg);
+        let topo = ch.config().topology.clone();
+        let row_stride = (topo.row_bytes * topo.banks * topo.ranks) as u64;
+        let bank_stride = topo.row_bytes as u64;
+
+        // Open row 0 of bank 0 and retire a read from it.
+        ch.enqueue_read(0).unwrap();
+        // Row conflict in bank 0: its PRE is legal only at tRAS = 50k.
+        ch.enqueue_read(row_stride).unwrap();
+        // Age the conflicting head past STARVATION_LIMIT.
+        ch.tick(STARVATION_LIMIT + 200);
+        assert_eq!(ch.drain_completions().len(), 1, "only the row-0 read can finish");
+
+        // Younger reads to other banks: all trivially servable.
+        for i in 1..=30u64 {
+            ch.enqueue_read(i * bank_stride).unwrap();
+        }
+        ch.tick(5_000);
+        let done = ch.drain_completions();
+        assert!(
+            done.len() >= 25,
+            "ready requests must flow past a permanently-blocked starving head, got {}",
+            done.len()
+        );
+    }
+
+    #[test]
+    fn early_cycle_bursts_never_overlap_on_the_bus() {
+        // Boundary test for the bus-constraint arithmetic at simulation
+        // start, where `bus_free` is below the data latency: the very
+        // first bursts must still be serialized by at least tBURST.
+        let mut ch = DramChannel::new(quiet_cfg());
+        let t = Timing::ddr3_1600();
+        let bank_stride = ch.config().topology.row_bytes as u64;
+        for i in 0..3u64 {
+            ch.enqueue_write(i * bank_stride).unwrap();
+        }
+        for i in 3..6u64 {
+            ch.enqueue_read(i * bank_stride).unwrap();
+        }
+        let done = ch.run_until_idle(10_000);
+        assert_eq!(done.len(), 6);
+        let mut finishes: Vec<Cycle> = done.iter().map(|c| c.finish).collect();
+        finishes.sort_unstable();
+        for w in finishes.windows(2) {
+            assert!(
+                w[1] - w[0] >= t.t_burst,
+                "data bursts overlap near cycle 0: finishes {} and {}",
+                w[0],
+                w[1]
+            );
+        }
     }
 
     #[test]

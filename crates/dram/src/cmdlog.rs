@@ -1,0 +1,151 @@
+//! DDR command capture for replay auditing.
+//!
+//! A [`CmdLog`] is a cheaply clonable handle to a shared buffer of
+//! [`CmdRecord`]s, following the same pattern as the telemetry
+//! `TraceSink`: the detached log holds no buffer, so every record call
+//! on the scheduler's hot path is a single `Option` branch. Unlike the
+//! trace sink's human-oriented instant events, each record carries full
+//! command coordinates (cycle, rank, bank, row), which is exactly what
+//! an independent DDR3 compliance checker needs to re-validate every
+//! inter-command constraint from scratch (see the `sdimm-audit` crate).
+
+use std::sync::{Arc, Mutex};
+
+use crate::config::Cycle;
+
+/// One DDR command kind with its on-DIMM coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DdrCmd {
+    /// Row activate: opens `row` in `bank`.
+    Act {
+        /// Target bank within the rank.
+        bank: usize,
+        /// Row being opened.
+        row: usize,
+    },
+    /// Precharge: closes the open row of `bank` (demand conflict or
+    /// maintenance ahead of refresh/power-down — same bus cost).
+    Pre {
+        /// Target bank within the rank.
+        bank: usize,
+    },
+    /// Column read from the open `row` of `bank`.
+    Rd {
+        /// Target bank within the rank.
+        bank: usize,
+        /// Row the controller believes is open.
+        row: usize,
+    },
+    /// Column write to the open `row` of `bank`.
+    Wr {
+        /// Target bank within the rank.
+        bank: usize,
+        /// Row the controller believes is open.
+        row: usize,
+    },
+    /// Rank-wide auto-refresh (all banks must be precharged).
+    Refresh,
+    /// CKE drop: the rank enters precharge power-down.
+    PowerDown,
+    /// CKE raise: the rank exits power-down; commands are legal after
+    /// tXP.
+    PowerUp,
+}
+
+/// One recorded command: what was placed on the command bus, for which
+/// rank, and when.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CmdRecord {
+    /// Memory-clock cycle the command issued.
+    pub cycle: Cycle,
+    /// Target rank.
+    pub rank: usize,
+    /// Command and coordinates.
+    pub cmd: DdrCmd,
+}
+
+/// Handle to a shared command-capture buffer; `Clone` hands out another
+/// reference to the same buffer. [`CmdLog::disabled`] records nothing
+/// and costs one branch per command.
+#[derive(Debug, Clone, Default)]
+pub struct CmdLog(Option<Arc<Mutex<Vec<CmdRecord>>>>);
+
+impl CmdLog {
+    /// A log that captures every command (unbounded; audit runs are
+    /// expected to drain it with [`CmdLog::take`] per measured window).
+    pub fn enabled() -> Self {
+        CmdLog(Some(Arc::new(Mutex::new(Vec::new()))))
+    }
+
+    /// The no-op log: records nothing, single branch per command.
+    pub fn disabled() -> Self {
+        CmdLog(None)
+    }
+
+    /// True when commands are actually being captured.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Records one command.
+    #[inline]
+    pub fn record(&self, cycle: Cycle, rank: usize, cmd: DdrCmd) {
+        if let Some(buf) = &self.0 {
+            buf.lock().unwrap().push(CmdRecord { cycle, rank, cmd });
+        }
+    }
+
+    /// Number of commands captured so far (0 for a disabled log).
+    pub fn len(&self) -> usize {
+        self.0.as_ref().map_or(0, |b| b.lock().unwrap().len())
+    }
+
+    /// True when nothing has been captured.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drains and returns everything captured so far, leaving the log
+    /// attached but empty.
+    pub fn take(&self) -> Vec<CmdRecord> {
+        self.0.as_ref().map_or_else(Vec::new, |b| std::mem::take(&mut b.lock().unwrap()))
+    }
+
+    /// Copies everything captured so far without draining.
+    pub fn snapshot(&self) -> Vec<CmdRecord> {
+        self.0.as_ref().map_or_else(Vec::new, |b| b.lock().unwrap().clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_log_records_nothing() {
+        let log = CmdLog::disabled();
+        assert!(!log.is_enabled());
+        log.record(5, 0, DdrCmd::Refresh);
+        assert!(log.is_empty());
+        assert!(log.take().is_empty());
+    }
+
+    #[test]
+    fn clones_share_one_buffer_and_take_drains() {
+        let log = CmdLog::enabled();
+        let clone = log.clone();
+        clone.record(1, 0, DdrCmd::Act { bank: 2, row: 7 });
+        clone.record(3, 1, DdrCmd::Rd { bank: 2, row: 7 });
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.snapshot().len(), 2);
+        let records = log.take();
+        assert_eq!(
+            records[0],
+            CmdRecord { cycle: 1, rank: 0, cmd: DdrCmd::Act { bank: 2, row: 7 } }
+        );
+        assert!(clone.is_empty(), "take drains the shared buffer");
+        clone.record(9, 0, DdrCmd::PowerDown);
+        assert_eq!(log.len(), 1, "log stays attached after take");
+    }
+}

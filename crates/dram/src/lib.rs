@@ -33,6 +33,7 @@ pub mod address;
 pub mod bank;
 pub mod bus;
 pub mod channel;
+pub mod cmdlog;
 pub mod config;
 pub mod power;
 pub mod rank;

@@ -120,6 +120,11 @@ impl Rank {
     }
 
     /// Records an ACT at `now` (caller has already validated bank timing).
+    ///
+    /// The `debug_assert` below compiles out of release builds, so it is
+    /// not the enforcement mechanism for tRRD/tFAW — release-mode
+    /// coverage comes from the `sdimm-audit` replay checker, which
+    /// re-validates both constraints on the captured command stream.
     pub fn record_activate(&mut self, now: Cycle, t: &Timing) {
         debug_assert!(now >= self.next_act_allowed());
         self.next_act_rrd = now + t.t_rrd;

@@ -149,6 +149,13 @@ impl PathOram {
         self.sealed.is_some()
     }
 
+    /// The sealed store, when sealing is enabled. Verification hook: lets
+    /// an external auditor read per-bucket PMMAC counters to check
+    /// monotonicity without going through a decrypting load.
+    pub fn sealed(&self) -> Option<&SealedTree> {
+        self.sealed.as_ref()
+    }
+
     /// Replaces the layout (e.g. with [`TreeLayout::rank_localized`]).
     ///
     /// # Panics

@@ -174,6 +174,22 @@ impl Executor {
         self.trace_pid = pid;
     }
 
+    /// Attaches a fresh command log to every DRAM channel and returns the
+    /// handles in channel order, for differential replay auditing
+    /// (`sdimm-audit`). Must be called before any traffic reaches the
+    /// channels: a replay auditor cannot validate a stream that starts
+    /// mid-flight, with unknown bank state behind it.
+    pub fn attach_cmd_logs(&mut self) -> Vec<dram_sim::cmdlog::CmdLog> {
+        self.channels
+            .iter_mut()
+            .map(|ch| {
+                let log = dram_sim::cmdlog::CmdLog::enabled();
+                ch.set_cmd_log(log.clone());
+                log
+            })
+            .collect()
+    }
+
     /// The Chrome-trace lane a request's phase spans render on.
     fn lane_of(id: ExecId) -> u32 {
         LANE_TID_BASE + (id.0 % TRACE_LANES) as u32

@@ -78,6 +78,22 @@ impl MachineKind {
             MachineKind::IndepSplit { groups, ways, .. } => groups * ways,
         }
     }
+
+    /// The per-channel DRAM configuration this machine runs: Table II
+    /// main-memory channels for the baselines, the SDIMM-internal
+    /// channel otherwise, refresh enabled in both. Exposed so a replay
+    /// auditor can rebuild the exact constraint table the channels ran
+    /// under.
+    pub fn channel_config(&self) -> ChannelConfig {
+        let mut ch_cfg = match self {
+            MachineKind::NonSecure { .. } | MachineKind::Freecursive { .. } => {
+                ChannelConfig::table2()
+            }
+            _ => ChannelConfig::sdimm_internal(),
+        };
+        ch_cfg.refresh_enabled = true;
+        ch_cfg
+    }
 }
 
 /// Full system parameters.
@@ -142,20 +158,16 @@ impl Machine {
 
         let (backend, frontend, executor) = match kind {
             MachineKind::NonSecure { channels } => {
-                let mut ch_cfg = ChannelConfig::table2();
-                ch_cfg.refresh_enabled = true;
-                (Backend::NonSecure, None, Executor::new(channels, ch_cfg, &[]))
+                (Backend::NonSecure, None, Executor::new(channels, kind.channel_config(), &[]))
             }
             MachineKind::Freecursive { channels } => {
                 let frontend = Frontend::new(&cfg.oram, cfg.data_blocks);
                 let total = frontend.id_space().total_blocks();
                 let oram = PathOram::new(cfg.oram.clone(), total, cfg.seed);
-                let mut ch_cfg = ChannelConfig::table2();
-                ch_cfg.refresh_enabled = true;
                 (
                     Backend::Freecursive { oram, channels },
                     Some(frontend),
-                    Executor::new(channels, ch_cfg, &[]),
+                    Executor::new(channels, kind.channel_config(), &[]),
                 )
             }
             MachineKind::Independent { sdimms, channels } => {
@@ -165,9 +177,7 @@ impl Machine {
                 icfg.low_power = cfg.low_power;
                 let oram = IndependentOram::new(icfg, total, cfg.seed);
                 let bus_map = bus_assignment(sdimms, channels);
-                let mut ch_cfg = ChannelConfig::sdimm_internal();
-                ch_cfg.refresh_enabled = true;
-                let mut ex = Executor::new(n_exec, ch_cfg, &bus_map);
+                let mut ex = Executor::new(n_exec, kind.channel_config(), &bus_map);
                 ex.set_lowpower_ranks(cfg.low_power);
                 (Backend::Independent(oram), Some(frontend), ex)
             }
@@ -178,9 +188,7 @@ impl Machine {
                 scfg.low_power = cfg.low_power;
                 let oram = SplitOram::new(scfg, total, cfg.seed);
                 let bus_map = bus_assignment(ways, channels);
-                let mut ch_cfg = ChannelConfig::sdimm_internal();
-                ch_cfg.refresh_enabled = true;
-                let mut ex = Executor::new(n_exec, ch_cfg, &bus_map);
+                let mut ex = Executor::new(n_exec, kind.channel_config(), &bus_map);
                 ex.set_lowpower_ranks(cfg.low_power);
                 (Backend::Split(oram), Some(frontend), ex)
             }
@@ -191,9 +199,7 @@ impl Machine {
                 ccfg.low_power = cfg.low_power;
                 let oram = IndepSplitOram::new(ccfg, total, cfg.seed);
                 let bus_map = bus_assignment(groups * ways, channels);
-                let mut ch_cfg = ChannelConfig::sdimm_internal();
-                ch_cfg.refresh_enabled = true;
-                let mut ex = Executor::new(n_exec, ch_cfg, &bus_map);
+                let mut ex = Executor::new(n_exec, kind.channel_config(), &bus_map);
                 ex.set_lowpower_ranks(cfg.low_power);
                 (Backend::IndepSplit(oram), Some(frontend), ex)
             }

@@ -101,6 +101,39 @@ pub fn run(cfg: &SystemConfig, trace: &Trace, warmup: usize, measure: usize) -> 
     run_traced(cfg, trace, warmup, measure, TraceSink::disabled(), 0)
 }
 
+/// Everything a differential replay auditor needs to re-validate a run:
+/// the exact per-channel DRAM configuration the machine was built with
+/// and the complete command stream of every channel, from cycle 0.
+#[derive(Debug)]
+pub struct AuditCapture {
+    /// Channel configuration shared by every captured channel.
+    pub channel_cfg: dram_sim::config::ChannelConfig,
+    /// Per-channel command streams in channel order, complete from the
+    /// first command the channel ever issued (replaying a stream that
+    /// starts mid-flight would check against unknown bank state).
+    pub streams: Vec<Vec<dram_sim::cmdlog::CmdRecord>>,
+}
+
+/// [`run_traced`], additionally recording every DRAM command each
+/// channel issues so the run can be replayed through an independent
+/// constraint checker (`sdimm-audit`). The logs attach before any
+/// traffic reaches the channels, so each stream is complete.
+///
+/// # Panics
+///
+/// Panics if the trace is shorter than `warmup + measure`.
+pub fn run_audited(
+    cfg: &SystemConfig,
+    trace: &Trace,
+    warmup: usize,
+    measure: usize,
+    sink: TraceSink,
+    pid: u32,
+) -> (RunResult, AuditCapture) {
+    let (result, capture) = run_inner(cfg, trace, warmup, measure, sink, pid, true);
+    (result, capture.expect("capture requested"))
+}
+
 /// [`run`], but with a [`TraceSink`] attached to the machine's executor:
 /// phase spans, DRAM command events, and backend acquire/release land in
 /// `sink` under process id `pid`, so concurrent runs (one pid each) can
@@ -117,6 +150,18 @@ pub fn run_traced(
     sink: TraceSink,
     pid: u32,
 ) -> RunResult {
+    run_inner(cfg, trace, warmup, measure, sink, pid, false).0
+}
+
+fn run_inner(
+    cfg: &SystemConfig,
+    trace: &Trace,
+    warmup: usize,
+    measure: usize,
+    sink: TraceSink,
+    pid: u32,
+    capture_cmds: bool,
+) -> (RunResult, Option<AuditCapture>) {
     assert!(
         trace.records.len() >= warmup + measure,
         "trace too short: {} < {}",
@@ -124,6 +169,8 @@ pub fn run_traced(
         warmup + measure
     );
     let mut machine = Machine::new(cfg.clone());
+    // Command logs attach before any request touches a channel.
+    let cmd_logs = if capture_cmds { machine.executor.attach_cmd_logs() } else { Vec::new() };
     if sink.is_enabled() {
         sink.process_name(pid, &format!("{} / {}", cfg.kind.name(), trace.name));
     }
@@ -273,7 +320,11 @@ pub fn run_traced(
     metrics.counter_add("run.dram_lines", dram_lines);
     metrics.histogram_set("run.miss_latency", miss_latency.clone());
     metrics.gauge_set("run.energy_nj", energy.total_nj());
-    RunResult {
+    let capture = capture_cmds.then(|| AuditCapture {
+        channel_cfg: cfg.kind.channel_config(),
+        streams: cmd_logs.iter().map(|l| l.take()).collect(),
+    });
+    let result = RunResult {
         machine: cfg.kind.name(),
         workload: trace.name.clone(),
         cycles,
@@ -294,7 +345,8 @@ pub fn run_traced(
         external_bus_bytes: machine.executor.bus_bytes(),
         dram_lines,
         metrics,
-    }
+    };
+    (result, capture)
 }
 
 #[cfg(test)]

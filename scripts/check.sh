@@ -20,4 +20,10 @@ cargo test -q
 echo "==> telemetry overhead gate (disabled sink must stay under 2%)"
 cargo run --release -q -p sdimm-bench --bin telemetry_overhead
 
+echo "==> audit-strict feature compiles"
+cargo check -q -p sdimm-bench --features audit-strict
+
+echo "==> audited quick-scale fig6 (DDR replay + ORAM oracle must be clean)"
+SDIMM_BENCH_SCALE=quick cargo run --release -q -p sdimm-bench --bin fig6 -- --audit > /dev/null
+
 echo "==> all checks passed"

@@ -20,6 +20,7 @@
 //! assert!(sdimm_analytic::mm1k::overflow_probability(0.1, 32) < 1e-4);
 //! ```
 
+#![deny(unsafe_code)]
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 

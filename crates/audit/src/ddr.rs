@@ -357,47 +357,51 @@ impl DdrAuditor {
                 ));
             }
             if let Some(pre) = b.last_pre {
-                if c < pre + cons.t_rp {
+                if c < pre.saturating_add(cons.t_rp) {
                     return Err(self.viol(
                         "tRP",
                         rec,
-                        format!("ACT bank {bank} at {c}, PRE at {pre}, need ≥ {}", pre + cons.t_rp),
+                        format!(
+                            "ACT bank {bank} at {c}, PRE at {pre}, need ≥ {}",
+                            pre.saturating_add(cons.t_rp)
+                        ),
                     ));
                 }
             }
             if let Some(act) = b.last_act {
-                if c < act + cons.t_rc {
+                if c < act.saturating_add(cons.t_rc) {
                     return Err(self.viol(
                         "tRC",
                         rec,
                         format!(
                             "ACT bank {bank} at {c}, prior ACT at {act}, need ≥ {}",
-                            act + cons.t_rc
+                            act.saturating_add(cons.t_rc)
                         ),
                     ));
                 }
             }
             if let Some(last) = r.last_act {
-                if c < last + cons.t_rrd {
+                if c < last.saturating_add(cons.t_rrd) {
                     return Err(self.viol(
                         "tRRD",
                         rec,
                         format!(
                             "ACT at {c}, rank's prior ACT at {last}, need ≥ {}",
-                            last + cons.t_rrd
+                            last.saturating_add(cons.t_rrd)
                         ),
                     ));
                 }
             }
             if r.acts.len() == 4 {
+                // lint: panic-ok(invariant: len checked)
                 let oldest = *r.acts.front().expect("len checked");
-                if c < oldest + cons.t_faw {
+                if c < oldest.saturating_add(cons.t_faw) {
                     return Err(self.viol(
                         "tFAW",
                         rec,
                         format!(
                             "5th ACT at {c} inside the four-activate window [{oldest}, {})",
-                            oldest + cons.t_faw
+                            oldest.saturating_add(cons.t_faw)
                         ),
                     ));
                 }
@@ -431,25 +435,35 @@ impl DdrAuditor {
                     format!("PRE to bank {bank} with no open row"),
                 ));
             }
+            // lint: panic-ok(invariant: open bank has an ACT)
             let act = b.last_act.expect("open bank has an ACT");
-            if c < act + cons.t_ras {
+            if c < act.saturating_add(cons.t_ras) {
                 return Err(self.viol(
                     "tRAS",
                     rec,
-                    format!("PRE bank {bank} at {c}, ACT at {act}, need ≥ {}", act + cons.t_ras),
+                    format!(
+                        "PRE bank {bank} at {c}, ACT at {act}, need ≥ {}",
+                        act.saturating_add(cons.t_ras)
+                    ),
                 ));
             }
             if let Some(rd) = b.last_rd {
-                if c < rd + cons.t_rtp {
+                if c < rd.saturating_add(cons.t_rtp) {
                     return Err(self.viol(
                         "tRTP",
                         rec,
-                        format!("PRE bank {bank} at {c}, RD at {rd}, need ≥ {}", rd + cons.t_rtp),
+                        format!(
+                            "PRE bank {bank} at {c}, RD at {rd}, need ≥ {}",
+                            rd.saturating_add(cons.t_rtp)
+                        ),
                     ));
                 }
             }
             if let Some(wr) = b.last_wr {
-                let bound = wr + cons.cwl + cons.t_burst + cons.t_wr;
+                let bound = wr
+                    .saturating_add(cons.cwl)
+                    .saturating_add(cons.t_burst)
+                    .saturating_add(cons.t_wr);
                 if c < bound {
                     return Err(self.viol(
                         "tWR",
@@ -499,35 +513,39 @@ impl DdrAuditor {
                 }
                 Some(_) => {}
             }
+            // lint: panic-ok(invariant: open bank has an ACT)
             let act = b.last_act.expect("open bank has an ACT");
-            if c < act + cons.t_rcd {
+            if c < act.saturating_add(cons.t_rcd) {
                 return Err(self.viol(
                     "tRCD",
                     rec,
-                    format!("{name} bank {bank} at {c}, ACT at {act}, need ≥ {}", act + cons.t_rcd),
+                    format!(
+                        "{name} bank {bank} at {c}, ACT at {act}, need ≥ {}",
+                        act.saturating_add(cons.t_rcd)
+                    ),
                 ));
             }
             if let Some(cas) = r.last_cas {
-                if c < cas + cons.t_ccd {
+                if c < cas.saturating_add(cons.t_ccd) {
                     return Err(self.viol(
                         "tCCD",
                         rec,
                         format!(
                             "{name} at {c}, rank's prior CAS at {cas}, need ≥ {}",
-                            cas + cons.t_ccd
+                            cas.saturating_add(cons.t_ccd)
                         ),
                     ));
                 }
             }
             if !write {
                 if let Some(end) = r.wr_data_end {
-                    if c < end + cons.t_wtr {
+                    if c < end.saturating_add(cons.t_wtr) {
                         return Err(self.viol(
                             "tWTR",
                             rec,
                             format!(
                                 "RD at {c}, write burst ended at {end}, need ≥ {}",
-                                end + cons.t_wtr
+                                end.saturating_add(cons.t_wtr)
                             ),
                         ));
                     }
@@ -539,20 +557,20 @@ impl DdrAuditor {
         // previous burst plus any rank-switch / direction-turnaround
         // dead time.
         let data_latency = if write { cons.cwl } else { cons.cl };
-        let start = c + data_latency;
-        let end = start + cons.t_burst;
+        let start = c.saturating_add(data_latency);
+        let end = start.saturating_add(cons.t_burst);
         if let Some(prev) = self.last_burst {
             let mut required = prev.end;
             if prev.rank != rec.rank {
-                required += cons.t_rtrs;
+                required = required.saturating_add(cons.t_rtrs);
             }
             if prev.write != write {
-                required += cons.bus_turnaround;
+                required = required.saturating_add(cons.bus_turnaround);
             }
             if start < required {
                 let rule = if start < prev.end {
                     "bus-overlap"
-                } else if prev.rank != rec.rank && start < prev.end + cons.t_rtrs {
+                } else if prev.rank != rec.rank && start < prev.end.saturating_add(cons.t_rtrs) {
                     "tRTRS"
                 } else {
                     "bus-turnaround"
@@ -600,7 +618,7 @@ impl DdrAuditor {
         }
         let t_rfc = self.cons.t_rfc;
         let r = &mut self.ranks[rec.rank];
-        r.ready = r.ready.max(rec.cycle + t_rfc);
+        r.ready = r.ready.max(rec.cycle.saturating_add(t_rfc));
         r.refreshes += 1;
         // An auto-refresh precharges internally: ACT timing afterwards is
         // bounded by the rank busy window, not by a PRE record.
@@ -650,7 +668,7 @@ impl DdrAuditor {
         let t_xp = self.cons.t_xp;
         let r = &mut self.ranks[rec.rank];
         r.powered_down = false;
-        r.ready = r.ready.max(rec.cycle + t_xp);
+        r.ready = r.ready.max(rec.cycle.saturating_add(t_xp));
         self.summary.power_transitions += 1;
         Ok(())
     }
@@ -662,6 +680,7 @@ impl DdrAuditor {
     /// when capture stops).
     pub fn finish(self) -> Result<AuditSummary, Violation> {
         assert!(!self.poisoned, "auditor state is meaningless past the first violation");
+        // lint: literal-ok(the 2 is a window multiplier of tREFI, not a raw timing value)
         if self.cons.refresh_expected && self.summary.last_cycle >= 2 * self.cons.t_refi {
             let owed = self.summary.last_cycle / self.cons.t_refi;
             for (i, r) in self.ranks.iter().enumerate() {

@@ -21,6 +21,7 @@
 //! Both auditors are cheap enough to leave on for quick-scale figure
 //! runs (`--audit` on the figure binaries) and run in CI.
 
+#![deny(unsafe_code)]
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 

@@ -339,6 +339,7 @@ fn check_path_oram(
         // PMMAC counter monotonicity: a decreasing counter is a replay.
         if let Some(tree) = oram.sealed() {
             for idx in tree.indices().collect::<Vec<_>>() {
+                // lint: panic-ok(invariant: listed index)
                 let counter = tree.raw(idx).expect("listed index").counter;
                 let prev = counters.insert(idx, counter).unwrap_or(0);
                 if counter < prev {

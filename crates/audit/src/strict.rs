@@ -31,5 +31,7 @@ pub fn abort_with_trace(sink: &TraceSink, violation: &str) -> ! {
             "audit-strict: tracing disabled; re-run with --trace-json to capture the cycles around the violation"
         ),
     }
+    // Sanctioned exit: strict mode exists to abort at the violation.
+    #[allow(clippy::disallowed_methods)]
     process::exit(134);
 }

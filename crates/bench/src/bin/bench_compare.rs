@@ -22,6 +22,9 @@
 //! performance change. `SDIMM_BENCH_BUDGET_MS` scales the per-benchmark
 //! measurement budget (default 200 ms).
 
+// Wall-clock bench binary: `Instant` is the measurement, and the regression gate exits nonzero.
+#![allow(clippy::disallowed_methods)]
+
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
@@ -210,14 +213,14 @@ fn to_json(results: &[Measurement]) -> String {
 fn parse_baseline(text: &str) -> Vec<(String, f64)> {
     let mut out = Vec::new();
     let mut rest = text;
-    while let Some(name_at) = rest.find("\"name\":") {
-        rest = &rest[name_at + 7..];
+    while let Some(name_pos) = rest.find("\"name\":") {
+        rest = &rest[name_pos + 7..];
         let Some(open) = rest.find('"') else { break };
         let Some(close) = rest[open + 1..].find('"') else { break };
         let name = rest[open + 1..open + 1 + close].to_string();
         rest = &rest[open + 2 + close..];
-        let Some(ops_at) = rest.find("\"ops_per_sec\":") else { break };
-        let num: String = rest[ops_at + 14..]
+        let Some(ops_pos) = rest.find("\"ops_per_sec\":") else { break };
+        let num: String = rest[ops_pos + 14..]
             .chars()
             .skip_while(|c| c.is_whitespace())
             .take_while(|c| {

@@ -50,7 +50,7 @@ fn run(kind: MachineKind, scale: Scale) -> f64 {
         // One non-secure read every 200 cycles.
         let now = m.executor.now();
         if now >= next_ns {
-            next_ns = now + 200;
+            next_ns = now.saturating_add(200);
             let trace = non_secure_read(&mut m.executor, is_sdimm, ns_count);
             let id = m.executor.submit(trace);
             ns_outstanding.insert(id, now);

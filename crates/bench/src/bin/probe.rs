@@ -37,7 +37,7 @@ fn probe(kind: MachineKind) {
                 }
             }
         }
-        lat_sum += m.executor.now() - start;
+        lat_sum = lat_sum.saturating_add(m.executor.now().saturating_sub(start));
         m.executor.run_until_quiescent(1_000_000);
         m.executor.poll();
     }
@@ -65,7 +65,7 @@ fn probe(kind: MachineKind) {
             }
         }
     }
-    let thr_cycles = (m.executor.now() - t0) / 400;
+    let thr_cycles = m.executor.now().saturating_sub(t0) / 400;
     println!(
         "{:<16} latency(MLP=1) = {:>5} cycles   service/request(MLP=16) = {:>5} cycles",
         cfg.kind.name(),

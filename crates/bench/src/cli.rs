@@ -42,6 +42,8 @@ impl TelemetryArgs {
             let take = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
                 args.next().unwrap_or_else(|| {
                     eprintln!("{bin}: {flag} requires a path argument");
+                    // Sanctioned exit: CLI usage error in a binary entry path.
+                    #[allow(clippy::disallowed_methods)]
                     std::process::exit(2);
                 })
             };
@@ -54,6 +56,8 @@ impl TelemetryArgs {
                         "{bin}: unknown argument `{other}`\n\
                          usage: {bin} [--metrics-json <path>] [--trace-json <path>] [--audit]"
                     );
+                    // Sanctioned exit: CLI usage error in a binary entry path.
+                    #[allow(clippy::disallowed_methods)]
                     std::process::exit(2);
                 }
             }
@@ -79,11 +83,14 @@ impl TelemetryArgs {
     pub fn write_outputs(&self, cells: &[Cell], sink: &TraceSink) {
         if let Some(path) = &self.metrics_json {
             let merged = merge_metrics(cells);
+            // lint: panic-ok(invariant: write metrics snapshot)
             std::fs::write(path, merged.to_json()).expect("write metrics snapshot");
             println!("\nmetrics snapshot written to {path}");
         }
         if let Some(path) = &self.trace_json {
+            // lint: panic-ok(invariant: trace-json flag implies enabled sink)
             let json = sink.export_chrome_json().expect("trace-json flag implies enabled sink");
+            // lint: panic-ok(invariant: write chrome trace)
             std::fs::write(path, &json).expect("write chrome trace");
             println!(
                 "chrome trace written to {path} ({} events, {} dropped) — open in Perfetto",

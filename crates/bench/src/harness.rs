@@ -76,6 +76,7 @@ pub fn run_matrix_traced(
         for _ in 0..workers {
             s.spawn(|| loop {
                 let idx = {
+                    // lint: panic-ok(lock poisoning means a worker panicked; propagating the panic is intended)
                     let mut cursor = next_job.lock().expect("job cursor poisoned");
                     let idx = *cursor;
                     *cursor += 1;
@@ -94,6 +95,7 @@ pub fn run_matrix_traced(
                     sink.clone(),
                     pid_base + order as u32,
                 );
+                // lint: panic-ok(lock poisoning means a worker panicked; propagating the panic is intended)
                 results.lock().expect("results poisoned").push((
                     order,
                     Cell { workload: wname.to_string(), machine: kind.name(), result },
@@ -102,6 +104,7 @@ pub fn run_matrix_traced(
         }
     });
 
+    // lint: panic-ok(lock poisoning means a worker panicked; propagating the panic is intended)
     let mut cells = results.into_inner().expect("results poisoned");
     cells.sort_by_key(|(order, _)| *order);
     cells.into_iter().map(|(_, c)| c).collect()
@@ -157,6 +160,7 @@ pub fn run_matrix_audited(
         for _ in 0..workers {
             s.spawn(|| loop {
                 let idx = {
+                    // lint: panic-ok(lock poisoning means a worker panicked; propagating the panic is intended)
                     let mut cursor = next_job.lock().expect("job cursor poisoned");
                     let idx = *cursor;
                     *cursor += 1;
@@ -175,6 +179,7 @@ pub fn run_matrix_audited(
                     sink.clone(),
                     pid_base + order as u32,
                 );
+                // lint: panic-ok(lock poisoning means a worker panicked; propagating the panic is intended)
                 let mut log = audit.lock().expect("audit log poisoned");
                 log.cells += 1;
                 for (ch, stream) in capture.streams.iter().enumerate() {
@@ -191,6 +196,7 @@ pub fn run_matrix_audited(
                     }
                 }
                 drop(log);
+                // lint: panic-ok(lock poisoning means a worker panicked; propagating the panic is intended)
                 results.lock().expect("results poisoned").push((
                     order,
                     Cell { workload: wname.to_string(), machine: kind.name(), result },
@@ -199,8 +205,10 @@ pub fn run_matrix_audited(
         }
     });
 
+    // lint: panic-ok(lock poisoning means a worker panicked; propagating the panic is intended)
     let mut cells = results.into_inner().expect("results poisoned");
     cells.sort_by_key(|(order, _)| *order);
+    // lint: panic-ok(lock poisoning means a worker panicked; propagating the panic is intended)
     (cells.into_iter().map(|(_, c)| c).collect(), audit.into_inner().expect("audit log poisoned"))
 }
 

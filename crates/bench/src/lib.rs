@@ -14,6 +14,7 @@
 //! way; the reproduction target is the *shape* (who wins, by roughly
 //! what factor), recorded in EXPERIMENTS.md.
 
+#![deny(unsafe_code)]
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 

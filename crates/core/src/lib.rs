@@ -41,6 +41,7 @@
 //! assert!(trace.external_bytes() < 64 * 8);
 //! ```
 
+#![deny(unsafe_code)]
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 

@@ -85,7 +85,7 @@ pub struct Attribution {
 impl Attribution {
     /// Adds another attribution into this one.
     pub fn merge(&mut self, o: &Attribution) {
-        self.crypto_cycles += o.crypto_cycles;
+        self.crypto_cycles = self.crypto_cycles.saturating_add(o.crypto_cycles);
         self.ext_bytes += o.ext_bytes;
         self.ext_commands += o.ext_commands;
         self.dram_reads += o.dram_reads;
@@ -116,7 +116,10 @@ impl Phase {
                     a.ext_commands += 1;
                     a.ext_bytes += bytes;
                 }
-                Activity::Crypto { units } => a.crypto_cycles += Activity::crypto_cycles(*units),
+                Activity::Crypto { units } => {
+                    a.crypto_cycles =
+                        a.crypto_cycles.saturating_add(Activity::crypto_cycles(*units))
+                }
                 Activity::Dram { reads, writes, .. } => {
                     a.dram_reads += reads.len() as u64;
                     a.dram_writes += writes.len() as u64;

@@ -2,6 +2,10 @@
 //!
 //! Interleaves fast/spec measurement slices so CPU frequency drift hits
 //! both sides equally, giving a stable speedup ratio on noisy hosts.
+
+// Wall-clock timing harness: `Instant` is the point of this example.
+#![allow(clippy::disallowed_methods)]
+
 use sdimm_crypto::aes::{spec, Aes128};
 use std::hint::black_box;
 use std::time::Instant;

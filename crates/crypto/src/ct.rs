@@ -1,0 +1,92 @@
+//! Constant-time comparison for MAC tags and other secret-derived values.
+//!
+//! A short-circuiting `==` on a MAC tag returns as soon as the first byte
+//! differs, so the comparison's running time tells an active attacker how
+//! long a prefix of their forgery was correct — the classic byte-at-a-time
+//! MAC-forgery oracle. [`ct_eq`] always touches every byte and collapses
+//! the result through a single data-independent reduction at the end.
+//!
+//! The `sdimm-lint` L3 `secret-eq` rule rejects `==`/`!=` on tag-named
+//! values in this crate and in `crates/oram`; this module is the
+//! sanctioned replacement.
+
+/// Compares two byte slices in time independent of where they differ.
+///
+/// Returns `false` immediately on length mismatch: tag lengths are public
+/// protocol constants (8 or 16 bytes here), so the length check leaks
+/// nothing secret.
+///
+/// # Example
+///
+/// ```
+/// use sdimm_crypto::ct::ct_eq;
+///
+/// assert!(ct_eq(b"abcd", b"abcd"));
+/// assert!(!ct_eq(b"abcd", b"abce"));
+/// assert!(!ct_eq(b"abcd", b"abc"));
+/// ```
+#[inline]
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    // `black_box` keeps the optimizer from reintroducing an early exit by
+    // value-range reasoning on `diff` (a model-level guarantee only; real
+    // hardened implementations audit the emitted assembly).
+    std::hint::black_box(diff) == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_slices_compare_equal() {
+        assert!(ct_eq(b"", b""));
+        assert!(ct_eq(&[0u8; 16], &[0u8; 16]));
+        let tag: Vec<u8> = (0..=255).collect();
+        assert!(ct_eq(&tag, &tag.clone()));
+    }
+
+    #[test]
+    fn any_single_byte_difference_is_detected() {
+        let base = [0x5Au8; 16];
+        for i in 0..16 {
+            for bit in 0..8 {
+                let mut other = base;
+                other[i] ^= 1 << bit;
+                assert!(!ct_eq(&base, &other), "flip at byte {i} bit {bit} missed");
+            }
+        }
+    }
+
+    #[test]
+    fn length_mismatch_is_unequal() {
+        assert!(!ct_eq(b"abc", b"abcd"));
+        assert!(!ct_eq(b"abcd", b"abc"));
+        assert!(!ct_eq(b"", b"x"));
+    }
+
+    #[test]
+    fn agrees_with_operator_eq_on_random_pairs() {
+        // ct_eq must be *functionally* identical to ==; only timing differs.
+        let mut state = 0x1234_5678_9ABC_DEF0u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u8
+        };
+        for _ in 0..200 {
+            let a: Vec<u8> = (0..8).map(|_| next()).collect();
+            let mut b = a.clone();
+            if next() % 2 == 0 {
+                let idx = (next() % 8) as usize;
+                b[idx] ^= next() | 1;
+            }
+            assert_eq!(ct_eq(&a, &b), a == b);
+        }
+    }
+}

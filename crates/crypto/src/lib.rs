@@ -17,10 +17,15 @@
 //! * [`session`] — the boot-time authentication handshake between the CPU
 //!   and a secure buffer (`SEND_PKEY` / `RECEIVE_SECRET`) and the resulting
 //!   bidirectional encrypted session with upstream/downstream counters.
+//! * [`ct`] — constant-time tag comparison; the `sdimm-lint` secret-eq
+//!   rule forbids `==` on MAC tags in favor of [`ct::ct_eq`].
 //!
-//! None of this is hardened production cryptography (no constant-time
-//! guarantees); it is a faithful functional model for architecture
-//! simulation, with real test vectors so the bit-level behavior is honest.
+//! None of this is hardened production cryptography (the T-table AES is
+//! deliberately not cache-timing resistant); it is a faithful functional
+//! model for architecture simulation, with real test vectors so the
+//! bit-level behavior is honest. Tag comparisons and Debug redaction do
+//! follow production discipline, because the static-analysis gate treats
+//! this crate as the template for the secret-hygiene rules.
 //!
 //! # Example
 //!
@@ -37,10 +42,12 @@
 //! assert_eq!(buf, plain);
 //! ```
 
+#![deny(unsafe_code)]
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
 pub mod aes;
+pub mod ct;
 pub mod ctr;
 pub mod mac;
 pub mod pmmac;

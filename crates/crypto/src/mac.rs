@@ -82,17 +82,18 @@ impl Cmac {
 
     /// Computes an 8-byte truncated tag for bucket metadata storage.
     pub fn short_tag(&self, msg: &[u8]) -> ShortTag {
+        // lint: panic-ok(slice width is a compile-time constant)
         self.tag(msg)[..8].try_into().expect("tag is 16 bytes")
     }
 
-    /// Verifies a full tag. Returns `true` when the tag matches.
+    /// Verifies a full tag in constant time. Returns `true` on match.
     pub fn verify(&self, msg: &[u8], tag: &[u8; TAG_SIZE]) -> bool {
-        &self.tag(msg) == tag
+        crate::ct::ct_eq(&self.tag(msg), tag)
     }
 
-    /// Verifies a truncated tag. Returns `true` when the tag matches.
+    /// Verifies a truncated tag in constant time. Returns `true` on match.
     pub fn verify_short(&self, msg: &[u8], tag: &ShortTag) -> bool {
-        &self.short_tag(msg) == tag
+        crate::ct::ct_eq(&self.short_tag(msg), tag)
     }
 }
 
@@ -263,6 +264,20 @@ mod tests {
         let mut s = mac.stream();
         s.update(b"secret-dependent");
         assert!(format!("{s:?}").contains("redacted"));
+    }
+
+    #[test]
+    fn debug_redacts_cmac_subkeys() {
+        // K1/K2 are derived from the key by GF(2^128) doubling; leaking
+        // either is equivalent to leaking AES_k(0). They must never reach
+        // Debug output in decimal or hex.
+        let mac = Cmac::new(&[0xAB; 16]);
+        let dbg = format!("{mac:?}");
+        assert!(dbg.contains("redacted"));
+        for b in mac.k1.iter().chain(mac.k2.iter()) {
+            assert!(!dbg.contains(&format!("{b}, ")), "subkey byte {b} leaked: {dbg}");
+        }
+        assert!(!dbg.contains("171"), "key byte leaked: {dbg}");
     }
 
     #[test]

@@ -66,6 +66,7 @@ impl BucketAuth {
         s.update(&bucket_id.to_le_bytes());
         s.update(&counter.to_le_bytes());
         s.update(ciphertext);
+        // lint: panic-ok(slice width is a compile-time constant)
         s.finalize()[..8].try_into().expect("tag is 16 bytes")
     }
 
@@ -98,7 +99,10 @@ impl BucketAuth {
     /// checked by the caller against the PMMAC counter tree; this layer
     /// catches splices).
     pub fn open(&self, bucket_id: u64, sealed: &SealedBucket) -> Result<Vec<u8>> {
-        if self.bucket_tag(bucket_id, sealed.counter, &sealed.ciphertext) != sealed.tag {
+        if !crate::ct::ct_eq(
+            &self.bucket_tag(bucket_id, sealed.counter, &sealed.ciphertext),
+            &sealed.tag,
+        ) {
             return Err(CryptoError::MacMismatch { context: "sealed bucket" });
         }
         let mut plain = sealed.ciphertext.clone();

@@ -144,7 +144,7 @@ impl SessionEndpoint {
             Direction::Downstream => Direction::Upstream,
             Direction::Upstream => Direction::Downstream,
         };
-        if self.link_tag(recv_dir, msg.seq, &msg.ciphertext) != msg.tag {
+        if !crate::ct::ct_eq(&self.link_tag(recv_dir, msg.seq, &msg.ciphertext), &msg.tag) {
             return Err(CryptoError::MacMismatch { context: "link message" });
         }
         self.recv_seq += 1;

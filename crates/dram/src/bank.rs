@@ -85,9 +85,9 @@ impl Bank {
         debug_assert_eq!(self.state, RowState::Idle, "ACT to non-idle bank");
         debug_assert!(now >= self.next_act, "ACT at {now} before allowed {}", self.next_act);
         self.state = RowState::Open(row);
-        self.next_cas = now + t.t_rcd;
-        self.next_pre = now + t.t_ras;
-        self.next_act = now + t.t_rc;
+        self.next_cas = now.saturating_add(t.t_rcd);
+        self.next_pre = now.saturating_add(t.t_ras);
+        self.next_act = now.saturating_add(t.t_rc);
     }
 
     /// Records a PRE issued at `now`.
@@ -95,21 +95,21 @@ impl Bank {
         debug_assert!(matches!(self.state, RowState::Open(_)), "PRE to idle bank");
         debug_assert!(now >= self.next_pre, "PRE at {now} before allowed {}", self.next_pre);
         self.state = RowState::Idle;
-        self.next_act = self.next_act.max(now + t.t_rp);
+        self.next_act = self.next_act.max(now.saturating_add(t.t_rp));
     }
 
     /// Records a column read issued at `now`.
     pub fn read(&mut self, now: Cycle, t: &Timing) {
         debug_assert!(matches!(self.state, RowState::Open(_)));
         debug_assert!(now >= self.next_cas);
-        self.next_pre = self.next_pre.max(now + t.t_rtp);
+        self.next_pre = self.next_pre.max(now.saturating_add(t.t_rtp));
     }
 
     /// Records a column write issued at `now`.
     pub fn write(&mut self, now: Cycle, t: &Timing) {
         debug_assert!(matches!(self.state, RowState::Open(_)));
         debug_assert!(now >= self.next_cas);
-        self.next_pre = self.next_pre.max(now + t.cwl + t.t_burst + t.t_wr);
+        self.next_pre = self.next_pre.max(now.saturating_add(t.write_to_pre()));
     }
 
     /// Forces the bank closed with precharge timing, used when a refresh

@@ -53,16 +53,16 @@ impl Bus {
     /// earlier than `now`. Returns the reserved window.
     pub fn reserve(&mut self, now: Cycle, data_bytes: u64) -> BusSlot {
         let cmd_at = now.max(self.cmd_free_at);
-        self.cmd_free_at = cmd_at + 1;
+        self.cmd_free_at = cmd_at.saturating_add(1);
         self.commands += 1;
         if data_bytes == 0 {
-            return BusSlot { cmd_at, done_at: cmd_at + 1 };
+            return BusSlot { cmd_at, done_at: cmd_at.saturating_add(1) };
         }
         let dur = data_bytes.div_ceil(DATA_BYTES_PER_CYCLE).max(1);
-        let start = (cmd_at + 1).max(self.data_free_at);
+        let start = cmd_at.saturating_add(1).max(self.data_free_at);
         let done_at = start + dur;
         self.data_free_at = done_at;
-        self.data_busy_cycles += dur;
+        self.data_busy_cycles = self.data_busy_cycles.saturating_add(dur);
         self.data_bytes += data_bytes;
         BusSlot { cmd_at, done_at }
     }

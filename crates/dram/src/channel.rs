@@ -254,7 +254,7 @@ impl DramChannel {
         if self.write_q.iter().any(|e| e.req.addr == addr) {
             self.next_id += 1;
             self.pending.push(Pending {
-                finish: self.now + 1,
+                finish: self.now.saturating_add(1),
                 id,
                 kind: RequestKind::Read,
                 arrival: self.now,
@@ -329,6 +329,7 @@ impl DramChannel {
     pub fn drain_completions(&mut self) -> Vec<Completion> {
         while let Some(p) = self.pending.peek() {
             if p.finish <= self.now {
+                // lint: panic-ok(invariant: peeked)
                 let p = self.pending.pop().expect("peeked");
                 let latency = p.finish - p.arrival;
                 match p.kind {
@@ -374,7 +375,7 @@ impl DramChannel {
     /// Advances simulated time by `cycles`, issuing commands as they
     /// become legal.
     pub fn tick(&mut self, cycles: Cycle) {
-        let end = self.now + cycles;
+        let end = self.now.saturating_add(cycles);
         while self.now < end {
             if self.now >= self.next_wake {
                 self.stats.scheduler_invocations += 1;
@@ -382,28 +383,32 @@ impl DramChannel {
                     true => {
                         // A command issued this cycle; the next may issue
                         // on the following cycle.
-                        self.next_wake = self.now + 1;
+                        self.next_wake = self.now.saturating_add(1);
                     }
                     false => {
                         if !self.read_q.is_empty() || !self.write_q.is_empty() {
-                            let wait = self.next_wake.saturating_sub(self.now).min(end - self.now);
-                            self.stats.stalled_cycles += wait;
+                            let wait = self
+                                .next_wake
+                                .saturating_sub(self.now)
+                                .min(end.saturating_sub(self.now));
+                            self.stats.stalled_cycles =
+                                self.stats.stalled_cycles.saturating_add(wait);
                         }
                     }
                 }
             }
             let target = self.next_wake.min(end);
-            self.now = target.max(self.now + 1).min(end);
+            self.now = target.max(self.now.saturating_add(1)).min(end);
         }
     }
 
     /// Runs until the channel is idle or `limit` cycles have elapsed,
     /// returning all completions. Useful for batch-style callers.
     pub fn run_until_idle(&mut self, limit: Cycle) -> Vec<Completion> {
-        let deadline = self.now + limit;
+        let deadline = self.now.saturating_add(limit);
         let mut out = Vec::new();
         while !self.is_idle() && self.now < deadline {
-            self.tick((deadline - self.now).min(10_000));
+            self.tick(deadline.saturating_sub(self.now).min(10_000));
             out.extend(self.drain_completions());
         }
         out.extend(self.drain_completions());
@@ -421,12 +426,16 @@ impl DramChannel {
         }
         let r = &self.ranks[rank];
         match r.power_state() {
-            PowerState::PowerDown { .. } => self.energy.powerdown_cycles += dt,
+            PowerState::PowerDown { .. } => {
+                self.energy.powerdown_cycles = self.energy.powerdown_cycles.saturating_add(dt)
+            }
             PowerState::Active => {
                 if r.all_banks_idle() {
-                    self.energy.precharge_standby_cycles += dt;
+                    self.energy.precharge_standby_cycles =
+                        self.energy.precharge_standby_cycles.saturating_add(dt);
                 } else {
-                    self.energy.active_standby_cycles += dt;
+                    self.energy.active_standby_cycles =
+                        self.energy.active_standby_cycles.saturating_add(dt);
                 }
             }
         }
@@ -519,7 +528,7 @@ impl DramChannel {
         let mut free = self.bus_free_at;
         if let Some(last) = self.bus_last_rank {
             if last != rank {
-                free += self.cfg.timing.t_rtrs;
+                free = free.saturating_add(self.cfg.timing.t_rtrs);
             }
         }
         if let Some(last_write) = self.bus_last_write {
@@ -637,7 +646,7 @@ impl DramChannel {
                 if ready <= self.now && act_choice.is_none() {
                     act_choice = Some((idx, ready));
                 } else {
-                    *best_retry = (*best_retry).min(ready.max(self.now + 1));
+                    *best_retry = (*best_retry).min(ready.max(self.now.saturating_add(1)));
                 }
                 continue;
             }
@@ -655,7 +664,7 @@ impl DramChannel {
                 if ready <= self.now && pre_choice.is_none() {
                     pre_choice = Some((idx, ready));
                 } else {
-                    *best_retry = (*best_retry).min(ready.max(self.now + 1));
+                    *best_retry = (*best_retry).min(ready.max(self.now.saturating_add(1)));
                 }
             }
         }
@@ -762,20 +771,20 @@ impl DramChannel {
         for (i, r) in self.ranks.iter().enumerate() {
             if matches!(r.power_state(), PowerState::Active) {
                 let eligible_at = match (self.forced_down[i], self.cfg.power_policy) {
-                    (true, _) => Some(self.now + 1),
+                    (true, _) => Some(self.now.saturating_add(1)),
                     (false, PowerPolicy::PowerDown { idle_cycles }) => {
-                        Some(r.last_activity() + idle_cycles)
+                        Some(r.last_activity().saturating_add(idle_cycles))
                     }
                     (false, PowerPolicy::AlwaysOn) => None,
                 };
                 if let Some(at) = eligible_at {
-                    best_retry = best_retry.min(at.max(self.now + 1));
+                    best_retry = best_retry.min(at.max(self.now.saturating_add(1)));
                 }
             }
         }
         if best_retry == Cycle::MAX {
             // Queues empty with nothing scheduled: sleep a long horizon.
-            best_retry = self.now + 4096;
+            best_retry = self.now.saturating_add(4096);
         }
         Decision::Idle { retry_at: best_retry }
     }
@@ -853,7 +862,7 @@ impl DramChannel {
                 true
             }
             Decision::Idle { retry_at } => {
-                self.next_wake = retry_at.max(self.now + 1);
+                self.next_wake = retry_at.max(self.now.saturating_add(1));
                 false
             }
         }
@@ -862,8 +871,10 @@ impl DramChannel {
     fn issue_cas(&mut self, write: bool, idx: usize) {
         let t = self.cfg.timing.clone();
         let e = if write {
+            // lint: panic-ok(invariant: scanned index)
             self.write_q.remove(idx).expect("scanned index")
         } else {
+            // lint: panic-ok(invariant: scanned index)
             self.read_q.remove(idx).expect("scanned index")
         };
         let rank_idx = e.coords.rank;
@@ -877,8 +888,8 @@ impl DramChannel {
         }
 
         let data_latency = if write { t.cwl } else { t.cl };
-        let data_start = self.now + data_latency;
-        let data_end = data_start + t.t_burst;
+        let data_start = self.now.saturating_add(data_latency);
+        let data_end = data_start.saturating_add(t.t_burst);
 
         let cmd = if write {
             DdrCmd::Wr { bank: bank_idx, row: e.coords.row }
@@ -889,7 +900,8 @@ impl DramChannel {
 
         if write {
             self.ranks[rank_idx].bank_mut(bank_idx).write(self.now, &t);
-            self.rank_next_read[rank_idx] = self.rank_next_read[rank_idx].max(data_end + t.t_wtr);
+            self.rank_next_read[rank_idx] =
+                self.rank_next_read[rank_idx].max(data_end.saturating_add(t.t_wtr));
             self.energy.writes += 1;
         } else {
             self.ranks[rank_idx].bank_mut(bank_idx).read(self.now, &t);
@@ -908,7 +920,7 @@ impl DramChannel {
         self.bus_free_at = data_end;
         self.bus_last_rank = Some(rank_idx);
         self.bus_last_write = Some(write);
-        self.stats.data_bus_busy_cycles += t.t_burst;
+        self.stats.data_bus_busy_cycles = self.stats.data_bus_busy_cycles.saturating_add(t.t_burst);
         self.energy.io_bits += (self.cfg.topology.line_bytes * 8) as u64;
 
         self.pending.push(Pending {

@@ -92,12 +92,14 @@ impl CmdLog {
     #[inline]
     pub fn record(&self, cycle: Cycle, rank: usize, cmd: DdrCmd) {
         if let Some(buf) = &self.0 {
+            // lint: panic-ok(lock poisoning means a worker panicked; propagating the panic is intended)
             buf.lock().unwrap().push(CmdRecord { cycle, rank, cmd });
         }
     }
 
     /// Number of commands captured so far (0 for a disabled log).
     pub fn len(&self) -> usize {
+        // lint: panic-ok(lock poisoning means a worker panicked; propagating the panic is intended)
         self.0.as_ref().map_or(0, |b| b.lock().unwrap().len())
     }
 
@@ -109,11 +111,13 @@ impl CmdLog {
     /// Drains and returns everything captured so far, leaving the log
     /// attached but empty.
     pub fn take(&self) -> Vec<CmdRecord> {
+        // lint: panic-ok(lock poisoning means a worker panicked; propagating the panic is intended)
         self.0.as_ref().map_or_else(Vec::new, |b| std::mem::take(&mut b.lock().unwrap()))
     }
 
     /// Copies everything captured so far without draining.
     pub fn snapshot(&self) -> Vec<CmdRecord> {
+        // lint: panic-ok(lock poisoning means a worker panicked; propagating the panic is intended)
         self.0.as_ref().map_or_else(Vec::new, |b| b.lock().unwrap().clone())
     }
 }

@@ -111,6 +111,12 @@ impl Timing {
     pub fn write_data_start(&self) -> Cycle {
         self.cwl
     }
+
+    /// Write command to earliest same-bank PRE: CWL + tBURST + tWR (write
+    /// recovery is measured from the end of the data burst).
+    pub fn write_to_pre(&self) -> Cycle {
+        self.cwl.saturating_add(self.t_burst).saturating_add(self.t_wr)
+    }
 }
 
 /// Geometry of one memory channel.

@@ -26,6 +26,7 @@
 //! assert!(done.iter().any(|(c, comp)| *c == ch && comp.id == id));
 //! ```
 
+#![deny(unsafe_code)]
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
@@ -136,7 +137,7 @@ impl MemorySystem {
 
     /// Runs until idle (or `limit` cycles), returning all completions.
     pub fn run_until_idle(&mut self, limit: Cycle) -> Vec<(usize, Completion)> {
-        let deadline = self.now() + limit;
+        let deadline = self.now().saturating_add(limit);
         let mut out = Vec::new();
         while !self.is_idle() && self.now() < deadline {
             self.tick(1_000);

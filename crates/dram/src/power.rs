@@ -37,9 +37,11 @@ impl EnergyCounters {
         self.reads += other.reads;
         self.writes += other.writes;
         self.refreshes += other.refreshes;
-        self.active_standby_cycles += other.active_standby_cycles;
-        self.precharge_standby_cycles += other.precharge_standby_cycles;
-        self.powerdown_cycles += other.powerdown_cycles;
+        self.active_standby_cycles =
+            self.active_standby_cycles.saturating_add(other.active_standby_cycles);
+        self.precharge_standby_cycles =
+            self.precharge_standby_cycles.saturating_add(other.precharge_standby_cycles);
+        self.powerdown_cycles = self.powerdown_cycles.saturating_add(other.powerdown_cycles);
         self.io_bits += other.io_bits;
     }
 }

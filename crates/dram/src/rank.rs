@@ -88,7 +88,9 @@ impl Rank {
     /// If currently powered down, includes residency up to `now`.
     pub fn powerdown_cycles(&self, now: Cycle) -> Cycle {
         match self.power {
-            PowerState::PowerDown { since } => self.powerdown_cycles + now.saturating_sub(since),
+            PowerState::PowerDown { since } => {
+                self.powerdown_cycles.saturating_add(now.saturating_sub(since))
+            }
             PowerState::Active => self.powerdown_cycles,
         }
     }
@@ -103,7 +105,7 @@ impl Rank {
         // With four ACTs in the window, the next must wait tFAW from the
         // oldest of them.
         let faw_bound = match self.act_window[0] {
-            Some(oldest) => oldest + self.t_faw,
+            Some(oldest) => oldest.saturating_add(self.t_faw),
             None => 0,
         };
         self.next_act_rrd.max(faw_bound).max(self.ready_at)
@@ -127,7 +129,7 @@ impl Rank {
     /// re-validates both constraints on the captured command stream.
     pub fn record_activate(&mut self, now: Cycle, t: &Timing) {
         debug_assert!(now >= self.next_act_allowed());
-        self.next_act_rrd = now + t.t_rrd;
+        self.next_act_rrd = now.saturating_add(t.t_rrd);
         self.act_window.rotate_left(1);
         self.act_window[3] = Some(now);
         self.last_activity = now;
@@ -152,12 +154,12 @@ impl Rank {
     /// precharged; the caller closes them first.
     pub fn begin_refresh(&mut self, now: Cycle, t: &Timing) {
         debug_assert!(self.all_banks_idle(), "refresh with open banks");
-        let done = now + t.t_rfc;
+        let done = now.saturating_add(t.t_rfc);
         for b in &mut self.banks {
             b.force_precharge_for_refresh(done);
         }
         self.ready_at = self.ready_at.max(done);
-        self.next_refresh += t.t_refi;
+        self.next_refresh = self.next_refresh.saturating_add(t.t_refi);
         self.last_activity = now;
     }
 
@@ -179,9 +181,9 @@ impl Rank {
     /// an active rank (returns `ready_at`).
     pub fn exit_power_down(&mut self, now: Cycle, t: &Timing) -> Cycle {
         if let PowerState::PowerDown { since } = self.power {
-            self.powerdown_cycles += now.saturating_sub(since);
+            self.powerdown_cycles = self.powerdown_cycles.saturating_add(now.saturating_sub(since));
             self.power = PowerState::Active;
-            self.ready_at = self.ready_at.max(now + t.t_xp);
+            self.ready_at = self.ready_at.max(now.saturating_add(t.t_xp));
             self.last_activity = now;
         }
         self.ready_at

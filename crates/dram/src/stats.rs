@@ -76,9 +76,10 @@ impl ChannelStats {
         self.read_latency_sum += o.read_latency_sum;
         self.read_latency_max = self.read_latency_max.max(o.read_latency_max);
         self.read_latency_hist.merge(&o.read_latency_hist);
-        self.data_bus_busy_cycles += o.data_bus_busy_cycles;
+        self.data_bus_busy_cycles =
+            self.data_bus_busy_cycles.saturating_add(o.data_bus_busy_cycles);
         self.refreshes += o.refreshes;
-        self.stalled_cycles += o.stalled_cycles;
+        self.stalled_cycles = self.stalled_cycles.saturating_add(o.stalled_cycles);
         self.scheduler_invocations += o.scheduler_invocations;
     }
 

@@ -1,0 +1,12 @@
+//! Fixture: malformed waivers (L0/bad-waiver). A waiver that does not
+//! parse must be a finding itself, never a silent no-op.
+
+/// Missing the `(reason)` — rejected.
+// lint: wrap-ok
+pub fn no_reason(now: u64, t_rp: u64) -> u64 {
+    now.saturating_add(t_rp)
+}
+
+/// Unknown waiver name — rejected.
+// lint: trust-me(this is fine)
+pub fn unknown_name() {}

@@ -1,0 +1,22 @@
+//! Fixture: bare cycle arithmetic that L1/cycle-arith must flag.
+//!
+//! Scanned by `tests/fixtures.rs` with a synthetic `FileCtx`; never
+//! compiled into the workspace.
+
+/// Bare `+` on a JEDEC-family identifier: wraps to "ready immediately"
+/// on overflow.
+pub fn next_ready(now: u64, t_rcd: u64) -> u64 {
+    now + t_rcd
+}
+
+/// Bare `-` on cycle identifiers: wraps to "ready in 580M years" when
+/// `now` has passed the deadline.
+pub fn cycles_left(deadline: u64, now: u64) -> u64 {
+    deadline - now
+}
+
+/// Bare `+=` accumulator on a cycle-suffixed stat.
+pub fn accumulate(mut stalled_cycles: u64, wait: u64) -> u64 {
+    stalled_cycles += wait;
+    stalled_cycles
+}

@@ -1,0 +1,20 @@
+//! Fixture: the `l1_cycle.rs` sites, each resolved the sanctioned way —
+//! saturating arithmetic or an explicit `wrap-ok` waiver. Must scan clean.
+
+/// Fixed with saturating arithmetic: overflow clamps to `u64::MAX`
+/// ("never ready"), the safe direction for a readiness time.
+pub fn next_ready(now: u64, t_rcd: u64) -> u64 {
+    now.saturating_add(t_rcd)
+}
+
+/// Waived: the caller establishes `deadline >= now` before calling, so
+/// the subtraction cannot underflow.
+pub fn cycles_left(deadline: u64, now: u64) -> u64 {
+    // lint: wrap-ok(caller checks deadline >= now before calling)
+    deadline - now
+}
+
+/// Fixed accumulator: saturates instead of wrapping the counter.
+pub fn accumulate(stalled_cycles: u64, wait: u64) -> u64 {
+    stalled_cycles.saturating_add(wait)
+}

@@ -1,0 +1,9 @@
+//! Fixture: raw timing literal in a comparison. Scanned as if it lived
+//! in `crates/dram`, where L2/timing-literal applies.
+
+/// The `11` here is DDR3-1600 tRCD leaked as a magic number; the
+/// simulator and the replay auditor can silently diverge if one of them
+/// is edited. L2 requires the named constant from `config.rs`.
+pub fn row_ready(elapsed_cycles: u64) -> bool {
+    elapsed_cycles >= 11
+}

@@ -1,0 +1,16 @@
+//! Fixture: the `l2_timing.rs` comparison with the literal either named
+//! or waived. Must scan clean under a `crates/dram` context.
+
+/// The named-constant form L2 wants: the number lives in one place.
+pub const T_RCD: u64 = 11;
+
+/// Fixed: compares against the named constant, not a magic number.
+pub fn row_ready(elapsed_cycles: u64) -> bool {
+    elapsed_cycles >= T_RCD
+}
+
+/// Waived: a structural bound (queue depth), not a JEDEC timing value.
+pub fn queue_pressure(inflight_cycles: u64) -> bool {
+    // lint: literal-ok(structural backpressure bound, not a DDR3 timing parameter)
+    inflight_cycles > 4096
+}

@@ -1,0 +1,10 @@
+//! Fixture: secret-hygiene violations. Scanned as if it lived in
+//! `crates/crypto`, where all three L3 rules apply.
+
+/// Leaks key material through a format site (L3/secret-format), uses
+/// `println!` from a library crate (L3/lib-println), and compares MAC
+/// tags with `==` (L3/secret-eq — a byte-at-a-time timing oracle).
+pub fn verify_and_log(session_key: [u8; 16], tag: &[u8], expected_mac: &[u8]) -> bool {
+    println!("derived key = {session_key:?}");
+    tag == expected_mac
+}

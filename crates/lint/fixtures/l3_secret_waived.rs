@@ -1,0 +1,17 @@
+//! Fixture: the `l3_secret.rs` sites brought into compliance. Must scan
+//! clean under a `crates/crypto` context.
+
+/// A stand-in for the workspace's constant-time compare.
+fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).fold(0u8, |d, (x, y)| d | (x ^ y)) == 0
+}
+
+/// Fixed: nothing secret reaches the format site (and the print itself
+/// carries a waiver for this diagnostic binary-style message), and the
+/// tag comparison goes through the constant-time compare.
+pub fn verify_and_log(session_key: [u8; 16], tag: &[u8], expected_mac: &[u8]) -> bool {
+    let _ = session_key;
+    // lint: print-ok(operator-facing status line; no secret is interpolated)
+    println!("session established");
+    ct_eq(tag, expected_mac)
+}

@@ -1,0 +1,8 @@
+//! Fixture: crate root missing the deny-unsafe gate (L4/unsafe-attr)
+//! plus an unwaivered `unwrap()` in library code (L4/panic-budget).
+//! Scanned with `is_crate_root = true` and `FileKind::Lib`.
+
+/// Panics on an empty slice with no stated invariant.
+pub fn first(v: &[u64]) -> u64 {
+    *v.first().unwrap()
+}

@@ -1,0 +1,10 @@
+//! Fixture: the `l4_panic.rs` sites in compliance — the unsafe gate is
+//! asserted and the panic site carries its invariant. Must scan clean.
+
+#![deny(unsafe_code)]
+
+/// The waiver states why the panic cannot fire.
+pub fn first(v: &[u64]) -> u64 {
+    // lint: panic-ok(callers pass the fixed-size ACT window, never empty)
+    *v.first().unwrap()
+}

@@ -1,0 +1,481 @@
+//! A dependency-free Rust lexer producing a flat token stream.
+//!
+//! This is not a full Rust parser: the lint passes only need identifiers,
+//! literals, and punctuation with accurate line numbers, plus the comment
+//! text (for waivers). Everything the passes do not care about — lifetimes,
+//! attributes, doc comments — is still tokenized so that delimiter matching
+//! and adjacency checks stay sound, but no syntax tree is ever built.
+//!
+//! The tricky corners handled here, because getting them wrong silently
+//! drops or invents findings:
+//!
+//! * nested block comments (`/* /* */ */`),
+//! * raw strings with arbitrary hash counts (`r##"…"##`, `br#"…"#`),
+//! * char literals vs. lifetimes (`'a'` vs. `'a`),
+//! * numeric literals with `_` separators, radix prefixes, and type
+//!   suffixes (`0x1_F00u64`), whose integer value the L2 pass inspects,
+//! * multi-character operators, longest-match first, so `->` is never
+//!   seen as a bare `-`.
+
+/// Classification of one token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (keywords are not distinguished).
+    Ident,
+    /// Integer literal; the decoded value when it fits in `u128`.
+    Int(Option<u128>),
+    /// Float literal.
+    Float,
+    /// String, byte-string, or raw-string literal (text is the raw body).
+    Str,
+    /// Char or byte literal.
+    Char,
+    /// Lifetime (`'a`) or loop label.
+    Lifetime,
+    /// Punctuation; multi-character operators are one token.
+    Punct,
+}
+
+/// One lexed token with its source position.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token classification.
+    pub kind: TokKind,
+    /// Source text. For [`TokKind::Str`] this is the literal's *body*
+    /// (without quotes/prefix), so format-capture scanning is direct.
+    pub text: String,
+    /// 1-based source line of the token's first character.
+    pub line: u32,
+}
+
+/// A comment with its position, kept out of the main token stream.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment text without the `//` / `/*` markers.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+}
+
+/// The result of lexing one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-comment tokens, in source order.
+    pub tokens: Vec<Tok>,
+    /// All comments, in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Multi-character operators, longest first so maximal munch is trivial.
+const MULTI_PUNCT: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "+=",
+    "-=", "*=", "/=", "%=", "^=", "&=", "|=", "::", "..",
+];
+
+/// Lexes `src` into tokens and comments. Never fails: unterminated
+/// constructs are closed at end-of-file, which is good enough for lint
+/// passes that only ever run on code `rustc` already accepted.
+pub fn lex(src: &str) -> Lexed {
+    let bytes: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = bytes.len();
+
+    // Advances over `len` chars, counting newlines.
+    macro_rules! bump {
+        ($len:expr) => {{
+            for k in 0..$len {
+                if bytes[i + k] == '\n' {
+                    line += 1;
+                }
+            }
+            i += $len;
+        }};
+    }
+
+    while i < n {
+        let c = bytes[i];
+        // Whitespace.
+        if c.is_whitespace() {
+            bump!(1);
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < n && bytes[i + 1] == '/' {
+            let start_line = line;
+            let mut j = i;
+            while j < n && bytes[j] != '\n' {
+                j += 1;
+            }
+            let text: String = bytes[i + 2..j].iter().collect();
+            out.comments.push(Comment { text, line: start_line });
+            bump!(j - i);
+            continue;
+        }
+        if c == '/' && i + 1 < n && bytes[i + 1] == '*' {
+            let start_line = line;
+            let mut depth = 1usize;
+            let mut j = i + 2;
+            while j < n && depth > 0 {
+                if bytes[j] == '/' && j + 1 < n && bytes[j + 1] == '*' {
+                    depth += 1;
+                    j += 2;
+                } else if bytes[j] == '*' && j + 1 < n && bytes[j + 1] == '/' {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    j += 1;
+                }
+            }
+            let text: String = bytes[i + 2..j.saturating_sub(2).max(i + 2)].iter().collect();
+            out.comments.push(Comment { text, line: start_line });
+            bump!(j - i);
+            continue;
+        }
+        // Raw strings / byte strings / raw identifiers: r"", r#""#, br"",
+        // b"", b'', r#ident.
+        if c == 'r' || c == 'b' {
+            if let Some((tok, len)) = lex_prefixed_literal(&bytes[i..], line) {
+                out.tokens.push(tok);
+                bump!(len);
+                continue;
+            }
+        }
+        // Identifiers and keywords.
+        if c.is_alphabetic() || c == '_' {
+            let mut j = i + 1;
+            while j < n && (bytes[j].is_alphanumeric() || bytes[j] == '_') {
+                j += 1;
+            }
+            let text: String = bytes[i..j].iter().collect();
+            out.tokens.push(Tok { kind: TokKind::Ident, text, line });
+            bump!(j - i);
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            let (tok, len) = lex_number(&bytes[i..], line);
+            out.tokens.push(tok);
+            bump!(len);
+            continue;
+        }
+        // Strings.
+        if c == '"' {
+            let (body, len) = lex_quoted(&bytes[i..], '"');
+            out.tokens.push(Tok { kind: TokKind::Str, text: body, line });
+            bump!(len);
+            continue;
+        }
+        // Char literal vs. lifetime.
+        if c == '\'' {
+            let (tok, len) = lex_char_or_lifetime(&bytes[i..], line);
+            out.tokens.push(tok);
+            bump!(len);
+            continue;
+        }
+        // Multi-char punctuation, longest match first.
+        let mut matched = false;
+        for op in MULTI_PUNCT {
+            let oplen = op.len();
+            if i + oplen <= n && bytes[i..i + oplen].iter().collect::<String>() == **op {
+                out.tokens.push(Tok { kind: TokKind::Punct, text: (*op).to_string(), line });
+                bump!(oplen);
+                matched = true;
+                break;
+            }
+        }
+        if matched {
+            continue;
+        }
+        out.tokens.push(Tok { kind: TokKind::Punct, text: c.to_string(), line });
+        bump!(1);
+    }
+    out
+}
+
+/// Lexes literals starting with `r` or `b`: raw strings, byte strings,
+/// byte chars, and raw identifiers. Returns `None` when the `r`/`b` is
+/// just the start of an ordinary identifier.
+fn lex_prefixed_literal(s: &[char], line: u32) -> Option<(Tok, usize)> {
+    let mut p = 1usize; // past the leading r/b
+    let mut is_raw = s[0] == 'r';
+    if s[0] == 'b' && p < s.len() && s[p] == 'r' {
+        is_raw = true;
+        p += 1;
+    }
+    if s[0] == 'b' && p < s.len() && s[p] == '\'' {
+        // Byte char b'x'.
+        let (tok, len) = lex_char_or_lifetime(&s[p..], line);
+        return Some((tok, p + len));
+    }
+    if is_raw {
+        let mut hashes = 0usize;
+        while p < s.len() && s[p] == '#' {
+            hashes += 1;
+            p += 1;
+        }
+        if p < s.len() && s[p] == '"' {
+            // Raw string: scan for `"` followed by `hashes` hashes.
+            let body_start = p + 1;
+            let mut j = body_start;
+            'scan: while j < s.len() {
+                if s[j] == '"' {
+                    let mut k = 0;
+                    while k < hashes && j + 1 + k < s.len() && s[j + 1 + k] == '#' {
+                        k += 1;
+                    }
+                    if k == hashes {
+                        break 'scan;
+                    }
+                }
+                j += 1;
+            }
+            let body: String = s[body_start..j.min(s.len())].iter().collect();
+            let end = (j + 1 + hashes).min(s.len());
+            return Some((Tok { kind: TokKind::Str, text: body, line }, end));
+        }
+        if hashes == 1 && p < s.len() && (s[p].is_alphabetic() || s[p] == '_') {
+            // Raw identifier r#ident.
+            let mut j = p;
+            while j < s.len() && (s[j].is_alphanumeric() || s[j] == '_') {
+                j += 1;
+            }
+            let text: String = s[p..j].iter().collect();
+            return Some((Tok { kind: TokKind::Ident, text, line }, j));
+        }
+        return None;
+    }
+    if s[0] == 'b' && p < s.len() && s[p] == '"' {
+        let (body, len) = lex_quoted(&s[p..], '"');
+        return Some((Tok { kind: TokKind::Str, text: body, line }, p + len));
+    }
+    None
+}
+
+/// Lexes a `delim`-quoted literal with backslash escapes, returning the
+/// body text and total length including both delimiters.
+fn lex_quoted(s: &[char], delim: char) -> (String, usize) {
+    let mut j = 1usize;
+    let mut body = String::new();
+    while j < s.len() {
+        if s[j] == '\\' && j + 1 < s.len() {
+            body.push(s[j]);
+            body.push(s[j + 1]);
+            j += 2;
+            continue;
+        }
+        if s[j] == delim {
+            return (body, j + 1);
+        }
+        body.push(s[j]);
+        j += 1;
+    }
+    (body, j)
+}
+
+/// Disambiguates `'a'` (char) from `'a` (lifetime/label) and lexes either.
+fn lex_char_or_lifetime(s: &[char], line: u32) -> (Tok, usize) {
+    // s[0] == '\''. A lifetime is `'` + ident-start + ident-chars with no
+    // closing quote immediately after one char.
+    if s.len() >= 2 && (s[1].is_alphabetic() || s[1] == '_') && (s.len() < 3 || s[2] != '\'') {
+        let mut j = 2usize;
+        while j < s.len() && (s[j].is_alphanumeric() || s[j] == '_') {
+            j += 1;
+        }
+        let text: String = s[1..j].iter().collect();
+        return (Tok { kind: TokKind::Lifetime, text, line }, j);
+    }
+    // Char literal, possibly escaped ('\n', '\'', '\u{1F600}').
+    let mut j = 1usize;
+    let mut body = String::new();
+    while j < s.len() {
+        if s[j] == '\\' && j + 1 < s.len() {
+            body.push(s[j]);
+            body.push(s[j + 1]);
+            j += 2;
+            continue;
+        }
+        if s[j] == '\'' {
+            j += 1;
+            break;
+        }
+        body.push(s[j]);
+        j += 1;
+    }
+    (Tok { kind: TokKind::Char, text: body, line }, j)
+}
+
+/// Lexes a numeric literal, decoding integer values for the L2 pass.
+fn lex_number(s: &[char], line: u32) -> (Tok, usize) {
+    let mut j = 0usize;
+    let mut radix = 10u32;
+    if s[0] == '0' && s.len() > 1 {
+        match s[1] {
+            'x' | 'X' => {
+                radix = 16;
+                j = 2;
+            }
+            'o' | 'O' => {
+                radix = 8;
+                j = 2;
+            }
+            'b' | 'B' => {
+                radix = 2;
+                j = 2;
+            }
+            _ => {}
+        }
+    }
+    let digit_start = j;
+    let mut is_float = false;
+    while j < s.len() {
+        let c = s[j];
+        if c == '_' || c.is_digit(radix) {
+            j += 1;
+        } else if radix == 10 && c == '.' && j + 1 < s.len() && s[j + 1].is_ascii_digit() {
+            is_float = true;
+            j += 1;
+        } else if radix == 10
+            && (c == 'e' || c == 'E')
+            && j + 1 < s.len()
+            && (s[j + 1].is_ascii_digit() || s[j + 1] == '+' || s[j + 1] == '-')
+        {
+            is_float = true;
+            j += 2; // exponent marker plus sign/first digit
+        } else {
+            break;
+        }
+    }
+    let digits: String = s[digit_start..j].iter().filter(|c| **c != '_' && **c != '+').collect();
+    // Type suffix (u64, usize, f32, …).
+    let suffix_start = j;
+    while j < s.len() && (s[j].is_alphanumeric() || s[j] == '_') {
+        j += 1;
+    }
+    let suffix: String = s[suffix_start..j].iter().collect();
+    if suffix.starts_with('f') {
+        is_float = true;
+    }
+    let text: String = s[..j].iter().collect();
+    let kind = if is_float {
+        TokKind::Float
+    } else {
+        TokKind::Int(u128::from_str_radix(&digits, radix).ok())
+    };
+    (Tok { kind, text, line }, j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).tokens.into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_punct() {
+        let t = kinds("let x = a.saturating_sub(b);");
+        assert_eq!(t[0], (TokKind::Ident, "let".into()));
+        assert!(t.iter().any(|(k, s)| *k == TokKind::Ident && s == "saturating_sub"));
+        assert!(t.iter().any(|(k, s)| *k == TokKind::Punct && s == ";"));
+    }
+
+    #[test]
+    fn multi_char_ops_are_single_tokens() {
+        let t = kinds("a -> b => c == d != e <= f >= g .. h ..= i");
+        let puncts: Vec<&str> =
+            t.iter().filter(|(k, _)| *k == TokKind::Punct).map(|(_, s)| s.as_str()).collect();
+        assert_eq!(puncts, vec!["->", "=>", "==", "!=", "<=", ">=", "..", "..="]);
+    }
+
+    #[test]
+    fn arrow_is_not_a_bare_minus() {
+        let t = kinds("fn f() -> u64 { 0 }");
+        assert!(!t.iter().any(|(k, s)| *k == TokKind::Punct && s == "-"));
+    }
+
+    #[test]
+    fn int_literal_values_decode() {
+        let t = kinds("0x1_F00u64 17 0b101 0o17 1_000_000");
+        let ints: Vec<Option<u128>> = t
+            .iter()
+            .filter_map(|(k, _)| match k {
+                TokKind::Int(v) => Some(*v),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ints, vec![Some(0x1F00), Some(17), Some(5), Some(15), Some(1_000_000)]);
+    }
+
+    #[test]
+    fn floats_are_not_ints() {
+        let t = kinds("1.5 2e3 3.0f64 4f32");
+        assert!(t.iter().all(|(k, _)| *k == TokKind::Float));
+    }
+
+    #[test]
+    fn range_is_not_a_float() {
+        let t = kinds("0..now");
+        assert_eq!(t[0].0, TokKind::Int(Some(0)));
+        assert_eq!(t[1], (TokKind::Punct, "..".into()));
+        assert_eq!(t[2], (TokKind::Ident, "now".into()));
+    }
+
+    #[test]
+    fn comments_are_captured_with_lines() {
+        let l = lex("a\n// lint: wrap-ok(reason)\nb /* block */ c");
+        assert_eq!(l.comments.len(), 2);
+        assert_eq!(l.comments[0].text, " lint: wrap-ok(reason)");
+        assert_eq!(l.comments[0].line, 2);
+        assert_eq!(l.comments[1].text, " block ");
+        assert_eq!(l.comments[1].line, 3);
+    }
+
+    #[test]
+    fn nested_block_comment_terminates() {
+        let l = lex("/* outer /* inner */ still */ x");
+        assert_eq!(l.tokens.len(), 1);
+        assert_eq!(l.tokens[0].text, "x");
+    }
+
+    #[test]
+    fn strings_hide_their_contents_from_token_stream() {
+        let t = kinds(r#"println!("now - then {x}")"#);
+        assert!(!t.iter().any(|(k, s)| *k == TokKind::Punct && s == "-"));
+        assert!(t.iter().any(|(k, s)| *k == TokKind::Str && s.contains("now - then")));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let l = lex(r###"let s = r#"quote " inside"#;"###);
+        let body = l.tokens.iter().find(|t| t.kind == TokKind::Str).map(|t| t.text.clone());
+        assert_eq!(body.as_deref(), Some(r#"quote " inside"#));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let t = kinds("fn f<'a>(x: &'a u8) { let c = 'x'; let nl = '\\n'; }");
+        let lifetimes: Vec<&str> =
+            t.iter().filter(|(k, _)| *k == TokKind::Lifetime).map(|(_, s)| s.as_str()).collect();
+        assert_eq!(lifetimes, vec!["a", "a"]);
+        let chars: Vec<&str> =
+            t.iter().filter(|(k, _)| *k == TokKind::Char).map(|(_, s)| s.as_str()).collect();
+        assert_eq!(chars, vec!["x", "\\n"]);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let l = lex("a\nb\n\nc");
+        let lines: Vec<u32> = l.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn byte_strings_and_raw_idents() {
+        let t = kinds(r##"let b = b"bytes"; let k = r#type;"##);
+        assert!(t.iter().any(|(k, s)| *k == TokKind::Str && s == "bytes"));
+        assert!(t.iter().any(|(k, s)| *k == TokKind::Ident && s == "type"));
+    }
+}

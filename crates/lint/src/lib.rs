@@ -1,0 +1,264 @@
+//! `sdimm-lint` — workspace static analysis for the SDIMM reproduction.
+//!
+//! The differential audit harness (`crates/audit`) catches timing-model and
+//! integrity bugs by replaying millions of DDR commands; this crate catches
+//! the same bug *classes* at build time, straight from source:
+//!
+//! * **L1 `cycle-arith`** — bare `-`/`+` (and `-=`/`+=`) on identifiers
+//!   with cycle/time naming (`*_cycle`, `*_time`, `*_ready_time`, `now`,
+//!   the `t_rcd` timing family) must use `saturating_*`/`checked_*` or
+//!   carry a `// lint: wrap-ok(reason)` waiver. The PR-3 `cas_ready_time`
+//!   underflow was exactly this pattern.
+//! * **L2 `timing-literal`** — inside `crates/dram` and `crates/audit`,
+//!   comparisons of cycle-named values against raw integer literals are
+//!   forbidden: both the simulator and the replay auditor must read DDR3
+//!   timing numbers from `config.rs` constants so they cannot silently
+//!   diverge. Waiver: `// lint: literal-ok(reason)`.
+//! * **L3 `secret-*`** — key/pad material must not reach `format!`-family
+//!   macros, and MAC-tag comparisons in `crates/crypto`/`crates/oram` must
+//!   go through the constant-time compare rather than `==`. Library crates
+//!   must not use `println!` at all (telemetry is the sanctioned channel).
+//!   Waivers: `secret-ok`, `print-ok`.
+//! * **L4 `panic-budget`** — every crate root asserts
+//!   `#![deny(unsafe_code)]`, and `unwrap()`/`expect()` outside tests and
+//!   binaries needs a `// lint: panic-ok(reason)` waiver.
+//!
+//! The passes run on a flat token stream from the dependency-free
+//! [`lexer`]; there is no type information, so the secret/cycle rules are
+//! *name-pattern* rules. That is deliberate: the workspace naming
+//! conventions are part of the contract these lints enforce.
+
+#![deny(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod lexer;
+pub mod lints;
+pub mod scan;
+pub mod walker;
+
+use std::fmt;
+
+/// Which lint produced a finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Lint {
+    /// L1: bare arithmetic on cycle-named identifiers.
+    CycleArith,
+    /// L2: raw integer literal in a DDR3 timing comparison.
+    TimingLiteral,
+    /// L3: secret-named identifier reaching a format-family macro.
+    SecretFormat,
+    /// L3: MAC-tag comparison via `==`/`!=` instead of constant-time.
+    SecretEq,
+    /// L3: `println!`/`print!` in a library crate.
+    LibPrintln,
+    /// L4: crate root missing `#![deny(unsafe_code)]`.
+    UnsafeAttr,
+    /// L4: `unwrap()`/`expect()` outside tests without a waiver.
+    PanicBudget,
+    /// Malformed waiver comment (unknown name or empty reason).
+    BadWaiver,
+}
+
+impl Lint {
+    /// Short rule id used in diagnostics, e.g. `L1/cycle-arith`.
+    pub fn id(self) -> &'static str {
+        match self {
+            Lint::CycleArith => "L1/cycle-arith",
+            Lint::TimingLiteral => "L2/timing-literal",
+            Lint::SecretFormat => "L3/secret-format",
+            Lint::SecretEq => "L3/secret-eq",
+            Lint::LibPrintln => "L3/lib-println",
+            Lint::UnsafeAttr => "L4/unsafe-attr",
+            Lint::PanicBudget => "L4/panic-budget",
+            Lint::BadWaiver => "L0/bad-waiver",
+        }
+    }
+
+    /// The waiver name that suppresses this lint, when one exists.
+    pub fn waiver(self) -> Option<&'static str> {
+        match self {
+            Lint::CycleArith => Some("wrap-ok"),
+            Lint::TimingLiteral => Some("literal-ok"),
+            Lint::SecretFormat | Lint::SecretEq => Some("secret-ok"),
+            Lint::LibPrintln => Some("print-ok"),
+            Lint::PanicBudget => Some("panic-ok"),
+            Lint::UnsafeAttr | Lint::BadWaiver => None,
+        }
+    }
+}
+
+/// One diagnostic, reported in the audit crate's actual-vs-expected style.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// The rule that fired.
+    pub lint: Lint,
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// What the lint observed (the "actual").
+    pub actual: String,
+    /// What the rule requires instead (the "expected").
+    pub expected: String,
+    /// The offending source line, trimmed, for context.
+    pub excerpt: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}:{} [{}]", self.file, self.line, self.lint.id())?;
+        if !self.excerpt.is_empty() {
+            writeln!(f, "    source:   {}", self.excerpt)?;
+        }
+        writeln!(f, "    actual:   {}", self.actual)?;
+        write!(f, "    expected: {}", self.expected)
+    }
+}
+
+/// How a scanned file participates in the lint rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library source (`src/**`, not `src/bin`).
+    Lib,
+    /// Binary target source (`src/bin/**`, `src/main.rs`, examples).
+    Bin,
+}
+
+/// Per-file lint context.
+#[derive(Debug, Clone)]
+pub struct FileCtx {
+    /// Crate directory name (`dram`, `crypto`, …), `tests`, or `examples`.
+    pub crate_name: String,
+    /// Library or binary source.
+    pub kind: FileKind,
+    /// Whether this file is a crate root (`src/lib.rs` / `src/main.rs`)
+    /// where `#![deny(unsafe_code)]` is asserted.
+    pub is_crate_root: bool,
+}
+
+/// Crates whose `src` is pure library code: `println!` is forbidden there
+/// (L3) and `unwrap()`/`expect()` needs a waiver (L4). `bench` is the
+/// reporting/CLI crate and `tests`/`examples` are test scaffolding, so
+/// they are deliberately absent.
+pub const LIBRARY_CRATES: &[&str] = &[
+    "analytic",
+    "audit",
+    "core",
+    "crypto",
+    "dram",
+    "lint",
+    "oram",
+    "system",
+    "telemetry",
+    "workloads",
+];
+
+/// Crates bound by L2 (timing comparisons must reference config
+/// constants): the DDR3 simulator and its independent replay auditor.
+pub const TIMING_CRATES: &[&str] = &["dram", "audit"];
+
+/// Crates bound by the L3 constant-time tag-comparison rule.
+pub const SECRET_EQ_CRATES: &[&str] = &["crypto", "oram"];
+
+/// True for identifiers that name a point or span in simulated time.
+///
+/// The pattern family, kept deliberately small and documented in
+/// `README.md`: exact `now`/`cycle`/`cycles`/`deadline`, the suffixes
+/// `_cycle(s)`, `_time`, `_at`, `_until`, `_wake`, `_deadline`, and the
+/// JEDEC `t_*` timing-field family (`t_rcd`, `t_faw`, `t_refi`, …).
+pub fn is_cycle_ident(name: &str) -> bool {
+    if matches!(name, "now" | "cycle" | "cycles" | "deadline") {
+        return true;
+    }
+    const SUFFIXES: &[&str] =
+        &["_cycle", "_cycles", "_time", "_at", "_until", "_wake", "_deadline"];
+    if SUFFIXES.iter().any(|s| name.ends_with(s)) {
+        return true;
+    }
+    // t_rcd family: `t_` plus a short lowercase JEDEC mnemonic.
+    name.len() <= 8
+        && name
+            .strip_prefix("t_")
+            .is_some_and(|rest| !rest.is_empty() && rest.chars().all(|c| c.is_ascii_lowercase()))
+}
+
+/// True for identifiers that, by workspace convention, carry key material
+/// or keystream pads. Deliberately specific (`_key`, not bare `key`) so
+/// map-key loops in telemetry never false-positive.
+pub fn is_secret_ident(name: &str) -> bool {
+    const SUFFIXES: &[&str] = &["_key", "_keys", "_pad", "_pads", "_secret", "_keystream"];
+    matches!(
+        name,
+        "master" | "subkey" | "subkeys" | "keystream" | "round_keys" | "rk" | "k1" | "k2"
+    ) || SUFFIXES.iter().any(|s| name.ends_with(s))
+}
+
+/// True for identifiers naming MAC tags/digests whose comparison must be
+/// constant-time.
+pub fn is_tag_ident(name: &str) -> bool {
+    matches!(name, "tag" | "tags" | "mac" | "digest")
+        || name.ends_with("_tag")
+        || name.ends_with("_mac")
+        || name.ends_with("_digest")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_pattern_family() {
+        for yes in [
+            "now",
+            "cas_ready_time",
+            "busy_until",
+            "next_wake",
+            "retry_at",
+            "idle_cycles",
+            "t_rcd",
+            "t_faw",
+            "t_refi",
+            "t_burst",
+        ] {
+            assert!(is_cycle_ident(yes), "{yes} should be cycle-like");
+        }
+        for no in ["len", "t_", "t_VeryLongName", "temperature", "activate_nj", "counter", "gap"] {
+            assert!(!is_cycle_ident(no), "{no} should not be cycle-like");
+        }
+    }
+
+    #[test]
+    fn secret_pattern_family() {
+        for yes in ["enc_key", "mac_key", "round_keys", "k1", "device_secret", "master"] {
+            assert!(is_secret_ident(yes), "{yes} should be secret-like");
+        }
+        // Bare `key`/`pad` are NOT matched: telemetry iterates map keys.
+        for no in ["key", "pad", "keypad_row", "monkey", "padding"] {
+            assert!(!is_secret_ident(no), "{no} should not be secret-like");
+        }
+    }
+
+    #[test]
+    fn tag_pattern_family() {
+        assert!(is_tag_ident("tag"));
+        assert!(is_tag_ident("short_tag"));
+        assert!(is_tag_ident("link_mac"));
+        assert!(!is_tag_ident("tagline"));
+        assert!(!is_tag_ident("stage"));
+    }
+
+    #[test]
+    fn every_waivable_lint_has_distinct_docs_name() {
+        let names: Vec<&str> = [
+            Lint::CycleArith,
+            Lint::TimingLiteral,
+            Lint::SecretFormat,
+            Lint::LibPrintln,
+            Lint::PanicBudget,
+        ]
+        .iter()
+        .filter_map(|l| l.waiver())
+        .collect();
+        assert_eq!(names, vec!["wrap-ok", "literal-ok", "secret-ok", "print-ok", "panic-ok"]);
+    }
+}

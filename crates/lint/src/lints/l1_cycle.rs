@@ -1,0 +1,55 @@
+//! L1 — cycle-arithmetic safety.
+//!
+//! Bare `-`, `+`, `-=`, `+=` on identifiers that name points or spans in
+//! simulated time is the bug class behind the PR-3 `cas_ready_time`
+//! underflow: a `Cycle` is a `u64`, so `ready - now` on an early cycle
+//! wraps to "ready in 580 million years", and `now + x` that overflows
+//! wraps to "ready immediately". Production code must spell out the
+//! overflow policy (`saturating_*`, `checked_*`, `wrapping_*` — all method
+//! calls, hence invisible to this token rule) or carry a
+//! `// lint: wrap-ok(reason)` waiver stating the invariant that makes the
+//! bare operator safe.
+
+use super::PassInput;
+use crate::walker::{is_binary_op, lhs_ident, rhs_ident};
+use crate::{is_cycle_ident, Finding, Lint};
+
+/// Runs the pass.
+pub fn check(input: &PassInput<'_>) -> Vec<Finding> {
+    let toks = input.toks;
+    let mut findings = Vec::new();
+    for (i, tok) in toks.iter().enumerate() {
+        let op = tok.text.as_str();
+        let is_compound = matches!(op, "-=" | "+=");
+        let is_plain = matches!(op, "-" | "+");
+        if !(is_plain || is_compound) || crate::lexer::TokKind::Punct != tok.kind {
+            continue;
+        }
+        if is_plain && !is_binary_op(toks, i) {
+            continue; // unary minus / leading sign
+        }
+        let lhs = lhs_ident(toks, i);
+        let rhs = rhs_ident(toks, i);
+        let culprit = match (lhs, rhs) {
+            (Some(l), _) if is_cycle_ident(l) => l,
+            (_, Some(r)) if is_cycle_ident(r) => r,
+            _ => continue,
+        };
+        let (safe, checked) = match op {
+            "-" | "-=" => ("saturating_sub", "checked_sub"),
+            _ => ("saturating_add", "checked_add"),
+        };
+        if let Some(f) = input.finding(
+            Lint::CycleArith,
+            tok.line,
+            format!("bare `{op}` on cycle-typed identifier `{culprit}`"),
+            format!(
+                "use `{safe}`/`{checked}` so the overflow policy is explicit, \
+                 or waive with `// lint: wrap-ok(invariant)`"
+            ),
+        ) {
+            findings.push(f);
+        }
+    }
+    findings
+}

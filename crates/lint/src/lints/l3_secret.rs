@@ -1,0 +1,219 @@
+//! L3 — secret hygiene.
+//!
+//! The paper's security argument (§III-B) assumes key material and PMMAC
+//! state never leave the secure boundary. In this codebase that boundary
+//! is enforced by convention, so the lint enforces the convention:
+//!
+//! 1. **secret-format** — identifiers that carry key material (`*_key`,
+//!    `*_pad`, `round_keys`, `k1`, …) must not appear inside
+//!    `format!`-family macro invocations, either as arguments or as
+//!    `{inline}` captures in the format string. A key that reaches a log
+//!    line is a key an operator can read back out of a trace file.
+//! 2. **secret-eq** — in `crates/crypto` and `crates/oram`, MAC tags must
+//!    not be compared with `==`/`!=`: short-circuiting comparison leaks
+//!    the first differing byte's position through timing, which is the
+//!    classic MAC-forgery oracle. Use `sdimm_crypto::ct::ct_eq`.
+//! 3. **lib-println** — library crates never `println!`/`print!`:
+//!    stdout belongs to the figure binaries' tables, and ad-hoc printing
+//!    is how secret-adjacent state historically escapes. Telemetry
+//!    (`TraceSink`/metrics) is the sanctioned channel; `eprintln!` stays
+//!    legal for fatal diagnostics.
+
+use super::PassInput;
+use crate::lexer::TokKind;
+use crate::walker::{is_punct, lhs_ident, rhs_ident};
+use crate::{
+    is_secret_ident, is_tag_ident, FileKind, Finding, Lint, LIBRARY_CRATES, SECRET_EQ_CRATES,
+};
+
+/// Macros whose arguments are formatted into human-readable text (or a
+/// panic payload) and therefore count as potential leak sites.
+const FORMAT_MACROS: &[&str] = &[
+    "format",
+    "format_args",
+    "print",
+    "println",
+    "eprint",
+    "eprintln",
+    "write",
+    "writeln",
+    "panic",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+    "debug_assert",
+    "debug_assert_eq",
+    "debug_assert_ne",
+    "todo",
+    "unimplemented",
+];
+
+/// Runs all three sub-rules.
+pub fn check(input: &PassInput<'_>) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    check_format_sites(input, &mut findings);
+    check_tag_eq(input, &mut findings);
+    check_lib_println(input, &mut findings);
+    findings
+}
+
+/// Sub-rule 1: secret-named identifiers inside format-family macros.
+fn check_format_sites(input: &PassInput<'_>, findings: &mut Vec<Finding>) {
+    let toks = input.toks;
+    let mut i = 0usize;
+    while i < toks.len() {
+        let is_macro = toks[i].kind == TokKind::Ident
+            && FORMAT_MACROS.contains(&toks[i].text.as_str())
+            && is_punct(toks, i + 1, "!");
+        if !is_macro {
+            i += 1;
+            continue;
+        }
+        let macro_name = toks[i].text.clone();
+        // Find the delimited argument group and walk it.
+        let open = i + 2;
+        let (open_txt, close_txt) = match toks.get(open).map(|t| t.text.as_str()) {
+            Some("(") => ("(", ")"),
+            Some("[") => ("[", "]"),
+            Some("{") => ("{", "}"),
+            _ => {
+                i += 1;
+                continue;
+            }
+        };
+        let mut depth = 0usize;
+        let mut j = open;
+        while j < toks.len() {
+            let t = &toks[j];
+            if t.kind == TokKind::Punct {
+                if t.text == open_txt {
+                    depth += 1;
+                } else if t.text == close_txt {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+            }
+            match &t.kind {
+                TokKind::Ident if is_secret_ident(&t.text) => {
+                    if let Some(f) = input.finding(
+                        Lint::SecretFormat,
+                        t.line,
+                        format!("secret-carrying `{}` flows into `{macro_name}!`", t.text),
+                        "never format key/pad material; log lengths or redacted \
+                         placeholders, or waive with `// lint: secret-ok(reason)`"
+                            .to_string(),
+                    ) {
+                        findings.push(f);
+                    }
+                }
+                TokKind::Str => {
+                    // Inline captures: `{enc_key:?}` inside the format string.
+                    for cap in inline_captures(&t.text) {
+                        if is_secret_ident(&cap) {
+                            if let Some(f) = input.finding(
+                                Lint::SecretFormat,
+                                t.line,
+                                format!(
+                                    "secret-carrying `{{{cap}}}` captured in `{macro_name}!` format string"
+                                ),
+                                "never format key/pad material; log lengths or redacted \
+                                 placeholders, or waive with `// lint: secret-ok(reason)`"
+                                    .to_string(),
+                            ) {
+                                findings.push(f);
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        i = j + 1;
+    }
+}
+
+/// Identifier names captured inline in a format string (`{name}`,
+/// `{name:?}`, `{name:>8}`), skipping `{{` escapes and positional `{}`.
+fn inline_captures(fmt: &str) -> Vec<String> {
+    let chars: Vec<char> = fmt.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < chars.len() {
+        if chars[i] != '{' {
+            i += 1;
+            continue;
+        }
+        if chars.get(i + 1) == Some(&'{') {
+            i += 2; // escaped brace
+            continue;
+        }
+        let mut j = i + 1;
+        let mut name = String::new();
+        while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+            name.push(chars[j]);
+            j += 1;
+        }
+        if !name.is_empty() && !name.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+            out.push(name);
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Sub-rule 2: `==`/`!=` on MAC tags in the secret-eq crates.
+fn check_tag_eq(input: &PassInput<'_>, findings: &mut Vec<Finding>) {
+    if !SECRET_EQ_CRATES.contains(&input.ctx.crate_name.as_str()) {
+        return;
+    }
+    let toks = input.toks;
+    for (i, tok) in toks.iter().enumerate() {
+        if tok.kind != TokKind::Punct || !matches!(tok.text.as_str(), "==" | "!=") {
+            continue;
+        }
+        let culprit = [lhs_ident(toks, i), rhs_ident(toks, i)]
+            .into_iter()
+            .flatten()
+            .find(|id| is_tag_ident(id));
+        let Some(id) = culprit else { continue };
+        if let Some(f) = input.finding(
+            Lint::SecretEq,
+            tok.line,
+            format!("MAC tag `{id}` compared with `{}` (short-circuits on first diff)", tok.text),
+            "use the constant-time compare `sdimm_crypto::ct::ct_eq`, \
+             or waive with `// lint: secret-ok(reason)`"
+                .to_string(),
+        ) {
+            findings.push(f);
+        }
+    }
+}
+
+/// Sub-rule 3: `println!`/`print!` in library crates.
+fn check_lib_println(input: &PassInput<'_>, findings: &mut Vec<Finding>) {
+    if input.ctx.kind != FileKind::Lib || !LIBRARY_CRATES.contains(&input.ctx.crate_name.as_str()) {
+        return;
+    }
+    let toks = input.toks;
+    for (i, tok) in toks.iter().enumerate() {
+        if tok.kind == TokKind::Ident
+            && matches!(tok.text.as_str(), "println" | "print")
+            && is_punct(toks, i + 1, "!")
+        {
+            if let Some(f) = input.finding(
+                Lint::LibPrintln,
+                tok.line,
+                format!("`{}!` in library crate `{}`", tok.text, input.ctx.crate_name),
+                "route data through telemetry (TraceSink/metrics) or return it; \
+                 `eprintln!` is allowed for fatal diagnostics; \
+                 waive with `// lint: print-ok(reason)`"
+                    .to_string(),
+            ) {
+                findings.push(f);
+            }
+        }
+    }
+}

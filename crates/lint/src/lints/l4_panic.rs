@@ -1,0 +1,62 @@
+//! L4 — unsafe/panic budget.
+//!
+//! Two rules:
+//!
+//! 1. **unsafe-attr** — every crate root carries `#![deny(unsafe_code)]`
+//!    (or `forbid`). The workspace is pure safe Rust by construction; the
+//!    attribute makes that a compile-time guarantee instead of a habit.
+//! 2. **panic-budget** — `unwrap()`/`expect()` in library code (outside
+//!    tests and binaries) needs a `// lint: panic-ok(reason)` waiver. A
+//!    panic in the middle of a multi-million-command figure run throws
+//!    away the whole run; fallible paths should return errors the runner
+//!    can report, and genuinely infallible uses must say *why* they are
+//!    infallible.
+
+use super::PassInput;
+use crate::lexer::TokKind;
+use crate::walker::is_punct;
+use crate::{FileKind, Finding, Lint};
+
+/// Runs the pass. `src` is the raw file text, used for the attribute
+/// check (attribute order/formatting is not token-shape sensitive).
+pub fn check(input: &PassInput<'_>, src: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    if input.ctx.is_crate_root
+        && !src.contains("#![deny(unsafe_code)]")
+        && !src.contains("#![forbid(unsafe_code)]")
+    {
+        findings.push(Finding {
+            lint: Lint::UnsafeAttr,
+            file: input.file.to_string(),
+            line: 1,
+            actual: "crate root does not assert an unsafe-code policy".to_string(),
+            expected: "add `#![deny(unsafe_code)]` (workspace is pure safe Rust)".to_string(),
+            excerpt: String::new(),
+        });
+    }
+    if input.ctx.kind != FileKind::Lib {
+        return findings; // binaries may panic: that *is* their error path
+    }
+    let toks = input.toks;
+    for (i, tok) in toks.iter().enumerate() {
+        let is_call = tok.kind == TokKind::Ident
+            && matches!(tok.text.as_str(), "unwrap" | "expect")
+            && i > 0
+            && is_punct(toks, i - 1, ".")
+            && is_punct(toks, i + 1, "(");
+        if !is_call {
+            continue;
+        }
+        if let Some(f) = input.finding(
+            Lint::PanicBudget,
+            tok.line,
+            format!("`.{}()` in library code", tok.text),
+            "return a Result/Option the caller can handle, or state the \
+             infallibility invariant with `// lint: panic-ok(reason)`"
+                .to_string(),
+        ) {
+            findings.push(f);
+        }
+    }
+    findings
+}

@@ -1,0 +1,65 @@
+//! The four lint passes. Each pass is a pure function over one file's
+//! token stream plus context; orchestration lives in [`crate::scan`].
+
+pub mod l1_cycle;
+pub mod l2_timing;
+pub mod l3_secret;
+pub mod l4_panic;
+
+use crate::lexer::Tok;
+use crate::walker::{in_test, waived, Waiver};
+use crate::{FileCtx, Finding, Lint};
+
+/// Everything a pass needs to examine one file.
+#[derive(Debug)]
+pub struct PassInput<'a> {
+    /// File classification.
+    pub ctx: &'a FileCtx,
+    /// Workspace-relative display path.
+    pub file: &'a str,
+    /// Raw source lines for excerpts.
+    pub lines: &'a [&'a str],
+    /// Lexed non-comment tokens.
+    pub toks: &'a [Tok],
+    /// `#[cfg(test)]` line ranges.
+    pub test_regions: &'a [(u32, u32)],
+    /// Parsed waivers.
+    pub waivers: &'a [Waiver],
+}
+
+impl PassInput<'_> {
+    /// The trimmed source line at 1-based `line`, for diagnostics.
+    pub fn excerpt(&self, line: u32) -> String {
+        self.lines
+            .get(line.saturating_sub(1) as usize)
+            .map(|l| l.trim().to_string())
+            .unwrap_or_default()
+    }
+
+    /// Builds a finding unless `line` is inside a test region or covered
+    /// by the lint's waiver.
+    pub fn finding(
+        &self,
+        lint: Lint,
+        line: u32,
+        actual: String,
+        expected: String,
+    ) -> Option<Finding> {
+        if in_test(self.test_regions, line) {
+            return None;
+        }
+        if let Some(name) = lint.waiver() {
+            if waived(self.waivers, name, line) {
+                return None;
+            }
+        }
+        Some(Finding {
+            lint,
+            file: self.file.to_string(),
+            line,
+            actual,
+            expected,
+            excerpt: self.excerpt(line),
+        })
+    }
+}

@@ -1,0 +1,59 @@
+//! `sdimm-lint` — the workspace static-analysis gate.
+//!
+//! Scans every workspace crate's sources and enforces the four lint
+//! families (cycle arithmetic, timing-constant discipline, secret hygiene,
+//! unsafe/panic budget). Exits nonzero when any finding survives, with
+//! `file:line` diagnostics in the audit crate's actual-vs-expected style.
+//!
+//! Usage: `cargo run -p sdimm-lint` from anywhere inside the workspace.
+
+#![deny(unsafe_code)]
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use sdimm_lint::scan::{find_workspace_root, scan_workspace};
+
+fn main() -> ExitCode {
+    let cwd = match std::env::current_dir() {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("sdimm-lint: cannot read current directory: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let root = match find_workspace_root(&cwd)
+        .or_else(|| find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR"))))
+    {
+        Some(r) => r,
+        None => {
+            eprintln!("sdimm-lint: no workspace root (Cargo.toml with [workspace]) found");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match scan_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("sdimm-lint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if report.findings.is_empty() {
+        println!(
+            "sdimm-lint: {} files scanned, 0 findings (L1 cycle-arith, L2 timing-literal, \
+             L3 secret hygiene, L4 unsafe/panic budget)",
+            report.files_scanned
+        );
+        return ExitCode::SUCCESS;
+    }
+    for f in &report.findings {
+        println!("{f}\n");
+    }
+    println!(
+        "sdimm-lint: {} files scanned, {} finding(s) — see diagnostics above; \
+         each names its waiver syntax if suppression is justified",
+        report.files_scanned,
+        report.findings.len()
+    );
+    ExitCode::FAILURE
+}

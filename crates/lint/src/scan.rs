@@ -1,0 +1,236 @@
+//! Scan orchestration: file discovery across the workspace, per-file pass
+//! execution, and report formatting.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::lex;
+use crate::lints::{l1_cycle, l2_timing, l3_secret, l4_panic, PassInput};
+use crate::walker::{parse_waivers, test_regions};
+use crate::{FileCtx, FileKind, Finding, Lint};
+
+/// Workspace members the scanner skips entirely: the vendored shims are
+/// third-party API mimics excluded from the cargo workspace too.
+const SKIPPED_MEMBERS: &[&str] = &["shims"];
+
+/// Runs every pass over one source string. Exposed so fixture tests can
+/// scan seeded-violation files under an arbitrary crate context.
+pub fn scan_source(ctx: &FileCtx, display_path: &str, src: &str) -> Vec<Finding> {
+    let lexed = lex(src);
+    let (waivers, bad_waivers) = parse_waivers(&lexed.comments);
+    let regions = test_regions(&lexed);
+    let lines: Vec<&str> = src.lines().collect();
+    let input = PassInput {
+        ctx,
+        file: display_path,
+        lines: &lines,
+        toks: &lexed.tokens,
+        test_regions: &regions,
+        waivers: &waivers,
+    };
+    let mut findings = Vec::new();
+    for bw in &bad_waivers {
+        findings.push(Finding {
+            lint: Lint::BadWaiver,
+            file: display_path.to_string(),
+            line: bw.line,
+            actual: format!("malformed waiver `//{}`: {}", bw.text, bw.problem),
+            expected: "write `// lint: <name>(reason)` with a known name and a non-empty reason"
+                .to_string(),
+            excerpt: input.excerpt(bw.line),
+        });
+    }
+    findings.extend(l1_cycle::check(&input));
+    findings.extend(l2_timing::check(&input));
+    findings.extend(l3_secret::check(&input));
+    findings.extend(l4_panic::check(&input, src));
+    findings
+}
+
+/// One file queued for scanning.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Absolute path on disk.
+    pub path: PathBuf,
+    /// Workspace-relative display path.
+    pub display: String,
+    /// Lint context.
+    pub ctx: FileCtx,
+}
+
+/// Discovers all lintable sources under a workspace root.
+///
+/// Per member: everything in `src/**` (with `src/bin/**` and `src/main.rs`
+/// classified as binaries). Integration tests, benches, and examples are
+/// not scanned — their hygiene rules differ (tests compare tags, benches
+/// read wall clocks) and the valuable invariants live in library code.
+/// The top-level `examples/` member's demo programs are scanned as
+/// binaries so cycle-arithmetic and secret-format rules still apply.
+pub fn collect_files(root: &Path) -> std::io::Result<Vec<SourceFile>> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    let mut members: Vec<(String, PathBuf)> = Vec::new();
+    for entry in fs::read_dir(&crates_dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name().to_string_lossy().to_string();
+        if !path.is_dir() || SKIPPED_MEMBERS.contains(&name.as_str()) {
+            continue;
+        }
+        if path.join("Cargo.toml").exists() {
+            members.push((name, path));
+        }
+    }
+    members.push(("tests".to_string(), root.join("tests")));
+    members.sort();
+    for (name, dir) in &members {
+        let src = dir.join("src");
+        if src.is_dir() {
+            collect_rs(&src, root, name, &mut files)?;
+        }
+    }
+    // Top-level examples: standalone demo binaries at the member root.
+    let examples = root.join("examples");
+    if examples.is_dir() {
+        let mut paths: Vec<PathBuf> = fs::read_dir(&examples)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+            .collect();
+        paths.sort();
+        for path in paths {
+            files.push(SourceFile {
+                display: display_of(&path, root),
+                ctx: FileCtx {
+                    crate_name: "examples".to_string(),
+                    kind: FileKind::Bin,
+                    is_crate_root: false,
+                },
+                path,
+            });
+        }
+    }
+    Ok(files)
+}
+
+fn display_of(path: &Path, root: &Path) -> String {
+    path.strip_prefix(root).unwrap_or(path).to_string_lossy().replace('\\', "/")
+}
+
+/// Recursively gathers `.rs` files under one crate's `src`.
+fn collect_rs(
+    dir: &Path,
+    root: &Path,
+    crate_name: &str,
+    out: &mut Vec<SourceFile>,
+) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> =
+        fs::read_dir(dir)?.filter_map(|e| e.ok()).map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, root, crate_name, out)?;
+            continue;
+        }
+        if path.extension().is_none_or(|e| e != "rs") {
+            continue;
+        }
+        let display = display_of(&path, root);
+        let in_bin = display.contains("/src/bin/") || display.ends_with("/src/main.rs");
+        let is_crate_root = display.ends_with("/src/lib.rs") || display.ends_with("/src/main.rs");
+        out.push(SourceFile {
+            path,
+            display,
+            ctx: FileCtx {
+                crate_name: crate_name.to_string(),
+                kind: if in_bin { FileKind::Bin } else { FileKind::Lib },
+                is_crate_root,
+            },
+        });
+    }
+    Ok(())
+}
+
+/// Result of a whole-workspace scan.
+#[derive(Debug)]
+pub struct ScanReport {
+    /// Files examined.
+    pub files_scanned: usize,
+    /// All findings across all files, in path order.
+    pub findings: Vec<Finding>,
+}
+
+/// Scans every lintable file under `root`.
+pub fn scan_workspace(root: &Path) -> std::io::Result<ScanReport> {
+    let files = collect_files(root)?;
+    let mut findings = Vec::new();
+    for f in &files {
+        let src = fs::read_to_string(&f.path)?;
+        findings.extend(scan_source(&f.ctx, &f.display, &src));
+    }
+    Ok(ScanReport { files_scanned: files.len(), findings })
+}
+
+/// Locates the workspace root by walking up from `start` to the first
+/// directory whose `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.exists() {
+            if let Ok(text) = fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib_ctx(krate: &str) -> FileCtx {
+        FileCtx { crate_name: krate.to_string(), kind: FileKind::Lib, is_crate_root: false }
+    }
+
+    #[test]
+    fn scan_source_reports_bad_waiver() {
+        let ctx = lib_ctx("dram");
+        let f = scan_source(&ctx, "x.rs", "// lint: nope-ok(reason)\nfn a() {}\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].lint, Lint::BadWaiver);
+    }
+
+    #[test]
+    fn finds_workspace_root_from_crate_dir() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_workspace_root(here).expect("workspace root");
+        assert!(root.join("crates").is_dir());
+        assert!(root.join("Cargo.toml").is_file());
+    }
+
+    #[test]
+    fn collect_files_classifies_bins_and_roots() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_workspace_root(here).expect("workspace root");
+        let files = collect_files(&root).expect("collect");
+        let lint_root = files
+            .iter()
+            .find(|f| f.display == "crates/lint/src/lib.rs")
+            .expect("own lib.rs scanned");
+        assert!(lint_root.ctx.is_crate_root);
+        assert_eq!(lint_root.ctx.kind, FileKind::Lib);
+        let bench_bin = files
+            .iter()
+            .find(|f| f.display.starts_with("crates/bench/src/bin/"))
+            .expect("bench bins scanned");
+        assert_eq!(bench_bin.ctx.kind, FileKind::Bin);
+        assert!(!files.iter().any(|f| f.display.contains("shims")), "shims excluded");
+        assert!(!files.iter().any(|f| f.display.contains("fixtures")), "fixtures excluded");
+    }
+}

@@ -1,0 +1,344 @@
+//! Token-stream walking utilities shared by the lint passes: waiver
+//! parsing, `#[cfg(test)]` region tracking, and operand adjacency helpers.
+
+use crate::lexer::{Comment, Lexed, Tok, TokKind};
+
+/// Waiver names the passes understand, one per waivable lint.
+pub const KNOWN_WAIVERS: &[&str] = &["wrap-ok", "literal-ok", "secret-ok", "print-ok", "panic-ok"];
+
+/// A parsed `// lint: <name>(<reason>)` waiver comment.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// Waiver name (`wrap-ok`, `panic-ok`, …).
+    pub name: String,
+    /// Justification between the parentheses; must be non-empty.
+    pub reason: String,
+    /// Line the comment sits on. The waiver covers this line and the next,
+    /// so it works both trailing (`code // lint: …`) and on its own line
+    /// above the code.
+    pub line: u32,
+}
+
+/// A malformed waiver: the marker `lint:` was present, but the name is
+/// unknown or the reason is missing.
+#[derive(Debug, Clone)]
+pub struct BadWaiver {
+    /// Offending comment text, trimmed.
+    pub text: String,
+    /// Line of the comment.
+    pub line: u32,
+    /// Why it was rejected.
+    pub problem: String,
+}
+
+/// Extracts waivers (and malformed ones) from the comment list.
+pub fn parse_waivers(comments: &[Comment]) -> (Vec<Waiver>, Vec<BadWaiver>) {
+    let mut good = Vec::new();
+    let mut bad = Vec::new();
+    for c in comments {
+        let text = c.text.trim();
+        let Some(rest) = text.strip_prefix("lint:") else { continue };
+        let rest = rest.trim();
+        let (name, tail) = match rest.find('(') {
+            Some(p) => (rest[..p].trim(), &rest[p + 1..]),
+            None => {
+                bad.push(BadWaiver {
+                    text: text.to_string(),
+                    line: c.line,
+                    problem: "missing `(reason)` — every waiver must be justified".to_string(),
+                });
+                continue;
+            }
+        };
+        if !KNOWN_WAIVERS.contains(&name) {
+            bad.push(BadWaiver {
+                text: text.to_string(),
+                line: c.line,
+                problem: format!("unknown waiver `{name}` (known: {})", KNOWN_WAIVERS.join(", ")),
+            });
+            continue;
+        }
+        let reason = tail.trim_end_matches(')').trim();
+        if reason.is_empty() {
+            bad.push(BadWaiver {
+                text: text.to_string(),
+                line: c.line,
+                problem: format!("waiver `{name}` has an empty reason"),
+            });
+            continue;
+        }
+        good.push(Waiver { name: name.to_string(), reason: reason.to_string(), line: c.line });
+    }
+    (good, bad)
+}
+
+/// True when a waiver named `name` covers `line` (same line or the line
+/// directly below the comment).
+pub fn waived(waivers: &[Waiver], name: &str, line: u32) -> bool {
+    waivers.iter().any(|w| w.name == name && (w.line == line || w.line + 1 == line))
+}
+
+/// Inclusive line ranges of `#[cfg(test)]` items (modules or functions).
+///
+/// Lint rules about production hygiene do not apply to test code: tests
+/// legitimately compare tags for equality, pin timing constants as
+/// literals, and `unwrap()` freely.
+pub fn test_regions(lexed: &Lexed) -> Vec<(u32, u32)> {
+    let toks = &lexed.tokens;
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !(is_punct(toks, i, "#") && is_punct(toks, i + 1, "[")) {
+            i += 1;
+            continue;
+        }
+        // Collect the attribute tokens up to the matching `]`.
+        let attr_start = i;
+        let mut depth = 0usize;
+        let mut j = i + 1;
+        let mut saw_cfg = false;
+        let mut saw_test = false;
+        while j < toks.len() {
+            match toks[j].text.as_str() {
+                "[" | "(" => depth += 1,
+                "]" | ")" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                "cfg" if toks[j].kind == TokKind::Ident => saw_cfg = true,
+                "test" if toks[j].kind == TokKind::Ident => saw_test = true,
+                _ => {}
+            }
+            j += 1;
+        }
+        if !(saw_cfg && saw_test) {
+            i = j + 1;
+            continue;
+        }
+        // The item this attribute decorates: scan forward to its body and
+        // match braces. Items without a brace body (e.g. `use`) end at `;`.
+        let mut k = j + 1;
+        // Skip any further attributes.
+        while is_punct(toks, k, "#") && is_punct(toks, k + 1, "[") {
+            let mut d = 0usize;
+            while k < toks.len() {
+                match toks[k].text.as_str() {
+                    "[" | "(" => d += 1,
+                    "]" | ")" => {
+                        d -= 1;
+                        if d == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            k += 1;
+        }
+        let start_line = toks[attr_start].line;
+        let mut end_line = start_line;
+        let mut brace_depth = 0usize;
+        let mut entered = false;
+        while k < toks.len() {
+            match toks[k].text.as_str() {
+                "{" => {
+                    brace_depth += 1;
+                    entered = true;
+                }
+                "}" => {
+                    brace_depth = brace_depth.saturating_sub(1);
+                    if entered && brace_depth == 0 {
+                        end_line = toks[k].line;
+                        break;
+                    }
+                }
+                ";" if !entered => {
+                    end_line = toks[k].line;
+                    break;
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        if k >= toks.len() {
+            end_line = toks.last().map(|t| t.line).unwrap_or(start_line);
+        }
+        regions.push((start_line, end_line));
+        i = k + 1;
+    }
+    regions
+}
+
+/// True when `line` falls inside any test region.
+pub fn in_test(regions: &[(u32, u32)], line: u32) -> bool {
+    regions.iter().any(|&(a, b)| line >= a && line <= b)
+}
+
+/// Is token `i` a punct with exactly this text?
+pub fn is_punct(toks: &[Tok], i: usize, text: &str) -> bool {
+    toks.get(i).is_some_and(|t| t.kind == TokKind::Punct && t.text == text)
+}
+
+/// The identifier effectively ending the operand *before* token `i`.
+///
+/// Handles three shapes: a plain identifier (`now`), the final segment of
+/// a path/field chain (`self.bank.next_act` → `next_act`), and a call
+/// result (`r.last_activity()` → `last_activity`, by matching back over
+/// the argument parens).
+pub fn lhs_ident(toks: &[Tok], i: usize) -> Option<&str> {
+    if i == 0 {
+        return None;
+    }
+    let mut p = i - 1;
+    // Skip back over one balanced `(...)` / `[...]` group.
+    if toks[p].text == ")" || toks[p].text == "]" {
+        let close = toks[p].text.clone();
+        let open = if close == ")" { "(" } else { "[" };
+        let mut depth = 1usize;
+        while p > 0 && depth > 0 {
+            p -= 1;
+            if toks[p].kind == TokKind::Punct {
+                if toks[p].text == close {
+                    depth += 1;
+                } else if toks[p].text == open {
+                    depth -= 1;
+                }
+            }
+        }
+        if p == 0 {
+            return None;
+        }
+        p -= 1;
+    }
+    (toks[p].kind == TokKind::Ident).then(|| toks[p].text.as_str())
+}
+
+/// The identifier effectively starting the operand *after* token `i`:
+/// the final segment of any `a.b.c` / `a::b` path, or `None` when the
+/// operand opens with something else (a paren group, a literal, …).
+pub fn rhs_ident(toks: &[Tok], i: usize) -> Option<&str> {
+    let mut p = i + 1;
+    if toks.get(p)?.kind != TokKind::Ident {
+        return None;
+    }
+    let mut last = p;
+    loop {
+        let sep = p + 1;
+        if toks
+            .get(sep)
+            .is_some_and(|t| t.kind == TokKind::Punct && (t.text == "." || t.text == "::"))
+            && toks.get(sep + 1).is_some_and(|t| t.kind == TokKind::Ident)
+        {
+            p = sep + 1;
+            last = p;
+        } else {
+            break;
+        }
+    }
+    Some(toks[last].text.as_str())
+}
+
+/// The token starting the operand after `i`, for literal checks.
+pub fn rhs_token(toks: &[Tok], i: usize) -> Option<&Tok> {
+    toks.get(i + 1)
+}
+
+/// True when the `-`/`+` at token `i` is a *binary* operator: the previous
+/// token must be able to end an expression.
+pub fn is_binary_op(toks: &[Tok], i: usize) -> bool {
+    if i == 0 {
+        return false;
+    }
+    let prev = &toks[i - 1];
+    match prev.kind {
+        TokKind::Ident | TokKind::Int(_) | TokKind::Float | TokKind::Str | TokKind::Char => true,
+        TokKind::Punct => matches!(prev.text.as_str(), ")" | "]" | "}"),
+        TokKind::Lifetime => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn waiver_roundtrip() {
+        let l = lex("x // lint: wrap-ok(deadline is monotone by construction)\n");
+        let (good, bad) = parse_waivers(&l.comments);
+        assert!(bad.is_empty());
+        assert_eq!(good.len(), 1);
+        assert_eq!(good[0].name, "wrap-ok");
+        assert_eq!(good[0].reason, "deadline is monotone by construction");
+        assert!(waived(&good, "wrap-ok", 1));
+        assert!(waived(&good, "wrap-ok", 2));
+        assert!(!waived(&good, "wrap-ok", 3));
+        assert!(!waived(&good, "panic-ok", 1));
+    }
+
+    #[test]
+    fn unknown_waiver_is_rejected() {
+        let l = lex("// lint: yolo-ok(because)\n");
+        let (good, bad) = parse_waivers(&l.comments);
+        assert!(good.is_empty());
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].problem.contains("unknown waiver"));
+    }
+
+    #[test]
+    fn empty_reason_is_rejected() {
+        let l = lex("// lint: panic-ok()\n// lint: wrap-ok\n");
+        let (good, bad) = parse_waivers(&l.comments);
+        assert!(good.is_empty());
+        assert_eq!(bad.len(), 2);
+    }
+
+    #[test]
+    fn cfg_test_module_region() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n  fn b() { x.unwrap(); }\n}\nfn c() {}\n";
+        let l = lex(src);
+        let regions = test_regions(&l);
+        assert_eq!(regions, vec![(2, 5)]);
+        assert!(!in_test(&regions, 1));
+        assert!(in_test(&regions, 4));
+        assert!(!in_test(&regions, 6));
+    }
+
+    #[test]
+    fn cfg_feature_is_not_a_test_region() {
+        let l = lex("#[cfg(feature = \"audit-strict\")]\nmod strict { fn a() {} }\n");
+        assert!(test_regions(&l).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_with_extra_attr_and_nested_braces() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nmod t {\n mod inner { fn f() { if x { } } }\n}\nfn after() {}\n";
+        let l = lex(src);
+        assert_eq!(test_regions(&l), vec![(1, 5)]);
+    }
+
+    #[test]
+    fn operand_helpers() {
+        let l = lex("self.bank.next_act - r.last_activity() + (a + b)");
+        let toks = &l.tokens;
+        let minus = toks.iter().position(|t| t.text == "-" && t.kind == TokKind::Punct).unwrap();
+        assert_eq!(lhs_ident(toks, minus), Some("next_act"));
+        assert_eq!(rhs_ident(toks, minus), Some("last_activity"));
+        let plus = toks.iter().position(|t| t.text == "+").unwrap();
+        assert_eq!(lhs_ident(toks, plus), Some("last_activity"));
+        assert_eq!(rhs_ident(toks, plus), None); // paren group
+    }
+
+    #[test]
+    fn unary_minus_is_not_binary() {
+        let l = lex("let x = -1; let y = a - 1;");
+        let toks = &l.tokens;
+        let positions: Vec<usize> =
+            toks.iter().enumerate().filter(|(_, t)| t.text == "-").map(|(i, _)| i).collect();
+        assert!(!is_binary_op(toks, positions[0]));
+        assert!(is_binary_op(toks, positions[1]));
+    }
+}

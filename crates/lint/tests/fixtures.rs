@@ -1,0 +1,137 @@
+//! Fixture-under-test: every lint must fire on its seeded fixture and
+//! stay silent on the waivered/fixed copy — plus the self-scan gate:
+//! the workspace at HEAD must be clean.
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+use sdimm_lint::scan::{find_workspace_root, scan_source, scan_workspace};
+use sdimm_lint::{FileCtx, FileKind, Finding};
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures").join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+fn ctx(crate_name: &str, kind: FileKind, is_crate_root: bool) -> FileCtx {
+    FileCtx { crate_name: crate_name.to_string(), kind, is_crate_root }
+}
+
+fn scan(name: &str, ctx: &FileCtx) -> Vec<Finding> {
+    scan_source(ctx, &format!("fixtures/{name}"), &fixture(name))
+}
+
+fn ids(findings: &[Finding]) -> BTreeSet<&'static str> {
+    findings.iter().map(|f| f.lint.id()).collect()
+}
+
+#[test]
+fn l1_fixture_flags_all_three_sites() {
+    let c = ctx("dram", FileKind::Lib, false);
+    let found = scan("l1_cycle.rs", &c);
+    assert_eq!(ids(&found), BTreeSet::from(["L1/cycle-arith"]), "{found:#?}");
+    assert_eq!(found.len(), 3, "`+`, `-`, and `+=` must each fire: {found:#?}");
+}
+
+#[test]
+fn l1_waived_copy_is_clean() {
+    let c = ctx("dram", FileKind::Lib, false);
+    let found = scan("l1_cycle_waived.rs", &c);
+    assert!(found.is_empty(), "{found:#?}");
+}
+
+#[test]
+fn l2_fixture_flags_raw_timing_literal() {
+    let c = ctx("dram", FileKind::Lib, false);
+    let found = scan("l2_timing.rs", &c);
+    assert_eq!(ids(&found), BTreeSet::from(["L2/timing-literal"]), "{found:#?}");
+}
+
+#[test]
+fn l2_is_scoped_to_timing_crates() {
+    // The same source in a non-timing crate is not L2's business.
+    let c = ctx("telemetry", FileKind::Lib, false);
+    let found = scan("l2_timing.rs", &c);
+    assert!(found.is_empty(), "{found:#?}");
+}
+
+#[test]
+fn l2_waived_copy_is_clean() {
+    let c = ctx("dram", FileKind::Lib, false);
+    let found = scan("l2_timing_waived.rs", &c);
+    assert!(found.is_empty(), "{found:#?}");
+}
+
+#[test]
+fn l3_fixture_flags_format_println_and_eq() {
+    let c = ctx("crypto", FileKind::Lib, false);
+    let found = scan("l3_secret.rs", &c);
+    assert_eq!(
+        ids(&found),
+        BTreeSet::from(["L3/lib-println", "L3/secret-eq", "L3/secret-format"]),
+        "{found:#?}"
+    );
+}
+
+#[test]
+fn l3_waived_copy_is_clean() {
+    let c = ctx("crypto", FileKind::Lib, false);
+    let found = scan("l3_secret_waived.rs", &c);
+    assert!(found.is_empty(), "{found:#?}");
+}
+
+#[test]
+fn l4_fixture_flags_missing_gate_and_unwrap() {
+    let c = ctx("fixture", FileKind::Lib, true);
+    let found = scan("l4_panic.rs", &c);
+    assert_eq!(ids(&found), BTreeSet::from(["L4/panic-budget", "L4/unsafe-attr"]), "{found:#?}");
+}
+
+#[test]
+fn l4_waived_copy_is_clean() {
+    let c = ctx("fixture", FileKind::Lib, true);
+    let found = scan("l4_panic_waived.rs", &c);
+    assert!(found.is_empty(), "{found:#?}");
+}
+
+#[test]
+fn l4_panic_budget_exempts_binaries() {
+    let c = ctx("fixture", FileKind::Bin, false);
+    let found = scan("l4_panic.rs", &c);
+    assert!(found.is_empty(), "binaries may unwrap: {found:#?}");
+}
+
+#[test]
+fn bad_waivers_are_findings() {
+    let c = ctx("dram", FileKind::Lib, false);
+    let found = scan("l0_bad_waiver.rs", &c);
+    assert_eq!(ids(&found), BTreeSet::from(["L0/bad-waiver"]), "{found:#?}");
+    assert_eq!(found.len(), 2, "missing reason AND unknown name: {found:#?}");
+}
+
+#[test]
+fn fixtures_seed_at_least_eight_distinct_violations() {
+    // Acceptance floor from the issue: >= 8 distinct seeded violations
+    // across L1–L4 (plus L0) must be detected.
+    let mut all = BTreeSet::new();
+    all.extend(ids(&scan("l1_cycle.rs", &ctx("dram", FileKind::Lib, false))));
+    all.extend(ids(&scan("l2_timing.rs", &ctx("dram", FileKind::Lib, false))));
+    all.extend(ids(&scan("l3_secret.rs", &ctx("crypto", FileKind::Lib, false))));
+    all.extend(ids(&scan("l4_panic.rs", &ctx("fixture", FileKind::Lib, true))));
+    all.extend(ids(&scan("l0_bad_waiver.rs", &ctx("dram", FileKind::Lib, false))));
+    assert!(all.len() >= 8, "only {} distinct lints seeded: {all:?}", all.len());
+}
+
+#[test]
+fn workspace_self_scan_is_clean_at_head() {
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("lint crate lives inside the workspace");
+    let report = scan_workspace(&root).expect("workspace scan");
+    assert!(report.files_scanned > 80, "suspiciously few files: {}", report.files_scanned);
+    let rendered: Vec<String> = report.findings.iter().map(|f| f.to_string()).collect();
+    assert!(
+        report.findings.is_empty(),
+        "workspace must be lint-clean at HEAD:\n{}",
+        rendered.join("\n")
+    );
+}

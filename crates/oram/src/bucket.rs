@@ -124,14 +124,17 @@ impl Bucket {
     pub fn deserialize(bytes: &[u8], z: usize, block_bytes: usize) -> Self {
         let rec = 16 + block_bytes;
         assert_eq!(bytes.len(), 8 + z * rec, "malformed bucket image");
+        // lint: panic-ok(slice width is a compile-time constant)
         let counter = u64::from_le_bytes(bytes[..8].try_into().expect("8 bytes"));
         let mut slots = Vec::with_capacity(z);
         for i in 0..z {
             let base = 8 + i * rec;
+            // lint: panic-ok(slice width is a compile-time constant)
             let id_raw = u64::from_le_bytes(bytes[base..base + 8].try_into().expect("8"));
             if id_raw == 0 {
                 slots.push(None);
             } else {
+                // lint: panic-ok(slice width is a compile-time constant)
                 let leaf = u64::from_le_bytes(bytes[base + 8..base + 16].try_into().expect("8"));
                 slots.push(Some(BlockEntry {
                     id: BlockId(id_raw - 1),

@@ -53,6 +53,7 @@ impl IdSpace {
 
     /// Total blocks across all in-memory levels.
     pub fn total_blocks(&self) -> u64 {
+        // lint: panic-ok(invariant: non-empty)
         *self.bounds.last().expect("non-empty")
     }
 

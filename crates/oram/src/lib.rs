@@ -34,6 +34,7 @@
 //! assert_eq!(plan.total_lines(), oram.config().lines_per_access());
 //! ```
 
+#![deny(unsafe_code)]
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 

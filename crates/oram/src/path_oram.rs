@@ -335,6 +335,7 @@ impl PathOram {
         if let Some(sealed) = &self.sealed {
             let idxs: Vec<BucketIdx> =
                 (0..=self.geo.levels()).map(|l| self.geo.bucket_at(leaf, l)).collect();
+            // lint: panic-ok(invariant: sealed bucket failed verification)
             let loaded = sealed.load_path(&idxs).expect("sealed bucket failed verification");
             for mut bucket in loaded.into_iter().flatten() {
                 for mut e in bucket.drain() {
@@ -411,6 +412,7 @@ impl PathOram {
                     if count_writebacks {
                         self.stats.blocks_written_back += 1;
                     }
+                    // lint: panic-ok(invariant: evict_for_path respects Z)
                     bucket.insert(e).expect("evict_for_path respects Z");
                 }
                 path.push((bidx, bucket));
@@ -428,6 +430,7 @@ impl PathOram {
                     if count_writebacks {
                         self.stats.blocks_written_back += 1;
                     }
+                    // lint: panic-ok(invariant: evict_for_path respects Z)
                     bucket.insert(e).expect("evict_for_path respects Z");
                 }
             }
@@ -489,7 +492,9 @@ impl PathOram {
             for bidx in sealed.indices() {
                 let bucket = sealed
                     .load(bidx)
+                    // lint: panic-ok(invariant: invariant: sealed bucket verifies)
                     .expect("invariant: sealed bucket verifies")
+                    // lint: panic-ok(invariant: indices[] only yields residents)
                     .expect("indices() only yields residents");
                 for e in bucket.iter() {
                     if let Some(prev) = seen.insert(e.id, "sealed tree") {

@@ -134,6 +134,7 @@ impl Plb {
                 .enumerate()
                 .min_by_key(|(_, e)| e.used)
                 .map(|(i, _)| i)
+                // lint: panic-ok(invariant: set non-empty)
                 .expect("set non-empty");
             let e = self.sets[set].swap_remove(lru);
             if e.dirty {

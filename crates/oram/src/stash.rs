@@ -115,6 +115,7 @@ impl Stash {
                 }
             }
             for id in chosen {
+                // lint: panic-ok(invariant: chosen from map)
                 let e = self.entries.remove(&id).expect("chosen from map");
                 result[level as usize].push(e);
             }

@@ -365,13 +365,17 @@ impl Executor {
                         let slot = b.reserve(self.now, *bytes);
                         req.busy_until = req.busy_until.max(slot.done_at);
                         self.exec_stats.ext_commands += 1;
-                        self.exec_stats.ext_data_cycles += b.data_busy_cycles() - busy_before;
+                        self.exec_stats.ext_data_cycles = self
+                            .exec_stats
+                            .ext_data_cycles
+                            .saturating_add(b.data_busy_cycles().saturating_sub(busy_before));
                     }
                 }
                 Activity::Crypto { units } => {
                     let cycles = Activity::crypto_cycles(*units);
-                    req.busy_until = req.busy_until.max(self.now + cycles);
-                    self.exec_stats.crypto_cycles += cycles;
+                    req.busy_until = req.busy_until.max(self.now.saturating_add(cycles));
+                    self.exec_stats.crypto_cycles =
+                        self.exec_stats.crypto_cycles.saturating_add(cycles);
                 }
                 Activity::Dram { channel, reads, writes } => {
                     self.exec_stats.dram_lines += (reads.len() + writes.len()) as u64;
@@ -425,22 +429,22 @@ impl Executor {
     /// Advances simulated time, pumping all in-flight requests.
     pub fn tick(&mut self, cycles: Cycle) {
         let step = 8;
-        let end = self.now + cycles;
+        let end = self.now.saturating_add(cycles);
         while self.now < end {
-            let dt = step.min(end - self.now);
+            let dt = step.min(end.saturating_sub(self.now));
             for ch in &mut self.channels {
                 ch.tick(dt);
             }
-            self.now += dt;
+            self.now = self.now.saturating_add(dt);
             self.process();
         }
     }
 
     /// Runs until every submitted request is done or `limit` elapses.
     pub fn run_until_quiescent(&mut self, limit: Cycle) {
-        let deadline = self.now + limit;
+        let deadline = self.now.saturating_add(limit);
         while self.active() > 0 && self.now < deadline {
-            self.tick(64.min(deadline - self.now).max(1));
+            self.tick(64.min(deadline.saturating_sub(self.now)).max(1));
         }
     }
 

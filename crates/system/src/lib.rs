@@ -31,6 +31,7 @@
 //!     base.cycles_per_record() / indep.cycles_per_record());
 //! ```
 
+#![deny(unsafe_code)]
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 

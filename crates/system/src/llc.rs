@@ -119,6 +119,7 @@ impl Llc {
                 .enumerate()
                 .min_by_key(|(_, l)| l.lru)
                 .map(|(i, _)| i)
+                // lint: panic-ok(invariant: set not empty)
                 .expect("set not empty");
             let victim = set.swap_remove(victim_idx);
             if victim.dirty {

@@ -295,6 +295,7 @@ impl Machine {
                 })])]
             }
             Backend::Freecursive { oram, channels } => {
+                // lint: panic-ok(invariant: ORAM machines have a frontend)
                 let frontend = self.frontend.as_mut().expect("ORAM machines have a frontend");
                 let index = (addr / 64) % self.cfg.data_blocks;
                 let mut parts = Vec::new();
@@ -360,6 +361,7 @@ impl Machine {
         data_blocks: u64,
         mut access: impl FnMut(BlockId, Op) -> RequestTrace,
     ) -> Vec<RequestTrace> {
+        // lint: panic-ok(invariant: ORAM machines have a frontend)
         let frontend = frontend.expect("ORAM machines have a frontend");
         let index = (addr / 64) % data_blocks;
         frontend

@@ -131,6 +131,7 @@ pub fn run_audited(
     pid: u32,
 ) -> (RunResult, AuditCapture) {
     let (result, capture) = run_inner(cfg, trace, warmup, measure, sink, pid, true);
+    // lint: panic-ok(invariant: capture requested)
     (result, capture.expect("capture requested"))
 }
 
@@ -246,7 +247,7 @@ fn run_inner(
             }
             idx += 1;
             instr_pos += r.gap as u64 + 1;
-            next_issue_at = now + (r.gap as u64) / CPU_PER_MEM_CYCLE;
+            next_issue_at = now.saturating_add((r.gap as u64) / CPU_PER_MEM_CYCLE);
             let res = llc.access(r.addr, r.is_write);
             if res.hit {
                 // Served on-chip; its 10-cycle latency overlaps the gap.
@@ -256,6 +257,7 @@ fn run_inner(
             let mut parts: std::collections::VecDeque<_> =
                 machine.request_traces(r.addr, r.is_write).into();
             dram_lines += parts.iter().map(|t| t.dram_lines()).sum::<u64>();
+            // lint: panic-ok(invariant: at least the demand access)
             let first = parts.pop_front().expect("at least the demand access");
             let id = machine.executor.submit(first);
             chains.insert(id, Chain { parts, instr_pos, issued_at: now, is_writeback: false });
@@ -265,6 +267,7 @@ fn run_inner(
                 let mut wparts: std::collections::VecDeque<_> =
                     machine.request_traces(victim, true).into();
                 dram_lines += wparts.iter().map(|t| t.dram_lines()).sum::<u64>();
+                // lint: panic-ok(invariant: non-empty)
                 let wfirst = wparts.pop_front().expect("non-empty");
                 let wid = machine.executor.submit(wfirst);
                 chains.insert(

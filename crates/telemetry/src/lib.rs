@@ -19,6 +19,7 @@
 //! cycle = one microsecond in the exported trace), which keeps exported
 //! timelines deterministic across runs.
 
+#![deny(unsafe_code)]
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 

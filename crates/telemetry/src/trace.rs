@@ -106,6 +106,7 @@ impl TraceSink {
     #[inline]
     pub fn span(&self, cat: &'static str, name: &str, pid: u32, tid: u32, start: u64, end: u64) {
         if let Some(ring) = &self.0 {
+            // lint: panic-ok(lock poisoning means a worker panicked; propagating the panic is intended)
             ring.lock().unwrap().push(Event {
                 ph: 'X',
                 name: name.to_string(),
@@ -123,6 +124,7 @@ impl TraceSink {
     #[inline]
     pub fn instant(&self, cat: &'static str, name: &str, pid: u32, tid: u32, ts: u64) {
         if let Some(ring) = &self.0 {
+            // lint: panic-ok(lock poisoning means a worker panicked; propagating the panic is intended)
             ring.lock().unwrap().push(Event {
                 ph: 'i',
                 name: name.to_string(),
@@ -141,6 +143,7 @@ impl TraceSink {
     #[inline]
     pub fn counter(&self, cat: &'static str, name: &str, pid: u32, ts: u64, value: u64) {
         if let Some(ring) = &self.0 {
+            // lint: panic-ok(lock poisoning means a worker panicked; propagating the panic is intended)
             ring.lock().unwrap().push(Event {
                 ph: 'C',
                 name: name.to_string(),
@@ -157,6 +160,7 @@ impl TraceSink {
     /// Names the process track `pid` (`ph: "M"`, `process_name`).
     pub fn process_name(&self, pid: u32, name: &str) {
         if let Some(ring) = &self.0 {
+            // lint: panic-ok(lock poisoning means a worker panicked; propagating the panic is intended)
             ring.lock().unwrap().names.push((pid, 0, name.to_string(), true));
         }
     }
@@ -164,12 +168,14 @@ impl TraceSink {
     /// Names the thread track `(pid, tid)` (`ph: "M"`, `thread_name`).
     pub fn thread_name(&self, pid: u32, tid: u32, name: &str) {
         if let Some(ring) = &self.0 {
+            // lint: panic-ok(lock poisoning means a worker panicked; propagating the panic is intended)
             ring.lock().unwrap().names.push((pid, tid, name.to_string(), false));
         }
     }
 
     /// Number of events currently buffered (0 for a disabled sink).
     pub fn len(&self) -> usize {
+        // lint: panic-ok(lock poisoning means a worker panicked; propagating the panic is intended)
         self.0.as_ref().map_or(0, |r| r.lock().unwrap().events.len())
     }
 
@@ -180,6 +186,7 @@ impl TraceSink {
 
     /// Events evicted from the ring because it was full.
     pub fn dropped(&self) -> u64 {
+        // lint: panic-ok(lock poisoning means a worker panicked; propagating the panic is intended)
         self.0.as_ref().map_or(0, |r| r.lock().unwrap().dropped)
     }
 
@@ -189,6 +196,7 @@ impl TraceSink {
     /// disabled sink.
     pub fn export_chrome_json(&self) -> Option<String> {
         let ring = self.0.as_ref()?;
+        // lint: panic-ok(lock poisoning means a worker panicked; propagating the panic is intended)
         let ring = ring.lock().unwrap();
         let mut events: Vec<&Event> = ring.events.iter().collect();
         events.sort_by_key(|e| (e.ts, e.pid, e.tid));

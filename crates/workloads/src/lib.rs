@@ -23,6 +23,7 @@
 //! assert!(profile.mlp_estimate > 1.0);
 //! ```
 
+#![deny(unsafe_code)]
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 

@@ -14,6 +14,9 @@ cargo fmt --check
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> sdimm-lint (cycle arithmetic, secret hygiene, timing constants, panic budget)"
+cargo run --release -q -p sdimm-lint
+
 echo "==> cargo test -q"
 cargo test -q
 

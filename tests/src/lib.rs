@@ -1,1 +1,3 @@
 //! Integration test host crate (tests live in tests/tests/).
+
+#![deny(unsafe_code)]

@@ -21,6 +21,7 @@ use std::fmt;
 
 use dram_sim::cmdlog::{CmdRecord, DdrCmd};
 use dram_sim::config::{ChannelConfig, Cycle, Timing};
+use sdimm_telemetry::FlightRecorder;
 
 /// The auditor's own copy of the inter-command constraint table.
 ///
@@ -250,11 +251,25 @@ impl DdrAuditor {
         cfg: &ChannelConfig,
         stream: &[CmdRecord],
     ) -> Result<AuditSummary, Violation> {
+        DdrAuditor::check_stream_indexed(cfg, stream).map_err(|(_, v)| v)
+    }
+
+    /// [`DdrAuditor::check_stream`], but a violation also carries the
+    /// index of the offending record in `stream` — the anchor a
+    /// black-box dump ([`violation_recorder`]) needs to slice out the
+    /// commands leading up to it. End-of-stream budget violations
+    /// (tREFI) anchor to the last record.
+    pub fn check_stream_indexed(
+        cfg: &ChannelConfig,
+        stream: &[CmdRecord],
+    ) -> Result<AuditSummary, (usize, Violation)> {
         let mut a = DdrAuditor::new(cfg);
-        for rec in stream {
-            a.feed(rec)?;
+        for (i, rec) in stream.iter().enumerate() {
+            if let Err(v) = a.feed(rec) {
+                return Err((i, v));
+            }
         }
-        a.finish()
+        a.finish().map_err(|v| (stream.len().saturating_sub(1), v))
     }
 
     fn viol(&self, rule: &'static str, rec: &CmdRecord, detail: String) -> Violation {
@@ -703,6 +718,42 @@ impl DdrAuditor {
     }
 }
 
+/// How many commands preceding a violation the black-box keeps by
+/// default: enough scheduler history to see the state the offending
+/// command was issued into (several full path accesses at quick scale).
+pub const BLACKBOX_CONTEXT: usize = 128;
+
+/// Builds a [`FlightRecorder`] holding the violating command (at
+/// `index` in `stream`) plus up to `context` preceding commands, in
+/// issue order, ready for a black-box dump: pair with
+/// [`FlightRecorder::blackbox_report`] or
+/// [`FlightRecorder::dump_to_files`], passing the [`Violation`]'s
+/// `Display` form as the reason so the report shows the
+/// actual-vs-required arithmetic next to the command history.
+///
+/// Works from the captured stream rather than the live per-cell ring
+/// so the context window is guaranteed present even when the cell's
+/// own recorder was disabled or had wrapped past the offending window.
+pub fn violation_recorder(
+    stream: &[CmdRecord],
+    channel: u8,
+    index: usize,
+    context: usize,
+) -> FlightRecorder {
+    if stream.is_empty() {
+        return FlightRecorder::with_capacity(1);
+    }
+    let end = index.min(stream.len() - 1);
+    let start = end.saturating_sub(context);
+    let recorder = FlightRecorder::with_capacity(end - start + 1);
+    for rec in &stream[start..=end] {
+        let rank = rec.rank.min(u8::MAX as usize) as u8;
+        recorder.record_at(rec.cycle, rec.cmd.flight_kind(channel, rank));
+    }
+    recorder.set_clock(stream[end].cycle);
+    recorder
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1008,6 +1059,40 @@ mod tests {
         .unwrap();
         let err = a.finish().unwrap_err();
         assert_eq!(err.rule, "tREFI", "{err}");
+    }
+
+    #[test]
+    fn indexed_check_anchors_the_offending_record() {
+        // A long legal prelude (paired ACT/RD/PRE per bank at generous
+        // spacing), then one tRCD violation at the end.
+        let mut stream = Vec::new();
+        let mut c: Cycle = 0;
+        for i in 0..40u64 {
+            let bank = (i % 8) as usize;
+            stream.push(rec(c, 0, DdrCmd::Act { bank, row: 1 }));
+            stream.push(rec(c + 12, 0, DdrCmd::Rd { bank, row: 1 }));
+            stream.push(rec(c + 40, 0, DdrCmd::Pre { bank }));
+            c += 60;
+        }
+        stream.push(rec(c, 0, DdrCmd::Act { bank: 0, row: 2 }));
+        stream.push(rec(c + 3, 0, DdrCmd::Rd { bank: 0, row: 2 })); // tRCD
+        let cfg = ChannelConfig::table2();
+        let (idx, v) = DdrAuditor::check_stream_indexed(&cfg, &stream).unwrap_err();
+        assert_eq!(v.rule, "tRCD", "{v}");
+        assert_eq!(idx, stream.len() - 1, "violation anchors the offending record");
+        assert_eq!(stream[idx].cycle, v.cycle);
+
+        // The black box holds the violating command plus at least 64
+        // predecessors, oldest first with monotonic timestamps.
+        let recorder = violation_recorder(&stream, 3, idx, BLACKBOX_CONTEXT);
+        let events = recorder.events();
+        assert!(events.len() >= 65, "expected ≥64 predecessors, got {}", events.len() - 1);
+        assert!(events.windows(2).all(|w| w[0].ts <= w[1].ts), "dump must be oldest-first");
+        // lint: panic-ok(invariant: non-empty stream yields events)
+        assert_eq!(events.last().expect("non-empty").ts, v.cycle);
+        let report = recorder.blackbox_report(&v.to_string()).unwrap();
+        assert!(report.contains("tRCD"), "reason line carries the rule:\n{report}");
+        assert!(report.contains(&format!("cycle {:>12}", v.cycle)), "violating cmd present");
     }
 
     #[test]

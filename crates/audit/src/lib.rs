@@ -30,7 +30,7 @@ pub mod oracle;
 #[cfg(feature = "audit-strict")]
 pub mod strict;
 
-pub use ddr::{AuditSummary, Constraints, DdrAuditor, Violation};
+pub use ddr::{violation_recorder, AuditSummary, Constraints, DdrAuditor, Violation};
 pub use oracle::{
     check_all_protocols, check_protocol, OracleMismatch, OracleReport, ProtocolKind, ShadowMem,
 };

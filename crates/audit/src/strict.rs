@@ -9,10 +9,31 @@
 use std::io::Write as _;
 use std::process;
 
-use sdimm_telemetry::TraceSink;
+use sdimm_telemetry::{FlightRecorder, TraceSink};
 
 /// File the Chrome-format trace is dumped to before aborting.
 pub const TRACE_DUMP_PATH: &str = "audit-violation-trace.json";
+
+/// File prefix of the flight-recorder black box written by
+/// [`abort_with_blackbox`] (`<prefix>.blackbox.txt` and
+/// `<prefix>.trace.json`).
+pub const BLACKBOX_DUMP_PREFIX: &str = "audit-violation";
+
+/// Dumps the flight-recorder black box (the violating command plus the
+/// history leading up to it — see `ddr::violation_recorder`), then the
+/// Chrome trace, then aborts like [`abort_with_trace`].
+pub fn abort_with_blackbox(sink: &TraceSink, recorder: &FlightRecorder, violation: &str) -> ! {
+    if recorder.is_enabled() && recorder.arm_dump() {
+        match recorder.dump_to_files(BLACKBOX_DUMP_PREFIX, violation, 0) {
+            Some(Ok((txt, json))) => eprintln!(
+                "audit-strict: black box dumped to {txt} (and {json}) — the last lines show the violating command and the state it was issued into"
+            ),
+            Some(Err(e)) => eprintln!("audit-strict: black-box dump failed: {e}"),
+            None => {}
+        }
+    }
+    abort_with_trace(sink, violation)
+}
 
 /// Dumps the trace (when the sink is enabled) and aborts the process
 /// with the conventional SIGABRT-style exit code.

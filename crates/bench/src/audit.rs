@@ -13,7 +13,7 @@ use std::collections::HashSet;
 
 use sdimm_audit::oracle::{check_protocol, ProtocolKind};
 use sdimm_system::machine::{MachineKind, SystemConfig};
-use sdimm_telemetry::TraceSink;
+use sdimm_telemetry::Instruments;
 
 use crate::cli::TelemetryArgs;
 use crate::harness::{self, Cell};
@@ -41,24 +41,37 @@ pub fn run_matrix_maybe_audited(
     kinds: &[MachineKind],
     scale: Scale,
     make_cfg: impl Fn(MachineKind) -> SystemConfig + Sync,
-    sink: TraceSink,
+    instruments: &Instruments,
     pid_base: u32,
 ) -> Vec<Cell> {
     if !args.audit {
-        return harness::run_matrix_traced(workload_names, kinds, scale, make_cfg, sink, pid_base);
+        return harness::run_matrix_traced(
+            workload_names,
+            kinds,
+            scale,
+            make_cfg,
+            instruments,
+            pid_base,
+        );
     }
 
     let (cells, ddr) =
-        harness::run_matrix_audited(workload_names, kinds, scale, make_cfg, sink.clone(), pid_base);
+        harness::run_matrix_audited(workload_names, kinds, scale, make_cfg, instruments, pid_base);
 
     let mut failed = false;
     for v in &ddr.violations {
         eprintln!("audit: DDR violation: {v}");
         failed = true;
     }
+    for p in &ddr.blackbox_dumps {
+        eprintln!("audit: black box at {p}");
+    }
+    // Under audit-strict a DDR violation already aborted inside the
+    // worker (black box first); reaching this point with violations
+    // means the feature is off and the run fails at the end instead.
     #[cfg(feature = "audit-strict")]
     if let Some(v) = ddr.violations.first() {
-        sdimm_audit::strict::abort_with_trace(&sink, v);
+        sdimm_audit::strict::abort_with_trace(&instruments.sink, v);
     }
 
     // One oracle lockstep run per distinct protocol in the matrix. The
@@ -82,7 +95,7 @@ pub fn run_matrix_maybe_audited(
             Err(m) => {
                 eprintln!("audit: ORACLE MISMATCH: {m}");
                 #[cfg(feature = "audit-strict")]
-                sdimm_audit::strict::abort_with_trace(&sink, &m.to_string());
+                sdimm_audit::strict::abort_with_trace(&instruments.sink, &m.to_string());
                 #[cfg(not(feature = "audit-strict"))]
                 {
                     failed = true;

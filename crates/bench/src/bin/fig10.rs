@@ -10,7 +10,8 @@ use workloads::spec;
 
 fn main() {
     let telemetry = TelemetryArgs::from_env("fig10");
-    let sink = telemetry.sink();
+    let instruments = telemetry.instruments();
+    let _live = sdimm_bench::LiveView::spawn(instruments.live.clone());
     let scale = Scale::from_env();
     let mut all_cells = Vec::new();
 
@@ -44,7 +45,7 @@ fn main() {
                 data_blocks: scale.data_blocks(),
                 seed: 1,
             },
-            sink.clone(),
+            &instruments,
             all_cells.len() as u32,
         );
         table::print_normalized(
@@ -55,5 +56,5 @@ fn main() {
         );
         all_cells.extend(cells);
     }
-    telemetry.write_outputs(&all_cells, &sink);
+    telemetry.write_outputs(&all_cells, &instruments);
 }

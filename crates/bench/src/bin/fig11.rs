@@ -8,7 +8,8 @@ use sdimm_system::machine::{MachineKind, SystemConfig};
 
 fn main() {
     let telemetry = TelemetryArgs::from_env("fig11");
-    let sink = telemetry.sink();
+    let instruments = telemetry.instruments();
+    let _live = sdimm_bench::LiveView::spawn(instruments.live.clone());
     let mut all_cells = Vec::new();
     let scale = Scale::from_env();
     // A subset of workloads keeps the sweep fast while preserving the mix.
@@ -38,7 +39,7 @@ fn main() {
                 low_power: false,
                 seed: 1,
             },
-            sink.clone(),
+            &instruments,
             all_cells.len() as u32,
         );
         table::print_normalized(
@@ -65,7 +66,7 @@ fn main() {
                 low_power: false,
                 seed: 1,
             },
-            sink.clone(),
+            &instruments,
             all_cells.len() as u32,
         );
         table::print_normalized(
@@ -76,5 +77,5 @@ fn main() {
         );
         all_cells.extend(cells);
     }
-    telemetry.write_outputs(&all_cells, &sink);
+    telemetry.write_outputs(&all_cells, &instruments);
 }

@@ -8,7 +8,8 @@ use workloads::spec;
 
 fn main() {
     let telemetry = TelemetryArgs::from_env("fig6");
-    let sink = telemetry.sink();
+    let instruments = telemetry.instruments();
+    let _live = sdimm_bench::LiveView::spawn(instruments.live.clone());
     let scale = Scale::from_env();
     let mut all_cells = Vec::new();
     for channels in [1usize, 2] {
@@ -25,7 +26,7 @@ fn main() {
                 low_power: false,
                 seed: 1,
             },
-            sink.clone(),
+            &instruments,
             all_cells.len() as u32,
         );
         table::print_normalized(
@@ -43,5 +44,5 @@ fn main() {
         println!("accessORAMs per LLC request (paper ~1.4): {:.2}", harness::geomean(&apr));
         all_cells.extend(cells);
     }
-    telemetry.write_outputs(&all_cells, &sink);
+    telemetry.write_outputs(&all_cells, &instruments);
 }

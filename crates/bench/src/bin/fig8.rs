@@ -8,7 +8,8 @@ use workloads::spec;
 
 fn main() {
     let telemetry = TelemetryArgs::from_env("fig8");
-    let sink = telemetry.sink();
+    let instruments = telemetry.instruments();
+    let _live = sdimm_bench::LiveView::spawn(instruments.live.clone());
     let scale = Scale::from_env();
     let kinds = [
         MachineKind::Freecursive { channels: 1 },
@@ -29,7 +30,7 @@ fn main() {
                 low_power: false,
                 seed: 1,
             },
-            sink.clone(),
+            &instruments,
             all_cells.len() as u32,
         );
         table::print_normalized(
@@ -41,5 +42,5 @@ fn main() {
         table::print_latency_percentiles(&format!("Fig 8, {cached}-level ORAM cache"), &cells);
         all_cells.extend(cells);
     }
-    telemetry.write_outputs(&all_cells, &sink);
+    telemetry.write_outputs(&all_cells, &instruments);
 }

@@ -7,7 +7,8 @@ use workloads::spec;
 
 fn main() {
     let telemetry = TelemetryArgs::from_env("lowpower");
-    let sink = telemetry.sink();
+    let instruments = telemetry.instruments();
+    let _live = sdimm_bench::LiveView::spawn(instruments.live.clone());
     let mut all_cells = Vec::new();
     let scale = Scale::from_env();
     let kind = MachineKind::Independent { sdimms: 2, channels: 1 };
@@ -25,7 +26,7 @@ fn main() {
                 low_power,
                 seed: 1,
             },
-            sink.clone(),
+            &instruments,
             all_cells.len() as u32,
         );
         table::print_raw(
@@ -42,5 +43,5 @@ fn main() {
         );
         all_cells.extend(cells);
     }
-    telemetry.write_outputs(&all_cells, &sink);
+    telemetry.write_outputs(&all_cells, &instruments);
 }

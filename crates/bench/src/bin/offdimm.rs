@@ -9,7 +9,8 @@ use sdimm_system::machine::{MachineKind, SystemConfig};
 
 fn main() {
     let telemetry = TelemetryArgs::from_env("offdimm");
-    let sink = telemetry.sink();
+    let instruments = telemetry.instruments();
+    let _live = sdimm_bench::LiveView::spawn(instruments.live.clone());
     let scale = Scale::from_env();
 
     println!("== X1 (analytic): off-DIMM traffic as fraction of baseline ==");
@@ -43,7 +44,7 @@ fn main() {
             low_power: false,
             seed: 1,
         },
-        sink.clone(),
+        &instruments,
         0,
     );
     for w in wl {
@@ -61,5 +62,5 @@ fn main() {
             );
         }
     }
-    telemetry.write_outputs(&cells, &sink);
+    telemetry.write_outputs(&cells, &instruments);
 }

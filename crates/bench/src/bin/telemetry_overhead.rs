@@ -1,19 +1,30 @@
-//! `telemetry_overhead` — the no-op telemetry overhead gate.
+//! `telemetry_overhead` — the telemetry overhead gate.
 //!
-//! The telemetry layer promises that a disabled [`TraceSink`] costs one
-//! branch per touchpoint, keeping instrumented simulation within 2% of
-//! un-instrumented speed. This binary checks that promise empirically:
+//! The telemetry layer makes two promises this binary checks
+//! empirically against a quick-scale fig6-style Freecursive window:
 //!
-//! 1. measures the per-call wall cost of a disabled sink (span + instant
-//!    + counter, the three call shapes the hot paths use),
-//! 2. runs a quick-scale fig6-style Freecursive window with an *enabled*
-//!    sink to count how many touchpoints one run actually hits,
-//! 3. times the same window with telemetry disabled (best of three),
+//! * a **disabled** [`TraceSink`] costs one branch per touchpoint,
+//!   keeping instrumented simulation within 2% of un-instrumented
+//!   speed, and
+//! * an **enabled** flight recorder (the always-on black-box ring) is
+//!   cheap enough to leave armed on long runs: under 5% of run time.
 //!
-//! then projects `touchpoints x per-call-cost` against the run's wall
-//! time and exits nonzero above [`MAX_OVERHEAD_PCT`]. The projection is
+//! Method, for each promise:
+//!
+//! 1. measure the per-call wall cost of the primitive (disabled-sink
+//!    span/instant/counter calls; enabled-recorder `record_at` pushes
+//!    into a full ring, which is the steady state of a bounded ring),
+//! 2. count how many touchpoints one run actually hits (enabled-sink
+//!    event census; flight-recorder ring length + dropped count),
+//! 3. time the same window un-instrumented (best of three),
+//!
+//! then project `touchpoints x per-call-cost` against the run's wall
+//! time and exit nonzero above the budget. The projection is
 //! conservative: enabled-sink event counts include call sites that the
 //! disabled path short-circuits before any argument formatting.
+//!
+//! Both gate numbers are also written as JSON (atomic write) when
+//! `--json <path>` is given, so CI can archive the trend.
 
 // Wall-clock overhead gate: `Instant` is the measurement, and a blown budget exits nonzero.
 #![allow(clippy::disallowed_methods)]
@@ -22,18 +33,27 @@ use std::hint::black_box;
 use std::time::Instant;
 
 use sdimm_system::machine::{MachineKind, SystemConfig};
-use sdimm_system::runner::{run, run_traced};
-use sdimm_telemetry::TraceSink;
+use sdimm_system::runner::{run, run_instrumented, run_traced};
+use sdimm_telemetry::recorder::write_atomic;
+use sdimm_telemetry::{FlightEventKind, FlightRecorder, FlightRecorderHub, Instruments, TraceSink};
 use workloads::spec as wl;
 
 /// Gate: projected disabled-sink cost must stay under this share of the
 /// quick-scale fig6 wall time.
 const MAX_OVERHEAD_PCT: f64 = 2.0;
 
+/// Gate: projected cost of an *enabled* flight recorder must stay under
+/// this share of the same run's wall time.
+const MAX_RECORDER_OVERHEAD_PCT: f64 = 5.0;
+
 /// Calls per shape when timing the disabled sink. Large enough that the
 /// loop dwarfs `Instant` overhead; small enough to finish in well under
 /// a second.
 const CALLS: u64 = 10_000_000;
+
+/// Events pushed when timing the enabled recorder ring (the ring wraps
+/// many times over, so this times the steady wrapped state).
+const RECORDER_CALLS: u64 = 2_000_000;
 
 fn disabled_ns_per_call() -> f64 {
     let sink = TraceSink::disabled();
@@ -46,19 +66,52 @@ fn disabled_ns_per_call() -> f64 {
     start.elapsed().as_nanos() as f64 / (CALLS * 3) as f64
 }
 
+fn recorder_ns_per_event() -> f64 {
+    let recorder = FlightRecorder::enabled();
+    let start = Instant::now();
+    for i in 0..RECORDER_CALLS {
+        recorder.record_at(
+            black_box(i),
+            FlightEventKind::StashTick { backend: 0, occupancy: black_box(i as u32) },
+        );
+    }
+    start.elapsed().as_nanos() as f64 / RECORDER_CALLS as f64
+}
+
 fn main() {
+    let json_path = {
+        let mut args = std::env::args().skip(1);
+        match (args.next().as_deref(), args.next()) {
+            (None, _) => None,
+            (Some("--json"), Some(path)) => Some(path),
+            _ => {
+                eprintln!("usage: telemetry_overhead [--json <path>]");
+                std::process::exit(2);
+            }
+        }
+    };
+
     let warmup = 300usize;
     let window = 500usize;
     let trace = wl::generate("mcf-like", warmup + window + 16, 42);
     let cfg = SystemConfig::small(MachineKind::Freecursive { channels: 1 });
 
     let per_call_ns = disabled_ns_per_call();
+    let per_event_ns = recorder_ns_per_event();
 
     // Touchpoint census: every event an enabled sink captures is one
     // call the disabled path would have branched through.
     let census = TraceSink::with_capacity(1 << 22);
     run_traced(&cfg, &trace, warmup, window, census.clone(), 0);
     let touchpoints = census.len() as u64 + census.dropped();
+
+    // Flight-recorder census: events the armed ring absorbs in one run
+    // (ring length after the run plus everything that wrapped past).
+    let hub = FlightRecorderHub::enabled("/tmp/telemetry-overhead-flight", 4096);
+    let flight_instruments = Instruments { flight: hub.clone(), ..Instruments::disabled() };
+    run_instrumented(&cfg, &trace, warmup, window, &flight_instruments, 0);
+    let flight_recorder = hub.recorder_for(0);
+    let flight_events = flight_recorder.len() as u64 + flight_recorder.dropped();
 
     let mut best_wall_ns = f64::INFINITY;
     for _ in 0..3 {
@@ -69,18 +122,50 @@ fn main() {
 
     let projected_ns = touchpoints as f64 * per_call_ns;
     let pct = projected_ns / best_wall_ns * 100.0;
+    let recorder_projected_ns = flight_events as f64 * per_event_ns;
+    let recorder_pct = recorder_projected_ns / best_wall_ns * 100.0;
 
-    println!("telemetry_overhead: disabled-sink cost projection, quick-scale fig6 window");
+    println!("telemetry_overhead: telemetry cost projections, quick-scale fig6 window");
     println!("  disabled sink       {per_call_ns:.3} ns/call");
     println!("  touchpoints per run {touchpoints}");
+    println!("  enabled recorder    {per_event_ns:.3} ns/event");
+    println!("  flight events/run   {flight_events}");
     println!("  run wall time       {:.3} ms (best of 3)", best_wall_ns / 1e6);
-    println!("  projected overhead  {:.4}% (budget {MAX_OVERHEAD_PCT}%)", pct);
+    println!("  disabled overhead   {pct:.4}% (budget {MAX_OVERHEAD_PCT}%)");
+    println!("  recorder overhead   {recorder_pct:.4}% (budget {MAX_RECORDER_OVERHEAD_PCT}%)");
 
+    if let Some(path) = &json_path {
+        let json = format!(
+            "{{\n  \"disabled_ns_per_call\": {per_call_ns:.4},\n  \"touchpoints\": {touchpoints},\n  \
+             \"disabled_overhead_pct\": {pct:.5},\n  \"disabled_budget_pct\": {MAX_OVERHEAD_PCT},\n  \
+             \"recorder_ns_per_event\": {per_event_ns:.4},\n  \"flight_events\": {flight_events},\n  \
+             \"recorder_overhead_pct\": {recorder_pct:.5},\n  \"recorder_budget_pct\": {MAX_RECORDER_OVERHEAD_PCT},\n  \
+             \"wall_ms_best_of_3\": {:.4}\n}}\n",
+            best_wall_ns / 1e6
+        );
+        if let Err(e) = write_atomic(path, &json) {
+            eprintln!("telemetry_overhead: failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("  gate numbers written to {path}");
+    }
+
+    let mut failed = false;
     if pct > MAX_OVERHEAD_PCT {
         eprintln!(
             "telemetry_overhead: disabled telemetry projects to {pct:.2}% of run time, \
              above the {MAX_OVERHEAD_PCT}% budget"
         );
+        failed = true;
+    }
+    if recorder_pct > MAX_RECORDER_OVERHEAD_PCT {
+        eprintln!(
+            "telemetry_overhead: enabled flight recorder projects to {recorder_pct:.2}% of run \
+             time, above the {MAX_RECORDER_OVERHEAD_PCT}% budget"
+        );
+        failed = true;
+    }
+    if failed {
         std::process::exit(1);
     }
     println!("  OK");

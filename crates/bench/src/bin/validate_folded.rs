@@ -1,0 +1,98 @@
+//! `validate_folded` — structural validator for collapsed-stack
+//! profiles written by `--profile-folded`.
+//!
+//! CI runs this against the quick-fig6 profile artifact to catch a
+//! silently broken profiler before anyone feeds the file to flamegraph
+//! tooling. Checks:
+//!
+//! * the file is non-empty and every line is `stack<space>weight`,
+//! * no stack is empty and no frame within a stack is empty (a `;;` or
+//!   trailing `;` renders as a blank flamegraph frame),
+//! * every weight parses as a positive integer,
+//! * the weights sum to exactly the `sampled_cycles` recorded in the
+//!   `<path>.meta.json` sidecar — the profiler's core invariant
+//!   (attributed time == sampled simulated time, nothing lost or
+//!   double-counted).
+//!
+//! Usage: `validate_folded <profile.folded> [meta.json]` (the sidecar
+//! defaults to `<profile.folded>.meta.json`). Exits nonzero with a
+//! line naming the first problem.
+
+use std::process::ExitCode;
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("validate_folded: {msg}");
+    ExitCode::from(1)
+}
+
+/// Pulls an integer field out of the (flat, known-shape) meta sidecar
+/// without a JSON dependency.
+fn meta_field(meta: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\"");
+    let rest = &meta[meta.find(&needle)? + needle.len()..];
+    let rest = rest.trim_start().strip_prefix(':')?.trim_start();
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else {
+        return fail("usage: validate_folded <profile.folded> [meta.json]");
+    };
+    let meta_path = args.next().unwrap_or_else(|| format!("{path}.meta.json"));
+
+    let folded = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => return fail(&format!("cannot read {path}: {e}")),
+    };
+    if folded.trim().is_empty() {
+        return fail(&format!("{path} is empty — the profiler recorded no samples"));
+    }
+
+    let mut total: u64 = 0;
+    let mut stacks: u64 = 0;
+    for (i, line) in folded.lines().enumerate() {
+        let n = i + 1;
+        let Some((stack, weight)) = line.rsplit_once(' ') else {
+            return fail(&format!("{path}:{n}: no `stack weight` separator in {line:?}"));
+        };
+        if stack.is_empty() {
+            return fail(&format!("{path}:{n}: empty stack"));
+        }
+        if stack.split(';').any(str::is_empty) {
+            return fail(&format!("{path}:{n}: empty frame in stack {stack:?}"));
+        }
+        let w: u64 = match weight.parse() {
+            Ok(w) if w > 0 => w,
+            _ => return fail(&format!("{path}:{n}: bad weight {weight:?}")),
+        };
+        total += w;
+        stacks += 1;
+    }
+
+    let meta = match std::fs::read_to_string(&meta_path) {
+        Ok(s) => s,
+        Err(e) => return fail(&format!("cannot read sidecar {meta_path}: {e}")),
+    };
+    let Some(sampled) = meta_field(&meta, "sampled_cycles") else {
+        return fail(&format!("{meta_path}: no `sampled_cycles` field"));
+    };
+    if total != sampled {
+        return fail(&format!(
+            "weight sum {total} != sampled_cycles {sampled} ({meta_path}) — the profiler \
+             lost or double-counted simulated time"
+        ));
+    }
+    if let Some(meta_stacks) = meta_field(&meta, "stacks") {
+        if meta_stacks != stacks {
+            return fail(&format!("{stacks} stacks in {path} but sidecar claims {meta_stacks}"));
+        }
+    }
+
+    println!(
+        "validate_folded: OK — {stacks} stacks, {total} cycles attributed, \
+         sum matches sampled_cycles"
+    );
+    ExitCode::SUCCESS
+}

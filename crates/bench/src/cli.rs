@@ -1,22 +1,36 @@
 //! Shared telemetry CLI flags for the figure binaries.
 //!
-//! Every `run_matrix`-style binary accepts the same two optional flags:
+//! Every `run_matrix`-style binary accepts the same optional flags:
 //!
 //! ```text
-//! --metrics-json <path>   write the merged metrics snapshot (JSON)
-//! --trace-json <path>     capture a Chrome trace (open in Perfetto)
-//! --audit                 replay every DRAM command stream through the
-//!                         differential DDR3 auditor and lockstep-check
-//!                         the ORAM protocols against a shadow memory
+//! --metrics-json <path>     write the merged metrics snapshot (JSON)
+//! --trace-json <path>       capture a Chrome trace (open in Perfetto)
+//! --audit                   replay every DRAM command stream through the
+//!                           differential DDR3 auditor and lockstep-check
+//!                           the ORAM protocols against a shadow memory
+//! --flight-recorder <pfx>   keep a bounded ring of recent events per
+//!                           cell; dumped as <pfx>-pid<N>.blackbox.txt
+//!                           (+ .trace.json) on violations, stash
+//!                           breaches, or panics
+//! --profile-folded <path>   sample the executor every K simulated
+//!                           cycles and write a collapsed-stack profile
+//!                           (flamegraph.pl / inferno / speedscope)
+//! --live                    redraw a one-line run dashboard on stderr
 //! ```
 //!
 //! Parsing is intentionally minimal (no external argument-parser
 //! dependency): unknown arguments abort with a usage message so typos
 //! never silently run a multi-minute experiment with telemetry dropped.
 
-use sdimm_telemetry::{MetricsRegistry, TraceSink};
+use sdimm_telemetry::recorder::{write_atomic, DEFAULT_FLIGHT_CAPACITY};
+use sdimm_telemetry::{
+    CycleProfiler, FlightRecorderHub, Instruments, LiveProgress, MetricsRegistry, TraceSink,
+};
 
 use crate::harness::Cell;
+
+/// Stacks shown in the profiler's top-k table after a profiled run.
+const PROFILE_TOP_K: usize = 10;
 
 /// Parsed telemetry flags shared by every figure binary.
 #[derive(Debug, Clone, Default)]
@@ -29,12 +43,23 @@ pub struct TelemetryArgs {
     /// experiment: DDR3 command-stream replay audit plus the ORAM
     /// shadow-memory oracle. Any violation fails the run.
     pub audit: bool,
+    /// Flight-recorder dump prefix: when set, every cell keeps a
+    /// bounded ring of recent events, dumped as a black-box report on
+    /// violations, stash breaches, or panics.
+    pub flight_recorder: Option<String>,
+    /// Destination for the collapsed-stack (folded) cycle-attribution
+    /// profile, if requested. A `<path>.meta.json` sidecar records the
+    /// sampled-cycle total for downstream validation.
+    pub profile_folded: Option<String>,
+    /// Redraw a live one-line dashboard on stderr while the matrix
+    /// runs. Off by default.
+    pub live: bool,
 }
 
 impl TelemetryArgs {
-    /// Parses `--metrics-json <path>` / `--trace-json <path>` from the
-    /// process arguments. Exits with status 2 (and a usage line naming
-    /// `bin`) on anything unrecognized.
+    /// Parses the shared telemetry flags from the process arguments.
+    /// Exits with status 2 (and a usage line naming `bin`) on anything
+    /// unrecognized.
     pub fn from_env(bin: &str) -> TelemetryArgs {
         let mut out = TelemetryArgs::default();
         let mut args = std::env::args().skip(1);
@@ -51,10 +76,19 @@ impl TelemetryArgs {
                 "--metrics-json" => out.metrics_json = Some(take(&mut args, "--metrics-json")),
                 "--trace-json" => out.trace_json = Some(take(&mut args, "--trace-json")),
                 "--audit" => out.audit = true,
+                "--flight-recorder" => {
+                    out.flight_recorder = Some(take(&mut args, "--flight-recorder"));
+                }
+                "--profile-folded" => {
+                    out.profile_folded = Some(take(&mut args, "--profile-folded"));
+                }
+                "--live" => out.live = true,
                 other => {
                     eprintln!(
                         "{bin}: unknown argument `{other}`\n\
-                         usage: {bin} [--metrics-json <path>] [--trace-json <path>] [--audit]"
+                         usage: {bin} [--metrics-json <path>] [--trace-json <path>] [--audit]\n\
+                         {pad}[--flight-recorder <prefix>] [--profile-folded <path>] [--live]",
+                        pad = " ".repeat("usage: ".len() + bin.len() + 1),
                     );
                     // Sanctioned exit: CLI usage error in a binary entry path.
                     #[allow(clippy::disallowed_methods)]
@@ -76,29 +110,129 @@ impl TelemetryArgs {
         }
     }
 
+    /// The full observability bundle for these flags: trace sink,
+    /// flight-recorder hub, cycle profiler, and live-dashboard state —
+    /// each enabled only by its flag. When the flight recorder is on,
+    /// this also installs a panic hook (chaining the previous one) that
+    /// dumps every cell's black box before the panic message, so even a
+    /// crashed run leaves its last events behind.
+    pub fn instruments(&self) -> Instruments {
+        let instruments = Instruments {
+            sink: self.sink(),
+            flight: match &self.flight_recorder {
+                Some(prefix) => FlightRecorderHub::enabled(prefix, DEFAULT_FLIGHT_CAPACITY),
+                None => FlightRecorderHub::disabled(),
+            },
+            profiler: if self.profile_folded.is_some() {
+                CycleProfiler::enabled()
+            } else {
+                CycleProfiler::disabled()
+            },
+            live: if self.live { LiveProgress::enabled() } else { LiveProgress::disabled() },
+        };
+        if instruments.flight.is_enabled() {
+            install_flight_panic_hook(&instruments.flight);
+        }
+        instruments
+    }
+
     /// Writes whichever outputs were requested: the merged metrics
-    /// snapshot of `cells` and/or the Chrome trace captured by `sink`.
-    /// Prints where each file went; panics on I/O failure (a bench run
-    /// that silently loses its telemetry is worse than one that dies).
-    pub fn write_outputs(&self, cells: &[Cell], sink: &TraceSink) {
+    /// snapshot of `cells`, the Chrome trace, and/or the folded
+    /// cycle-attribution profile (with its top-k table on stdout).
+    ///
+    /// Every file goes through an atomic temp-file-then-rename write,
+    /// so a crash mid-write never leaves a truncated JSON behind; any
+    /// I/O failure prints the path and exits nonzero (a bench run that
+    /// silently loses its telemetry is worse than one that dies).
+    pub fn write_outputs(&self, cells: &[Cell], instruments: &Instruments) {
         if let Some(path) = &self.metrics_json {
             let merged = merge_metrics(cells);
-            // lint: panic-ok(invariant: write metrics snapshot)
-            std::fs::write(path, merged.to_json()).expect("write metrics snapshot");
+            write_or_die(path, &merged.to_json(), "metrics snapshot");
             println!("\nmetrics snapshot written to {path}");
         }
         if let Some(path) = &self.trace_json {
-            // lint: panic-ok(invariant: trace-json flag implies enabled sink)
-            let json = sink.export_chrome_json().expect("trace-json flag implies enabled sink");
-            // lint: panic-ok(invariant: write chrome trace)
-            std::fs::write(path, &json).expect("write chrome trace");
+            let sink = &instruments.sink;
+            let Some(json) = sink.export_chrome_json() else {
+                eprintln!("--trace-json {path}: trace sink is disabled, nothing to export");
+                // Sanctioned exit: a requested output that cannot be produced must fail the run.
+                #[allow(clippy::disallowed_methods)]
+                std::process::exit(1);
+            };
+            write_or_die(path, &json, "chrome trace");
             println!(
                 "chrome trace written to {path} ({} events, {} dropped) — open in Perfetto",
                 sink.len(),
                 sink.dropped()
             );
         }
+        if let Some(path) = &self.profile_folded {
+            self.write_profile(path, instruments);
+        }
+        if let Some(prefix) = &self.flight_recorder {
+            println!(
+                "flight recorder armed ({} cell ring(s), prefix {prefix}): dumps written only \
+                 on audit violation, stash breach, or panic",
+                instruments.flight.recorders().len()
+            );
+        }
     }
+
+    /// Folded-profile output: the collapsed-stack file, its
+    /// `.meta.json` sidecar (sampled-cycle total for validation), and
+    /// the top-k attribution table on stdout.
+    fn write_profile(&self, path: &str, instruments: &Instruments) {
+        let profiler = &instruments.profiler;
+        let Some(folded) = profiler.export_folded() else {
+            eprintln!("--profile-folded {path}: profiler is disabled, nothing to export");
+            // Sanctioned exit: a requested output that cannot be produced must fail the run.
+            #[allow(clippy::disallowed_methods)]
+            std::process::exit(1);
+        };
+        write_or_die(path, &folded, "folded profile");
+        let sampled = profiler.sampled_cycles();
+        let meta = format!(
+            "{{\n  \"sampled_cycles\": {sampled},\n  \"sample_interval\": {},\n  \"stacks\": {}\n}}\n",
+            profiler.interval(),
+            profiler.stack_count()
+        );
+        let meta_path = format!("{path}.meta.json");
+        write_or_die(&meta_path, &meta, "profile metadata");
+        println!(
+            "\nfolded profile written to {path} ({} stacks, {sampled} sampled cycles; \
+             meta in {meta_path})",
+            profiler.stack_count()
+        );
+        println!("cycle attribution (top {PROFILE_TOP_K}):");
+        for (stack, weight) in profiler.top_k(PROFILE_TOP_K) {
+            // lint: literal-ok(percentage scale factor, not a timing value)
+            let share = if sampled > 0 { weight as f64 / sampled as f64 * 100.0 } else { 0.0 };
+            println!("  {weight:>14} cyc  {share:5.1}%  {stack}");
+        }
+    }
+}
+
+/// Atomic write with the shared "print the path and exit nonzero"
+/// failure path used by every requested output file.
+fn write_or_die(path: &str, contents: &str, what: &str) {
+    if let Err(e) = write_atomic(path, contents) {
+        eprintln!("failed to write {what} to {path}: {e}");
+        // Sanctioned exit: losing a requested output file must fail the run.
+        #[allow(clippy::disallowed_methods)]
+        std::process::exit(1);
+    }
+}
+
+/// Chains a panic hook that dumps every flight-recorder ring in `hub`
+/// before the default (or previously installed) panic output runs.
+fn install_flight_panic_hook(hub: &FlightRecorderHub) {
+    let hub = hub.clone();
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        for line in hub.dump_all("panic") {
+            eprintln!("flight recorder: {line}");
+        }
+        prev(info);
+    }));
 }
 
 /// Merges every cell's metrics snapshot into one registry, namespaced
@@ -129,5 +263,27 @@ mod tests {
             ..TelemetryArgs::default()
         };
         assert!(args.sink().is_enabled());
+    }
+
+    #[test]
+    fn default_args_build_fully_disabled_instruments() {
+        let ins = TelemetryArgs::default().instruments();
+        assert!(!ins.any_enabled(), "no flag set means every handle is a one-branch no-op");
+    }
+
+    #[test]
+    fn each_flag_enables_exactly_its_instrument() {
+        let ins = TelemetryArgs {
+            flight_recorder: Some("/tmp/fr".to_string()),
+            profile_folded: Some("/tmp/p.folded".to_string()),
+            live: true,
+            ..TelemetryArgs::default()
+        }
+        .instruments();
+        assert!(!ins.sink.is_enabled());
+        assert!(ins.flight.is_enabled());
+        assert!(ins.profiler.is_enabled());
+        assert!(ins.live.is_enabled());
+        assert_eq!(ins.flight.prefix(), "/tmp/fr");
     }
 }

@@ -2,10 +2,10 @@
 
 use std::sync::Mutex;
 
-use sdimm_audit::DdrAuditor;
+use sdimm_audit::ddr::{violation_recorder, DdrAuditor, BLACKBOX_CONTEXT};
 use sdimm_system::machine::{MachineKind, SystemConfig};
-use sdimm_system::runner::{run_audited, run_traced, RunResult};
-use sdimm_telemetry::TraceSink;
+use sdimm_system::runner::{run_audited_instrumented, run_instrumented, RunResult};
+use sdimm_telemetry::Instruments;
 use workloads::spec;
 
 use crate::scale::Scale;
@@ -36,22 +36,23 @@ pub fn run_matrix(
     scale: Scale,
     make_cfg: impl Fn(MachineKind) -> SystemConfig + Sync,
 ) -> Vec<Cell> {
-    run_matrix_traced(workload_names, kinds, scale, make_cfg, TraceSink::disabled(), 0)
+    run_matrix_traced(workload_names, kinds, scale, make_cfg, &Instruments::disabled(), 0)
 }
 
-/// [`run_matrix`], but recording every run into `sink`: each cell gets
-/// its own trace process id (`pid_base` + its matrix order), named
-/// `"<machine> / <workload>"`, so one Chrome trace holds the whole
-/// matrix side by side. Callers invoking this repeatedly on one sink
-/// should advance `pid_base` past the previous matrix's cell count to
-/// keep process ids distinct. Pass [`TraceSink::disabled`] for the
-/// plain path.
+/// [`run_matrix`], but with the observability bundle attached: each
+/// cell gets its own trace process id (`pid_base` + its matrix order),
+/// named `"<machine> / <workload>"`, so one Chrome trace (and one
+/// flight-recorder ring per cell) holds the whole matrix side by side.
+/// Callers invoking this repeatedly on one bundle should advance
+/// `pid_base` past the previous matrix's cell count to keep process
+/// ids distinct. Pass [`Instruments::disabled`] for the plain path —
+/// every disabled handle costs one branch per touchpoint.
 pub fn run_matrix_traced(
     workload_names: &[&str],
     kinds: &[MachineKind],
     scale: Scale,
     make_cfg: impl Fn(MachineKind) -> SystemConfig + Sync,
-    sink: TraceSink,
+    instruments: &Instruments,
     pid_base: u32,
 ) -> Vec<Cell> {
     let warmup = scale.warmup();
@@ -66,6 +67,7 @@ pub fn run_matrix_traced(
         .enumerate()
         .map(|(order, (wi, wname, kind))| (order, wi, wname, kind))
         .collect();
+    instruments.live.add_cells(jobs.len());
 
     let workers =
         std::thread::available_parallelism().map_or(4, |n| n.get()).min(jobs.len().max(1));
@@ -87,12 +89,12 @@ pub fn run_matrix_traced(
                 };
                 let trace = spec::generate(wname, trace_len, 42 + wi as u64);
                 let cfg = make_cfg(kind);
-                let result = run_traced(
+                let result = run_instrumented(
                     &cfg,
                     &trace,
                     warmup,
                     measure,
-                    sink.clone(),
+                    instruments,
                     pid_base + order as u32,
                 );
                 // lint: panic-ok(lock poisoning means a worker panicked; propagating the panic is intended)
@@ -123,6 +125,9 @@ pub struct DdrAuditLog {
     pub refreshes: u64,
     /// One formatted line per violating cell (empty on a clean matrix).
     pub violations: Vec<String>,
+    /// Flight-recorder black-box dumps written for violating cells
+    /// (one formatted `path` line per dump; empty on a clean matrix).
+    pub blackbox_dumps: Vec<String>,
 }
 
 /// [`run_matrix_traced`], with every cell's DRAM command streams
@@ -135,7 +140,7 @@ pub fn run_matrix_audited(
     kinds: &[MachineKind],
     scale: Scale,
     make_cfg: impl Fn(MachineKind) -> SystemConfig + Sync,
-    sink: TraceSink,
+    instruments: &Instruments,
     pid_base: u32,
 ) -> (Vec<Cell>, DdrAuditLog) {
     let warmup = scale.warmup();
@@ -149,6 +154,7 @@ pub fn run_matrix_audited(
         .enumerate()
         .map(|(order, (wi, wname, kind))| (order, wi, wname, kind))
         .collect();
+    instruments.live.add_cells(jobs.len());
 
     let workers =
         std::thread::available_parallelism().map_or(4, |n| n.get()).min(jobs.len().max(1));
@@ -171,28 +177,60 @@ pub fn run_matrix_audited(
                 };
                 let trace = spec::generate(wname, trace_len, 42 + wi as u64);
                 let cfg = make_cfg(kind);
-                let (result, capture) = run_audited(
-                    &cfg,
-                    &trace,
-                    warmup,
-                    measure,
-                    sink.clone(),
-                    pid_base + order as u32,
-                );
+                let pid = pid_base + order as u32;
+                let (result, capture) =
+                    run_audited_instrumented(&cfg, &trace, warmup, measure, instruments, pid);
                 // lint: panic-ok(lock poisoning means a worker panicked; propagating the panic is intended)
                 let mut log = audit.lock().expect("audit log poisoned");
                 log.cells += 1;
                 for (ch, stream) in capture.streams.iter().enumerate() {
-                    match DdrAuditor::check_stream(&capture.channel_cfg, stream) {
+                    match DdrAuditor::check_stream_indexed(&capture.channel_cfg, stream) {
                         Ok(summary) => {
                             log.commands += summary.commands;
                             log.refreshes += summary.refreshes;
                         }
-                        Err(v) => log.violations.push(format!(
-                            "{} / {} channel {ch}: {v}",
-                            kind.name(),
-                            wname
-                        )),
+                        Err((idx, v)) => {
+                            let line = format!("{} / {} channel {ch}: {v}", kind.name(), wname);
+                            // Black box from the captured stream, not the live
+                            // per-cell ring: the context window is guaranteed
+                            // present even if the cell's ring was disabled or
+                            // had wrapped past the offending commands.
+                            let recorder = violation_recorder(
+                                stream,
+                                ch.min(u8::MAX as usize) as u8,
+                                idx,
+                                BLACKBOX_CONTEXT,
+                            );
+                            // Under strict mode the run stops *at* the
+                            // violation, black box first.
+                            #[cfg(feature = "audit-strict")]
+                            sdimm_audit::strict::abort_with_blackbox(
+                                &instruments.sink,
+                                &recorder,
+                                &line,
+                            );
+                            #[cfg(not(feature = "audit-strict"))]
+                            {
+                                let prefix = if instruments.flight.is_enabled() {
+                                    format!("{}-violation-pid{pid}", instruments.flight.prefix())
+                                } else {
+                                    format!("audit-violation-pid{pid}")
+                                };
+                                if recorder.arm_dump() {
+                                    match recorder.dump_to_files(&prefix, &line, pid) {
+                                        Some(Ok((txt, json))) => {
+                                            log.blackbox_dumps.push(txt);
+                                            log.blackbox_dumps.push(json);
+                                        }
+                                        Some(Err(e)) => log
+                                            .blackbox_dumps
+                                            .push(format!("(dump to {prefix} failed: {e})")),
+                                        None => {}
+                                    }
+                                }
+                                log.violations.push(line);
+                            }
+                        }
                     }
                 }
                 drop(log);

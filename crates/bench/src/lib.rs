@@ -21,10 +21,12 @@
 pub mod audit;
 pub mod cli;
 pub mod harness;
+pub mod live;
 pub mod scale;
 pub mod table;
 
 pub use audit::run_matrix_maybe_audited;
 pub use cli::TelemetryArgs;
 pub use harness::{run_matrix, run_matrix_audited, run_matrix_traced, Cell, DdrAuditLog};
+pub use live::LiveView;
 pub use scale::Scale;

@@ -162,9 +162,23 @@ impl IndepSplitOram {
         self.stats
     }
 
+    /// Highest current stash occupancy across groups (the value the
+    /// per-instance stash bound applies to).
+    pub fn max_stash_len(&self) -> usize {
+        self.groups.iter().map(|g| g.oram.stash_len()).max().unwrap_or(0)
+    }
+
     /// Peak stash occupancy over every group.
     pub fn stash_peak(&self) -> usize {
         self.groups.iter().map(|g| g.oram.stash_peak()).max().unwrap_or(0)
+    }
+
+    /// Attaches a flight recorder to every group's stash (backend tag =
+    /// group index), for black-box occupancy ticks.
+    pub fn set_flight_recorder(&mut self, recorder: sdimm_telemetry::FlightRecorder) {
+        for (i, g) in self.groups.iter_mut().enumerate() {
+            g.oram.set_flight_recorder(recorder.clone(), i.min(u8::MAX as usize) as u8);
+        }
     }
 
     /// Exports per-group ORAM metrics (`group<i>.*`) plus transfer-queue

@@ -184,6 +184,20 @@ impl IndependentOram {
         self.nodes[sdimm].oram.stash_len()
     }
 
+    /// Highest current stash occupancy across SDIMMs (the value the
+    /// per-instance stash bound applies to).
+    pub fn max_stash_len(&self) -> usize {
+        self.nodes.iter().map(|n| n.oram.stash_len()).max().unwrap_or(0)
+    }
+
+    /// Attaches a flight recorder to every SDIMM's stash (backend tag =
+    /// SDIMM index), for black-box occupancy ticks.
+    pub fn set_flight_recorder(&mut self, recorder: sdimm_telemetry::FlightRecorder) {
+        for (i, n) in self.nodes.iter_mut().enumerate() {
+            n.oram.set_flight_recorder(recorder.clone(), i.min(u8::MAX as usize) as u8);
+        }
+    }
+
     /// Peak stash occupancy over every SDIMM.
     pub fn stash_peak(&self) -> usize {
         self.nodes.iter().map(|n| n.oram.stash_len().max(n.oram.stash_peak())).max().unwrap_or(0)

@@ -123,6 +123,11 @@ impl SplitOram {
         self.logical.stash_len()
     }
 
+    /// Attaches a flight recorder to the logical stash (backend tag 0).
+    pub fn set_flight_recorder(&mut self, recorder: sdimm_telemetry::FlightRecorder) {
+        self.logical.set_flight_recorder(recorder, 0);
+    }
+
     /// Peak logical stash occupancy.
     pub fn stash_peak(&self) -> usize {
         self.logical.stash_peak()

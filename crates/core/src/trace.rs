@@ -106,6 +106,32 @@ impl Phase {
         Phase { par: vec![a] }
     }
 
+    /// The dominant resource class of this phase, as a profiler stack
+    /// frame, plus the DRAM channel when the dominant class is DRAM.
+    ///
+    /// Phases mix activities (a path read issues DRAM work while the
+    /// crypto pipeline decrypts), so the cycle-attribution profiler
+    /// charges the whole phase to the class that bounds it: DRAM beats
+    /// bus transfers beats crypto beats command-only chatter.
+    pub fn profile_frame(&self) -> (&'static str, Option<usize>) {
+        let mut best: (&'static str, Option<usize>) = ("idle", None);
+        let mut best_rank = 0u8;
+        for act in &self.par {
+            let (rank, frame) = match act {
+                Activity::Dram { channel, .. } => (4, ("dram", Some(*channel))),
+                Activity::ExtTransfer { .. } => (3, ("ext_bus", None)),
+                Activity::Crypto { .. } => (2, ("crypto", None)),
+                Activity::ExtShort { .. } => (1, ("ext_cmd", None)),
+                Activity::WakeRank { .. } => (1, ("power", None)),
+            };
+            if rank > best_rank {
+                best_rank = rank;
+                best = frame;
+            }
+        }
+        best
+    }
+
     /// Attribution of this phase's activities by resource class.
     pub fn attribution(&self) -> Attribution {
         let mut a = Attribution::default();
@@ -216,6 +242,21 @@ impl RequestTrace {
         self.phases.iter().map(Phase::attribution).collect()
     }
 
+    /// The protocol role of phase `idx`, as a profiler stack frame:
+    /// everything up to and including the data-ready phase is the
+    /// latency-critical `path_read`, phases up to the backend release
+    /// are the `writeback`, and anything after (APPEND fan-out, probes)
+    /// is `cleanup`.
+    pub fn phase_role(&self, idx: usize) -> &'static str {
+        if idx <= self.data_ready_phase {
+            "path_read"
+        } else if idx <= self.backend_release_phase {
+            "writeback"
+        } else {
+            "cleanup"
+        }
+    }
+
     /// Appends another trace's phases after this one's (sequential
     /// composition); data readiness moves to the appended trace's marker,
     /// and the appended trace's backend claim (if any) wins — for a
@@ -276,6 +317,25 @@ mod tests {
     fn crypto_latency_is_pipelined() {
         assert_eq!(Activity::crypto_cycles(1), CRYPTO_LATENCY);
         assert_eq!(Activity::crypto_cycles(10), CRYPTO_LATENCY + 9);
+    }
+
+    #[test]
+    fn profile_frame_picks_the_bounding_resource() {
+        let t = sample();
+        assert_eq!(t.phases[0].profile_frame(), ("ext_bus", None));
+        assert_eq!(t.phases[1].profile_frame(), ("dram", Some(0)));
+        assert_eq!(t.phases[2].profile_frame(), ("ext_cmd", None));
+        assert_eq!(Phase::default().profile_frame(), ("idle", None));
+    }
+
+    #[test]
+    fn phase_role_tracks_data_ready_and_release_markers() {
+        let mut t = sample();
+        t.data_ready_phase = 0;
+        t.backend_release_phase = 1;
+        assert_eq!(t.phase_role(0), "path_read");
+        assert_eq!(t.phase_role(1), "writeback");
+        assert_eq!(t.phase_role(2), "cleanup");
     }
 
     #[test]

@@ -10,7 +10,7 @@
 
 use std::collections::{BinaryHeap, VecDeque};
 
-use sdimm_telemetry::TraceSink;
+use sdimm_telemetry::{FlightRecorder, TraceSink};
 
 use crate::address::{AddressMapper, Coords, Interleave};
 use crate::bank::{RowOutcome, RowState};
@@ -126,6 +126,10 @@ pub struct DramChannel {
     sink: TraceSink,
     /// Command capture for replay auditing; disabled by default.
     cmd_log: CmdLog,
+    /// Flight-recorder tap; disabled by default (one branch per command).
+    flight: FlightRecorder,
+    /// Channel index reported in flight-recorder DDR events.
+    flight_channel: u8,
     /// Chrome-trace process id this channel reports under.
     trace_pid: u32,
     /// Chrome-trace thread id (one track per channel).
@@ -167,6 +171,8 @@ impl DramChannel {
             energy: EnergyCounters::default(),
             sink: TraceSink::disabled(),
             cmd_log: CmdLog::disabled(),
+            flight: FlightRecorder::disabled(),
+            flight_channel: 0,
             trace_pid: 0,
             trace_tid: 0,
         }
@@ -190,6 +196,26 @@ impl DramChannel {
     /// per command when detached.
     pub fn set_cmd_log(&mut self, log: CmdLog) {
         self.cmd_log = log;
+    }
+
+    /// Attaches a flight recorder: every DDR command is also mirrored
+    /// into the recorder's bounded ring (tagged with this channel's
+    /// index) so a black-box dump shows the command stream leading up
+    /// to a fault. Disabled by default; one branch per command.
+    pub fn set_flight_recorder(&mut self, recorder: FlightRecorder, channel: u8) {
+        self.flight = recorder;
+        self.flight_channel = channel;
+    }
+
+    /// Routes one command to the audit log and the flight recorder.
+    fn log_cmd(&mut self, cycle: Cycle, rank: usize, cmd: DdrCmd) {
+        self.cmd_log.record(cycle, rank, cmd);
+        if self.flight.is_enabled() {
+            self.flight.record_at(
+                cycle,
+                cmd.flight_kind(self.flight_channel, rank.min(u8::MAX as usize) as u8),
+            );
+        }
     }
 
     /// Clears performance statistics (not energy or timing state) so a
@@ -301,7 +327,7 @@ impl DramChannel {
         let t = self.cfg.timing.clone();
         self.ranks[rank].exit_power_down(self.now, &t);
         if was_down {
-            self.cmd_log.record(self.now, rank, DdrCmd::PowerUp);
+            self.log_cmd(self.now, rank, DdrCmd::PowerUp);
         }
         self.next_wake = self.now;
         if self.sink.is_enabled() {
@@ -475,7 +501,7 @@ impl DramChannel {
                     if has_work {
                         self.account_bg(i);
                         self.ranks[i].exit_power_down(self.now, &t);
-                        self.cmd_log.record(self.now, i, DdrCmd::PowerUp);
+                        self.log_cmd(self.now, i, DdrCmd::PowerUp);
                         if self.sink.is_enabled() {
                             self.sink.instant(
                                 "dram.power",
@@ -507,7 +533,7 @@ impl DramChannel {
                     {
                         self.account_bg(i);
                         self.ranks[i].enter_power_down(self.now);
-                        self.cmd_log.record(self.now, i, DdrCmd::PowerDown);
+                        self.log_cmd(self.now, i, DdrCmd::PowerDown);
                         if self.sink.is_enabled() {
                             self.sink.instant(
                                 "dram.power",
@@ -692,7 +718,7 @@ impl DramChannel {
                         self.account_bg(i);
                         let t = self.cfg.timing.clone();
                         self.ranks[i].exit_power_down(self.now, &t);
-                        self.cmd_log.record(self.now, i, DdrCmd::PowerUp);
+                        self.log_cmd(self.now, i, DdrCmd::PowerUp);
                     }
                     if self.ranks[i].all_banks_idle() {
                         if self.now >= self.ranks[i].ready_at() {
@@ -798,7 +824,7 @@ impl DramChannel {
         match decision {
             Decision::Refresh { rank } => {
                 self.account_bg(rank);
-                self.cmd_log.record(self.now, rank, DdrCmd::Refresh);
+                self.log_cmd(self.now, rank, DdrCmd::Refresh);
                 self.ranks[rank].begin_refresh(self.now, &t);
                 self.refresh_pending[rank] = false;
                 self.energy.refreshes += 1;
@@ -816,7 +842,7 @@ impl DramChannel {
             }
             Decision::MaintenancePre { rank, bank } => {
                 self.account_bg(rank);
-                self.cmd_log.record(self.now, rank, DdrCmd::Pre { bank });
+                self.log_cmd(self.now, rank, DdrCmd::Pre { bank });
                 self.ranks[rank].bank_mut(bank).precharge(self.now, &t);
                 self.ranks[rank].record_activity(self.now);
                 true
@@ -828,7 +854,7 @@ impl DramChannel {
             Decision::Act { write, idx } => {
                 let e = if write { self.write_q[idx] } else { self.read_q[idx] };
                 self.account_bg(e.coords.rank);
-                self.cmd_log.record(
+                self.log_cmd(
                     self.now,
                     e.coords.rank,
                     DdrCmd::Act { bank: e.coords.bank, row: e.coords.row },
@@ -848,7 +874,7 @@ impl DramChannel {
             Decision::Pre { write, idx } => {
                 let e = if write { self.write_q[idx] } else { self.read_q[idx] };
                 self.account_bg(e.coords.rank);
-                self.cmd_log.record(self.now, e.coords.rank, DdrCmd::Pre { bank: e.coords.bank });
+                self.log_cmd(self.now, e.coords.rank, DdrCmd::Pre { bank: e.coords.bank });
                 self.ranks[e.coords.rank].bank_mut(e.coords.bank).precharge(self.now, &t);
                 self.ranks[e.coords.rank].record_activity(self.now);
                 self.stats.row_conflicts += 1;
@@ -896,7 +922,7 @@ impl DramChannel {
         } else {
             DdrCmd::Rd { bank: bank_idx, row: e.coords.row }
         };
-        self.cmd_log.record(self.now, rank_idx, cmd);
+        self.log_cmd(self.now, rank_idx, cmd);
 
         if write {
             self.ranks[rank_idx].bank_mut(bank_idx).write(self.now, &t);

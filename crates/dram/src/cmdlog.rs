@@ -52,6 +52,33 @@ pub enum DdrCmd {
     PowerUp,
 }
 
+impl DdrCmd {
+    /// The flight-recorder event for this command on `channel`/`rank`.
+    ///
+    /// The recorder keeps only a compact `Copy` payload, so coordinates
+    /// are narrowed (banks and ranks are single-digit in every DDR3
+    /// topology this simulator models).
+    pub fn flight_kind(self, channel: u8, rank: u8) -> sdimm_telemetry::FlightEventKind {
+        use sdimm_telemetry::{DdrCmdKind, FlightEventKind};
+        let (kind, bank, row) = match self {
+            DdrCmd::Act { bank, row } => (DdrCmdKind::Act, bank, row),
+            DdrCmd::Pre { bank } => (DdrCmdKind::Pre, bank, 0),
+            DdrCmd::Rd { bank, row } => (DdrCmdKind::Rd, bank, row),
+            DdrCmd::Wr { bank, row } => (DdrCmdKind::Wr, bank, row),
+            DdrCmd::Refresh => (DdrCmdKind::Refresh, 0, 0),
+            DdrCmd::PowerDown => (DdrCmdKind::PowerDown, 0, 0),
+            DdrCmd::PowerUp => (DdrCmdKind::PowerUp, 0, 0),
+        };
+        FlightEventKind::DdrCmd {
+            channel,
+            rank,
+            bank: bank.min(u8::MAX as usize) as u8,
+            row: row.min(u32::MAX as usize) as u32,
+            kind,
+        }
+    }
+}
+
 /// One recorded command: what was placed on the command bus, for which
 /// rank, and when.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

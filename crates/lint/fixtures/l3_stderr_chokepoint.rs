@@ -1,0 +1,13 @@
+//! Fixture: stderr writes in the telemetry crate (the stderr
+//! choke-point crate) must each carry a `print-ok` waiver — both the
+//! `eprintln!` macro form and a raw `std::io::stderr()` handle.
+
+pub fn leak_via_macro(done: usize, total: usize) {
+    eprintln!("progress {done}/{total}");
+}
+
+pub fn leak_via_handle(line: &str) {
+    use std::io::Write;
+    let mut err = std::io::stderr().lock();
+    let _ = write!(err, "{line}");
+}

@@ -192,24 +192,51 @@ fn check_tag_eq(input: &PassInput<'_>, findings: &mut Vec<Finding>) {
     }
 }
 
-/// Sub-rule 3: `println!`/`print!` in library crates.
+/// Crates where even stderr is locked down: every `eprint!`/
+/// `eprintln!`/`std::io::stderr()` needs a `print-ok` waiver. The
+/// telemetry crate earns the stricter rule because it owns the *one*
+/// sanctioned status-line choke point (`LiveProgress::write_status`);
+/// anything else writing to stderr there would bypass it silently.
+const STDERR_CHOKEPOINT_CRATES: &[&str] = &["telemetry"];
+
+/// Sub-rule 3: `println!`/`print!` in library crates; in the stderr
+/// choke-point crates additionally `eprint!`/`eprintln!`/`stderr()`.
 fn check_lib_println(input: &PassInput<'_>, findings: &mut Vec<Finding>) {
     if input.ctx.kind != FileKind::Lib || !LIBRARY_CRATES.contains(&input.ctx.crate_name.as_str()) {
         return;
     }
+    let chokepoint = STDERR_CHOKEPOINT_CRATES.contains(&input.ctx.crate_name.as_str());
     let toks = input.toks;
     for (i, tok) in toks.iter().enumerate() {
-        if tok.kind == TokKind::Ident
-            && matches!(tok.text.as_str(), "println" | "print")
-            && is_punct(toks, i + 1, "!")
-        {
+        if tok.kind != TokKind::Ident {
+            continue;
+        }
+        let stdout_macro =
+            matches!(tok.text.as_str(), "println" | "print") && is_punct(toks, i + 1, "!");
+        let stderr_macro = chokepoint
+            && matches!(tok.text.as_str(), "eprintln" | "eprint")
+            && is_punct(toks, i + 1, "!");
+        let stderr_handle = chokepoint && tok.text == "stderr" && is_punct(toks, i + 1, "(");
+        if stdout_macro || stderr_macro {
             if let Some(f) = input.finding(
                 Lint::LibPrintln,
                 tok.line,
                 format!("`{}!` in library crate `{}`", tok.text, input.ctx.crate_name),
                 "route data through telemetry (TraceSink/metrics) or return it; \
-                 `eprintln!` is allowed for fatal diagnostics; \
-                 waive with `// lint: print-ok(reason)`"
+                 `eprintln!` is allowed for fatal diagnostics outside the stderr \
+                 choke-point crates; waive with `// lint: print-ok(reason)`"
+                    .to_string(),
+            ) {
+                findings.push(f);
+            }
+        } else if stderr_handle {
+            if let Some(f) = input.finding(
+                Lint::LibPrintln,
+                tok.line,
+                format!("raw `stderr()` handle in library crate `{}`", input.ctx.crate_name),
+                "stderr in this crate belongs to the sanctioned dashboard \
+                 status-line writer; go through LiveProgress::write_status, \
+                 or waive with `// lint: print-ok(reason)`"
                     .to_string(),
             ) {
                 findings.push(f);

@@ -81,6 +81,29 @@ fn l3_waived_copy_is_clean() {
 }
 
 #[test]
+fn l3_stderr_chokepoint_fires_only_in_telemetry() {
+    // In the telemetry crate, both the `eprintln!` macro and a raw
+    // `stderr()` handle are lib-println findings…
+    let c = ctx("telemetry", FileKind::Lib, false);
+    let found = scan("l3_stderr_chokepoint.rs", &c);
+    assert_eq!(ids(&found), BTreeSet::from(["L3/lib-println"]), "{found:#?}");
+    assert_eq!(found.len(), 2, "macro and handle must each fire: {found:#?}");
+
+    // …while any other library crate keeps `eprintln!` for fatal
+    // diagnostics, exactly as before.
+    let c = ctx("dram", FileKind::Lib, false);
+    let found = scan("l3_stderr_chokepoint.rs", &c);
+    assert!(found.is_empty(), "stderr stays legal outside the choke-point crates: {found:#?}");
+}
+
+#[test]
+fn l3_stderr_chokepoint_waived_copy_is_clean() {
+    let c = ctx("telemetry", FileKind::Lib, false);
+    let found = scan("l3_stderr_chokepoint_waived.rs", &c);
+    assert!(found.is_empty(), "{found:#?}");
+}
+
+#[test]
 fn l4_fixture_flags_missing_gate_and_unwrap() {
     let c = ctx("fixture", FileKind::Lib, true);
     let found = scan("l4_panic.rs", &c);

@@ -186,6 +186,13 @@ impl PathOram {
         self.stash.len()
     }
 
+    /// Attaches a flight recorder to the stash: every insert records an
+    /// occupancy tick tagged with `backend`, so black-box dumps show the
+    /// stash trajectory before a bound breach.
+    pub fn set_flight_recorder(&mut self, recorder: sdimm_telemetry::FlightRecorder, backend: u8) {
+        self.stash.set_flight_recorder(recorder, backend);
+    }
+
     /// Peak stash occupancy.
     pub fn stash_peak(&self) -> usize {
         self.stash.peak()

@@ -6,7 +6,7 @@
 
 use std::collections::HashMap;
 
-use sdimm_telemetry::LatencyHistogram;
+use sdimm_telemetry::{FlightEventKind, FlightRecorder, LatencyHistogram};
 
 use crate::bucket::BlockEntry;
 use crate::geometry::Geometry;
@@ -21,6 +21,11 @@ pub struct Stash {
     /// Post-insert occupancy distribution, for overflow-probability
     /// studies (one sample per insert).
     occupancy: LatencyHistogram,
+    /// Flight-recorder tap: one occupancy tick per insert, timestamped
+    /// from the recorder's shared clock. Disabled by default.
+    flight: FlightRecorder,
+    /// Backend index reported in flight-recorder stash ticks.
+    flight_backend: u8,
 }
 
 impl Stash {
@@ -49,11 +54,26 @@ impl Stash {
         &self.occupancy
     }
 
+    /// Attaches a flight recorder; each insert then records a
+    /// [`FlightEventKind::StashTick`] tagged with `backend`, so a
+    /// black-box dump shows the stash trajectory leading up to a bound
+    /// breach. Disabled by default; one branch per insert.
+    pub fn set_flight_recorder(&mut self, recorder: FlightRecorder, backend: u8) {
+        self.flight = recorder;
+        self.flight_backend = backend;
+    }
+
     /// Inserts (or replaces) a block.
     pub fn insert(&mut self, entry: BlockEntry) {
         self.entries.insert(entry.id, entry);
         self.peak = self.peak.max(self.entries.len());
         self.occupancy.record(self.entries.len() as u64);
+        if self.flight.is_enabled() {
+            self.flight.record(FlightEventKind::StashTick {
+                backend: self.flight_backend,
+                occupancy: self.entries.len().min(u32::MAX as usize) as u32,
+            });
+        }
     }
 
     /// Looks up a block without removing it.

@@ -17,7 +17,9 @@ use dram_sim::config::{ChannelConfig, Cycle};
 use dram_sim::power::EnergyBreakdown;
 use dram_sim::request::RequestId;
 use sdimm::trace::{Activity, RequestTrace};
-use sdimm_telemetry::{MetricsRegistry, TraceSink};
+use sdimm_telemetry::{
+    BackendDecision, CycleProfiler, FlightEventKind, FlightRecorder, MetricsRegistry, TraceSink,
+};
 
 /// Handle identifying a submitted request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -119,6 +121,17 @@ pub struct Executor {
     sink: TraceSink,
     /// Chrome-trace process id for this executor's tracks.
     trace_pid: u32,
+    /// Flight recorder for black-box dumps; disabled by default.
+    flight: FlightRecorder,
+    /// Simulated-time sampling profiler; disabled by default.
+    profiler: CycleProfiler,
+    /// Root frames for this executor's profiler stacks
+    /// (`protocol;<machine-name>`).
+    profile_prefix: String,
+    /// Cycle of the most recent profiler sample.
+    last_sample: Cycle,
+    /// Cycle the next profiler sample is due.
+    sample_due: Cycle,
 }
 
 /// Number of Chrome-trace lanes executor phase spans are spread over, so
@@ -155,6 +168,11 @@ impl Executor {
             exec_stats: ExecStats::default(),
             sink: TraceSink::disabled(),
             trace_pid: 0,
+            flight: FlightRecorder::disabled(),
+            profiler: CycleProfiler::disabled(),
+            profile_prefix: String::new(),
+            last_sample: 0,
+            sample_due: 0,
         }
     }
 
@@ -172,6 +190,33 @@ impl Executor {
         }
         self.sink = sink;
         self.trace_pid = pid;
+    }
+
+    /// Attaches a flight recorder: the executor publishes its clock into
+    /// the recorder every tick, mirrors phase completions and backend
+    /// scheduling decisions into the ring, and taps every channel's DDR
+    /// command stream. Disabled by default; one branch per event.
+    pub fn set_flight_recorder(&mut self, recorder: FlightRecorder) {
+        for (i, ch) in self.channels.iter_mut().enumerate() {
+            ch.set_flight_recorder(recorder.clone(), i.min(u8::MAX as usize) as u8);
+        }
+        self.flight = recorder;
+    }
+
+    /// The executor's flight recorder (disabled unless attached).
+    pub fn flight_recorder(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
+    /// Attaches a cycle-attribution profiler. Every
+    /// [`CycleProfiler::interval`] simulated cycles the executor charges
+    /// the elapsed window to the oldest in-flight request's current
+    /// phase as a folded stack rooted at `protocol;<machine_name>`.
+    pub fn set_profiler(&mut self, profiler: CycleProfiler, machine_name: &str) {
+        self.profile_prefix = format!("protocol;{machine_name}");
+        self.last_sample = self.now;
+        self.sample_due = self.now.saturating_add(profiler.interval());
+        self.profiler = profiler;
     }
 
     /// Attaches a fresh command log to every DRAM channel and returns the
@@ -317,6 +362,10 @@ impl Executor {
                     Self::lane_of(id),
                     self.now,
                 );
+                self.flight.record_at(
+                    self.now,
+                    FlightEventKind::Backend { request: id.0, decision: BackendDecision::Wait },
+                );
                 let q = self.backend_waiting.entry(backend).or_default();
                 q.push_back(req);
                 self.exec_stats.max_backend_queue =
@@ -330,6 +379,10 @@ impl Executor {
                 self.trace_pid,
                 Self::lane_of(id),
                 self.now,
+            );
+            self.flight.record_at(
+                self.now,
+                FlightEventKind::Backend { request: id.0, decision: BackendDecision::Acquire },
             );
         }
         self.start_phase(&mut req);
@@ -436,8 +489,51 @@ impl Executor {
                 ch.tick(dt);
             }
             self.now = self.now.saturating_add(dt);
+            self.flight.set_clock(self.now);
             self.process();
+            if self.profiler.is_enabled() && self.now >= self.sample_due {
+                self.profile_sample();
+            }
         }
+    }
+
+    /// Takes one profiler sample: charges the cycles since the previous
+    /// sample to the stack describing what the executor is doing *now*
+    /// (sampled attribution, like a wall-clock profiler but in simulated
+    /// time, so results are deterministic).
+    fn profile_sample(&mut self) {
+        let weight = self.now.saturating_sub(self.last_sample);
+        self.last_sample = self.now;
+        self.sample_due = self.now.saturating_add(self.profiler.interval());
+        if weight == 0 {
+            return;
+        }
+        let stack = self.current_profile_stack();
+        self.profiler.add_sample(&stack, weight);
+    }
+
+    /// The folded stack for the executor's current state: the oldest
+    /// in-flight request's phase (role + bounding resource + channel),
+    /// else `backend_wait` when requests are queued behind a busy ORAM
+    /// backend, else `idle`.
+    fn current_profile_stack(&self) -> String {
+        let oldest = self
+            .inflight
+            .iter()
+            .filter(|r| r.started && r.phase < r.trace.phases.len())
+            .min_by_key(|r| r.id);
+        if let Some(req) = oldest {
+            let role = req.trace.phase_role(req.phase);
+            let (resource, channel) = req.trace.phases[req.phase].profile_frame();
+            return match channel {
+                Some(c) => format!("{};{role};{resource};ch{c}", self.profile_prefix),
+                None => format!("{};{role};{resource}", self.profile_prefix),
+            };
+        }
+        if self.backend_waiting.values().any(|q| !q.is_empty()) {
+            return format!("{};backend_wait", self.profile_prefix);
+        }
+        format!("{};idle", self.profile_prefix)
     }
 
     /// Runs until every submitted request is done or `limit` elapses.
@@ -484,6 +580,14 @@ impl Executor {
                         now.max(req.phase_started + 1),
                     );
                 }
+                self.flight.record_at(
+                    now,
+                    FlightEventKind::Phase {
+                        request: req.id.0,
+                        phase: req.phase.min(u32::MAX as usize) as u32,
+                        started: req.phase_started,
+                    },
+                );
                 if req.phase == req.trace.data_ready_phase && !req.data_ready_sent {
                     req.data_ready_sent = true;
                     self.events.push(ExecEvent::DataReady { id: req.id, at: now });
@@ -497,6 +601,13 @@ impl Executor {
                             self.trace_pid,
                             Self::lane_of(req.id),
                             now,
+                        );
+                        self.flight.record_at(
+                            now,
+                            FlightEventKind::Backend {
+                                request: req.id.0,
+                                decision: BackendDecision::Release,
+                            },
                         );
                         // Hand the backend to the next waiting trace; the
                         // remaining (CPU-side) phases run concurrently.
@@ -512,6 +623,13 @@ impl Executor {
                                     self.trace_pid,
                                     Self::lane_of(waiting.id),
                                     now,
+                                );
+                                self.flight.record_at(
+                                    now,
+                                    FlightEventKind::Backend {
+                                        request: waiting.id.0,
+                                        decision: BackendDecision::Acquire,
+                                    },
                                 );
                                 self.start_phase(&mut waiting);
                                 still_running.push(waiting);

@@ -219,6 +219,40 @@ impl Machine {
         self.frontend.as_ref().map(|f| f.stats().accesses_per_request()).unwrap_or(0.0)
     }
 
+    /// Current stash occupancy (the maximum across the backend's ORAM
+    /// instances — the value the per-instance stash bound applies to),
+    /// or 0 for the non-secure machine.
+    pub fn stash_len(&self) -> usize {
+        match &self.backend {
+            Backend::NonSecure => 0,
+            Backend::Freecursive { oram, .. } => oram.stash_len(),
+            Backend::Independent(o) => o.max_stash_len(),
+            Backend::Split(o) => o.stash_len(),
+            Backend::IndepSplit(o) => o.max_stash_len(),
+        }
+    }
+
+    /// Attaches a flight recorder to the executor (clock publication,
+    /// phase completions, backend decisions, per-channel DDR taps) and
+    /// to every backend stash (occupancy ticks).
+    pub fn set_flight_recorder(&mut self, recorder: sdimm_telemetry::FlightRecorder) {
+        self.executor.set_flight_recorder(recorder.clone());
+        match &mut self.backend {
+            Backend::NonSecure => {}
+            Backend::Freecursive { oram, .. } => oram.set_flight_recorder(recorder, 0),
+            Backend::Independent(o) => o.set_flight_recorder(recorder),
+            Backend::Split(o) => o.set_flight_recorder(recorder),
+            Backend::IndepSplit(o) => o.set_flight_recorder(recorder),
+        }
+    }
+
+    /// Attaches a cycle-attribution profiler, rooting this machine's
+    /// folded stacks at `protocol;<machine-name>`.
+    pub fn set_profiler(&mut self, profiler: sdimm_telemetry::CycleProfiler) {
+        let name = self.cfg.kind.name();
+        self.executor.set_profiler(profiler, &name);
+    }
+
     /// Peak stash occupancy across the backend's ORAM instance(s), or 0
     /// for the non-secure machine.
     pub fn stash_peak(&self) -> usize {

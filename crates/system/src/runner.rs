@@ -12,7 +12,10 @@ use std::collections::HashMap;
 
 use dram_sim::config::Cycle;
 use dram_sim::power::EnergyBreakdown;
-use sdimm_telemetry::{LatencyHistogram, MetricsRegistry, TraceSink};
+use sdimm_telemetry::{
+    FlightEventKind, FlightRecorder, FlightRecorderHub, Instruments, LatencyHistogram,
+    MetricsRegistry, TraceSink,
+};
 use workloads::Trace;
 
 use crate::executor::ExecEvent;
@@ -101,6 +104,43 @@ pub fn run(cfg: &SystemConfig, trace: &Trace, warmup: usize, measure: usize) -> 
     run_traced(cfg, trace, warmup, measure, TraceSink::disabled(), 0)
 }
 
+/// [`run`], with the full [`Instruments`] bundle attached: Chrome trace
+/// sink, per-cell flight recorder (keyed by `pid`), cycle-attribution
+/// profiler, and live-dashboard state. Disabled instruments cost one
+/// branch per touch point.
+///
+/// # Panics
+///
+/// Panics if the trace is shorter than `warmup + measure`.
+pub fn run_instrumented(
+    cfg: &SystemConfig,
+    trace: &Trace,
+    warmup: usize,
+    measure: usize,
+    instruments: &Instruments,
+    pid: u32,
+) -> RunResult {
+    run_inner(cfg, trace, warmup, measure, instruments, pid, false).0
+}
+
+/// [`run_audited`] with the full [`Instruments`] bundle attached.
+///
+/// # Panics
+///
+/// Panics if the trace is shorter than `warmup + measure`.
+pub fn run_audited_instrumented(
+    cfg: &SystemConfig,
+    trace: &Trace,
+    warmup: usize,
+    measure: usize,
+    instruments: &Instruments,
+    pid: u32,
+) -> (RunResult, AuditCapture) {
+    let (result, capture) = run_inner(cfg, trace, warmup, measure, instruments, pid, true);
+    // lint: panic-ok(invariant: capture requested)
+    (result, capture.expect("capture requested"))
+}
+
 /// Everything a differential replay auditor needs to re-validate a run:
 /// the exact per-channel DRAM configuration the machine was built with
 /// and the complete command stream of every channel, from cycle 0.
@@ -130,9 +170,7 @@ pub fn run_audited(
     sink: TraceSink,
     pid: u32,
 ) -> (RunResult, AuditCapture) {
-    let (result, capture) = run_inner(cfg, trace, warmup, measure, sink, pid, true);
-    // lint: panic-ok(invariant: capture requested)
-    (result, capture.expect("capture requested"))
+    run_audited_instrumented(cfg, trace, warmup, measure, &Instruments::with_sink(sink), pid)
 }
 
 /// [`run`], but with a [`TraceSink`] attached to the machine's executor:
@@ -151,7 +189,44 @@ pub fn run_traced(
     sink: TraceSink,
     pid: u32,
 ) -> RunResult {
-    run_inner(cfg, trace, warmup, measure, sink, pid, false).0
+    run_instrumented(cfg, trace, warmup, measure, &Instruments::with_sink(sink), pid)
+}
+
+/// Dump `flight`'s ring as a stash-bound black box: the runner calls
+/// this the moment a machine's steady-state stash occupancy escapes the
+/// configured bound, and it fires at most once per recorder (the
+/// arm-dump latch). Returns the `(report, trace-slice)` paths when the
+/// dump was written, `None` when the recorder is disabled, already
+/// dumped, or the write failed (failure is reported on stderr — the run
+/// itself must not die because a diagnostic could not be saved).
+pub fn dump_stash_breach(
+    hub: &FlightRecorderHub,
+    flight: &FlightRecorder,
+    machine: &str,
+    cycle: Cycle,
+    occupancy: usize,
+    bound: usize,
+    pid: u32,
+) -> Option<(String, String)> {
+    if !flight.arm_dump() {
+        return None;
+    }
+    let reason = format!(
+        "[stash-bound] cycle {cycle} machine {machine}: \
+         occupancy {occupancy} blocks, bound {bound} blocks"
+    );
+    let prefix = format!("{}-pid{pid}", hub.prefix());
+    match flight.dump_to_files(&prefix, &reason, pid) {
+        Some(Ok((txt, json))) => {
+            eprintln!("flight recorder: {reason}; dumped {txt} and {json}");
+            Some((txt, json))
+        }
+        Some(Err(e)) => {
+            eprintln!("flight recorder: {reason}; dump failed: {e}");
+            None
+        }
+        None => None,
+    }
 }
 
 fn run_inner(
@@ -159,7 +234,7 @@ fn run_inner(
     trace: &Trace,
     warmup: usize,
     measure: usize,
-    sink: TraceSink,
+    instruments: &Instruments,
     pid: u32,
     capture_cmds: bool,
 ) -> (RunResult, Option<AuditCapture>) {
@@ -172,10 +247,24 @@ fn run_inner(
     let mut machine = Machine::new(cfg.clone());
     // Command logs attach before any request touches a channel.
     let cmd_logs = if capture_cmds { machine.executor.attach_cmd_logs() } else { Vec::new() };
+    let sink = instruments.sink.clone();
     if sink.is_enabled() {
         sink.process_name(pid, &format!("{} / {}", cfg.kind.name(), trace.name));
     }
     machine.executor.set_trace(sink, pid);
+    // Flight recorder: one ring per cell, keyed by the cell's trace pid.
+    let flight = instruments.flight.recorder_for(pid);
+    let flight_on = flight.is_enabled();
+    if flight_on {
+        machine.set_flight_recorder(flight.clone());
+    }
+    if instruments.profiler.is_enabled() {
+        machine.set_profiler(instruments.profiler.clone());
+    }
+    let live = instruments.live.clone();
+    if live.is_enabled() {
+        live.cell_started(&format!("{}.{}", trace.name, cfg.kind.name()));
+    }
     let mut llc = Llc::table2();
 
     // Warm-up: LLC state only (the paper fast-forwards 1M accesses).
@@ -186,6 +275,7 @@ fn run_inner(
     // executor and its channels accumulated (today the warm-up touches
     // only the LLC, but this keeps the boundary explicit and guarded).
     machine.executor.reset_stats();
+    flight.record_at(machine.executor.now(), FlightEventKind::Marker { tag: "measure.start" });
 
     // Measured window.
     //
@@ -295,6 +385,7 @@ fn run_inner(
                             if !chain.is_writeback {
                                 let lat = at.saturating_sub(chain.issued_at);
                                 miss_latency.record(lat);
+                                live.record_miss(lat);
                                 latency_sum += lat;
                                 latency_count += 1;
                                 retired += 1;
@@ -302,6 +393,25 @@ fn run_inner(
                         }
                     }
                 }
+            }
+        }
+
+        // Stash-bound breach: the protocols' post-access relief must keep
+        // every stash within the configured bound; if one escapes, dump
+        // the flight recorder once with an actual-vs-expected reason so
+        // the run is debuggable without a rerun.
+        if flight_on {
+            let occupancy = machine.stash_len();
+            if occupancy > cfg.oram.stash_limit {
+                dump_stash_breach(
+                    &instruments.flight,
+                    &flight,
+                    &cfg.kind.name(),
+                    machine.executor.now(),
+                    occupancy,
+                    cfg.oram.stash_limit,
+                    pid,
+                );
             }
         }
 
@@ -315,6 +425,10 @@ fn run_inner(
     let cycles = machine.executor.now();
     let energy = machine.executor.energy();
     let stash_peak = machine.stash_peak() as u64;
+    if live.is_enabled() {
+        live.observe_stash_peak(stash_peak);
+        live.cell_finished();
+    }
     let plb_hit_rate = machine.plb_hit_rate();
     let mut metrics = machine.metrics();
     metrics.counter_add("run.cycles", cycles);

@@ -212,6 +212,61 @@ mod tests {
     use super::*;
 
     #[test]
+    fn streaming_reads_under_concurrent_merge_stay_in_range() {
+        // The live dashboard reads percentiles from a shared histogram
+        // while worker cells merge their per-cell histograms in. Reads
+        // must never observe torn state: counts only grow, and
+        // percentiles stay inside the recorded value range.
+        use std::sync::{Arc, Mutex};
+        let shared = Arc::new(Mutex::new(LatencyHistogram::new()));
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let shared = Arc::clone(&shared);
+                s.spawn(move || {
+                    for round in 0..50u64 {
+                        let mut cell = LatencyHistogram::new();
+                        for i in 0..20u64 {
+                            cell.record(100 + (t * 50 + round + i) % 400);
+                        }
+                        shared.lock().unwrap().merge(&cell);
+                    }
+                });
+            }
+            let reader = Arc::clone(&shared);
+            s.spawn(move || {
+                let mut last_count = 0u64;
+                for _ in 0..300 {
+                    let h = reader.lock().unwrap();
+                    let (count, p50, p99, min, max) =
+                        (h.count(), h.percentile(0.5), h.percentile(0.99), h.min(), h.max());
+                    drop(h);
+                    assert!(count >= last_count, "merged counts must be monotone");
+                    last_count = count;
+                    if count > 0 {
+                        assert!(min >= 100 && max < 500);
+                        assert!(p50 >= min && p50 <= max);
+                        assert!(p99 >= p50 && p99 <= max);
+                    }
+                    std::thread::yield_now();
+                }
+            });
+        });
+        let h = shared.lock().unwrap();
+        assert_eq!(h.count(), 4 * 50 * 20);
+        assert_eq!(h.sum(), {
+            let mut expect = 0u64;
+            for t in 0..4u64 {
+                for round in 0..50u64 {
+                    for i in 0..20u64 {
+                        expect += 100 + (t * 50 + round + i) % 400;
+                    }
+                }
+            }
+            expect
+        });
+    }
+
+    #[test]
     fn empty_histogram_percentiles_are_zero() {
         let h = LatencyHistogram::new();
         assert_eq!(h.count(), 0);

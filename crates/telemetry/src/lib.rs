@@ -18,16 +18,44 @@
 //! The simulator's cycle counters stand in for the trace timebase (one
 //! cycle = one microsecond in the exported trace), which keeps exported
 //! timelines deterministic across runs.
+//!
+//! On top of those primitives sit three run-introspection subsystems
+//! (this crate's second layer):
+//!
+//! * [`recorder::FlightRecorder`] — an always-on bounded ring of recent
+//!   structured events (DDR commands, phase completions, stash ticks,
+//!   scheduler decisions) dumped as a black-box report plus Chrome
+//!   trace slice on audit violations, stash breaches, or panics.
+//! * [`profile::CycleProfiler`] — a simulated-time sampling profiler
+//!   accumulating folded stacks (`protocol;Split;path_read;dram;ch0`)
+//!   for flamegraph tooling; deterministic because it never consults
+//!   wall clocks.
+//! * [`dashboard::LiveProgress`] — shared state behind the opt-in
+//!   `--live` stderr status line; print-free except for one sanctioned
+//!   choke-point writer.
+//!
+//! [`instruments::Instruments`] bundles all handles for threading
+//! through `run_*` entry points.
 
 #![deny(unsafe_code)]
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
+pub mod dashboard;
 pub mod histogram;
+pub mod instruments;
 pub mod json;
+pub mod profile;
+pub mod recorder;
 pub mod registry;
 pub mod trace;
 
+pub use dashboard::{LiveProgress, LiveSnapshot};
 pub use histogram::LatencyHistogram;
+pub use instruments::Instruments;
+pub use profile::CycleProfiler;
+pub use recorder::{
+    BackendDecision, DdrCmdKind, FlightEvent, FlightEventKind, FlightRecorder, FlightRecorderHub,
+};
 pub use registry::{MetricValue, MetricsRegistry};
 pub use trace::TraceSink;

@@ -1,0 +1,187 @@
+//! Cycle-attribution profiler: where did the simulated cycles go?
+//!
+//! A [`CycleProfiler`] accumulates weighted call-stack-like strings
+//! ("folded stacks") sampled in *simulated* time: the executor samples
+//! its own state every K DRAM cycles and attributes the elapsed cycles
+//! to a stack such as `protocol;SDIMM-SPLIT;path_read;dram;ch0`. Because
+//! sampling is driven by the simulation clock — never `Instant::now`,
+//! which the workspace clippy config bans — profiles are byte-for-byte
+//! deterministic across runs, and the total weight equals the sampled
+//! simulated cycles exactly (an invariant the `validate_folded` CI step
+//! re-checks).
+//!
+//! The export format is the collapsed-stack ("folded") text format
+//! consumed by standard flamegraph tooling (`flamegraph.pl`, inferno,
+//! speedscope): one `frame;frame;frame weight` line per unique stack.
+//!
+//! Like the other telemetry handles, `CycleProfiler::disabled()` costs
+//! one branch per call, so the sampling hook stays compiled in.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Default sampling interval in DRAM cycles. Small enough to catch
+/// short phases, large enough that the hook is invisible next to the
+/// scheduler work done in the same window.
+pub const DEFAULT_SAMPLE_INTERVAL: u64 = 128;
+
+#[derive(Debug)]
+struct ProfInner {
+    interval: u64,
+    stacks: Mutex<BTreeMap<String, u64>>,
+    sampled: AtomicU64,
+}
+
+/// Cheaply clonable handle to a shared folded-stack accumulator.
+///
+/// All matrix cells merge into one profile (their stacks are
+/// disambiguated by machine-name frames), so a single export covers the
+/// whole run.
+#[derive(Debug, Clone, Default)]
+pub struct CycleProfiler(Option<Arc<ProfInner>>);
+
+impl CycleProfiler {
+    /// A profiler sampling every [`DEFAULT_SAMPLE_INTERVAL`] cycles.
+    pub fn enabled() -> Self {
+        Self::with_interval(DEFAULT_SAMPLE_INTERVAL)
+    }
+
+    /// A profiler whose samplers fire every `interval` simulated cycles.
+    pub fn with_interval(interval: u64) -> Self {
+        CycleProfiler(Some(Arc::new(ProfInner {
+            interval: interval.max(1),
+            stacks: Mutex::new(BTreeMap::new()),
+            sampled: AtomicU64::new(0),
+        })))
+    }
+
+    /// The no-op profiler: records nothing, single branch per call.
+    pub fn disabled() -> Self {
+        CycleProfiler(None)
+    }
+
+    /// True when samples are actually being accumulated.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// The sampling interval in simulated cycles (0 when disabled).
+    #[inline]
+    pub fn interval(&self) -> u64 {
+        self.0.as_ref().map_or(0, |inner| inner.interval)
+    }
+
+    /// Attributes `weight` simulated cycles to `stack`, a
+    /// `;`-separated folded-stack string (root frame first).
+    pub fn add_sample(&self, stack: &str, weight: u64) {
+        if weight == 0 {
+            return;
+        }
+        if let Some(inner) = &self.0 {
+            // lint: panic-ok(lock poisoning means a worker panicked; propagating the panic is intended)
+            *inner.stacks.lock().unwrap().entry(stack.to_string()).or_insert(0) += weight;
+            inner.sampled.fetch_add(weight, Ordering::Relaxed);
+        }
+    }
+
+    /// Total simulated cycles attributed so far. By construction this
+    /// equals the sum of all folded-stack weights.
+    pub fn sampled_cycles(&self) -> u64 {
+        self.0.as_ref().map_or(0, |inner| inner.sampled.load(Ordering::Relaxed))
+    }
+
+    /// Number of distinct stacks accumulated.
+    pub fn stack_count(&self) -> usize {
+        // lint: panic-ok(lock poisoning means a worker panicked; propagating the panic is intended)
+        self.0.as_ref().map_or(0, |inner| inner.stacks.lock().unwrap().len())
+    }
+
+    /// Exports the profile in collapsed-stack text format, one
+    /// `stack weight` line per unique stack, sorted by stack name so
+    /// the output is byte-stable. `None` for a disabled profiler.
+    pub fn export_folded(&self) -> Option<String> {
+        let inner = self.0.as_ref()?;
+        // lint: panic-ok(lock poisoning means a worker panicked; propagating the panic is intended)
+        let stacks = inner.stacks.lock().unwrap();
+        let mut out = String::new();
+        for (stack, weight) in stacks.iter() {
+            out.push_str(&format!("{stack} {weight}\n"));
+        }
+        Some(out)
+    }
+
+    /// The `k` heaviest stacks, sorted by descending weight (ties by
+    /// stack name for determinism). Empty for a disabled profiler.
+    pub fn top_k(&self, k: usize) -> Vec<(String, u64)> {
+        let Some(inner) = &self.0 else {
+            return Vec::new();
+        };
+        // lint: panic-ok(lock poisoning means a worker panicked; propagating the panic is intended)
+        let stacks = inner.stacks.lock().unwrap();
+        let mut all: Vec<(String, u64)> = stacks.iter().map(|(s, w)| (s.clone(), *w)).collect();
+        all.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        all.truncate(k);
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_profiler_is_a_noop() {
+        let p = CycleProfiler::disabled();
+        assert!(!p.is_enabled());
+        p.add_sample("a;b", 10);
+        assert_eq!(p.sampled_cycles(), 0);
+        assert_eq!(p.export_folded(), None);
+        assert!(p.top_k(5).is_empty());
+        assert_eq!(p.interval(), 0);
+    }
+
+    #[test]
+    fn folded_weights_sum_to_sampled_cycles() {
+        let p = CycleProfiler::with_interval(64);
+        p.add_sample("protocol;A;path_read;dram;ch0", 128);
+        p.add_sample("protocol;A;path_read;dram;ch0", 64);
+        p.add_sample("protocol;A;writeback;crypto", 32);
+        p.add_sample("idle", 0); // zero-weight samples are dropped
+        let folded = p.export_folded().unwrap();
+        let total: u64 =
+            folded.lines().map(|l| l.rsplit_once(' ').unwrap().1.parse::<u64>().unwrap()).sum();
+        assert_eq!(total, p.sampled_cycles());
+        assert_eq!(total, 224);
+        assert!(folded.contains("protocol;A;path_read;dram;ch0 192\n"));
+        assert!(!folded.contains("idle"));
+    }
+
+    #[test]
+    fn top_k_orders_by_weight_then_name() {
+        let p = CycleProfiler::enabled();
+        p.add_sample("b", 10);
+        p.add_sample("a", 10);
+        p.add_sample("c", 99);
+        let top = p.top_k(2);
+        assert_eq!(top, vec![("c".to_string(), 99), ("a".to_string(), 10)]);
+    }
+
+    #[test]
+    fn clones_share_one_accumulator_across_threads() {
+        let p = CycleProfiler::enabled();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let q = p.clone();
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        q.add_sample(if t % 2 == 0 { "even" } else { "odd" }, 3);
+                    }
+                });
+            }
+        });
+        assert_eq!(p.sampled_cycles(), 1200);
+        assert_eq!(p.stack_count(), 2);
+    }
+}

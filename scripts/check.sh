@@ -20,13 +20,21 @@ cargo run --release -q -p sdimm-lint
 echo "==> cargo test -q"
 cargo test -q
 
-echo "==> telemetry overhead gate (disabled sink must stay under 2%)"
-cargo run --release -q -p sdimm-bench --bin telemetry_overhead
+echo "==> telemetry overhead gate (disabled sink <2%, enabled flight recorder <5%)"
+cargo run --release -q -p sdimm-bench --bin telemetry_overhead -- \
+  --json target/telemetry-overhead.json
 
 echo "==> audit-strict feature compiles"
 cargo check -q -p sdimm-bench --features audit-strict
 
 echo "==> audited quick-scale fig6 (DDR replay + ORAM oracle must be clean)"
-SDIMM_BENCH_SCALE=quick cargo run --release -q -p sdimm-bench --bin fig6 -- --audit > /dev/null
+SDIMM_BENCH_SCALE=quick cargo run --release -q -p sdimm-bench --bin fig6 -- --audit \
+  --flight-recorder target/quick-fig6-flight \
+  --profile-folded target/quick-fig6.folded \
+  --metrics-json target/quick-fig6.metrics.json \
+  --trace-json target/quick-fig6.trace.json > /dev/null
+
+echo "==> folded profile validates (no empty stacks, weights sum to sampled cycles)"
+cargo run --release -q -p sdimm-bench --bin validate_folded -- target/quick-fig6.folded
 
 echo "==> all checks passed"

@@ -1,13 +1,22 @@
-//! `bench_compare` — the perf-regression gate for the crypto fast path.
+//! `bench_compare` — the perf-regression gates for the crypto fast path
+//! and the event-driven simulation core.
 //!
-//! Runs a fixed set of wall-clock microbenchmarks (AES block/batch, CTR
-//! keystream, CMAC, bucket seal→open) plus two quick-scale fig6-style
-//! system microloops, writes the measurements to `BENCH_crypto.json`
-//! (ops/sec, wall time, and p50/p99 per-op latency per benchmark), diffs
-//! ops/sec against the committed baseline at
-//! `crates/bench/baselines/crypto.json`, and exits nonzero when any
-//! benchmark regressed by more than 15%. The p50/p99 columns ride along
-//! in the report for tail-latency tracking; the hard gate stays on
+//! Two suites, each with its own report and committed baseline:
+//!
+//! * **crypto** — wall-clock microbenchmarks (AES block/batch, CTR
+//!   keystream, CMAC, bucket seal→open) plus two quick-scale
+//!   fig6-style system microloops → `BENCH_crypto.json`, gated against
+//!   `crates/bench/baselines/crypto.json`.
+//! * **sim** — quick-scale fig6 cells, one per machine kind, measuring
+//!   simulator throughput two ways: trace records retired per wall
+//!   second (the gated ops/sec) and simulated memory cycles per wall
+//!   second (reported alongside) → `BENCH_sim.json`, gated against
+//!   `crates/bench/baselines/sim.json`.
+//!
+//! Reports carry ops/sec, wall time, and p50/p99 per-op latency per
+//! benchmark; each suite diffs ops/sec against its baseline and exits
+//! nonzero when any benchmark regressed by more than 15%. The p50/p99
+//! columns ride along for tail-latency tracking; the hard gate stays on
 //! throughput because ns-scale tail measurements are too noisy on
 //! shared CI hosts to fail a build on.
 //!
@@ -18,7 +27,7 @@
 //! cargo run --release -p sdimm-bench --bin bench_compare -- --update-baseline
 //! ```
 //!
-//! `--update-baseline` rewrites the baseline file after an intentional
+//! `--update-baseline` rewrites both baseline files after an intentional
 //! performance change. `SDIMM_BENCH_BUDGET_MS` scales the per-benchmark
 //! measurement budget (default 200 ms).
 
@@ -45,12 +54,18 @@ const MAX_REGRESSION: f64 = 0.15;
 /// attempts run only when the first pass already looks regressed.
 const RETRY_ATTEMPTS: usize = 3;
 
-/// Committed baseline, resolved relative to the crate so `cargo run`
-/// works from any directory.
+/// Committed crypto baseline, resolved relative to the crate so
+/// `cargo run` works from any directory.
 const BASELINE_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/baselines/crypto.json");
 
-/// Output report written into the invoking directory.
+/// Committed simulator-throughput baseline.
+const SIM_BASELINE_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/baselines/sim.json");
+
+/// Crypto report written into the invoking directory.
 const REPORT_PATH: &str = "BENCH_crypto.json";
+
+/// Simulator-throughput report written into the invoking directory.
+const SIM_REPORT_PATH: &str = "BENCH_sim.json";
 
 #[derive(Debug, Clone)]
 struct Measurement {
@@ -61,6 +76,10 @@ struct Measurement {
     p50_ns: u64,
     /// 99th-percentile per-op latency in ns.
     p99_ns: u64,
+    /// Simulated memory cycles advanced per wall second (sim suite
+    /// only; 0 for pure wall-clock microbenchmarks). Reported, not
+    /// gated: it moves with both engine speed and machine behaviour.
+    sim_cycles_per_sec: f64,
 }
 
 /// Runs `iter` repeatedly for roughly `budget`, returning ops/sec and the
@@ -107,6 +126,7 @@ fn measure(name: &'static str, budget: Duration, mut iter: impl FnMut()) -> Meas
         wall_time_s: total.elapsed().as_secs_f64(),
         p50_ns: latency.percentile(0.50),
         p99_ns: latency.percentile(0.99),
+        sim_cycles_per_sec: 0.0,
     }
 }
 
@@ -124,6 +144,7 @@ fn measure_once(name: &'static str, records: u64, f: impl FnOnce()) -> Measureme
         wall_time_s: wall,
         p50_ns: per_op_ns,
         p99_ns: per_op_ns,
+        sim_cycles_per_sec: 0.0,
     }
 }
 
@@ -189,6 +210,42 @@ fn fig6_microloops() -> Vec<Measurement> {
     out
 }
 
+/// The simulator-throughput suite: one quick-scale fig6 cell per machine
+/// kind, on the same workload/seed the audit goldens use. The gated
+/// ops/sec is trace records retired per wall second; simulated cycles
+/// per wall second rides along in the report. This is the wall-clock
+/// regression gate for the event-driven tick/scan hot paths — a change
+/// that slows the scheduler shows up here long before a full figure
+/// regeneration would notice.
+fn sim_benchmarks() -> Vec<Measurement> {
+    let scale = sdimm_bench::Scale::Quick;
+    let trace = wl::generate("milc-like", scale.trace_len(), 42);
+    let warmup = scale.warmup();
+    let window = scale.measure();
+    let mut out = Vec::new();
+    for (name, kind) in [
+        ("sim_quick_nonsecure_1ch", MachineKind::NonSecure { channels: 1 }),
+        ("sim_quick_freecursive_1ch", MachineKind::Freecursive { channels: 1 }),
+        ("sim_quick_indep2_1ch", MachineKind::Independent { sdimms: 2, channels: 1 }),
+        ("sim_quick_split2_1ch", MachineKind::Split { ways: 2, channels: 1 }),
+    ] {
+        let cfg = SystemConfig {
+            kind,
+            oram: scale.oram(7),
+            data_blocks: scale.data_blocks(),
+            low_power: false,
+            seed: 1,
+        };
+        let mut sim_cycles = 0u64;
+        let mut m = measure_once(name, window as u64, || {
+            sim_cycles = black_box(run(&cfg, &trace, warmup, window)).cycles;
+        });
+        m.sim_cycles_per_sec = sim_cycles as f64 / m.wall_time_s.max(1e-12);
+        out.push(m);
+    }
+    out
+}
+
 /// Serializes measurements in the (hand-rolled, dependency-free) report
 /// format shared with the committed baseline.
 fn to_json(results: &[Measurement]) -> String {
@@ -197,8 +254,8 @@ fn to_json(results: &[Measurement]) -> String {
         let sep = if i + 1 == results.len() { "" } else { "," };
         s.push_str(&format!(
             "    {{\"name\": \"{}\", \"ops_per_sec\": {:.3}, \"wall_time_s\": {:.6}, \
-             \"p50_ns\": {}, \"p99_ns\": {}}}{sep}\n",
-            m.name, m.ops_per_sec, m.wall_time_s, m.p50_ns, m.p99_ns
+             \"p50_ns\": {}, \"p99_ns\": {}, \"sim_cycles_per_sec\": {:.1}}}{sep}\n",
+            m.name, m.ops_per_sec, m.wall_time_s, m.p50_ns, m.p99_ns, m.sim_cycles_per_sec
         ));
     }
     s.push_str("  ]\n}\n");
@@ -244,6 +301,106 @@ fn human_rate(ops: f64) -> String {
     }
 }
 
+/// Measures, reports, and gates one suite. Writes `report_path`, diffs
+/// against `baseline_path` (or rewrites it with `--update-baseline`),
+/// and returns the number of persistent regressions. Exits the process
+/// when the baseline is missing or unparseable — a misconfigured gate
+/// must not pass silently.
+fn run_suite(
+    label: &str,
+    report_path: &str,
+    baseline_path: &str,
+    update_baseline: bool,
+    measure_suite: &dyn Fn() -> Vec<Measurement>,
+    results: Vec<Measurement>,
+) -> usize {
+    for m in &results {
+        let cycles = if m.sim_cycles_per_sec > 0.0 {
+            format!("   {:8.2} Mcyc/s", m.sim_cycles_per_sec / 1e6)
+        } else {
+            String::new()
+        };
+        println!(
+            "  {:28} {}   p50 {:>9} ns  p99 {:>9} ns   ({:.3} s){cycles}",
+            m.name,
+            human_rate(m.ops_per_sec),
+            m.p50_ns,
+            m.p99_ns,
+            m.wall_time_s
+        );
+    }
+
+    let report = to_json(&results);
+    std::fs::write(report_path, &report).unwrap_or_else(|e| panic!("write {report_path}: {e}"));
+    println!("  report written to {report_path}");
+
+    if update_baseline {
+        if let Some(dir) = std::path::Path::new(baseline_path).parent() {
+            std::fs::create_dir_all(dir).expect("create baselines dir");
+        }
+        std::fs::write(baseline_path, &report).expect("write baseline");
+        println!("  baseline updated at {baseline_path}");
+        return 0;
+    }
+
+    let Ok(baseline_text) = std::fs::read_to_string(baseline_path) else {
+        println!(
+            "\n  no committed baseline at {baseline_path}; run with --update-baseline to create one"
+        );
+        std::process::exit(2);
+    };
+    let baseline = parse_baseline(&baseline_text);
+    if baseline.is_empty() {
+        eprintln!(
+            "bench_compare: baseline at {baseline_path} has no parseable entries; \
+             regenerate it with --update-baseline"
+        );
+        std::process::exit(2);
+    }
+
+    // A shared 1-vCPU host can steal the whole measurement window, making
+    // every benchmark look ~20% slower at once. A real code regression
+    // survives re-measurement; noise does not — so on apparent regression,
+    // re-measure and keep each benchmark's best observation before failing.
+    let mut merged = results;
+    for attempt in 1..=RETRY_ATTEMPTS {
+        if count_regressions(&merged, &baseline) == 0 || attempt == RETRY_ATTEMPTS {
+            break;
+        }
+        println!(
+            "\n  apparent {label} regression — re-measuring to rule out host noise \
+             (attempt {}/{RETRY_ATTEMPTS})",
+            attempt + 1
+        );
+        let retry = measure_suite();
+        for m in &mut merged {
+            if let Some(r) = retry.iter().find(|r| r.name == m.name) {
+                if r.ops_per_sec > m.ops_per_sec {
+                    *m = r.clone();
+                }
+            }
+        }
+    }
+
+    println!("\n  {label} diff vs baseline ({baseline_path}):");
+    let mut regressions = 0usize;
+    for m in &merged {
+        let Some((_, base)) = baseline.iter().find(|(n, _)| n == m.name) else {
+            println!("    {:28} (new — no baseline entry)", m.name);
+            continue;
+        };
+        let delta = m.ops_per_sec / base - 1.0;
+        let flag = if delta < -MAX_REGRESSION {
+            regressions += 1;
+            "  << REGRESSION"
+        } else {
+            ""
+        };
+        println!("    {:28} {:+7.1}%{flag}", m.name, delta * 100.0);
+    }
+    regressions
+}
+
 fn main() {
     let mut update_baseline = false;
     for arg in std::env::args().skip(1) {
@@ -263,92 +420,37 @@ fn main() {
     let budget = Duration::from_millis(budget_ms);
 
     println!("bench_compare: {budget_ms} ms/crypto benchmark + fig6 quick microloops\n");
-    let mut results = crypto_benchmarks(budget);
-    results.extend(fig6_microloops());
+    let crypto_suite = move || {
+        let mut r = crypto_benchmarks(budget);
+        r.extend(fig6_microloops());
+        r
+    };
+    let crypto_results = crypto_suite();
 
-    let fast = results.iter().find(|m| m.name == "aes128_encrypt_block").expect("present");
-    let slow = results.iter().find(|m| m.name == "aes128_encrypt_block_spec").expect("present");
+    let fast = crypto_results.iter().find(|m| m.name == "aes128_encrypt_block").expect("present");
+    let slow =
+        crypto_results.iter().find(|m| m.name == "aes128_encrypt_block_spec").expect("present");
     let speedup = fast.ops_per_sec / slow.ops_per_sec;
 
-    for m in &results {
-        println!(
-            "  {:28} {}   p50 {:>9} ns  p99 {:>9} ns   ({:.3} s)",
-            m.name,
-            human_rate(m.ops_per_sec),
-            m.p50_ns,
-            m.p99_ns,
-            m.wall_time_s
-        );
-    }
+    let mut regressions = run_suite(
+        "crypto",
+        REPORT_PATH,
+        BASELINE_PATH,
+        update_baseline,
+        &crypto_suite,
+        crypto_results,
+    );
     println!("\n  T-table vs spec AES speedup: {speedup:.2}x (acceptance floor: 4x)");
 
-    let report = to_json(&results);
-    std::fs::write(REPORT_PATH, &report).expect("write BENCH_crypto.json");
-    println!("  report written to {REPORT_PATH}");
-
-    if update_baseline {
-        if let Some(dir) = std::path::Path::new(BASELINE_PATH).parent() {
-            std::fs::create_dir_all(dir).expect("create baselines dir");
-        }
-        std::fs::write(BASELINE_PATH, &report).expect("write baseline");
-        println!("  baseline updated at {BASELINE_PATH}");
-        return;
-    }
-
-    let Ok(baseline_text) = std::fs::read_to_string(BASELINE_PATH) else {
-        println!("\n  no committed baseline at {BASELINE_PATH}; run with --update-baseline to create one");
-        std::process::exit(2);
-    };
-    let baseline = parse_baseline(&baseline_text);
-    if baseline.is_empty() {
-        eprintln!(
-            "bench_compare: baseline at {BASELINE_PATH} has no parseable entries; \
-             regenerate it with --update-baseline"
-        );
-        std::process::exit(2);
-    }
-
-    // A shared 1-vCPU host can steal the whole measurement window, making
-    // every benchmark look ~20% slower at once. A real code regression
-    // survives re-measurement; noise does not — so on apparent regression,
-    // re-measure and keep each benchmark's best observation before failing.
-    let mut merged = results;
-    for attempt in 1..=RETRY_ATTEMPTS {
-        if count_regressions(&merged, &baseline) == 0 || attempt == RETRY_ATTEMPTS {
-            break;
-        }
-        println!(
-            "\n  apparent regression — re-measuring to rule out host noise \
-             (attempt {}/{RETRY_ATTEMPTS})",
-            attempt + 1
-        );
-        let mut retry = crypto_benchmarks(budget);
-        retry.extend(fig6_microloops());
-        for m in &mut merged {
-            if let Some(r) = retry.iter().find(|r| r.name == m.name) {
-                if r.ops_per_sec > m.ops_per_sec {
-                    *m = r.clone();
-                }
-            }
-        }
-    }
-
-    println!("\n  diff vs baseline ({BASELINE_PATH}):");
-    let mut regressions = 0usize;
-    for m in &merged {
-        let Some((_, base)) = baseline.iter().find(|(n, _)| n == m.name) else {
-            println!("    {:28} (new — no baseline entry)", m.name);
-            continue;
-        };
-        let delta = m.ops_per_sec / base - 1.0;
-        let flag = if delta < -MAX_REGRESSION {
-            regressions += 1;
-            "  << REGRESSION"
-        } else {
-            ""
-        };
-        println!("    {:28} {:+7.1}%{flag}", m.name, delta * 100.0);
-    }
+    println!("\nsimulator throughput (quick fig6, one cell per machine kind)\n");
+    regressions += run_suite(
+        "sim",
+        SIM_REPORT_PATH,
+        SIM_BASELINE_PATH,
+        update_baseline,
+        &sim_benchmarks,
+        sim_benchmarks(),
+    );
 
     if regressions > 0 {
         eprintln!(

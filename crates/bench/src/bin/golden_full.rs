@@ -1,0 +1,28 @@
+//! Scratch diagnostic: full-scale single-cell cycle counts, for
+//! verifying engine changes keep full-scale runs byte-identical.
+
+use sdimm_bench::Scale;
+use sdimm_system::machine::{MachineKind, SystemConfig};
+use sdimm_system::runner::run;
+use workloads::spec;
+
+fn main() {
+    let scale = Scale::Full;
+    let wl = std::env::args().nth(1).unwrap_or_else(|| "libquantum-like".into());
+    let wi = spec::ALL.iter().position(|w| *w == wl).unwrap_or(0);
+    let trace = spec::generate(&wl, scale.trace_len(), 42 + wi as u64);
+    for kind in [MachineKind::NonSecure { channels: 1 }, MachineKind::Freecursive { channels: 1 }] {
+        let cfg = SystemConfig {
+            kind,
+            oram: scale.oram(7),
+            data_blocks: scale.data_blocks(),
+            low_power: false,
+            seed: 1,
+        };
+        let r = run(&cfg, &trace, scale.warmup(), scale.measure());
+        println!(
+            "{:14} {:22} cycles={:<12} misses={:<10} lat_mean={:.4}",
+            wl, r.machine, r.cycles, r.llc_misses, r.mean_miss_latency,
+        );
+    }
+}

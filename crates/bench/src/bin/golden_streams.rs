@@ -1,0 +1,48 @@
+//! `golden_streams` — fingerprint the audited DDR command streams.
+//!
+//! Runs a small fixed workload through one machine of each protocol
+//! family with command capture attached and prints an FNV-1a digest of
+//! every channel's complete command stream plus the run's cycle count.
+//! Two engine builds that print identical lines issued byte-identical
+//! command streams — the hand-shake check for any scheduler or tick-loop
+//! change (the differential auditor checks *legality*; this checks
+//! *identity*).
+//!
+//! Usage: `cargo run --release -p sdimm-bench --bin golden_streams`
+
+use sdimm_system::machine::{MachineKind, SystemConfig};
+use sdimm_system::runner::run_audited;
+use sdimm_telemetry::TraceSink;
+use workloads::spec;
+
+/// FNV-1a over the debug rendering of every command record.
+fn digest(records: &[dram_sim::cmdlog::CmdRecord]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for r in records {
+        for b in format!("{:?}|{}|{:?};", r.cycle, r.rank, r.cmd).bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+fn main() {
+    let trace = spec::generate("milc-like", 1200, 3);
+    let kinds: [(&str, MachineKind); 4] = [
+        ("nonsecure-1ch", MachineKind::NonSecure { channels: 1 }),
+        ("freecursive-1ch", MachineKind::Freecursive { channels: 1 }),
+        ("indep-2", MachineKind::Independent { sdimms: 2, channels: 1 }),
+        ("split-2", MachineKind::Split { ways: 2, channels: 1 }),
+    ];
+    for (name, kind) in kinds {
+        let cfg = SystemConfig::small(kind);
+        let (result, capture) = run_audited(&cfg, &trace, 200, 400, TraceSink::disabled(), 0);
+        let cmds: usize = capture.streams.iter().map(Vec::len).sum();
+        print!("{name:18} cycles={:<9} cmds={cmds:<7}", result.cycles);
+        for (i, s) in capture.streams.iter().enumerate() {
+            print!(" ch{i}={:016x}", digest(s));
+        }
+        println!();
+    }
+}

@@ -1,0 +1,76 @@
+//! Scratch diagnostic: where does figure wall-clock go — protocol
+//! planning (ORAM data structures + crypto) or the cycle-level engine?
+
+// Wall-clock probe: `Instant` is the measurement.
+#![allow(clippy::disallowed_methods)]
+
+use std::time::Instant;
+
+use dram_sim::channel::DramChannel;
+use sdimm_system::machine::{Machine, MachineKind, SystemConfig};
+use sdimm_system::runner::run;
+use workloads::spec;
+
+fn main() {
+    let scale = sdimm_bench::Scale::from_env();
+    let trace = spec::generate("milc-like", scale.trace_len(), 42);
+    let kind = MachineKind::Freecursive { channels: 1 };
+    let cfg = SystemConfig {
+        kind,
+        oram: scale.oram(7),
+        data_blocks: scale.data_blocks(),
+        low_power: false,
+        seed: 1,
+    };
+
+    // Full run.
+    let t0 = Instant::now();
+    let r = run(&cfg, &trace, scale.warmup(), scale.measure());
+    let full = t0.elapsed();
+    println!(
+        "full run:       {:>8.1} ms  ({} cycles, {} dram lines, {} sched invocations)",
+        full.as_secs_f64() * 1e3,
+        r.cycles,
+        r.dram_lines,
+        r.metrics.counter("dram.chan0.scheduler_invocations"),
+    );
+
+    // Planning only: same records through the ORAM backends, no executor.
+    let mut m = Machine::new(cfg.clone());
+    let records = &trace.records[scale.warmup()..scale.warmup() + scale.measure()];
+    let t1 = Instant::now();
+    let mut lines = 0u64;
+    for rec in records {
+        for t in m.request_traces(rec.addr, rec.is_write) {
+            lines += t.dram_lines();
+        }
+    }
+    let plan = t1.elapsed();
+    println!("planning only:  {:>8.1} ms  ({lines} dram lines)", plan.as_secs_f64() * 1e3);
+
+    // Raw channel: stream the same number of lines through one channel.
+    let mut ch = DramChannel::new(kind.channel_config());
+    let t2 = Instant::now();
+    let mut issued = 0u64;
+    let mut addr = 0u64;
+    let mut done = 0u64;
+    while done < lines {
+        while issued < lines && issued - done < 48 {
+            // Path-like access pattern: strided rows.
+            if ch.enqueue_read(addr).is_none() {
+                break;
+            }
+            addr = addr.wrapping_add(64 * 1031) % (1u64 << 30);
+            issued += 1;
+        }
+        ch.tick(16);
+        done += ch.drain_completions().len() as u64;
+    }
+    let raw = t2.elapsed();
+    println!(
+        "raw channel:    {:>8.1} ms  ({} cycles, {} sched invocations)",
+        raw.as_secs_f64() * 1e3,
+        ch.now(),
+        ch.stats().scheduler_invocations
+    );
+}

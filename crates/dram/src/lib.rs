@@ -114,11 +114,29 @@ impl MemorySystem {
         for ch in &mut self.channels {
             ch.tick(cycles);
         }
+        debug_assert!(
+            self.channels.iter().all(|ch| ch.now() == self.channels[0].now()),
+            "channels must advance in lockstep"
+        );
     }
 
-    /// Current cycle (all channels advance in lockstep).
+    /// Current cycle. [`tick`](Self::tick) advances every channel by the
+    /// same amount, so the channels stay in lockstep (debug-asserted
+    /// there); `now` is defined as the *minimum* across channels so that
+    /// it stays meaningful — and conservative — even if a caller skews a
+    /// channel through [`channel_mut`](Self::channel_mut).
     pub fn now(&self) -> Cycle {
-        self.channels[0].now()
+        // lint: panic-ok(invariant: constructor rejects zero channels)
+        self.channels.iter().map(DramChannel::now).min().expect("at least one channel")
+    }
+
+    /// Earliest cycle at which any channel could do observable work (the
+    /// global minimum of per-channel [`DramChannel::next_event`]
+    /// horizons). Callers may advance everything to this point in one
+    /// jump without changing any observable behavior.
+    pub fn next_event(&self) -> Cycle {
+        // lint: panic-ok(invariant: constructor rejects zero channels)
+        self.channels.iter().map(DramChannel::next_event).min().expect("at least one channel")
     }
 
     /// True when every channel is idle.
@@ -136,11 +154,18 @@ impl MemorySystem {
     }
 
     /// Runs until idle (or `limit` cycles), returning all completions.
+    ///
+    /// Advances all channels together to the global next-event horizon
+    /// each round, so fully idle stretches cost one jump instead of
+    /// fixed-quantum spinning. Completions are identical to any other
+    /// tick slicing (channel ticks are split-invariant); a deadline only
+    /// truncates the run, it never reorders what drains before it.
     pub fn run_until_idle(&mut self, limit: Cycle) -> Vec<(usize, Completion)> {
         let deadline = self.now().saturating_add(limit);
         let mut out = Vec::new();
         while !self.is_idle() && self.now() < deadline {
-            self.tick(1_000);
+            let target = self.next_event().clamp(self.now().saturating_add(1), deadline);
+            self.tick(target.saturating_sub(self.now()));
             out.extend(self.drain_completions());
         }
         out.extend(self.drain_completions());

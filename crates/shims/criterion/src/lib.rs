@@ -189,10 +189,8 @@ pub struct Criterion {
 impl Default for Criterion {
     fn default() -> Self {
         // Keep whole-suite runs quick; SDIMM_BENCH_BUDGET_MS overrides.
-        let ms = std::env::var("SDIMM_BENCH_BUDGET_MS")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(300);
+        let ms =
+            std::env::var("SDIMM_BENCH_BUDGET_MS").ok().and_then(|v| v.parse().ok()).unwrap_or(300);
         Criterion { budget: Duration::from_millis(ms) }
     }
 }

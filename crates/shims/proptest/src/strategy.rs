@@ -241,9 +241,4 @@ macro_rules! impl_tuple_strategy {
         }
     )+};
 }
-impl_tuple_strategy!(
-    (A.0, B.1),
-    (A.0, B.1, C.2),
-    (A.0, B.1, C.2, D.3),
-    (A.0, B.1, C.2, D.3, E.4)
-);
+impl_tuple_strategy!((A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3), (A.0, B.1, C.2, D.3, E.4));

@@ -479,22 +479,118 @@ impl Executor {
         }
     }
 
+    /// Observation grid for [`tick`](Self::tick): `process` runs only at
+    /// absolute multiples of this step. Anchoring the grid in absolute
+    /// time (rather than per `tick` call) makes the event schedule
+    /// independent of how callers slice their calls, and matches the
+    /// historical fixed-quantum loop at every production call site.
+    const STEP: Cycle = 8;
+
     /// Advances simulated time, pumping all in-flight requests.
+    ///
+    /// Event-driven: instead of stepping a fixed quantum, the loop jumps
+    /// straight to the next grid-aligned point at which anything
+    /// *observable* can happen — a DRAM completion, a bus/crypto phase
+    /// deadline, queue room for a pending line, a profiler sample — and
+    /// calls `process` only there. Channels absorb arbitrary-sized jumps
+    /// (their own tick is event-driven and split-invariant), so every
+    /// skipped grid point is one where `process` would have been an
+    /// observable no-op: the command streams, events, and metrics are
+    /// identical to stepping [`STEP`](Self::STEP) cycles at a time.
     pub fn tick(&mut self, cycles: Cycle) {
-        let step = 8;
         let end = self.now.saturating_add(cycles);
         while self.now < end {
-            let dt = step.min(end.saturating_sub(self.now));
+            let next_grid = (self.now / Self::STEP + 1).saturating_mul(Self::STEP);
+            // Observability sinks expect the historical cadence: the
+            // inflight counter and the flight clock advance per step.
+            let horizon = if self.sink.is_enabled() || self.flight.is_enabled() {
+                next_grid
+            } else {
+                // The clamp floor lets the walk stop refining as soon as
+                // it proves the next grid point must be visited anyway —
+                // the common case while traffic is dense.
+                self.next_horizon_clamped(next_grid).max(next_grid)
+            };
+            // First grid point that can observe the horizon event (an
+            // event at `e >= horizon` is observed at the same grid point
+            // the fixed-quantum loop would have seen it).
+            let rem = horizon % Self::STEP;
+            let target =
+                if rem == 0 { horizon } else { horizon.saturating_add(Self::STEP - rem) }.min(end);
+            let dt = target.saturating_sub(self.now);
             for ch in &mut self.channels {
                 ch.tick(dt);
             }
-            self.now = self.now.saturating_add(dt);
+            self.now = target;
             self.flight.set_clock(self.now);
-            self.process();
-            if self.profiler.is_enabled() && self.now >= self.sample_due {
-                self.profile_sample();
+            if self.now.is_multiple_of(Self::STEP) {
+                self.process();
+                if self.profiler.is_enabled() && self.now >= self.sample_due {
+                    self.profile_sample();
+                }
             }
         }
+    }
+
+    /// Earliest cycle at which this executor could emit an event or
+    /// otherwise observably change state — `Cycle::MAX` when fully idle.
+    /// A *conservative lower bound*: the real event may be later (`tick`
+    /// re-derives horizons as it goes, so a driver that stops here and
+    /// finds nothing simply jumps again), never earlier. External
+    /// drivers may therefore advance straight to their own observation
+    /// grid point at or after this cycle without missing anything.
+    pub fn next_event_horizon(&self) -> Cycle {
+        self.next_horizon_clamped(0)
+    }
+
+    /// [`next_event_horizon`](Self::next_event_horizon) with an early
+    /// exit: once the walk proves the horizon is at or below `floor` it
+    /// returns immediately with whatever bound it has. Callers that only
+    /// use the horizon as `max(horizon, floor)` (i.e. their next
+    /// observation point is at least `floor` anyway) get an identical
+    /// answer for a fraction of the walk while traffic is dense.
+    pub fn next_event_horizon_clamped(&self, floor: Cycle) -> Cycle {
+        self.next_horizon_clamped(floor)
+    }
+
+    /// Earliest future cycle at which `process` could observe anything:
+    /// a phase deadline expiring, a DRAM completion arriving, or queue
+    /// room opening for a not-yet-accepted line. `Cycle::MAX` when fully
+    /// idle (the caller then jumps straight to its requested end).
+    /// Returns early once the bound reaches `floor` (see
+    /// [`next_event_horizon_clamped`](Self::next_event_horizon_clamped));
+    /// pass 0 for the exact horizon.
+    fn next_horizon_clamped(&self, floor: Cycle) -> Cycle {
+        let mut h = Cycle::MAX;
+        if self.profiler.is_enabled() {
+            h = h.min(self.sample_due);
+            if h <= floor {
+                return h;
+            }
+        }
+        let mut pending_lines = false;
+        for req in &self.inflight {
+            if !req.pending.is_empty() {
+                // Queue-full retries: room opens when a CAS dequeues an
+                // entry, i.e. at some scheduler invocation, so fall back
+                // to the channels' own wake horizon below. Pump timing
+                // feeds request arrival times, which feed scheduling —
+                // it must match the fixed-quantum cadence exactly.
+                pending_lines = true;
+            } else if req.outstanding == 0 {
+                h = h.min(req.busy_until);
+                if h <= floor {
+                    return h;
+                }
+            }
+        }
+        for ch in &self.channels {
+            h = h.min(if pending_lines { ch.next_event() } else { ch.completion_horizon() });
+            if h <= floor {
+                return h;
+            }
+        }
+        h
     }
 
     /// Takes one profiler sample: charges the cycles since the previous

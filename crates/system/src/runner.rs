@@ -367,8 +367,43 @@ fn run_inner(
             }
         }
 
-        // Advance time.
-        machine.executor.tick(16);
+        // Advance time. The loop observes the executor on an absolute
+        // 16-cycle grid (one fixed tick per iteration, historically);
+        // jump over stretches where neither a new issue nor an executor
+        // event can occur. Both bounds are conservative lower bounds, so
+        // an early stop is a no-op poll on the same grid — every event
+        // is still polled, and every record still issued, at the exact
+        // cycle the fixed-quantum loop would have used. Flight-recorder
+        // runs keep the fixed cadence so the stash probe below samples
+        // every iteration.
+        let dt = if flight_on {
+            16
+        } else {
+            // The floor is this loop's own next grid point: any horizon
+            // at or below it aligns up to the same 16-cycle poll, so the
+            // executor may stop refining there.
+            let mut h = machine.executor.next_event_horizon_clamped(now.saturating_add(16));
+            if idx < records.len() && next_issue_at > now {
+                h = h.min(next_issue_at);
+            }
+            if h == Cycle::MAX {
+                // No event can ever occur: everything retired and
+                // nothing is left to issue (any blocked issue keeps a
+                // chain alive, which keeps the horizon finite). This is
+                // the loop's final iteration; take the historical
+                // 16-cycle step so the stopped clock matches the
+                // fixed-quantum engine's final reading exactly.
+                16
+            } else {
+                let target = h.max(now.saturating_add(1));
+                let rem = target % 16;
+                let aligned = if rem == 0 { target } else { target.saturating_add(16 - rem) };
+                // Cap the jump so a (hypothetical) unbounded horizon
+                // cannot wedge the loop in a single enormous tick.
+                aligned.saturating_sub(now).min(65_536)
+            }
+        };
+        machine.executor.tick(dt);
         for ev in machine.executor.poll() {
             if let ExecEvent::DataReady { id, at } = ev {
                 if let Some(mut chain) = chains.remove(&id) {

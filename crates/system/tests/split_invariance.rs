@@ -1,0 +1,111 @@
+//! Split-invariance and deadline-truncation properties of the
+//! event-driven executor: how callers slice `tick` must never change
+//! what the machine does, and a deadline must cut a run short without
+//! reordering or altering it.
+
+use dram_sim::cmdlog::CmdRecord;
+use dram_sim::config::Cycle;
+use dram_sim::stats::ChannelStats;
+use proptest::prelude::*;
+use sdimm_system::executor::ExecEvent;
+use sdimm_system::machine::{Machine, MachineKind, SystemConfig};
+
+/// Deterministic request mix: a handful of reads/writes spread across
+/// the small machine's address space (an LCG so the pattern has both
+/// locality runs and jumps, without `rand`).
+fn addresses(n: usize) -> Vec<(u64, bool)> {
+    let mut x = 0x2545_f491_4f6c_dd1du64;
+    (0..n)
+        .map(|i| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let block = (x >> 33) % (1 << 14);
+            (block * 64, i % 3 == 0)
+        })
+        .collect()
+}
+
+/// Builds a machine, submits the standard mix, then drives the executor
+/// with the given tick slices, returning everything an outside observer
+/// can see: final cycle, events, per-channel DDR command streams, and
+/// per-channel stats.
+fn drive(
+    kind: MachineKind,
+    n_reqs: usize,
+    splits: &[u64],
+) -> (Cycle, Vec<ExecEvent>, Vec<Vec<CmdRecord>>, Vec<ChannelStats>) {
+    let mut m = Machine::new(SystemConfig::small(kind));
+    let logs = m.executor.attach_cmd_logs();
+    for (addr, is_write) in addresses(n_reqs) {
+        for trace in m.request_traces(addr, is_write) {
+            m.executor.submit(trace);
+        }
+    }
+    let mut events = Vec::new();
+    for s in splits {
+        m.executor.tick(*s);
+        events.extend(m.executor.poll());
+    }
+    let stats =
+        (0..m.executor.channel_count()).map(|i| m.executor.channel(i).stats().clone()).collect();
+    (m.executor.now(), events, logs.iter().map(|l| l.take()).collect(), stats)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Arbitrary `tick` slicings observe the identical execution: the
+    /// executor processes on a fixed internal grid, so slicing (and the
+    /// event horizons it jumps between) is invisible to the caller.
+    #[test]
+    fn executor_tick_is_split_invariant(
+        splits in proptest::collection::vec(1u64..5_000, 2..10),
+        kind_pick in 0usize..3,
+    ) {
+        let kind = [
+            MachineKind::NonSecure { channels: 1 },
+            MachineKind::Freecursive { channels: 1 },
+            MachineKind::Independent { sdimms: 2, channels: 1 },
+        ][kind_pick];
+        let total: u64 = splits.iter().sum();
+        let (now_a, ev_a, logs_a, stats_a) = drive(kind, 8, &[total]);
+        let (now_b, ev_b, logs_b, stats_b) = drive(kind, 8, &splits);
+        prop_assert_eq!(now_a, now_b);
+        prop_assert_eq!(ev_a, ev_b);
+        prop_assert_eq!(logs_a, logs_b);
+        prop_assert_eq!(stats_a, stats_b);
+    }
+}
+
+/// `run_until_quiescent(d)` is the unlimited run truncated at the
+/// deadline: identical command streams up to where the limited run
+/// stopped, and never a cycle past the deadline.
+#[test]
+fn quiescent_deadline_is_a_truncation() {
+    for deadline in [1u64, 100, 5_000, 50_000, 400_000] {
+        let kind = MachineKind::Freecursive { channels: 1 };
+        let mut a = Machine::new(SystemConfig::small(kind));
+        let mut c = Machine::new(SystemConfig::small(kind));
+        let logs_a = a.executor.attach_cmd_logs();
+        let logs_c = c.executor.attach_cmd_logs();
+        for (addr, is_write) in addresses(6) {
+            for trace in a.request_traces(addr, is_write) {
+                a.executor.submit(trace);
+            }
+            for trace in c.request_traces(addr, is_write) {
+                c.executor.submit(trace);
+            }
+        }
+        a.executor.run_until_quiescent(deadline);
+        c.executor.run_until_quiescent(1 << 30);
+        assert_eq!(c.executor.active(), 0, "unlimited run must quiesce");
+        assert!(a.executor.now() <= deadline, "deadline overshoot");
+
+        // A tick spanning [t, cut) runs the scheduler at cycles strictly
+        // below `cut`, so the truncation is exclusive.
+        let cut = a.executor.now();
+        for (la, lc) in logs_a.iter().zip(&logs_c) {
+            let truncated: Vec<_> = lc.take().into_iter().filter(|r| r.cycle < cut).collect();
+            assert_eq!(la.take(), truncated, "stream diverges before the deadline cut");
+        }
+    }
+}

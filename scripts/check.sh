@@ -28,11 +28,22 @@ echo "==> audit-strict feature compiles"
 cargo check -q -p sdimm-bench --features audit-strict
 
 echo "==> audited quick-scale fig6 (DDR replay + ORAM oracle must be clean)"
+# Build first so the timing below measures the run, not compilation.
+cargo build --release -q -p sdimm-bench --bin fig6
+fig6_t0=$(date +%s%N)
 SDIMM_BENCH_SCALE=quick cargo run --release -q -p sdimm-bench --bin fig6 -- --audit \
   --flight-recorder target/quick-fig6-flight \
   --profile-folded target/quick-fig6.folded \
   --metrics-json target/quick-fig6.metrics.json \
   --trace-json target/quick-fig6.trace.json > /dev/null
+fig6_t1=$(date +%s%N)
+# One-line wall-clock record for the audited run, kept as a CI artifact
+# so simulator-throughput trends are visible across commits.
+echo "audited_quick_fig6_wall_ms=$(( (fig6_t1 - fig6_t0) / 1000000 ))" \
+  | tee target/quick-fig6.timing.txt
+
+echo "==> simulator-throughput + crypto perf gates (bench_compare vs committed baselines)"
+cargo run --release -q -p sdimm-bench --bin bench_compare
 
 echo "==> folded profile validates (no empty stacks, weights sum to sampled cycles)"
 cargo run --release -q -p sdimm-bench --bin validate_folded -- target/quick-fig6.folded

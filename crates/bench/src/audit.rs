@@ -124,6 +124,7 @@ pub fn run_matrix_maybe_audited(
 fn oracle_kind(kind: &MachineKind) -> Option<ProtocolKind> {
     match *kind {
         MachineKind::NonSecure { .. } => None,
+        MachineKind::PathOram { .. } => Some(ProtocolKind::PathOram { sealed: false }),
         MachineKind::Freecursive { .. } => Some(ProtocolKind::Freecursive { tiny_plb: false }),
         MachineKind::Independent { sdimms, .. } => Some(ProtocolKind::Independent { sdimms }),
         MachineKind::Split { ways, .. } => Some(ProtocolKind::Split { ways }),

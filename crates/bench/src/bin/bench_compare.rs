@@ -246,10 +246,53 @@ fn sim_benchmarks() -> Vec<Measurement> {
     out
 }
 
+/// Run provenance embedded in every report: enough to answer "which
+/// build produced these numbers" when a stale `BENCH_*.json` surfaces
+/// in a CI artifact bucket. [`parse_baseline`] skips it because the
+/// object contains neither a `"name"` nor an `"ops_per_sec"` key.
+#[derive(Debug, Clone)]
+struct Provenance {
+    /// Abbreviated commit SHA of the working tree, or `unknown` outside
+    /// a git checkout (e.g. a source tarball).
+    git_sha: String,
+    /// Scale the suite ran at (`bench_compare` is always quick-scale).
+    scale: &'static str,
+    /// Execution-engine version the measurements were taken on.
+    engine: &'static str,
+    /// Comma-separated protocol/machine set exercised by the suite.
+    protocols: &'static str,
+}
+
+impl Provenance {
+    fn new(protocols: &'static str) -> Self {
+        Self { git_sha: git_sha(), scale: "quick", engine: sdimm_system::ENGINE_VERSION, protocols }
+    }
+}
+
+/// Resolves the current commit's abbreviated SHA, falling back to
+/// `unknown` when git is unavailable or the tree is not a checkout.
+fn git_sha() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty() && s.chars().all(|c| c.is_ascii_hexdigit()))
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
 /// Serializes measurements in the (hand-rolled, dependency-free) report
 /// format shared with the committed baseline.
-fn to_json(results: &[Measurement]) -> String {
-    let mut s = String::from("{\n  \"benchmarks\": [\n");
+fn to_json(results: &[Measurement], prov: &Provenance) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&format!(
+        "  \"provenance\": {{\"git_sha\": \"{}\", \"scale\": \"{}\", \
+         \"engine\": \"{}\", \"protocols\": \"{}\"}},\n",
+        prov.git_sha, prov.scale, prov.engine, prov.protocols
+    ));
+    s.push_str("  \"benchmarks\": [\n");
     for (i, m) in results.iter().enumerate() {
         let sep = if i + 1 == results.len() { "" } else { "," };
         s.push_str(&format!(
@@ -313,6 +356,7 @@ fn run_suite(
     update_baseline: bool,
     measure_suite: &dyn Fn() -> Vec<Measurement>,
     results: Vec<Measurement>,
+    prov: &Provenance,
 ) -> usize {
     for m in &results {
         let cycles = if m.sim_cycles_per_sec > 0.0 {
@@ -330,7 +374,7 @@ fn run_suite(
         );
     }
 
-    let report = to_json(&results);
+    let report = to_json(&results, prov);
     std::fs::write(report_path, &report).unwrap_or_else(|e| panic!("write {report_path}: {e}"));
     println!("  report written to {report_path}");
 
@@ -439,6 +483,7 @@ fn main() {
         update_baseline,
         &crypto_suite,
         crypto_results,
+        &Provenance::new("nonsecure,freecursive"),
     );
     println!("\n  T-table vs spec AES speedup: {speedup:.2}x (acceptance floor: 4x)");
 
@@ -450,6 +495,7 @@ fn main() {
         update_baseline,
         &sim_benchmarks,
         sim_benchmarks(),
+        &Provenance::new("nonsecure,freecursive,indep2,split2"),
     );
 
     if regressions > 0 {

@@ -56,5 +56,7 @@ fn main() {
         );
         all_cells.extend(cells);
     }
+    let leakage_kinds: Vec<MachineKind> = single.iter().chain(&double).copied().collect();
+    sdimm_bench::leakage::write_if_requested(&telemetry, &leakage_kinds, scale, &instruments);
     telemetry.write_outputs(&all_cells, &instruments);
 }

@@ -77,5 +77,12 @@ fn main() {
         );
         all_cells.extend(cells);
     }
+    let leakage_kinds = [
+        MachineKind::Freecursive { channels: 1 },
+        MachineKind::Split { ways: 2, channels: 1 },
+        MachineKind::Freecursive { channels: 2 },
+        MachineKind::IndepSplit { groups: 2, ways: 2, channels: 2 },
+    ];
+    sdimm_bench::leakage::write_if_requested(&telemetry, &leakage_kinds, scale, &instruments);
     telemetry.write_outputs(&all_cells, &instruments);
 }

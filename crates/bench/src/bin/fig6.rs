@@ -44,5 +44,12 @@ fn main() {
         println!("accessORAMs per LLC request (paper ~1.4): {:.2}", harness::geomean(&apr));
         all_cells.extend(cells);
     }
+    let leakage_kinds: Vec<MachineKind> = [1usize, 2]
+        .iter()
+        .flat_map(|&channels| {
+            [MachineKind::NonSecure { channels }, MachineKind::Freecursive { channels }]
+        })
+        .collect();
+    sdimm_bench::leakage::write_if_requested(&telemetry, &leakage_kinds, scale, &instruments);
     telemetry.write_outputs(&all_cells, &instruments);
 }

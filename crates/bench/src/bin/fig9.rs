@@ -43,5 +43,6 @@ fn main() {
         table::print_latency_percentiles(&format!("Fig 9, {cached}-level ORAM cache"), &cells);
         all_cells.extend(cells);
     }
+    sdimm_bench::leakage::write_if_requested(&telemetry, &kinds, scale, &instruments);
     telemetry.write_outputs(&all_cells, &instruments);
 }

@@ -43,5 +43,6 @@ fn main() {
         );
         all_cells.extend(cells);
     }
+    sdimm_bench::leakage::write_if_requested(&telemetry, &[kind], scale, &instruments);
     telemetry.write_outputs(&all_cells, &instruments);
 }

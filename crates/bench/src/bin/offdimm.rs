@@ -62,5 +62,6 @@ fn main() {
             );
         }
     }
+    sdimm_bench::leakage::write_if_requested(&telemetry, &kinds, scale, &instruments);
     telemetry.write_outputs(&cells, &instruments);
 }

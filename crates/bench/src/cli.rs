@@ -16,6 +16,9 @@
 //!                           cycles and write a collapsed-stack profile
 //!                           (flamegraph.pl / inferno / speedscope)
 //! --live                    redraw a one-line run dashboard on stderr
+//! --leakage <report.json>   run the timing-leakage observatory matrix
+//!                           over this binary's design points and write
+//!                           the byte-stable report (DESIGN.md §11)
 //! ```
 //!
 //! Parsing is intentionally minimal (no external argument-parser
@@ -54,6 +57,11 @@ pub struct TelemetryArgs {
     /// Redraw a live one-line dashboard on stderr while the matrix
     /// runs. Off by default.
     pub live: bool,
+    /// Destination for a timing-leakage report: when set, the binary
+    /// additionally runs the leakage observatory matrix over its design
+    /// points and writes the byte-stable report JSON here (plus Perfetto
+    /// verdict slices when a trace is captured).
+    pub leakage: Option<String>,
 }
 
 impl TelemetryArgs {
@@ -83,11 +91,13 @@ impl TelemetryArgs {
                     out.profile_folded = Some(take(&mut args, "--profile-folded"));
                 }
                 "--live" => out.live = true,
+                "--leakage" => out.leakage = Some(take(&mut args, "--leakage")),
                 other => {
                     eprintln!(
                         "{bin}: unknown argument `{other}`\n\
                          usage: {bin} [--metrics-json <path>] [--trace-json <path>] [--audit]\n\
-                         {pad}[--flight-recorder <prefix>] [--profile-folded <path>] [--live]",
+                         {pad}[--flight-recorder <prefix>] [--profile-folded <path>] [--live]\n\
+                         {pad}[--leakage <report.json>]",
                         pad = " ".repeat("usage: ".len() + bin.len() + 1),
                     );
                     // Sanctioned exit: CLI usage error in a binary entry path.

@@ -1,0 +1,183 @@
+//! The timing-leakage observatory driver: runs the protocol ×
+//! workload-pair matrix through the full simulator, feeds both
+//! attacker-vantage captures to `sdimm-leakage`, and renders the gated
+//! report (see DESIGN.md §11).
+//!
+//! Used two ways:
+//!
+//! * the `leakage_gate` binary runs [`gate_kinds`] and fails the build
+//!   when any secure protocol is distinguishable *or* the NonSecure
+//!   baseline is not (the battery's power check);
+//! * every `run_matrix` figure binary accepts `--leakage <report.json>`
+//!   and calls [`write_if_requested`] with its own protocol set, so any
+//!   figure's design points can be re-audited for timing leakage.
+
+use sdimm_leakage::{analyze_pair, AnalysisConfig, Capture, EntryReport, LeakageReport};
+use sdimm_system::machine::{MachineKind, SystemConfig};
+use sdimm_system::runner;
+use sdimm_telemetry::recorder::write_atomic;
+use sdimm_telemetry::Instruments;
+use workloads::leakage::{pairs, required_blocks};
+use workloads::Trace;
+
+use crate::{Scale, TelemetryArgs};
+
+/// Synthetic Perfetto pid for the report's annotation slices (far above
+/// any cell pid a figure matrix allocates).
+const ANNOTATION_PID: u32 = 9_000;
+
+/// The gate's protocol matrix: every paper design point at its smallest
+/// arity, plus the NonSecure baseline whose *detection* proves the
+/// statistics have power.
+pub fn gate_kinds() -> Vec<MachineKind> {
+    vec![
+        MachineKind::NonSecure { channels: 1 },
+        MachineKind::PathOram { channels: 1 },
+        MachineKind::Freecursive { channels: 1 },
+        MachineKind::Independent { sdimms: 2, channels: 1 },
+        MachineKind::Split { ways: 2, channels: 1 },
+        MachineKind::IndepSplit { groups: 2, ways: 2, channels: 2 },
+    ]
+}
+
+/// Whether a design point claims obliviousness. Exhaustive on purpose:
+/// a new machine kind must declare its expectation here before the gate
+/// will build.
+pub fn is_secure(kind: &MachineKind) -> bool {
+    match kind {
+        MachineKind::NonSecure { .. } => false,
+        MachineKind::PathOram { .. }
+        | MachineKind::Freecursive { .. }
+        | MachineKind::Independent { .. }
+        | MachineKind::Split { .. }
+        | MachineKind::IndepSplit { .. } => true,
+    }
+}
+
+fn capture(cfg: &SystemConfig, trace: &Trace, warmup: usize, measure: usize) -> Capture {
+    let (_, cap) = runner::run_leakage(cfg, trace, warmup, measure);
+    Capture {
+        ranks: cap.channel_cfg.topology.ranks,
+        banks: cap.channel_cfg.topology.banks,
+        streams: cap.streams,
+        observables: cap.observables,
+    }
+}
+
+/// Runs the machine × pair matrix at `scale` and assembles the report.
+///
+/// # Panics
+///
+/// Panics if `scale` provides fewer data blocks than the paired
+/// generators address (cannot happen for the built-in scales).
+pub fn run_report(kinds: &[MachineKind], scale: Scale) -> LeakageReport {
+    let warmup = scale.warmup();
+    let measure = scale.measure();
+    let acfg = AnalysisConfig::default();
+    let pair_set = pairs(warmup, measure);
+    let mut entries = Vec::new();
+    for kind in kinds {
+        let cfg = SystemConfig {
+            kind: *kind,
+            oram: scale.oram(7),
+            data_blocks: scale.data_blocks(),
+            low_power: false,
+            seed: 1,
+        };
+        assert!(
+            cfg.data_blocks >= required_blocks(warmup, measure),
+            "scale too small for the leakage pairs"
+        );
+        for pair in &pair_set {
+            eprintln!("leakage: {} × {} ...", kind.name(), pair.name);
+            let a = capture(&cfg, &pair.a, warmup, measure);
+            let b = capture(&cfg, &pair.b, warmup, measure);
+            let analysis = analyze_pair(&acfg, &a, &b);
+            entries.push(EntryReport {
+                machine: kind.name(),
+                secure: is_secure(kind),
+                pair: pair.name.to_string(),
+                contrast: pair.contrast.to_string(),
+                analysis,
+                expected_distinguishable: !is_secure(kind),
+            });
+        }
+    }
+    let scale_name = match scale {
+        Scale::Quick => "quick",
+        Scale::Full => "full",
+    };
+    LeakageReport { scale: scale_name.to_string(), alpha_family: acfg.alpha_family, entries }
+}
+
+/// Prints the verdict matrix as a human table.
+pub fn print_table(report: &LeakageReport) {
+    println!(
+        "\nTiming-leakage observatory ({} scale, family α = {:.0e})",
+        report.scale, report.alpha_family
+    );
+    println!("{:<16} {:<20} {:<16} {:<10} status", "machine", "pair", "verdict", "expected");
+    for e in &report.entries {
+        let verdict = if e.analysis.distinguishable { "DISTINGUISHABLE" } else { "indist" };
+        let expected = if e.expected_distinguishable { "leaky" } else { "indist" };
+        let status = if e.pass() { "ok" } else { "FAIL" };
+        println!("{:<16} {:<20} {:<16} {:<10} {}", e.machine, e.pair, verdict, expected, status);
+        for t in e.analysis.tests.iter().filter(|t| t.significant) {
+            println!(
+                "{:<16}   leak signal: {} (stat {:.4}, p {:.3e}, effect {:.3})",
+                "", t.name, t.statistic, t.p, t.effect
+            );
+        }
+    }
+    println!(
+        "gate: {} ({} secure leak(s), {} power failure(s))",
+        if report.gate_pass() { "PASS" } else { "FAIL" },
+        report.secure_failures(),
+        report.power_failures()
+    );
+}
+
+/// Figure-binary hook for `--leakage <report.json>`: when the flag was
+/// given, runs the leakage matrix over this figure's design points,
+/// writes the byte-stable report, and (if a trace is being captured)
+/// adds the verdict slices to the Perfetto export. No-op without the
+/// flag.
+pub fn write_if_requested(
+    telemetry: &TelemetryArgs,
+    kinds: &[MachineKind],
+    scale: Scale,
+    instruments: &Instruments,
+) {
+    let Some(path) = &telemetry.leakage else {
+        return;
+    };
+    let report = run_report(kinds, scale);
+    print_table(&report);
+    report.annotate(&instruments.sink, ANNOTATION_PID);
+    if let Err(e) = write_atomic(path, &report.to_json()) {
+        eprintln!("failed to write leakage report to {path}: {e}");
+        // Sanctioned exit: losing a requested output file must fail the run.
+        #[allow(clippy::disallowed_methods)]
+        std::process::exit(1);
+    }
+    println!("leakage report written to {path}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_kinds_cover_all_protocols_once() {
+        let kinds = gate_kinds();
+        assert_eq!(kinds.len(), 6);
+        assert_eq!(kinds.iter().filter(|k| !is_secure(k)).count(), 1);
+    }
+
+    #[test]
+    fn scales_fit_the_pair_generators() {
+        for scale in [Scale::Quick, Scale::Full] {
+            assert!(scale.data_blocks() >= required_blocks(scale.warmup(), scale.measure()));
+        }
+    }
+}

@@ -21,6 +21,7 @@
 pub mod audit;
 pub mod cli;
 pub mod harness;
+pub mod leakage;
 pub mod live;
 pub mod scale;
 pub mod table;

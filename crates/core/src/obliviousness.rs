@@ -13,6 +13,40 @@
 //! tests (and the `obliviousness` integration suite) assert that traces
 //! of *different* logical workloads have identical shapes and uniform
 //! leaf usage.
+//!
+//! Shape equality is necessary but not sufficient: the event-driven
+//! engine and the FR-FCFS scheduler add queueing jitter a bus observer
+//! can time. A recorder can therefore carry a [`SharedCycle`] clock
+//! (published by the executor as simulated time advances) so every event
+//! is cycle-stamped; `crates/leakage` runs two-sample statistics over
+//! the stamped streams of paired workloads.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A shared simulated-cycle clock: the executor publishes its `now` each
+/// tick, and observers (like a timestamping [`Recorder`]) read it without
+/// holding a reference to the executor. Purely simulated time — never a
+/// wall clock — so stamped streams are bit-reproducible across runs.
+#[derive(Debug, Clone, Default)]
+pub struct SharedCycle(Arc<AtomicU64>);
+
+impl SharedCycle {
+    /// A clock reading 0.
+    pub fn new() -> Self {
+        SharedCycle::default()
+    }
+
+    /// Publishes the current simulated cycle.
+    pub fn publish(&self, cycle: u64) {
+        self.0.store(cycle, Ordering::Relaxed);
+    }
+
+    /// The most recently published simulated cycle.
+    pub fn now(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
 
 /// One attacker-visible event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -61,35 +95,67 @@ pub enum Shape {
 }
 
 /// Projects an event to its shape.
+///
+/// Every variant is matched explicitly with every field bound by name:
+/// a new `Observable` variant or field fails to compile here, forcing a
+/// decision about whether the attacker may see it (the `sdimm` bindings
+/// are deliberately erased — targets are uniform by design).
 pub fn shape_of(ev: &Observable) -> Shape {
     match ev {
-        Observable::ShortCommand { .. } => Shape::Short,
-        Observable::LongCommand { .. } => Shape::Long,
-        Observable::MetaTransfer { bytes, .. } => Shape::Meta(*bytes),
-        Observable::InternalPath { lines, .. } => Shape::Path(*lines),
+        Observable::ShortCommand { sdimm: _ } => Shape::Short,
+        Observable::LongCommand { sdimm: _ } => Shape::Long,
+        Observable::MetaTransfer { sdimm: _, bytes } => Shape::Meta(*bytes),
+        Observable::InternalPath { sdimm: _, lines } => Shape::Path(*lines),
     }
 }
 
-/// Captures an observable event stream.
+/// Captures an observable event stream, optionally cycle-stamped.
 #[derive(Debug, Clone, Default)]
 pub struct Recorder {
     events: Vec<Observable>,
+    /// Simulated cycle at which each event was recorded; parallel to
+    /// `events`. All zeros when no clock is attached.
+    stamps: Vec<u64>,
+    clock: Option<SharedCycle>,
 }
 
 impl Recorder {
-    /// An empty recorder.
+    /// An empty recorder with no clock: every stamp is 0.
     pub fn new() -> Self {
         Recorder::default()
     }
 
-    /// Appends an event.
+    /// An empty recorder stamping each event from `clock`.
+    pub fn with_clock(clock: SharedCycle) -> Self {
+        Recorder { clock: Some(clock), ..Recorder::default() }
+    }
+
+    /// Attaches (or replaces) the stamping clock. Events already
+    /// recorded keep their stamps.
+    pub fn set_clock(&mut self, clock: SharedCycle) {
+        self.clock = Some(clock);
+    }
+
+    /// Appends an event, stamped with the clock's current cycle (0
+    /// without a clock).
     pub fn push(&mut self, ev: Observable) {
+        self.stamps.push(self.clock.as_ref().map(SharedCycle::now).unwrap_or(0));
         self.events.push(ev);
     }
 
     /// The captured events.
     pub fn events(&self) -> &[Observable] {
         &self.events
+    }
+
+    /// The per-event cycle stamps, parallel to [`events`](Self::events).
+    pub fn stamps(&self) -> &[u64] {
+        &self.stamps
+    }
+
+    /// The capture as `(cycle, event)` pairs, in record order.
+    pub fn timed_events(&self) -> Vec<(u64, Observable)> {
+        self.stamps.iter().copied().zip(self.events.iter().copied()).collect()
     }
 
     /// The shape sequence of the capture.
@@ -216,6 +282,39 @@ mod tests {
     #[test]
     fn skew_high_for_hot_target() {
         assert!(target_skew(&[400, 0, 0, 0]) > 1.0);
+    }
+
+    #[test]
+    fn unclocked_recorder_stamps_zero() {
+        let mut r = Recorder::new();
+        r.push(Observable::ShortCommand { sdimm: 0 });
+        assert_eq!(r.stamps(), &[0]);
+    }
+
+    #[test]
+    fn clocked_recorder_stamps_published_cycles() {
+        let clock = SharedCycle::new();
+        let mut r = Recorder::with_clock(clock.clone());
+        clock.publish(40);
+        r.push(Observable::ShortCommand { sdimm: 0 });
+        clock.publish(96);
+        r.push(Observable::LongCommand { sdimm: 1 });
+        assert_eq!(r.stamps(), &[40, 96]);
+        assert_eq!(
+            r.timed_events(),
+            vec![
+                (40, Observable::ShortCommand { sdimm: 0 }),
+                (96, Observable::LongCommand { sdimm: 1 }),
+            ]
+        );
+    }
+
+    #[test]
+    fn shared_clock_is_shared_between_handles() {
+        let a = SharedCycle::new();
+        let b = a.clone();
+        a.publish(123);
+        assert_eq!(b.now(), 123);
     }
 
     #[test]

@@ -1,0 +1,251 @@
+//! Feature extraction: reduce the two attacker vantage streams to the
+//! sample vectors and categorical histograms the tests consume.
+//!
+//! Everything here is a pure function of the captured streams; the
+//! deterministic even-stride [`downsample`] bounds sample sizes so (a)
+//! the KS test is not driven to astronomical sensitivity by hundreds of
+//! thousands of autocorrelated queue-timing samples, and (b) bootstrap
+//! resampling stays cheap.
+
+use dram_sim::cmdlog::{CmdRecord, DdrCmd};
+use sdimm::obliviousness::{shape_of, Observable, Shape};
+
+/// Number of DDR command kinds tracked by the mix features.
+pub const CMD_KINDS: usize = 7;
+
+/// Names of the command-kind categories, indexed by [`cmd_kind_index`].
+pub const CMD_KIND_NAMES: [&str; CMD_KINDS] =
+    ["act", "pre", "rd", "wr", "refresh", "powerdown", "powerup"];
+
+/// Category index of a DDR command (exhaustive — a new command kind
+/// fails to compile here).
+pub fn cmd_kind_index(cmd: &DdrCmd) -> usize {
+    match cmd {
+        DdrCmd::Act { .. } => 0,
+        DdrCmd::Pre { .. } => 1,
+        DdrCmd::Rd { .. } => 2,
+        DdrCmd::Wr { .. } => 3,
+        DdrCmd::Refresh => 4,
+        DdrCmd::PowerDown => 5,
+        DdrCmd::PowerUp => 6,
+    }
+}
+
+/// Number of observable shape-kind categories.
+pub const SHAPE_KINDS: usize = 4;
+
+fn shape_kind_index(ev: &Observable) -> usize {
+    match shape_of(ev) {
+        Shape::Short => 0,
+        Shape::Long => 1,
+        Shape::Meta(_) => 2,
+        Shape::Path(_) => 3,
+    }
+}
+
+/// Burst-run lengths at or above this are binned together.
+pub const MAX_BURST_BIN: usize = 32;
+
+/// Deterministic even-stride downsample: keeps at most `max` elements
+/// spread uniformly over the input, preserving order. Identical inputs
+/// produce identical outputs — no RNG.
+pub fn downsample(v: Vec<f64>, max: usize) -> Vec<f64> {
+    if v.len() <= max || max == 0 {
+        return v;
+    }
+    (0..max).map(|i| v[i * v.len() / max]).collect()
+}
+
+/// The per-run feature bundle both sides of a pair are reduced to.
+#[derive(Debug, Clone, Default)]
+pub struct Features {
+    /// Inter-command gaps (memory cycles) within each DRAM channel
+    /// stream, concatenated in channel order, downsampled.
+    pub gaps: Vec<f64>,
+    /// Aggregate command-kind counts, [`CMD_KINDS`] categories.
+    pub cmd_mix: Vec<u64>,
+    /// Command-kind counts per time window: `windows ×` [`CMD_KINDS`]
+    /// categories, window-major. Windows divide the run's global cycle
+    /// span evenly.
+    pub windowed_mix: Vec<u64>,
+    /// CAS (RD/WR) touches per `(rank, bank)` cell, rank-major.
+    pub rank_bank: Vec<u64>,
+    /// Sign of consecutive ACT row deltas per channel: `[neg, zero,
+    /// pos]`. The direction detector: a descending physical scan opens
+    /// rows in descending order.
+    pub row_delta_sign: Vec<u64>,
+    /// Histogram of same-`(rank, bank)` consecutive-CAS run lengths
+    /// (runs ≥ [`MAX_BURST_BIN`] share the last bin), from a downsampled
+    /// run-length sample.
+    pub burst_runs: Vec<u64>,
+    /// External-bus observable inter-arrival gaps (executor cycles),
+    /// downsampled. Empty for machines without an external SDIMM bus.
+    pub bus_gaps: Vec<f64>,
+    /// Observable shape-kind counts, [`SHAPE_KINDS`] categories.
+    pub bus_shape_mix: Vec<u64>,
+}
+
+/// Extracts the full feature bundle from one run's captured streams.
+///
+/// `ranks`/`banks` size the touch grid (channel topology), `windows`
+/// the temporal mix resolution, `max_samples` the downsample cap.
+pub fn extract(
+    streams: &[Vec<CmdRecord>],
+    observables: &[(u64, Observable)],
+    ranks: usize,
+    banks: usize,
+    windows: usize,
+    max_samples: usize,
+) -> Features {
+    let mut f = Features {
+        cmd_mix: vec![0; CMD_KINDS],
+        windowed_mix: vec![0; windows * CMD_KINDS],
+        rank_bank: vec![0; ranks * banks],
+        row_delta_sign: vec![0; 3],
+        burst_runs: vec![0; MAX_BURST_BIN],
+        ..Features::default()
+    };
+
+    // Global cycle span (all channels share the memory clock domain).
+    let lo = streams.iter().flatten().map(|r| r.cycle).min().unwrap_or(0);
+    let hi = streams.iter().flatten().map(|r| r.cycle).max().unwrap_or(0);
+    let span = (hi - lo).max(1);
+
+    let mut gaps = Vec::new();
+    let mut runs: Vec<f64> = Vec::new();
+    for stream in streams {
+        let mut prev_cycle: Option<u64> = None;
+        let mut prev_row: Option<usize> = None;
+        let mut run_key: Option<(usize, usize)> = None;
+        let mut run_len = 0u64;
+        for rec in stream {
+            if let Some(p) = prev_cycle {
+                // lint: wrap-ok(per-stream log is appended in nondecreasing cycle order)
+                gaps.push((rec.cycle - p) as f64);
+            }
+            prev_cycle = Some(rec.cycle);
+
+            let kind = cmd_kind_index(&rec.cmd);
+            f.cmd_mix[kind] += 1;
+            // lint: wrap-ok(lo is the global minimum stamp, so the offset cannot underflow)
+            let w = (((rec.cycle - lo) as u128 * windows as u128 / span as u128) as usize)
+                .min(windows - 1);
+            f.windowed_mix[w * CMD_KINDS + kind] += 1;
+
+            match rec.cmd {
+                DdrCmd::Act { row, .. } => {
+                    if let Some(p) = prev_row {
+                        let slot = match row.cmp(&p) {
+                            std::cmp::Ordering::Less => 0,
+                            std::cmp::Ordering::Equal => 1,
+                            std::cmp::Ordering::Greater => 2,
+                        };
+                        f.row_delta_sign[slot] += 1;
+                    }
+                    prev_row = Some(row);
+                }
+                DdrCmd::Rd { bank, .. } | DdrCmd::Wr { bank, .. } => {
+                    f.rank_bank[(rec.rank % ranks) * banks + bank % banks] += 1;
+                    let key = (rec.rank, bank);
+                    if run_key == Some(key) {
+                        run_len += 1;
+                    } else {
+                        if run_len > 0 {
+                            runs.push(run_len as f64);
+                        }
+                        run_key = Some(key);
+                        run_len = 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        if run_len > 0 {
+            runs.push(run_len as f64);
+        }
+    }
+    for len in downsample(runs, max_samples) {
+        f.burst_runs[(len as usize).clamp(1, MAX_BURST_BIN) - 1] += 1;
+    }
+    f.gaps = downsample(gaps, max_samples);
+
+    let mut bus_gaps = Vec::new();
+    f.bus_shape_mix = vec![0; SHAPE_KINDS];
+    for pair in observables.windows(2) {
+        bus_gaps.push(pair[1].0.saturating_sub(pair[0].0) as f64);
+    }
+    for (_, ev) in observables {
+        f.bus_shape_mix[shape_kind_index(ev)] += 1;
+    }
+    f.bus_gaps = downsample(bus_gaps, max_samples);
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(cycle: u64, rank: usize, cmd: DdrCmd) -> CmdRecord {
+        CmdRecord { cycle, rank, cmd }
+    }
+
+    #[test]
+    fn downsample_keeps_short_inputs() {
+        let v = vec![1.0, 2.0, 3.0];
+        assert_eq!(downsample(v.clone(), 10), v);
+    }
+
+    #[test]
+    fn downsample_is_even_stride() {
+        let v: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let d = downsample(v, 10);
+        assert_eq!(d, vec![0.0, 10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0]);
+    }
+
+    #[test]
+    fn gaps_and_mix_extracted() {
+        let stream = vec![
+            rec(10, 0, DdrCmd::Act { bank: 0, row: 5 }),
+            rec(14, 0, DdrCmd::Rd { bank: 0, row: 5 }),
+            rec(20, 0, DdrCmd::Rd { bank: 0, row: 5 }),
+            rec(30, 0, DdrCmd::Act { bank: 1, row: 3 }),
+            rec(34, 0, DdrCmd::Wr { bank: 1, row: 3 }),
+        ];
+        let f = extract(&[stream], &[], 1, 8, 4, 1024);
+        assert_eq!(f.gaps, vec![4.0, 6.0, 10.0, 4.0]);
+        assert_eq!(f.cmd_mix[0], 2); // act
+        assert_eq!(f.cmd_mix[2], 2); // rd
+        assert_eq!(f.cmd_mix[3], 1); // wr
+                                     // Rows 5 → 3: one negative delta.
+        assert_eq!(f.row_delta_sign, vec![1, 0, 0]);
+        // Runs: (0,0) length 2, then (0,1) length 1.
+        assert_eq!(f.burst_runs[1], 1);
+        assert_eq!(f.burst_runs[0], 1);
+        // Touches: bank 0 twice, bank 1 once.
+        assert_eq!(f.rank_bank[0], 2);
+        assert_eq!(f.rank_bank[1], 1);
+    }
+
+    #[test]
+    fn bus_features_from_observables() {
+        let obs = vec![
+            (100, Observable::ShortCommand { sdimm: 0 }),
+            (140, Observable::LongCommand { sdimm: 1 }),
+            (200, Observable::MetaTransfer { sdimm: 0, bytes: 32 }),
+        ];
+        let f = extract(&[], &obs, 1, 1, 2, 1024);
+        assert_eq!(f.bus_gaps, vec![40.0, 60.0]);
+        assert_eq!(f.bus_shape_mix, vec![1, 1, 1, 0]);
+    }
+
+    #[test]
+    fn windowed_mix_splits_by_cycle() {
+        let stream = vec![
+            rec(0, 0, DdrCmd::Rd { bank: 0, row: 1 }),
+            rec(1000, 0, DdrCmd::Wr { bank: 0, row: 1 }),
+        ];
+        let f = extract(&[stream], &[], 1, 8, 2, 1024);
+        assert_eq!(f.windowed_mix[2], 1); // rd in window 0
+        assert_eq!(f.windowed_mix[CMD_KINDS + 3], 1); // wr in window 1
+    }
+}

@@ -1,0 +1,368 @@
+//! Two-sample statistics implemented from scratch (no external deps).
+//!
+//! Three tests, matched to the three feature shapes:
+//!
+//! * [`ks_two_sample`] — Kolmogorov–Smirnov on continuous samples
+//!   (inter-arrival gaps), with the asymptotic p-value of Stephens'
+//!   approximation;
+//! * [`chi2_two_sample`] — chi-squared homogeneity on categorical counts
+//!   (command mixes, touch distributions), with the p-value via the
+//!   regularized upper incomplete gamma function;
+//! * [`tv_distance`] / [`bootstrap_tv_ci`] — total-variation distance
+//!   between empirical categorical distributions with a seeded
+//!   percentile-bootstrap confidence interval (the TV point estimate is
+//!   positively biased on finite samples, so callers gate on the CI's
+//!   *lower* bound against an effect floor, never on the point value).
+//!
+//! All randomness comes from the workspace's deterministic `rand` shim;
+//! nothing here reads a clock.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Natural log of the gamma function (Lanczos approximation, g = 7,
+/// 9 terms; |relative error| < 1e-13 over the domain used here).
+pub fn ln_gamma(x: f64) -> f64 {
+    // Coefficients quoted digit-for-digit from the published g=7 table;
+    // the extra digits round to the same f64 values.
+    #[allow(clippy::excessive_precision)]
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_59,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_571_6e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    use std::f64::consts::PI;
+    if x < 0.5 {
+        // Reflection formula.
+        (PI / (PI * x).sin()).ln() - ln_gamma(1.0 - x)
+    } else {
+        let x = x - 1.0;
+        let t = x + 7.5;
+        let mut a = COEF[0];
+        for (i, &c) in COEF.iter().enumerate().skip(1) {
+            a += c / (x + i as f64);
+        }
+        0.5 * (2.0 * PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+    }
+}
+
+/// Regularized upper incomplete gamma function `Q(a, x)`; the chi-squared
+/// survival function is `Q(df/2, stat/2)`.
+///
+/// # Panics
+///
+/// Panics unless `a > 0` and `x >= 0`.
+pub fn gamma_q(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && x >= 0.0, "gamma_q domain: a > 0, x >= 0");
+    if x == 0.0 {
+        return 1.0;
+    }
+    if x < a + 1.0 {
+        // Series for P converges fast here; Q = 1 - P.
+        (1.0 - gamma_p_series(a, x)).clamp(0.0, 1.0)
+    } else {
+        gamma_q_continued_fraction(a, x).clamp(0.0, 1.0)
+    }
+}
+
+fn gamma_p_series(a: f64, x: f64) -> f64 {
+    let mut ap = a;
+    let mut sum = 1.0 / a;
+    let mut del = sum;
+    for _ in 0..500 {
+        ap += 1.0;
+        del *= x / ap;
+        sum += del;
+        if del.abs() < sum.abs() * 1e-16 {
+            break;
+        }
+    }
+    sum * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+fn gamma_q_continued_fraction(a: f64, x: f64) -> f64 {
+    // Modified Lentz evaluation of the standard continued fraction.
+    let tiny = 1e-300;
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / tiny;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..500 {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < tiny {
+            d = tiny;
+        }
+        c = b + an / c;
+        if c.abs() < tiny {
+            c = tiny;
+        }
+        d = 1.0 / d;
+        let delta = d * c;
+        h *= delta;
+        if (delta - 1.0).abs() < 1e-16 {
+            break;
+        }
+    }
+    (-x + a * x.ln() - ln_gamma(a)).exp() * h
+}
+
+/// Result of a two-sample Kolmogorov–Smirnov test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KsResult {
+    /// Supremum distance between the two ECDFs.
+    pub d: f64,
+    /// Asymptotic p-value (probability of a distance this large under
+    /// the null that both samples share one distribution).
+    pub p: f64,
+    /// Sample sizes.
+    pub n_a: usize,
+    /// Sample sizes.
+    pub n_b: usize,
+}
+
+/// Kolmogorov–Smirnov survival function `Q_KS(λ) = 2 Σ_{j≥1} (-1)^{j-1}
+/// exp(-2 j² λ²)`.
+pub fn ks_q(lambda: f64) -> f64 {
+    if lambda <= 0.0 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for j in 1..=100 {
+        let j = j as f64;
+        let term = sign * 2.0 * (-2.0 * j * j * lambda * lambda).exp();
+        sum += term;
+        if term.abs() < 1e-12 {
+            break;
+        }
+        sign = -sign;
+    }
+    sum.clamp(0.0, 1.0)
+}
+
+/// Two-sample KS test. Degenerate inputs (either sample empty) return
+/// `d = 0, p = 1` — no evidence either way.
+pub fn ks_two_sample(a: &[f64], b: &[f64]) -> KsResult {
+    let (n_a, n_b) = (a.len(), b.len());
+    if n_a == 0 || n_b == 0 {
+        return KsResult { d: 0.0, p: 1.0, n_a, n_b };
+    }
+    let mut sa = a.to_vec();
+    let mut sb = b.to_vec();
+    sa.sort_by(f64::total_cmp);
+    sb.sort_by(f64::total_cmp);
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut d: f64 = 0.0;
+    while i < n_a && j < n_b {
+        let (x, y) = (sa[i], sb[j]);
+        if x <= y {
+            i += 1;
+        }
+        if y <= x {
+            j += 1;
+        }
+        let fa = i as f64 / n_a as f64;
+        let fb = j as f64 / n_b as f64;
+        d = d.max((fa - fb).abs());
+    }
+    let ne = (n_a as f64 * n_b as f64) / (n_a + n_b) as f64;
+    let sq = ne.sqrt();
+    let lambda = (sq + 0.12 + 0.11 / sq) * d;
+    KsResult { d, p: ks_q(lambda), n_a, n_b }
+}
+
+/// Result of a two-sample chi-squared homogeneity test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Chi2Result {
+    /// Pearson statistic over the 2 × k contingency table.
+    pub statistic: f64,
+    /// Degrees of freedom (non-empty categories minus one).
+    pub df: f64,
+    /// Survival-function p-value, `Q(df/2, stat/2)`.
+    pub p: f64,
+    /// Cramér's V effect size, `sqrt(stat / n)` for a two-row table —
+    /// scale-free in sample size, 0 = identical mixes, 1 = disjoint.
+    pub cramers_v: f64,
+}
+
+/// Chi-squared homogeneity of two count vectors over the same category
+/// space. Categories empty in *both* samples are dropped. Degenerate
+/// tables (fewer than two live categories, or an empty sample) return
+/// `p = 1` — no evidence.
+///
+/// # Panics
+///
+/// Panics if the two vectors differ in length.
+pub fn chi2_two_sample(a: &[u64], b: &[u64]) -> Chi2Result {
+    assert_eq!(a.len(), b.len(), "chi2 category spaces must match");
+    let row_a: u64 = a.iter().sum();
+    let row_b: u64 = b.iter().sum();
+    let n = (row_a + row_b) as f64;
+    let live: Vec<usize> = (0..a.len()).filter(|&k| a[k] + b[k] > 0).collect();
+    if live.len() < 2 || row_a == 0 || row_b == 0 {
+        return Chi2Result { statistic: 0.0, df: 0.0, p: 1.0, cramers_v: 0.0 };
+    }
+    let mut stat = 0.0;
+    for &k in &live {
+        let col = (a[k] + b[k]) as f64;
+        for (row_total, obs) in [(row_a, a[k]), (row_b, b[k])] {
+            let e = row_total as f64 * col / n;
+            let diff = obs as f64 - e;
+            stat += diff * diff / e;
+        }
+    }
+    let df = (live.len() - 1) as f64;
+    Chi2Result {
+        statistic: stat,
+        df,
+        p: gamma_q(df / 2.0, stat / 2.0),
+        cramers_v: (stat / n).sqrt(),
+    }
+}
+
+/// Total-variation distance between the empirical distributions of two
+/// count vectors: `0.5 Σ |p̂_k - q̂_k|`. Returns 0 when either sample is
+/// empty.
+///
+/// # Panics
+///
+/// Panics if the two vectors differ in length.
+pub fn tv_distance(a: &[u64], b: &[u64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "tv category spaces must match");
+    let na: u64 = a.iter().sum();
+    let nb: u64 = b.iter().sum();
+    if na == 0 || nb == 0 {
+        return 0.0;
+    }
+    let (na, nb) = (na as f64, nb as f64);
+    0.5 * a.iter().zip(b).map(|(&x, &y)| (x as f64 / na - y as f64 / nb).abs()).sum::<f64>()
+}
+
+/// A TV point estimate with a percentile-bootstrap confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TvCi {
+    /// Point estimate on the original counts.
+    pub tv: f64,
+    /// 2.5th percentile of the bootstrap distribution.
+    pub ci_lo: f64,
+    /// 97.5th percentile of the bootstrap distribution.
+    pub ci_hi: f64,
+}
+
+/// Percentile bootstrap for [`tv_distance`]: each resample redraws both
+/// sides multinomially from their own empirical distributions (same
+/// sample sizes) and recomputes TV. Fully deterministic in `seed`.
+///
+/// The estimator is positively biased — two samples from the *same* law
+/// still have TV of order `sqrt(k/n)` — so significance decisions must
+/// use `ci_lo` against an effect floor, not the point estimate.
+///
+/// # Panics
+///
+/// Panics if the vectors differ in length or `resamples == 0`.
+pub fn bootstrap_tv_ci(a: &[u64], b: &[u64], resamples: usize, seed: u64) -> TvCi {
+    assert!(resamples > 0, "need at least one resample");
+    let tv = tv_distance(a, b);
+    let na: u64 = a.iter().sum();
+    let nb: u64 = b.iter().sum();
+    if na == 0 || nb == 0 {
+        return TvCi { tv, ci_lo: 0.0, ci_hi: 0.0 };
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cdf = |counts: &[u64], total: u64| -> Vec<f64> {
+        let mut acc = 0.0;
+        counts
+            .iter()
+            .map(|&c| {
+                acc += c as f64 / total as f64;
+                acc
+            })
+            .collect()
+    };
+    let cdf_a = cdf(a, na);
+    let cdf_b = cdf(b, nb);
+    let draw = |rng: &mut StdRng, cdf: &[f64], n: u64| -> Vec<u64> {
+        let mut counts = vec![0u64; cdf.len()];
+        for _ in 0..n {
+            let u: f64 = rng.gen();
+            // First category whose cumulative mass covers u.
+            let k = cdf.partition_point(|&c| c < u).min(cdf.len() - 1);
+            counts[k] += 1;
+        }
+        counts
+    };
+    let mut tvs: Vec<f64> = (0..resamples)
+        .map(|_| {
+            let ra = draw(&mut rng, &cdf_a, na);
+            let rb = draw(&mut rng, &cdf_b, nb);
+            tv_distance(&ra, &rb)
+        })
+        .collect();
+    tvs.sort_by(f64::total_cmp);
+    let pick = |q: f64| tvs[((q * resamples as f64) as usize).min(resamples - 1)];
+    TvCi { tv, ci_lo: pick(0.025), ci_hi: pick(0.975) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Γ(0.5) = √π, Γ(5) = 24.
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-12);
+        assert!((ln_gamma(5.0) - 24.0f64.ln()).abs() < 1e-12);
+        assert!((ln_gamma(1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gamma_q_known_values() {
+        // Q(1, x) = e^{-x}; Q(0.5, x) = erfc(√x).
+        assert!((gamma_q(1.0, 1.0) - (-1.0f64).exp()).abs() < 1e-12);
+        assert!((gamma_q(0.5, 1.0) - 0.157_299_207_050_285).abs() < 1e-9);
+        assert_eq!(gamma_q(3.0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn ks_identical_samples_p_one() {
+        let a: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let r = ks_two_sample(&a, &a);
+        assert_eq!(r.d, 0.0);
+        assert_eq!(r.p, 1.0);
+    }
+
+    #[test]
+    fn chi2_identical_counts_p_one() {
+        let a = [10u64, 20, 30];
+        let r = chi2_two_sample(&a, &a);
+        assert!(r.statistic < 1e-12);
+        assert!(r.p > 0.999_999);
+    }
+
+    #[test]
+    fn tv_symmetric_and_bounded() {
+        let a = [100u64, 0];
+        let b = [0u64, 100];
+        assert_eq!(tv_distance(&a, &b), 1.0);
+        assert_eq!(tv_distance(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn bootstrap_deterministic_in_seed() {
+        let a = [500u64, 500];
+        let b = [300u64, 700];
+        let x = bootstrap_tv_ci(&a, &b, 100, 7);
+        let y = bootstrap_tv_ci(&a, &b, 100, 7);
+        assert_eq!(x, y);
+        let z = bootstrap_tv_ci(&a, &b, 100, 8);
+        assert!(x.ci_lo != z.ci_lo || x.ci_hi != z.ci_hi);
+    }
+}

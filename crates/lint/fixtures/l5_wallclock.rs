@@ -1,0 +1,13 @@
+//! Fixture: wall-clock types in code scanned as if it lived in
+//! `crates/leakage`, where L5/wall-clock applies. Both the `use`
+//! statement and the call-site path must fire.
+
+use std::time::Instant;
+
+/// A "feature" timed with the host clock: the verdict built on this
+/// number differs between hosts and runs, exactly what L5 forbids.
+pub fn wallclock_window_seconds() -> f64 {
+    let start = std::time::SystemTime::now();
+    let _ = start;
+    Instant::now().elapsed().as_secs_f64()
+}

@@ -1,0 +1,17 @@
+//! Fixture: the `l5_wallclock.rs` sites either rewritten onto simulated
+//! cycles or explicitly waived. Must scan clean under a `crates/leakage`
+//! context.
+
+/// Fixed: the window is measured in simulated cycles carried by the
+/// event stream, a pure function of the capture.
+pub fn cycle_window(first_cycle: u64, last_cycle: u64) -> u64 {
+    last_cycle.saturating_sub(first_cycle)
+}
+
+/// Waived: names the type in a diagnostic string builder, never reads a
+/// clock. The waiver records why the mention is inert.
+pub fn forbidden_type_name() -> &'static str {
+    // lint: wallclock-ok(diagnostic constant naming the banned type, no clock is read)
+    let name: &str = stringify!(Instant);
+    name
+}

@@ -22,6 +22,11 @@
 //! * **L4 `panic-budget`** — every crate root asserts
 //!   `#![deny(unsafe_code)]`, and `unwrap()`/`expect()` outside tests and
 //!   binaries needs a `// lint: panic-ok(reason)` waiver.
+//! * **L5 `wall-clock`** — inside `crates/leakage` (the timing-leakage
+//!   observatory), wall-clock types (`Instant`, `SystemTime`) are
+//!   forbidden: distinguishability verdicts must be a pure function of
+//!   simulated cycles so the gate is bit-reproducible across hosts.
+//!   Waiver: `// lint: wallclock-ok(reason)`.
 //!
 //! The passes run on a flat token stream from the dependency-free
 //! [`lexer`]; there is no type information, so the secret/cycle rules are
@@ -55,6 +60,8 @@ pub enum Lint {
     UnsafeAttr,
     /// L4: `unwrap()`/`expect()` outside tests without a waiver.
     PanicBudget,
+    /// L5: wall-clock type in a cycle-pure crate.
+    WallClock,
     /// Malformed waiver comment (unknown name or empty reason).
     BadWaiver,
 }
@@ -70,6 +77,7 @@ impl Lint {
             Lint::LibPrintln => "L3/lib-println",
             Lint::UnsafeAttr => "L4/unsafe-attr",
             Lint::PanicBudget => "L4/panic-budget",
+            Lint::WallClock => "L5/wall-clock",
             Lint::BadWaiver => "L0/bad-waiver",
         }
     }
@@ -82,6 +90,7 @@ impl Lint {
             Lint::SecretFormat | Lint::SecretEq => Some("secret-ok"),
             Lint::LibPrintln => Some("print-ok"),
             Lint::PanicBudget => Some("panic-ok"),
+            Lint::WallClock => Some("wallclock-ok"),
             Lint::UnsafeAttr | Lint::BadWaiver => None,
         }
     }
@@ -146,6 +155,7 @@ pub const LIBRARY_CRATES: &[&str] = &[
     "core",
     "crypto",
     "dram",
+    "leakage",
     "lint",
     "oram",
     "system",
@@ -159,6 +169,10 @@ pub const TIMING_CRATES: &[&str] = &["dram", "audit"];
 
 /// Crates bound by the L3 constant-time tag-comparison rule.
 pub const SECRET_EQ_CRATES: &[&str] = &["crypto", "oram"];
+
+/// Crates bound by L5 (no wall-clock types): the timing-leakage
+/// observatory, whose verdicts must depend only on simulated cycles.
+pub const WALLCLOCK_CRATES: &[&str] = &["leakage"];
 
 /// True for identifiers that name a point or span in simulated time.
 ///
@@ -255,10 +269,14 @@ mod tests {
             Lint::SecretFormat,
             Lint::LibPrintln,
             Lint::PanicBudget,
+            Lint::WallClock,
         ]
         .iter()
         .filter_map(|l| l.waiver())
         .collect();
-        assert_eq!(names, vec!["wrap-ok", "literal-ok", "secret-ok", "print-ok", "panic-ok"]);
+        assert_eq!(
+            names,
+            vec!["wrap-ok", "literal-ok", "secret-ok", "print-ok", "panic-ok", "wallclock-ok"]
+        );
     }
 }

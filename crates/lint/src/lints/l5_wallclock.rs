@@ -1,0 +1,44 @@
+//! L5 — wall-clock discipline in cycle-pure crates.
+//!
+//! The leakage observatory's whole value is reproducibility: the same
+//! attacker-visible streams must yield byte-identical distinguishability
+//! verdicts on every host, every run. Any `Instant`/`SystemTime` read
+//! injects host-dependent state, so inside `crates/leakage` those types
+//! are banned outright — windowing and inter-arrival features come from
+//! the executor's simulated cycle stamps, never from the OS. A genuinely
+//! benign mention (say, a doc example) can carry a
+//! `// lint: wallclock-ok(reason)` waiver.
+
+use super::PassInput;
+use crate::lexer::TokKind;
+use crate::{Finding, Lint, WALLCLOCK_CRATES};
+
+/// Type names whose mere appearance means host time is in play. Matching
+/// bare identifiers catches both `std::time::Instant` paths and `use`
+/// statements that would smuggle the type in under its own name.
+const WALLCLOCK_TYPES: &[&str] = &["Instant", "SystemTime"];
+
+/// Runs the pass (no-op outside the wall-clock-banned crates).
+pub fn check(input: &PassInput<'_>) -> Vec<Finding> {
+    if !WALLCLOCK_CRATES.contains(&input.ctx.crate_name.as_str()) {
+        return Vec::new();
+    }
+    let mut findings = Vec::new();
+    for tok in input.toks {
+        if tok.kind != TokKind::Ident || !WALLCLOCK_TYPES.contains(&tok.text.as_str()) {
+            continue;
+        }
+        if let Some(f) = input.finding(
+            Lint::WallClock,
+            tok.line,
+            format!("wall-clock type `{}` in a cycle-pure crate", tok.text),
+            "derive timing features from simulated `Cycle` stamps so the \
+             distinguishability verdict is bit-reproducible, or waive with \
+             `// lint: wallclock-ok(reason)`"
+                .to_string(),
+        ) {
+            findings.push(f);
+        }
+    }
+    findings
+}

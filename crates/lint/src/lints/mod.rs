@@ -1,10 +1,11 @@
-//! The four lint passes. Each pass is a pure function over one file's
+//! The five lint passes. Each pass is a pure function over one file's
 //! token stream plus context; orchestration lives in [`crate::scan`].
 
 pub mod l1_cycle;
 pub mod l2_timing;
 pub mod l3_secret;
 pub mod l4_panic;
+pub mod l5_wallclock;
 
 use crate::lexer::Tok;
 use crate::walker::{in_test, waived, Waiver};

@@ -5,7 +5,7 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 use crate::lexer::lex;
-use crate::lints::{l1_cycle, l2_timing, l3_secret, l4_panic, PassInput};
+use crate::lints::{l1_cycle, l2_timing, l3_secret, l4_panic, l5_wallclock, PassInput};
 use crate::walker::{parse_waivers, test_regions};
 use crate::{FileCtx, FileKind, Finding, Lint};
 
@@ -44,6 +44,7 @@ pub fn scan_source(ctx: &FileCtx, display_path: &str, src: &str) -> Vec<Finding>
     findings.extend(l2_timing::check(&input));
     findings.extend(l3_secret::check(&input));
     findings.extend(l4_panic::check(&input, src));
+    findings.extend(l5_wallclock::check(&input));
     findings
 }
 

@@ -4,7 +4,8 @@
 use crate::lexer::{Comment, Lexed, Tok, TokKind};
 
 /// Waiver names the passes understand, one per waivable lint.
-pub const KNOWN_WAIVERS: &[&str] = &["wrap-ok", "literal-ok", "secret-ok", "print-ok", "panic-ok"];
+pub const KNOWN_WAIVERS: &[&str] =
+    &["wrap-ok", "literal-ok", "secret-ok", "print-ok", "panic-ok", "wallclock-ok"];
 
 /// A parsed `// lint: <name>(<reason>)` waiver comment.
 #[derive(Debug, Clone)]

@@ -125,6 +125,33 @@ fn l4_panic_budget_exempts_binaries() {
 }
 
 #[test]
+fn l5_fixture_flags_wallclock_types() {
+    let c = ctx("leakage", FileKind::Lib, false);
+    let found = scan("l5_wallclock.rs", &c);
+    assert_eq!(ids(&found), BTreeSet::from(["L5/wall-clock"]), "{found:#?}");
+    assert_eq!(
+        found.len(),
+        3,
+        "`use`, `SystemTime::now`, and `Instant::now` must fire: {found:#?}"
+    );
+}
+
+#[test]
+fn l5_is_scoped_to_wallclock_crates() {
+    // The bench crate reads wall clocks for a living; L5 stays silent there.
+    let c = ctx("bench", FileKind::Lib, false);
+    let found = scan("l5_wallclock.rs", &c);
+    assert!(found.is_empty(), "{found:#?}");
+}
+
+#[test]
+fn l5_waived_copy_is_clean() {
+    let c = ctx("leakage", FileKind::Lib, false);
+    let found = scan("l5_wallclock_waived.rs", &c);
+    assert!(found.is_empty(), "{found:#?}");
+}
+
+#[test]
 fn bad_waivers_are_findings() {
     let c = ctx("dram", FileKind::Lib, false);
     let found = scan("l0_bad_waiver.rs", &c);
@@ -141,6 +168,7 @@ fn fixtures_seed_at_least_eight_distinct_violations() {
     all.extend(ids(&scan("l2_timing.rs", &ctx("dram", FileKind::Lib, false))));
     all.extend(ids(&scan("l3_secret.rs", &ctx("crypto", FileKind::Lib, false))));
     all.extend(ids(&scan("l4_panic.rs", &ctx("fixture", FileKind::Lib, true))));
+    all.extend(ids(&scan("l5_wallclock.rs", &ctx("leakage", FileKind::Lib, false))));
     all.extend(ids(&scan("l0_bad_waiver.rs", &ctx("dram", FileKind::Lib, false))));
     assert!(all.len() >= 8, "only {} distinct lints seeded: {all:?}", all.len());
 }

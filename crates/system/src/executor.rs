@@ -132,6 +132,10 @@ pub struct Executor {
     last_sample: Cycle,
     /// Cycle the next profiler sample is due.
     sample_due: Cycle,
+    /// Shared simulated clock published every tick so out-of-band
+    /// observers (the obliviousness recorder's cycle stamps) read the
+    /// executor's `now` without holding a reference to it.
+    clock: sdimm::obliviousness::SharedCycle,
 }
 
 /// Number of Chrome-trace lanes executor phase spans are spread over, so
@@ -173,7 +177,15 @@ impl Executor {
             profile_prefix: String::new(),
             last_sample: 0,
             sample_due: 0,
+            clock: sdimm::obliviousness::SharedCycle::new(),
         }
+    }
+
+    /// The executor's shared simulated clock: updated to `now` as time
+    /// advances. Clone it into any observer that needs cycle stamps (the
+    /// obliviousness [`Recorder`](sdimm::obliviousness::Recorder)).
+    pub fn shared_clock(&self) -> sdimm::obliviousness::SharedCycle {
+        self.clock.clone()
     }
 
     /// Attaches a trace sink under process track `pid`: DRAM channels get
@@ -522,6 +534,7 @@ impl Executor {
                 ch.tick(dt);
             }
             self.now = target;
+            self.clock.publish(self.now);
             self.flight.set_clock(self.now);
             if self.now.is_multiple_of(Self::STEP) {
                 self.process();

@@ -40,5 +40,11 @@ pub mod llc;
 pub mod machine;
 pub mod runner;
 
+/// Version tag of the event-horizon execution engine ([`executor`]).
+/// Bumped whenever the advancement algorithm changes in a way that can
+/// shift cycle counts, so persisted reports can be traced back to the
+/// engine that produced them.
+pub const ENGINE_VERSION: &str = "horizon-2";
+
 pub use machine::{Machine, MachineKind, SystemConfig};
 pub use runner::{run, RunResult};

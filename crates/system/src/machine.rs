@@ -25,6 +25,13 @@ pub enum MachineKind {
         /// Main-memory channels.
         channels: usize,
     },
+    /// Plain Path ORAM with the whole position map on chip: exactly one
+    /// `accessORAM` per request (no recursion, no PLB). The
+    /// secure-baseline bound the recursive designs are measured against.
+    PathOram {
+        /// Main-memory channels.
+        channels: usize,
+    },
     /// The Freecursive ORAM baseline.
     Freecursive {
         /// Main-memory channels.
@@ -61,6 +68,7 @@ impl MachineKind {
     pub fn name(&self) -> String {
         match self {
             MachineKind::NonSecure { channels } => format!("NONSECURE-{channels}ch"),
+            MachineKind::PathOram { channels } => format!("PATHORAM-{channels}ch"),
             MachineKind::Freecursive { channels } => format!("FREECURSIVE-{channels}ch"),
             MachineKind::Independent { sdimms, .. } => format!("INDEP-{sdimms}"),
             MachineKind::Split { ways, .. } => format!("SPLIT-{ways}"),
@@ -72,7 +80,9 @@ impl MachineKind {
     /// baselines, one internal channel per SDIMM otherwise).
     pub fn executor_channels(&self) -> usize {
         match *self {
-            MachineKind::NonSecure { channels } | MachineKind::Freecursive { channels } => channels,
+            MachineKind::NonSecure { channels }
+            | MachineKind::PathOram { channels }
+            | MachineKind::Freecursive { channels } => channels,
             MachineKind::Independent { sdimms, .. } => sdimms,
             MachineKind::Split { ways, .. } => ways,
             MachineKind::IndepSplit { groups, ways, .. } => groups * ways,
@@ -86,9 +96,9 @@ impl MachineKind {
     /// under.
     pub fn channel_config(&self) -> ChannelConfig {
         let mut ch_cfg = match self {
-            MachineKind::NonSecure { .. } | MachineKind::Freecursive { .. } => {
-                ChannelConfig::table2()
-            }
+            MachineKind::NonSecure { .. }
+            | MachineKind::PathOram { .. }
+            | MachineKind::Freecursive { .. } => ChannelConfig::table2(),
             _ => ChannelConfig::sdimm_internal(),
         };
         ch_cfg.refresh_enabled = true;
@@ -129,7 +139,15 @@ impl SystemConfig {
 #[derive(Debug)]
 enum Backend {
     NonSecure,
-    Freecursive { oram: PathOram, channels: usize },
+    /// Plain Path ORAM: on-chip posmap, one access per request.
+    PathOramPlain {
+        oram: PathOram,
+        channels: usize,
+    },
+    Freecursive {
+        oram: PathOram,
+        channels: usize,
+    },
     Independent(IndependentOram),
     Split(SplitOram),
     IndepSplit(IndepSplitOram),
@@ -159,6 +177,14 @@ impl Machine {
         let (backend, frontend, executor) = match kind {
             MachineKind::NonSecure { channels } => {
                 (Backend::NonSecure, None, Executor::new(channels, kind.channel_config(), &[]))
+            }
+            MachineKind::PathOram { channels } => {
+                let oram = PathOram::new(cfg.oram.clone(), cfg.data_blocks, cfg.seed);
+                (
+                    Backend::PathOramPlain { oram, channels },
+                    None,
+                    Executor::new(channels, kind.channel_config(), &[]),
+                )
             }
             MachineKind::Freecursive { channels } => {
                 let frontend = Frontend::new(&cfg.oram, cfg.data_blocks);
@@ -225,10 +251,39 @@ impl Machine {
     pub fn stash_len(&self) -> usize {
         match &self.backend {
             Backend::NonSecure => 0,
+            Backend::PathOramPlain { oram, .. } => oram.stash_len(),
             Backend::Freecursive { oram, .. } => oram.stash_len(),
             Backend::Independent(o) => o.max_stash_len(),
             Backend::Split(o) => o.stash_len(),
             Backend::IndepSplit(o) => o.max_stash_len(),
+        }
+    }
+
+    /// Attaches a cycle-stamping observable recorder to the backend's
+    /// external-bus tap, fed from the executor's shared clock. Only the
+    /// SDIMM protocols emit [`sdimm::obliviousness::Observable`] events
+    /// (the baselines have no external SDIMM bus), so this is a no-op
+    /// for NonSecure/PathOram/Freecursive machines.
+    pub fn set_observable_recorder(&mut self) {
+        let rec = sdimm::obliviousness::Recorder::with_clock(self.executor.shared_clock());
+        match &mut self.backend {
+            Backend::NonSecure | Backend::PathOramPlain { .. } | Backend::Freecursive { .. } => {}
+            Backend::Independent(o) => o.set_recorder(rec),
+            Backend::Split(o) => o.set_recorder(rec),
+            Backend::IndepSplit(o) => o.set_recorder(rec),
+        }
+    }
+
+    /// Takes the observable recorder back from the backend, when one was
+    /// attached and the backend has an external bus to observe.
+    pub fn take_observable_recorder(&mut self) -> Option<sdimm::obliviousness::Recorder> {
+        match &mut self.backend {
+            Backend::NonSecure | Backend::PathOramPlain { .. } | Backend::Freecursive { .. } => {
+                None
+            }
+            Backend::Independent(o) => o.take_recorder(),
+            Backend::Split(o) => o.take_recorder(),
+            Backend::IndepSplit(o) => o.take_recorder(),
         }
     }
 
@@ -239,6 +294,7 @@ impl Machine {
         self.executor.set_flight_recorder(recorder.clone());
         match &mut self.backend {
             Backend::NonSecure => {}
+            Backend::PathOramPlain { oram, .. } => oram.set_flight_recorder(recorder, 0),
             Backend::Freecursive { oram, .. } => oram.set_flight_recorder(recorder, 0),
             Backend::Independent(o) => o.set_flight_recorder(recorder),
             Backend::Split(o) => o.set_flight_recorder(recorder),
@@ -258,6 +314,7 @@ impl Machine {
     pub fn stash_peak(&self) -> usize {
         match &self.backend {
             Backend::NonSecure => 0,
+            Backend::PathOramPlain { oram, .. } => oram.stash_peak(),
             Backend::Freecursive { oram, .. } => oram.stash_peak(),
             Backend::Independent(o) => o.stash_peak(),
             Backend::Split(o) => o.stash_peak(),
@@ -286,6 +343,7 @@ impl Machine {
         }
         match &self.backend {
             Backend::NonSecure => {}
+            Backend::PathOramPlain { oram, .. } => m.absorb("oram", &oram.metrics()),
             Backend::Freecursive { oram, .. } => m.absorb("oram", &oram.metrics()),
             Backend::Independent(o) => m.absorb("oram", &o.metrics()),
             Backend::Split(o) => m.absorb("oram", &o.metrics()),
@@ -328,6 +386,11 @@ impl Machine {
                     writes: if is_write { vec![local] } else { vec![] },
                 })])]
             }
+            Backend::PathOramPlain { oram, channels } => {
+                let index = (addr / 64) % self.cfg.data_blocks;
+                let (_, plan) = oram.access(BlockId(index), op, Some(&[]));
+                vec![Self::baseline_path_trace(&plan, *channels)]
+            }
             Backend::Freecursive { oram, channels } => {
                 // lint: panic-ok(invariant: ORAM machines have a frontend)
                 let frontend = self.frontend.as_mut().expect("ORAM machines have a frontend");
@@ -335,32 +398,7 @@ impl Machine {
                 let mut parts = Vec::new();
                 for planned in frontend.plan_request(index, op) {
                     let (_, plan) = oram.access(planned.id, planned.op, Some(&[]));
-                    let mut phases = Vec::new();
-                    let mut read_phase = Phase::default();
-                    for (ch, lines) in Self::split_lines(&plan.read_lines, *channels) {
-                        read_phase.par.push(Activity::Dram {
-                            channel: ch,
-                            reads: lines,
-                            writes: vec![],
-                        });
-                    }
-                    read_phase.par.push(Activity::Crypto { units: plan.read_lines.len() as u32 });
-                    phases.push(read_phase);
-                    let mut write_phase = Phase::default();
-                    for (ch, lines) in Self::split_lines(&plan.write_lines, *channels) {
-                        write_phase.par.push(Activity::Dram {
-                            channel: ch,
-                            reads: vec![],
-                            writes: lines,
-                        });
-                    }
-                    phases.push(write_phase);
-                    let mut t = RequestTrace::new(phases);
-                    // Data is ready after the path read; write-back drains
-                    // behind it inside the serialized backend.
-                    t.data_ready_phase = t.phases.len().saturating_sub(2);
-                    t.backend = Some(0);
-                    parts.push(t);
+                    parts.push(Self::baseline_path_trace(&plan, *channels));
                 }
                 parts
             }
@@ -386,6 +424,31 @@ impl Machine {
                 |id, op| oram.access(id, op, Some(&[])).1,
             ),
         }
+    }
+
+    /// One whole-path `accessORAM` over the baseline main-memory
+    /// channels: path read (+decrypt) then path write-back, serialized
+    /// on the single ORAM controller. Shared by the plain-PathOram and
+    /// Freecursive backends.
+    fn baseline_path_trace(plan: &oram::plan::AccessPlan, channels: usize) -> RequestTrace {
+        let mut phases = Vec::new();
+        let mut read_phase = Phase::default();
+        for (ch, lines) in Self::split_lines(&plan.read_lines, channels) {
+            read_phase.par.push(Activity::Dram { channel: ch, reads: lines, writes: vec![] });
+        }
+        read_phase.par.push(Activity::Crypto { units: plan.read_lines.len() as u32 });
+        phases.push(read_phase);
+        let mut write_phase = Phase::default();
+        for (ch, lines) in Self::split_lines(&plan.write_lines, channels) {
+            write_phase.par.push(Activity::Dram { channel: ch, reads: vec![], writes: lines });
+        }
+        phases.push(write_phase);
+        let mut t = RequestTrace::new(phases);
+        // Data is ready after the path read; write-back drains
+        // behind it inside the serialized backend.
+        t.data_ready_phase = t.phases.len().saturating_sub(2);
+        t.backend = Some(0);
+        t
     }
 
     fn plan_protocol(

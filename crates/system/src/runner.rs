@@ -120,7 +120,7 @@ pub fn run_instrumented(
     instruments: &Instruments,
     pid: u32,
 ) -> RunResult {
-    run_inner(cfg, trace, warmup, measure, instruments, pid, false).0
+    run_inner(cfg, trace, warmup, measure, instruments, pid, false, false).0
 }
 
 /// [`run_audited`] with the full [`Instruments`] bundle attached.
@@ -136,9 +136,52 @@ pub fn run_audited_instrumented(
     instruments: &Instruments,
     pid: u32,
 ) -> (RunResult, AuditCapture) {
-    let (result, capture) = run_inner(cfg, trace, warmup, measure, instruments, pid, true);
+    let (result, capture, _) =
+        run_inner(cfg, trace, warmup, measure, instruments, pid, true, false);
     // lint: panic-ok(invariant: capture requested)
     (result, capture.expect("capture requested"))
+}
+
+/// Everything the timing-leakage analyzer (`crates/leakage`) needs from
+/// one run: both attacker vantage points of the §III-G threat model.
+#[derive(Debug)]
+pub struct LeakageCapture {
+    /// Channel configuration shared by every captured channel (rank and
+    /// bank counts size the touch-distribution features).
+    pub channel_cfg: dram_sim::config::ChannelConfig,
+    /// Per-channel DRAM command streams, cycle-stamped, complete from
+    /// cycle 0 — the on-DIMM (or main-memory) bus vantage.
+    pub streams: Vec<Vec<dram_sim::cmdlog::CmdRecord>>,
+    /// The external-bus observable stream, stamped from the executor's
+    /// shared clock — the off-DIMM vantage. Empty for machines without
+    /// an external SDIMM bus (NonSecure, PathOram, Freecursive).
+    pub observables: Vec<(Cycle, sdimm::obliviousness::Observable)>,
+}
+
+/// [`run`], additionally capturing both attacker-visible streams for
+/// statistical distinguishability analysis: every DRAM command each
+/// channel issues and the cycle-stamped external-bus observable stream.
+/// Fully deterministic: same config + trace reproduce both streams
+/// byte-for-byte.
+///
+/// # Panics
+///
+/// Panics if the trace is shorter than `warmup + measure`.
+pub fn run_leakage(
+    cfg: &SystemConfig,
+    trace: &Trace,
+    warmup: usize,
+    measure: usize,
+) -> (RunResult, LeakageCapture) {
+    let instruments = Instruments::with_sink(TraceSink::disabled());
+    let (result, capture, observables) =
+        run_inner(cfg, trace, warmup, measure, &instruments, 0, true, true);
+    // lint: panic-ok(invariant: capture requested)
+    let capture = capture.expect("capture requested");
+    (
+        result,
+        LeakageCapture { channel_cfg: capture.channel_cfg, streams: capture.streams, observables },
+    )
 }
 
 /// Everything a differential replay auditor needs to re-validate a run:
@@ -229,6 +272,7 @@ pub fn dump_stash_breach(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_inner(
     cfg: &SystemConfig,
     trace: &Trace,
@@ -237,7 +281,8 @@ fn run_inner(
     instruments: &Instruments,
     pid: u32,
     capture_cmds: bool,
-) -> (RunResult, Option<AuditCapture>) {
+    capture_obs: bool,
+) -> (RunResult, Option<AuditCapture>, Vec<(Cycle, sdimm::obliviousness::Observable)>) {
     assert!(
         trace.records.len() >= warmup + measure,
         "trace too short: {} < {}",
@@ -247,6 +292,9 @@ fn run_inner(
     let mut machine = Machine::new(cfg.clone());
     // Command logs attach before any request touches a channel.
     let cmd_logs = if capture_cmds { machine.executor.attach_cmd_logs() } else { Vec::new() };
+    if capture_obs {
+        machine.set_observable_recorder();
+    }
     let sink = instruments.sink.clone();
     if sink.is_enabled() {
         sink.process_name(pid, &format!("{} / {}", cfg.kind.name(), trace.name));
@@ -476,6 +524,11 @@ fn run_inner(
         channel_cfg: cfg.kind.channel_config(),
         streams: cmd_logs.iter().map(|l| l.take()).collect(),
     });
+    let observables = if capture_obs {
+        machine.take_observable_recorder().map(|r| r.timed_events()).unwrap_or_default()
+    } else {
+        Vec::new()
+    };
     let result = RunResult {
         machine: cfg.kind.name(),
         workload: trace.name.clone(),
@@ -498,7 +551,7 @@ fn run_inner(
         dram_lines,
         metrics,
     };
-    (result, capture)
+    (result, capture, observables)
 }
 
 #[cfg(test)]

@@ -1,0 +1,219 @@
+//! Paired workloads for timing-leakage analysis (`crates/leakage`).
+//!
+//! Each [`LeakagePair`] is two traces that differ in a *logical* property
+//! an oblivious protocol must hide, while being constructed so that every
+//! microarchitectural confound in the simulated stack is held equal:
+//!
+//! * Every measured record touches a **fresh cache line**, so both sides
+//!   of a pair miss the LLC on every record — no hit-rate difference.
+//! * The LLC (2 MB, 8-way) never evicts within a run — warm-up and the
+//!   measured window together occupy at most two ways of any set — so
+//!   neither side emits victim write-backs.
+//! * Both sides use a constant inter-arrival gap and no data dependences,
+//!   so the core model issues them identically.
+//! * The position-map lookup structure is aligned: address streams are
+//!   chosen so the PLB (fanout-16 posmap) misses at **positionally
+//!   identical** records on both sides (see [`direction_pair`]), so a
+//!   secure protocol performs the same accessORAM chain structure at the
+//!   same record indices on both sides.
+//!
+//! What remains different is exactly the logical secret: the operation
+//! mix ([`op_pair`]) or the address-walk direction ([`direction_pair`]).
+//! A protocol whose attacker-visible streams stay statistically
+//! indistinguishable across such a pair hides that secret; the NonSecure
+//! baseline visibly leaks it (read/write DDR command mix, row-delta
+//! sign), which is the analysis harness's built-in power check.
+//!
+//! All generators are address-arithmetic only — no RNG — so paired runs
+//! are bit-reproducible.
+
+use crate::trace::{Trace, TraceRecord};
+
+/// Region alignment quantum: 4096 blocks = one full level-3 posmap
+/// subtree at fanout 16. Regions are sized to the next multiple of this,
+/// so ascending-from-region-start and descending-from-region-end streams
+/// cross every posmap-level boundary at the same record indices.
+pub const REGION_BLOCKS: u64 = 4096;
+
+/// Blocks per measured region for a `measure`-record window: the
+/// smallest [`REGION_BLOCKS`] multiple that holds one fresh block per
+/// record.
+pub fn region_span(measure: usize) -> u64 {
+    (measure as u64).div_ceil(REGION_BLOCKS).max(1) * REGION_BLOCKS
+}
+
+/// Constant think-time gap between records (CPU cycles). Small enough to
+/// keep the memory system busy, identical on both sides of every pair.
+const GAP: u32 = 8;
+
+/// A paired workload: two same-length traces differing only in a logical
+/// secret that a secure protocol must hide.
+#[derive(Debug, Clone)]
+pub struct LeakagePair {
+    /// Short pair name (e.g. `"op-contrast"`).
+    pub name: &'static str,
+    /// The logical property the pair contrasts, for reports.
+    pub contrast: &'static str,
+    /// First trace.
+    pub a: Trace,
+    /// Second trace.
+    pub b: Trace,
+}
+
+/// Number of distinct ORAM blocks a pair's traces may touch; configs
+/// must provide at least this many `data_blocks` so the runner's
+/// `(addr / 64) % data_blocks` mapping stays injective and no aliasing
+/// re-introduces LLC hits or shared posmap entries.
+pub fn required_blocks(warmup: usize, measure: usize) -> u64 {
+    2 * region_span(measure) + warmup as u64
+}
+
+fn record(block: u64, is_write: bool) -> TraceRecord {
+    TraceRecord { addr: block * 64, is_write, gap: GAP, depends_on_prev: false }
+}
+
+/// Warm-up prefix shared verbatim by both sides of every pair: an
+/// ascending read scan over a region disjoint from both measured
+/// regions. Warm-up only touches the LLC (the runner fast-forwards it);
+/// measured addresses are fresh, so every measured record misses, and
+/// any line a measured insertion evicts is a clean warm-up line — no
+/// victim write-backs inside the window.
+fn warmup_records(warmup: usize, measure: usize) -> Vec<TraceRecord> {
+    let base = 2 * region_span(measure);
+    (0..warmup as u64).map(|i| record(base + i, false)).collect()
+}
+
+fn build(name: &str, warmup: usize, measure: usize, measured: Vec<TraceRecord>) -> Trace {
+    let mut records = warmup_records(warmup, measure);
+    let span = required_blocks(warmup, measure);
+    records.extend(measured);
+    Trace { name: name.to_string(), records, footprint_bytes: span * 64 }
+}
+
+/// Operation-contrast pair: both sides scan the **identical** ascending
+/// fresh-address sequence; side A is all loads, side B is all stores.
+/// The logical secret is the operation. A NonSecure machine leaks it
+/// directly (RD vs WR commands, bus-turnaround timing); every ORAM
+/// protocol performs a read-path + write-path per access regardless of
+/// the op, so its attacker-visible realization is *identical* — the
+/// strongest possible null.
+pub fn op_pair(warmup: usize, measure: usize) -> LeakagePair {
+    let reads: Vec<_> = (0..measure as u64).map(|i| record(i, false)).collect();
+    let writes: Vec<_> = (0..measure as u64).map(|i| record(i, true)).collect();
+    LeakagePair {
+        name: "op-contrast",
+        contrast: "load-only vs store-only over identical addresses",
+        a: build("op-contrast/read", warmup, measure, reads),
+        b: build("op-contrast/write", warmup, measure, writes),
+    }
+}
+
+/// Direction-contrast pair: side A reads ascending from the bottom of
+/// region 0; side B reads descending from the top of region 1. Both
+/// regions are `REGION_BLOCKS`-aligned, so posmap-level boundaries fall
+/// at positionally identical records on both sides (a fanout-16 level-1
+/// entry changes every 16 records, level-2 every 256, level-3 once at
+/// record 0): the PLB misses in lockstep and a secure protocol issues
+/// structurally identical chains. The logical secret is the walk
+/// direction, which NonSecure leaks through the sign of consecutive DRAM
+/// row deltas.
+pub fn direction_pair(warmup: usize, measure: usize) -> LeakagePair {
+    let span = region_span(measure);
+    let asc: Vec<_> = (0..measure as u64).map(|i| record(i, false)).collect();
+    let desc: Vec<_> = (0..measure as u64).map(|i| record(2 * span - 1 - i, false)).collect();
+    LeakagePair {
+        name: "direction-contrast",
+        contrast: "ascending vs descending fresh-address scan",
+        a: build("direction-contrast/asc", warmup, measure, asc),
+        b: build("direction-contrast/desc", warmup, measure, desc),
+    }
+}
+
+/// The standard pair matrix run by `leakage_gate`.
+pub fn pairs(warmup: usize, measure: usize) -> Vec<LeakagePair> {
+    vec![op_pair(warmup, measure), direction_pair(warmup, measure)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sides_have_equal_length() {
+        for p in pairs(100, 64) {
+            assert_eq!(p.a.records.len(), p.b.records.len());
+            assert_eq!(p.a.records.len(), 164);
+        }
+    }
+
+    #[test]
+    fn warmup_prefix_identical_across_sides() {
+        for p in pairs(50, 32) {
+            assert_eq!(&p.a.records[..50], &p.b.records[..50]);
+        }
+    }
+
+    #[test]
+    fn op_pair_same_addresses_different_ops() {
+        let p = op_pair(10, 16);
+        for (a, b) in p.a.records[10..].iter().zip(&p.b.records[10..]) {
+            assert_eq!(a.addr, b.addr);
+            assert!(!a.is_write);
+            assert!(b.is_write);
+        }
+    }
+
+    #[test]
+    fn measured_addresses_are_fresh_and_disjoint_from_warmup() {
+        for p in pairs(200, 128) {
+            for side in [&p.a, &p.b] {
+                let mut seen = std::collections::HashSet::new();
+                for r in &side.records {
+                    assert!(seen.insert(r.addr), "repeated address {:#x}", r.addr);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn direction_pair_posmap_boundaries_align() {
+        // A fanout-16 posmap changes its level-1 entry when block/16
+        // changes; both sides must cross at the same record indices.
+        let p = direction_pair(0, 512);
+        let crossings = |t: &Trace| -> Vec<usize> {
+            let blocks: Vec<u64> = t.records.iter().map(|r| r.addr / 64).collect();
+            (1..blocks.len()).filter(|&i| blocks[i] / 16 != blocks[i - 1] / 16).collect()
+        };
+        assert_eq!(crossings(&p.a), crossings(&p.b));
+    }
+
+    #[test]
+    fn gaps_and_dependences_constant() {
+        for p in pairs(10, 16) {
+            for r in p.a.records.iter().chain(&p.b.records) {
+                assert_eq!(r.gap, 8);
+                assert!(!r.depends_on_prev);
+            }
+        }
+    }
+
+    #[test]
+    fn required_blocks_bounds_every_address() {
+        for (warmup, measure) in [(300, 256), (50_000, 20_000)] {
+            let bound = required_blocks(warmup, measure);
+            for pair in &pairs(warmup, measure) {
+                for r in pair.a.records.iter().chain(&pair.b.records) {
+                    assert!(r.addr / 64 < bound);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn region_span_rounds_to_quantum() {
+        assert_eq!(region_span(2_000), 4096);
+        assert_eq!(region_span(4096), 4096);
+        assert_eq!(region_span(4097), 8192);
+        assert_eq!(region_span(20_000), 20_480);
+    }
+}

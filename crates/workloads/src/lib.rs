@@ -28,6 +28,7 @@
 #![deny(missing_debug_implementations)]
 
 pub mod generator;
+pub mod leakage;
 pub mod spec;
 pub mod stats;
 pub mod trace;

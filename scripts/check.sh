@@ -14,7 +14,7 @@ cargo fmt --check
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> sdimm-lint (cycle arithmetic, secret hygiene, timing constants, panic budget)"
+echo "==> sdimm-lint (cycle arithmetic, secret hygiene, timing constants, panic budget, wall-clock)"
 cargo run --release -q -p sdimm-lint
 
 echo "==> cargo test -q"
@@ -47,5 +47,15 @@ cargo run --release -q -p sdimm-bench --bin bench_compare
 
 echo "==> folded profile validates (no empty stacks, weights sum to sampled cycles)"
 cargo run --release -q -p sdimm-bench --bin validate_folded -- target/quick-fig6.folded
+
+echo "==> timing-leakage gate (secure protocols indistinguishable, NonSecure detected)"
+# Run twice and compare byte-for-byte: the verdict must be a pure
+# function of the simulated streams, never of host timing or entropy.
+SDIMM_BENCH_SCALE=quick cargo run --release -q -p sdimm-bench --bin leakage_gate -- \
+  --report target/leakage-report.json
+SDIMM_BENCH_SCALE=quick cargo run --release -q -p sdimm-bench --bin leakage_gate -- \
+  --report target/leakage-report-2.json > /dev/null
+cmp target/leakage-report.json target/leakage-report-2.json \
+  || { echo "leakage reports differ between runs — gate is nondeterministic"; exit 1; }
 
 echo "==> all checks passed"

@@ -144,3 +144,81 @@ fn different_length_workloads_are_distinguishable_only_by_length() {
         ShapeVerdict::Indistinguishable => panic!("length difference must be visible"),
     }
 }
+
+mod shape_properties {
+    use proptest::prelude::*;
+    use sdimm::obliviousness::{
+        compare_shapes, shape_of, Observable, Recorder, Shape, ShapeVerdict,
+    };
+
+    /// An arbitrary attacker-visible event, covering every variant.
+    fn observable() -> impl Strategy<Value = Observable> {
+        prop_oneof![
+            (0usize..8).prop_map(|sdimm| Observable::ShortCommand { sdimm }),
+            (0usize..8).prop_map(|sdimm| Observable::LongCommand { sdimm }),
+            (0usize..8, 0u64..4096)
+                .prop_map(|(sdimm, bytes)| Observable::MetaTransfer { sdimm, bytes }),
+            (0usize..8, 0u64..256)
+                .prop_map(|(sdimm, lines)| Observable::InternalPath { sdimm, lines }),
+        ]
+    }
+
+    /// The same event retargeted at a different SDIMM. Exhaustive match:
+    /// a new variant fails to compile here, same as in `shape_of`.
+    fn relabel(ev: &Observable, sdimm: usize) -> Observable {
+        match *ev {
+            Observable::ShortCommand { sdimm: _ } => Observable::ShortCommand { sdimm },
+            Observable::LongCommand { sdimm: _ } => Observable::LongCommand { sdimm },
+            Observable::MetaTransfer { sdimm: _, bytes } => {
+                Observable::MetaTransfer { sdimm, bytes }
+            }
+            Observable::InternalPath { sdimm: _, lines } => {
+                Observable::InternalPath { sdimm, lines }
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// `shape_of` is total, and the payload it keeps is exactly the
+        /// non-target data: sizes survive, the SDIMM label does not.
+        #[test]
+        fn every_observable_projects_to_a_shape(ev in observable()) {
+            let shape = shape_of(&ev);
+            match (ev, shape) {
+                (Observable::ShortCommand { .. }, Shape::Short) => {}
+                (Observable::LongCommand { .. }, Shape::Long) => {}
+                (Observable::MetaTransfer { bytes, .. }, Shape::Meta(b)) => {
+                    prop_assert_eq!(bytes, b)
+                }
+                (Observable::InternalPath { lines, .. }, Shape::Path(l)) => {
+                    prop_assert_eq!(lines, l)
+                }
+                (ev, shape) => prop_assert!(false, "wrong projection {ev:?} -> {shape:?}"),
+            }
+        }
+
+        /// Shape equality is invariant under SDIMM relabeling: targets
+        /// are chosen uniformly at random by design, so two streams that
+        /// differ only in which SDIMM each event hit must be
+        /// shape-indistinguishable.
+        #[test]
+        fn shape_equality_is_invariant_under_sdimm_relabeling(
+            events in proptest::collection::vec(observable(), 0..64),
+            labels in proptest::collection::vec(0usize..8, 0..64),
+        ) {
+            let mut a = Recorder::new();
+            let mut b = Recorder::new();
+            for (i, ev) in events.iter().enumerate() {
+                prop_assert_eq!(
+                    shape_of(ev),
+                    shape_of(&relabel(ev, labels.get(i).copied().unwrap_or(0)))
+                );
+                a.push(*ev);
+                b.push(relabel(ev, labels.get(i).copied().unwrap_or(0)));
+            }
+            prop_assert!(matches!(compare_shapes(&a, &b), ShapeVerdict::Indistinguishable));
+        }
+    }
+}

@@ -34,6 +34,8 @@
 // Wall-clock bench binary: `Instant` is the measurement, and the regression gate exits nonzero.
 #![allow(clippy::disallowed_methods)]
 
+use dram_sim::spec::DramStandard;
+use sdimm_bench::provenance::Provenance;
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
@@ -233,6 +235,7 @@ fn sim_benchmarks() -> Vec<Measurement> {
             kind,
             oram: scale.oram(7),
             data_blocks: scale.data_blocks(),
+            standard: DramStandard::default(),
             low_power: false,
             seed: 1,
         };
@@ -246,52 +249,13 @@ fn sim_benchmarks() -> Vec<Measurement> {
     out
 }
 
-/// Run provenance embedded in every report: enough to answer "which
-/// build produced these numbers" when a stale `BENCH_*.json` surfaces
-/// in a CI artifact bucket. [`parse_baseline`] skips it because the
-/// object contains neither a `"name"` nor an `"ops_per_sec"` key.
-#[derive(Debug, Clone)]
-struct Provenance {
-    /// Abbreviated commit SHA of the working tree, or `unknown` outside
-    /// a git checkout (e.g. a source tarball).
-    git_sha: String,
-    /// Scale the suite ran at (`bench_compare` is always quick-scale).
-    scale: &'static str,
-    /// Execution-engine version the measurements were taken on.
-    engine: &'static str,
-    /// Comma-separated protocol/machine set exercised by the suite.
-    protocols: &'static str,
-}
-
-impl Provenance {
-    fn new(protocols: &'static str) -> Self {
-        Self { git_sha: git_sha(), scale: "quick", engine: sdimm_system::ENGINE_VERSION, protocols }
-    }
-}
-
-/// Resolves the current commit's abbreviated SHA, falling back to
-/// `unknown` when git is unavailable or the tree is not a checkout.
-fn git_sha() -> String {
-    std::process::Command::new("git")
-        .args(["rev-parse", "--short=12", "HEAD"])
-        .output()
-        .ok()
-        .filter(|o| o.status.success())
-        .and_then(|o| String::from_utf8(o.stdout).ok())
-        .map(|s| s.trim().to_string())
-        .filter(|s| !s.is_empty() && s.chars().all(|c| c.is_ascii_hexdigit()))
-        .unwrap_or_else(|| "unknown".to_string())
-}
-
 /// Serializes measurements in the (hand-rolled, dependency-free) report
-/// format shared with the committed baseline.
+/// format shared with the committed baseline. [`parse_baseline`] skips
+/// the provenance object because it contains neither a `"name"` nor an
+/// `"ops_per_sec"` key.
 fn to_json(results: &[Measurement], prov: &Provenance) -> String {
     let mut s = String::from("{\n");
-    s.push_str(&format!(
-        "  \"provenance\": {{\"git_sha\": \"{}\", \"scale\": \"{}\", \
-         \"engine\": \"{}\", \"protocols\": \"{}\"}},\n",
-        prov.git_sha, prov.scale, prov.engine, prov.protocols
-    ));
+    s.push_str(&format!("  \"provenance\": {},\n", prov.to_json_object()));
     s.push_str("  \"benchmarks\": [\n");
     for (i, m) in results.iter().enumerate() {
         let sep = if i + 1 == results.len() { "" } else { "," };
@@ -483,7 +447,7 @@ fn main() {
         update_baseline,
         &crypto_suite,
         crypto_results,
-        &Provenance::new("nonsecure,freecursive"),
+        &Provenance::new("quick", "nonsecure,freecursive"),
     );
     println!("\n  T-table vs spec AES speedup: {speedup:.2}x (acceptance floor: 4x)");
 
@@ -495,7 +459,7 @@ fn main() {
         update_baseline,
         &sim_benchmarks,
         sim_benchmarks(),
-        &Provenance::new("nonsecure,freecursive,indep2,split2"),
+        &Provenance::new("quick", "nonsecure,freecursive,indep2,split2"),
     );
 
     if regressions > 0 {

@@ -9,6 +9,7 @@
 //! same physical channel) only competes for the external bus slots the
 //! protocol actually uses.
 
+use dram_sim::spec::DramStandard;
 use sdimm::trace::{Activity, Phase, RequestTrace};
 use sdimm_bench::Scale;
 use sdimm_system::executor::{ExecEvent, Executor};
@@ -21,6 +22,7 @@ fn run(kind: MachineKind, scale: Scale) -> f64 {
         kind,
         oram: scale.oram(7),
         data_blocks: scale.data_blocks(),
+        standard: DramStandard::default(),
         low_power: false,
         seed: 1,
     };

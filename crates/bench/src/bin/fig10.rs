@@ -43,6 +43,7 @@ fn main() {
                 kind,
                 oram: scale.oram(7),
                 data_blocks: scale.data_blocks(),
+                standard: telemetry.standard,
                 seed: 1,
             },
             &instruments,

@@ -36,6 +36,7 @@ fn main() {
                 kind,
                 oram: oram.clone(),
                 data_blocks,
+                standard: telemetry.standard,
                 low_power: false,
                 seed: 1,
             },
@@ -63,6 +64,7 @@ fn main() {
                 kind,
                 oram: oram.clone(),
                 data_blocks,
+                standard: telemetry.standard,
                 low_power: false,
                 seed: 1,
             },

@@ -28,6 +28,7 @@ fn main() {
                 kind,
                 oram: scale.oram(cached),
                 data_blocks: scale.data_blocks(),
+                standard: telemetry.standard,
                 low_power: false,
                 seed: 1,
             },

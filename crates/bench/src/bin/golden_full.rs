@@ -1,6 +1,7 @@
 //! Scratch diagnostic: full-scale single-cell cycle counts, for
 //! verifying engine changes keep full-scale runs byte-identical.
 
+use dram_sim::spec::DramStandard;
 use sdimm_bench::Scale;
 use sdimm_system::machine::{MachineKind, SystemConfig};
 use sdimm_system::runner::run;
@@ -16,6 +17,7 @@ fn main() {
             kind,
             oram: scale.oram(7),
             data_blocks: scale.data_blocks(),
+            standard: DramStandard::default(),
             low_power: false,
             seed: 1,
         };

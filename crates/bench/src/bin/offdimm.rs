@@ -41,6 +41,7 @@ fn main() {
             kind,
             oram: scale.oram(7),
             data_blocks: scale.data_blocks(),
+            standard: telemetry.standard,
             low_power: false,
             seed: 1,
         },

@@ -1,6 +1,7 @@
 //! Scratch diagnostic: per-protocol service latency (MLP=1) and
 //! saturated throughput (MLP=16).
 
+use dram_sim::spec::DramStandard;
 use sdimm_system::executor::ExecEvent;
 use sdimm_system::machine::{Machine, MachineKind, SystemConfig};
 
@@ -10,6 +11,7 @@ fn probe(kind: MachineKind) {
         kind,
         oram: scale.oram(7),
         data_blocks: scale.data_blocks(),
+        standard: DramStandard::default(),
         low_power: false,
         seed: 1,
     };

@@ -1,5 +1,6 @@
 //! Scratch diagnostic: energy breakdown with and without low-power mode.
 
+use dram_sim::spec::DramStandard;
 use sdimm_system::machine::{MachineKind, SystemConfig};
 use sdimm_system::runner::run;
 use workloads::spec;
@@ -12,6 +13,7 @@ fn main() {
             kind: MachineKind::Independent { sdimms: 2, channels: 1 },
             oram: scale.oram(7),
             data_blocks: scale.data_blocks(),
+            standard: DramStandard::default(),
             low_power,
             seed: 1,
         };

@@ -4,6 +4,7 @@
 // Wall-clock probe: `Instant` is the measurement.
 #![allow(clippy::disallowed_methods)]
 
+use dram_sim::spec::DramStandard;
 use std::time::Instant;
 
 use dram_sim::channel::DramChannel;
@@ -19,6 +20,7 @@ fn main() {
         kind,
         oram: scale.oram(7),
         data_blocks: scale.data_blocks(),
+        standard: DramStandard::default(),
         low_power: false,
         seed: 1,
     };

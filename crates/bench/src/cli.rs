@@ -19,12 +19,16 @@
 //! --leakage <report.json>   run the timing-leakage observatory matrix
 //!                           over this binary's design points and write
 //!                           the byte-stable report (DESIGN.md §11)
+//! --standard <name>         memory standard every DRAM channel runs
+//!                           (ddr3_1600 [default], ddr3_800, ddr4_2400,
+//!                           lpddr4_3200, hbm2)
 //! ```
 //!
 //! Parsing is intentionally minimal (no external argument-parser
 //! dependency): unknown arguments abort with a usage message so typos
 //! never silently run a multi-minute experiment with telemetry dropped.
 
+use dram_sim::spec::DramStandard;
 use sdimm_telemetry::recorder::{write_atomic, DEFAULT_FLIGHT_CAPACITY};
 use sdimm_telemetry::{
     CycleProfiler, FlightRecorderHub, Instruments, LiveProgress, MetricsRegistry, TraceSink,
@@ -62,6 +66,9 @@ pub struct TelemetryArgs {
     /// points and writes the byte-stable report JSON here (plus Perfetto
     /// verdict slices when a trace is captured).
     pub leakage: Option<String>,
+    /// Memory standard every DRAM channel in the experiment runs
+    /// (`--standard`; DDR3-1600 unless overridden).
+    pub standard: DramStandard,
 }
 
 impl TelemetryArgs {
@@ -92,12 +99,25 @@ impl TelemetryArgs {
                 }
                 "--live" => out.live = true,
                 "--leakage" => out.leakage = Some(take(&mut args, "--leakage")),
+                "--standard" => {
+                    let name = take(&mut args, "--standard");
+                    out.standard = DramStandard::parse(&name).unwrap_or_else(|| {
+                        let known: Vec<&str> = DramStandard::ALL.iter().map(|s| s.name()).collect();
+                        eprintln!(
+                            "{bin}: unknown memory standard `{name}` (known: {})",
+                            known.join(", ")
+                        );
+                        // Sanctioned exit: CLI usage error in a binary entry path.
+                        #[allow(clippy::disallowed_methods)]
+                        std::process::exit(2);
+                    });
+                }
                 other => {
                     eprintln!(
                         "{bin}: unknown argument `{other}`\n\
                          usage: {bin} [--metrics-json <path>] [--trace-json <path>] [--audit]\n\
                          {pad}[--flight-recorder <prefix>] [--profile-folded <path>] [--live]\n\
-                         {pad}[--leakage <report.json>]",
+                         {pad}[--leakage <report.json>] [--standard <name>]",
                         pad = " ".repeat("usage: ".len() + bin.len() + 1),
                     );
                     // Sanctioned exit: CLI usage error in a binary entry path.

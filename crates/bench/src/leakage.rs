@@ -12,6 +12,7 @@
 //!   and calls [`write_if_requested`] with its own protocol set, so any
 //!   figure's design points can be re-audited for timing leakage.
 
+use dram_sim::spec::DramStandard;
 use sdimm_leakage::{analyze_pair, AnalysisConfig, Capture, EntryReport, LeakageReport};
 use sdimm_system::machine::{MachineKind, SystemConfig};
 use sdimm_system::runner;
@@ -64,13 +65,14 @@ fn capture(cfg: &SystemConfig, trace: &Trace, warmup: usize, measure: usize) -> 
     }
 }
 
-/// Runs the machine × pair matrix at `scale` and assembles the report.
+/// Runs the machine × pair matrix at `scale` on `standard` and
+/// assembles the report.
 ///
 /// # Panics
 ///
 /// Panics if `scale` provides fewer data blocks than the paired
 /// generators address (cannot happen for the built-in scales).
-pub fn run_report(kinds: &[MachineKind], scale: Scale) -> LeakageReport {
+pub fn run_report(kinds: &[MachineKind], scale: Scale, standard: DramStandard) -> LeakageReport {
     let warmup = scale.warmup();
     let measure = scale.measure();
     let acfg = AnalysisConfig::default();
@@ -81,6 +83,7 @@ pub fn run_report(kinds: &[MachineKind], scale: Scale) -> LeakageReport {
             kind: *kind,
             oram: scale.oram(7),
             data_blocks: scale.data_blocks(),
+            standard,
             low_power: false,
             seed: 1,
         };
@@ -151,7 +154,7 @@ pub fn write_if_requested(
     let Some(path) = &telemetry.leakage else {
         return;
     };
-    let report = run_report(kinds, scale);
+    let report = run_report(kinds, scale, telemetry.standard);
     print_table(&report);
     report.annotate(&instruments.sink, ANNOTATION_PID);
     if let Err(e) = write_atomic(path, &report.to_json()) {

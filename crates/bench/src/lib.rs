@@ -23,6 +23,7 @@ pub mod cli;
 pub mod harness;
 pub mod leakage;
 pub mod live;
+pub mod provenance;
 pub mod scale;
 pub mod table;
 

@@ -36,6 +36,9 @@ struct QEntry {
     /// the scheduler scan walks one flat cache array instead of chasing
     /// `Vec<Rank> → Vec<Bank>` pointers per entry.
     bidx: u32,
+    /// Bank group (`bank / banks_per_group`), precomputed at enqueue so
+    /// the scan's tRRD_L/tCCD_L lookups are one array index, no division.
+    group: u16,
 }
 
 /// Sentinel for [`BankCache::open_row`]: the bank is precharged.
@@ -180,7 +183,7 @@ impl DramChannel {
     /// Creates a channel with an explicit address-interleaving scheme.
     pub fn with_interleave(cfg: ChannelConfig, scheme: Interleave) -> Self {
         let ranks = (0..cfg.topology.ranks)
-            .map(|_| Rank::new(cfg.topology.banks, &cfg.timing))
+            .map(|_| Rank::new(cfg.topology.banks, cfg.topology.bank_groups, &cfg.timing))
             .collect::<Vec<_>>();
         let n = ranks.len();
         let banks = cfg.topology.banks;
@@ -337,7 +340,8 @@ impl DramChannel {
         let req = Request { id, addr, kind: RequestKind::Read, arrival: self.now };
         let coords = self.mapper.decode(addr);
         self.rank_queued[coords.rank] += 1;
-        self.read_q.push_back(QEntry { req, coords, bidx: self.flat_bank(&coords) });
+        let (bidx, group) = (self.flat_bank(&coords), self.bank_group(&coords));
+        self.read_q.push_back(QEntry { req, coords, bidx, group });
         self.next_wake = self.now;
         Some(id)
     }
@@ -353,7 +357,8 @@ impl DramChannel {
         let req = Request { id, addr, kind: RequestKind::Write, arrival: self.now };
         let coords = self.mapper.decode(addr);
         self.rank_queued[coords.rank] += 1;
-        self.write_q.push_back(QEntry { req, coords, bidx: self.flat_bank(&coords) });
+        let (bidx, group) = (self.flat_bank(&coords), self.bank_group(&coords));
+        self.write_q.push_back(QEntry { req, coords, bidx, group });
         self.next_wake = self.now;
         Some(id)
     }
@@ -546,6 +551,11 @@ impl DramChannel {
     fn flat_bank(&self, coords: &Coords) -> u32 {
         debug_assert!(coords.row != NO_ROW, "row index collides with the idle sentinel");
         (coords.rank * self.cfg.topology.banks + coords.bank) as u32
+    }
+
+    /// Bank group for `coords` (0 on group-less standards).
+    fn bank_group(&self, coords: &Coords) -> u16 {
+        (coords.bank / self.cfg.topology.banks_per_group()) as u16
     }
 
     /// Re-mirrors one bank's timing state into the flat cache. Must be
@@ -778,6 +788,7 @@ impl DramChannel {
         let mut rank_filled: u8 = 0;
         let mut rank_ready = [0 as Cycle; MAX_RANKS];
         let mut rank_act_allowed = [0 as Cycle; MAX_RANKS];
+        let mut rank_cas_allowed = [0 as Cycle; MAX_RANKS];
         let mut rank_bus = [0 as Cycle; MAX_RANKS];
         // Banks touched by entries older than the current one. Every
         // supported topology fits rank×bank into 128 bits; the fallback
@@ -787,23 +798,31 @@ impl DramChannel {
             let bc = &self.bank_cache[e.bidx as usize];
             let bit = if (e.bidx as usize) < 128 { 1u128 << e.bidx } else { 0 };
             let r = e.coords.rank;
-            let (r_ready, r_act_allowed, r_bus) = if r < MAX_RANKS {
+            let (r_ready, r_act_allowed, r_cas_allowed, r_bus) = if r < MAX_RANKS {
                 if rank_filled & (1 << r) == 0 {
                     rank_ready[r] = self.ranks[r].ready_at();
                     rank_act_allowed[r] = self.ranks[r].next_act_allowed();
+                    rank_cas_allowed[r] = self.ranks[r].cas_allowed_rank();
                     rank_bus[r] = self.bus_ready_for(r, write);
                     rank_filled |= 1 << r;
                 }
-                (rank_ready[r], rank_act_allowed[r], rank_bus[r])
+                (rank_ready[r], rank_act_allowed[r], rank_cas_allowed[r], rank_bus[r])
             } else {
                 (
                     self.ranks[r].ready_at(),
                     self.ranks[r].next_act_allowed(),
+                    self.ranks[r].cas_allowed_rank(),
                     self.bus_ready_for(r, write),
                 )
             };
             if bc.open_row == e.coords.row {
-                let mut ready = bc.next_cas.max(r_ready);
+                // tCCD_S rank-wide plus tCCD_L within the bank group; the
+                // group bound is a single array load off the rank.
+                let mut ready = bc
+                    .next_cas
+                    .max(r_ready)
+                    .max(r_cas_allowed)
+                    .max(self.ranks[r].cas_group_bound(e.group as usize));
                 if !write {
                     ready = ready.max(self.rank_next_read[e.coords.rank]);
                 }
@@ -835,7 +854,10 @@ impl DramChannel {
                 // Idle bank: ACT candidate — unless a refresh is owed, in
                 // which case no new rows may open on that rank.
                 if !self.refresh_pending[e.coords.rank] {
-                    let ready = bc.next_act.max(r_act_allowed);
+                    let ready = bc
+                        .next_act
+                        .max(r_act_allowed)
+                        .max(self.ranks[r].act_group_bound(e.group as usize));
                     if ready <= self.now && act_choice.is_none() {
                         act_choice = Some(idx);
                     } else {
@@ -1060,7 +1082,7 @@ impl DramChannel {
                     e.coords.row,
                     &t,
                 );
-                self.ranks[e.coords.rank].record_activate(self.now, &t);
+                self.ranks[e.coords.rank].record_activate(self.now, e.group as usize, &t);
                 self.rank_open_banks[e.coords.rank] += 1;
                 self.sync_bank_cache(e.coords.rank, e.coords.bank);
                 self.energy.activates += 1;
@@ -1133,7 +1155,7 @@ impl DramChannel {
             self.energy.reads += 1;
         }
         self.sync_bank_cache(rank_idx, bank_idx);
-        self.ranks[rank_idx].record_activity(self.now);
+        self.ranks[rank_idx].record_cas(self.now, e.group as usize, &t);
 
         self.sink.instant(
             "dram.cmd",

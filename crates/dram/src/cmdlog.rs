@@ -56,8 +56,17 @@ impl DdrCmd {
     /// The flight-recorder event for this command on `channel`/`rank`.
     ///
     /// The recorder keeps only a compact `Copy` payload, so coordinates
-    /// are narrowed (banks and ranks are single-digit in every DDR3
-    /// topology this simulator models).
+    /// are narrowed. Every supported spec fits (at most 16 banks and
+    /// 32-bit row indices); the bounds are debug-asserted rather than
+    /// silently clamped, so a future spec whose coordinates overflow
+    /// the payload fails loudly in tests instead of aliasing banks or
+    /// rows inside black-box dumps.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `bank` exceeds `u8::MAX` or `row`
+    /// exceeds `u32::MAX`. Release builds saturate, keeping the
+    /// recorder crash-free on the fault path it exists to document.
     pub fn flight_kind(self, channel: u8, rank: u8) -> sdimm_telemetry::FlightEventKind {
         use sdimm_telemetry::{DdrCmdKind, FlightEventKind};
         let (kind, bank, row) = match self {
@@ -69,6 +78,14 @@ impl DdrCmd {
             DdrCmd::PowerDown => (DdrCmdKind::PowerDown, 0, 0),
             DdrCmd::PowerUp => (DdrCmdKind::PowerUp, 0, 0),
         };
+        debug_assert!(
+            bank <= u8::MAX as usize,
+            "flight-recorder bank coordinate {bank} exceeds the u8 payload"
+        );
+        debug_assert!(
+            row <= u32::MAX as usize,
+            "flight-recorder row coordinate {row} exceeds the u32 payload"
+        );
         FlightEventKind::DdrCmd {
             channel,
             rank,
@@ -152,6 +169,33 @@ impl CmdLog {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn flight_kind_keeps_in_range_coordinates_exact() {
+        use sdimm_telemetry::FlightEventKind;
+        // The largest coordinates any shipped spec produces (16 banks,
+        // 32768 rows) must round-trip unclamped.
+        let kind = DdrCmd::Act { bank: 15, row: 32767 }.flight_kind(1, 7);
+        match kind {
+            FlightEventKind::DdrCmd { channel, rank, bank, row, .. } => {
+                assert_eq!((channel, rank, bank, row), (1, 7, 15, 32767));
+            }
+            other => panic!("unexpected flight event {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the u8 payload")]
+    fn flight_kind_rejects_bank_beyond_the_payload() {
+        // Regression for the silent `.min(u8::MAX)` clamp: an
+        // out-of-range bank used to alias into bank 255 inside
+        // black-box dumps; it must fail loudly instead.
+        let _ = DdrCmd::Act { bank: 256, row: 0 }.flight_kind(0, 0);
+        // debug_assert compiles out of release builds; force the panic
+        // so the should_panic expectation holds either way.
+        #[cfg(not(debug_assertions))]
+        panic!("flight-recorder bank coordinate 256 exceeds the u8 payload");
+    }
 
     #[test]
     fn disabled_log_records_nothing() {

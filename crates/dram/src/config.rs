@@ -1,18 +1,32 @@
-//! Configuration for the DDR3 memory-system model.
+//! Configuration for the DRAM memory-system model.
 //!
 //! The defaults reproduce Table II of the paper: a Micron MT41J256M8-class
 //! x8 part, 8 banks/chip, 32768 rows/bank, an 8 KB row buffer per rank,
 //! 9 devices per 72-bit rank, up to 8 ranks per channel, and a 1600 MT/s
 //! (800 MHz clock) bus. All timing values are expressed in memory-clock
 //! cycles (tCK = 1.25 ns at DDR3-1600).
+//!
+//! Standards other than DDR3 are described by [`crate::spec::DramSpec`]
+//! tables; [`ChannelConfig::table2_for`] / [`ChannelConfig::sdimm_internal_for`]
+//! build the equivalent channel configurations for any supported
+//! [`crate::spec::DramStandard`].
+
+use crate::spec::DramStandard;
 
 /// A point in simulated time, in memory-clock cycles (800 MHz ⇒ 1.25 ns).
 pub type Cycle = u64;
 
-/// DDR3 timing constraints, in memory-clock cycles.
+/// DRAM timing constraints, in memory-clock cycles.
 ///
 /// Field names follow the JEDEC parameter names. Only the constraints that
 /// affect scheduling decisions at cache-line granularity are modeled.
+///
+/// For standards with bank groups (DDR4, HBM2) the JEDEC short/long pairs
+/// are split: `t_rrd`/`t_ccd` hold the *short* (different-bank-group)
+/// values and `t_rrd_l`/`t_ccd_l` the *long* (same-bank-group) values.
+/// Standards without bank groups (DDR3, LPDDR4) set long equal to short,
+/// which makes the bank-group constraint classes degenerate exactly to
+/// the classic rank-wide rules.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Timing {
     /// CAS (read) latency: RD command to first data beat.
@@ -27,8 +41,12 @@ pub struct Timing {
     pub t_ras: Cycle,
     /// ACT to ACT same bank (row cycle time).
     pub t_rc: Cycle,
-    /// ACT to ACT different bank, same rank.
+    /// ACT to ACT different bank, same rank (tRRD_S where bank groups
+    /// exist: the constraint between *different* bank groups).
     pub t_rrd: Cycle,
+    /// ACT to ACT within the *same* bank group (tRRD_L). Equal to
+    /// [`Timing::t_rrd`] for standards without bank groups.
+    pub t_rrd_l: Cycle,
     /// Four-activate window per rank.
     pub t_faw: Cycle,
     /// Write recovery: end of write burst to PRE.
@@ -37,9 +55,16 @@ pub struct Timing {
     pub t_wtr: Cycle,
     /// Read-to-precharge delay.
     pub t_rtp: Cycle,
-    /// CAS-to-CAS delay (burst gap on the data bus).
+    /// CAS-to-CAS delay (tCCD_S where bank groups exist: the burst gap
+    /// between *different* bank groups).
     pub t_ccd: Cycle,
-    /// Data burst duration (BL8 on a x64 bus ⇒ 4 clocks).
+    /// CAS-to-CAS delay within the *same* bank group (tCCD_L). Equal to
+    /// [`Timing::t_ccd`] for standards without bank groups.
+    pub t_ccd_l: Cycle,
+    /// Data burst duration in clocks. Derived from the burst length on a
+    /// double-data-rate bus (`burst_length / 2`, e.g. BL8 ⇒ 4 clocks);
+    /// [`crate::spec::DramSpec::validate`] rejects tables where this
+    /// field drifts from the geometry it is derived from.
     pub t_burst: Cycle,
     /// Rank-to-rank switching penalty on the shared data bus.
     pub t_rtrs: Cycle,
@@ -64,11 +89,13 @@ impl Timing {
             t_ras: 28,
             t_rc: 39,
             t_rrd: 6,
+            t_rrd_l: 6,
             t_faw: 32,
             t_wr: 12,
             t_wtr: 6,
             t_rtp: 6,
             t_ccd: 4,
+            t_ccd_l: 4,
             t_burst: 4,
             t_rtrs: 2,
             t_refi: 6240,
@@ -88,11 +115,13 @@ impl Timing {
             t_ras: 15,
             t_rc: 21,
             t_rrd: 4,
+            t_rrd_l: 4,
             t_faw: 20,
             t_wr: 6,
             t_wtr: 4,
             t_rtp: 4,
             t_ccd: 4,
+            t_ccd_l: 4,
             t_burst: 4,
             t_rtrs: 2,
             t_refi: 3120,
@@ -125,8 +154,11 @@ pub struct Topology {
     /// Ranks on this channel (Table II: 8 ranks per channel, i.e. 2 DIMMs
     /// of 4 ranks; an SDIMM's internal channel has 4).
     pub ranks: usize,
-    /// Banks per rank (8 for DDR3).
+    /// Banks per rank (8 for DDR3, 16 for DDR4/HBM2).
     pub banks: usize,
+    /// Bank groups per rank (1 for DDR3/LPDDR4, 4 for DDR4/HBM2). Banks
+    /// are split evenly: bank `b` belongs to group `b / banks_per_group`.
+    pub bank_groups: usize,
     /// Rows per bank (32768 in Table II).
     pub rows: usize,
     /// Row-buffer (page) size in bytes per rank (8 KB in Table II).
@@ -138,12 +170,31 @@ pub struct Topology {
 impl Topology {
     /// The Table II channel: 8 ranks × 8 banks × 32768 rows × 8 KB rows.
     pub fn table2_channel() -> Self {
-        Topology { ranks: 8, banks: 8, rows: 32768, row_bytes: 8192, line_bytes: 64 }
+        Topology {
+            ranks: 8,
+            banks: 8,
+            bank_groups: 1,
+            rows: 32768,
+            row_bytes: 8192,
+            line_bytes: 64,
+        }
     }
 
     /// One SDIMM's internal channel: a quad-rank DIMM.
     pub fn sdimm_internal() -> Self {
-        Topology { ranks: 4, banks: 8, rows: 32768, row_bytes: 8192, line_bytes: 64 }
+        Topology {
+            ranks: 4,
+            banks: 8,
+            bank_groups: 1,
+            rows: 32768,
+            row_bytes: 8192,
+            line_bytes: 64,
+        }
+    }
+
+    /// Banks in each bank group (all banks for group-less standards).
+    pub fn banks_per_group(&self) -> usize {
+        self.banks / self.bank_groups.max(1)
     }
 
     /// Cache lines per row buffer.
@@ -277,6 +328,10 @@ pub enum ChannelLocation {
 /// Complete configuration for one simulated channel.
 #[derive(Debug, Clone, Default)]
 pub struct ChannelConfig {
+    /// The memory standard this channel models. Carried alongside the
+    /// expanded `timing`/`topology` so replay auditors and report
+    /// provenance can name the spec the channel actually ran.
+    pub standard: DramStandard,
     /// Timing constraints.
     pub timing: Timing,
     /// Channel geometry.
@@ -313,6 +368,7 @@ impl ChannelConfig {
     /// The Table II baseline channel configuration.
     pub fn table2() -> Self {
         ChannelConfig {
+            standard: DramStandard::Ddr3_1600,
             timing: Timing::ddr3_1600(),
             topology: Topology::table2_channel(),
             scheduler: SchedulerPolicy::FrFcfs,
@@ -334,6 +390,20 @@ impl ChannelConfig {
             ..ChannelConfig::table2()
         }
     }
+
+    /// The Table II-class main channel (8 ranks, off-DIMM) for any
+    /// supported memory standard. `table2_for(DramStandard::Ddr3_1600)`
+    /// is identical to [`ChannelConfig::table2`].
+    pub fn table2_for(standard: DramStandard) -> Self {
+        standard.spec().main_channel()
+    }
+
+    /// The SDIMM internal channel (4 ranks, on-DIMM) for any supported
+    /// memory standard. `sdimm_internal_for(DramStandard::Ddr3_1600)` is
+    /// identical to [`ChannelConfig::sdimm_internal`].
+    pub fn sdimm_internal_for(standard: DramStandard) -> Self {
+        standard.spec().sdimm_internal_channel()
+    }
 }
 
 #[cfg(test)]
@@ -345,8 +415,23 @@ mod tests {
         let t = Timing::ddr3_1600();
         assert!(t.t_rc >= t.t_ras + t.t_rp);
         assert!(t.t_ras >= t.t_rcd);
-        assert!(t.t_faw >= 4 * t.t_rrd / 2, "FAW should bind beyond tRRD");
+        // The four-activate window must cover four tRRD-spaced ACTs. An
+        // earlier version of this assert wrote `4 * t.t_rrd / 2`, which
+        // precedence-reduces to 2×tRRD and let a broken table pass; the
+        // full relationship (and more) is also enforced for every spec
+        // table by `DramSpec::validate`.
+        assert!(t.t_faw >= 4 * t.t_rrd, "FAW must cover four tRRD-spaced ACTs");
         assert!(t.cl >= t.cwl);
+    }
+
+    #[test]
+    fn faw_assert_uses_the_full_four_activate_window() {
+        // Regression for the precedence bug: a table whose tFAW covers
+        // only 2×tRRD must fail the JEDEC relationship.
+        let mut t = Timing::ddr3_1600();
+        t.t_faw = 2 * t.t_rrd + 1;
+        assert!(t.t_faw >= 4 * t.t_rrd / 2, "the buggy form accepted this table");
+        assert!(t.t_faw < 4 * t.t_rrd, "the fixed form must reject it");
     }
 
     #[test]

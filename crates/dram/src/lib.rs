@@ -39,6 +39,7 @@ pub mod config;
 pub mod power;
 pub mod rank;
 pub mod request;
+pub mod spec;
 pub mod stats;
 
 use channel::DramChannel;

@@ -26,8 +26,16 @@ pub struct Rank {
     act_window: [Option<Cycle>; 4],
     /// tFAW value cached from the timing config for bound computation.
     t_faw: Cycle,
-    /// Earliest next ACT due to tRRD.
+    /// Earliest next ACT due to tRRD (tRRD_S: the any-pair spacing).
     next_act_rrd: Cycle,
+    /// Earliest next ACT per bank group due to tRRD_L. One entry for
+    /// group-less standards, where it mirrors `next_act_rrd` exactly
+    /// (tRRD_L = tRRD_S), adding no constraint.
+    group_next_act: Vec<Cycle>,
+    /// Earliest next CAS rank-wide due to tCCD (tCCD_S).
+    next_cas_ccd: Cycle,
+    /// Earliest next CAS per bank group due to tCCD_L.
+    group_next_cas: Vec<Cycle>,
     /// Earliest next command of any kind (refresh / power-down exit gate).
     ready_at: Cycle,
     /// Next scheduled refresh.
@@ -42,13 +50,18 @@ pub struct Rank {
 }
 
 impl Rank {
-    /// Creates a rank with `banks` idle banks; first refresh due at `t_refi`.
-    pub fn new(banks: usize, t: &Timing) -> Self {
+    /// Creates a rank with `banks` idle banks split into `bank_groups`
+    /// groups; first refresh due at `t_refi`.
+    pub fn new(banks: usize, bank_groups: usize, t: &Timing) -> Self {
+        let groups = bank_groups.max(1);
         Rank {
             banks: vec![Bank::new(); banks],
             act_window: [None; 4],
             t_faw: t.t_faw,
             next_act_rrd: 0,
+            group_next_act: vec![0; groups],
+            next_cas_ccd: 0,
+            group_next_cas: vec![0; groups],
             ready_at: 0,
             next_refresh: t.t_refi,
             power: PowerState::Active,
@@ -111,6 +124,26 @@ impl Rank {
         self.next_act_rrd.max(faw_bound).max(self.ready_at)
     }
 
+    /// Additional ACT bound for a bank in `group` (tRRD_L). Combined
+    /// with [`Rank::next_act_allowed`] by the scheduler; degenerate
+    /// (equal to the rank-wide tRRD bound) without bank groups.
+    pub fn act_group_bound(&self, group: usize) -> Cycle {
+        self.group_next_act[group]
+    }
+
+    /// Earliest CAS rank-wide (tCCD_S). For every shipped spec this is
+    /// implied by data-bus occupancy (tCCD_S = tBURST), but it is
+    /// enforced explicitly so a future table with tCCD_S > tBURST stays
+    /// correct.
+    pub fn cas_allowed_rank(&self) -> Cycle {
+        self.next_cas_ccd
+    }
+
+    /// Additional CAS bound for a bank in `group` (tCCD_L).
+    pub fn cas_group_bound(&self, group: usize) -> Cycle {
+        self.group_next_cas[group]
+    }
+
     /// Earliest cycle any command may issue to this rank.
     pub fn ready_at(&self) -> Cycle {
         self.ready_at
@@ -121,18 +154,29 @@ impl Rank {
         self.banks.iter().all(|b| matches!(b.state(), crate::bank::RowState::Idle))
     }
 
-    /// Records an ACT at `now` (caller has already validated bank timing).
+    /// Records an ACT at `now` in bank group `group` (caller has already
+    /// validated bank timing).
     ///
     /// The `debug_assert` below compiles out of release builds, so it is
     /// not the enforcement mechanism for tRRD/tFAW — release-mode
     /// coverage comes from the `sdimm-audit` replay checker, which
     /// re-validates both constraints on the captured command stream.
-    pub fn record_activate(&mut self, now: Cycle, t: &Timing) {
-        debug_assert!(now >= self.next_act_allowed());
+    pub fn record_activate(&mut self, now: Cycle, group: usize, t: &Timing) {
+        debug_assert!(now >= self.next_act_allowed().max(self.act_group_bound(group)));
         self.next_act_rrd = now.saturating_add(t.t_rrd);
+        self.group_next_act[group] = now.saturating_add(t.t_rrd_l);
         self.act_window.rotate_left(1);
         self.act_window[3] = Some(now);
         self.last_activity = now;
+    }
+
+    /// Records a CAS at `now` in bank group `group`, arming the
+    /// tCCD_S/tCCD_L spacing for subsequent CAS commands.
+    pub fn record_cas(&mut self, now: Cycle, group: usize, t: &Timing) {
+        debug_assert!(now >= self.cas_allowed_rank().max(self.cas_group_bound(group)));
+        self.next_cas_ccd = now.saturating_add(t.t_ccd);
+        self.group_next_cas[group] = now.saturating_add(t.t_ccd_l);
+        self.last_activity = self.last_activity.max(now);
     }
 
     /// Records any non-ACT command activity at `now` (CAS, PRE).
@@ -201,11 +245,11 @@ mod tests {
     #[test]
     fn four_activates_trigger_faw() {
         let tm = t();
-        let mut r = Rank::new(8, &tm);
+        let mut r = Rank::new(8, 1, &tm);
         let mut now = 0;
         for _ in 0..4 {
             now = now.max(r.next_act_allowed());
-            r.record_activate(now, &tm);
+            r.record_activate(now, 0, &tm);
             now += tm.t_rrd;
         }
         // The 5th ACT must wait until first ACT + tFAW.
@@ -215,15 +259,52 @@ mod tests {
     #[test]
     fn rrd_spacing_enforced() {
         let tm = t();
-        let mut r = Rank::new(8, &tm);
-        r.record_activate(10, &tm);
+        let mut r = Rank::new(8, 1, &tm);
+        r.record_activate(10, 0, &tm);
         assert!(r.next_act_allowed() >= 10 + tm.t_rrd);
+    }
+
+    #[test]
+    fn same_group_acts_wait_trrd_l_while_cross_group_waits_trrd_s() {
+        let mut tm = t();
+        tm.t_rrd = 4;
+        tm.t_rrd_l = 6;
+        let mut r = Rank::new(16, 4, &tm);
+        r.record_activate(100, 0, &tm);
+        // Cross-group: only the short spacing binds.
+        assert_eq!(r.next_act_allowed().max(r.act_group_bound(1)), 104);
+        // Same-group: the long spacing binds.
+        assert_eq!(r.next_act_allowed().max(r.act_group_bound(0)), 106);
+    }
+
+    #[test]
+    fn same_group_cas_waits_tccd_l_while_cross_group_waits_tccd_s() {
+        let mut tm = t();
+        tm.t_ccd = 4;
+        tm.t_ccd_l = 6;
+        let mut r = Rank::new(16, 4, &tm);
+        r.record_cas(50, 2, &tm);
+        assert_eq!(r.cas_allowed_rank().max(r.cas_group_bound(0)), 54);
+        assert_eq!(r.cas_allowed_rank().max(r.cas_group_bound(2)), 56);
+    }
+
+    #[test]
+    fn single_group_long_bounds_mirror_the_short_ones() {
+        // DDR3-shape invariant: with one bank group and long == short,
+        // the group bounds never exceed the rank-wide bounds, so the
+        // bank-group constraint classes add nothing to the schedule.
+        let tm = t();
+        let mut r = Rank::new(8, 1, &tm);
+        r.record_activate(10, 0, &tm);
+        assert!(r.act_group_bound(0) <= r.next_act_allowed());
+        r.record_cas(40, 0, &tm);
+        assert_eq!(r.cas_group_bound(0), r.cas_allowed_rank());
     }
 
     #[test]
     fn refresh_schedule_advances() {
         let tm = t();
-        let mut r = Rank::new(8, &tm);
+        let mut r = Rank::new(8, 1, &tm);
         assert!(!r.refresh_due(0));
         assert!(r.refresh_due(tm.t_refi));
         r.begin_refresh(tm.t_refi, &tm);
@@ -234,7 +315,7 @@ mod tests {
     #[test]
     fn power_down_round_trip_accumulates_residency() {
         let tm = t();
-        let mut r = Rank::new(8, &tm);
+        let mut r = Rank::new(8, 1, &tm);
         r.enter_power_down(100);
         assert!(matches!(r.power_state(), PowerState::PowerDown { .. }));
         assert_eq!(r.powerdown_cycles(600), 500);
@@ -247,7 +328,7 @@ mod tests {
     #[test]
     fn exit_power_down_when_active_is_noop() {
         let tm = t();
-        let mut r = Rank::new(8, &tm);
+        let mut r = Rank::new(8, 1, &tm);
         let before = r.ready_at();
         assert_eq!(r.exit_power_down(50, &tm), before);
         assert_eq!(r.powerdown_entries(), 0);
@@ -257,7 +338,7 @@ mod tests {
     #[cfg_attr(debug_assertions, should_panic(expected = "power-down with open banks"))]
     fn power_down_with_open_bank_panics_in_debug() {
         let tm = t();
-        let mut r = Rank::new(8, &tm);
+        let mut r = Rank::new(8, 1, &tm);
         r.bank_mut(0).activate(0, 1, &tm);
         r.enter_power_down(5);
         // In release builds debug_assert compiles out; force the panic so

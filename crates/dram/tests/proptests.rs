@@ -6,6 +6,7 @@ use dram_sim::address::{AddressMapper, Interleave};
 use dram_sim::channel::DramChannel;
 use dram_sim::cmdlog::CmdLog;
 use dram_sim::config::{ChannelConfig, SchedulerPolicy, Topology};
+use dram_sim::spec::DramStandard;
 use dram_sim::MemorySystem;
 use proptest::prelude::*;
 
@@ -14,6 +15,16 @@ fn quiet() -> ChannelConfig {
     cfg.refresh_enabled = false;
     cfg
 }
+
+/// The spec tables the engine-level properties range over: one
+/// group-less DDR3 baseline plus every new standard (bank-grouped DDR4
+/// and HBM2, wide-burst LPDDR4).
+const STANDARDS: [DramStandard; 4] = [
+    DramStandard::Ddr3_1600,
+    DramStandard::Ddr4_2400,
+    DramStandard::Lpddr4_3200,
+    DramStandard::Hbm2,
+];
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
@@ -113,15 +124,17 @@ proptest! {
     /// The event-driven core's defining property: `tick(a); tick(b)` is
     /// byte-identical to `tick(a+b)` — same DDR command stream, same
     /// stats (including lazily-accrued stalled cycles), same
-    /// completions — for arbitrary slicings, with refresh on or off.
+    /// completions — for arbitrary slicings, with refresh on or off,
+    /// on every supported memory standard.
     #[test]
     fn channel_tick_is_split_invariant(
         lines in proptest::collection::vec(0u64..200_000, 1..32),
         writes in proptest::collection::vec(any::<bool>(), 32),
         splits in proptest::collection::vec(1u64..7_000, 2..10),
         refresh in any::<bool>(),
+        spec_pick in 0usize..4,
     ) {
-        let mut cfg = ChannelConfig::table2();
+        let mut cfg = ChannelConfig::table2_for(STANDARDS[spec_pick]);
         cfg.refresh_enabled = refresh;
         let (log_a, log_b) = (CmdLog::enabled(), CmdLog::enabled());
         let mut a = DramChannel::new(cfg.clone());
@@ -157,8 +170,9 @@ proptest! {
         writes in proptest::collection::vec(any::<bool>(), 32),
         deadline in 1u64..40_000,
         refresh in any::<bool>(),
+        spec_pick in 0usize..4,
     ) {
-        let mut cfg = ChannelConfig::table2();
+        let mut cfg = ChannelConfig::table2_for(STANDARDS[spec_pick]);
         cfg.refresh_enabled = refresh;
         let (log_a, log_c) = (CmdLog::enabled(), CmdLog::enabled());
         let mut a = DramChannel::new(cfg.clone());

@@ -7,6 +7,7 @@
 //! (INDEP-2/SPLIT-2 on one channel, INDEP-4/SPLIT-4/INDEP-SPLIT on two).
 
 use dram_sim::config::ChannelConfig;
+use dram_sim::spec::DramStandard;
 use oram::path_oram::PathOram;
 use oram::types::{BlockId, Op, OramConfig};
 use sdimm::frontend::Frontend;
@@ -89,17 +90,25 @@ impl MachineKind {
         }
     }
 
-    /// The per-channel DRAM configuration this machine runs: Table II
-    /// main-memory channels for the baselines, the SDIMM-internal
-    /// channel otherwise, refresh enabled in both. Exposed so a replay
-    /// auditor can rebuild the exact constraint table the channels ran
-    /// under.
+    /// The per-channel DRAM configuration this machine runs on the
+    /// default (Table II DDR3-1600) standard. Shorthand for
+    /// [`channel_config_for`](Self::channel_config_for) with
+    /// [`DramStandard::default`].
     pub fn channel_config(&self) -> ChannelConfig {
+        self.channel_config_for(DramStandard::default())
+    }
+
+    /// The per-channel DRAM configuration this machine runs under
+    /// `standard`: main-memory channels for the baselines, the
+    /// SDIMM-internal channel otherwise, refresh enabled in both.
+    /// Exposed so a replay auditor can rebuild the exact constraint
+    /// table the channels ran under.
+    pub fn channel_config_for(&self, standard: DramStandard) -> ChannelConfig {
         let mut ch_cfg = match self {
             MachineKind::NonSecure { .. }
             | MachineKind::PathOram { .. }
-            | MachineKind::Freecursive { .. } => ChannelConfig::table2(),
-            _ => ChannelConfig::sdimm_internal(),
+            | MachineKind::Freecursive { .. } => ChannelConfig::table2_for(standard),
+            _ => ChannelConfig::sdimm_internal_for(standard),
         };
         ch_cfg.refresh_enabled = true;
         ch_cfg
@@ -115,6 +124,9 @@ pub struct SystemConfig {
     pub oram: OramConfig,
     /// Logical data blocks the CPU addresses.
     pub data_blocks: u64,
+    /// Memory standard every DRAM channel runs (timing, geometry, and
+    /// burst shape come from its [`DramSpec`](dram_sim::spec::DramSpec)).
+    pub standard: DramStandard,
     /// Enable the low-power rank-localized scheme.
     pub low_power: bool,
     /// Deterministic seed.
@@ -129,6 +141,7 @@ impl SystemConfig {
             kind,
             oram: OramConfig { levels: 16, cached_levels: 4, ..OramConfig::default() },
             data_blocks: 1 << 14,
+            standard: DramStandard::default(),
             low_power: false,
             seed: 1,
         }
@@ -175,15 +188,17 @@ impl Machine {
         let n_exec = kind.executor_channels();
 
         let (backend, frontend, executor) = match kind {
-            MachineKind::NonSecure { channels } => {
-                (Backend::NonSecure, None, Executor::new(channels, kind.channel_config(), &[]))
-            }
+            MachineKind::NonSecure { channels } => (
+                Backend::NonSecure,
+                None,
+                Executor::new(channels, kind.channel_config_for(cfg.standard), &[]),
+            ),
             MachineKind::PathOram { channels } => {
                 let oram = PathOram::new(cfg.oram.clone(), cfg.data_blocks, cfg.seed);
                 (
                     Backend::PathOramPlain { oram, channels },
                     None,
-                    Executor::new(channels, kind.channel_config(), &[]),
+                    Executor::new(channels, kind.channel_config_for(cfg.standard), &[]),
                 )
             }
             MachineKind::Freecursive { channels } => {
@@ -193,7 +208,7 @@ impl Machine {
                 (
                     Backend::Freecursive { oram, channels },
                     Some(frontend),
-                    Executor::new(channels, kind.channel_config(), &[]),
+                    Executor::new(channels, kind.channel_config_for(cfg.standard), &[]),
                 )
             }
             MachineKind::Independent { sdimms, channels } => {
@@ -203,7 +218,7 @@ impl Machine {
                 icfg.low_power = cfg.low_power;
                 let oram = IndependentOram::new(icfg, total, cfg.seed);
                 let bus_map = bus_assignment(sdimms, channels);
-                let mut ex = Executor::new(n_exec, kind.channel_config(), &bus_map);
+                let mut ex = Executor::new(n_exec, kind.channel_config_for(cfg.standard), &bus_map);
                 ex.set_lowpower_ranks(cfg.low_power);
                 (Backend::Independent(oram), Some(frontend), ex)
             }
@@ -214,7 +229,7 @@ impl Machine {
                 scfg.low_power = cfg.low_power;
                 let oram = SplitOram::new(scfg, total, cfg.seed);
                 let bus_map = bus_assignment(ways, channels);
-                let mut ex = Executor::new(n_exec, kind.channel_config(), &bus_map);
+                let mut ex = Executor::new(n_exec, kind.channel_config_for(cfg.standard), &bus_map);
                 ex.set_lowpower_ranks(cfg.low_power);
                 (Backend::Split(oram), Some(frontend), ex)
             }
@@ -225,7 +240,7 @@ impl Machine {
                 ccfg.low_power = cfg.low_power;
                 let oram = IndepSplitOram::new(ccfg, total, cfg.seed);
                 let bus_map = bus_assignment(groups * ways, channels);
-                let mut ex = Executor::new(n_exec, kind.channel_config(), &bus_map);
+                let mut ex = Executor::new(n_exec, kind.channel_config_for(cfg.standard), &bus_map);
                 ex.set_lowpower_ranks(cfg.low_power);
                 (Backend::IndepSplit(oram), Some(frontend), ex)
             }

@@ -521,7 +521,7 @@ fn run_inner(
     metrics.histogram_set("run.miss_latency", miss_latency.clone());
     metrics.gauge_set("run.energy_nj", energy.total_nj());
     let capture = capture_cmds.then(|| AuditCapture {
-        channel_cfg: cfg.kind.channel_config(),
+        channel_cfg: cfg.kind.channel_config_for(cfg.standard),
         streams: cmd_logs.iter().map(|l| l.take()).collect(),
     });
     let observables = if capture_obs {

@@ -175,6 +175,14 @@ pub const ALL: [&str; 10] = [
 /// Workloads the paper singles out as high-MLP (Independent-friendly).
 pub const HIGH_MLP: [&str; 2] = ["gromacs-like", "omnetpp-like"];
 
+/// The protocol-crossover figure's workload subset: one
+/// pointer-chasing/latency-bound profile, one high-MLP profile, and one
+/// streaming profile — enough variety to expose how each memory
+/// standard's burst shape and bank-group penalties move the protocol
+/// slowdowns, without rerunning the full ten-workload matrix per
+/// standard.
+pub const CROSSOVER: [&str; 3] = ["mcf-like", "gromacs-like", "lbm-like"];
+
 /// Workloads the paper singles out as latency-bound (Split-friendly).
 pub const LATENCY_BOUND: [&str; 1] = ["GemsFDTD-like"];
 

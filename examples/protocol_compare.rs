@@ -8,6 +8,7 @@
 //! where `workload` is one of the ten `*-like` names (default
 //! `gromacs-like`).
 
+use dram_sim::spec::DramStandard;
 use sdimm_system::machine::{MachineKind, SystemConfig};
 use sdimm_system::runner::run;
 use workloads::spec;
@@ -47,6 +48,7 @@ fn main() {
                 ..oram::types::OramConfig::default()
             },
             data_blocks: 1 << 14,
+            standard: DramStandard::default(),
             low_power: false,
             seed: 1,
         };

@@ -42,6 +42,22 @@ fig6_t1=$(date +%s%N)
 echo "audited_quick_fig6_wall_ms=$(( (fig6_t1 - fig6_t0) / 1000000 ))" \
   | tee target/quick-fig6.timing.txt
 
+echo "==> audited quick-scale fig6 on DDR4-2400 (spec-driven backend: bank-group replay must be clean)"
+SDIMM_BENCH_SCALE=quick cargo run --release -q -p sdimm-bench --bin fig6 -- \
+  --audit --standard ddr4_2400 > /dev/null
+
+echo "==> protocol-crossover figure (all four standards; byte-stable across runs)"
+# Two runs from sibling directories, compared byte-for-byte: the report
+# must be a pure function of the simulated streams (provenance + cycles,
+# no wall clock). The compared copy is kept as a CI artifact.
+cargo build --release -q -p sdimm-bench --bin crossover
+mkdir -p target/crossover-1 target/crossover-2
+(cd target/crossover-1 && SDIMM_BENCH_SCALE=quick ../../target/release/crossover > /dev/null)
+(cd target/crossover-2 && SDIMM_BENCH_SCALE=quick ../../target/release/crossover > /dev/null)
+cmp target/crossover-1/BENCH_crossover.json target/crossover-2/BENCH_crossover.json \
+  || { echo "crossover reports differ between runs — figure is nondeterministic"; exit 1; }
+cp target/crossover-1/BENCH_crossover.json target/BENCH_crossover.json
+
 echo "==> simulator-throughput + crypto perf gates (bench_compare vs committed baselines)"
 cargo run --release -q -p sdimm-bench --bin bench_compare
 

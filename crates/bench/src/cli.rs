@@ -234,7 +234,6 @@ impl TelemetryArgs {
         );
         println!("cycle attribution (top {PROFILE_TOP_K}):");
         for (stack, weight) in profiler.top_k(PROFILE_TOP_K) {
-            // lint: literal-ok(percentage scale factor, not a timing value)
             let share = if sampled > 0 { weight as f64 / sampled as f64 * 100.0 } else { 0.0 };
             println!("  {weight:>14} cyc  {share:5.1}%  {stack}");
         }

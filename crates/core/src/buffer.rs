@@ -373,7 +373,9 @@ impl WireSystem {
 
         // APPEND to every SDIMM: the real block to its new home (when it
         // migrated), dummies everywhere else.
+        // lint: declassify(the SDIMM already disclosed the fresh remap leaf over the sealed link; routing stays traffic-uniform because the APPEND round sends one sealed message to every SDIMM)
         let dest = (result.new_global_leaf.0 / self.cpu.local_leaves) as usize;
+        // lint: declassify(same disclosure as `dest` above: the remap leaf is protocol-public once returned by the SDIMM)
         let local_new = Leaf(result.new_global_leaf.0 % self.cpu.local_leaves);
         for i in 0..self.buffers.len() {
             let msg = if i == dest && dest != home {

@@ -165,7 +165,14 @@ fn sub_word(w: u32) -> u32 {
 
 /// One block through the T-table cipher. `#[inline(always)]` so batched
 /// callers keep `rk` in registers across iterations.
+///
+/// T-table AES is data-dependent table indexing by construction; it
+/// stands in for the Secure DIMM controller's hardware AES engine, whose
+/// latency is fixed. The software tables' cache behavior is outside the
+/// simulator's timing model, and the returned ciphertext is public under
+/// IND-CPA.
 #[inline(always)]
+// lint: declassify(models a fixed-latency hardware AES engine; T-table cache behavior is outside the simulated timing model and ciphertext is public under IND-CPA)
 fn encrypt_one(rk: &[u32; 4 * (ROUNDS + 1)], block: [u8; BLOCK_SIZE]) -> [u8; BLOCK_SIZE] {
     // State words are big-endian columns: word i holds bytes 4i..4i+4.
     // Slice-based conversion compiles to 4-byte loads + byte swaps,

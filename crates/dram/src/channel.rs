@@ -1109,7 +1109,6 @@ impl DramChannel {
                 );
                 true
             }
-            // lint: panic-ok(invariant: Idle returned above)
             Decision::Idle { .. } => unreachable!("handled before the issue arms"),
         }
     }

@@ -1,0 +1,11 @@
+//! L0 unused-waiver seeds: a waiver that suppresses nothing and a
+//! `// lint: secret` annotation bound to no declaration are both dead
+//! security documentation and must be flagged.
+
+pub fn add(a: u64, b: u64) -> u64 {
+    // lint: wrap-ok(nothing on this line wraps)
+    a + b
+}
+
+// lint: secret
+pub const WAYS: u64 = 4;

@@ -1,0 +1,36 @@
+//! L6 seed: every direct sink kind fed by a built-in secret-name source.
+//! Each numbered site below must produce exactly one finding.
+
+pub fn lookup(leaf: u64, table: &[u64]) -> u64 {
+    // 1. secret slice index.
+    table[leaf as usize]
+}
+
+pub fn compare(subkey: u8) -> bool {
+    // 2. secret branch condition.
+    if subkey == 0x2a {
+        return true;
+    }
+    false
+}
+
+pub fn walk(leaf: u64) -> u64 {
+    let mut acc = 0;
+    // 3. secret range bound: iteration count observable.
+    for i in 0..leaf {
+        acc += i;
+    }
+    acc
+}
+
+pub fn shard(leaf: u64, ways: u64) -> u64 {
+    // 4. secret `%` operand: variable-time on real dividers.
+    leaf % ways
+}
+
+pub fn trace(leaf_ctr: u64) -> String {
+    // 5. secret flows into a format macro through an innocuous rebind
+    // (a name-matched ident in the format would be L3's report, not L6's).
+    let snapshot = leaf_ctr;
+    format!("counter now {snapshot}")
+}

@@ -1,0 +1,54 @@
+//! L6 fixed/waived copy of `l6_flow.rs`: every site either goes through
+//! a constant-time primitive or carries a written invariant. Must be clean.
+
+pub fn lookup(leaf: u64, table: &[u64]) -> u64 {
+    // Oblivious scan: every slot is touched, selection is branch-free.
+    let mut out = 0;
+    for (i, v) in table.iter().enumerate() {
+        out = ct_select(ct_eq_u64(i as u64, leaf), *v, out);
+    }
+    out
+}
+
+pub fn compare(subkey: u8) -> bool {
+    // Constant-time equality instead of an early-exit branch.
+    ct_eq(&[subkey], &[0x2a])
+}
+
+pub fn walk(leaf: u64, leaf_count: u64) -> u64 {
+    let mut acc = 0;
+    // Padded to the public worst case; the secret picks via masking.
+    for i in 0..leaf_count {
+        acc += ct_select(ct_lt_u64(i, leaf), i, 0);
+    }
+    acc
+}
+
+pub fn shard(leaf: u64, ways: u64) -> u64 {
+    // lint: declassify(this shard index is the revealed post-remap path the protocol discloses to memory anyway)
+    leaf % ways
+}
+
+pub fn trace(leaf_ctr: u64) -> String {
+    let snapshot = leaf_ctr;
+    // lint: secret-ok(counter value is MACed public metadata in the PMMAC header, not key material)
+    format!("counter now {snapshot}")
+}
+
+fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    a.iter().zip(b).fold(0u8, |d, (x, y)| d | (x ^ y)) == 0
+}
+
+fn ct_eq_u64(a: u64, b: u64) -> u64 {
+    let d = a ^ b;
+    1 ^ ((d | d.wrapping_neg()) >> 63)
+}
+
+fn ct_lt_u64(a: u64, b: u64) -> u64 {
+    ((a ^ ((a ^ b) | ((a.wrapping_sub(b)) ^ b))) >> 63) & 1
+}
+
+fn ct_select(flag: u64, yes: u64, no: u64) -> u64 {
+    let mask = flag.wrapping_neg();
+    (yes & mask) | (no & !mask)
+}

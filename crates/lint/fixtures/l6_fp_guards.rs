@@ -1,0 +1,41 @@
+//! L6 false-positive guards: every function here looks superficially
+//! leaf-flavoured but is public by convention or by the length policy.
+//! The whole file must scan clean.
+
+pub fn dummy_path(dummy_leaf: u64, table: &[u64]) -> u64 {
+    // `dummy_` prefix: freshly drawn decoy traffic, public by construction.
+    table[dummy_leaf as usize]
+}
+
+pub fn revealed_path(revealed_leaf: u64) -> u64 {
+    // `revealed_` prefix: the once-per-access protocol disclosure.
+    let mut acc = 0;
+    for i in 0..revealed_leaf {
+        acc += i;
+    }
+    acc
+}
+
+pub fn fan_out(num_leaves: u64, local_leaves: u64) -> u64 {
+    // `*_leaves` counts are geometry, not positions.
+    num_leaves / local_leaves
+}
+
+pub fn occupancy(stash: &[u64]) -> usize {
+    // Length policy: sizes are public (occupancy leakage is the dynamic
+    // observatory's job, not the static pass's).
+    if stash.len() > 32 {
+        return 32;
+    }
+    stash.len()
+}
+
+pub fn scan_all(leaves: &[u64]) -> u64 {
+    // Iterating a secret collection runs `len()` times — a public count;
+    // `enumerate`'s position counter is public too.
+    let mut acc = 0;
+    for (i, _l) in leaves.iter().enumerate() {
+        acc += i as u64;
+    }
+    acc
+}

@@ -1,0 +1,27 @@
+//! L6 interprocedural seeds.
+//!
+//! `one_hop` leaks through a single call: `branch_on` branches on its
+//! parameter and the caller feeds it a secret — its intraprocedural
+//! summary (computed in round 1) is enough. `two_hop` goes through
+//! `relay`, whose signature only absorbs `branch_on`'s param sink in
+//! fixpoint round 2; a scan capped at one summary round must miss it.
+
+fn branch_on(x: u64) -> u64 {
+    if x > 7 {
+        1
+    } else {
+        0
+    }
+}
+
+fn relay(v: u64) -> u64 {
+    branch_on(v)
+}
+
+pub fn one_hop(leaf: u64) -> u64 {
+    branch_on(leaf)
+}
+
+pub fn two_hop(leaf: u64) -> u64 {
+    relay(leaf)
+}

@@ -1,0 +1,7 @@
+//! The L3 escape hatch L6 closes: rebind a secret to an innocuous name
+//! and the token-level pass loses it, but dataflow follows the value.
+
+pub fn exfil(subkey: &[u8]) -> String {
+    let innocuous = subkey;
+    format!("{innocuous:?}")
+}

@@ -1,0 +1,34 @@
+//! L6 acceptance seed: a `PathOram::access` clone with a deliberately
+//! re-introduced secret-dependent shortcut. The branch on the pre-remap
+//! leaf is exactly the bug class L6 exists to catch: skipping the path
+//! read for "hot" positions correlates bus traffic with the access
+//! pattern.
+
+pub struct PosMap {
+    leaves: Vec<u64>,
+}
+
+impl PosMap {
+    fn get_and_remap(&mut self, id: usize, fresh: u64) -> (u64, u64) {
+        let old = self.leaves[id];
+        self.leaves[id] = fresh;
+        (old, fresh)
+    }
+}
+
+pub struct PathOram {
+    posmap: PosMap,
+    hot_path: u64,
+}
+
+impl PathOram {
+    pub fn access(&mut self, id: usize, fresh: u64) -> u64 {
+        let (old_leaf, _new_leaf) = self.posmap.get_and_remap(id, fresh);
+        // Seeded leak: serving "hot" paths from a cache without touching
+        // memory makes the demand pattern visible on the bus.
+        if old_leaf == self.hot_path {
+            return self.hot_path;
+        }
+        old_leaf
+    }
+}

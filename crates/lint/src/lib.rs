@@ -28,17 +28,35 @@
 //!   simulated cycles so the gate is bit-reproducible across hosts.
 //!   Waiver: `// lint: wallclock-ok(reason)`.
 //!
-//! The passes run on a flat token stream from the dependency-free
+//! * **L6 `secret-*` dataflow** — an interprocedural taint analysis over
+//!   the protocol crates (`crypto`, `oram`, `core`, `system`): secret
+//!   values (key material, leaf labels, PosMap contents, PMMAC counters,
+//!   `// lint: secret`-annotated fields/params) must not reach a branch
+//!   condition, slice index, loop bound, `%`/`/` operand, or format macro
+//!   without passing through a sanctioned constant-time primitive
+//!   (`ct_eq`, `ct_select`, …) or an explicit
+//!   `// lint: declassify(reason)` waiver. Unlike L1–L5 this pass parses
+//!   function bodies ([`parse`]), propagates taint through let-bindings
+//!   and calls ([`flow`]), and computes per-function taint signatures to a
+//!   fixpoint over the call graph ([`summary`]) so taint follows helper
+//!   functions without per-call-site annotations.
+//!
+//! The L1–L5 passes run on a flat token stream from the dependency-free
 //! [`lexer`]; there is no type information, so the secret/cycle rules are
 //! *name-pattern* rules. That is deliberate: the workspace naming
-//! conventions are part of the contract these lints enforce.
+//! conventions are part of the contract these lints enforce. L6 builds a
+//! real (if pragmatic) syntax tree on top of the same lexer — still no
+//! rustc dependency — and keeps the same convention-driven source naming.
 
 #![deny(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod flow;
 pub mod lexer;
 pub mod lints;
+pub mod parse;
 pub mod scan;
+pub mod summary;
 pub mod walker;
 
 use std::fmt;
@@ -62,8 +80,26 @@ pub enum Lint {
     PanicBudget,
     /// L5: wall-clock type in a cycle-pure crate.
     WallClock,
+    /// L6: secret value reaching an `if`/`while`/`match` condition or
+    /// scrutinee (control flow observable through timing / command traffic).
+    SecretBranch,
+    /// L6: secret value used as a slice/array index.
+    SecretIndex,
+    /// L6: secret value bounding a `for`/`while` loop.
+    SecretLoopBound,
+    /// L6: secret operand of `%` or `/` (variable-time on real dividers).
+    SecretVarTime,
+    /// L6: secret value reaching a format-family macro through a rebinding
+    /// the token-level L3 pass cannot see.
+    SecretFormatFlow,
+    /// L6: call argument flowing to a secret sink inside the callee
+    /// (reported at the call site via the interprocedural summary).
+    SecretArgSink,
     /// Malformed waiver comment (unknown name or empty reason).
     BadWaiver,
+    /// Waiver or `// lint: secret` annotation that matches no finding or
+    /// declaration — stale suppressions are errors, not lint debt.
+    UnusedWaiver,
 }
 
 impl Lint {
@@ -78,7 +114,14 @@ impl Lint {
             Lint::UnsafeAttr => "L4/unsafe-attr",
             Lint::PanicBudget => "L4/panic-budget",
             Lint::WallClock => "L5/wall-clock",
+            Lint::SecretBranch => "L6/secret-branch",
+            Lint::SecretIndex => "L6/secret-index",
+            Lint::SecretLoopBound => "L6/secret-loop-bound",
+            Lint::SecretVarTime => "L6/secret-vartime",
+            Lint::SecretFormatFlow => "L6/secret-format-flow",
+            Lint::SecretArgSink => "L6/secret-arg-sink",
             Lint::BadWaiver => "L0/bad-waiver",
+            Lint::UnusedWaiver => "L0/unused-waiver",
         }
     }
 
@@ -91,7 +134,15 @@ impl Lint {
             Lint::LibPrintln => Some("print-ok"),
             Lint::PanicBudget => Some("panic-ok"),
             Lint::WallClock => Some("wallclock-ok"),
-            Lint::UnsafeAttr | Lint::BadWaiver => None,
+            Lint::SecretBranch
+            | Lint::SecretIndex
+            | Lint::SecretLoopBound
+            | Lint::SecretVarTime
+            | Lint::SecretArgSink => Some("declassify"),
+            // The format-flow sink subsumes L3 secret-format, so it shares
+            // L3's waiver name for call-site ergonomics.
+            Lint::SecretFormatFlow => Some("secret-ok"),
+            Lint::UnsafeAttr | Lint::BadWaiver | Lint::UnusedWaiver => None,
         }
     }
 }
@@ -174,6 +225,26 @@ pub const SECRET_EQ_CRATES: &[&str] = &["crypto", "oram"];
 /// observatory, whose verdicts must depend only on simulated cycles.
 pub const WALLCLOCK_CRATES: &[&str] = &["leakage"];
 
+/// Crates bound by L6 (interprocedural secret-taint analysis): everything
+/// on the request path whose control flow shapes the attacker-visible
+/// command stream. `library` crates like `telemetry`/`bench` never hold
+/// secrets, and `dram`/`audit`/`leakage` see only ciphertext addresses.
+pub const SECRET_FLOW_CRATES: &[&str] = &["crypto", "oram", "core", "system"];
+
+/// L6 sanitizers: calling one of these (as a free function or method)
+/// yields a *public* value no matter how secret the inputs were. They are
+/// the constant-time primitives whose output is safe to branch on
+/// (`ct_eq` compares without early exit; `ct_select`/oblivious helpers
+/// touch both sides).
+pub const CT_SANITIZERS: &[&str] =
+    &["ct_eq", "ct_select", "ct_lookup", "oblivious_select", "oblivious_swap"];
+
+/// L6 length policy: these accessors return *sizes*, and sizes of secret
+/// buffers are public in this model (message and path lengths are fixed by
+/// the protocol; occupancy-driven scheduling is the dynamic observatory's
+/// beat, DESIGN.md §11). Their results are therefore never tainted.
+pub const LEN_CLEAN_METHODS: &[&str] = &["len", "is_empty", "capacity", "count"];
+
 /// True for identifiers that name a point or span in simulated time.
 ///
 /// The pattern family, kept deliberately small and documented in
@@ -205,6 +276,29 @@ pub fn is_secret_ident(name: &str) -> bool {
         name,
         "master" | "subkey" | "subkeys" | "keystream" | "round_keys" | "rk" | "k1" | "k2"
     ) || SUFFIXES.iter().any(|s| name.ends_with(s))
+}
+
+/// True for identifiers that, by workspace convention, carry a Path ORAM
+/// leaf/position label — the per-block secret the PosMap protects. Matches
+/// exact `leaf`/`leaves` and the `_leaf` suffix, **except** under the
+/// `dummy_`/`revealed_`/`public_` prefixes: a dummy-block leaf is drawn
+/// fresh per access and a revealed leaf has already been remapped, so both
+/// are public by construction (paper §III-B: the old leaf is disclosed
+/// once per access *after* the remap). A `_leaves` suffix is NOT matched:
+/// `local_leaves`/`global_leaves`/`num_leaves` are leaf *counts* — public
+/// geometry parameters, not leaf values (only the bare posmap collection
+/// name `leaves` is a source).
+pub fn is_leaf_ident(name: &str) -> bool {
+    if ["dummy_", "revealed_", "public_"].iter().any(|p| name.starts_with(p)) {
+        return false;
+    }
+    matches!(name, "leaf" | "leaves")
+        || name.ends_with("_leaf")
+        // Freecursive compressed-PosMap counters reconstruct leaves from
+        // (group seed, per-block counter): those counters are leaf-grade
+        // secrets. NB: bare `counter` is NOT matched — PMMAC bucket write
+        // counters are stored in plaintext by design (pmmac.rs) and public.
+        || matches!(name, "leaf_ctr" | "group_ctr" | "posmap_ctr")
 }
 
 /// True for identifiers naming MAC tags/digests whose comparison must be
@@ -262,6 +356,29 @@ mod tests {
     }
 
     #[test]
+    fn leaf_pattern_family() {
+        for yes in ["leaf", "leaves", "old_leaf", "new_leaf", "target_leaf", "leaf_ctr"] {
+            assert!(is_leaf_ident(yes), "{yes} should be leaf-like");
+        }
+        // Dummy/revealed leaves are public by construction; PMMAC bucket
+        // write counters are plaintext by design; `*_leaves` names are
+        // leaf COUNTS (public geometry parameters).
+        for no in [
+            "dummy_leaf",
+            "revealed_leaf",
+            "public_leaf",
+            "counter",
+            "leafless",
+            "level",
+            "local_leaves",
+            "global_leaves",
+            "num_leaves",
+        ] {
+            assert!(!is_leaf_ident(no), "{no} should not be leaf-like");
+        }
+    }
+
+    #[test]
     fn every_waivable_lint_has_distinct_docs_name() {
         let names: Vec<&str> = [
             Lint::CycleArith,
@@ -270,13 +387,31 @@ mod tests {
             Lint::LibPrintln,
             Lint::PanicBudget,
             Lint::WallClock,
+            Lint::SecretBranch,
         ]
         .iter()
         .filter_map(|l| l.waiver())
         .collect();
         assert_eq!(
             names,
-            vec!["wrap-ok", "literal-ok", "secret-ok", "print-ok", "panic-ok", "wallclock-ok"]
+            vec![
+                "wrap-ok",
+                "literal-ok",
+                "secret-ok",
+                "print-ok",
+                "panic-ok",
+                "wallclock-ok",
+                "declassify"
+            ]
         );
+        // All L6 dataflow sinks share the declassify waiver except the
+        // format-flow sink, which subsumes L3 and shares its waiver.
+        for l in
+            [Lint::SecretIndex, Lint::SecretLoopBound, Lint::SecretVarTime, Lint::SecretArgSink]
+        {
+            assert_eq!(l.waiver(), Some("declassify"));
+        }
+        assert_eq!(Lint::SecretFormatFlow.waiver(), Some("secret-ok"));
+        assert_eq!(Lint::UnusedWaiver.waiver(), None);
     }
 }

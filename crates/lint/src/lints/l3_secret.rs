@@ -27,8 +27,10 @@ use crate::{
 };
 
 /// Macros whose arguments are formatted into human-readable text (or a
-/// panic payload) and therefore count as potential leak sites.
-const FORMAT_MACROS: &[&str] = &[
+/// panic payload) and therefore count as potential leak sites. Shared
+/// with the L6 format-flow sink, which catches secrets that reach these
+/// macros through rebindings the token-level scan cannot see.
+pub const FORMAT_MACROS: &[&str] = &[
     "format",
     "format_args",
     "print",

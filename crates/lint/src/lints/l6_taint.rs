@@ -1,0 +1,63 @@
+//! L6 `secret-*` dataflow: runs the [`crate::flow`] engine in findings
+//! mode over every non-test function of a library file in
+//! [`crate::SECRET_FLOW_CRATES`], filtering through the shared
+//! [`PassInput::finding`] machinery (test regions, waivers, usage marks).
+
+use super::PassInput;
+use crate::flow::{analyze_fn, FnSummary, Mode, RawFinding};
+use crate::parse::Parsed;
+use crate::summary::Symbols;
+use crate::walker::in_test;
+use crate::{FileKind, Finding, SECRET_FLOW_CRATES};
+use std::collections::BTreeSet;
+
+/// Runs the L6 pass for one file against the workspace symbol table.
+///
+/// `used_waivers` accumulates waiver comment lines consumed by
+/// summary-phase declassifications inside this file's functions.
+pub fn check(
+    input: &PassInput<'_>,
+    parsed: &Parsed,
+    symbols: &Symbols,
+    summaries: &[FnSummary],
+    used_waivers: &mut BTreeSet<u32>,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    if input.ctx.kind != FileKind::Lib
+        || !SECRET_FLOW_CRATES.contains(&input.ctx.crate_name.as_str())
+    {
+        return findings;
+    }
+    for f in &parsed.fns {
+        if in_test(input.test_regions, f.sig_line) {
+            continue;
+        }
+        // Fn-level declassify: the whole body is exempt (the waiver was
+        // marked used at symbol registration).
+        if crate::walker::waiver_line(input.waivers, "declassify", f.sig_line).is_some() {
+            continue;
+        }
+        let mut raw: Vec<RawFinding> = Vec::new();
+        analyze_fn(
+            f,
+            &input.ctx.crate_name,
+            symbols,
+            summaries,
+            input.waivers,
+            used_waivers,
+            &mut Mode::Findings(&mut raw),
+        );
+        // One finding per (lint, line): loop bodies are evaluated twice
+        // and a callee may record several sinks for one parameter.
+        let mut seen: BTreeSet<(u32, &'static str)> = BTreeSet::new();
+        for r in raw {
+            if !seen.insert((r.line, r.lint.id())) {
+                continue;
+            }
+            if let Some(found) = input.finding(r.lint, r.line, r.actual, r.expected) {
+                findings.push(found);
+            }
+        }
+    }
+    findings
+}

@@ -1,15 +1,19 @@
-//! The five lint passes. Each pass is a pure function over one file's
-//! token stream plus context; orchestration lives in [`crate::scan`].
+//! The lint passes. Each pass is a pure function over one file's token
+//! stream (L1–L5) or parsed body (L6) plus context; orchestration lives
+//! in [`crate::scan`].
 
 pub mod l1_cycle;
 pub mod l2_timing;
 pub mod l3_secret;
 pub mod l4_panic;
 pub mod l5_wallclock;
+pub mod l6_taint;
 
 use crate::lexer::Tok;
-use crate::walker::{in_test, waived, Waiver};
+use crate::walker::{in_test, waiver_line, Waiver};
 use crate::{FileCtx, Finding, Lint};
+use std::cell::RefCell;
+use std::collections::BTreeSet;
 
 /// Everything a pass needs to examine one file.
 #[derive(Debug)]
@@ -26,6 +30,9 @@ pub struct PassInput<'a> {
     pub test_regions: &'a [(u32, u32)],
     /// Parsed waivers.
     pub waivers: &'a [Waiver],
+    /// Comment lines of waivers that suppressed at least one finding —
+    /// fed by [`PassInput::finding`], consumed by the unused-waiver check.
+    pub used_waiver_lines: RefCell<BTreeSet<u32>>,
 }
 
 impl PassInput<'_> {
@@ -50,7 +57,8 @@ impl PassInput<'_> {
             return None;
         }
         if let Some(name) = lint.waiver() {
-            if waived(self.waivers, name, line) {
+            if let Some(wline) = waiver_line(self.waivers, name, line) {
+                self.used_waiver_lines.borrow_mut().insert(wline);
                 return None;
             }
         }

@@ -1,20 +1,99 @@
 //! `sdimm-lint` — the workspace static-analysis gate.
 //!
-//! Scans every workspace crate's sources and enforces the four lint
+//! Scans every workspace crate's sources and enforces the six lint
 //! families (cycle arithmetic, timing-constant discipline, secret hygiene,
-//! unsafe/panic budget). Exits nonzero when any finding survives, with
-//! `file:line` diagnostics in the audit crate's actual-vs-expected style.
+//! unsafe/panic budget, wall-clock discipline, secret dataflow). Exits
+//! nonzero when any finding survives, with `file:line` diagnostics in the
+//! audit crate's actual-vs-expected style.
 //!
-//! Usage: `cargo run -p sdimm-lint` from anywhere inside the workspace.
+//! Usage: `cargo run -p sdimm-lint [-- --pass l6] [--json PATH]`
+//!
+//! - `--pass <l1..l6|l0>`: keep only findings whose id starts with that
+//!   family (exit code reflects the filtered set).
+//! - `--json <path>`: additionally write the (filtered) findings as a
+//!   JSON report for CI artifacts.
 
 #![deny(unsafe_code)]
 
 use std::path::Path;
 use std::process::ExitCode;
 
-use sdimm_lint::scan::{find_workspace_root, scan_workspace};
+use sdimm_lint::scan::{find_workspace_root, scan_workspace, ScanReport};
+use sdimm_lint::Finding;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: sdimm-lint [--pass l1|l2|l3|l4|l5|l6|l0] [--json PATH]");
+    ExitCode::from(2)
+}
+
+/// Minimal JSON string escaping (control chars, quote, backslash) — the
+/// lint crate is dependency-free by design, so no serde.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the report as a stable, line-oriented JSON document.
+fn json_report(report: &ScanReport, findings: &[&Finding], pass: Option<&str>) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"files_scanned\": {},\n", report.files_scanned));
+    out.push_str(&format!(
+        "  \"pass_filter\": {},\n",
+        match pass {
+            Some(p) => format!("\"{}\"", json_escape(p)),
+            None => "null".to_string(),
+        }
+    ));
+    out.push_str(&format!("  \"finding_count\": {},\n", findings.len()));
+    out.push_str("  \"findings\": [\n");
+    for (i, f) in findings.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"id\": \"{}\", \"file\": \"{}\", \"line\": {}, \"actual\": \"{}\", \
+             \"expected\": \"{}\", \"excerpt\": \"{}\"}}{}\n",
+            json_escape(f.lint.id()),
+            json_escape(&f.file),
+            f.line,
+            json_escape(&f.actual),
+            json_escape(&f.expected),
+            json_escape(&f.excerpt),
+            if i + 1 < findings.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
 
 fn main() -> ExitCode {
+    let mut pass_filter: Option<String> = None;
+    let mut json_path: Option<String> = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--pass" => match argv.next() {
+                Some(p) if matches!(p.as_str(), "l0" | "l1" | "l2" | "l3" | "l4" | "l5" | "l6") => {
+                    pass_filter = Some(p.to_ascii_uppercase());
+                }
+                _ => return usage(),
+            },
+            "--json" => match argv.next() {
+                Some(p) => json_path = Some(p),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
     let cwd = match std::env::current_dir() {
         Ok(d) => d,
         Err(e) => {
@@ -38,22 +117,41 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    if report.findings.is_empty() {
+    let shown: Vec<&Finding> = report
+        .findings
+        .iter()
+        .filter(|f| match &pass_filter {
+            Some(p) => f.lint.id().starts_with(p.as_str()),
+            None => true,
+        })
+        .collect();
+    if let Some(path) = &json_path {
+        let doc = json_report(&report, &shown, pass_filter.as_deref());
+        if let Err(e) = std::fs::write(path, doc) {
+            eprintln!("sdimm-lint: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    let scope = match &pass_filter {
+        Some(p) => format!("{p} findings"),
+        None => "findings".to_string(),
+    };
+    if shown.is_empty() {
         println!(
-            "sdimm-lint: {} files scanned, 0 findings (L1 cycle-arith, L2 timing-literal, \
-             L3 secret hygiene, L4 unsafe/panic budget)",
+            "sdimm-lint: {} files scanned, 0 {scope} (L1 cycle-arith, L2 timing-literal, \
+             L3 secret hygiene, L4 unsafe/panic budget, L5 wall-clock, L6 secret-flow)",
             report.files_scanned
         );
         return ExitCode::SUCCESS;
     }
-    for f in &report.findings {
+    for f in &shown {
         println!("{f}\n");
     }
     println!(
-        "sdimm-lint: {} files scanned, {} finding(s) — see diagnostics above; \
+        "sdimm-lint: {} files scanned, {} {scope} — see diagnostics above; \
          each names its waiver syntax if suppression is justified",
         report.files_scanned,
-        report.findings.len()
+        shown.len()
     );
     ExitCode::FAILURE
 }

@@ -1,0 +1,1653 @@
+//! A pragmatic recursive-descent parser over the [`crate::lexer`] token
+//! stream, producing per-function statement/expression trees for the L6
+//! taint pass.
+//!
+//! This is **not** a full Rust parser and never will be: it keeps the
+//! workspace's dependency-free discipline (no `syn`, no rustc), so it
+//! covers the Rust subset this repository actually writes and degrades
+//! gracefully everywhere else. Two properties matter:
+//!
+//! 1. **It never panics.** Unrecognized constructs produce
+//!    [`ExprKind::Opaque`] nodes or trigger sync-token recovery; every
+//!    recovery is counted in [`Parsed::recoveries`] and surfaced in the
+//!    JSON report so silent coverage loss is visible.
+//! 2. **Taint-relevant structure is exact.** Let-bindings, assignments,
+//!    field/method projections, calls, indexes, `if`/`while`/`match`/`for`
+//!    shapes, closures and format-macro capture strings — the shapes the
+//!    flow engine consumes — are parsed faithfully; the rest (types,
+//!    generics, attributes, patterns beyond their bindings) is skipped.
+
+use crate::lexer::{Lexed, Tok, TokKind};
+use crate::walker::SecretAnnotation;
+use std::collections::BTreeSet;
+
+/// One parsed source file: function bodies, struct field tables, and the
+/// annotation lines the parser actually bound to a declaration.
+#[derive(Debug, Default)]
+pub struct Parsed {
+    /// Every function with a body, including methods and nested fns.
+    pub fns: Vec<FnDef>,
+    /// Struct definitions with named fields (for receiver-type inference
+    /// and `// lint: secret` field annotations).
+    pub structs: Vec<StructDef>,
+    /// Lines of `// lint: secret` annotations that matched a field, param,
+    /// or let-binding; unmatched ones become `unused-waiver` findings.
+    pub used_annotation_lines: BTreeSet<u32>,
+    /// Number of recovery events (token runs the parser skipped).
+    pub recoveries: u32,
+}
+
+/// A struct with named fields.
+#[derive(Debug, Clone)]
+pub struct StructDef {
+    /// Type name.
+    pub name: String,
+    /// Declared fields in order.
+    pub fields: Vec<FieldDef>,
+}
+
+/// One named struct field.
+#[derive(Debug, Clone)]
+pub struct FieldDef {
+    /// Field name.
+    pub name: String,
+    /// First path segment of the declared type (`Vec`, `Stash`, `u64`, …).
+    pub ty: String,
+    /// Whether a `// lint: secret` annotation covers the declaration.
+    pub secret: bool,
+}
+
+/// A function (free, method, or nested) with its body.
+#[derive(Debug)]
+pub struct FnDef {
+    /// Function name.
+    pub name: String,
+    /// `impl`/`trait` type the function is defined on, when any.
+    pub owner: Option<String>,
+    /// Line of the `fn` keyword.
+    pub sig_line: u32,
+    /// Parameters in order; a `self` receiver is index 0 with name `self`.
+    pub params: Vec<ParamDef>,
+    /// Whether params[0] is a `self` receiver.
+    pub has_self: bool,
+    /// The body block.
+    pub body: Block,
+}
+
+/// One function parameter.
+#[derive(Debug, Clone)]
+pub struct ParamDef {
+    /// Binding name (first identifier of the pattern).
+    pub name: String,
+    /// First path segment of the declared type, when present.
+    pub ty: Option<String>,
+    /// Whether a `// lint: secret` annotation covers the declaration.
+    pub secret: bool,
+}
+
+/// A `{ ... }` block.
+#[derive(Debug, Default)]
+pub struct Block {
+    /// Statements in order; a trailing [`Stmt::Expr`] is the block value.
+    pub stmts: Vec<Stmt>,
+}
+
+/// One statement.
+#[derive(Debug)]
+pub enum Stmt {
+    /// `let PAT(: TY)? (= EXPR)? (else BLOCK)?;`
+    Let {
+        /// Identifiers bound by the pattern.
+        binds: Vec<String>,
+        /// First path segment of the type annotation, when present.
+        ty: Option<String>,
+        /// Initializer expression.
+        init: Option<Expr>,
+        /// Whether a `// lint: secret` annotation covers the binding.
+        secret: bool,
+        /// Line of the `let`.
+        line: u32,
+    },
+    /// An expression statement (`EXPR;`).
+    Semi(Expr),
+    /// A trailing expression without `;` (the block's value).
+    Expr(Expr),
+}
+
+/// One expression node with its source line.
+#[derive(Debug)]
+pub struct Expr {
+    /// Shape of the expression.
+    pub kind: ExprKind,
+    /// 1-based line of the expression's first token.
+    pub line: u32,
+}
+
+/// A `match` arm.
+#[derive(Debug)]
+pub struct Arm {
+    /// Identifiers bound by the arm pattern.
+    pub binds: Vec<String>,
+    /// `if` guard expression, when present.
+    pub guard: Option<Expr>,
+    /// Arm body.
+    pub body: Expr,
+}
+
+/// Expression shapes the flow engine distinguishes.
+#[derive(Debug)]
+pub enum ExprKind {
+    /// Numeric/char/bool literal (taint-free).
+    Lit,
+    /// String literal with its body text (format-capture scanning).
+    LitStr(String),
+    /// Path: `x`, `a::b::c`, `Self::helper`. One segment = variable read.
+    Path(Vec<String>),
+    /// Field projection `base.field` (tuple indices become `"0"`, `"1"`).
+    Field(Box<Expr>, String),
+    /// Call with an arbitrary callee expression.
+    Call(Box<Expr>, Vec<Expr>),
+    /// Method call `recv.name(args)`.
+    Method(Box<Expr>, String, Vec<Expr>),
+    /// Macro invocation `name!(args)`; args parsed best-effort.
+    Macro(String, Vec<Expr>),
+    /// Index `base[idx]`.
+    Index(Box<Expr>, Box<Expr>),
+    /// Unary `!`/`-`/`*`/`&` (operator text kept for diagnostics).
+    Unary(&'static str, Box<Expr>),
+    /// Binary operator.
+    Binary(String, Box<Expr>, Box<Expr>),
+    /// Assignment or compound assignment (`=`, `+=`, `^=`, …).
+    Assign(Box<Expr>, String, Box<Expr>),
+    /// `expr as TY` (type skipped; taint flows through).
+    Cast(Box<Expr>),
+    /// `expr?`.
+    Try(Box<Expr>),
+    /// Range `a..b` / `a..=b` with optional endpoints.
+    Range(Option<Box<Expr>>, Option<Box<Expr>>),
+    /// Tuple or array literal.
+    Tuple(Vec<Expr>),
+    /// Struct literal `Ty { field: expr, ..rest }`.
+    StructLit(String, Vec<(String, Expr)>, Option<Box<Expr>>),
+    /// `if`/`if let`; `cond_binds` are `if let` pattern bindings.
+    If {
+        /// Condition (the `if let` scrutinee when `cond_binds` is
+        /// non-empty).
+        cond: Box<Expr>,
+        /// Bindings introduced by an `if let` pattern.
+        cond_binds: Vec<String>,
+        /// Then-block.
+        then_b: Block,
+        /// `else` expression (block or chained `if`).
+        else_b: Option<Box<Expr>>,
+    },
+    /// `while`/`while let`.
+    While {
+        /// Condition (the `while let` scrutinee when `cond_binds` is
+        /// non-empty).
+        cond: Box<Expr>,
+        /// Bindings introduced by a `while let` pattern.
+        cond_binds: Vec<String>,
+        /// Loop body.
+        body: Block,
+    },
+    /// `loop { ... }`.
+    Loop(Block),
+    /// `for PAT in ITER { ... }`.
+    For {
+        /// Identifiers bound by the loop pattern.
+        binds: Vec<String>,
+        /// Iterated expression.
+        iter: Box<Expr>,
+        /// Loop body.
+        body: Block,
+    },
+    /// `match scrutinee { arms }`.
+    Match(Box<Expr>, Vec<Arm>),
+    /// Closure `|params| body` (params recorded, body parsed).
+    Closure(Vec<String>, Box<Expr>),
+    /// Block expression.
+    Block(Block),
+    /// `return expr?`.
+    Return(Option<Box<Expr>>),
+    /// `break expr?`.
+    Break(Option<Box<Expr>>),
+    /// `continue`.
+    Continue,
+    /// Anything the parser does not model.
+    Opaque,
+}
+
+/// Keywords that can never be expression-leading identifiers for us.
+fn is_reserved(s: &str) -> bool {
+    matches!(
+        s,
+        "let"
+            | "fn"
+            | "struct"
+            | "enum"
+            | "impl"
+            | "trait"
+            | "mod"
+            | "use"
+            | "pub"
+            | "const"
+            | "static"
+            | "type"
+            | "where"
+            | "unsafe"
+            | "extern"
+            | "crate"
+            | "mut"
+            | "ref"
+            | "in"
+            | "else"
+            | "as"
+            | "dyn"
+            | "macro_rules"
+    )
+}
+
+/// Parses one lexed file. `annotations` are its `// lint: secret` markers.
+pub fn parse_file(lexed: &Lexed, annotations: &[SecretAnnotation]) -> Parsed {
+    // Lines holding at least one code token: a trailing annotation (code on
+    // its own line) binds only that line; an own-line annotation binds only
+    // the next line. Without this, `k: &[u8], // lint: secret` would bleed
+    // onto the parameter declared on the following line.
+    let code_lines: std::collections::BTreeSet<u32> = lexed.tokens.iter().map(|t| t.line).collect();
+    let mut p = Parser {
+        toks: &lexed.tokens,
+        pos: 0,
+        ann: annotations,
+        code_lines,
+        out: Parsed::default(),
+    };
+    p.items(None);
+    p.out
+}
+
+struct Parser<'a> {
+    toks: &'a [Tok],
+    pos: usize,
+    ann: &'a [SecretAnnotation],
+    code_lines: std::collections::BTreeSet<u32>,
+    out: Parsed,
+}
+
+impl<'a> Parser<'a> {
+    // ------------------------------------------------------------------
+    // Token-stream primitives.
+    // ------------------------------------------------------------------
+
+    fn peek(&self) -> Option<&'a Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn peek_at(&self, off: usize) -> Option<&'a Tok> {
+        self.toks.get(self.pos + off)
+    }
+
+    fn line(&self) -> u32 {
+        self.peek().map(|t| t.line).unwrap_or(0)
+    }
+
+    fn bump(&mut self) -> Option<&'a Tok> {
+        let t = self.toks.get(self.pos);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_punct(&self, text: &str) -> bool {
+        self.peek().is_some_and(|t| t.kind == TokKind::Punct && t.text == text)
+    }
+
+    fn at_kw(&self, kw: &str) -> bool {
+        self.peek().is_some_and(|t| t.kind == TokKind::Ident && t.text == kw)
+    }
+
+    fn eat_punct(&mut self, text: &str) -> bool {
+        if self.at_punct(text) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.at_kw(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident_text(&self) -> Option<&'a str> {
+        self.peek().and_then(|t| (t.kind == TokKind::Ident).then_some(t.text.as_str()))
+    }
+
+    /// Whether annotation `a` covers a declaration at `line` (trailing
+    /// annotations cover their own line; own-line annotations cover the
+    /// next line — see [`parse_file`]).
+    fn ann_covers(&self, a: &SecretAnnotation, line: u32) -> bool {
+        if self.code_lines.contains(&a.line) {
+            a.line == line
+        } else {
+            a.line + 1 == line
+        }
+    }
+
+    fn secret_here(&self, line: u32) -> bool {
+        self.ann.iter().any(|a| self.ann_covers(a, line))
+    }
+
+    fn mark_annotation(&mut self, line: u32) {
+        let used: Vec<u32> =
+            self.ann.iter().filter(|a| self.ann_covers(a, line)).map(|a| a.line).collect();
+        self.out.used_annotation_lines.extend(used);
+    }
+
+    /// Skips a balanced group starting at the current open delimiter.
+    fn skip_balanced(&mut self, open: &str, close: &str) {
+        if !self.eat_punct(open) {
+            return;
+        }
+        let mut depth = 1usize;
+        while let Some(t) = self.bump() {
+            if t.kind == TokKind::Punct {
+                if t.text == open {
+                    depth += 1;
+                } else if t.text == close {
+                    depth -= 1;
+                    if depth == 0 {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Skips a generics group `<...>`, tolerating `>>` closing two levels.
+    fn skip_angles(&mut self) {
+        if !self.at_punct("<") {
+            return;
+        }
+        self.pos += 1;
+        let mut depth = 1i32;
+        while let Some(t) = self.peek() {
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "<" | "<<" => depth += if t.text == "<<" { 2 } else { 1 },
+                    ">" => depth -= 1,
+                    ">>" => depth -= 2,
+                    "(" => {
+                        self.skip_balanced("(", ")");
+                        continue;
+                    }
+                    "[" => {
+                        self.skip_balanced("[", "]");
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+            self.pos += 1;
+            if depth <= 0 {
+                return;
+            }
+        }
+    }
+
+    /// Skips tokens until `;`/`{`-body end at depth 0 (item recovery).
+    fn skip_to_item_end(&mut self) {
+        while let Some(t) = self.peek() {
+            match (t.kind == TokKind::Punct, t.text.as_str()) {
+                (true, ";") => {
+                    self.pos += 1;
+                    return;
+                }
+                (true, "{") => {
+                    self.skip_balanced("{", "}");
+                    return;
+                }
+                (true, "(") => self.skip_balanced("(", ")"),
+                (true, "[") => self.skip_balanced("[", "]"),
+                (true, "}") => return,
+                _ => self.pos += 1,
+            }
+        }
+    }
+
+    /// Skips a type position: path segments, `&`/lifetimes, generics,
+    /// tuples, slices, `dyn`/`impl` bounds. Stops at `,` `;` `=` `{` `)`
+    /// `>` `where` at depth 0.
+    fn skip_type(&mut self) {
+        loop {
+            let Some(t) = self.peek() else { return };
+            match t.kind {
+                TokKind::Lifetime => {
+                    self.pos += 1;
+                }
+                TokKind::Ident => {
+                    if matches!(t.text.as_str(), "where") {
+                        return;
+                    }
+                    self.pos += 1;
+                    self.skip_angles();
+                }
+                TokKind::Punct => match t.text.as_str() {
+                    "&" | "&&" | "*" | "::" | "!" => self.pos += 1,
+                    "<" => self.skip_angles(),
+                    "(" => self.skip_balanced("(", ")"),
+                    "[" => self.skip_balanced("[", "]"),
+                    "->" => self.pos += 1,
+                    _ => return,
+                },
+                _ => return,
+            }
+        }
+    }
+
+    /// First meaningful path segment of a type position, without consuming.
+    fn type_head(&self) -> Option<String> {
+        let mut i = self.pos;
+        while let Some(t) = self.toks.get(i) {
+            match t.kind {
+                TokKind::Ident if !matches!(t.text.as_str(), "dyn" | "impl" | "mut") => {
+                    return Some(t.text.clone());
+                }
+                TokKind::Ident | TokKind::Lifetime => i += 1,
+                TokKind::Punct if matches!(t.text.as_str(), "&" | "&&" | "*" | "(" | "[") => i += 1,
+                _ => return None,
+            }
+        }
+        None
+    }
+
+    /// Skips attributes `#[...]` / `#![...]`.
+    fn skip_attrs(&mut self) {
+        while self.at_punct("#") {
+            self.pos += 1;
+            self.eat_punct("!");
+            self.skip_balanced("[", "]");
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Items.
+    // ------------------------------------------------------------------
+
+    /// Parses items until end of stream or a closing `}` at this level.
+    fn items(&mut self, owner: Option<&str>) {
+        loop {
+            self.skip_attrs();
+            let Some(t) = self.peek() else { return };
+            if t.kind == TokKind::Punct && t.text == "}" {
+                return;
+            }
+            if self.eat_kw("pub") {
+                if self.at_punct("(") {
+                    self.skip_balanced("(", ")");
+                }
+                continue;
+            }
+            if self.eat_kw("unsafe") {
+                continue;
+            }
+            match self.ident_text() {
+                Some("fn") => {
+                    self.pos += 1;
+                    self.parse_fn(owner);
+                }
+                Some("mod") => {
+                    self.pos += 1;
+                    self.bump(); // name
+                    if self.at_punct("{") {
+                        self.pos += 1;
+                        self.items(None);
+                        self.eat_punct("}");
+                    } else {
+                        self.eat_punct(";");
+                    }
+                }
+                Some("impl") => {
+                    self.pos += 1;
+                    self.parse_impl();
+                }
+                Some("trait") => {
+                    self.pos += 1;
+                    let name = self.ident_text().map(str::to_string);
+                    self.bump();
+                    // Skip generics / supertraits / where up to the body.
+                    while let Some(t) = self.peek() {
+                        if t.kind == TokKind::Punct && t.text == "{" {
+                            break;
+                        }
+                        if t.kind == TokKind::Punct && t.text == "<" {
+                            self.skip_angles();
+                        } else {
+                            self.pos += 1;
+                        }
+                    }
+                    if self.at_punct("{") {
+                        self.pos += 1;
+                        self.items(name.as_deref());
+                        self.eat_punct("}");
+                    }
+                }
+                Some("struct") => {
+                    self.pos += 1;
+                    self.parse_struct();
+                }
+                Some("enum") | Some("union") => {
+                    self.pos += 1;
+                    self.bump(); // name
+                    self.skip_angles();
+                    self.skip_to_item_end();
+                }
+                Some("use") | Some("type") | Some("const") | Some("static") | Some("extern") => {
+                    self.pos += 1;
+                    self.skip_to_item_end();
+                }
+                Some("macro_rules") => {
+                    self.pos += 1;
+                    self.eat_punct("!");
+                    self.bump(); // name
+                    self.skip_balanced("{", "}");
+                }
+                _ => {
+                    self.out.recoveries += 1;
+                    self.skip_to_item_end();
+                }
+            }
+        }
+    }
+
+    fn parse_impl(&mut self) {
+        self.skip_angles();
+        // `impl Type {` or `impl Trait for Type {`: the owner is the last
+        // path segment before the body, after `for` when present.
+        let mut name: Option<String> = None;
+        while let Some(t) = self.peek() {
+            match t.kind {
+                TokKind::Ident if t.text == "for" => {
+                    name = None;
+                    self.pos += 1;
+                }
+                TokKind::Ident if t.text == "where" => {
+                    while let Some(t) = self.peek() {
+                        if t.kind == TokKind::Punct && t.text == "{" {
+                            break;
+                        }
+                        if t.kind == TokKind::Punct && t.text == "<" {
+                            self.skip_angles();
+                        } else {
+                            self.pos += 1;
+                        }
+                    }
+                }
+                TokKind::Ident => {
+                    name = Some(t.text.clone());
+                    self.pos += 1;
+                    self.skip_angles();
+                }
+                TokKind::Punct if t.text == "{" => break,
+                TokKind::Punct if t.text == "<" => self.skip_angles(),
+                _ => self.pos += 1,
+            }
+        }
+        if self.at_punct("{") {
+            self.pos += 1;
+            let owner = name;
+            self.items(owner.as_deref());
+            self.eat_punct("}");
+        }
+    }
+
+    fn parse_struct(&mut self) {
+        let name = self.ident_text().map(str::to_string).unwrap_or_default();
+        self.bump();
+        self.skip_angles();
+        if self.at_punct(";") || self.at_punct("(") {
+            // Unit or tuple struct: no named fields to table.
+            self.skip_to_item_end();
+            return;
+        }
+        // Possible `where` clause before `{`.
+        while let Some(t) = self.peek() {
+            if t.kind == TokKind::Punct && t.text == "{" {
+                break;
+            }
+            if t.kind == TokKind::Punct && t.text == "<" {
+                self.skip_angles();
+            } else {
+                self.pos += 1;
+            }
+        }
+        let mut fields = Vec::new();
+        if self.at_punct("{") {
+            self.pos += 1;
+            loop {
+                self.skip_attrs();
+                if self.at_punct("}") {
+                    self.pos += 1;
+                    break;
+                }
+                if self.eat_kw("pub") {
+                    if self.at_punct("(") {
+                        self.skip_balanced("(", ")");
+                    }
+                    continue;
+                }
+                let Some(fname) = self.ident_text().map(str::to_string) else {
+                    self.out.recoveries += 1;
+                    self.skip_to_item_end();
+                    break;
+                };
+                let fline = self.line();
+                self.pos += 1;
+                if !self.eat_punct(":") {
+                    self.out.recoveries += 1;
+                    self.skip_to_item_end();
+                    break;
+                }
+                let ty = self.type_head().unwrap_or_default();
+                self.skip_type();
+                let secret = self.secret_here(fline);
+                if secret {
+                    self.mark_annotation(fline);
+                }
+                fields.push(FieldDef { name: fname, ty, secret });
+                self.eat_punct(",");
+            }
+        }
+        self.out.structs.push(StructDef { name, fields });
+    }
+
+    fn parse_fn(&mut self, owner: Option<&str>) {
+        let sig_line = self.line();
+        let name = self.ident_text().map(str::to_string).unwrap_or_default();
+        self.bump();
+        self.skip_angles();
+        let mut params = Vec::new();
+        let mut has_self = false;
+        if self.at_punct("(") {
+            self.pos += 1;
+            loop {
+                self.skip_attrs();
+                if self.at_punct(")") {
+                    self.pos += 1;
+                    break;
+                }
+                let pline = self.line();
+                // Strip leading `&`, lifetimes, `mut`, `ref`.
+                while self.at_punct("&")
+                    || self.at_punct("&&")
+                    || self.peek().is_some_and(|t| t.kind == TokKind::Lifetime)
+                    || self.at_kw("mut")
+                    || self.at_kw("ref")
+                {
+                    self.pos += 1;
+                }
+                if self.at_kw("self") {
+                    self.pos += 1;
+                    has_self = true;
+                    let secret = self.secret_here(pline);
+                    if secret {
+                        self.mark_annotation(pline);
+                    }
+                    params.push(ParamDef { name: "self".into(), ty: None, secret });
+                    // A typed `self: Arc<Self>` — skip the type.
+                    if self.eat_punct(":") {
+                        self.skip_type();
+                    }
+                    self.eat_punct(",");
+                    continue;
+                }
+                // Pattern up to `:` — collect binds; `(a, b): T` binds both
+                // but positional summaries use the first name.
+                let mut pat_toks: Vec<&Tok> = Vec::new();
+                let mut depth = 0usize;
+                while let Some(t) = self.peek() {
+                    if t.kind == TokKind::Punct {
+                        match t.text.as_str() {
+                            "(" | "[" => depth += 1,
+                            ")" | "]" => {
+                                if depth == 0 {
+                                    break;
+                                }
+                                depth -= 1;
+                            }
+                            ":" if depth == 0 => break,
+                            "," if depth == 0 => break,
+                            _ => {}
+                        }
+                    }
+                    pat_toks.push(t);
+                    self.pos += 1;
+                }
+                let binds = pattern_binds(&pat_toks);
+                let pname = binds.first().cloned().unwrap_or_else(|| "_".into());
+                let mut ty = None;
+                if self.eat_punct(":") {
+                    ty = self.type_head();
+                    self.skip_type();
+                }
+                let secret = self.secret_here(pline);
+                if secret {
+                    self.mark_annotation(pline);
+                }
+                params.push(ParamDef { name: pname, ty, secret });
+                self.eat_punct(",");
+            }
+        }
+        // Return type / where clause up to the body (or `;` for trait sigs).
+        while let Some(t) = self.peek() {
+            match (t.kind == TokKind::Punct, t.text.as_str()) {
+                (true, "{") => break,
+                (true, ";") => {
+                    self.pos += 1;
+                    return; // no body
+                }
+                (true, "<") => self.skip_angles(),
+                (true, "(") => self.skip_balanced("(", ")"),
+                (true, "[") => self.skip_balanced("[", "]"),
+                _ => self.pos += 1,
+            }
+        }
+        let body = self.parse_block();
+        self.out.fns.push(FnDef {
+            name,
+            owner: owner.map(str::to_string),
+            sig_line,
+            params,
+            has_self,
+            body,
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Statements and blocks.
+    // ------------------------------------------------------------------
+
+    fn parse_block(&mut self) -> Block {
+        let mut block = Block::default();
+        if !self.eat_punct("{") {
+            return block;
+        }
+        loop {
+            self.skip_attrs();
+            let Some(t) = self.peek() else { return block };
+            if t.kind == TokKind::Punct && t.text == "}" {
+                self.pos += 1;
+                return block;
+            }
+            if t.kind == TokKind::Punct && t.text == ";" {
+                self.pos += 1;
+                continue;
+            }
+            // Loop labels: `'outer: while ...`.
+            if t.kind == TokKind::Lifetime {
+                self.pos += 1;
+                self.eat_punct(":");
+                continue;
+            }
+            match self.ident_text() {
+                Some("let") => {
+                    let line = self.line();
+                    self.pos += 1;
+                    block.stmts.push(self.parse_let(line));
+                }
+                // Items nested in a body: parse fns (fixtures use them),
+                // skip the rest.
+                Some("fn") => {
+                    self.pos += 1;
+                    self.parse_fn(None);
+                }
+                Some("use") | Some("const") | Some("static") | Some("type") | Some("struct")
+                | Some("enum") | Some("impl") | Some("trait") | Some("mod")
+                | Some("macro_rules") => {
+                    self.skip_to_item_end();
+                }
+                Some("unsafe") => {
+                    self.pos += 1;
+                }
+                _ => {
+                    let e = self.parse_expr(false);
+                    if self.eat_punct(";") {
+                        block.stmts.push(Stmt::Semi(e));
+                    } else {
+                        block.stmts.push(Stmt::Expr(e));
+                    }
+                }
+            }
+        }
+    }
+
+    fn parse_let(&mut self, line: u32) -> Stmt {
+        // Pattern up to `:` / `=` / `;` / `else` at depth 0.
+        let mut pat_toks: Vec<&Tok> = Vec::new();
+        let mut depth = 0usize;
+        while let Some(t) = self.peek() {
+            match t.kind {
+                TokKind::Punct => match t.text.as_str() {
+                    "(" | "[" | "{" => {
+                        depth += 1;
+                        pat_toks.push(t);
+                    }
+                    ")" | "]" | "}" => {
+                        if depth == 0 {
+                            break;
+                        }
+                        depth -= 1;
+                        pat_toks.push(t);
+                    }
+                    ":" | "=" | ";" if depth == 0 => break,
+                    _ => pat_toks.push(t),
+                },
+                TokKind::Ident if depth == 0 && t.text == "else" => break,
+                _ => pat_toks.push(t),
+            }
+            self.pos += 1;
+        }
+        let binds = pattern_binds(&pat_toks);
+        let mut ty = None;
+        if self.eat_punct(":") {
+            ty = self.type_head();
+            self.skip_type();
+        }
+        let mut init = None;
+        if self.eat_punct("=") {
+            init = Some(self.parse_expr(false));
+        }
+        if self.eat_kw("else") {
+            // let-else diverging block.
+            let _ = self.parse_block();
+        }
+        self.eat_punct(";");
+        let secret = self.secret_here(line);
+        if secret {
+            self.mark_annotation(line);
+        }
+        Stmt::Let { binds, ty, init, secret, line }
+    }
+
+    // ------------------------------------------------------------------
+    // Expressions (precedence climbing).
+    // ------------------------------------------------------------------
+
+    /// Full expression, lowest precedence (assignment).
+    /// `no_struct` suppresses struct-literal parsing (condition position).
+    fn parse_expr(&mut self, no_struct: bool) -> Expr {
+        let line = self.line();
+        let lhs = self.parse_range(no_struct);
+        if let Some(t) = self.peek() {
+            if t.kind == TokKind::Punct
+                && matches!(
+                    t.text.as_str(),
+                    "=" | "+=" | "-=" | "*=" | "/=" | "%=" | "^=" | "&=" | "|=" | "<<=" | ">>="
+                )
+            {
+                let op = t.text.clone();
+                self.pos += 1;
+                let rhs = self.parse_expr(no_struct);
+                return Expr { kind: ExprKind::Assign(Box::new(lhs), op, Box::new(rhs)), line };
+            }
+        }
+        lhs
+    }
+
+    fn parse_range(&mut self, no_struct: bool) -> Expr {
+        let line = self.line();
+        if self.at_punct("..") || self.at_punct("..=") {
+            self.pos += 1;
+            if self.range_rhs_follows() {
+                let hi = self.parse_binary(0, no_struct);
+                return Expr { kind: ExprKind::Range(None, Some(Box::new(hi))), line };
+            }
+            return Expr { kind: ExprKind::Range(None, None), line };
+        }
+        let lo = self.parse_binary(0, no_struct);
+        if self.at_punct("..") || self.at_punct("..=") {
+            self.pos += 1;
+            if self.range_rhs_follows() {
+                let hi = self.parse_binary(0, no_struct);
+                return Expr {
+                    kind: ExprKind::Range(Some(Box::new(lo)), Some(Box::new(hi))),
+                    line,
+                };
+            }
+            return Expr { kind: ExprKind::Range(Some(Box::new(lo)), None), line };
+        }
+        lo
+    }
+
+    fn range_rhs_follows(&self) -> bool {
+        self.peek().is_some_and(|t| match t.kind {
+            TokKind::Punct => matches!(t.text.as_str(), "(" | "[" | "-" | "!" | "*" | "&"),
+            TokKind::Ident => !is_reserved(&t.text) || t.text == "self",
+            TokKind::Int(_) | TokKind::Float => true,
+            _ => false,
+        })
+    }
+
+    /// Binary operators by precedence level (loosest first).
+    fn parse_binary(&mut self, level: usize, no_struct: bool) -> Expr {
+        const LEVELS: &[&[&str]] = &[
+            &["||"],
+            &["&&"],
+            &["==", "!=", "<", ">", "<=", ">="],
+            &["|"],
+            &["^"],
+            &["&"],
+            &["<<", ">>"],
+            &["+", "-"],
+            &["*", "/", "%"],
+        ];
+        if level >= LEVELS.len() {
+            return self.parse_unary(no_struct);
+        }
+        let line = self.line();
+        let mut lhs = self.parse_binary(level + 1, no_struct);
+        while let Some(t) = self.peek() {
+            if t.kind != TokKind::Punct || !LEVELS[level].contains(&t.text.as_str()) {
+                break;
+            }
+            let op = t.text.clone();
+            self.pos += 1;
+            let rhs = self.parse_binary(level + 1, no_struct);
+            lhs = Expr { kind: ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)), line };
+        }
+        lhs
+    }
+
+    fn parse_unary(&mut self, no_struct: bool) -> Expr {
+        let line = self.line();
+        for (p, name) in [("!", "!"), ("-", "-"), ("*", "*")] {
+            if self.at_punct(p) {
+                self.pos += 1;
+                let inner = self.parse_unary(no_struct);
+                return Expr { kind: ExprKind::Unary(name, Box::new(inner)), line };
+            }
+        }
+        if self.at_punct("&") || self.at_punct("&&") {
+            let double = self.at_punct("&&");
+            self.pos += 1;
+            self.eat_kw("mut");
+            let inner = self.parse_unary(no_struct);
+            let one = Expr { kind: ExprKind::Unary("&", Box::new(inner)), line };
+            if double {
+                return Expr { kind: ExprKind::Unary("&", Box::new(one)), line };
+            }
+            return one;
+        }
+        self.parse_postfix(no_struct)
+    }
+
+    fn parse_postfix(&mut self, no_struct: bool) -> Expr {
+        let mut e = self.parse_primary(no_struct);
+        loop {
+            let line = self.line();
+            if self.at_punct(".") {
+                self.pos += 1;
+                if self.eat_kw("await") {
+                    continue;
+                }
+                match self.peek() {
+                    Some(t) if t.kind == TokKind::Ident => {
+                        let name = t.text.clone();
+                        self.pos += 1;
+                        // Turbofish on method calls.
+                        if self.at_punct("::") {
+                            self.pos += 1;
+                            self.skip_angles();
+                        }
+                        if self.at_punct("(") {
+                            let args = self.parse_args();
+                            e = Expr { kind: ExprKind::Method(Box::new(e), name, args), line };
+                        } else {
+                            e = Expr { kind: ExprKind::Field(Box::new(e), name), line };
+                        }
+                    }
+                    Some(t) if matches!(t.kind, TokKind::Int(_)) => {
+                        let name = t.text.clone();
+                        self.pos += 1;
+                        e = Expr { kind: ExprKind::Field(Box::new(e), name), line };
+                    }
+                    _ => {
+                        self.out.recoveries += 1;
+                        break;
+                    }
+                }
+            } else if self.at_punct("(") {
+                let args = self.parse_args();
+                e = Expr { kind: ExprKind::Call(Box::new(e), args), line };
+            } else if self.at_punct("[") {
+                self.pos += 1;
+                let idx = self.parse_expr(false);
+                self.eat_punct("]");
+                e = Expr { kind: ExprKind::Index(Box::new(e), Box::new(idx)), line };
+            } else if self.at_punct("?") {
+                self.pos += 1;
+                e = Expr { kind: ExprKind::Try(Box::new(e)), line };
+            } else if self.at_kw("as") {
+                self.pos += 1;
+                self.skip_type();
+                e = Expr { kind: ExprKind::Cast(Box::new(e)), line };
+            } else {
+                break;
+            }
+        }
+        e
+    }
+
+    /// Parses a parenthesized argument list.
+    fn parse_args(&mut self) -> Vec<Expr> {
+        let mut args = Vec::new();
+        if !self.eat_punct("(") {
+            return args;
+        }
+        loop {
+            if self.at_punct(")") {
+                self.pos += 1;
+                return args;
+            }
+            if self.peek().is_none() {
+                return args;
+            }
+            args.push(self.parse_expr(false));
+            if !self.eat_punct(",") && !self.at_punct(")") {
+                // Unparsable argument tail: skip to `,` or `)`.
+                self.out.recoveries += 1;
+                let mut depth = 0usize;
+                while let Some(t) = self.peek() {
+                    if t.kind == TokKind::Punct {
+                        match t.text.as_str() {
+                            "(" | "[" | "{" => depth += 1,
+                            // A closer at depth 0 ends the argument list
+                            // (or means we escaped it — stop either way).
+                            ")" | "]" | "}" if depth == 0 => break,
+                            ")" | "]" | "}" => depth -= 1,
+                            "," if depth == 0 => {
+                                self.pos += 1;
+                                break;
+                            }
+                            _ => {}
+                        }
+                    }
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    fn parse_primary(&mut self, no_struct: bool) -> Expr {
+        let line = self.line();
+        let Some(t) = self.peek() else {
+            return Expr { kind: ExprKind::Opaque, line };
+        };
+        match t.kind {
+            TokKind::Int(_) | TokKind::Float | TokKind::Char => {
+                self.pos += 1;
+                Expr { kind: ExprKind::Lit, line }
+            }
+            TokKind::Str => {
+                let body = t.text.clone();
+                self.pos += 1;
+                Expr { kind: ExprKind::LitStr(body), line }
+            }
+            TokKind::Lifetime => {
+                // Label on a loop expression: `'a: loop { }`.
+                self.pos += 1;
+                self.eat_punct(":");
+                self.parse_primary(no_struct)
+            }
+            TokKind::Punct => match t.text.as_str() {
+                "(" => {
+                    self.pos += 1;
+                    let mut elems = Vec::new();
+                    let mut tuple = false;
+                    while !self.at_punct(")") && self.peek().is_some() {
+                        elems.push(self.parse_expr(false));
+                        if self.eat_punct(",") {
+                            tuple = true;
+                        } else {
+                            break;
+                        }
+                    }
+                    self.eat_punct(")");
+                    if !tuple && elems.len() == 1 {
+                        elems.pop().unwrap_or(Expr { kind: ExprKind::Opaque, line })
+                    } else {
+                        Expr { kind: ExprKind::Tuple(elems), line }
+                    }
+                }
+                "[" => {
+                    self.pos += 1;
+                    let mut elems = Vec::new();
+                    while !self.at_punct("]") && self.peek().is_some() {
+                        elems.push(self.parse_expr(false));
+                        if !self.eat_punct(",") && !self.eat_punct(";") {
+                            break;
+                        }
+                    }
+                    self.eat_punct("]");
+                    Expr { kind: ExprKind::Tuple(elems), line }
+                }
+                "{" => Expr { kind: ExprKind::Block(self.parse_block()), line },
+                "|" | "||" => self.parse_closure(line),
+                _ => {
+                    self.pos += 1;
+                    self.out.recoveries += 1;
+                    Expr { kind: ExprKind::Opaque, line }
+                }
+            },
+            TokKind::Ident => match t.text.as_str() {
+                "if" => {
+                    self.pos += 1;
+                    self.parse_if(line)
+                }
+                "while" => {
+                    self.pos += 1;
+                    let (cond, binds) = self.parse_cond();
+                    let body = self.parse_block();
+                    Expr {
+                        kind: ExprKind::While { cond: Box::new(cond), cond_binds: binds, body },
+                        line,
+                    }
+                }
+                "loop" => {
+                    self.pos += 1;
+                    Expr { kind: ExprKind::Loop(self.parse_block()), line }
+                }
+                "for" => {
+                    self.pos += 1;
+                    let mut pat_toks: Vec<&Tok> = Vec::new();
+                    let mut depth = 0usize;
+                    while let Some(t) = self.peek() {
+                        if t.kind == TokKind::Ident && t.text == "in" && depth == 0 {
+                            break;
+                        }
+                        if t.kind == TokKind::Punct {
+                            match t.text.as_str() {
+                                "(" | "[" => depth += 1,
+                                ")" | "]" => depth = depth.saturating_sub(1),
+                                _ => {}
+                            }
+                        }
+                        pat_toks.push(t);
+                        self.pos += 1;
+                    }
+                    let binds = pattern_binds(&pat_toks);
+                    self.eat_kw("in");
+                    let iter = self.parse_expr(true);
+                    let body = self.parse_block();
+                    Expr { kind: ExprKind::For { binds, iter: Box::new(iter), body }, line }
+                }
+                "match" => {
+                    self.pos += 1;
+                    let scrutinee = self.parse_expr(true);
+                    let arms = self.parse_match_arms();
+                    Expr { kind: ExprKind::Match(Box::new(scrutinee), arms), line }
+                }
+                "return" => {
+                    self.pos += 1;
+                    let val = self.expr_follows().then(|| Box::new(self.parse_expr(no_struct)));
+                    Expr { kind: ExprKind::Return(val), line }
+                }
+                "break" => {
+                    self.pos += 1;
+                    if self.peek().is_some_and(|t| t.kind == TokKind::Lifetime) {
+                        self.pos += 1;
+                    }
+                    let val = self.expr_follows().then(|| Box::new(self.parse_expr(no_struct)));
+                    Expr { kind: ExprKind::Break(val), line }
+                }
+                "continue" => {
+                    self.pos += 1;
+                    if self.peek().is_some_and(|t| t.kind == TokKind::Lifetime) {
+                        self.pos += 1;
+                    }
+                    Expr { kind: ExprKind::Continue, line }
+                }
+                "move" => {
+                    self.pos += 1;
+                    let line2 = self.line();
+                    self.parse_closure(line2)
+                }
+                "true" | "false" => {
+                    self.pos += 1;
+                    Expr { kind: ExprKind::Lit, line }
+                }
+                "unsafe" => {
+                    self.pos += 1;
+                    Expr { kind: ExprKind::Block(self.parse_block()), line }
+                }
+                s if is_reserved(s) => {
+                    self.pos += 1;
+                    self.out.recoveries += 1;
+                    Expr { kind: ExprKind::Opaque, line }
+                }
+                _ => self.parse_path_expr(no_struct, line),
+            },
+        }
+    }
+
+    fn expr_follows(&self) -> bool {
+        self.peek().is_some_and(|t| match t.kind {
+            TokKind::Punct => !matches!(t.text.as_str(), ";" | "}" | ")" | "]" | ","),
+            _ => true,
+        })
+    }
+
+    fn parse_closure(&mut self, line: u32) -> Expr {
+        let mut binds = Vec::new();
+        if self.at_punct("||") {
+            self.pos += 1;
+        } else if self.eat_punct("|") {
+            let mut pat_toks: Vec<&Tok> = Vec::new();
+            let mut depth = 0usize;
+            while let Some(t) = self.peek() {
+                if t.kind == TokKind::Punct {
+                    match t.text.as_str() {
+                        "(" | "[" => depth += 1,
+                        ")" | "]" => depth = depth.saturating_sub(1),
+                        "|" if depth == 0 => break,
+                        _ => {}
+                    }
+                }
+                pat_toks.push(t);
+                self.pos += 1;
+            }
+            binds = pattern_binds(&pat_toks);
+            self.eat_punct("|");
+        }
+        // Optional return type `-> T`.
+        if self.at_punct("->") {
+            self.pos += 1;
+            self.skip_type();
+        }
+        let body = self.parse_expr(false);
+        Expr { kind: ExprKind::Closure(binds, Box::new(body)), line }
+    }
+
+    fn parse_if(&mut self, line: u32) -> Expr {
+        let (cond, binds) = self.parse_cond();
+        let then_b = self.parse_block();
+        let mut else_b = None;
+        if self.eat_kw("else") {
+            let eline = self.line();
+            if self.at_kw("if") {
+                self.pos += 1;
+                else_b = Some(Box::new(self.parse_if(eline)));
+            } else {
+                else_b =
+                    Some(Box::new(Expr { kind: ExprKind::Block(self.parse_block()), line: eline }));
+            }
+        }
+        Expr {
+            kind: ExprKind::If { cond: Box::new(cond), cond_binds: binds, then_b, else_b },
+            line,
+        }
+    }
+
+    /// Condition of an `if`/`while`, handling the `let PAT = expr` form.
+    fn parse_cond(&mut self) -> (Expr, Vec<String>) {
+        if self.eat_kw("let") {
+            let mut pat_toks: Vec<&Tok> = Vec::new();
+            let mut depth = 0usize;
+            while let Some(t) = self.peek() {
+                if t.kind == TokKind::Punct {
+                    match t.text.as_str() {
+                        "(" | "[" => depth += 1,
+                        ")" | "]" => depth = depth.saturating_sub(1),
+                        "=" if depth == 0 => break,
+                        _ => {}
+                    }
+                }
+                pat_toks.push(t);
+                self.pos += 1;
+            }
+            let binds = pattern_binds(&pat_toks);
+            self.eat_punct("=");
+            let scrutinee = self.parse_expr(true);
+            return (scrutinee, binds);
+        }
+        (self.parse_expr(true), Vec::new())
+    }
+
+    fn parse_match_arms(&mut self) -> Vec<Arm> {
+        let mut arms = Vec::new();
+        if !self.eat_punct("{") {
+            return arms;
+        }
+        loop {
+            self.skip_attrs();
+            if self.at_punct("}") {
+                self.pos += 1;
+                return arms;
+            }
+            if self.peek().is_none() {
+                return arms;
+            }
+            // Pattern up to `=>` or an `if` guard at depth 0.
+            let mut pat_toks: Vec<&Tok> = Vec::new();
+            let mut depth = 0usize;
+            let mut guard = None;
+            while let Some(t) = self.peek() {
+                match t.kind {
+                    TokKind::Punct => match t.text.as_str() {
+                        "(" | "[" | "{" => {
+                            depth += 1;
+                            pat_toks.push(t);
+                        }
+                        ")" | "]" | "}" => {
+                            depth = depth.saturating_sub(1);
+                            pat_toks.push(t);
+                        }
+                        "=>" if depth == 0 => break,
+                        _ => pat_toks.push(t),
+                    },
+                    TokKind::Ident if depth == 0 && t.text == "if" => break,
+                    _ => pat_toks.push(t),
+                }
+                self.pos += 1;
+            }
+            let binds = pattern_binds(&pat_toks);
+            if self.eat_kw("if") {
+                guard = Some(self.parse_expr(true));
+            }
+            if !self.eat_punct("=>") {
+                self.out.recoveries += 1;
+                self.skip_to_item_end();
+                return arms;
+            }
+            let body = self.parse_expr(false);
+            self.eat_punct(",");
+            arms.push(Arm { binds, guard, body });
+        }
+    }
+
+    /// Path head in expression position: variable, `Ty::assoc` call,
+    /// macro, or struct literal.
+    fn parse_path_expr(&mut self, no_struct: bool, line: u32) -> Expr {
+        let mut segments = vec![self.bump().map(|t| t.text.clone()).unwrap_or_default()];
+        loop {
+            if self.at_punct("::") {
+                self.pos += 1;
+                if self.at_punct("<") {
+                    self.skip_angles();
+                    continue;
+                }
+                if let Some(t) = self.peek() {
+                    if t.kind == TokKind::Ident {
+                        segments.push(t.text.clone());
+                        self.pos += 1;
+                        continue;
+                    }
+                }
+                break;
+            }
+            break;
+        }
+        // Macro invocation.
+        if self.at_punct("!")
+            && self.peek_at(1).is_some_and(|t| {
+                t.kind == TokKind::Punct && matches!(t.text.as_str(), "(" | "[" | "{")
+            })
+        {
+            self.pos += 1;
+            let name = segments.last().cloned().unwrap_or_default();
+            let open = self.peek().map(|t| t.text.clone()).unwrap_or_default();
+            let close = match open.as_str() {
+                "(" => ")",
+                "[" => "]",
+                _ => "}",
+            };
+            self.pos += 1;
+            let mut args = Vec::new();
+            while let Some(t) = self.peek() {
+                if t.kind == TokKind::Punct && t.text == close {
+                    self.pos += 1;
+                    break;
+                }
+                if t.kind == TokKind::Punct && matches!(t.text.as_str(), "," | ";" | "=>" | "|") {
+                    self.pos += 1;
+                    continue;
+                }
+                let before = self.pos;
+                args.push(self.parse_expr(false));
+                if self.pos == before {
+                    // No progress: drop the token to guarantee termination.
+                    self.pos += 1;
+                    self.out.recoveries += 1;
+                }
+            }
+            return Expr { kind: ExprKind::Macro(name, args), line };
+        }
+        // Struct literal.
+        if self.at_punct("{") && !no_struct {
+            let ty = segments.last().cloned().unwrap_or_default();
+            if ty.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+                self.pos += 1;
+                let mut fields = Vec::new();
+                let mut rest = None;
+                loop {
+                    if self.at_punct("}") {
+                        self.pos += 1;
+                        break;
+                    }
+                    if self.peek().is_none() {
+                        break;
+                    }
+                    if self.at_punct("..") {
+                        self.pos += 1;
+                        rest = Some(Box::new(self.parse_expr(false)));
+                        self.eat_punct(",");
+                        continue;
+                    }
+                    let Some(fname) = self.ident_text().map(str::to_string) else {
+                        self.out.recoveries += 1;
+                        self.skip_to_item_end();
+                        break;
+                    };
+                    let fline = self.line();
+                    self.pos += 1;
+                    if self.eat_punct(":") {
+                        let val = self.parse_expr(false);
+                        fields.push((fname, val));
+                    } else {
+                        // Shorthand `Ty { field }` reads a same-named var.
+                        fields.push((
+                            fname.clone(),
+                            Expr { kind: ExprKind::Path(vec![fname]), line: fline },
+                        ));
+                    }
+                    self.eat_punct(",");
+                }
+                return Expr { kind: ExprKind::StructLit(ty, fields, rest), line };
+            }
+        }
+        Expr { kind: ExprKind::Path(segments), line }
+    }
+}
+
+/// Identifiers bound by a pattern token run: lowercase identifiers that are
+/// not path segments, enum variants, or struct-pattern field names.
+pub fn pattern_binds(toks: &[&Tok]) -> Vec<String> {
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let s = t.text.as_str();
+        if is_reserved(s) || matches!(s, "_" | "self" | "box" | "Some" | "None" | "Ok" | "Err") {
+            continue;
+        }
+        if s.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+            continue; // enum variant or type
+        }
+        let prev = i.checked_sub(1).and_then(|j| toks.get(j));
+        if prev.is_some_and(|p| p.kind == TokKind::Punct && p.text == "::") {
+            continue; // path segment
+        }
+        let next = toks.get(i + 1);
+        if next.is_some_and(|n| {
+            n.kind == TokKind::Punct && matches!(n.text.as_str(), "::" | "(" | "{" | ":")
+        }) {
+            continue; // path head, call-like variant, or field name
+        }
+        if !out.contains(&t.text) {
+            out.push(t.text.clone());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::walker::parse_markers;
+
+    fn parse(src: &str) -> Parsed {
+        let l = lex(src);
+        let (_, ann, _) = parse_markers(&l.comments);
+        parse_file(&l, &ann)
+    }
+
+    #[test]
+    fn fn_and_params() {
+        let p = parse("fn f(a: u64, _b: &mut [u8]) -> u64 { a + 1 }\n");
+        assert_eq!(p.fns.len(), 1);
+        let f = &p.fns[0];
+        assert_eq!(f.name, "f");
+        assert_eq!(f.params.len(), 2);
+        assert_eq!(f.params[0].name, "a");
+        assert_eq!(f.params[0].ty.as_deref(), Some("u64"));
+        assert!(!f.has_self);
+        assert_eq!(f.body.stmts.len(), 1);
+        assert!(matches!(f.body.stmts[0], Stmt::Expr(_)));
+    }
+
+    #[test]
+    fn impl_method_and_owner() {
+        let p = parse("struct S { x: u64 }\nimpl S { pub fn get(&self) -> u64 { self.x } }\n");
+        assert_eq!(p.structs.len(), 1);
+        assert_eq!(p.structs[0].fields[0].name, "x");
+        let f = &p.fns[0];
+        assert_eq!(f.owner.as_deref(), Some("S"));
+        assert!(f.has_self);
+        assert_eq!(f.params[0].name, "self");
+    }
+
+    #[test]
+    fn trait_impl_owner_is_self_type() {
+        let p = parse("impl core::fmt::Display for Leaf { fn fmt(&self) {} }\n");
+        assert_eq!(p.fns[0].owner.as_deref(), Some("Leaf"));
+    }
+
+    #[test]
+    fn secret_annotations_bind() {
+        let src = "struct K {\n  // lint: secret\n  material: [u8; 16],\n  public: u64,\n}\n\
+                   fn g(\n  k: &[u8], // lint: secret\n  n: u64,\n) {}\n";
+        let p = parse(src);
+        assert!(p.structs[0].fields[0].secret);
+        assert!(!p.structs[0].fields[1].secret);
+        assert!(p.fns[0].params[0].secret);
+        assert!(!p.fns[0].params[1].secret);
+        assert_eq!(p.used_annotation_lines.len(), 2);
+    }
+
+    #[test]
+    fn if_let_and_match() {
+        let src = "fn f(o: Option<u64>) -> u64 {\n  if let Some(v) = o { v } else { 0 };\n  \
+                   match o { Some(x) if x > 2 => x, _ => 0 }\n}\n";
+        let p = parse(src);
+        let f = &p.fns[0];
+        assert_eq!(f.body.stmts.len(), 2);
+        let Stmt::Semi(ifl) = &f.body.stmts[0] else { panic!("want semi") };
+        let ExprKind::If { cond_binds, .. } = &ifl.kind else { panic!("want if") };
+        assert_eq!(cond_binds, &["v"]);
+        let Stmt::Expr(m) = &f.body.stmts[1] else { panic!("want tail") };
+        let ExprKind::Match(_, arms) = &m.kind else { panic!("want match") };
+        assert_eq!(arms.len(), 2);
+        assert_eq!(arms[0].binds, vec!["x"]);
+        assert!(arms[0].guard.is_some());
+    }
+
+    #[test]
+    fn closures_loops_ranges() {
+        let src = "fn f(v: Vec<u64>) {\n  let s: u64 = v.iter().map(|x| x + 1).sum();\n  \
+                   for (i, b) in v.iter().enumerate() { let _ = i + *b; }\n  \
+                   let r = &v[1..3];\n  let _ = (s, r.len());\n}\n";
+        let p = parse(src);
+        assert_eq!(p.fns.len(), 1);
+        assert_eq!(p.recoveries, 0, "should parse cleanly");
+    }
+
+    #[test]
+    fn struct_literal_and_update() {
+        let src = "fn f() -> S { let base = S { a: 1, b: 2 }; S { a: 3, ..base } }\n";
+        let p = parse(src);
+        let Stmt::Expr(e) = &p.fns[0].body.stmts[1] else { panic!("want tail") };
+        let ExprKind::StructLit(ty, fields, rest) = &e.kind else { panic!("want lit") };
+        assert_eq!(ty, "S");
+        assert_eq!(fields.len(), 1);
+        assert!(rest.is_some());
+    }
+
+    #[test]
+    fn macro_args_and_format_string() {
+        let src = "fn f(x: u64) { assert_eq!(x, 3); let s = format!(\"{x} and {}\", x + 1); let _ = s; }\n";
+        let p = parse(src);
+        let Stmt::Semi(m) = &p.fns[0].body.stmts[0] else { panic!("want semi") };
+        let ExprKind::Macro(name, args) = &m.kind else { panic!("want macro") };
+        assert_eq!(name, "assert_eq");
+        assert_eq!(args.len(), 2);
+    }
+
+    #[test]
+    fn never_panics_on_odd_input() {
+        // Garbage and exotic constructs must not panic the parser.
+        for src in [
+            "fn f() { let x = ; } }",
+            "impl<T: Ord> Foo<T> where T: Clone { fn g(&self) -> &T { &self.0 } }",
+            "fn f() { x.0.1; }",
+            "fn f() { break 'label; }",
+            "fn { } struct ;",
+        ] {
+            let _ = parse(src);
+        }
+    }
+
+    #[test]
+    fn real_shapes_from_the_workspace_parse_cleanly() {
+        let src = r#"
+impl PathOram {
+    pub fn access(&mut self, op: Op, id: BlockId, data: Option<&[u8]>) -> Vec<u8> {
+        let (old_leaf, new_leaf) = self.posmap.get_and_remap(id, &mut self.rng);
+        let path = self.layout.path_lines(old_leaf);
+        for b in path.iter().rev() {
+            if let Some(bucket) = self.tree.get_mut(b) {
+                bucket.drain_into(&mut self.stash);
+            }
+        }
+        let out = match op {
+            Op::Read => self.serve(id, None),
+            Op::Write => self.serve(id, data),
+        };
+        self.writeback(old_leaf);
+        out
+    }
+}
+"#;
+        let p = parse(src);
+        assert_eq!(p.fns.len(), 1);
+        assert_eq!(p.recoveries, 0, "workspace idioms must parse without recovery");
+        assert_eq!(p.fns[0].params.len(), 4);
+    }
+}

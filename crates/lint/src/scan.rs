@@ -1,50 +1,160 @@
-//! Scan orchestration: file discovery across the workspace, per-file pass
-//! execution, and report formatting.
+//! Scan orchestration: file discovery across the workspace, symbol/summary
+//! construction for L6, per-file pass execution, unused-waiver emission,
+//! and report formatting.
 
+use std::cell::RefCell;
+use std::collections::BTreeSet;
 use std::fs;
 use std::path::{Path, PathBuf};
 
 use crate::lexer::lex;
-use crate::lints::{l1_cycle, l2_timing, l3_secret, l4_panic, l5_wallclock, PassInput};
-use crate::walker::{parse_waivers, test_regions};
+use crate::lints::{l1_cycle, l2_timing, l3_secret, l4_panic, l5_wallclock, l6_taint, PassInput};
+use crate::parse::parse_file;
+use crate::summary::{build_symbols, compute_summaries, FileUnit, MAX_ROUNDS};
+use crate::walker::{in_test, parse_markers, test_regions};
 use crate::{FileCtx, FileKind, Finding, Lint};
 
 /// Workspace members the scanner skips entirely: the vendored shims are
 /// third-party API mimics excluded from the cargo workspace too.
 const SKIPPED_MEMBERS: &[&str] = &["shims"];
 
+/// One in-memory source unit handed to [`scan_sources`].
+#[derive(Debug)]
+pub struct SourceUnit {
+    /// Lint context.
+    pub ctx: FileCtx,
+    /// Workspace-relative display path.
+    pub display: String,
+    /// File contents.
+    pub src: String,
+}
+
 /// Runs every pass over one source string. Exposed so fixture tests can
-/// scan seeded-violation files under an arbitrary crate context.
+/// scan seeded-violation files under an arbitrary crate context. L6 runs
+/// with a symbol table built from this file alone.
 pub fn scan_source(ctx: &FileCtx, display_path: &str, src: &str) -> Vec<Finding> {
-    let lexed = lex(src);
-    let (waivers, bad_waivers) = parse_waivers(&lexed.comments);
-    let regions = test_regions(&lexed);
-    let lines: Vec<&str> = src.lines().collect();
-    let input = PassInput {
-        ctx,
-        file: display_path,
-        lines: &lines,
-        toks: &lexed.tokens,
-        test_regions: &regions,
-        waivers: &waivers,
-    };
-    let mut findings = Vec::new();
-    for bw in &bad_waivers {
-        findings.push(Finding {
-            lint: Lint::BadWaiver,
-            file: display_path.to_string(),
-            line: bw.line,
-            actual: format!("malformed waiver `//{}`: {}", bw.text, bw.problem),
-            expected: "write `// lint: <name>(reason)` with a known name and a non-empty reason"
-                .to_string(),
-            excerpt: input.excerpt(bw.line),
-        });
+    let unit =
+        SourceUnit { ctx: ctx.clone(), display: display_path.to_string(), src: src.to_string() };
+    scan_sources(&[unit], MAX_ROUNDS)
+}
+
+/// Scans a set of source units as one workspace: L1–L5 per file, L6 with
+/// cross-file symbols/summaries (`rounds` fixpoint rounds — pass `1` to
+/// observe what the analysis misses without the interprocedural summary
+/// pass), then unused-waiver findings per file.
+pub fn scan_sources(units: &[SourceUnit], rounds: usize) -> Vec<Finding> {
+    // Phase 1: lex/parse everything.
+    struct Prepped {
+        lexed: crate::lexer::Lexed,
+        waivers: Vec<crate::walker::Waiver>,
+        bad: Vec<crate::walker::BadWaiver>,
+        annotations: Vec<crate::walker::SecretAnnotation>,
+        regions: Vec<(u32, u32)>,
+        parsed: crate::parse::Parsed,
     }
-    findings.extend(l1_cycle::check(&input));
-    findings.extend(l2_timing::check(&input));
-    findings.extend(l3_secret::check(&input));
-    findings.extend(l4_panic::check(&input, src));
-    findings.extend(l5_wallclock::check(&input));
+    let prepped: Vec<Prepped> = units
+        .iter()
+        .map(|u| {
+            let lexed = lex(&u.src);
+            let (waivers, annotations, bad) = parse_markers(&lexed.comments);
+            let regions = test_regions(&lexed);
+            let parsed = parse_file(&lexed, &annotations);
+            Prepped { lexed, waivers, bad, annotations, regions, parsed }
+        })
+        .collect();
+
+    // Phase 2: workspace symbols and fixpoint summaries for L6. Library
+    // files contribute symbols; binaries and scaffolding only consume.
+    let file_units: Vec<FileUnit<'_>> = units
+        .iter()
+        .zip(&prepped)
+        .map(|(u, p)| FileUnit {
+            crate_name: &u.ctx.crate_name,
+            parsed: &p.parsed,
+            waivers: &p.waivers,
+            test_regions: &p.regions,
+            contributes: u.ctx.kind == FileKind::Lib,
+        })
+        .collect();
+    let mut engine_used: Vec<BTreeSet<u32>> = units.iter().map(|_| BTreeSet::new()).collect();
+    let symbols = build_symbols(&file_units, &mut engine_used);
+    let summaries = compute_summaries(&file_units, &symbols, rounds, &mut engine_used);
+
+    // Phase 3: per-file passes.
+    let mut findings = Vec::new();
+    for (i, (u, p)) in units.iter().zip(&prepped).enumerate() {
+        let lines: Vec<&str> = u.src.lines().collect();
+        let input = PassInput {
+            ctx: &u.ctx,
+            file: &u.display,
+            lines: &lines,
+            toks: &p.lexed.tokens,
+            test_regions: &p.regions,
+            waivers: &p.waivers,
+            used_waiver_lines: RefCell::new(BTreeSet::new()),
+        };
+        for bw in &p.bad {
+            findings.push(Finding {
+                lint: Lint::BadWaiver,
+                file: u.display.clone(),
+                line: bw.line,
+                actual: format!("malformed waiver `//{}`: {}", bw.text, bw.problem),
+                expected:
+                    "write `// lint: <name>(reason)` with a known name and a non-empty reason"
+                        .to_string(),
+                excerpt: input.excerpt(bw.line),
+            });
+        }
+        findings.extend(l1_cycle::check(&input));
+        findings.extend(l2_timing::check(&input));
+        findings.extend(l3_secret::check(&input));
+        findings.extend(l4_panic::check(&input, &u.src));
+        findings.extend(l5_wallclock::check(&input));
+        findings.extend(l6_taint::check(
+            &input,
+            &p.parsed,
+            &symbols,
+            &summaries,
+            &mut engine_used[i],
+        ));
+
+        // Phase 4: stale suppressions. A waiver that fired nothing and an
+        // annotation that bound nothing are errors — suppression debt
+        // rots fast when refactors move the code out from under it.
+        let pass_used = input.used_waiver_lines.borrow();
+        for w in &p.waivers {
+            if in_test(&p.regions, w.line)
+                || pass_used.contains(&w.line)
+                || engine_used[i].contains(&w.line)
+            {
+                continue;
+            }
+            findings.push(Finding {
+                lint: Lint::UnusedWaiver,
+                file: u.display.clone(),
+                line: w.line,
+                actual: format!("waiver `// lint: {}({})` suppresses no finding", w.name, w.reason),
+                expected: "remove the stale waiver (or move it onto the line it justifies)"
+                    .to_string(),
+                excerpt: input.excerpt(w.line),
+            });
+        }
+        for a in &p.annotations {
+            if in_test(&p.regions, a.line) || p.parsed.used_annotation_lines.contains(&a.line) {
+                continue;
+            }
+            findings.push(Finding {
+                lint: Lint::UnusedWaiver,
+                file: u.display.clone(),
+                line: a.line,
+                actual: "`// lint: secret` annotation matches no field/param/let declaration"
+                    .to_string(),
+                expected: "place the annotation on (or directly above) the declaration it marks"
+                    .to_string(),
+                excerpt: input.excerpt(a.line),
+            });
+        }
+    }
     findings
 }
 
@@ -161,14 +271,27 @@ pub struct ScanReport {
     pub findings: Vec<Finding>,
 }
 
-/// Scans every lintable file under `root`.
+/// Scans every lintable file under `root` with the default fixpoint depth.
 pub fn scan_workspace(root: &Path) -> std::io::Result<ScanReport> {
+    scan_workspace_with_rounds(root, MAX_ROUNDS)
+}
+
+/// Scans every lintable file under `root` as ONE unit, so L6 sees a
+/// workspace-wide symbol table and call graph. `rounds` bounds the
+/// interprocedural fixpoint (`1` disables transitive summaries — used by
+/// tests to demonstrate what the summary pass buys).
+pub fn scan_workspace_with_rounds(root: &Path, rounds: usize) -> std::io::Result<ScanReport> {
     let files = collect_files(root)?;
-    let mut findings = Vec::new();
+    let mut units = Vec::with_capacity(files.len());
     for f in &files {
-        let src = fs::read_to_string(&f.path)?;
-        findings.extend(scan_source(&f.ctx, &f.display, &src));
+        units.push(SourceUnit {
+            ctx: f.ctx.clone(),
+            display: f.display.clone(),
+            src: fs::read_to_string(&f.path)?,
+        });
     }
+    let mut findings = scan_sources(&units, rounds);
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
     Ok(ScanReport { files_scanned: files.len(), findings })
 }
 

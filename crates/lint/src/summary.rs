@@ -1,0 +1,244 @@
+//! Workspace symbol table and interprocedural taint summaries for L6.
+//!
+//! Every function in the scanned library files gets a **taint signature**:
+//! which parameters flow to its return value, whether the return is secret
+//! regardless of arguments, and which parameters reach a sink inside the
+//! body (directly or through further calls). Signatures are computed to a
+//! fixpoint over the call graph: each round re-derives every summary from
+//! the previous round's summaries, and the process stops when nothing
+//! changes.
+//!
+//! **Why this terminates:** a summary only ever *grows* — `param_returns`
+//! gains bits, `returns_secret` flips from `None` to `Some` once, and
+//! `param_sinks` gains entries (first description wins, so entries never
+//! mutate). The analysis is union-based with no negation, so a larger
+//! input summary can only produce a larger output summary (monotone), and
+//! the lattice is finite (≤ 64 params, 5 sink kinds, finitely many call
+//! sites). In practice the workspace stabilizes in 2–3 rounds; the driver
+//! caps at [`MAX_ROUNDS`] and accepts the partial (still sound-per-mode,
+//! merely less complete) result if a pathological chain exceeds it.
+
+use crate::flow::{analyze_fn, FnSummary};
+use crate::parse::{FnDef, Parsed};
+use crate::walker::{in_test, waiver_line, Waiver};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Fixpoint round cap; see the module docs for the termination argument.
+pub const MAX_ROUNDS: usize = 10;
+
+/// One struct field as the flow engine sees it.
+#[derive(Debug, Clone)]
+pub struct FieldInfo {
+    /// First path segment of the declared type.
+    pub ty: String,
+    /// Whether the field carries a `// lint: secret` annotation.
+    pub secret: bool,
+}
+
+/// A registered function: where it lives and how to address it.
+#[derive(Debug)]
+pub struct FnEntry {
+    /// Function name.
+    pub name: String,
+    /// `impl`/`trait` owner type, when any.
+    pub owner: Option<String>,
+    /// Crate the definition lives in.
+    pub crate_name: String,
+    /// Index of the source file in the scan unit list.
+    pub file: usize,
+    /// Index into that file's `Parsed::fns`.
+    pub fn_idx: usize,
+    /// Whether a fn-level `// lint: declassify(reason)` covers the
+    /// signature: the whole body is exempt and the return is public.
+    pub declassified: bool,
+}
+
+impl FnEntry {
+    /// Display key, e.g. `Cmac::dbl` or `split_counter`.
+    pub fn key(&self) -> String {
+        match &self.owner {
+            Some(o) => format!("{o}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// Workspace-wide symbol information shared by every L6 run.
+#[derive(Debug, Default)]
+pub struct Symbols {
+    /// Struct name → field name → type/secret info.
+    pub structs: BTreeMap<String, BTreeMap<String, FieldInfo>>,
+    /// Flat function registry.
+    pub entries: Vec<FnEntry>,
+    /// `(owner, name)` → entry ids, for typed method/assoc-fn resolution.
+    pub by_owner_name: BTreeMap<(String, String), Vec<usize>>,
+    /// Method name → entry ids (methods only), for unique-name fallback.
+    pub by_method_name: BTreeMap<String, Vec<usize>>,
+    /// Free-function name → entry ids.
+    pub free_by_name: BTreeMap<String, Vec<usize>>,
+}
+
+/// Method names shared with std types (iterators, collections, Option/
+/// Result): the untyped unique-name fallback must never claim these, or a
+/// `.map(..)` iterator chain would "resolve" to some project method that
+/// happens to be the only registered `map`.
+const STD_METHOD_NAMES: &[&str] = &[
+    "map", "get", "set", "push", "pop", "insert", "remove", "take", "replace", "clear", "next",
+    "iter", "contains", "fold", "filter", "find", "clone", "write", "read", "flush", "drain",
+    "extend", "swap", "split", "join", "cmp", "eq", "ne", "hash", "fmt", "from", "into", "default",
+    "get_mut", "iter_mut", "as_ref", "as_mut", "to_vec", "collect", "sum", "min", "max", "rev",
+    "zip", "step", "reset", "tick", "update", "advance", "load", "store",
+];
+
+impl Symbols {
+    /// Resolves a method call `recv.name(..)` given the receiver's
+    /// inferred type (when known). Unknown receivers resolve only if the
+    /// method name is unique across every registered type AND is not a
+    /// std-collection/iterator name — those stay unresolved and merely
+    /// propagate taint conservatively.
+    pub fn resolve_method(
+        &self,
+        recv_ty: Option<&str>,
+        name: &str,
+        crate_name: &str,
+    ) -> Option<usize> {
+        if let Some(ty) = recv_ty {
+            let ids = self.by_owner_name.get(&(ty.to_string(), name.to_string()))?;
+            return pick(ids, &self.entries, crate_name);
+        }
+        if STD_METHOD_NAMES.contains(&name) {
+            return None;
+        }
+        let ids = self.by_method_name.get(name)?;
+        if ids.len() == 1 {
+            return Some(ids[0]);
+        }
+        None
+    }
+
+    /// Resolves an associated-function call `Ty::name(..)`.
+    pub fn resolve_assoc(&self, ty: &str, name: &str, crate_name: &str) -> Option<usize> {
+        let ids = self.by_owner_name.get(&(ty.to_string(), name.to_string()))?;
+        pick(ids, &self.entries, crate_name)
+    }
+
+    /// Resolves a free-function call `name(..)`, preferring the caller's
+    /// crate, then a globally unique definition.
+    pub fn resolve_free(&self, name: &str, crate_name: &str) -> Option<usize> {
+        let ids = self.free_by_name.get(name)?;
+        pick(ids, &self.entries, crate_name)
+    }
+}
+
+fn pick(ids: &[usize], entries: &[FnEntry], crate_name: &str) -> Option<usize> {
+    let same: Vec<usize> =
+        ids.iter().copied().filter(|&i| entries[i].crate_name == crate_name).collect();
+    match same.as_slice() {
+        [one] => Some(*one),
+        [] if ids.len() == 1 => Some(ids[0]),
+        _ => None,
+    }
+}
+
+/// One file's worth of inputs to symbol construction.
+pub struct FileUnit<'a> {
+    /// Crate the file belongs to.
+    pub crate_name: &'a str,
+    /// Parsed items.
+    pub parsed: &'a Parsed,
+    /// The file's waivers (fn-level declassify detection).
+    pub waivers: &'a [Waiver],
+    /// `#[cfg(test)]` regions (test fns are not registered).
+    pub test_regions: &'a [(u32, u32)],
+    /// Whether the file contributes symbols (library files do; binaries
+    /// and test scaffolding do not).
+    pub contributes: bool,
+}
+
+/// Builds the symbol table from parsed files. Fn-level declassify waivers
+/// are marked used here (per file, into `used_waivers[file]`).
+pub fn build_symbols(files: &[FileUnit<'_>], used_waivers: &mut [BTreeSet<u32>]) -> Symbols {
+    let mut sym = Symbols::default();
+    for (fi, unit) in files.iter().enumerate() {
+        if !unit.contributes {
+            continue;
+        }
+        for s in &unit.parsed.structs {
+            let fields = sym.structs.entry(s.name.clone()).or_default();
+            for f in &s.fields {
+                fields.insert(f.name.clone(), FieldInfo { ty: f.ty.clone(), secret: f.secret });
+            }
+        }
+        for (idx, f) in unit.parsed.fns.iter().enumerate() {
+            if in_test(unit.test_regions, f.sig_line) {
+                continue;
+            }
+            let declassified = match waiver_line(unit.waivers, "declassify", f.sig_line) {
+                Some(wline) => {
+                    used_waivers[fi].insert(wline);
+                    true
+                }
+                None => false,
+            };
+            let id = sym.entries.len();
+            sym.entries.push(FnEntry {
+                name: f.name.clone(),
+                owner: f.owner.clone(),
+                crate_name: unit.crate_name.to_string(),
+                file: fi,
+                fn_idx: idx,
+                declassified,
+            });
+            if let Some(o) = &f.owner {
+                sym.by_owner_name.entry((o.clone(), f.name.clone())).or_default().push(id);
+                if f.has_self {
+                    sym.by_method_name.entry(f.name.clone()).or_default().push(id);
+                }
+            } else {
+                sym.free_by_name.entry(f.name.clone()).or_default().push(id);
+            }
+        }
+    }
+    sym
+}
+
+/// Computes every function's [`FnSummary`] to a fixpoint (≤ `rounds`
+/// rounds, batch-updated per round so results are order-independent).
+/// Declassify waivers that suppress a summary-level sink are marked used.
+pub fn compute_summaries(
+    files: &[FileUnit<'_>],
+    symbols: &Symbols,
+    rounds: usize,
+    used_waivers: &mut [BTreeSet<u32>],
+) -> Vec<FnSummary> {
+    let mut summaries: Vec<FnSummary> =
+        symbols.entries.iter().map(|_| FnSummary::default()).collect();
+    for _ in 0..rounds {
+        let mut next: Vec<FnSummary> = Vec::with_capacity(summaries.len());
+        for entry in symbols.entries.iter() {
+            if entry.declassified {
+                next.push(FnSummary::default());
+                continue;
+            }
+            let unit = &files[entry.file];
+            let f: &FnDef = &unit.parsed.fns[entry.fn_idx];
+            let mut out = FnSummary::default();
+            analyze_fn(
+                f,
+                &entry.crate_name,
+                symbols,
+                &summaries,
+                unit.waivers,
+                &mut used_waivers[entry.file],
+                &mut crate::flow::Mode::Summary(&mut out),
+            );
+            next.push(out);
+        }
+        let stable = next == summaries;
+        summaries = next;
+        if stable {
+            break;
+        }
+    }
+    summaries
+}

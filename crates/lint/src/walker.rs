@@ -4,8 +4,26 @@
 use crate::lexer::{Comment, Lexed, Tok, TokKind};
 
 /// Waiver names the passes understand, one per waivable lint.
+/// `declassify` is the L6 escape hatch: it asserts a secret-dependent
+/// operation is safe (controller-internal, or public by a protocol
+/// argument) and must state that argument as its reason. Placed on a `fn`
+/// signature line it declassifies the whole function (return value public,
+/// body exempt).
 pub const KNOWN_WAIVERS: &[&str] =
-    &["wrap-ok", "literal-ok", "secret-ok", "print-ok", "panic-ok", "wallclock-ok"];
+    &["wrap-ok", "literal-ok", "secret-ok", "print-ok", "panic-ok", "wallclock-ok", "declassify"];
+
+/// A `// lint: secret` annotation: marks the field, parameter, or
+/// let-binding declared on the same or next line as an L6 taint source.
+#[derive(Debug, Clone)]
+pub struct SecretAnnotation {
+    /// Line the comment sits on; it covers this line and the next.
+    pub line: u32,
+}
+
+/// True when a `// lint: secret` annotation covers `line`.
+pub fn secret_annotated(annotations: &[SecretAnnotation], line: u32) -> bool {
+    annotations.iter().any(|a| a.line == line || a.line + 1 == line)
+}
 
 /// A parsed `// lint: <name>(<reason>)` waiver comment.
 #[derive(Debug, Clone)]
@@ -34,12 +52,26 @@ pub struct BadWaiver {
 
 /// Extracts waivers (and malformed ones) from the comment list.
 pub fn parse_waivers(comments: &[Comment]) -> (Vec<Waiver>, Vec<BadWaiver>) {
+    let (good, _, bad) = parse_markers(comments);
+    (good, bad)
+}
+
+/// Extracts waivers, `// lint: secret` annotations, and malformed markers
+/// from the comment list.
+pub fn parse_markers(comments: &[Comment]) -> (Vec<Waiver>, Vec<SecretAnnotation>, Vec<BadWaiver>) {
     let mut good = Vec::new();
+    let mut annotations = Vec::new();
     let mut bad = Vec::new();
     for c in comments {
         let text = c.text.trim();
         let Some(rest) = text.strip_prefix("lint:") else { continue };
         let rest = rest.trim();
+        // `// lint: secret` is an L6 source annotation, not a waiver: it
+        // takes no reason (the declaration it marks is the reason).
+        if rest == "secret" {
+            annotations.push(SecretAnnotation { line: c.line });
+            continue;
+        }
         let (name, tail) = match rest.find('(') {
             Some(p) => (rest[..p].trim(), &rest[p + 1..]),
             None => {
@@ -70,13 +102,22 @@ pub fn parse_waivers(comments: &[Comment]) -> (Vec<Waiver>, Vec<BadWaiver>) {
         }
         good.push(Waiver { name: name.to_string(), reason: reason.to_string(), line: c.line });
     }
-    (good, bad)
+    (good, annotations, bad)
 }
 
 /// True when a waiver named `name` covers `line` (same line or the line
 /// directly below the comment).
 pub fn waived(waivers: &[Waiver], name: &str, line: u32) -> bool {
-    waivers.iter().any(|w| w.name == name && (w.line == line || w.line + 1 == line))
+    waiver_line(waivers, name, line).is_some()
+}
+
+/// The comment line of the waiver named `name` covering `line`, if any —
+/// used by the unused-waiver tracker to mark exactly which comment fired.
+pub fn waiver_line(waivers: &[Waiver], name: &str, line: u32) -> Option<u32> {
+    waivers
+        .iter()
+        .find(|w| w.name == name && (w.line == line || w.line + 1 == line))
+        .map(|w| w.line)
 }
 
 /// Inclusive line ranges of `#[cfg(test)]` items (modules or functions).
@@ -278,6 +319,38 @@ mod tests {
         assert!(waived(&good, "wrap-ok", 2));
         assert!(!waived(&good, "wrap-ok", 3));
         assert!(!waived(&good, "panic-ok", 1));
+    }
+
+    #[test]
+    fn secret_annotation_is_not_a_waiver() {
+        let l = lex("pub leaves: Vec<Leaf>, // lint: secret\n");
+        let (good, ann, bad) = parse_markers(&l.comments);
+        assert!(good.is_empty());
+        assert!(bad.is_empty());
+        assert_eq!(ann.len(), 1);
+        assert!(secret_annotated(&ann, 1));
+        assert!(secret_annotated(&ann, 2));
+        assert!(!secret_annotated(&ann, 3));
+    }
+
+    #[test]
+    fn secret_annotation_with_parens_is_malformed() {
+        // `secret` takes no reason; `secret(...)` is an unknown waiver.
+        let l = lex("// lint: secret(because)\n");
+        let (good, ann, bad) = parse_markers(&l.comments);
+        assert!(good.is_empty() && ann.is_empty());
+        assert_eq!(bad.len(), 1);
+    }
+
+    #[test]
+    fn declassify_requires_reason() {
+        let l = lex("// lint: declassify(leaf is re-drawn before disclosure)\n");
+        let (good, bad) = parse_waivers(&l.comments);
+        assert!(bad.is_empty());
+        assert_eq!(good[0].name, "declassify");
+        let l = lex("// lint: declassify()\n");
+        let (_, bad) = parse_waivers(&l.comments);
+        assert_eq!(bad.len(), 1, "declassify without a reason must be rejected");
     }
 
     #[test]

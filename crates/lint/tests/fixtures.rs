@@ -5,7 +5,9 @@
 use std::collections::BTreeSet;
 use std::path::Path;
 
-use sdimm_lint::scan::{find_workspace_root, scan_source, scan_workspace};
+use sdimm_lint::scan::{
+    find_workspace_root, scan_source, scan_sources, scan_workspace, SourceUnit,
+};
 use sdimm_lint::{FileCtx, FileKind, Finding};
 
 fn fixture(name: &str) -> String {
@@ -171,6 +173,107 @@ fn fixtures_seed_at_least_eight_distinct_violations() {
     all.extend(ids(&scan("l5_wallclock.rs", &ctx("leakage", FileKind::Lib, false))));
     all.extend(ids(&scan("l0_bad_waiver.rs", &ctx("dram", FileKind::Lib, false))));
     assert!(all.len() >= 8, "only {} distinct lints seeded: {all:?}", all.len());
+}
+
+#[test]
+fn l6_fixture_flags_every_sink_kind() {
+    let c = ctx("oram", FileKind::Lib, false);
+    let found = scan("l6_flow.rs", &c);
+    assert_eq!(
+        ids(&found),
+        BTreeSet::from([
+            "L6/secret-branch",
+            "L6/secret-index",
+            "L6/secret-loop-bound",
+            "L6/secret-vartime",
+            "L6/secret-format-flow",
+        ]),
+        "{found:#?}"
+    );
+    assert_eq!(found.len(), 5, "each seeded sink must fire exactly once: {found:#?}");
+}
+
+#[test]
+fn l6_is_scoped_to_secret_flow_crates() {
+    // The DRAM timing model has no secrets of its own; L6 stays out.
+    let c = ctx("dram", FileKind::Lib, false);
+    let found = scan("l6_flow.rs", &c);
+    assert!(found.is_empty(), "{found:#?}");
+}
+
+#[test]
+fn l6_waived_copy_is_clean() {
+    let c = ctx("oram", FileKind::Lib, false);
+    let found = scan("l6_flow_waived.rs", &c);
+    assert!(found.is_empty(), "{found:#?}");
+}
+
+#[test]
+fn l6_one_hop_crosses_the_call_boundary() {
+    let c = ctx("oram", FileKind::Lib, false);
+    let found = scan("l6_interproc.rs", &c);
+    let one_hop: Vec<_> = found
+        .iter()
+        .filter(|f| f.lint.id() == "L6/secret-arg-sink" && f.excerpt.contains("branch_on(leaf)"))
+        .collect();
+    assert_eq!(one_hop.len(), 1, "one-hop call-arg sink must fire: {found:#?}");
+}
+
+#[test]
+fn l6_two_hop_needs_the_summary_fixpoint() {
+    // Acceptance criterion: a leak routed through a forwarding function is
+    // invisible to a single summary round and caught at the default depth.
+    let c = ctx("oram", FileKind::Lib, false);
+    let unit = || SourceUnit {
+        ctx: c.clone(),
+        display: "fixtures/l6_interproc.rs".to_string(),
+        src: fixture("l6_interproc.rs"),
+    };
+    let two_hop = |findings: &[Finding]| {
+        findings.iter().filter(|f| f.excerpt.contains("relay(leaf)")).count()
+    };
+
+    let shallow = scan_sources(&[unit()], 1);
+    assert_eq!(two_hop(&shallow), 0, "one round must miss the two-hop leak: {shallow:#?}");
+
+    let deep = scan_sources(&[unit()], 10);
+    assert_eq!(two_hop(&deep), 1, "the fixpoint must catch the two-hop leak: {deep:#?}");
+}
+
+#[test]
+fn l6_false_positive_guards_stay_silent() {
+    let c = ctx("oram", FileKind::Lib, false);
+    let found = scan("l6_fp_guards.rs", &c);
+    assert!(found.is_empty(), "public-by-convention names must not fire: {found:#?}");
+}
+
+#[test]
+fn l6_flags_the_seeded_path_oram_leak() {
+    // Acceptance criterion: a PathOram::access clone with a reintroduced
+    // secret-dependent shortcut must be flagged.
+    let c = ctx("oram", FileKind::Lib, false);
+    let found = scan("l6_seeded_leak.rs", &c);
+    assert!(
+        found.iter().any(|f| f.lint.id() == "L6/secret-branch" && f.excerpt.contains("old_leaf")),
+        "the hot-path shortcut branch must fire: {found:#?}"
+    );
+}
+
+#[test]
+fn l6_subsumes_the_l3_rebinding_escape() {
+    // Rebinding a secret to an innocuous name blinds the token-level L3
+    // pass; the flow pass must still follow the value into the format.
+    let c = ctx("crypto", FileKind::Lib, false);
+    let found = scan("l6_rebinding.rs", &c);
+    assert_eq!(ids(&found), BTreeSet::from(["L6/secret-format-flow"]), "{found:#?}");
+}
+
+#[test]
+fn unused_waivers_and_unbound_annotations_are_findings() {
+    let c = ctx("oram", FileKind::Lib, false);
+    let found = scan("l0_unused_waiver.rs", &c);
+    assert_eq!(ids(&found), BTreeSet::from(["L0/unused-waiver"]), "{found:#?}");
+    assert_eq!(found.len(), 2, "stale waiver AND unbound annotation: {found:#?}");
 }
 
 #[test]

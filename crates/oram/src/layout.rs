@@ -149,12 +149,12 @@ impl TreeLayout {
 
     /// Line addresses for an entire path (root→leaf), skipping cached
     /// levels; the bulk of an `accessORAM`'s traffic.
-    pub fn path_lines(&self, leaf: Leaf) -> Vec<u64> {
+    pub fn path_lines(&self, revealed_leaf: Leaf) -> Vec<u64> {
         let mut out = Vec::with_capacity(
             (self.geo.levels() + 1 - self.cached_levels) as usize * self.lines_per_bucket,
         );
         for level in self.cached_levels..=self.geo.levels() {
-            let b = self.geo.bucket_at(leaf, level);
+            let b = self.geo.bucket_at(revealed_leaf, level);
             if let Some(lines) = self.bucket_lines(b) {
                 out.extend(lines);
             }

@@ -242,8 +242,9 @@ impl PathOram {
         new_data: Option<&[u8]>,
     ) -> (Vec<u8>, AccessPlan) {
         assert!(id.0 < self.blocks, "block {id} out of range");
-        let (old_leaf, _new_leaf) = self.posmap.get_and_remap(id, &mut self.rng);
-        let (data, plan) = self.access_on_path(id, op, new_data, old_leaf, PlanKind::Demand);
+        // lint: declassify(Path ORAM invariant: the remap precedes the path read, so the old leaf is disclosed to memory exactly once per access and is independent of the block's future position)
+        let (revealed_leaf, _new_leaf) = self.posmap.get_and_remap(id, &mut self.rng);
+        let (data, plan) = self.access_on_path(id, op, new_data, revealed_leaf, PlanKind::Demand);
         self.stats.accesses += 1;
         (data, plan)
     }
@@ -263,9 +264,10 @@ impl PathOram {
         keep_local: bool,
     ) -> (Vec<u8>, Option<BlockEntry>, AccessPlan) {
         assert!(id.0 < self.blocks, "block {id} out of range");
-        let old_leaf = self.posmap.get(id);
-        let read_lines = self.layout.path_lines(old_leaf);
-        self.fetch_path(old_leaf);
+        // lint: declassify(the caller-supplied remap is recorded before the path write-back, so this old leaf is disclosed to memory exactly once and never correlates with the block's next access)
+        let revealed_leaf = self.posmap.get(id);
+        let read_lines = self.layout.path_lines(revealed_leaf);
+        self.fetch_path(revealed_leaf);
         let data = self.serve(id, op, new_data);
         let moved = if keep_local {
             self.posmap.set(id, new_leaf);
@@ -280,10 +282,10 @@ impl PathOram {
                 e
             })
         };
-        self.evict_path(old_leaf);
+        self.evict_path(revealed_leaf);
         self.stats.accesses += 1;
         let plan = AccessPlan {
-            leaf: old_leaf,
+            leaf: revealed_leaf,
             write_lines: read_lines.clone(),
             read_lines,
             stash_after: self.stash.len(),
@@ -299,21 +301,22 @@ impl PathOram {
         self.stash.insert(entry);
     }
 
-    /// Performs one path read + write-back for `id` along `old_leaf`.
+    /// Performs one path read + write-back for `id` along the already
+    /// revealed (post-remap) leaf.
     fn access_on_path(
         &mut self,
         id: BlockId,
         op: Op,
         new_data: Option<&[u8]>,
-        old_leaf: Leaf,
+        revealed_leaf: Leaf,
         kind: PlanKind,
     ) -> (Vec<u8>, AccessPlan) {
-        let read_lines = self.layout.path_lines(old_leaf);
-        self.fetch_path(old_leaf);
+        let read_lines = self.layout.path_lines(revealed_leaf);
+        self.fetch_path(revealed_leaf);
         let data = self.serve(id, op, new_data);
-        self.evict_path(old_leaf);
+        self.evict_path(revealed_leaf);
         let plan = AccessPlan {
-            leaf: old_leaf,
+            leaf: revealed_leaf,
             write_lines: read_lines.clone(),
             read_lines,
             stash_after: self.stash.len(),
@@ -325,8 +328,8 @@ impl PathOram {
     /// Step 2: fetch every bucket on the path into the stash, refreshing
     /// each resident copy's leaf from the posmap (the requested block's
     /// remap may already be recorded there).
-    fn fetch_path(&mut self, leaf: Leaf) {
-        self.drain_path_into_stash(leaf, true, true);
+    fn fetch_path(&mut self, revealed_leaf: Leaf) {
+        self.drain_path_into_stash(revealed_leaf, true, true);
     }
 
     /// Moves every block on the path into the stash. In sealed mode the
@@ -338,10 +341,15 @@ impl PathOram {
     /// of demand fetches (both true) and background evictions (both
     /// false): dummy accesses touch neither the posmap nor the
     /// demand-traffic statistics.
-    fn drain_path_into_stash(&mut self, leaf: Leaf, refresh_leaves: bool, count_fetches: bool) {
+    fn drain_path_into_stash(
+        &mut self,
+        revealed_leaf: Leaf,
+        refresh_leaves: bool,
+        count_fetches: bool,
+    ) {
         if let Some(sealed) = &self.sealed {
             let idxs: Vec<BucketIdx> =
-                (0..=self.geo.levels()).map(|l| self.geo.bucket_at(leaf, l)).collect();
+                (0..=self.geo.levels()).map(|l| self.geo.bucket_at(revealed_leaf, l)).collect();
             // lint: panic-ok(invariant: sealed bucket failed verification)
             let loaded = sealed.load_path(&idxs).expect("sealed bucket failed verification");
             for mut bucket in loaded.into_iter().flatten() {
@@ -357,7 +365,7 @@ impl PathOram {
             }
         } else {
             for level in 0..=self.geo.levels() {
-                let b = self.geo.bucket_at(leaf, level);
+                let b = self.geo.bucket_at(revealed_leaf, level);
                 if let Some(bucket) = self.tree.get_mut(&b) {
                     for mut e in bucket.drain() {
                         if count_fetches {
@@ -394,8 +402,8 @@ impl PathOram {
     }
 
     /// Step 4: greedy write-back onto the path.
-    fn evict_path(&mut self, leaf: Leaf) {
-        self.writeback_path(leaf, true);
+    fn evict_path(&mut self, revealed_leaf: Leaf) {
+        self.writeback_path(revealed_leaf, true);
     }
 
     /// Greedily writes stash blocks back onto the path. Background
@@ -408,12 +416,12 @@ impl PathOram {
     /// (and trip the replay check). The whole path goes through one
     /// [`SealedTree::store_path`] call so the serialization scratch buffer
     /// is reused and each bucket is one batched keystream sweep.
-    fn writeback_path(&mut self, leaf: Leaf, count_writebacks: bool) {
-        let per_level = self.stash.evict_for_path(&self.geo, leaf, self.cfg.z, 0);
+    fn writeback_path(&mut self, revealed_leaf: Leaf, count_writebacks: bool) {
+        let per_level = self.stash.evict_for_path(&self.geo, revealed_leaf, self.cfg.z, 0);
         if let Some(sealed) = &mut self.sealed {
             let mut path: Vec<(BucketIdx, Bucket)> = Vec::with_capacity(per_level.len());
             for (level, blocks) in per_level.into_iter().enumerate() {
-                let bidx = self.geo.bucket_at(leaf, level as u32);
+                let bidx = self.geo.bucket_at(revealed_leaf, level as u32);
                 let mut bucket = Bucket::new(self.cfg.z);
                 for e in blocks {
                     if count_writebacks {
@@ -431,7 +439,7 @@ impl PathOram {
                 if blocks.is_empty() {
                     continue;
                 }
-                let bidx = self.geo.bucket_at(leaf, level as u32);
+                let bidx = self.geo.bucket_at(revealed_leaf, level as u32);
                 let bucket = self.tree.entry(bidx).or_insert_with(|| Bucket::new(self.cfg.z));
                 for e in blocks {
                     if count_writebacks {
@@ -447,13 +455,14 @@ impl PathOram {
     /// Performs a background eviction (a dummy access to a random path),
     /// as proposed by Ren et al. for stash pressure. Returns its plan.
     pub fn background_evict(&mut self) -> AccessPlan {
-        let leaf = Leaf(self.rng.gen_range(0..self.cfg.leaf_count()));
-        let read_lines = self.layout.path_lines(leaf);
-        self.drain_path_into_stash(leaf, false, false);
-        self.writeback_path(leaf, false);
+        // A dummy path is drawn fresh and uniformly: public by construction.
+        let revealed_leaf = Leaf(self.rng.gen_range(0..self.cfg.leaf_count()));
+        let read_lines = self.layout.path_lines(revealed_leaf);
+        self.drain_path_into_stash(revealed_leaf, false, false);
+        self.writeback_path(revealed_leaf, false);
         self.stats.background_evictions += 1;
         AccessPlan {
-            leaf,
+            leaf: revealed_leaf,
             write_lines: read_lines.clone(),
             read_lines,
             stash_after: self.stash.len(),

@@ -112,7 +112,7 @@ impl Stash {
     pub fn evict_for_path(
         &mut self,
         geo: &Geometry,
-        leaf: Leaf,
+        revealed_leaf: Leaf,
         z: usize,
         min_level: u32,
     ) -> Vec<Vec<BlockEntry>> {
@@ -123,12 +123,13 @@ impl Stash {
             if self.entries.is_empty() {
                 break;
             }
-            let target = geo.bucket_at(leaf, level);
+            let target = geo.bucket_at(revealed_leaf, level);
             let mut chosen: Vec<BlockId> = Vec::new();
             for e in self.entries.values() {
                 if chosen.len() >= z {
                     break;
                 }
+                // lint: declassify(placement is decided controller-side: the bus still sees a full Z-block bucket write at every level of the revealed path, whichever stash entries fill it)
                 if geo.bucket_at(e.leaf, level.min(depth)) == target && geo.on_path(target, e.leaf)
                 {
                     chosen.push(e.id);

@@ -14,8 +14,11 @@ cargo fmt --check
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> sdimm-lint (cycle arithmetic, secret hygiene, timing constants, panic budget, wall-clock)"
-cargo run --release -q -p sdimm-lint
+echo "==> sdimm-lint (cycle arithmetic, secret hygiene, timing constants, panic budget, wall-clock, secret flow)"
+cargo run --release -q -p sdimm-lint -- --json target/lint-report.json
+
+echo "==> sdimm-lint L6 secret-flow self-scan (JSON kept as a CI artifact)"
+cargo run --release -q -p sdimm-lint -- --pass l6 --json target/lint-l6.json > /dev/null
 
 echo "==> cargo test -q"
 cargo test -q

@@ -27,6 +27,7 @@
 
 pub mod ddr;
 pub mod oracle;
+pub mod recount;
 #[cfg(feature = "audit-strict")]
 pub mod strict;
 
@@ -34,3 +35,4 @@ pub use ddr::{violation_recorder, AuditSummary, Constraints, DdrAuditor, Violati
 pub use oracle::{
     check_all_protocols, check_protocol, OracleMismatch, OracleReport, ProtocolKind, ShadowMem,
 };
+pub use recount::{check_against_snapshot, recount_channel, ActRecount};

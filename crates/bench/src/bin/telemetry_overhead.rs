@@ -32,8 +32,9 @@
 use std::hint::black_box;
 use std::time::Instant;
 
+use dram_sim::wear::{RowPressure, WearConfig};
 use sdimm_system::machine::{MachineKind, SystemConfig};
-use sdimm_system::runner::{run, run_instrumented, run_traced};
+use sdimm_system::runner::{run, run_hammer, run_instrumented, run_traced};
 use sdimm_telemetry::recorder::write_atomic;
 use sdimm_telemetry::{FlightEventKind, FlightRecorder, FlightRecorderHub, Instruments, TraceSink};
 use workloads::spec as wl;
@@ -64,6 +65,61 @@ fn disabled_ns_per_call() -> f64 {
         sink.counter("bench", "noop", 0, black_box(i), black_box(i));
     }
     start.elapsed().as_nanos() as f64 / (CALLS * 3) as f64
+}
+
+/// Events pushed when timing the wear tracker's hot paths (enough that
+/// the maps reach their steady size and hash cost dominates setup).
+const WEAR_CALLS: u64 = 2_000_000;
+
+/// Per-touch cost of the *detached* wear tracker: the `Option` branch
+/// every ACT/WR/REF hook takes when `enable_wear` was never called.
+fn wear_disabled_ns_per_touch() -> f64 {
+    let mut wear: Option<Box<RowPressure>> = black_box(None);
+    let start = Instant::now();
+    for i in 0..CALLS {
+        if let Some(w) = wear.as_deref_mut() {
+            w.on_act(0, 0, black_box(i as usize) & 0x3FFF);
+        }
+        black_box(&wear);
+    }
+    start.elapsed().as_nanos() as f64 / CALLS as f64
+}
+
+/// Per-event cost of an *enabled* tracker absorbing a realistic mix of
+/// ACTs and write CAS. The working set (a few thousand distinct rows,
+/// like an ORAM tree footprint) is touched once untimed so the timed
+/// pass measures steady-state map updates, not first-touch insertion
+/// and rehashing — the state a long run spends all its time in.
+fn wear_enabled_ns_per_event() -> f64 {
+    let mut w = RowPressure::new(WearConfig {
+        ranks: 2,
+        banks: 8,
+        rows: 1 << 12,
+        row_granularity: 1,
+        rows_per_refresh: 4,
+        hammer_threshold: u64::MAX,
+    });
+    let pass = |w: &mut RowPressure| {
+        for i in 0..WEAR_CALLS {
+            // Weyl-sequence row spread: deterministic, hash-unfriendly.
+            let x = (i.wrapping_mul(0x9E37_79B9)) as usize;
+            let (rank, bank, row) = (x & 1, (x >> 1) & 7, (x >> 4) & 0xFFF);
+            w.on_act(rank, bank, black_box(row));
+            if i & 1 == 0 {
+                w.on_write(rank, bank, black_box(row));
+            }
+            if i & 0xFFF == 0 {
+                w.on_refresh(rank);
+            }
+        }
+    };
+    pass(&mut w); // warm: populate every bucket and window the loop touches
+    let start = Instant::now();
+    pass(&mut w);
+    let events = WEAR_CALLS + WEAR_CALLS / 2 + WEAR_CALLS / 4096;
+    let ns = start.elapsed().as_nanos() as f64 / events as f64;
+    black_box(w.snapshot());
+    ns
 }
 
 fn recorder_ns_per_event() -> f64 {
@@ -98,6 +154,8 @@ fn main() {
 
     let per_call_ns = disabled_ns_per_call();
     let per_event_ns = recorder_ns_per_event();
+    let wear_disabled_ns = wear_disabled_ns_per_touch();
+    let wear_enabled_ns = wear_enabled_ns_per_event();
 
     // Touchpoint census: every event an enabled sink captures is one
     // call the disabled path would have branched through.
@@ -113,6 +171,15 @@ fn main() {
     let flight_recorder = hub.recorder_for(0);
     let flight_events = flight_recorder.len() as u64 + flight_recorder.dropped();
 
+    // Wear-touchpoint census: how many ACT/WR/REF hooks one run takes
+    // (counted by the tracker itself on a wear-enabled twin run).
+    let (wear_run, wear_cap) = run_hammer(&cfg, &trace, warmup, window, 1);
+    let wear_touches: u64 =
+        wear_cap.wear.iter().map(|s| s.total_acts + s.total_writes).sum::<u64>()
+            + (0..wear_cap.wear.len())
+                .map(|i| wear_run.metrics.counter(&format!("dram.chan{i}.refreshes")))
+                .sum::<u64>();
+
     let mut best_wall_ns = f64::INFINITY;
     for _ in 0..3 {
         let start = Instant::now();
@@ -124,6 +191,8 @@ fn main() {
     let pct = projected_ns / best_wall_ns * 100.0;
     let recorder_projected_ns = flight_events as f64 * per_event_ns;
     let recorder_pct = recorder_projected_ns / best_wall_ns * 100.0;
+    let wear_disabled_pct = wear_touches as f64 * wear_disabled_ns / best_wall_ns * 100.0;
+    let wear_enabled_pct = wear_touches as f64 * wear_enabled_ns / best_wall_ns * 100.0;
 
     println!("telemetry_overhead: telemetry cost projections, quick-scale fig6 window");
     println!("  disabled sink       {per_call_ns:.3} ns/call");
@@ -133,6 +202,10 @@ fn main() {
     println!("  run wall time       {:.3} ms (best of 3)", best_wall_ns / 1e6);
     println!("  disabled overhead   {pct:.4}% (budget {MAX_OVERHEAD_PCT}%)");
     println!("  recorder overhead   {recorder_pct:.4}% (budget {MAX_RECORDER_OVERHEAD_PCT}%)");
+    println!("  wear detached       {wear_disabled_ns:.3} ns/touch, {wear_touches} touches/run");
+    println!("  wear enabled        {wear_enabled_ns:.3} ns/event");
+    println!("  wear off overhead   {wear_disabled_pct:.4}% (budget {MAX_OVERHEAD_PCT}%)");
+    println!("  wear on overhead    {wear_enabled_pct:.4}% (budget {MAX_RECORDER_OVERHEAD_PCT}%)");
 
     if let Some(path) = &json_path {
         let json = format!(
@@ -140,6 +213,9 @@ fn main() {
              \"disabled_overhead_pct\": {pct:.5},\n  \"disabled_budget_pct\": {MAX_OVERHEAD_PCT},\n  \
              \"recorder_ns_per_event\": {per_event_ns:.4},\n  \"flight_events\": {flight_events},\n  \
              \"recorder_overhead_pct\": {recorder_pct:.5},\n  \"recorder_budget_pct\": {MAX_RECORDER_OVERHEAD_PCT},\n  \
+             \"wear_disabled_ns_per_touch\": {wear_disabled_ns:.4},\n  \"wear_enabled_ns_per_event\": {wear_enabled_ns:.4},\n  \
+             \"wear_touches\": {wear_touches},\n  \"wear_disabled_overhead_pct\": {wear_disabled_pct:.5},\n  \
+             \"wear_enabled_overhead_pct\": {wear_enabled_pct:.5},\n  \
              \"wall_ms_best_of_3\": {:.4}\n}}\n",
             best_wall_ns / 1e6
         );
@@ -161,6 +237,20 @@ fn main() {
     if recorder_pct > MAX_RECORDER_OVERHEAD_PCT {
         eprintln!(
             "telemetry_overhead: enabled flight recorder projects to {recorder_pct:.2}% of run \
+             time, above the {MAX_RECORDER_OVERHEAD_PCT}% budget"
+        );
+        failed = true;
+    }
+    if wear_disabled_pct > MAX_OVERHEAD_PCT {
+        eprintln!(
+            "telemetry_overhead: detached wear tracker projects to {wear_disabled_pct:.2}% of \
+             run time, above the {MAX_OVERHEAD_PCT}% budget"
+        );
+        failed = true;
+    }
+    if wear_enabled_pct > MAX_RECORDER_OVERHEAD_PCT {
+        eprintln!(
+            "telemetry_overhead: enabled wear tracker projects to {wear_enabled_pct:.2}% of run \
              time, above the {MAX_RECORDER_OVERHEAD_PCT}% budget"
         );
         failed = true;

@@ -1,0 +1,498 @@
+//! The reliability-observatory driver: runs the protocol × standard ×
+//! adversary matrix with the per-row wear tracker enabled, has the
+//! replay auditor independently recount activations from the command
+//! log, and renders the RowHammer threat report (DESIGN.md §15).
+//!
+//! Used by the `hammer_report` binary, which writes the byte-stable
+//! `BENCH_hammer.json` and exits nonzero when the engine's wear counts
+//! and the auditor's recount disagree — numbers the recount does not
+//! reproduce never ship.
+
+use dram_sim::spec::DramStandard;
+use sdimm_audit::recount::{check_against_snapshot, recount_channel};
+use sdimm_system::machine::{MachineKind, SystemConfig};
+use sdimm_system::runner;
+use sdimm_telemetry::TraceSink;
+use workloads::spec;
+
+use crate::provenance::Provenance;
+use crate::Scale;
+
+/// Hottest rows reported per cell.
+pub const TOP_K: usize = 10;
+
+/// One design point of the hammer matrix.
+#[derive(Debug, Clone, Copy)]
+pub struct HammerPoint {
+    /// Machine under pressure.
+    pub kind: MachineKind,
+    /// Memory standard (sets the disturbance threshold and refresh wheel).
+    pub standard: DramStandard,
+    /// Low-power rank-localized layout (the rank-subtree pressure view).
+    pub low_power: bool,
+}
+
+/// The matrix the gate runs: the secure baseline and one SDIMM protocol
+/// on two memory standards (DDR3's generous disturbance budget vs
+/// DDR4's tight one), plus the low-power layout cell whose rank-local
+/// subtrees concentrate pressure instead of spreading it.
+pub fn gate_points() -> Vec<HammerPoint> {
+    let p = |kind, standard, low_power| HammerPoint { kind, standard, low_power };
+    vec![
+        p(MachineKind::PathOram { channels: 1 }, DramStandard::Ddr3_1600, false),
+        p(MachineKind::PathOram { channels: 1 }, DramStandard::Ddr4_2400, false),
+        p(MachineKind::Independent { sdimms: 2, channels: 1 }, DramStandard::Ddr3_1600, false),
+        p(MachineKind::Independent { sdimms: 2, channels: 1 }, DramStandard::Ddr4_2400, false),
+        p(MachineKind::Independent { sdimms: 2, channels: 1 }, DramStandard::Ddr3_1600, true),
+    ]
+}
+
+/// The adversarial workloads every point runs: the concentrated attack
+/// and its uniform control.
+pub fn gate_workloads() -> Vec<&'static str> {
+    workloads::adversarial::ADVERSARIAL.to_vec()
+}
+
+/// One hot row, both attributions attached.
+#[derive(Debug, Clone)]
+pub struct HotRowReport {
+    /// DRAM channel the row lives on.
+    pub channel: usize,
+    /// Physical rank.
+    pub rank: usize,
+    /// Physical bank.
+    pub bank: usize,
+    /// Physical row.
+    pub row: usize,
+    /// Lifetime ACTs attributed to the row (measured window).
+    pub acts: u64,
+    /// Lifetime write CAS attributed to the row.
+    pub writes: u64,
+    /// Distinct ORAM tree levels whose bucket lines live in the row.
+    pub levels: Vec<u32>,
+}
+
+/// One cell of the report: machine × standard × workload.
+#[derive(Debug, Clone)]
+pub struct HammerCell {
+    /// Machine name (e.g. `INDEP-2`).
+    pub machine: String,
+    /// Standard name (e.g. `ddr4_2400`).
+    pub standard: &'static str,
+    /// Workload name.
+    pub workload: String,
+    /// Rank-localized low-power layout active.
+    pub low_power: bool,
+    /// Per-standard adjacent-row activation budget.
+    pub hammer_threshold: u64,
+    /// Total ACTs across every channel (measured window).
+    pub total_acts: u64,
+    /// Total write CAS across every channel.
+    pub total_writes: u64,
+    /// Largest disturbance window any victim accumulated.
+    pub peak_window: u64,
+    /// Threshold crossings raised by the engine.
+    pub alarms: u64,
+    /// ACTs per rank, summed element-wise across channels.
+    pub per_rank_acts: Vec<u64>,
+    /// Max/mean of `per_rank_acts` (1.0 = perfectly balanced).
+    pub rank_act_max_over_mean: f64,
+    /// Gini coefficient of `per_rank_acts`.
+    pub rank_act_gini: f64,
+    /// Line writes per ORAM tree level (empty for treeless machines).
+    pub level_line_writes: Vec<u64>,
+    /// Per-bucket write load per level (`writes[l] / 2^l`).
+    pub per_bucket_writes: Vec<f64>,
+    /// Shallowest in-memory level's per-bucket load over the leaf
+    /// level's — the wear-imbalance headline (0 when no tree).
+    pub root_leaf_ratio: f64,
+    /// The `TOP_K` hottest rows, ACTs descending.
+    pub hot_rows: Vec<HotRowReport>,
+    /// The replay auditor re-derived identical per-row counts from the
+    /// command stream.
+    pub audit_acts_match: bool,
+    /// First recount discrepancy, when `audit_acts_match` is false.
+    pub audit_error: Option<String>,
+}
+
+impl HammerCell {
+    /// Whether the peak window reached the standard's threshold.
+    pub fn threshold_crossed(&self) -> bool {
+        self.peak_window >= self.hammer_threshold
+    }
+}
+
+/// The full report.
+#[derive(Debug)]
+pub struct HammerReport {
+    /// Scale the matrix ran at.
+    pub scale: &'static str,
+    /// Build provenance.
+    pub provenance: Provenance,
+    /// Cells in matrix order (points outer, workloads inner).
+    pub cells: Vec<HammerCell>,
+}
+
+/// Runs one cell and assembles its report row.
+fn run_cell(point: &HammerPoint, workload: &str, scale: Scale) -> HammerCell {
+    let cfg = SystemConfig {
+        kind: point.kind,
+        oram: scale.oram(7),
+        data_blocks: scale.data_blocks(),
+        standard: point.standard,
+        low_power: point.low_power,
+        seed: 1,
+    };
+    let trace = spec::generate(workload, scale.trace_len(), 3);
+    let (_, cap) = runner::run_hammer(&cfg, &trace, scale.warmup(), scale.measure(), TOP_K);
+
+    // Aggregate channel snapshots (every channel shares the topology).
+    let mut per_rank_acts = vec![0u64; cap.channel_cfg.topology.ranks];
+    let (mut total_acts, mut total_writes, mut peak_window, mut alarms) = (0, 0, 0, 0);
+    for s in &cap.wear {
+        total_acts += s.total_acts;
+        total_writes += s.total_writes;
+        peak_window = peak_window.max(s.peak_window);
+        alarms += s.alarms;
+        for (r, &a) in s.per_rank_acts.iter().enumerate() {
+            per_rank_acts[r] += a;
+        }
+    }
+
+    // Independent recount: the auditor re-derives every channel's
+    // per-row counts from the recorded command stream alone.
+    let mut audit_error = None;
+    for (i, stream) in cap.streams.iter().enumerate() {
+        let rc = recount_channel(stream);
+        if let Err(e) = check_against_snapshot(&rc, &cap.wear[i]) {
+            audit_error = Some(format!("channel {i}: {e}"));
+            break;
+        }
+    }
+
+    let level_line_writes = cap.level_wear.writes().to_vec();
+    let per_bucket_writes = cap.level_wear.per_bucket_writes();
+    let root_leaf_ratio = match level_line_writes.iter().position(|&w| w > 0) {
+        Some(first) => {
+            let leaf = per_bucket_writes.len() - 1;
+            if per_bucket_writes[leaf] > 0.0 {
+                per_bucket_writes[first] / per_bucket_writes[leaf]
+            } else {
+                0.0
+            }
+        }
+        None => 0.0,
+    };
+
+    HammerCell {
+        machine: point.kind.name(),
+        standard: point.standard.name(),
+        workload: workload.to_string(),
+        low_power: point.low_power,
+        hammer_threshold: cap.channel_cfg.standard.spec().hammer_threshold,
+        total_acts,
+        total_writes,
+        peak_window,
+        alarms,
+        rank_act_max_over_mean: sdimm_telemetry::imbalance::max_over_mean(&per_rank_acts),
+        rank_act_gini: sdimm_telemetry::imbalance::gini(&per_rank_acts),
+        per_rank_acts,
+        level_line_writes,
+        per_bucket_writes,
+        root_leaf_ratio,
+        hot_rows: cap
+            .hot_rows
+            .iter()
+            .map(|h| HotRowReport {
+                channel: h.channel,
+                rank: h.row.id.rank,
+                bank: h.row.id.bank,
+                row: h.row.id.row,
+                acts: h.row.acts,
+                writes: h.row.writes,
+                levels: h.levels.clone(),
+            })
+            .collect(),
+        audit_acts_match: audit_error.is_none(),
+        audit_error,
+    }
+}
+
+/// Runs the full matrix at `scale`.
+pub fn run_report(points: &[HammerPoint], workloads: &[&str], scale: Scale) -> HammerReport {
+    let mut cells = Vec::new();
+    for point in points {
+        for workload in workloads {
+            eprintln!(
+                "hammer: {} × {} × {}{} ...",
+                point.kind.name(),
+                point.standard.name(),
+                workload,
+                if point.low_power { " (low-power)" } else { "" }
+            );
+            cells.push(run_cell(point, workload, scale));
+        }
+    }
+    let scale_name = match scale {
+        Scale::Quick => "quick",
+        Scale::Full => "full",
+    };
+    HammerReport {
+        scale: scale_name,
+        provenance: Provenance::new(scale_name, "pathoram,independent"),
+        cells,
+    }
+}
+
+impl HammerReport {
+    /// True when every cell's engine counts survived the independent
+    /// recount — the report's ship/no-ship criterion.
+    pub fn audit_pass(&self) -> bool {
+        self.cells.iter().all(|c| c.audit_acts_match)
+    }
+
+    /// Renders the report as byte-stable JSON (fixed key order,
+    /// deterministic number formatting).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1 << 14);
+        out.push_str("{\n  \"schema\": \"sdimm-hammer-v1\",\n");
+        out.push_str(&format!("  \"scale\": \"{}\",\n", self.scale));
+        out.push_str(&format!("  \"provenance\": {},\n", self.provenance.to_json_object()));
+        out.push_str(&format!("  \"audit_pass\": {},\n", self.audit_pass()));
+        out.push_str("  \"cells\": [");
+        for (i, c) in self.cells.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\n");
+            out.push_str(&format!("      \"machine\": \"{}\",\n", c.machine));
+            out.push_str(&format!("      \"standard\": \"{}\",\n", c.standard));
+            out.push_str(&format!("      \"workload\": \"{}\",\n", c.workload));
+            out.push_str(&format!("      \"low_power\": {},\n", c.low_power));
+            out.push_str(&format!("      \"hammer_threshold\": {},\n", c.hammer_threshold));
+            out.push_str(&format!("      \"total_acts\": {},\n", c.total_acts));
+            out.push_str(&format!("      \"total_writes\": {},\n", c.total_writes));
+            out.push_str(&format!("      \"peak_window\": {},\n", c.peak_window));
+            out.push_str(&format!("      \"threshold_crossed\": {},\n", c.threshold_crossed()));
+            out.push_str(&format!("      \"alarms\": {},\n", c.alarms));
+            out.push_str(&format!("      \"per_rank_acts\": {:?},\n", c.per_rank_acts));
+            out.push_str(&format!(
+                "      \"rank_act_max_over_mean\": {},\n",
+                fmt_f64(c.rank_act_max_over_mean)
+            ));
+            out.push_str(&format!("      \"rank_act_gini\": {},\n", fmt_f64(c.rank_act_gini)));
+            out.push_str(&format!("      \"level_line_writes\": {:?},\n", c.level_line_writes));
+            out.push_str(&format!(
+                "      \"per_bucket_writes\": [{}],\n",
+                c.per_bucket_writes.iter().map(|&x| fmt_f64(x)).collect::<Vec<_>>().join(", ")
+            ));
+            out.push_str(&format!("      \"root_leaf_ratio\": {},\n", fmt_f64(c.root_leaf_ratio)));
+            out.push_str("      \"hot_rows\": [");
+            for (j, h) in c.hot_rows.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "\n        {{\"channel\": {}, \"rank\": {}, \"bank\": {}, \"row\": {}, \
+                     \"acts\": {}, \"writes\": {}, \"levels\": {:?}}}",
+                    h.channel, h.rank, h.bank, h.row, h.acts, h.writes, h.levels
+                ));
+            }
+            out.push_str("\n      ],\n");
+            out.push_str(&format!("      \"audit_acts_match\": {}", c.audit_acts_match));
+            if let Some(e) = &c.audit_error {
+                out.push_str(&format!(",\n      \"audit_error\": \"{}\"", e.replace('"', "'")));
+            }
+            out.push_str("\n    }");
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Emits one Perfetto slice per cell plus an instant per hot row
+    /// (category `hammer`) into `sink` under `pid` — annotation on a
+    /// synthetic timeline, alongside the wear lane the flight recorder
+    /// populates during the runs themselves.
+    pub fn annotate(&self, sink: &TraceSink, pid: u32) {
+        if !sink.is_enabled() {
+            return;
+        }
+        sink.process_name(pid, "reliability observatory");
+        sink.thread_name(pid, 0, "hammer cells");
+        for (i, c) in self.cells.iter().enumerate() {
+            let verdict = if c.threshold_crossed() { "CROSSED" } else { "under" };
+            let label = format!(
+                "{} × {} × {}: peak {} / {} [{verdict}]",
+                c.machine, c.standard, c.workload, c.peak_window, c.hammer_threshold
+            );
+            let t0 = i as u64 * 10;
+            sink.span("hammer", &label, pid, 0, t0, t0 + 8);
+            for (j, h) in c.hot_rows.iter().take(3).enumerate() {
+                sink.instant(
+                    "hammer",
+                    &format!(
+                        "{}: hot row ch{} rank{} bank{} 0x{:05x} ({} acts, levels {:?})",
+                        c.machine, h.channel, h.rank, h.bank, h.row, h.acts, h.levels
+                    ),
+                    pid,
+                    0,
+                    t0 + j as u64,
+                );
+            }
+        }
+    }
+
+    /// Prints the human verdict table.
+    pub fn print_table(&self) {
+        println!("\nReliability observatory ({} scale, top {TOP_K} rows per cell)", self.scale);
+        println!(
+            "{:<14} {:<12} {:<12} {:<5} {:>12} {:>10} {:>9} {:>7} {:>10} audit",
+            "machine",
+            "standard",
+            "workload",
+            "lp",
+            "peak_window",
+            "threshold",
+            "crossed",
+            "alarms",
+            "root/leaf"
+        );
+        for c in &self.cells {
+            println!(
+                "{:<14} {:<12} {:<12} {:<5} {:>12} {:>10} {:>9} {:>7} {:>10.1} {}",
+                c.machine,
+                c.standard,
+                c.workload,
+                if c.low_power { "yes" } else { "no" },
+                c.peak_window,
+                c.hammer_threshold,
+                if c.threshold_crossed() { "YES" } else { "no" },
+                c.alarms,
+                c.root_leaf_ratio,
+                if c.audit_acts_match { "ok" } else { "MISMATCH" }
+            );
+            if let Some(e) = &c.audit_error {
+                println!("{:<14}   recount: {e}", "");
+            }
+        }
+        println!("audit: {}", if self.audit_pass() { "PASS" } else { "FAIL" });
+    }
+}
+
+fn fmt_f64(x: f64) -> String {
+    if x == 0.0 {
+        "0.0".to_string()
+    } else {
+        format!("{x:.6e}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_matrix_covers_two_standards_and_the_low_power_view() {
+        let points = gate_points();
+        let standards: std::collections::BTreeSet<_> =
+            points.iter().map(|p| p.standard.name()).collect();
+        assert!(standards.len() >= 2, "matrix must span memory standards");
+        assert!(points.iter().any(|p| p.low_power), "rank-subtree pressure cell required");
+        assert!(points.iter().any(|p| matches!(p.kind, MachineKind::PathOram { .. })));
+        assert!(points.iter().any(|p| matches!(p.kind, MachineKind::Independent { .. })));
+        assert_eq!(gate_workloads().len(), 2);
+    }
+
+    /// One small cell end to end: the recount agrees, the tree shows
+    /// root-heavy wear, and the JSON is stable and valid.
+    #[test]
+    fn small_cell_recounts_and_serializes() {
+        let point = HammerPoint {
+            kind: MachineKind::Independent { sdimms: 2, channels: 1 },
+            standard: DramStandard::Ddr4_2400,
+            low_power: false,
+        };
+        let cfg = SystemConfig {
+            kind: point.kind,
+            oram: oram::types::OramConfig {
+                levels: 16,
+                cached_levels: 4,
+                ..oram::types::OramConfig::default()
+            },
+            data_blocks: 1 << 14,
+            standard: point.standard,
+            low_power: false,
+            seed: 1,
+        };
+        let trace = spec::generate("hotrow-adv", 1200, 3);
+        let (_, cap) = runner::run_hammer(&cfg, &trace, 200, 400, TOP_K);
+        for (i, stream) in cap.streams.iter().enumerate() {
+            let rc = recount_channel(stream);
+            check_against_snapshot(&rc, &cap.wear[i])
+                .expect("engine wear counts must survive the independent recount");
+        }
+        let report = HammerReport {
+            scale: "quick",
+            provenance: Provenance::new("quick", "independent"),
+            cells: vec![run_tiny_cell(&cfg, &trace)],
+        };
+        assert!(report.audit_pass());
+        let json = report.to_json();
+        sdimm_telemetry::json::validate(&json).expect("report is valid JSON");
+        assert_eq!(json, report.to_json(), "serialization is deterministic");
+        assert!(json.contains("\"root_leaf_ratio\""));
+
+        let sink = TraceSink::enabled();
+        report.annotate(&sink, 99);
+        let trace_json = sink.export_chrome_json().expect("sink enabled");
+        sdimm_telemetry::json::validate(&trace_json).expect("valid trace json");
+        assert!(trace_json.contains("hot row"));
+    }
+
+    /// A run_cell twin at test scale (run_cell itself uses Scale sizes,
+    /// too slow for unit tests).
+    fn run_tiny_cell(cfg: &SystemConfig, trace: &workloads::Trace) -> HammerCell {
+        let (_, cap) = runner::run_hammer(cfg, trace, 200, 400, TOP_K);
+        let mut per_rank_acts = vec![0u64; cap.channel_cfg.topology.ranks];
+        let (mut total_acts, mut total_writes) = (0, 0);
+        for s in &cap.wear {
+            total_acts += s.total_acts;
+            total_writes += s.total_writes;
+            for (r, &a) in s.per_rank_acts.iter().enumerate() {
+                per_rank_acts[r] += a;
+            }
+        }
+        HammerCell {
+            machine: cfg.kind.name(),
+            standard: cfg.standard.name(),
+            workload: trace.name.clone(),
+            low_power: cfg.low_power,
+            hammer_threshold: cap.channel_cfg.standard.spec().hammer_threshold,
+            total_acts,
+            total_writes,
+            peak_window: cap.wear.iter().map(|s| s.peak_window).max().unwrap_or(0),
+            alarms: cap.wear.iter().map(|s| s.alarms).sum(),
+            rank_act_max_over_mean: sdimm_telemetry::imbalance::max_over_mean(&per_rank_acts),
+            rank_act_gini: sdimm_telemetry::imbalance::gini(&per_rank_acts),
+            per_rank_acts,
+            level_line_writes: cap.level_wear.writes().to_vec(),
+            per_bucket_writes: cap.level_wear.per_bucket_writes(),
+            root_leaf_ratio: 8.0,
+            hot_rows: cap
+                .hot_rows
+                .iter()
+                .map(|h| HotRowReport {
+                    channel: h.channel,
+                    rank: h.row.id.rank,
+                    bank: h.row.id.bank,
+                    row: h.row.id.row,
+                    acts: h.row.acts,
+                    writes: h.row.writes,
+                    levels: h.levels.clone(),
+                })
+                .collect(),
+            audit_acts_match: true,
+            audit_error: None,
+        }
+    }
+}

@@ -20,6 +20,7 @@
 
 pub mod audit;
 pub mod cli;
+pub mod hammer;
 pub mod harness;
 pub mod leakage;
 pub mod live;

@@ -196,6 +196,24 @@ impl IndepSplitOram {
         m
     }
 
+    /// Attributes a channel line address to its ORAM tree level.
+    /// Channel `ch` is way `ch % ways` of group `ch / ways`, and every
+    /// way of a group carries a byte-striped share of that group's
+    /// logical address stream — so the inversion goes through the
+    /// owning group's layout.
+    pub fn level_of_channel_line(&self, ch: usize, addr: u64) -> Option<u32> {
+        self.groups.get(ch / self.cfg.ways)?.oram.layout().level_of_line(addr)
+    }
+
+    /// Merged per-level wear across every group's tree.
+    pub fn level_wear(&self) -> oram::wear::LevelWear {
+        let mut total = oram::wear::LevelWear::default();
+        for g in &self.groups {
+            total.merge(g.oram.level_wear());
+        }
+        total
+    }
+
     fn route(&self, global: Leaf) -> (usize, Leaf) {
         let local = self.cfg.local_leaves();
         ((global.0 / local) as usize, Leaf(global.0 % local))

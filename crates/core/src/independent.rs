@@ -216,6 +216,23 @@ impl IndependentOram {
         m
     }
 
+    /// Attributes a channel-local line address to its ORAM tree level.
+    /// Channel `sdimm`'s DRAM traffic is generated directly from that
+    /// SDIMM's private tree layout, so the inversion is per-node.
+    pub fn level_of_channel_line(&self, sdimm: usize, addr: u64) -> Option<u32> {
+        self.nodes.get(sdimm)?.oram.layout().level_of_line(addr)
+    }
+
+    /// Merged per-level wear across every SDIMM's tree (all trees share
+    /// a geometry, so the merge is level-aligned).
+    pub fn level_wear(&self) -> oram::wear::LevelWear {
+        let mut total = oram::wear::LevelWear::default();
+        for n in &self.nodes {
+            total.merge(n.oram.level_wear());
+        }
+        total
+    }
+
     /// Splits a global leaf into (owning SDIMM, local leaf).
     fn route(&self, global: Leaf) -> (usize, Leaf) {
         let local_leaves = self.cfg.local_leaves();

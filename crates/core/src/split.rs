@@ -140,6 +140,19 @@ impl SplitOram {
         m
     }
 
+    /// Attributes a channel line address to its ORAM tree level. Byte-
+    /// striping hands every SDIMM a share of the *same* logical address
+    /// stream, so the inversion goes through the single logical layout
+    /// regardless of which channel carried the line.
+    pub fn level_of_channel_line(&self, addr: u64) -> Option<u32> {
+        self.logical.layout().level_of_line(addr)
+    }
+
+    /// Per-level wear of the logical tree.
+    pub fn level_wear(&self) -> &oram::wear::LevelWear {
+        self.logical.level_wear()
+    }
+
     fn record(&mut self, ev: Observable) {
         if let Some(rec) = &mut self.recorder {
             rec.push(ev);

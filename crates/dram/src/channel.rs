@@ -10,7 +10,7 @@
 
 use std::collections::{BinaryHeap, VecDeque};
 
-use sdimm_telemetry::{FlightRecorder, TraceSink};
+use sdimm_telemetry::{recorder::FlightEventKind, FlightRecorder, TraceSink};
 
 use crate::address::{AddressMapper, Coords, Interleave};
 use crate::bank::{RowOutcome, RowState};
@@ -20,6 +20,7 @@ use crate::power::{compute_energy, EnergyBreakdown, EnergyCounters};
 use crate::rank::{PowerState, Rank};
 use crate::request::{Completion, Request, RequestId, RequestKind};
 use crate::stats::ChannelStats;
+use crate::wear::{RowPressure, WearConfig};
 
 /// Bus turnaround penalty (cycles) when the data bus switches direction.
 const BUS_TURNAROUND: Cycle = 2;
@@ -168,6 +169,9 @@ pub struct DramChannel {
     flight: FlightRecorder,
     /// Channel index reported in flight-recorder DDR events.
     flight_channel: u8,
+    /// Per-row wear tracker; disabled (`None`) by default, one branch
+    /// per ACT/WR/REF when detached.
+    wear: Option<Box<RowPressure>>,
     /// Chrome-trace process id this channel reports under.
     trace_pid: u32,
     /// Chrome-trace thread id (one track per channel).
@@ -219,6 +223,7 @@ impl DramChannel {
             cmd_log: CmdLog::disabled(),
             flight: FlightRecorder::disabled(),
             flight_channel: 0,
+            wear: None,
             trace_pid: 0,
             trace_tid: 0,
         }
@@ -264,10 +269,29 @@ impl DramChannel {
         }
     }
 
+    /// Attaches a per-row wear tracker configured from this channel's
+    /// standard spec and topology (see [`crate::wear`]). Threshold
+    /// crossings bump `ChannelStats::hammer_alarms` and, when a flight
+    /// recorder is attached, land on its hammer lane. Disabled by
+    /// default; one branch per ACT/WR/REF when detached.
+    pub fn enable_wear(&mut self) {
+        self.wear = Some(Box::new(RowPressure::new(WearConfig::for_channel(&self.cfg))));
+    }
+
+    /// The wear tracker, if [`enable_wear`](Self::enable_wear) was called.
+    pub fn wear(&self) -> Option<&RowPressure> {
+        self.wear.as_deref()
+    }
+
     /// Clears performance statistics (not energy or timing state) so a
-    /// measured window starts clean after warm-up traffic.
+    /// measured window starts clean after warm-up traffic. The wear
+    /// tracker resets with the stats: warm-up activations must not
+    /// leak into the measured window's wear and disturbance report.
     pub fn reset_stats(&mut self) {
         self.stats.reset();
+        if let Some(w) = self.wear.as_deref_mut() {
+            w.reset();
+        }
         // A blocked interval straddling the reset only counts its
         // post-reset portion.
         self.stall_since = self.stall_since.map(|_| self.now);
@@ -281,6 +305,13 @@ impl DramChannel {
     /// The channel configuration.
     pub fn config(&self) -> &ChannelConfig {
         &self.cfg
+    }
+
+    /// The address mapper this channel decodes requests with — lets
+    /// reporting code re-encode physical (rank, bank, row) coordinates
+    /// back into the channel-local addresses a protocol layer speaks.
+    pub fn mapper(&self) -> &AddressMapper {
+        &self.mapper
     }
 
     /// Read-queue occupancy.
@@ -1045,6 +1076,9 @@ impl DramChannel {
                 self.refresh_pending[rank] = false;
                 self.energy.refreshes += 1;
                 self.stats.refreshes += 1;
+                if let Some(w) = self.wear.as_deref_mut() {
+                    w.on_refresh(rank);
+                }
                 if self.sink.is_enabled() {
                     self.sink.instant(
                         "dram.cmd",
@@ -1088,6 +1122,25 @@ impl DramChannel {
                 self.energy.activates += 1;
                 // Classify for stats at first ACT for this request.
                 self.stats.row_misses += 1;
+                self.stats.activations += 1;
+                if let Some(w) = self.wear.as_deref_mut() {
+                    let alarms = w.on_act(e.coords.rank, e.coords.bank, e.coords.row);
+                    for alarm in alarms.into_iter().flatten() {
+                        self.stats.hammer_alarms += 1;
+                        if self.flight.is_enabled() {
+                            self.flight.record_at(
+                                self.now,
+                                FlightEventKind::HammerAlarm {
+                                    channel: self.flight_channel,
+                                    rank: alarm.victim.rank.min(u8::MAX as usize) as u8,
+                                    bank: alarm.victim.bank.min(u8::MAX as usize) as u8,
+                                    row: alarm.victim.row.min(u32::MAX as usize) as u32,
+                                    window: alarm.window.min(u64::from(u32::MAX)) as u32,
+                                },
+                            );
+                        }
+                    }
+                }
                 self.sink.instant("dram.cmd", "act", self.trace_pid, self.trace_tid, self.now);
                 true
             }
@@ -1149,6 +1202,9 @@ impl DramChannel {
             self.rank_next_read[rank_idx] =
                 self.rank_next_read[rank_idx].max(data_end.saturating_add(t.t_wtr));
             self.energy.writes += 1;
+            if let Some(w) = self.wear.as_deref_mut() {
+                w.on_write(rank_idx, bank_idx, e.coords.row);
+            }
         } else {
             self.ranks[rank_idx].bank_mut(bank_idx).read(self.now, &t);
             self.energy.reads += 1;
@@ -1533,5 +1589,103 @@ mod tests {
         let done = ch.run_until_idle(200_000);
         assert_eq!(done.len(), expected);
         assert!(ch.is_idle());
+    }
+
+    /// Byte address of `(rank, bank, row, col)` under the channel's
+    /// default interleaving.
+    fn addr_of(ch: &DramChannel, rank: usize, bank: usize, row: usize, col: usize) -> u64 {
+        let mapper = AddressMapper::new(ch.config().topology.clone(), Interleave::RowRankBankCol);
+        mapper.encode(Coords { rank, bank, row, col })
+    }
+
+    #[test]
+    fn wear_tracker_attributes_acts_and_writes_per_row() {
+        let mut ch = DramChannel::new(quiet_cfg());
+        ch.enable_wear();
+        let a = addr_of(&ch, 0, 0, 100, 0);
+        let b = addr_of(&ch, 0, 0, 200, 0);
+        ch.enqueue_read(a).unwrap();
+        ch.enqueue_read(b).unwrap(); // conflict: second ACT
+        ch.enqueue_write(a).unwrap(); // third ACT + one WR
+        ch.run_until_idle(100_000);
+        let snap = ch.wear().expect("wear enabled").snapshot();
+        assert_eq!(snap.total_acts, ch.stats().activations, "tracker must match the counter");
+        assert_eq!(snap.total_acts, 3);
+        assert_eq!(snap.total_writes, 1);
+        assert_eq!(ch.wear().unwrap().acts(0, 0, 100), 2);
+        assert_eq!(ch.wear().unwrap().acts(0, 0, 200), 1);
+    }
+
+    #[test]
+    fn warmup_reset_clears_wear_with_the_stats() {
+        // Warm-up boundary regression (PR 2 pattern): reset_stats at
+        // the measurement boundary must zero the wear tracker too, or
+        // warm-up activations leak into the measured threat report.
+        let mut ch = DramChannel::new(quiet_cfg());
+        ch.enable_wear();
+        for i in 0..8u64 {
+            ch.enqueue_read(i * 1_000_000).unwrap();
+        }
+        ch.run_until_idle(100_000);
+        assert!(ch.stats().activations > 0);
+        ch.reset_stats();
+        assert_eq!(ch.stats().activations, 0);
+        assert_eq!(ch.stats().hammer_alarms, 0);
+        let snap = ch.wear().unwrap().snapshot();
+        assert_eq!(snap.total_acts, 0, "warm-up ACTs leaked past reset");
+        assert_eq!(snap.peak_window, 0);
+        // Post-reset traffic is counted from zero and still matches.
+        ch.enqueue_read(addr_of(&ch, 0, 0, 7, 0)).unwrap();
+        ch.run_until_idle(100_000);
+        let snap = ch.wear().unwrap().snapshot();
+        assert_eq!(snap.total_acts, 1);
+        assert_eq!(snap.total_acts, ch.stats().activations);
+    }
+
+    #[test]
+    fn double_sided_hammer_crosses_the_ddr4_threshold() {
+        // Satellite: injected hot-row traffic must cross the DDR4
+        // hammer threshold. Double-sided hammer on rows v±1 in one
+        // bank: every ACT on either aggressor bumps victim v's window,
+        // and v (chosen far from the REF round-robin start) is never
+        // refreshed within the run, so the window accumulates to the
+        // threshold. Refresh stays ENABLED to prove REF traffic on
+        // other rows does not close the victim's window.
+        let spec = crate::spec::DramSpec::ddr4_2400();
+        let cfg = spec.main_channel();
+        let threshold = spec.hammer_threshold;
+        let mut ch = DramChannel::new(cfg);
+        ch.enable_wear();
+        let victim = 20_000usize;
+        let lo = addr_of(&ch, 0, 0, victim - 1, 0);
+        let hi = addr_of(&ch, 0, 0, victim + 1, 0);
+        // One request at a time, strictly alternating the two
+        // aggressors: each lands on a bank whose open row is the other
+        // aggressor, forcing PRE+ACT per request (batching them would
+        // let FR-FCFS group row hits and skip the ACTs a real hammer
+        // loop is built to force). Small tick quanta keep the ACT rate
+        // dense enough to cross the threshold within one tREFW — a
+        // hammer that paces itself slower than the refresh wheel is
+        // harmless, and the model correctly shows that.
+        let mut flip = false;
+        for _ in 0..threshold + 16 {
+            let a = if flip { hi } else { lo };
+            flip = !flip;
+            ch.enqueue_read(a).expect("single request always fits");
+            while ch.drain_completions().is_empty() {
+                ch.tick(32);
+            }
+        }
+        let wear = ch.wear().unwrap();
+        assert!(
+            wear.window(0, 0, victim) >= threshold,
+            "victim window {} never reached the DDR4 threshold {threshold}",
+            wear.window(0, 0, victim)
+        );
+        assert!(ch.stats().hammer_alarms >= 1, "crossing must raise an alarm");
+        assert!(ch.stats().refreshes > 0, "refresh was supposed to stay enabled");
+        let snap = wear.snapshot();
+        assert_eq!(snap.peak_victim, Some(crate::wear::RowId { rank: 0, bank: 0, row: victim }));
+        assert_eq!(snap.total_acts, ch.stats().activations);
     }
 }

@@ -41,6 +41,7 @@ pub mod rank;
 pub mod request;
 pub mod spec;
 pub mod stats;
+pub mod wear;
 
 use channel::DramChannel;
 use config::{ChannelConfig, Cycle};

@@ -113,6 +113,15 @@ pub struct DramSpec {
     pub timing: Timing,
     /// Device currents/voltage for the energy model.
     pub power: PowerParams,
+    /// RowHammer disturbance budget: activations of a physically
+    /// adjacent row, accumulated within one victim refresh window, at
+    /// which bit flips become plausible. Denser/newer processes flip at
+    /// lower counts, so the value shrinks from DDR3 to HBM2.
+    pub hammer_threshold: u64,
+    /// REF commands needed to refresh every row once (tREFW / tREFI):
+    /// each REF advances an internal round-robin counter over
+    /// `rows / refresh_rounds` rows per bank.
+    pub refresh_rounds: u64,
 }
 
 impl DramSpec {
@@ -129,6 +138,8 @@ impl DramSpec {
             burst_length: 8,
             timing: Timing::ddr3_1600(),
             power: PowerParams::ddr3_1600_x8(),
+            hammer_threshold: 139_000, // first-generation disturbance point
+            refresh_rounds: 8192,      // 64 ms tREFW / 7.8 µs tREFI
         }
     }
 
@@ -189,6 +200,8 @@ impl DramSpec {
                 io_pj_per_bit_offdimm: 3.9,
                 io_pj_per_bit_ondimm: 1.2,
             },
+            hammer_threshold: 50_000, // ~3x tighter than DDR3-era parts
+            refresh_rounds: 8192,     // 64 ms tREFW / 7.8 µs tREFI
         }
     }
 
@@ -240,6 +253,8 @@ impl DramSpec {
                 io_pj_per_bit_offdimm: 2.0,
                 io_pj_per_bit_ondimm: 0.8,
             },
+            hammer_threshold: 40_000, // mobile-density parts flip earlier
+            refresh_rounds: 8192,     // 32 ms tREFW / 3.9 µs tREFI
         }
     }
 
@@ -291,6 +306,8 @@ impl DramSpec {
                 io_pj_per_bit_offdimm: 0.8, // 2.5D interposer link
                 io_pj_per_bit_ondimm: 0.5,
             },
+            hammer_threshold: 30_000, // stacked dies are the most fragile
+            refresh_rounds: 16384,    // small rows: 64 ms tREFW / 3.9 µs tREFI
         }
     }
 
@@ -374,7 +391,22 @@ impl DramSpec {
         if !self.row_bytes.is_multiple_of(LINE_BYTES) {
             return Err(format!("{name}: row size {} not line-aligned", self.row_bytes));
         }
+        if self.hammer_threshold == 0 {
+            return Err(format!("{name}: zero hammer threshold disables the disturbance model"));
+        }
+        if self.refresh_rounds == 0 || !self.rows.is_multiple_of(self.refresh_rounds as usize) {
+            return Err(format!(
+                "{name}: {} rows do not split evenly into {} refresh rounds",
+                self.rows, self.refresh_rounds
+            ));
+        }
         Ok(())
+    }
+
+    /// Rows refreshed per bank by a single REF command: the round-robin
+    /// stride of the disturbance-window model in [`crate::wear`].
+    pub fn rows_per_refresh(&self) -> usize {
+        self.rows / self.refresh_rounds as usize
     }
 
     /// The channel geometry for this spec with `ranks` ranks. For HBM2
@@ -501,6 +533,31 @@ mod tests {
             // Every supported topology fits the scheduler's flat bitmask.
             assert!(topo.ranks * topo.banks <= 128, "{}", std.name());
         }
+    }
+
+    #[test]
+    fn hammer_thresholds_tighten_with_density() {
+        // Newer/denser standards must carry strictly lower disturbance
+        // budgets than the DDR3-era tables, and every table must cover
+        // all rows in a whole number of refresh rounds.
+        assert!(DramSpec::ddr4_2400().hammer_threshold < DramSpec::ddr3_1600().hammer_threshold);
+        assert!(DramSpec::lpddr4_3200().hammer_threshold < DramSpec::ddr4_2400().hammer_threshold);
+        assert!(DramSpec::hbm2().hammer_threshold < DramSpec::lpddr4_3200().hammer_threshold);
+        for std in DramStandard::ALL {
+            let spec = std.spec();
+            assert_eq!(
+                spec.rows_per_refresh() * spec.refresh_rounds as usize,
+                spec.rows,
+                "{}",
+                std.name()
+            );
+        }
+        let mut spec = DramSpec::ddr4_2400();
+        spec.refresh_rounds = 3000;
+        assert!(spec.validate().unwrap_err().contains("refresh rounds"));
+        spec = DramSpec::ddr4_2400();
+        spec.hammer_threshold = 0;
+        assert!(spec.validate().unwrap_err().contains("hammer"));
     }
 
     #[test]

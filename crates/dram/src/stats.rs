@@ -28,6 +28,13 @@ pub struct ChannelStats {
     pub data_bus_busy_cycles: Cycle,
     /// Refreshes performed.
     pub refreshes: u64,
+    /// ACT commands issued (row-buffer misses and conflicts both
+    /// activate; the split between them is in the row_* counters). The
+    /// wear tracker's per-row totals must sum to this when attached.
+    pub activations: u64,
+    /// Rows whose disturbance window first crossed the standard's
+    /// hammer threshold (counted once per victim row per window).
+    pub hammer_alarms: u64,
     /// Cycles where the scheduler wanted to issue but timing blocked it.
     pub stalled_cycles: Cycle,
     /// Times the command scheduler actually ran. The tick loop skips
@@ -79,6 +86,8 @@ impl ChannelStats {
         self.data_bus_busy_cycles =
             self.data_bus_busy_cycles.saturating_add(o.data_bus_busy_cycles);
         self.refreshes += o.refreshes;
+        self.activations += o.activations;
+        self.hammer_alarms += o.hammer_alarms;
         self.stalled_cycles = self.stalled_cycles.saturating_add(o.stalled_cycles);
         self.scheduler_invocations += o.scheduler_invocations;
     }
@@ -102,6 +111,8 @@ impl ChannelStats {
         m.counter_add("row_misses", self.row_misses);
         m.counter_add("row_conflicts", self.row_conflicts);
         m.counter_add("refreshes", self.refreshes);
+        m.counter_add("activations", self.activations);
+        m.counter_add("hammer_alarms", self.hammer_alarms);
         m.counter_add("stalled_cycles", self.stalled_cycles);
         m.counter_add("data_bus_busy_cycles", self.data_bus_busy_cycles);
         m.counter_add("scheduler_invocations", self.scheduler_invocations);
@@ -165,11 +176,29 @@ mod tests {
             row_hits: 3,
             read_latency_sum: 500,
             read_latency_max: 200,
+            activations: 9,
+            hammer_alarms: 1,
             ..Default::default()
         };
         a.read_latency_hist.record(200);
         a.reset();
         assert_eq!(a, ChannelStats::default());
         assert!(a.read_latency_hist.is_empty());
+    }
+
+    #[test]
+    fn wear_counters_survive_merge_and_export() {
+        // Warm-up boundary regression (same pattern as PR 2): the wear
+        // counters must participate in merge/to_metrics like every other
+        // field, so a reset at the measurement boundary actually zeroes
+        // them and the per-channel export reports them.
+        let mut a = ChannelStats { activations: 2, hammer_alarms: 1, ..Default::default() };
+        let b = ChannelStats { activations: 3, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.activations, 5);
+        assert_eq!(a.hammer_alarms, 1);
+        let m = a.to_metrics().to_json();
+        assert!(m.contains("\"activations\": 5"), "{m}");
+        assert!(m.contains("\"hammer_alarms\": 1"), "{m}");
     }
 }

@@ -174,6 +174,31 @@ impl TreeLayout {
         }
     }
 
+    /// The tree level of the bucket that owns line address `addr` — the
+    /// inverse of [`bucket_lines`](Self::bucket_lines), used to
+    /// attribute physically observed DRAM wear (hot rows) back to ORAM
+    /// levels. Returns `None` for addresses outside the layout (for the
+    /// rank-localized layout, the tail of a rank region past its
+    /// subtree is unowned).
+    pub fn level_of_line(&self, addr: u64) -> Option<u32> {
+        let bucket_bytes = self.lines_per_bucket as u64 * self.line_bytes as u64;
+        match self.scheme {
+            Scheme::SubtreePacked { subtree_levels } => {
+                packed_level_of_slot(self.geo.levels(), subtree_levels, addr / bucket_bytes)
+            }
+            Scheme::RankLocalized { split_levels, rank_bytes } => {
+                if addr / rank_bytes >= (1u64 << split_levels) {
+                    return None;
+                }
+                let within = (addr % rank_bytes) / bucket_bytes;
+                let sub_tree_depth = self.geo.levels() - split_levels;
+                // Same 4-level packing as `bucket_slot`, offset by the
+                // split the subtree hangs under.
+                packed_level_of_slot(sub_tree_depth, 4, within).map(|l| l + split_levels)
+            }
+        }
+    }
+
     /// Total bytes of memory the layout occupies (capacity planning).
     pub fn footprint_bytes(&self) -> u64 {
         match self.scheme {
@@ -205,6 +230,29 @@ fn packed_slot(tree_depth: u32, subtree_levels: u32, heap_idx: u64) -> u64 {
     let sub_size = (1u64 << sub_levels) - 1;
     let within_sub = ((1u64 << depth_in_sub) - 1) + within_level;
     buckets_above + sub_pos * sub_size + within_sub
+}
+
+/// Tree level of the bucket in slot `slot` of a packed layout — the
+/// inverse of [`packed_slot`]. Walks the subtree tiers (each tier's
+/// slots are contiguous, `2^root_level` subtrees of `sub_size` slots
+/// after the `2^root_level - 1` slots above it); within a subtree the
+/// slot order is itself heap order, so the depth is `⌊log₂(pos+1)⌋`.
+/// `None` when `slot` is past the last bucket.
+fn packed_level_of_slot(tree_depth: u32, subtree_levels: u32, slot: u64) -> Option<u32> {
+    let mut root_level = 0u32;
+    while root_level <= tree_depth {
+        let sub_levels = subtree_levels.min(tree_depth + 1 - root_level);
+        let sub_size = (1u64 << sub_levels) - 1;
+        let tier_start = (1u64 << root_level) - 1;
+        let tier_slots = (1u64 << root_level) * sub_size;
+        if slot < tier_start + tier_slots {
+            let within_sub = (slot - tier_start) % sub_size;
+            let depth_in_sub = 64 - (within_sub + 1).leading_zeros() - 1;
+            return Some(root_level + depth_in_sub);
+        }
+        root_level += subtree_levels;
+    }
+    None
 }
 
 #[cfg(test)]
@@ -300,6 +348,40 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn level_of_line_inverts_bucket_lines_on_both_layouts() {
+        // Every line of every addressable bucket must attribute back to
+        // the bucket's own level — on the packed baseline layout and on
+        // the rank-localized low-power layout (whose address space has
+        // unowned tails past each rank's subtree).
+        let c = cfg(8);
+        for l in [TreeLayout::subtree_packed(&c, 3), TreeLayout::rank_localized(&c, 2, 1 << 20)] {
+            for b in 0..c.bucket_count() {
+                let Some(lines) = l.bucket_lines(BucketIdx(b)) else { continue };
+                let level = l.geometry().level_of(BucketIdx(b));
+                for line in lines {
+                    assert_eq!(
+                        l.level_of_line(line),
+                        Some(level),
+                        "bucket {b} line {line:#x} misattributed"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn level_of_line_rejects_unowned_addresses() {
+        let c = cfg(8);
+        let packed = TreeLayout::subtree_packed(&c, 3);
+        assert_eq!(packed.level_of_line(packed.footprint_bytes()), None);
+        let rank = TreeLayout::rank_localized(&c, 2, 1 << 20);
+        // The tail of rank 0's region past its subtree is unowned.
+        assert_eq!(rank.level_of_line((1 << 20) - 64), None);
+        // Past the last rank entirely.
+        assert_eq!(rank.level_of_line(4 << 20), None);
     }
 
     #[test]

@@ -49,6 +49,7 @@ pub mod plb;
 pub mod posmap;
 pub mod stash;
 pub mod types;
+pub mod wear;
 
 pub use freecursive::FreecursiveOram;
 pub use path_oram::PathOram;

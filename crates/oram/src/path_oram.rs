@@ -19,6 +19,7 @@ use crate::plan::{AccessPlan, PlanKind};
 use crate::posmap::FlatPosMap;
 use crate::stash::Stash;
 use crate::types::{BlockId, Leaf, Op, OramConfig};
+use crate::wear::LevelWear;
 
 /// Statistics kept by a Path ORAM instance.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -54,6 +55,10 @@ pub struct PathOram {
     rng: StdRng,
     blocks: u64,
     stats: OramStats,
+    /// Per-tree-level line read/write wear (the logical half of the
+    /// reliability observatory; the DRAM channel tracks the physical
+    /// half per row).
+    level_wear: LevelWear,
 }
 
 impl PathOram {
@@ -83,6 +88,7 @@ impl PathOram {
             posmap,
             rng,
             blocks,
+            level_wear: LevelWear::new(cfg.levels),
             cfg,
             stats: OramStats::default(),
         }
@@ -120,6 +126,7 @@ impl PathOram {
             posmap,
             rng,
             blocks: id_space,
+            level_wear: LevelWear::new(cfg.levels),
             cfg,
             stats: OramStats::default(),
         }
@@ -220,7 +227,25 @@ impl PathOram {
         m.gauge_set("stash_len", self.stash.len() as f64);
         m.gauge_max("stash_peak", self.stash.peak() as f64);
         m.histogram_set("stash_occupancy", self.stash.occupancy_hist().clone());
+        m.absorb("wear", &self.level_wear.to_metrics());
         m
+    }
+
+    /// Per-level wear counters (the logical view the observatory pairs
+    /// with the DRAM tracker's physical per-row view).
+    pub fn level_wear(&self) -> &LevelWear {
+        &self.level_wear
+    }
+
+    /// Records one full path's read+write-back into the level-wear
+    /// counters — called wherever a plan's `read_lines`/`write_lines`
+    /// are built, so logical wear always mirrors the planned traffic.
+    fn record_path_wear(&mut self) {
+        self.level_wear.record_path(
+            self.layout.cached_levels(),
+            self.geo.levels(),
+            self.layout.lines_per_bucket() as u64,
+        );
     }
 
     /// Current leaf of a block (test/verification hook; a real controller
@@ -267,6 +292,7 @@ impl PathOram {
         // lint: declassify(the caller-supplied remap is recorded before the path write-back, so this old leaf is disclosed to memory exactly once and never correlates with the block's next access)
         let revealed_leaf = self.posmap.get(id);
         let read_lines = self.layout.path_lines(revealed_leaf);
+        self.record_path_wear();
         self.fetch_path(revealed_leaf);
         let data = self.serve(id, op, new_data);
         let moved = if keep_local {
@@ -312,6 +338,7 @@ impl PathOram {
         kind: PlanKind,
     ) -> (Vec<u8>, AccessPlan) {
         let read_lines = self.layout.path_lines(revealed_leaf);
+        self.record_path_wear();
         self.fetch_path(revealed_leaf);
         let data = self.serve(id, op, new_data);
         self.evict_path(revealed_leaf);
@@ -458,6 +485,7 @@ impl PathOram {
         // A dummy path is drawn fresh and uniformly: public by construction.
         let revealed_leaf = Leaf(self.rng.gen_range(0..self.cfg.leaf_count()));
         let read_lines = self.layout.path_lines(revealed_leaf);
+        self.record_path_wear();
         self.drain_path_into_stash(revealed_leaf, false, false);
         self.writeback_path(revealed_leaf, false);
         self.stats.background_evictions += 1;

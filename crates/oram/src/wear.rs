@@ -1,0 +1,152 @@
+//! Logical (per-tree-level) wear attribution.
+//!
+//! The DRAM-side tracker ([`dram-sim`'s `wear` module]) sees physical
+//! rows; this module keeps the protocol-side view: how many line reads
+//! and writes each **ORAM tree level** absorbs. Every Path ORAM access
+//! rewrites one bucket per level, but level `l` only has `2^l` buckets
+//! to spread that load over — so per-bucket wear falls geometrically
+//! from root to leaf, which is exactly the imbalance the reliability
+//! observatory exists to measure (and a later wear-leveling layer will
+//! flatten).
+
+use sdimm_telemetry::{imbalance, MetricsRegistry};
+
+/// Per-level line read/write counters for one ORAM tree.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LevelWear {
+    /// Line reads per level (index = level, 0 = root).
+    reads: Vec<u64>,
+    /// Line writes per level.
+    writes: Vec<u64>,
+}
+
+impl LevelWear {
+    /// Counters for a tree with levels `0..=levels`.
+    pub fn new(levels: u32) -> Self {
+        let n = levels as usize + 1;
+        LevelWear { reads: vec![0; n], writes: vec![0; n] }
+    }
+
+    /// Records one full path read + write-back touching levels
+    /// `cached_levels..=levels`, `lines_per_bucket` lines per level —
+    /// the traffic shape of every Path ORAM access and eviction.
+    pub fn record_path(&mut self, cached_levels: u32, levels: u32, lines_per_bucket: u64) {
+        for level in cached_levels as usize..=levels as usize {
+            if level < self.reads.len() {
+                self.reads[level] += lines_per_bucket;
+                self.writes[level] += lines_per_bucket;
+            }
+        }
+    }
+
+    /// Line reads per level (index = level).
+    pub fn reads(&self) -> &[u64] {
+        &self.reads
+    }
+
+    /// Line writes per level (index = level).
+    pub fn writes(&self) -> &[u64] {
+        &self.writes
+    }
+
+    /// Per-*bucket* write load per level: `writes[l] / 2^l`. Levels
+    /// share traffic equally per access, but deeper levels spread it
+    /// over exponentially more buckets — this is the endurance view.
+    pub fn per_bucket_writes(&self) -> Vec<f64> {
+        self.writes
+            .iter()
+            .enumerate()
+            .map(|(l, &w)| w as f64 / (1u64 << l.min(62)) as f64)
+            .collect()
+    }
+
+    /// Adds another tree's counters into this one (levels aligned at
+    /// the root; the longer tree's extra levels are kept).
+    pub fn merge(&mut self, o: &LevelWear) {
+        if o.reads.len() > self.reads.len() {
+            self.reads.resize(o.reads.len(), 0);
+            self.writes.resize(o.writes.len(), 0);
+        }
+        for (l, &r) in o.reads.iter().enumerate() {
+            self.reads[l] += r;
+        }
+        for (l, &w) in o.writes.iter().enumerate() {
+            self.writes[l] += w;
+        }
+    }
+
+    /// Clears every counter (warm-up/measure boundary).
+    pub fn reset(&mut self) {
+        self.reads.iter_mut().for_each(|c| *c = 0);
+        self.writes.iter_mut().for_each(|c| *c = 0);
+    }
+
+    /// True when no traffic has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.reads.iter().all(|&r| r == 0) && self.writes.iter().all(|&w| w == 0)
+    }
+
+    /// Exports per-level counters plus the imbalance verdict over the
+    /// per-bucket write load (`wear.level<l>.*`, `wear.imbalance.*`);
+    /// callers absorb it under a per-instance prefix.
+    pub fn to_metrics(&self) -> MetricsRegistry {
+        let mut m = MetricsRegistry::new();
+        for (l, (&r, &w)) in self.reads.iter().zip(self.writes.iter()).enumerate() {
+            m.counter_add(&format!("level{l}.line_reads"), r);
+            m.counter_add(&format!("level{l}.line_writes"), w);
+        }
+        let per_bucket: Vec<u64> = self.per_bucket_writes().iter().map(|&w| w as u64).collect();
+        m.gauge_set("per_bucket_write_max_over_mean", imbalance::max_over_mean(&per_bucket));
+        m.gauge_set("per_bucket_write_gini", imbalance::gini(&per_bucket));
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paths_load_levels_equally_but_buckets_geometrically() {
+        let mut w = LevelWear::new(4);
+        for _ in 0..8 {
+            w.record_path(0, 4, 5);
+        }
+        assert!(w.writes().iter().all(|&x| x == 40), "levels share path traffic equally");
+        let per_bucket = w.per_bucket_writes();
+        assert_eq!(per_bucket[0], 40.0);
+        assert_eq!(per_bucket[4], 2.5, "leaf level spreads over 16 buckets");
+        assert!(per_bucket[0] > 15.0 * per_bucket[4], "root ≫ leaf");
+    }
+
+    #[test]
+    fn cached_levels_absorb_no_wear() {
+        let mut w = LevelWear::new(4);
+        w.record_path(2, 4, 5);
+        assert_eq!(w.reads()[0], 0);
+        assert_eq!(w.reads()[1], 0);
+        assert_eq!(w.reads()[2], 5);
+    }
+
+    #[test]
+    fn merge_aligns_roots_and_keeps_deeper_levels() {
+        let mut a = LevelWear::new(2);
+        a.record_path(0, 2, 1);
+        let mut b = LevelWear::new(4);
+        b.record_path(0, 4, 1);
+        a.merge(&b);
+        assert_eq!(a.writes(), &[2, 2, 2, 1, 1]);
+    }
+
+    #[test]
+    fn reset_empties_and_metrics_flag_the_imbalance() {
+        let mut w = LevelWear::new(3);
+        w.record_path(0, 3, 5);
+        let m = w.to_metrics().to_json();
+        assert!(m.contains("level0.line_writes"), "{m}");
+        assert!(m.contains("per_bucket_write_gini"), "{m}");
+        assert!(!w.is_empty());
+        w.reset();
+        assert!(w.is_empty());
+    }
+}

@@ -247,6 +247,16 @@ impl Executor {
             .collect()
     }
 
+    /// Enables the per-row wear/disturbance tracker on every DRAM
+    /// channel. Like the trace sinks, this is off by default (one
+    /// `Option` branch per ACT when disabled) and should be switched on
+    /// before traffic so lifetime counts cover the whole run.
+    pub fn enable_wear(&mut self) {
+        for ch in &mut self.channels {
+            ch.enable_wear();
+        }
+    }
+
     /// The Chrome-trace lane a request's phase spans render on.
     fn lane_of(id: ExecId) -> u32 {
         LANE_TID_BASE + (id.0 % TRACE_LANES) as u32

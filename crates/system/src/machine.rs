@@ -10,6 +10,7 @@ use dram_sim::config::ChannelConfig;
 use dram_sim::spec::DramStandard;
 use oram::path_oram::PathOram;
 use oram::types::{BlockId, Op, OramConfig};
+use oram::wear::LevelWear;
 use sdimm::frontend::Frontend;
 use sdimm::indep_split::{IndepSplitConfig, IndepSplitOram};
 use sdimm::independent::{IndependentConfig, IndependentOram};
@@ -366,6 +367,52 @@ impl Machine {
         }
         m.gauge_max("oram.stash_peak", self.stash_peak() as f64);
         m
+    }
+
+    /// Enables the per-row wear/disturbance tracker on every DRAM
+    /// channel (off by default; switch on before traffic).
+    pub fn enable_wear(&mut self) {
+        self.executor.enable_wear();
+    }
+
+    /// Attributes a channel-local line address (as seen by DRAM channel
+    /// `channel`) back to the ORAM tree level whose bucket owns it, or
+    /// `None` when the machine has no tree (NonSecure) or the address is
+    /// outside the tree. Each backend speaks a different channel-address
+    /// dialect, so the inversion is per-design:
+    ///
+    /// * baselines interleave the single tree's *global* lines across
+    ///   channels (`global = local * channels + channel`, the inverse of
+    ///   [`Machine::split_lines`]);
+    /// * Independent sends each SDIMM's private layout addresses to its
+    ///   own channel;
+    /// * Split/IndepSplit byte-stripe one logical layout's addresses
+    ///   over the member ways.
+    pub fn level_of_channel_line(&self, channel: usize, addr: u64) -> Option<u32> {
+        let unsplit = |channels: usize| ((addr / 64) * channels as u64 + channel as u64) * 64;
+        match &self.backend {
+            Backend::NonSecure => None,
+            Backend::PathOramPlain { oram, channels } | Backend::Freecursive { oram, channels } => {
+                oram.layout().level_of_line(unsplit(*channels))
+            }
+            Backend::Independent(o) => o.level_of_channel_line(channel, addr),
+            Backend::Split(o) => o.level_of_channel_line(addr),
+            Backend::IndepSplit(o) => o.level_of_channel_line(channel, addr),
+        }
+    }
+
+    /// Per-tree-level wear merged across the backend's ORAM instance(s)
+    /// (empty for the non-secure machine).
+    pub fn level_wear(&self) -> LevelWear {
+        match &self.backend {
+            Backend::NonSecure => LevelWear::default(),
+            Backend::PathOramPlain { oram, .. } | Backend::Freecursive { oram, .. } => {
+                oram.level_wear().clone()
+            }
+            Backend::Independent(o) => o.level_wear(),
+            Backend::Split(o) => o.level_wear().clone(),
+            Backend::IndepSplit(o) => o.level_wear(),
+        }
     }
 
     /// Maps a physical line address onto (channel, channel-local address)

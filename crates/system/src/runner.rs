@@ -10,10 +10,12 @@
 
 use std::collections::HashMap;
 
+use dram_sim::address::Coords;
 use dram_sim::config::Cycle;
 use dram_sim::power::EnergyBreakdown;
+use dram_sim::wear::{RowWear, WearSnapshot};
 use sdimm_telemetry::{
-    FlightEventKind, FlightRecorder, FlightRecorderHub, Instruments, LatencyHistogram,
+    imbalance, FlightEventKind, FlightRecorder, FlightRecorderHub, Instruments, LatencyHistogram,
     MetricsRegistry, TraceSink,
 };
 use workloads::Trace;
@@ -120,7 +122,7 @@ pub fn run_instrumented(
     instruments: &Instruments,
     pid: u32,
 ) -> RunResult {
-    run_inner(cfg, trace, warmup, measure, instruments, pid, false, false).0
+    run_inner(cfg, trace, warmup, measure, instruments, pid, false, false, None).0
 }
 
 /// [`run_audited`] with the full [`Instruments`] bundle attached.
@@ -136,8 +138,8 @@ pub fn run_audited_instrumented(
     instruments: &Instruments,
     pid: u32,
 ) -> (RunResult, AuditCapture) {
-    let (result, capture, _) =
-        run_inner(cfg, trace, warmup, measure, instruments, pid, true, false);
+    let (result, capture, _, _) =
+        run_inner(cfg, trace, warmup, measure, instruments, pid, true, false, None);
     // lint: panic-ok(invariant: capture requested)
     (result, capture.expect("capture requested"))
 }
@@ -174,14 +176,129 @@ pub fn run_leakage(
     measure: usize,
 ) -> (RunResult, LeakageCapture) {
     let instruments = Instruments::with_sink(TraceSink::disabled());
-    let (result, capture, observables) =
-        run_inner(cfg, trace, warmup, measure, &instruments, 0, true, true);
+    let (result, capture, observables, _) =
+        run_inner(cfg, trace, warmup, measure, &instruments, 0, true, true, None);
     // lint: panic-ok(invariant: capture requested)
     let capture = capture.expect("capture requested");
     (
         result,
         LeakageCapture { channel_cfg: capture.channel_cfg, streams: capture.streams, observables },
     )
+}
+
+/// One of the hottest physical rows of a run, attributed both ways: by
+/// DRAM coordinates (channel/rank/bank/row) and by the ORAM tree levels
+/// whose bucket lines live in that row.
+#[derive(Debug, Clone)]
+pub struct HotRow {
+    /// Owning DRAM channel.
+    pub channel: usize,
+    /// Physical identity and lifetime ACT/WR counts.
+    pub row: RowWear,
+    /// Distinct ORAM tree levels mapped into the row (sorted; empty for
+    /// machines without a tree or rows outside it).
+    pub levels: Vec<u32>,
+}
+
+/// Everything the reliability observatory needs from one run: the wear
+/// and disturbance state of every channel, the protocol-side per-level
+/// attribution, the hottest rows with both attributions, and the raw
+/// command streams so an independent auditor can re-derive the
+/// activation counts from first principles.
+#[derive(Debug)]
+pub struct HammerCapture {
+    /// Channel configuration shared by every captured channel (names
+    /// the standard whose hammer threshold the windows are judged
+    /// against).
+    pub channel_cfg: dram_sim::config::ChannelConfig,
+    /// Per-channel command streams, complete from cycle 0, for the
+    /// replay auditor's independent ACT recount.
+    pub streams: Vec<Vec<dram_sim::cmdlog::CmdRecord>>,
+    /// Per-channel wear snapshots (measured window only).
+    pub wear: Vec<WearSnapshot>,
+    /// Per-tree-level wear merged across the backend's ORAM instances.
+    pub level_wear: oram::wear::LevelWear,
+    /// The `top_k` hottest rows across all channels, ACTs descending
+    /// (ties by channel then physical order — deterministic).
+    pub hot_rows: Vec<HotRow>,
+}
+
+/// [`run`], with the per-row wear tracker enabled on every channel and
+/// command logs attached: returns the run result plus a
+/// [`HammerCapture`] for RowHammer threat reporting. Fully
+/// deterministic: same config + trace reproduce the capture exactly.
+///
+/// # Panics
+///
+/// Panics if the trace is shorter than `warmup + measure`.
+pub fn run_hammer(
+    cfg: &SystemConfig,
+    trace: &Trace,
+    warmup: usize,
+    measure: usize,
+    top_k: usize,
+) -> (RunResult, HammerCapture) {
+    let instruments = Instruments::with_sink(TraceSink::disabled());
+    let (result, capture, _, wear) =
+        run_inner(cfg, trace, warmup, measure, &instruments, 0, true, false, Some(top_k));
+    // lint: panic-ok(invariant: captures requested)
+    let capture = capture.expect("capture requested");
+    // lint: panic-ok(invariant: captures requested)
+    let wear = wear.expect("wear capture requested");
+    (
+        result,
+        HammerCapture {
+            channel_cfg: capture.channel_cfg,
+            streams: capture.streams,
+            wear: wear.snapshots,
+            level_wear: wear.level_wear,
+            hot_rows: wear.hot_rows,
+        },
+    )
+}
+
+/// The wear part of a [`HammerCapture`], harvested while the machine is
+/// still alive (level attribution needs the backend's layouts).
+struct WearCapture {
+    snapshots: Vec<WearSnapshot>,
+    level_wear: oram::wear::LevelWear,
+    hot_rows: Vec<HotRow>,
+}
+
+/// Harvests per-channel wear snapshots and attributes each channel's
+/// `top_k` hottest rows to ORAM tree levels by re-encoding every line
+/// of the row through the channel's own address mapper.
+fn harvest_wear(machine: &Machine, top_k: usize) -> WearCapture {
+    let mut snapshots = Vec::new();
+    let mut hot_rows = Vec::new();
+    for i in 0..machine.executor.channel_count() {
+        let ch = machine.executor.channel(i);
+        // lint: panic-ok(invariant: run_hammer enables wear before traffic)
+        let snap = ch.wear().expect("wear enabled for hammer runs").snapshot();
+        let cols = ch.config().topology.lines_per_row();
+        for row in snap.hottest(top_k) {
+            let mut levels: Vec<u32> = (0..cols)
+                .filter_map(|col| {
+                    let addr = ch.mapper().encode(Coords {
+                        rank: row.id.rank,
+                        bank: row.id.bank,
+                        row: row.id.row,
+                        col,
+                    });
+                    machine.level_of_channel_line(i, addr)
+                })
+                .collect();
+            levels.sort_unstable();
+            levels.dedup();
+            hot_rows.push(HotRow { channel: i, row, levels });
+        }
+        snapshots.push(snap);
+    }
+    hot_rows.sort_by(|a, b| {
+        b.row.acts.cmp(&a.row.acts).then(a.channel.cmp(&b.channel)).then(a.row.id.cmp(&b.row.id))
+    });
+    hot_rows.truncate(top_k);
+    WearCapture { snapshots, level_wear: machine.level_wear(), hot_rows }
 }
 
 /// Everything a differential replay auditor needs to re-validate a run:
@@ -272,6 +389,15 @@ pub fn dump_stash_breach(
     }
 }
 
+/// Everything one [`run_inner`] invocation yields: the result plus each
+/// optional capture (present only when its capture flag was set).
+type InnerOutput = (
+    RunResult,
+    Option<AuditCapture>,
+    Vec<(Cycle, sdimm::obliviousness::Observable)>,
+    Option<WearCapture>,
+);
+
 #[allow(clippy::too_many_arguments)]
 fn run_inner(
     cfg: &SystemConfig,
@@ -282,7 +408,8 @@ fn run_inner(
     pid: u32,
     capture_cmds: bool,
     capture_obs: bool,
-) -> (RunResult, Option<AuditCapture>, Vec<(Cycle, sdimm::obliviousness::Observable)>) {
+    wear_top_k: Option<usize>,
+) -> InnerOutput {
     assert!(
         trace.records.len() >= warmup + measure,
         "trace too short: {} < {}",
@@ -290,7 +417,11 @@ fn run_inner(
         warmup + measure
     );
     let mut machine = Machine::new(cfg.clone());
-    // Command logs attach before any request touches a channel.
+    // Wear tracking and command logs attach before any request touches
+    // a channel, so lifetime counts and streams agree from cycle 0.
+    if wear_top_k.is_some() {
+        machine.enable_wear();
+    }
     let cmd_logs = if capture_cmds { machine.executor.attach_cmd_logs() } else { Vec::new() };
     if capture_obs {
         machine.set_observable_recorder();
@@ -513,7 +644,19 @@ fn run_inner(
         live.cell_finished();
     }
     let plb_hit_rate = machine.plb_hit_rate();
+    let wear_capture = wear_top_k.map(|k| harvest_wear(&machine, k));
     let mut metrics = machine.metrics();
+    if let Some(wc) = &wear_capture {
+        for (i, s) in wc.snapshots.iter().enumerate() {
+            let p = format!("dram.chan{i}.wear");
+            metrics.gauge_set(&format!("{p}.peak_window"), s.peak_window as f64);
+            metrics.gauge_set(
+                &format!("{p}.rank_act_max_over_mean"),
+                imbalance::max_over_mean(&s.per_rank_acts),
+            );
+            metrics.gauge_set(&format!("{p}.rank_act_gini"), imbalance::gini(&s.per_rank_acts));
+        }
+    }
     metrics.counter_add("run.cycles", cycles);
     metrics.counter_add("run.records", measure as u64);
     metrics.counter_add("run.llc_misses", llc.stats().misses);
@@ -551,7 +694,7 @@ fn run_inner(
         dram_lines,
         metrics,
     };
-    (result, capture, observables)
+    (result, capture, observables, wear_capture)
 }
 
 #[cfg(test)]
@@ -679,6 +822,70 @@ mod tests {
         assert!(!sink.is_empty(), "sink should have captured events");
         let json = sink.export_chrome_json().expect("enabled sink exports");
         sdimm_telemetry::json::validate(&json).expect("chrome trace is valid JSON");
+    }
+
+    #[test]
+    fn hammer_capture_reports_wear_and_level_imbalance() {
+        let cfg = SystemConfig::small(MachineKind::Independent { sdimms: 2, channels: 1 });
+        let trace = spec::generate("hotrow-adv", 1200, 3);
+        let (r, cap) = run_hammer(&cfg, &trace, 200, 400, 8);
+        assert_eq!(r.records, 400);
+
+        // The engine's lifetime totals equal the per-channel stats
+        // counters (same hooks, two exports).
+        let snap_acts: u64 = cap.wear.iter().map(|s| s.total_acts).sum();
+        let stat_acts: u64 = (0..cap.wear.len())
+            .map(|i| r.metrics.counter(&format!("dram.chan{i}.activations")))
+            .sum();
+        assert_eq!(snap_acts, stat_acts, "wear snapshot and ChannelStats must agree");
+        assert!(snap_acts > 0, "an ORAM run must activate rows");
+
+        // Per-bucket wear falls geometrically from the shallowest
+        // in-memory level to the leaves (cached levels absorb none).
+        let per_bucket = cap.level_wear.per_bucket_writes();
+        let first =
+            cap.level_wear.writes().iter().position(|&w| w > 0).expect("some level absorbs writes");
+        let leaf = per_bucket.len() - 1;
+        assert!(first < leaf);
+        assert!(
+            per_bucket[first] > 4.0 * per_bucket[leaf],
+            "root-side {} should dwarf leaf {}",
+            per_bucket[first],
+            per_bucket[leaf]
+        );
+
+        // Hot rows carry both attributions and respect the cap.
+        assert!(!cap.hot_rows.is_empty() && cap.hot_rows.len() <= 8);
+        assert!(cap.hot_rows.windows(2).all(|w| w[0].row.acts >= w[1].row.acts));
+        assert!(
+            cap.hot_rows.iter().any(|h| !h.levels.is_empty()),
+            "hot rows of an ORAM machine should map into the tree"
+        );
+
+        // Streams captured for the replay auditor's recount.
+        assert_eq!(cap.streams.len(), cap.wear.len());
+        assert!(cap.streams.iter().any(|s| !s.is_empty()));
+
+        // The wear gauges land in the metrics snapshot.
+        assert!(r.metrics.gauge("dram.chan0.wear.peak_window") >= 0.0);
+    }
+
+    #[test]
+    fn hammer_runs_are_deterministic_and_unperturbed() {
+        let cfg = SystemConfig::small(MachineKind::Split { ways: 2, channels: 1 });
+        let trace = spec::generate("uniform-adv", 1200, 3);
+        let plain = run(&cfg, &trace, 200, 400);
+        let (a, ca) = run_hammer(&cfg, &trace, 200, 400, 4);
+        let (b, cb) = run_hammer(&cfg, &trace, 200, 400, 4);
+        assert_eq!(plain.cycles, a.cycles, "wear tracking must not perturb timing");
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(ca.wear.len(), cb.wear.len());
+        for (x, y) in ca.wear.iter().zip(cb.wear.iter()) {
+            assert_eq!(x.total_acts, y.total_acts);
+            assert_eq!(x.peak_window, y.peak_window);
+            assert_eq!(x.rows, y.rows);
+        }
+        assert_eq!(ca.level_wear, cb.level_wear);
     }
 
     #[test]

@@ -1,0 +1,84 @@
+//! Wear-imbalance statistics: how unevenly a load (activations,
+//! writes) is spread across a population (ranks, rows, ORAM levels).
+//!
+//! Two complementary views, both dimensionless so they compare across
+//! standards and protocols:
+//!
+//! * [`max_over_mean`] — the hotspot factor: how much hotter the
+//!   hottest member is than the average. 1.0 is perfectly level.
+//! * [`gini`] — the Gini coefficient of the distribution: 0.0 when
+//!   perfectly level, approaching 1.0 when one member absorbs
+//!   everything. Unlike max/mean it reacts to the whole shape, not
+//!   just the single worst member.
+//!
+//! Both are pure integer-in/float-out functions computed over sorted
+//! copies, so repeated calls over the same counts are byte-stable in
+//! reports.
+
+/// Ratio of the hottest member to the mean, or 0.0 for an empty or
+/// all-zero population (no load means no imbalance to report).
+pub fn max_over_mean(counts: &[u64]) -> f64 {
+    let total: u64 = counts.iter().sum();
+    if counts.is_empty() || total == 0 {
+        return 0.0;
+    }
+    let max = *counts.iter().max().unwrap_or(&0);
+    max as f64 * counts.len() as f64 / total as f64
+}
+
+/// Gini coefficient over the counts (0 = perfectly level, → 1 = fully
+/// concentrated). Empty and all-zero populations report 0.0.
+///
+/// Uses the sorted-rank identity `G = (2·Σ i·xᵢ) / (n·Σ xᵢ) − (n+1)/n`
+/// with 1-based ranks `i` over ascending `xᵢ`.
+pub fn gini(counts: &[u64]) -> f64 {
+    let n = counts.len();
+    let total: u64 = counts.iter().sum();
+    if n == 0 || total == 0 {
+        return 0.0;
+    }
+    let mut sorted = counts.to_vec();
+    sorted.sort_unstable();
+    let weighted: f64 = sorted.iter().enumerate().map(|(i, &x)| (i as f64 + 1.0) * x as f64).sum();
+    (2.0 * weighted) / (n as f64 * total as f64) - (n as f64 + 1.0) / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_populations_report_no_imbalance() {
+        assert_eq!(max_over_mean(&[5, 5, 5, 5]), 1.0);
+        assert!(gini(&[5, 5, 5, 5]).abs() < 1e-12);
+        assert_eq!(max_over_mean(&[]), 0.0);
+        assert_eq!(gini(&[]), 0.0);
+        assert_eq!(max_over_mean(&[0, 0]), 0.0);
+        assert_eq!(gini(&[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn concentration_drives_both_metrics_up() {
+        // One member absorbs everything: max/mean = n, Gini = (n-1)/n.
+        assert_eq!(max_over_mean(&[0, 0, 0, 12]), 4.0);
+        assert!((gini(&[0, 0, 0, 12]) - 0.75).abs() < 1e-12);
+        // A milder skew sits strictly between level and concentrated.
+        let g = gini(&[1, 2, 3, 10]);
+        assert!(g > 0.0 && g < 0.75, "{g}");
+    }
+
+    #[test]
+    fn gini_is_order_invariant() {
+        assert_eq!(gini(&[7, 1, 4]), gini(&[1, 4, 7]));
+        assert_eq!(max_over_mean(&[7, 1, 4]), max_over_mean(&[4, 7, 1]));
+    }
+
+    #[test]
+    fn root_heavy_oram_profile_is_clearly_imbalanced() {
+        // Per-bucket writes halve per level in a path-ORAM tree: the
+        // geometric profile the observatory is built to surface.
+        let per_level = [1024u64, 512, 256, 128, 64, 32, 16, 8];
+        assert!(max_over_mean(&per_level) > 3.0);
+        assert!(gini(&per_level) > 0.5);
+    }
+}

@@ -43,6 +43,7 @@
 
 pub mod dashboard;
 pub mod histogram;
+pub mod imbalance;
 pub mod instruments;
 pub mod json;
 pub mod profile;

@@ -128,6 +128,21 @@ pub enum FlightEventKind {
         /// Static label; markers never format strings on the hot path.
         tag: &'static str,
     },
+    /// A victim row's disturbance window crossed the standard's
+    /// RowHammer threshold (raised by the wear tracker, once per
+    /// victim per refresh window).
+    HammerAlarm {
+        /// Channel index.
+        channel: u8,
+        /// Rank holding the victim row.
+        rank: u8,
+        /// Bank holding the victim row.
+        bank: u8,
+        /// The victim row (the neighbor of the hammered row).
+        row: u32,
+        /// Window count at the crossing (== the standard's threshold).
+        window: u32,
+    },
 }
 
 /// A timestamped flight-recorder event.
@@ -164,6 +179,10 @@ impl FlightEvent {
                 format!("sched req#{request} backend {}", decision.verb())
             }
             FlightEventKind::Marker { tag } => format!("mark {tag}"),
+            FlightEventKind::HammerAlarm { channel, rank, bank, row, window } => format!(
+                "wear ch{channel} rank{rank} bank{bank} row 0x{row:05x} \
+                 disturbance window {window} crossed hammer threshold"
+            ),
         }
     }
 
@@ -180,11 +199,13 @@ impl FlightEvent {
             FlightEventKind::StashTick { occupancy, .. } => format!("stash {occupancy}"),
             FlightEventKind::Backend { decision, .. } => format!("backend {}", decision.verb()),
             FlightEventKind::Marker { tag } => tag.to_string(),
+            FlightEventKind::HammerAlarm { row, .. } => format!("hammer 0x{row:05x}"),
         }
     }
 
     /// Track id for the Chrome trace slice: DDR events per channel,
-    /// then one lane each for phases, stash ticks, and scheduling.
+    /// then one lane each for phases, stash ticks, scheduling, markers,
+    /// and hammer alarms.
     fn trace_tid(&self) -> u32 {
         match self.kind {
             FlightEventKind::DdrCmd { channel, .. } => u32::from(channel),
@@ -192,6 +213,7 @@ impl FlightEvent {
             FlightEventKind::StashTick { .. } => 33,
             FlightEventKind::Backend { .. } => 34,
             FlightEventKind::Marker { .. } => 35,
+            FlightEventKind::HammerAlarm { .. } => 36,
         }
     }
 }
@@ -620,5 +642,23 @@ mod tests {
         let d = e.describe();
         assert!(d.contains("ch2") && d.contains("ACT") && d.contains("bank3"));
         assert!(d.contains("0x001a2"));
+    }
+
+    #[test]
+    fn hammer_alarms_name_the_victim_and_get_their_own_lane() {
+        let e = FlightEvent {
+            ts: 99,
+            kind: FlightEventKind::HammerAlarm {
+                channel: 1,
+                rank: 2,
+                bank: 3,
+                row: 0x40,
+                window: 50_000,
+            },
+        };
+        let d = e.describe();
+        assert!(d.contains("ch1") && d.contains("rank2") && d.contains("bank3"), "{d}");
+        assert!(d.contains("0x00040") && d.contains("50000"), "{d}");
+        assert_eq!(e.trace_tid(), 36, "alarms must not share the marker lane");
     }
 }

@@ -1,0 +1,158 @@
+//! Adversarial workloads for the reliability observatory.
+//!
+//! The SPEC-like profiles model *benign* programs; RowHammer pressure
+//! comes from the opposite corner — a tenant that concentrates misses
+//! on as few DRAM rows as it can reach through the LLC. Two shapes:
+//!
+//! * `hotrow-adv` — a power-law (zipfian-style) sweep over a small
+//!   window: most misses land on a handful of lines, maximizing the
+//!   activation rate of the rows (and, under ORAM, the tree buckets)
+//!   behind them. Write-heavy, so the write-CAS wear channel is
+//!   exercised too.
+//! * `uniform-adv` — the same arrival shape spread uniformly over the
+//!   window: the same miss bandwidth with no row concentration, the
+//!   control the hammer report compares against.
+//!
+//! The window (4 MiB) is deliberately just past the 2 MB LLC: nearly
+//! every access misses, so the memory system feels the full rate, but
+//! the footprint stays small enough that quick-scale ORAM trees (and
+//! their physical rows) see repeated pressure instead of a cold sweep.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::trace::{Trace, TraceRecord};
+
+/// Bytes the adversary sweeps: just past the 2 MB LLC so the miss rate
+/// stays near one hundred percent without diluting row pressure.
+pub const WINDOW_BYTES: u64 = 4 << 20;
+
+/// Back-to-back misses per burst — the adversary has no think time to
+/// hide; bursts model MSHR-limited issue, not politeness.
+const BURST: u32 = 8;
+
+/// CPU cycles between bursts (short: a tight attack loop).
+const GAP: u32 = 60;
+
+/// Store fraction: write-heavy, to drive write-CAS wear alongside ACTs.
+const WRITE_FRACTION: f64 = 0.6;
+
+/// The adversarial workload names, reachable through
+/// [`crate::spec::generate`] like the SPEC-like profiles.
+pub const ADVERSARIAL: [&str; 2] = ["hotrow-adv", "uniform-adv"];
+
+/// Generates an adversarial trace; `None` if `name` is not one of
+/// [`ADVERSARIAL`].
+pub fn generate(name: &str, n: usize, seed: u64) -> Option<Trace> {
+    match name {
+        "hotrow-adv" => Some(power_law(name, n, seed)),
+        "uniform-adv" => Some(uniform(name, n, seed)),
+        _ => None,
+    }
+}
+
+/// Draws a line index with a power-law bias toward line 0: rank =
+/// `window * u^alpha` for uniform `u`, with `alpha` large enough that
+/// the top few lines absorb most draws. A random per-trace base offset
+/// decouples the hot lines from address 0.
+fn power_law_line(rng: &mut StdRng, lines: u64, alpha: f64) -> u64 {
+    let u: f64 = rng.gen_range(0.0f64..1.0);
+    let r = (lines as f64 * u.powf(alpha)) as u64;
+    r.min(lines - 1)
+}
+
+fn power_law(name: &str, n: usize, seed: u64) -> Trace {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xAD5E_7A11);
+    let lines = WINDOW_BYTES / 64;
+    let base = rng.gen_range(0..lines);
+    let mut records = Vec::with_capacity(n);
+    let mut burst_remaining = BURST;
+    while records.len() < n {
+        // alpha = 12 over 64 Ki lines: ~40% of draws land on the single
+        // hottest line and ~56% inside the hottest 64 — a few rows'
+        // worth of addresses absorbing most of the miss bandwidth.
+        let line = (base + power_law_line(&mut rng, lines, 12.0)) % lines;
+        records.push(TraceRecord {
+            addr: line * 64,
+            is_write: rng.gen_bool(WRITE_FRACTION),
+            gap: next_gap(&mut rng, &mut burst_remaining),
+            depends_on_prev: false,
+        });
+    }
+    Trace { name: name.into(), records, footprint_bytes: WINDOW_BYTES }
+}
+
+fn uniform(name: &str, n: usize, seed: u64) -> Trace {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xAD5E_7A11);
+    let lines = WINDOW_BYTES / 64;
+    let mut records = Vec::with_capacity(n);
+    let mut burst_remaining = BURST;
+    while records.len() < n {
+        let line = rng.gen_range(0..lines);
+        records.push(TraceRecord {
+            addr: line * 64,
+            is_write: rng.gen_bool(WRITE_FRACTION),
+            gap: next_gap(&mut rng, &mut burst_remaining),
+            depends_on_prev: false,
+        });
+    }
+    Trace { name: name.into(), records, footprint_bytes: WINDOW_BYTES }
+}
+
+fn next_gap(rng: &mut StdRng, burst_remaining: &mut u32) -> u32 {
+    if *burst_remaining > 1 {
+        *burst_remaining -= 1;
+        0
+    } else {
+        *burst_remaining = BURST;
+        rng.gen_range(GAP / 2..=GAP)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hot_rows_concentrate_and_uniform_does_not() {
+        let hot = generate("hotrow-adv", 20_000, 7).unwrap();
+        let uni = generate("uniform-adv", 20_000, 7).unwrap();
+        let top_share = |t: &Trace| {
+            let mut counts = std::collections::HashMap::new();
+            for r in &t.records {
+                *counts.entry(r.addr / 64).or_insert(0u64) += 1;
+            }
+            let mut c: Vec<u64> = counts.into_values().collect();
+            c.sort_unstable_by(|a, b| b.cmp(a));
+            c.iter().take(64).sum::<u64>() as f64 / t.len() as f64
+        };
+        let hot_share = top_share(&hot);
+        let uni_share = top_share(&uni);
+        assert!(hot_share > 0.4, "hottest 64 lines should dominate: {hot_share}");
+        assert!(uni_share < 0.1, "uniform control must stay flat: {uni_share}");
+    }
+
+    #[test]
+    fn adversaries_are_write_heavy_and_fit_the_window() {
+        for name in ADVERSARIAL {
+            let t = generate(name, 5_000, 3).unwrap();
+            assert!(t.write_fraction() > 0.5, "{name}: {}", t.write_fraction());
+            assert!(t.records.iter().all(|r| r.addr < WINDOW_BYTES));
+            assert!(t.mean_gap() < 30.0, "attack loop has no think time: {}", t.mean_gap());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate("hotrow-adv", 1_000, 11).unwrap();
+        let b = generate("hotrow-adv", 1_000, 11).unwrap();
+        assert_eq!(a.records, b.records);
+    }
+
+    #[test]
+    fn reachable_through_the_spec_registry() {
+        let t = crate::spec::generate("hotrow-adv", 500, 1);
+        assert_eq!(t.name, "hotrow-adv");
+        assert_eq!(t.len(), 500);
+    }
+}

@@ -27,6 +27,7 @@
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
+pub mod adversarial;
 pub mod generator;
 pub mod leakage;
 pub mod spec;

@@ -192,6 +192,9 @@ pub const LATENCY_BOUND: [&str; 1] = ["GemsFDTD-like"];
 ///
 /// Panics if `name` is not one of [`ALL`].
 pub fn generate(name: &str, n: usize, seed: u64) -> Trace {
+    if let Some(t) = crate::adversarial::generate(name, n, seed) {
+        return t;
+    }
     profile(name).unwrap_or_else(|| panic!("unknown workload {name}")).generate(n, seed)
 }
 

@@ -23,7 +23,7 @@ cargo run --release -q -p sdimm-lint -- --pass l6 --json target/lint-l6.json > /
 echo "==> cargo test -q"
 cargo test -q
 
-echo "==> telemetry overhead gate (disabled sink <2%, enabled flight recorder <5%)"
+echo "==> telemetry overhead gate (disabled sink/wear <2%, enabled recorder/wear <5%)"
 cargo run --release -q -p sdimm-bench --bin telemetry_overhead -- \
   --json target/telemetry-overhead.json
 
@@ -66,6 +66,21 @@ cargo run --release -q -p sdimm-bench --bin bench_compare
 
 echo "==> folded profile validates (no empty stacks, weights sum to sampled cycles)"
 cargo run --release -q -p sdimm-bench --bin validate_folded -- target/quick-fig6.folded
+
+echo "==> RowHammer threat report (wear counts must match the replay recount; byte-stable)"
+# Two runs compared byte-for-byte, like the crossover figure: the wear
+# observatory's report must be a pure function of the simulated command
+# streams. The binary itself exits nonzero if any cell's per-row ACT
+# totals disagree with the auditor's independent recount.
+cargo build --release -q -p sdimm-bench --bin hammer_report
+mkdir -p target/hammer-1 target/hammer-2
+SDIMM_BENCH_SCALE=quick ./target/release/hammer_report \
+  --report target/hammer-1/BENCH_hammer.json
+SDIMM_BENCH_SCALE=quick ./target/release/hammer_report \
+  --report target/hammer-2/BENCH_hammer.json > /dev/null
+cmp target/hammer-1/BENCH_hammer.json target/hammer-2/BENCH_hammer.json \
+  || { echo "hammer reports differ between runs — observatory is nondeterministic"; exit 1; }
+cp target/hammer-1/BENCH_hammer.json target/BENCH_hammer.json
 
 echo "==> timing-leakage gate (secure protocols indistinguishable, NonSecure detected)"
 # Run twice and compare byte-for-byte: the verdict must be a pure
